@@ -1,0 +1,34 @@
+// Ablation: the slowdown threshold alpha. Looser thresholds let SNS pack
+// more aggressively (higher throughput, more per-job slowdown); alpha = 1
+// demands full isolation. The paper's default is 0.9.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/util/stats.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Ablation: slowdown threshold alpha ===\n\n");
+  util::Table t({"alpha", "throughput vs CE", "avg norm. run time",
+                 "worst job slowdown"});
+  for (double alpha : {0.5, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    util::Rng rng(4242);
+    std::vector<double> gains, runs, worst;
+    for (int s = 0; s < 8; ++s) {
+      auto seq = app::randomSequence(rng, env.lib(), 20, alpha);
+      const auto ce = env.run(sched::PolicyKind::kCE, seq);
+      const auto sns_res = env.run(sched::PolicyKind::kSNS, seq);
+      gains.push_back(sns_res.throughput() / ce.throughput());
+      const auto ratios = sim::runTimeRatios(sns_res, ce);
+      runs.push_back(util::geomean(ratios));
+      worst.push_back(util::maxOf(ratios));
+    }
+    t.addRow({util::fmt(alpha, 2), util::fmtPct(util::mean(gains) - 1.0),
+              util::fmt(util::mean(runs), 3),
+              util::fmt(util::maxOf(worst), 2) + "x"});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

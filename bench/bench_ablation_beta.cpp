@@ -1,0 +1,37 @@
+// Ablation: the LLC weight beta in the SNS node-selection score
+// Co + Bo + beta x Wo. The paper uses beta = 2 because cache interference
+// dominates node-level slowdown; this sweep shows what the weighting buys.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/util/stats.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Ablation: node-score LLC weight beta ===\n\n");
+  util::Table t({"beta", "throughput vs CE", "avg norm. run time",
+                 "alpha violations"});
+  for (double beta : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+    util::Rng rng(99);
+    std::vector<double> gains, runs;
+    int violations = 0;
+    for (int s = 0; s < 8; ++s) {
+      const auto seq = app::randomSequence(rng, env.lib(), 20, 0.9);
+      const auto ce = env.run(sched::PolicyKind::kCE, seq);
+      sim::SimConfig cfg;
+      cfg.nodes = 8;
+      cfg.policy = sched::PolicyKind::kSNS;
+      cfg.sns.beta = beta;
+      const auto sns_res = env.run(cfg, seq);
+      gains.push_back(sns_res.throughput() / ce.throughput());
+      runs.push_back(sim::geomeanRunTimeRatio(sns_res, ce));
+      violations += sim::thresholdViolations(sns_res, ce, 0.9);
+    }
+    t.addRow({util::fmt(beta, 1), util::fmtPct(util::mean(gains) - 1.0),
+              util::fmt(util::mean(runs), 3), std::to_string(violations)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation: SNS's unused-LLC-way donation (§4.4). With donation on,
+// resident jobs split unallocated ways in equal shares (reclaimed on new
+// arrivals); with it off, jobs get exactly their CAT partition and the
+// rest of the cache idles.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/util/stats.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Ablation: unused-way donation ===\n\n");
+  util::Table t({"donation", "throughput vs CE", "avg norm. run time",
+                 "alpha violations"});
+  for (bool donate : {true, false}) {
+    util::Rng rng(777);
+    std::vector<double> gains, runs;
+    int violations = 0;
+    for (int s = 0; s < 8; ++s) {
+      const auto seq = app::randomSequence(rng, env.lib(), 20, 0.9);
+      const auto ce = env.run(sched::PolicyKind::kCE, seq);
+      sim::SimConfig cfg;
+      cfg.nodes = 8;
+      cfg.policy = sched::PolicyKind::kSNS;
+      cfg.donate_unused_ways = donate;
+      const auto sns_res = env.run(cfg, seq);
+      gains.push_back(sns_res.throughput() / ce.throughput());
+      runs.push_back(sim::geomeanRunTimeRatio(sns_res, ce));
+      violations += sim::thresholdViolations(sns_res, ce, 0.9);
+    }
+    t.addRow({donate ? "on" : "off", util::fmtPct(util::mean(gains) - 1.0),
+              util::fmt(util::mean(runs), 3), std::to_string(violations)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

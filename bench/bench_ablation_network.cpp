@@ -1,0 +1,74 @@
+// Ablation: managing per-node NIC bandwidth as a third resource (the
+// paper's §3.3 extension direction). Uses a workload spiked with a
+// network-hungry program so NIC contention actually occurs; compares SNS
+// with and without network reservations.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/util/stats.hpp"
+
+int main() {
+  using namespace sns;
+
+  // Build a library with an added network hog and profile everything.
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  {
+    app::ProgramModel p;
+    p.name = "NET";
+    p.framework = app::Framework::kMpi;
+    p.solo_time_ref = 200.0;
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.002;
+    p.mlp = 4.0;
+    p.miss = {0.3, 0.05, 0.1, 1.5};
+    p.comm = {app::CommPattern::kAllToAll, 0.45, 0.0, 0.0};
+    lib.push_back(p);
+  }
+  for (auto& p : lib) est.calibrate(p);
+  profile::ProfilerConfig pcfg;
+  pcfg.pmu_noise = 0.02;
+  profile::Profiler prof(est, pcfg);
+  profile::ProfileDatabase db;
+  for (const auto& p : lib) {
+    db.put(prof.profileProgram(p, 16));
+    if (!p.pow2_procs && p.multi_node) db.put(prof.profileProgram(p, 28));
+  }
+
+  std::printf("=== Ablation: NIC bandwidth as a managed resource ===\n\n");
+  util::Table t({"network mgmt", "throughput vs CE", "avg norm. run time",
+                 "worst job slowdown"});
+  for (bool manage : {false, true}) {
+    util::Rng rng(31337);
+    std::vector<double> gains, runs, worst;
+    for (int s = 0; s < 8; ++s) {
+      // Random sequence spiked with network hogs.
+      auto seq = app::randomSequence(rng, lib, 16, 0.9);
+      for (int i = 0; i < 4; ++i) seq.push_back({"NET", 16, 0.9, 0.0, 1, 0.0});
+
+      sim::SimConfig ce_cfg;
+      ce_cfg.nodes = 8;
+      ce_cfg.policy = sched::PolicyKind::kCE;
+      sim::ClusterSimulator ce_sim(est, lib, db, ce_cfg);
+      const auto ce = ce_sim.run(seq);
+
+      sim::SimConfig cfg;
+      cfg.nodes = 8;
+      cfg.policy = sched::PolicyKind::kSNS;
+      cfg.sns.manage_network = manage;
+      sim::ClusterSimulator sim(est, lib, db, cfg);
+      const auto res = sim.run(seq);
+
+      gains.push_back(res.throughput() / ce.throughput());
+      const auto ratios = sim::runTimeRatios(res, ce);
+      runs.push_back(util::geomean(ratios));
+      worst.push_back(util::maxOf(ratios));
+    }
+    t.addRow({manage ? "on" : "off", util::fmtPct(util::mean(gains) - 1.0),
+              util::fmt(util::mean(runs), 3),
+              util::fmt(util::maxOf(worst), 2) + "x"});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 2: scaling behaviour of 16-process MG / CG / EP / BFS runs when
+// spread over 1, 2, 4 and 8 nodes (exclusive). Values are speedups over
+// the compact 1N16C run. Paper shape: MG benefits most, then CG and EP;
+// BFS is fastest on a single node.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Fig 2: speedup of 16-process runs vs 1N16C ===\n\n");
+  util::Table t({"program", "1N16C", "2N8C", "4N4C", "8N2C"});
+  for (const char* name : {"MG", "CG", "EP", "BFS"}) {
+    const auto& p = env.prog(name);
+    const double t1 = env.est().soloCE(p, 16, 1).time;
+    std::vector<std::string> row = {name, "1.00"};
+    for (int n : {2, 4, 8}) {
+      row.push_back(util::fmt(t1 / env.est().soloCE(p, 16, n).time, 2));
+    }
+    t.addRow(row);
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper shape: MG gains most, CG peaks early, EP flat, BFS < 1.\n");
+  return 0;
+}

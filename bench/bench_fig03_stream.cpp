@@ -1,0 +1,38 @@
+// Figure 3: STREAM bandwidth with a growing number of cores on one node —
+// overall (aggregate) and per-core GB/s. The model curve is calibrated to
+// the paper's anchors (18.80 GB/s at 1 core, 37.17 at 2, level-off around
+// 8 cores, 118.26 at all 28). A native STREAM-triad run on this machine is
+// appended for reference.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/kernels/kernels.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+  const auto& bw = env.est().machine().mem_bw;
+
+  std::printf("=== Fig 3: STREAM bandwidth vs core count (model) ===\n\n");
+  util::Table t({"cores", "overall (GB/s)", "per-core (GB/s)"});
+  for (int c : {1, 2, 4, 6, 8, 12, 16, 20, 24, 28}) {
+    t.addRow({std::to_string(c), util::fmt(bw.aggregate(c), 2),
+              util::fmt(bw.perCore(c), 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Native STREAM triad on this host (for reference):\n");
+  util::Table n({"threads", "measured (GB/s)", "valid"});
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned th = 1; th <= hw; th *= 2) {
+    kernels::StreamConfig cfg;
+    cfg.elements = 1 << 21;
+    cfg.iterations = 5;
+    cfg.threads = static_cast<int>(th);
+    const auto r = kernels::runStream(cfg);
+    n.addRow({std::to_string(th), util::fmt(r.bandwidthGbps(), 2),
+              r.valid ? "yes" : "NO"});
+  }
+  std::printf("%s", n.render().c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 5: LLC miss rate of MG / CG / EP / BFS across placements.
+// Paper shape: MG and CG miss rates drop when scaled out (more cache per
+// process); EP's is negligible throughout; BFS's *rises* when spread
+// (communication code/data pressure).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Fig 5: LLC miss rate (%%) ===\n\n");
+  util::Table t({"program", "1N16C", "2N8C", "4N4C", "8N2C"});
+  for (const char* name : {"MG", "CG", "EP", "BFS"}) {
+    std::vector<std::string> row = {name};
+    for (int n : {1, 2, 4, 8}) {
+      row.push_back(
+          util::fmt(env.est().soloCE(env.prog(name), 16, n).miss_ratio * 100.0, 1));
+    }
+    t.addRow(row);
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 6: performance vs LLC-way allocation (1N16C, CAT sweep),
+// normalized to the full 20-way run. Paper anchors: MG reaches 90% with 3
+// ways; CG needs 10; BFS ~18; EP is insensitive.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Fig 6: performance normalized to full LLC ways ===\n\n");
+  std::vector<std::string> header = {"ways"};
+  for (const char* n : {"MG", "CG", "EP", "BFS"}) header.push_back(n);
+  util::Table t(header);
+  std::vector<double> full;
+  for (const char* n : {"MG", "CG", "EP", "BFS"}) {
+    full.push_back(1.0 / env.est().solo(env.prog(n), 16, 1, 20).time);
+  }
+  for (int w = 2; w <= 20; ++w) {
+    std::vector<std::string> row = {std::to_string(w)};
+    int i = 0;
+    for (const char* n : {"MG", "CG", "EP", "BFS"}) {
+      const double perf = 1.0 / env.est().solo(env.prog(n), 16, 1, w).time;
+      row.push_back(util::fmt(perf / full[static_cast<std::size_t>(i++)], 3));
+    }
+    t.addRow(row);
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("least ways for 90%% of full performance:\n");
+  int i = 0;
+  for (const char* n : {"MG", "CG", "EP", "BFS"}) {
+    for (int w = 2; w <= 20; ++w) {
+      const double perf = 1.0 / env.est().solo(env.prog(n), 16, 1, w).time;
+      if (perf >= 0.9 * full[static_cast<std::size_t>(i)]) {
+        std::printf("  %-4s %d ways\n", n, w);
+        break;
+      }
+    }
+    ++i;
+  }
+  std::printf("paper: MG 3, CG 10, EP <=2, BFS 18.\n");
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 7: computation vs inter-process communication time breakdown for
+// MG / CG / EP / BFS across placements, normalized to each program's
+// single-node total. Paper shape: NPB communication < 10%; CG's
+// communication slot *shrinks* when spread (less waiting for late
+// senders); BFS's computation and communication both grow.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Fig 7: compute/comm breakdown (norm. to 1N16C total) ===\n\n");
+  util::Table t({"program", "placement", "compute", "comm+wait", "total"});
+  for (const char* name : {"MG", "CG", "EP", "BFS"}) {
+    const double base = env.est().soloCE(env.prog(name), 16, 1).time;
+    for (int n : {1, 2, 4, 8}) {
+      const auto r = env.est().soloCE(env.prog(name), 16, n);
+      const double comm = r.comm_data_time + r.wait_time;
+      t.addRow({name, std::to_string(n) + "N" + std::to_string(16 / n) + "C",
+                util::fmt(r.comp_time / base, 3), util::fmt(comm / base, 3),
+                util::fmt(r.time / base, 3)});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 8: illustration of the alternative scheduling policies for a
+// 32-process job A on 28-core nodes, with filler jobs B-F:
+//   (1x, E)  CE: 2 nodes, 16 cores each, 24 cores idle
+//   (1x, S)  CS: same footprint, fillers use the idle cores
+//   (2x, E): 4 nodes, 8 cores each, exclusive
+//   (2x, S)  SNS: 4 nodes, fillers co-located per resource demand
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/actuator/core_binder.hpp"
+
+namespace {
+
+void printLayout(const char* title,
+                 const std::vector<std::vector<std::pair<char, int>>>& nodes) {
+  std::printf("%s\n", title);
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    std::string line = "  N" + std::to_string(n) + " [";
+    int used = 0;
+    for (const auto& [label, cores] : nodes[n]) {
+      line.append(static_cast<std::size_t>(cores), label);
+      used += cores;
+    }
+    line.append(static_cast<std::size_t>(28 - used), '.');
+    line += "]";
+    std::printf("%s  (%d idle)\n", line.c_str(), 28 - used);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig 8: policy alternatives for a 32-process job A ===\n\n");
+
+  // (1x, E): CE packs A onto its 2-node minimum footprint, exclusively.
+  printLayout("(1x, E) Compact-n-Exclusive:",
+              {{{'A', 16}}, {{'A', 16}}});
+
+  // (1x, S): CS fills the idle cores with jobs B and C.
+  printLayout("(1x, S) Compact-n-Share:",
+              {{{'A', 16}, {'B', 12}}, {{'A', 16}, {'C', 12}}});
+
+  // (2x, E): spreading without sharing wastes even more cores.
+  printLayout("(2x, E):",
+              {{{'A', 8}}, {{'A', 8}}, {{'A', 8}}, {{'A', 8}}});
+
+  // (2x, S): SNS spreads A 2x and co-locates resource-compatible fillers.
+  printLayout("(2x, S) Spread-n-Share:",
+              {{{'A', 8}, {'D', 20}},
+               {{'A', 8}, {'D', 8}, {'B', 12}},
+               {{'A', 8}, {'E', 20}},
+               {{'A', 8}, {'F', 8}, {'C', 12}}});
+
+  // Demonstrate the actuator's socket-balanced core binding for job A's
+  // 8-core slice on one node.
+  sns::actuator::CoreBinder binder(sns::hw::MachineConfig::xeonE5_2680v4());
+  const auto cores = binder.bind(1, 8);
+  std::string list;
+  for (int c : cores) list += std::to_string(c) + " ";
+  std::printf("actuator core binding for one 8-core slice: %s\n", list.c_str());
+  return 0;
+}

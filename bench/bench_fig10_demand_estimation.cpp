@@ -1,0 +1,34 @@
+// Figure 10: the (w, b) resource-demand estimation walk-through. Starting
+// from the profiled IPC at full ways (F-IPC), compute the tolerable IPC
+// T-IPC = alpha x F-IPC, find the minimum ways w reaching it on the
+// IPC-LLC curve, then read the expected bandwidth b off the BW-LLC curve.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/profile/demand.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Fig 10: estimating bandwidth and LLC demand ===\n\n");
+  util::Table t({"program", "F-IPC", "T-IPC (a=0.9)", "w (ways)", "b (GB/s)"});
+  for (const auto& name : app::programNames()) {
+    const auto* prof = env.db().find(name, 16);
+    const auto d = profile::estimateDemand(*prof->at(1), 0.9, env.est().machine());
+    t.addRow({name, util::fmt(d.f_ipc, 3), util::fmt(d.t_ipc, 3),
+              std::to_string(d.ways), util::fmt(d.bw_gbps, 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("CG step-by-step (alpha sweep):\n");
+  util::Table sweep({"alpha", "T-IPC", "w", "b (GB/s)"});
+  const auto* cg = env.db().find("CG", 16);
+  for (double a : {0.6, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    const auto d = profile::estimateDemand(*cg->at(1), a, env.est().machine());
+    sweep.addRow({util::fmt(a, 2), util::fmt(d.t_ipc, 3), std::to_string(d.ways),
+                  util::fmt(d.bw_gbps, 1)});
+  }
+  std::printf("%s", sweep.render().c_str());
+  return 0;
+}

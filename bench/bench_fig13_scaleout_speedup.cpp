@@ -1,0 +1,30 @@
+// Figure 13: speedup of scaling out (2x / 4x / 8x, exclusive) for the ten
+// multi-node programs, plus the resulting class census. Paper: five
+// scaling programs (MG CG LU TS BW; CG peaks at 2x with +13%, the others
+// reach >30% at 8x), one compact (BFS), four neutral (EP WC NW HC).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::printf("=== Fig 13: speedup of scaling out (16 processes) ===\n\n");
+  util::Table t({"program", "2x,E", "4x,E", "8x,E", "class", "ideal k"});
+  for (const auto& name : app::programNames()) {
+    const auto& p = env.prog(name);
+    if (!p.multi_node) continue;  // GAN/RNN cannot span nodes
+    const double t1 = env.est().soloCE(p, 16, 1).time;
+    std::vector<std::string> row = {name};
+    for (int n : {2, 4, 8}) {
+      row.push_back(util::fmt(t1 / env.est().soloCE(p, 16, n).time, 3));
+    }
+    const auto* prof = env.db().find(name, 16);
+    row.push_back(to_string(prof->cls));
+    row.push_back(std::to_string(prof->ideal_scale) + "x");
+    t.addRow(row);
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 14: overall throughput of 36 random 20-job sequences under CS and
+// SNS, normalized to CE, ordered by scaling ratio. Paper: average gains
+// +13.7% (CS) and +19.8% (SNS) over CE.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/util/stats.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+  const auto scaling = snsbench::scalingPrograms(env);
+  auto ce_time = [&](const app::JobSpec& j) { return env.ceTime(j.program, j.procs); };
+
+  struct Row {
+    double ratio;
+    double cs_gain;
+    double sns_gain;
+  };
+  std::vector<Row> rows;
+  util::Rng rng(3356152);  // the paper's DOI suffix as seed
+  for (int s = 0; s < 36; ++s) {
+    const auto seq = app::randomSequence(rng, env.lib(), 20, 0.9);
+    const double ratio = app::scalingRatio(seq, scaling, ce_time);
+    const auto ce = env.run(sched::PolicyKind::kCE, seq);
+    const auto cs = env.run(sched::PolicyKind::kCS, seq);
+    const auto sns_res = env.run(sched::PolicyKind::kSNS, seq);
+    rows.push_back({ratio, cs.throughput() / ce.throughput(),
+                    sns_res.throughput() / ce.throughput()});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.ratio < b.ratio; });
+
+  std::printf("=== Fig 14: throughput of 36 random sequences (norm. to CE) ===\n\n");
+  util::Table t({"scaling ratio", "CS / CE", "SNS / CE"});
+  std::vector<double> cs_gains, sns_gains;
+  for (const auto& r : rows) {
+    t.addRow({util::fmt(r.ratio, 3), util::fmt(r.cs_gain, 3),
+              util::fmt(r.sns_gain, 3)});
+    cs_gains.push_back(r.cs_gain);
+    sns_gains.push_back(r.sns_gain);
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("average gain over CE: CS %s (paper +13.7%%), SNS %s (paper +19.8%%)\n",
+              util::fmtPct(util::mean(cs_gains) - 1.0).c_str(),
+              util::fmtPct(util::mean(sns_gains) - 1.0).c_str());
+  return 0;
+}

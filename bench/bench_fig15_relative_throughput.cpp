@@ -1,0 +1,43 @@
+// Figure 15: SNS throughput relative to CE and to CS across the 36 random
+// sequences, each series sorted ascending. Paper: SNS beats CE for 35/36
+// sequences (up to +42.1%) and beats CS for 26/36 (avg +11.5% where it
+// wins, losing by 9.1% on average elsewhere).
+#include <algorithm>
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/util/stats.hpp"
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::vector<double> vs_ce, vs_cs;
+  util::Rng rng(3356152);
+  for (int s = 0; s < 36; ++s) {
+    const auto seq = app::randomSequence(rng, env.lib(), 20, 0.9);
+    const auto ce = env.run(sched::PolicyKind::kCE, seq);
+    const auto cs = env.run(sched::PolicyKind::kCS, seq);
+    const auto sns_res = env.run(sched::PolicyKind::kSNS, seq);
+    vs_ce.push_back(sns_res.throughput() / ce.throughput());
+    vs_cs.push_back(sns_res.throughput() / cs.throughput());
+  }
+  std::sort(vs_ce.begin(), vs_ce.end());
+  std::sort(vs_cs.begin(), vs_cs.end());
+
+  std::printf("=== Fig 15: SNS relative throughput, sequences sorted ===\n\n");
+  util::Table t({"rank", "SNS / CE", "SNS / CS"});
+  for (std::size_t i = 0; i < vs_ce.size(); ++i) {
+    t.addRow({std::to_string(i), util::fmt(vs_ce[i], 3), util::fmt(vs_cs[i], 3)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  const auto wins = static_cast<int>(
+      std::count_if(vs_cs.begin(), vs_cs.end(), [](double v) { return v > 1.0; }));
+  std::printf("SNS > CE in %d/36 (max %s; paper max +42.1%%)\n",
+              static_cast<int>(std::count_if(vs_ce.begin(), vs_ce.end(),
+                                             [](double v) { return v > 1.0; })),
+              util::fmtPct(vs_ce.back() - 1.0).c_str());
+  std::printf("SNS > CS in %d/36 (paper 26/36)\n", wins);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 18: histogram of per-node 30-second monitoring episodes by
+// average-bandwidth interval, CE vs SNS, for the same sequence as Fig 17.
+// Paper shape: SNS thins out both the near-idle and near-peak bins.
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/util/stats.hpp"
+
+namespace {
+
+sns::util::Histogram histogramOf(const sns::sim::SimResult& r, double peak) {
+  sns::util::Histogram h(0.0, peak, 12);
+  for (const auto& node : r.node_bw_episodes) {
+    for (double bw : node) h.add(bw);
+  }
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  util::Rng rng(17);  // same sequence as bench_fig17
+  const auto seq = app::randomSequence(rng, env.lib(), 20, 0.9);
+  const auto ce = env.run(sched::PolicyKind::kCE, seq);
+  const auto sns_res = env.run(sched::PolicyKind::kSNS, seq);
+
+  const double peak = env.est().machine().peakBandwidth();
+  const auto h_ce = histogramOf(ce, peak);
+  const auto h_sns = histogramOf(sns_res, peak);
+
+  std::printf("=== Fig 18: episode count by bandwidth interval ===\n\n");
+  util::Table t({"interval (GB/s)", "CE count", "SNS count"});
+  for (std::size_t b = 0; b < h_ce.bins(); ++b) {
+    t.addRow({util::fmt(h_ce.binLow(b), 0) + "-" + util::fmt(h_ce.binHigh(b), 0),
+              std::to_string(h_ce.count(b)), std::to_string(h_sns.count(b))});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("near-idle episodes (<10 GB/s): CE %zu vs SNS %zu\n", h_ce.count(0),
+              h_sns.count(0));
+  std::printf("near-peak episodes (top bin):  CE %zu vs SNS %zu\n",
+              h_ce.count(h_ce.bins() - 1), h_sns.count(h_sns.bins() - 1));
+  return 0;
+}

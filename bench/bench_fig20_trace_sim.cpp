@@ -1,0 +1,60 @@
+// Figure 20: trace-driven simulation of much larger clusters. A synthetic
+// Trinity-like trace (7,044 parallel jobs, 1,900 hours, jobs <= 4,096
+// nodes) is mapped onto the measured program set with scaling ratios 0.9
+// and 0.5, then replayed on 4K / 8K / 16K / 32K-node clusters under CE and
+// SNS. Reported: average wait and run time normalized to the CE
+// turnaround. Paper shape: the 4K cluster is stampeded (wait dominates;
+// at ratio 0.5 SNS cuts the wait sharply); on larger clusters wait
+// vanishes and SNS's run-time gains dominate (+15.7% throughput at
+// 32K/0.9).
+//
+// Pass --quick to shrink the trace (CI-friendly).
+#include <cstdio>
+#include <cstring>
+
+#include "common.hpp"
+#include "sns/trace/replay.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sns;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  snsbench::Env env;
+
+  trace::TraceGenParams params;
+  if (quick) {
+    params.jobs = 700;
+    params.horizon_hours = 190.0;
+  }
+  util::Rng trace_rng(0x7417177);
+  const auto raw_trace = trace::generateTrace(trace_rng, params);
+  std::printf("=== Fig 20: trace-driven simulation of larger clusters ===\n");
+  std::printf("trace: %zu jobs over %.0f hours, max %d nodes/job\n\n",
+              raw_trace.size(), params.horizon_hours, params.max_nodes);
+
+  util::Table t({"cluster-ratio", "CE wait", "CE run", "SNS wait", "SNS run",
+                 "SNS throughput vs CE"});
+  for (double ratio : {0.9, 0.5}) {
+    util::Rng map_rng(static_cast<std::uint64_t>(ratio * 1000));
+    const auto jobs = trace::mapTraceToJobs(map_rng, raw_trace, ratio,
+                                            env.est().machine().cores);
+    const auto db = trace::synthesizeTraceProfiles(env.db(), 16, jobs, env.est());
+    for (int nodes : {4096, 8192, 16384, 32768}) {
+      const auto ce = trace::simulateTrace(env.est(), env.lib(), db, jobs, nodes,
+                                           sched::PolicyKind::kCE);
+      const auto sns_res = trace::simulateTrace(env.est(), env.lib(), db, jobs,
+                                                nodes, sched::PolicyKind::kSNS);
+      const double ce_turn = ce.meanTurnaround();
+      t.addRow({std::to_string(nodes / 1024) + "K-" + util::fmt(ratio, 1),
+                util::fmt(ce.meanWait() / ce_turn, 3),
+                util::fmt(ce.meanRun() / ce_turn, 3),
+                util::fmt(sns_res.meanWait() / ce_turn, 3),
+                util::fmt(sns_res.meanRun() / ce_turn, 3),
+                util::fmtPct(sns_res.throughput() / ce.throughput() - 1.0)});
+      std::fprintf(stderr, "done %dK nodes, ratio %.1f\n", nodes / 1024, ratio);
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("paper anchor: +15.7%% throughput at 32K nodes, ratio 0.9.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Google-benchmark microbenchmarks of the native kernels (the library's
+// runnable stand-ins for the paper's workloads). Reported counters include
+// estimated memory traffic so bandwidth shows up as bytes_per_second.
+#include <benchmark/benchmark.h>
+
+#include "sns/kernels/kernels.hpp"
+
+namespace {
+
+using namespace sns::kernels;
+
+void BM_StreamTriad(benchmark::State& state) {
+  StreamConfig cfg;
+  cfg.elements = 1 << 20;
+  cfg.iterations = 2;
+  cfg.threads = static_cast<int>(state.range(0));
+  double bytes = 0.0;
+  for (auto _ : state) {
+    const auto r = runStream(cfg);
+    if (!r.valid) state.SkipWithError("stream validation failed");
+    bytes += r.bytes_moved;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_StreamTriad)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_StencilMg(benchmark::State& state) {
+  StencilMgConfig cfg;
+  cfg.dim = 48;
+  cfg.vcycles = 1;
+  cfg.levels = 2;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runStencilMg(cfg);
+    if (!r.valid) state.SkipWithError("mg validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+}
+BENCHMARK(BM_StencilMg)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Cg(benchmark::State& state) {
+  CgConfig cfg;
+  cfg.grid = 96;
+  cfg.iterations = 10;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runCg(cfg);
+    if (!r.valid) state.SkipWithError("cg validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+}
+BENCHMARK(BM_Cg)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Ep(benchmark::State& state) {
+  EpConfig cfg;
+  cfg.samples = 1 << 18;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runEp(cfg);
+    if (!r.valid) state.SkipWithError("ep validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.samples));
+}
+BENCHMARK(BM_Ep)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Bfs(benchmark::State& state) {
+  BfsConfig cfg;
+  cfg.scale = 14;
+  cfg.edge_factor = 8;
+  cfg.roots = 1;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runBfs(cfg);
+    if (!r.valid) state.SkipWithError("bfs validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+}
+BENCHMARK(BM_Bfs)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_SampleSort(benchmark::State& state) {
+  SampleSortConfig cfg;
+  cfg.keys = 1 << 18;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runSampleSort(cfg);
+    if (!r.valid) state.SkipWithError("sort validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cfg.keys));
+}
+BENCHMARK(BM_SampleSort)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_LuSsor(benchmark::State& state) {
+  LuSsorConfig cfg;
+  cfg.grid = 128;
+  cfg.sweeps = 4;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runLuSsor(cfg);
+    if (!r.valid) state.SkipWithError("lu/ssor validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+}
+BENCHMARK(BM_LuSsor)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_Gemm(benchmark::State& state) {
+  GemmConfig cfg;
+  cfg.dim = 128;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runGemm(cfg);
+    if (!r.valid) state.SkipWithError("gemm validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+}
+BENCHMARK(BM_Gemm)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_WordCount(benchmark::State& state) {
+  WordCountConfig cfg;
+  cfg.words = 1 << 19;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto r = runWordCount(cfg);
+    if (!r.valid) state.SkipWithError("wordcount validation failed");
+    benchmark::DoNotOptimize(r.checksum);
+  }
+}
+BENCHMARK(BM_WordCount)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+#include "common.hpp"
+
+#include "sns/profile/profiler.hpp"
+
+namespace snsbench {
+
+using namespace sns;
+
+Env::Env() : lib_(app::programLibrary()) {
+  for (auto& p : lib_) est_.calibrate(p);
+  profile::ProfilerConfig cfg;
+  cfg.pmu_noise = 0.02;  // the paper's profiles carry measurement error
+  profile::Profiler prof(est_, cfg, 0xBE7C4);
+  for (const auto& p : lib_) {
+    db_.put(prof.profileProgram(p, 16));
+    if (!p.pow2_procs && p.multi_node) db_.put(prof.profileProgram(p, 28));
+  }
+  // Replicated sequential programs also run as 28-instance jobs.
+  for (const char* n : {"HC", "BW"}) {
+    db_.put(prof.profileProgram(prog(n), 28));
+  }
+}
+
+double Env::ceTime(const std::string& name, int procs) const {
+  const auto& p = prog(name);
+  return est_.soloCE(p, procs, est_.minNodes(procs)).time;
+}
+
+sim::SimResult Env::run(sched::PolicyKind kind,
+                        const std::vector<app::JobSpec>& jobs, int nodes) const {
+  sim::SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.policy = kind;
+  return run(cfg, jobs);
+}
+
+sim::SimResult Env::run(sim::SimConfig cfg,
+                        const std::vector<app::JobSpec>& jobs) const {
+  sim::ClusterSimulator sim(est_, lib_, db_, cfg);
+  return sim.run(jobs);
+}
+
+std::vector<std::string> scalingPrograms(const Env& env) {
+  std::vector<std::string> out;
+  for (const auto& p : env.lib()) {
+    const auto* prof = env.db().find(p.name, 16);
+    if (prof != nullptr && prof->cls == profile::ScalingClass::kScaling) {
+      out.push_back(p.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace snsbench

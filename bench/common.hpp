@@ -1,0 +1,52 @@
+#pragma once
+
+// Shared setup for the figure-reproduction benches: a calibrated machine +
+// workload set and a pre-populated profile database, mirroring the paper's
+// environment where profiles were accumulated from prior production runs.
+
+#include <string>
+#include <vector>
+
+#include "sns/app/library.hpp"
+#include "sns/app/workload_gen.hpp"
+#include "sns/profile/database.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/metrics.hpp"
+#include "sns/util/table.hpp"
+
+namespace snsbench {
+
+class Env {
+ public:
+  Env();
+
+  const sns::perfmodel::Estimator& est() const { return est_; }
+  const std::vector<sns::app::ProgramModel>& lib() const { return lib_; }
+  const sns::profile::ProfileDatabase& db() const { return db_; }
+
+  const sns::app::ProgramModel& prog(const std::string& name) const {
+    return sns::app::findProgram(lib_, name);
+  }
+
+  /// CE (minimum footprint, exclusive, full cache) run time.
+  double ceTime(const std::string& name, int procs) const;
+
+  /// Run a job sequence on the simulated 8-node testbed.
+  sns::sim::SimResult run(sns::sched::PolicyKind kind,
+                          const std::vector<sns::app::JobSpec>& jobs,
+                          int nodes = 8) const;
+
+  /// Run with a custom configuration (ablations).
+  sns::sim::SimResult run(sns::sim::SimConfig cfg,
+                          const std::vector<sns::app::JobSpec>& jobs) const;
+
+ private:
+  sns::perfmodel::Estimator est_;
+  std::vector<sns::app::ProgramModel> lib_;
+  sns::profile::ProfileDatabase db_;
+};
+
+/// The scaling-class program names as profiled (for scaling-ratio math).
+std::vector<std::string> scalingPrograms(const Env& env);
+
+}  // namespace snsbench

@@ -1,0 +1,71 @@
+// Deployment plan: shows the road from an SNS scheduling decision to the
+// concrete artifacts a production deployment needs — cpusets, CAT way
+// masks (pqos), and framework launch command lines (the paper's §5.1/§5.2
+// road-map). Three resource-complementary jobs are placed on the cluster
+// and their full launch plans printed.
+#include <cstdio>
+
+#include "sns/app/library.hpp"
+#include "sns/actuator/resource_ledger.hpp"
+#include "sns/profile/database.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sched/policies.hpp"
+#include "sns/uberun/launch_plan.hpp"
+
+int main() {
+  using namespace sns;
+
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  profile::Profiler profiler(est);
+  profile::ProfileDatabase db;
+  for (const char* n : {"MG", "NW", "HC"}) {
+    db.put(profiler.profileProgram(app::findProgram(lib, n), 16));
+  }
+
+  constexpr int kNodes = 8;
+  actuator::ResourceLedger ledger(kNodes, est.machine());
+  uberun::LaunchPlanner planner(kNodes, est.machine());
+  sched::SnsPolicy policy(est);
+
+  // A bandwidth hog, a cache hog, and a CPU-only filler — the paper's
+  // Fig 9 node zoom-in.
+  const char* mix[] = {"MG", "NW", "HC"};
+  sched::JobId next_id = 1;
+  for (const char* name : mix) {
+    sched::Job job;
+    job.id = next_id++;
+    job.spec.program = name;
+    job.spec.procs = 16;
+    job.spec.alpha = 0.9;
+    job.program = &app::findProgram(lib, name);
+
+    const auto placement = policy.tryPlace(job, ledger, db);
+    if (!placement.has_value()) {
+      std::printf("%s: no feasible placement\n", name);
+      continue;
+    }
+    for (int nd : placement->nodes) {
+      ledger.allocate(nd, job.id, placement->nodeAllocation());
+    }
+    const auto plan = planner.materialize(job, *placement);
+
+    std::printf("=== %s: scale %dx on %d node(s), %d ways, %.1f GB/s ===\n",
+                name, placement->scale_factor, placement->nodeCount(),
+                placement->ways, placement->bw_gbps);
+    for (const auto& nl : plan.nodes) {
+      std::printf("  %-6s cores [%s]%s\n", nl.hostname.c_str(),
+                  uberun::cpuList(nl.cores).c_str(),
+                  nl.cat_mask != 0
+                      ? ("  CAT mask " + actuator::CatMasker::toHex(nl.cat_mask))
+                            .c_str()
+                      : "");
+    }
+    for (const auto& cmd : plan.commands) {
+      std::printf("    $ %s\n", cmd.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

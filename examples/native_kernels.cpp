@@ -1,0 +1,137 @@
+// Run the real (non-simulated) micro-kernels on this machine — the
+// library's runnable stand-ins for the paper's workloads — and print their
+// wall time, memory traffic and self-validation status.
+//
+// Usage: native_kernels [threads]
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "sns/kernels/kernels.hpp"
+#include "sns/profile/linux_pmu.hpp"
+#include "sns/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sns::kernels;
+  const int threads =
+      argc > 1 ? std::atoi(argv[1])
+               : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  // When hardware counters are accessible, report the launcher thread's
+  // real IPC alongside each kernel (the paper's PMU-based profiling path).
+  {
+    sns::profile::LinuxPmu probe;
+    if (!probe.available()) {
+      std::printf("(hardware PMU unavailable: %s)\n\n", probe.error().c_str());
+    }
+  }
+
+  sns::util::Table t({"kernel", "threads", "time (s)", "traffic (GB)",
+                      "bandwidth (GB/s)", "main-thread IPC", "valid"});
+  auto report = [&](const char* /*tag*/, const KernelResult& r,
+                    const std::optional<sns::profile::HwCounters>& hw) {
+    t.addRow({r.name, std::to_string(threads), sns::util::fmt(r.seconds, 3),
+              sns::util::fmt(r.bytes_moved / 1e9, 2),
+              sns::util::fmt(r.bandwidthGbps(), 2),
+              hw.has_value() ? sns::util::fmt(hw->ipc(), 2) : "n/a",
+              r.valid ? "yes" : "NO"});
+  };
+
+  StreamConfig stream;
+  stream.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runStream(stream); })) hw = *m;
+    else r = runStream(stream);
+    report("stream", r, hw);
+  }
+
+  StencilMgConfig mg;
+  mg.dim = 64;
+  mg.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runStencilMg(mg); })) hw = *m;
+    else r = runStencilMg(mg);
+    report("mg", r, hw);
+  }
+
+  CgConfig cg;
+  cg.grid = 128;
+  cg.iterations = 300;  // enough sweeps to actually converge the residual
+  cg.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runCg(cg); })) hw = *m;
+    else r = runCg(cg);
+    report("cg", r, hw);
+  }
+
+  EpConfig ep;
+  ep.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runEp(ep); })) hw = *m;
+    else r = runEp(ep);
+    report("ep", r, hw);
+  }
+
+  BfsConfig bfs;
+  bfs.scale = 16;
+  bfs.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runBfs(bfs); })) hw = *m;
+    else r = runBfs(bfs);
+    report("bfs", r, hw);
+  }
+
+  SampleSortConfig sort;
+  sort.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runSampleSort(sort); })) hw = *m;
+    else r = runSampleSort(sort);
+    report("sort", r, hw);
+  }
+
+  LuSsorConfig lu;
+  lu.grid = 256;
+  lu.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runLuSsor(lu); })) hw = *m;
+    else r = runLuSsor(lu);
+    report("lu", r, hw);
+  }
+
+  GemmConfig gemm;
+  gemm.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runGemm(gemm); })) hw = *m;
+    else r = runGemm(gemm);
+    report("gemm", r, hw);
+  }
+
+  WordCountConfig wc;
+  wc.threads = threads;
+  {
+    std::optional<sns::profile::HwCounters> hw;
+    KernelResult r;
+    if (auto m = sns::profile::measure([&] { r = runWordCount(wc); })) hw = *m;
+    else r = runWordCount(wc);
+    report("wc", r, hw);
+  }
+
+  std::printf("%s", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Policy face-off: run the same randomly generated 20-job sequence under
+// CE, CS and SNS on the simulated 8-node cluster and compare throughput,
+// wait/run times, node-seconds and slowdown-threshold violations.
+//
+// Usage: policy_faceoff [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sns/app/library.hpp"
+#include "sns/app/workload_gen.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/gantt.hpp"
+#include "sns/sim/metrics.hpp"
+#include "sns/util/stats.hpp"
+#include "sns/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sns;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2019;
+
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  profile::Profiler profiler(est);
+  profile::ProfileDatabase db;
+  for (const auto& p : lib) {
+    db.put(profiler.profileProgram(p, 16));
+    if (!p.pow2_procs && p.multi_node) db.put(profiler.profileProgram(p, 28));
+  }
+
+  util::Rng rng(seed);
+  const auto seq = app::randomSequence(rng, lib, 20, 0.9);
+  std::printf("Job sequence (seed %llu):", static_cast<unsigned long long>(seed));
+  for (const auto& j : seq) std::printf(" %s/%d", j.program.c_str(), j.procs);
+  std::printf("\n\n");
+
+  sim::SimResult results[3];
+  const sched::PolicyKind kinds[3] = {sched::PolicyKind::kCE,
+                                      sched::PolicyKind::kCS,
+                                      sched::PolicyKind::kSNS};
+  for (int i = 0; i < 3; ++i) {
+    sim::SimConfig cfg;
+    cfg.nodes = 8;
+    cfg.policy = kinds[i];
+    sim::ClusterSimulator sim(est, lib, db, cfg);
+    results[i] = sim.run(seq);
+  }
+  const auto& ce = results[0];
+
+  util::Table t({"policy", "throughput vs CE", "mean wait (s)", "mean run (s)",
+                 "node-seconds", "worst job slowdown", "alpha violations"});
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = results[i];
+    const auto ratios = sim::runTimeRatios(r, ce);
+    t.addRow({r.policy, util::fmtPct(r.throughput() / ce.throughput() - 1.0),
+              util::fmt(r.meanWait(), 1), util::fmt(r.meanRun(), 1),
+              util::fmt(r.busy_node_seconds, 0),
+              util::fmt(util::maxOf(ratios), 2) + "x",
+              std::to_string(sim::thresholdViolations(r, ce, 0.9))});
+  }
+  std::printf("%s", t.render().c_str());
+
+  std::printf("\nschedules (dominant job per node over time):\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("\n--- %s ---\n%s", results[i].policy.c_str(),
+                sim::renderGantt(results[i], 8, 72).c_str());
+  }
+  return 0;
+}

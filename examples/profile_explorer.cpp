@@ -1,0 +1,64 @@
+// Profile explorer: run the Kunafa-style profiling pipeline on one program
+// (argv[1], default CG) and dump everything SNS would know about it —
+// scale trials, classification, IPC-LLC / BW-LLC curves, and the (w, b)
+// resource demand at several slowdown thresholds (the paper's Fig 10).
+#include <cstdio>
+#include <string>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/demand.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sns;
+  const std::string name = argc > 1 ? argv[1] : "CG";
+
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+
+  const app::ProgramModel* prog = nullptr;
+  try {
+    prog = &app::findProgram(lib, name);
+  } catch (const util::DataError&) {
+    std::printf("unknown program '%s'; choose one of:", name.c_str());
+    for (const auto& n : app::programNames()) std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 1;
+  }
+
+  profile::Profiler profiler(est);
+  const auto prof = profiler.profileProgram(*prog, 16);
+
+  std::printf("=== %s (%s) ===\n", prog->name.c_str(),
+              to_string(prog->framework).c_str());
+  std::printf("class: %s, ideal scale: %dx\n\n", to_string(prof.cls).c_str(),
+              prof.ideal_scale);
+
+  util::Table scales({"scale", "nodes", "procs/node", "exclusive time (s)"});
+  for (const auto& s : prof.scales) {
+    scales.addRow({std::to_string(s.scale_factor) + "x", std::to_string(s.nodes),
+                   std::to_string(s.procs_per_node), util::fmt(s.exclusive_time, 2)});
+  }
+  std::printf("%s\n", scales.render().c_str());
+
+  const auto& base = *prof.at(1);
+  util::Table curves({"LLC ways", "IPC", "bandwidth (GB/s)"});
+  for (int w = 2; w <= 20; w += 2) {
+    curves.addRow({std::to_string(w), util::fmt(base.ipc_llc.at(w), 3),
+                   util::fmt(base.bw_llc.at(w), 1)});
+  }
+  std::printf("Profile curves at 1x (16 procs, 1 node):\n%s\n",
+              curves.render().c_str());
+
+  util::Table demands({"alpha", "ways (w)", "bandwidth (b, GB/s)"});
+  for (double alpha : {0.7, 0.8, 0.9, 0.95, 0.99}) {
+    const auto d = profile::estimateDemand(base, alpha, est.machine());
+    demands.addRow({util::fmt(alpha, 2), std::to_string(d.ways),
+                    util::fmt(d.bw_gbps, 1)});
+  }
+  std::printf("Resource demand vs slowdown threshold (Fig 10 pipeline):\n%s",
+              demands.render().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the minimal end-to-end use of the library.
+//
+//   1. Build the machine model and calibrate the 12-program workload set.
+//   2. Profile the programs (the Kunafa pipeline) into a ProfileDatabase.
+//   3. Submit a small mixed job sequence to the simulated 8-node cluster
+//      under the SNS policy and print what happened.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "sns/app/library.hpp"
+#include "sns/app/workload_gen.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/util/table.hpp"
+
+int main() {
+  using namespace sns;
+
+  // 1. Machine + calibrated workload set.
+  perfmodel::Estimator est;  // defaults to the paper's dual Xeon E5-2680 v4
+  auto library = app::programLibrary();
+  for (auto& p : library) est.calibrate(p);
+
+  // 2. Profile every program at 16 processes (IPC-LLC / BW-LLC curves,
+  //    scaling classes) and store the results like Uberun's JSON database.
+  profile::Profiler profiler(est);
+  profile::ProfileDatabase db;
+  for (const auto& p : library) db.put(profiler.profileProgram(p, 16));
+
+  std::printf("Profiled %zu programs. Classes:\n", db.size());
+  for (const auto& p : library) {
+    const auto* prof = db.find(p.name, 16);
+    std::printf("  %-4s %-8s ideal scale %dx\n", p.name.c_str(),
+                to_string(prof->cls).c_str(), prof->ideal_scale);
+  }
+
+  // 3. A small mixed workload: a bandwidth hog, a cache-hungry analytics
+  //    job, and CPU-bound fillers, all submitted at t = 0.
+  std::vector<app::JobSpec> jobs = {
+      {"MG", 16, 0.9, 0.0, 1, 0.0},  // bandwidth-bound MPI solver
+      {"NW", 16, 0.9, 0.0, 1, 0.0},  // cache-hungry Spark analytics
+      {"HC", 16, 0.9, 0.0, 1, 0.0},  // replicated sequential encoder
+      {"EP", 16, 0.9, 0.0, 1, 0.0},  // pure compute
+  };
+
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = sched::PolicyKind::kSNS;
+  sim::ClusterSimulator sim(est, library, db, cfg);
+  const auto result = sim.run(jobs);
+
+  util::Table table({"job", "nodes", "ways", "wait(s)", "run(s)", "turnaround(s)"});
+  for (const auto& j : result.jobs) {
+    table.addRow({j.spec.program, std::to_string(j.placement.nodeCount()),
+                  std::to_string(j.placement.ways), util::fmt(j.waitTime(), 1),
+                  util::fmt(j.runTime(), 1), util::fmt(j.turnaround(), 1)});
+  }
+  std::printf("\nSNS schedule on the 8-node cluster:\n%s", table.render().c_str());
+  std::printf("\nMakespan %.1f s, node-seconds %.0f, throughput %.5f jobs/s\n",
+              result.makespan, result.busy_node_seconds, result.throughput());
+  return 0;
+}

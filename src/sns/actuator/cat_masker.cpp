@@ -1,0 +1,71 @@
+#include "sns/actuator/cat_masker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sns/util/error.hpp"
+
+namespace sns::actuator {
+
+std::uint32_t CatMasker::allocate(JobId job, int ways) {
+  SNS_REQUIRE(!holds(job), "job already holds a CAT mask");
+  SNS_REQUIRE(ways >= mach_->min_ways_per_job,
+              "CAT masks need at least min_ways_per_job ways");
+  SNS_REQUIRE(ways <= mach_->llc_ways, "mask wider than the LLC");
+  SNS_REQUIRE(static_cast<int>(masks_.size()) < mach_->max_llc_partitions,
+              "CLOS register count exhausted");
+
+  const auto run = static_cast<std::uint32_t>((1ULL << ways) - 1);
+  for (int shift = 0; shift + ways <= mach_->llc_ways; ++shift) {
+    const std::uint32_t candidate = run << shift;
+    if ((candidate & occupied_) == 0) {
+      occupied_ |= candidate;
+      masks_[job] = candidate;
+      return candidate;
+    }
+  }
+  throw util::PreconditionError("no contiguous run of " + std::to_string(ways) +
+                                " free ways (fragmentation)");
+}
+
+void CatMasker::release(JobId job) {
+  auto it = masks_.find(job);
+  SNS_REQUIRE(it != masks_.end(), "job holds no CAT mask");
+  occupied_ &= ~it->second;
+  masks_.erase(it);
+}
+
+std::uint32_t CatMasker::mask(JobId job) const {
+  auto it = masks_.find(job);
+  SNS_REQUIRE(it != masks_.end(), "job holds no CAT mask");
+  return it->second;
+}
+
+int CatMasker::freeWays() const {
+  int free = 0;
+  for (int w = 0; w < mach_->llc_ways; ++w) {
+    if ((occupied_ & (1U << w)) == 0) ++free;
+  }
+  return free;
+}
+
+int CatMasker::largestFreeRun() const {
+  int best = 0;
+  int current = 0;
+  for (int w = 0; w < mach_->llc_ways; ++w) {
+    if ((occupied_ & (1U << w)) == 0) {
+      best = std::max(best, ++current);
+    } else {
+      current = 0;
+    }
+  }
+  return best;
+}
+
+std::string CatMasker::toHex(std::uint32_t mask) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%05x", mask);
+  return buf;
+}
+
+}  // namespace sns::actuator

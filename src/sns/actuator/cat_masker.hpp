@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sns/actuator/node_ledger.hpp"
+
+namespace sns::actuator {
+
+/// Concrete CAT class-of-service assignment for one node. NodeLedger
+/// accounts way *counts*; real CAT programs contiguous way *bitmasks* into
+/// CLOS registers (the hardware requires each mask to be one contiguous
+/// run of set bits). This allocator hands out first-fit contiguous runs
+/// within the node's way bitmap and recycles them on release — what the
+/// Uberun actuator writes via `pqos` on a real machine.
+class CatMasker {
+ public:
+  explicit CatMasker(const hw::MachineConfig& mach) : mach_(&mach) {}
+
+  /// Reserve a contiguous run of `ways` ways for a job. Returns the way
+  /// bitmask (bit i = way i). Throws PreconditionError when the job
+  /// already holds a mask, the request is below the hardware minimum, or
+  /// no contiguous run is free (external fragmentation can make this fail
+  /// even when enough total ways are free).
+  std::uint32_t allocate(JobId job, int ways);
+
+  /// Release a job's mask.
+  void release(JobId job);
+
+  bool holds(JobId job) const { return masks_.count(job) > 0; }
+  std::uint32_t mask(JobId job) const;
+  /// Ways not covered by any job's mask.
+  int freeWays() const;
+  /// Longest free contiguous run (what the next allocate can satisfy).
+  int largestFreeRun() const;
+
+  /// Render a mask as the hex string `pqos` expects (e.g. "0x00003").
+  static std::string toHex(std::uint32_t mask);
+
+ private:
+  const hw::MachineConfig* mach_;
+  std::uint32_t occupied_ = 0;
+  std::map<JobId, std::uint32_t> masks_;
+};
+
+}  // namespace sns::actuator

@@ -1,0 +1,70 @@
+#include "sns/actuator/core_binder.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::actuator {
+
+std::vector<int> CoreBinder::bind(JobId job, int cores) {
+  SNS_REQUIRE(cores >= 1, "bind() needs cores >= 1");
+  SNS_REQUIRE(!bound(job), "job already bound on this node");
+  SNS_REQUIRE(cores <= freeCores(), "not enough free cores to bind");
+
+  // Sockets own cores [0, half) and [half, total). Alternate between the
+  // sockets so allocations stay balanced.
+  const int half = mach_->cores / 2;
+  std::vector<int> picked;
+  picked.reserve(static_cast<std::size_t>(cores));
+  int cursor0 = 0;
+  int cursor1 = half;
+  bool socket0 = true;
+  while (static_cast<int>(picked.size()) < cores) {
+    bool advanced = false;
+    if (socket0) {
+      while (cursor0 < half && !free_[static_cast<std::size_t>(cursor0)]) ++cursor0;
+      if (cursor0 < half) {
+        picked.push_back(cursor0);
+        free_[static_cast<std::size_t>(cursor0)] = false;
+        ++cursor0;
+        advanced = true;
+      }
+    } else {
+      while (cursor1 < mach_->cores && !free_[static_cast<std::size_t>(cursor1)])
+        ++cursor1;
+      if (cursor1 < mach_->cores) {
+        picked.push_back(cursor1);
+        free_[static_cast<std::size_t>(cursor1)] = false;
+        ++cursor1;
+        advanced = true;
+      }
+    }
+    socket0 = !socket0;
+    if (!advanced && cursor0 >= half && cursor1 >= mach_->cores) {
+      break;  // both sockets exhausted (cannot happen given the fit check)
+    }
+  }
+  SNS_REQUIRE(static_cast<int>(picked.size()) == cores, "core binding fell short");
+  std::sort(picked.begin(), picked.end());
+  bindings_[job] = picked;
+  return picked;
+}
+
+void CoreBinder::unbind(JobId job) {
+  auto it = bindings_.find(job);
+  SNS_REQUIRE(it != bindings_.end(), "job not bound on this node");
+  for (int c : it->second) free_[static_cast<std::size_t>(c)] = true;
+  bindings_.erase(it);
+}
+
+const std::vector<int>& CoreBinder::binding(JobId job) const {
+  auto it = bindings_.find(job);
+  SNS_REQUIRE(it != bindings_.end(), "job not bound on this node");
+  return it->second;
+}
+
+int CoreBinder::freeCores() const {
+  return static_cast<int>(std::count(free_.begin(), free_.end(), true));
+}
+
+}  // namespace sns::actuator

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sns/actuator/node_ledger.hpp"
+
+namespace sns::actuator {
+
+/// Assigns concrete core IDs to jobs on one node (the cpuset / affinity
+/// binding the Uberun actuator performs, §5.1). Cores are handed out in
+/// socket-balanced order so a 16-process job lands 8+8 across the two
+/// sockets like the paper's runs.
+class CoreBinder {
+ public:
+  explicit CoreBinder(const hw::MachineConfig& mach) : mach_(&mach) {
+    free_.resize(static_cast<std::size_t>(mach.cores), true);
+  }
+
+  /// Bind `cores` cores for a job; returns the core IDs (socket-balanced).
+  /// Throws PreconditionError when not enough cores are free.
+  std::vector<int> bind(JobId job, int cores);
+
+  /// Release a job's binding.
+  void unbind(JobId job);
+
+  bool bound(JobId job) const { return bindings_.count(job) > 0; }
+  const std::vector<int>& binding(JobId job) const;
+  int freeCores() const;
+
+ private:
+  const hw::MachineConfig* mach_;
+  std::vector<bool> free_;
+  std::map<JobId, std::vector<int>> bindings_;
+};
+
+}  // namespace sns::actuator

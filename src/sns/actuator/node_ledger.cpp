@@ -1,0 +1,61 @@
+#include "sns/actuator/node_ledger.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::actuator {
+
+bool NodeLedger::fits(const NodeAllocation& r) const {
+  if (exclusive_) return false;  // resident exclusive job blocks all
+  if (r.exclusive && !allocs_.empty()) return false;
+  if (r.cores > idleCores()) return false;
+  if (r.ways > 0 && jobCount() >= mach_->max_llc_partitions) return false;
+  if (r.ways > freeWays()) return false;
+  if (r.bw_gbps > freeBandwidth() + 1e-9) return false;
+  if (r.net_gbps > freeNetwork() + 1e-9) return false;
+  return true;
+}
+
+void NodeLedger::allocate(JobId job, const NodeAllocation& alloc) {
+  SNS_REQUIRE(alloc.cores >= 1, "allocation needs at least one core");
+  SNS_REQUIRE(!holds(job), "job already holds resources on this node");
+  SNS_REQUIRE(alloc.ways == 0 || alloc.ways >= mach_->min_ways_per_job,
+              "CAT partitions need at least min_ways_per_job ways");
+  SNS_REQUIRE(fits(alloc), "allocation does not fit on node");
+  allocs_[job] = alloc;
+  cores_used_ += alloc.cores;
+  ways_reserved_ += alloc.ways;
+  bw_reserved_ += alloc.bw_gbps;
+  net_reserved_ += alloc.net_gbps;
+  if (alloc.exclusive) exclusive_ = true;
+}
+
+void NodeLedger::release(JobId job) {
+  auto it = allocs_.find(job);
+  SNS_REQUIRE(it != allocs_.end(), "job holds nothing on this node");
+  cores_used_ -= it->second.cores;
+  ways_reserved_ -= it->second.ways;
+  bw_reserved_ -= it->second.bw_gbps;
+  net_reserved_ -= it->second.net_gbps;
+  if (it->second.exclusive) exclusive_ = false;
+  allocs_.erase(it);
+}
+
+const NodeAllocation& NodeLedger::allocation(JobId job) const {
+  auto it = allocs_.find(job);
+  SNS_REQUIRE(it != allocs_.end(), "job holds nothing on this node");
+  return it->second;
+}
+
+double NodeLedger::effectiveWays(JobId job) const {
+  const auto& alloc = allocation(job);
+  if (alloc.exclusive || alloc.ways == 0) {
+    // Exclusive jobs own the whole cache; unpartitioned jobs compete for it
+    // (the contention model resolves the free-for-all split).
+    return alloc.ways == 0 ? 0.0 : static_cast<double>(mach_->llc_ways);
+  }
+  const double donated =
+      static_cast<double>(freeWays()) / static_cast<double>(jobCount());
+  return alloc.ways + donated;
+}
+
+}  // namespace sns::actuator

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sns/hw/machine.hpp"
+
+namespace sns::actuator {
+
+using JobId = std::int64_t;
+
+/// Resources one job holds on one node.
+struct NodeAllocation {
+  int cores = 0;
+  int ways = 0;          ///< CAT-partitioned ways; 0 = no partition (free sharing)
+  double bw_gbps = 0.0;  ///< bandwidth reservation (estimated, not enforced —
+                         ///< the paper's testbed lacks MBA, §4.4)
+  bool exclusive = false;  ///< the job claims the node exclusively (E mode)
+  /// NIC bandwidth reservation — the paper's §3.3 extension direction
+  /// ("inter-node network ... can be accommodated by the SNS scheduling
+  /// algorithm"). 0 when network management is off.
+  double net_gbps = 0.0;
+};
+
+/// Per-node resource accounting + CAT semantics: way partitioning with the
+/// hardware's constraints (minimum 2 ways per partition for associativity,
+/// at most 16 partitions, §5.1) and the SNS policy of donating unallocated
+/// ways to residents in equal shares, reclaimed when a new job arrives
+/// (§4.4).
+class NodeLedger {
+ public:
+  explicit NodeLedger(const hw::MachineConfig& mach) : mach_(&mach) {}
+
+  // ---- capacity queries -----------------------------------------------------
+  int idleCores() const { return mach_->cores - cores_used_; }
+  int freeWays() const { return mach_->llc_ways - ways_reserved_; }
+  double freeBandwidth() const { return mach_->peakBandwidth() - bw_reserved_; }
+  double freeNetwork() const { return mach_->net_bw_gbps - net_reserved_; }
+  int jobCount() const { return static_cast<int>(allocs_.size()); }
+  bool idle() const { return allocs_.empty(); }
+  bool hasExclusiveJob() const { return exclusive_; }
+
+  /// True if the requested allocation fits; exclusive requests need an
+  /// idle node; nothing fits next to an exclusive resident.
+  bool fits(const NodeAllocation& request) const;
+
+  /// Legacy convenience overload (no network term).
+  bool fits(int cores, int ways, double bw_gbps, bool exclusive) const {
+    return fits(NodeAllocation{cores, ways, bw_gbps, exclusive, 0.0});
+  }
+
+  // ---- occupancy fractions for the SNS node score (§4.4) --------------------
+  double coreOccupancy() const {
+    return static_cast<double>(cores_used_) / mach_->cores;
+  }
+  double wayOccupancy() const {
+    return static_cast<double>(ways_reserved_) / mach_->llc_ways;
+  }
+  double bwOccupancy() const { return bw_reserved_ / mach_->peakBandwidth(); }
+
+  /// The paper's node-selection metric Co + Bo + beta x Wo.
+  double score(double beta) const {
+    return coreOccupancy() + bwOccupancy() + beta * wayOccupancy();
+  }
+
+  // ---- allocation lifecycle -------------------------------------------------
+  /// Reserve resources for a job; throws PreconditionError if it does not
+  /// fit or violates CAT constraints.
+  void allocate(JobId job, const NodeAllocation& alloc);
+  /// Release a job's resources; throws if the job holds nothing here.
+  void release(JobId job);
+  bool holds(JobId job) const { return allocs_.count(job) > 0; }
+  const NodeAllocation& allocation(JobId job) const;
+  const std::map<JobId, NodeAllocation>& allocations() const { return allocs_; }
+
+  /// Ways actually backing a job's data right now: its partition plus an
+  /// equal share of all unallocated ways (CAT partitions can overlap, so
+  /// leftover capacity is donated and reclaimed dynamically).
+  double effectiveWays(JobId job) const;
+
+  const hw::MachineConfig& machine() const { return *mach_; }
+
+ private:
+  const hw::MachineConfig* mach_;
+  std::map<JobId, NodeAllocation> allocs_;
+  int cores_used_ = 0;
+  int ways_reserved_ = 0;
+  double bw_reserved_ = 0.0;
+  double net_reserved_ = 0.0;
+  bool exclusive_ = false;
+};
+
+}  // namespace sns::actuator

@@ -1,0 +1,143 @@
+#include "sns/actuator/resource_ledger.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::actuator {
+
+ResourceLedger::ResourceLedger(int nodes, const hw::MachineConfig& mach)
+    : mach_(&mach) {
+  SNS_REQUIRE(nodes >= 1, "ResourceLedger needs at least one node");
+  nodes_.assign(static_cast<std::size_t>(nodes), NodeLedger(mach));
+  auto& idle_group = groups_[mach.cores];
+  for (int i = 0; i < nodes; ++i) idle_group.insert(i);
+}
+
+const NodeLedger& ResourceLedger::node(int id) const {
+  SNS_REQUIRE(id >= 0 && id < nodeCount(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeLedger& ResourceLedger::mutableNode(int id) {
+  SNS_REQUIRE(id >= 0 && id < nodeCount(), "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+void ResourceLedger::reindex(int id, int old_idle) {
+  const int new_idle = node(id).idleCores();
+  if (new_idle == old_idle) return;
+  auto it = groups_.find(old_idle);
+  SNS_REQUIRE(it != groups_.end() && it->second.erase(id) == 1,
+              "ledger group index corrupt");
+  if (it->second.empty()) groups_.erase(it);
+  groups_[new_idle].insert(id);
+}
+
+void ResourceLedger::allocate(int nd, JobId job, const NodeAllocation& alloc) {
+  const int old_idle = node(nd).idleCores();
+  mutableNode(nd).allocate(job, alloc);
+  reindex(nd, old_idle);
+}
+
+void ResourceLedger::release(int nd, JobId job) {
+  const int old_idle = node(nd).idleCores();
+  mutableNode(nd).release(job);
+  reindex(nd, old_idle);
+}
+
+std::vector<int> ResourceLedger::feasibleNodes(const NodeAllocation& request) const {
+  std::vector<int> out;
+  for (auto it = groups_.rbegin(); it != groups_.rend(); ++it) {
+    if (it->first < request.cores) break;  // remaining groups have fewer idle cores
+    for (int id : it->second) {
+      if (node(id).fits(request)) out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<int> ResourceLedger::selectNodes(int count, const NodeAllocation& request,
+                                             double beta) const {
+  SNS_REQUIRE(count >= 1, "selectNodes() needs count >= 1");
+
+  auto byScore = [&](int a, int b) {
+    const double sa = node(a).score(beta);
+    const double sb = node(b).score(beta);
+    if (sa != sb) return sa < sb;
+    return a < b;  // deterministic tie-break
+  };
+
+  // Walk feasible groups best-fit first (least idle cores that still hold
+  // the request): the first group that can satisfy the whole request on
+  // its own wins, which keeps per-group consumption even and preserves
+  // fully idle nodes for large jobs (the paper's fragmentation-reduction
+  // rule, §4.4). Within a group, the least-loaded nodes win by the score
+  // Co + Bo + beta x Wo. If no single group suffices, fall back to the
+  // idlest feasible nodes cluster-wide. Bucket scans are capped so a
+  // single placement stays sub-linear on 32K-node clusters.
+  const std::size_t scan_cap =
+      std::max<std::size_t>(64, 2 * static_cast<std::size_t>(count) + 8);
+  std::vector<int> accumulated;
+  for (auto it = groups_.lower_bound(request.cores); it != groups_.end(); ++it) {
+    std::vector<int> in_group;
+    for (int id : it->second) {
+      if (node(id).fits(request)) in_group.push_back(id);
+      if (in_group.size() >= scan_cap) break;
+    }
+    if (static_cast<int>(in_group.size()) >= count) {
+      std::sort(in_group.begin(), in_group.end(), byScore);
+      in_group.resize(static_cast<std::size_t>(count));
+      return in_group;
+    }
+    accumulated.insert(accumulated.end(), in_group.begin(), in_group.end());
+  }
+  if (static_cast<int>(accumulated.size()) < count) return {};
+  std::sort(accumulated.begin(), accumulated.end(), byScore);
+  accumulated.resize(static_cast<std::size_t>(count));
+  return accumulated;
+}
+
+std::vector<int> ResourceLedger::selectNodesByAlignment(
+    int count, const NodeAllocation& request) const {
+  SNS_REQUIRE(count >= 1, "selectNodesByAlignment() needs count >= 1");
+  auto candidates = feasibleNodes(request);
+  if (static_cast<int>(candidates.size()) < count) return {};
+
+  // Normalize each dimension by its node capacity so cores, ways, memory
+  // bandwidth and NIC bandwidth weigh equally.
+  const double req[4] = {
+      static_cast<double>(request.cores) / mach_->cores,
+      static_cast<double>(request.ways) / mach_->llc_ways,
+      request.bw_gbps / mach_->peakBandwidth(),
+      request.net_gbps / mach_->net_bw_gbps,
+  };
+  auto alignment = [&](int id) {
+    const NodeLedger& n = node(id);
+    const double free[4] = {
+        static_cast<double>(n.idleCores()) / mach_->cores,
+        static_cast<double>(n.freeWays()) / mach_->llc_ways,
+        n.freeBandwidth() / mach_->peakBandwidth(),
+        n.freeNetwork() / mach_->net_bw_gbps,
+    };
+    double dot = 0.0;
+    for (int d = 0; d < 4; ++d) dot += req[d] * free[d];
+    return dot;
+  };
+
+  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+    const double da = alignment(a);
+    const double db = alignment(b);
+    if (da != db) return da > db;  // best alignment first
+    return a < b;
+  });
+  candidates.resize(static_cast<std::size_t>(count));
+  return candidates;
+}
+
+int ResourceLedger::idleNodeCount() const {
+  auto it = groups_.find(mach_->cores);
+  return it == groups_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+}  // namespace sns::actuator

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sns/actuator/node_ledger.hpp"
+#include "sns/hw/machine.hpp"
+
+namespace sns::actuator {
+
+/// Cluster-wide resource bookkeeping: one NodeLedger per node plus the node
+/// selection machinery the SNS scheduler uses (§4.4): nodes are clustered
+/// into groups by idle-core count; a job is first placed within a single
+/// group (to keep per-group consumption even and reduce fragmentation),
+/// falling back to the whole cluster; among candidates the least-loaded
+/// nodes win, by the score Co + Bo + beta x Wo.
+///
+/// Nodes are indexed by idle-core count so selection stays fast on
+/// 32K-node clusters (the paper's Fig 20 simulations): groups are walked
+/// from most-idle down, and the walk stops as soon as groups cannot hold
+/// the per-node core request.
+class ResourceLedger {
+ public:
+  ResourceLedger(int nodes, const hw::MachineConfig& mach);
+
+  int nodeCount() const { return static_cast<int>(nodes_.size()); }
+  const NodeLedger& node(int id) const;
+
+  /// All mutations go through the ledger so the idle-core index stays
+  /// consistent.
+  void allocate(int node, JobId job, const NodeAllocation& alloc);
+  void release(int node, JobId job);
+
+  /// Nodes where the request fits (unordered).
+  std::vector<int> feasibleNodes(const NodeAllocation& request) const;
+  std::vector<int> feasibleNodes(int cores, int ways, double bw_gbps,
+                                 bool exclusive) const {
+    return feasibleNodes(NodeAllocation{cores, ways, bw_gbps, exclusive, 0.0});
+  }
+
+  /// Pick `count` nodes for the request following the SNS selection rules.
+  /// Returns an empty vector if fewer than `count` nodes qualify.
+  std::vector<int> selectNodes(int count, const NodeAllocation& request,
+                               double beta = 2.0) const;
+
+  /// Alternative selection by the dot-product vector-bin-packing heuristic
+  /// (the "more advanced packing algorithms" the paper's §7 points to):
+  /// among feasible nodes, prefer those whose *free* capacity vector aligns
+  /// best with the request vector, so multi-dimensional waste is minimized.
+  /// No group preference; purely alignment-ranked.
+  std::vector<int> selectNodesByAlignment(int count,
+                                          const NodeAllocation& request) const;
+  std::vector<int> selectNodes(int count, int cores, int ways, double bw_gbps,
+                               bool exclusive, double beta = 2.0) const {
+    return selectNodes(count, NodeAllocation{cores, ways, bw_gbps, exclusive, 0.0},
+                       beta);
+  }
+
+  /// Count of completely idle nodes (for CE feasibility checks).
+  int idleNodeCount() const;
+
+  /// Number of nodes currently running at least one job.
+  int busyNodeCount() const { return nodeCount() - idleNodeCount(); }
+
+  const hw::MachineConfig& machine() const { return *mach_; }
+
+ private:
+  NodeLedger& mutableNode(int id);
+  void reindex(int id, int old_idle);
+
+  const hw::MachineConfig* mach_;
+  std::vector<NodeLedger> nodes_;
+  /// idle-core count -> node ids (the paper's node groups)
+  std::map<int, std::set<int>> groups_;
+};
+
+}  // namespace sns::actuator

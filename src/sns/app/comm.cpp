@@ -1,0 +1,52 @@
+#include "sns/app/comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+
+std::string to_string(CommPattern p) {
+  switch (p) {
+    case CommPattern::kNone: return "none";
+    case CommPattern::kRing: return "ring";
+    case CommPattern::kAllToAll: return "all-to-all";
+    case CommPattern::kButterfly: return "butterfly";
+  }
+  return "unknown";
+}
+
+CommPattern commPatternFromString(const std::string& s) {
+  if (s == "none") return CommPattern::kNone;
+  if (s == "ring") return CommPattern::kRing;
+  if (s == "all-to-all") return CommPattern::kAllToAll;
+  if (s == "butterfly") return CommPattern::kButterfly;
+  throw util::DataError("unknown comm pattern: " + s);
+}
+
+double remoteFraction(CommPattern pattern, int total_procs, int procs_per_node, int nodes) {
+  SNS_REQUIRE(total_procs >= 1, "remoteFraction() needs total_procs >= 1");
+  SNS_REQUIRE(procs_per_node >= 1, "remoteFraction() needs procs_per_node >= 1");
+  SNS_REQUIRE(nodes >= 1, "remoteFraction() needs nodes >= 1");
+  if (nodes == 1 || total_procs == 1) return 0.0;
+  const double P = total_procs;
+  const double c = std::min<double>(procs_per_node, total_procs);
+  switch (pattern) {
+    case CommPattern::kNone:
+      return 0.0;
+    case CommPattern::kRing:
+      // Block decomposition of a ring: each node hosts c consecutive ranks;
+      // of the 2c neighbour links per node, 2 cross the node boundary.
+      return std::min(1.0, 1.0 / c);
+    case CommPattern::kAllToAll:
+      // Uniform peer choice: a peer is remote with probability (P-c)/(P-1).
+      return (P - c) / (P - 1.0);
+    case CommPattern::kButterfly:
+      // log2(P) exchange rounds; the last log2(nodes) rounds are remote.
+      return std::log2(static_cast<double>(nodes)) / std::log2(std::max(2.0, P));
+  }
+  return 0.0;
+}
+
+}  // namespace sns::app

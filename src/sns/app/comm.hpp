@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+namespace sns::app {
+
+/// Inter-process communication topology of a parallel program. Determines
+/// what fraction of a job's traffic crosses node boundaries when the job is
+/// spread over multiple nodes.
+enum class CommPattern {
+  kNone,       ///< independent tasks (replicated sequential jobs, EP-style)
+  kRing,       ///< 1-D halo exchange / nearest neighbour (stencils: MG, LU)
+  kAllToAll,   ///< uniform pairwise traffic (shuffles, random graph access)
+  kButterfly,  ///< log-structured exchange (sorting, reductions)
+};
+
+std::string to_string(CommPattern p);
+CommPattern commPatternFromString(const std::string& s);
+
+/// Communication volume and shape of one program.
+struct CommSpec {
+  CommPattern pattern = CommPattern::kNone;
+  /// Fraction of the reference (1-node, exclusive) run time spent in
+  /// communication/synchronization. The paper's Fig 7 reports <10% for the
+  /// NPB programs. Absolute byte volumes are derived from this during
+  /// calibration.
+  double comm_frac_ref = 0.0;
+  /// Small-message count per process (adds latency cost when remote).
+  double msgs_per_proc = 0.0;
+  /// Fraction of the communication slot that is synchronization wait caused
+  /// by inter-process progress jitter. Contention inflates it; spreading
+  /// (which removes contention) deflates it — this reproduces CG's
+  /// communication-side benefit from spreading in the paper's Fig 7.
+  double sync_wait_frac = 0.0;
+};
+
+/// Fraction of pairwise traffic that crosses node boundaries for a job of
+/// `total_procs` processes placed `procs_per_node` to a node on `nodes`
+/// nodes. Returns 0 for a single node.
+double remoteFraction(CommPattern pattern, int total_procs, int procs_per_node, int nodes);
+
+}  // namespace sns::app

@@ -1,0 +1,72 @@
+#include "sns/app/jobspec_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+
+util::Json jobSpecToJson(const JobSpec& spec) {
+  util::Json j;
+  j["program"] = util::Json(spec.program);
+  j["procs"] = util::Json(spec.procs);
+  j["alpha"] = util::Json(spec.alpha);
+  j["submit"] = util::Json(spec.submit_time);
+  j["repeats"] = util::Json(spec.repeats);
+  j["ce_time_override"] = util::Json(spec.ce_time_override);
+  return j;
+}
+
+JobSpec jobSpecFromJson(const util::Json& j) {
+  JobSpec spec;
+  spec.program = j.get("program").asString();
+  if (spec.program.empty()) throw util::DataError("job needs a program name");
+  if (j.has("procs")) spec.procs = static_cast<int>(j.get("procs").asNumber());
+  if (spec.procs < 1) throw util::DataError("job needs procs >= 1");
+  if (j.has("alpha")) spec.alpha = j.get("alpha").asNumber();
+  if (spec.alpha <= 0.0 || spec.alpha > 1.0) {
+    throw util::DataError("alpha must be in (0, 1]");
+  }
+  if (j.has("submit")) spec.submit_time = j.get("submit").asNumber();
+  if (j.has("repeats")) spec.repeats = static_cast<int>(j.get("repeats").asNumber());
+  if (spec.repeats < 1) throw util::DataError("repeats must be >= 1");
+  if (j.has("ce_time_override")) {
+    spec.ce_time_override = j.get("ce_time_override").asNumber();
+  }
+  return spec;
+}
+
+util::Json jobListToJson(const std::vector<JobSpec>& jobs) {
+  util::Json::Array arr;
+  arr.reserve(jobs.size());
+  for (const auto& j : jobs) arr.push_back(jobSpecToJson(j));
+  util::Json out;
+  out["jobs"] = util::Json(std::move(arr));
+  return out;
+}
+
+std::vector<JobSpec> jobListFromJson(const util::Json& j) {
+  std::vector<JobSpec> out;
+  for (const auto& job : j.get("jobs").asArray()) {
+    out.push_back(jobSpecFromJson(job));
+  }
+  return out;
+}
+
+void saveJobList(const std::string& path, const std::vector<JobSpec>& jobs) {
+  std::ofstream out(path);
+  if (!out) throw util::DataError("cannot open for writing: " + path);
+  out << jobListToJson(jobs).dump(2) << "\n";
+  if (!out) throw util::DataError("write failed: " + path);
+}
+
+std::vector<JobSpec> loadJobList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::DataError("cannot open for reading: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return jobListFromJson(util::Json::parse(ss.str()));
+}
+
+}  // namespace sns::app

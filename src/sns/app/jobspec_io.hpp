@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sns/app/workload_gen.hpp"
+#include "sns/util/json.hpp"
+
+namespace sns::app {
+
+/// JSON (de)serialization for job specs, used by the CLI and for archiving
+/// generated sequences. A job object looks like
+///   {"program": "MG", "procs": 16, "alpha": 0.9, "submit": 0,
+///    "repeats": 1, "ce_time_override": 0}
+/// with everything but "program" optional.
+util::Json jobSpecToJson(const JobSpec& spec);
+JobSpec jobSpecFromJson(const util::Json& j);
+
+util::Json jobListToJson(const std::vector<JobSpec>& jobs);
+std::vector<JobSpec> jobListFromJson(const util::Json& j);
+
+/// File helpers; throw DataError on I/O or parse problems.
+void saveJobList(const std::string& path, const std::vector<JobSpec>& jobs);
+std::vector<JobSpec> loadJobList(const std::string& path);
+
+}  // namespace sns::app

@@ -1,0 +1,201 @@
+#include "sns/app/library.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+
+namespace {
+
+// Shorthand builders keep the table below readable.
+ProgramModel base(std::string name, Framework fw, double solo_ref) {
+  ProgramModel p;
+  p.name = std::move(name);
+  p.framework = fw;
+  p.solo_time_ref = solo_ref;
+  p.ref_procs = 16;
+  return p;
+}
+
+}  // namespace
+
+std::vector<ProgramModel> programLibrary() {
+  std::vector<ProgramModel> lib;
+
+  // ---- WC: HiBench WordCount (Spark, "bigdata" size). Neutral class:
+  // light bandwidth, shallow cache demand, small shuffle.
+  {
+    ProgramModel p = base("WC", Framework::kSpark, 180.0);
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.030;
+    p.mlp = 3.0;
+    p.miss = {0.70, 0.12, 0.45, 1.6};
+    p.comm = {CommPattern::kAllToAll, 0.03, 3.0e6, 0.2};
+    p.phases = {{0.6, 1.2}, {0.4, 0.7}};  // map phase vs reduce phase
+    lib.push_back(p);
+  }
+
+  // ---- TS: HiBench TeraSort (Spark, "huge" size). Scaling class via cache:
+  // "TS enjoys larger caches for its sorting" (§6.1); ideal scale 8.
+  {
+    ProgramModel p = base("TS", Framework::kSpark, 360.0);
+    p.cpi_core = 0.7;
+    p.mem_refs_per_instr = 0.022;
+    p.mlp = 3.0;
+    p.miss = {0.80, 0.10, 3.0, 1.3};
+    p.comm = {CommPattern::kButterfly, 0.08, 2.0e6, 0.25};
+    p.phases = {{0.5, 1.3}, {0.5, 0.7}};  // shuffle-heavy vs merge phases
+    lib.push_back(p);
+  }
+
+  // ---- NW: HiBench NWeight (Spark, "large"). Neutral: very cache-hungry
+  // (nearly all ways in Fig 12) but iterative shuffles eat the spread gain.
+  {
+    ProgramModel p = base("NW", Framework::kSpark, 420.0);
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.018;
+    p.mlp = 2.0;
+    p.miss = {0.85, 0.28, 4.5, 1.1};
+    p.comm = {CommPattern::kButterfly, 0.04, 7.0e7, 0.15};
+    lib.push_back(p);
+  }
+
+  // ---- GAN: DCGAN training (TensorFlow-Examples, batch 32). Multi-threaded
+  // but single-node (§6.1). Moderate cache and bandwidth appetite.
+  {
+    ProgramModel p = base("GAN", Framework::kTensorFlow, 300.0);
+    p.multi_node = false;
+    p.cpi_core = 0.6;
+    p.mem_refs_per_instr = 0.020;
+    p.mlp = 4.0;
+    p.miss = {0.75, 0.15, 0.7, 1.5};
+    p.comm = {CommPattern::kNone, 0.0, 0.0, 0.0};
+    p.phases = {{0.5, 1.25}, {0.5, 0.75}};  // generator vs discriminator steps
+    lib.push_back(p);
+  }
+
+  // ---- RNN: dynamic RNN training (TensorFlow-Examples, batch 128).
+  // Single-node, lighter on memory than GAN.
+  {
+    ProgramModel p = base("RNN", Framework::kTensorFlow, 250.0);
+    p.multi_node = false;
+    p.cpi_core = 0.6;
+    p.mem_refs_per_instr = 0.012;
+    p.mlp = 4.0;
+    p.miss = {0.65, 0.12, 0.60, 1.6};
+    p.comm = {CommPattern::kNone, 0.0, 0.0, 0.0};
+    lib.push_back(p);
+  }
+
+  // ---- MG: NPB MultiGrid, class D. The paper's flagship bandwidth-bound
+  // program: 112 GB/s on one node (Fig 4), 90% performance with only 3 LLC
+  // ways (Fig 6/12), scales to 8 nodes. Fig 1 runs it 5 times back-to-back.
+  {
+    ProgramModel p = base("MG", Framework::kMpi, 95.0);
+    p.pow2_procs = true;
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.35;
+    p.mlp = 12.0;
+    p.dram_latency_cycles = 180.0;
+    p.miss = {0.85, 0.45, 0.20, 2.2};
+    p.comm = {CommPattern::kRing, 0.08, 5.0e5, 0.6};
+    lib.push_back(p);
+  }
+
+  // ---- CG: NPB Conjugate Gradient, class D. Random access, latency-bound
+  // (low MLP), cache-friendly up to ~10 ways, 42.9 GB/s; peaks at scale 2
+  // (+13%) largely from reduced sync wait (Fig 7).
+  {
+    ProgramModel p = base("CG", Framework::kMpi, 210.0);
+    p.pow2_procs = true;
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.197;
+    p.mlp = 3.0;
+    p.miss = {0.85, 0.32, 1.10, 2.2};
+    p.comm = {CommPattern::kButterfly, 0.16, 3.0e7, 0.90};
+    lib.push_back(p);
+  }
+
+  // ---- EP: NPB Embarrassingly Parallel, class D. Pure compute: 0.09 GB/s,
+  // happy with 2 ways, scale-agnostic (neutral).
+  {
+    ProgramModel p = base("EP", Framework::kMpi, 120.0);
+    p.pow2_procs = true;
+    p.cpi_core = 0.75;
+    p.mem_refs_per_instr = 0.0005;
+    p.mlp = 4.0;
+    p.miss = {0.30, 0.05, 0.05, 1.5};
+    p.comm = {CommPattern::kButterfly, 0.01, 1.0e3, 0.5};
+    lib.push_back(p);
+  }
+
+  // ---- LU: NPB Lower-Upper Gauss-Seidel, class D. Bandwidth-intensive
+  // scaling program (>30% speedup at 8 nodes, Fig 13).
+  {
+    ProgramModel p = base("LU", Framework::kMpi, 400.0);
+    p.pow2_procs = true;
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.30;
+    p.mlp = 14.0;
+    p.miss = {0.85, 0.38, 0.45, 1.8};
+    p.comm = {CommPattern::kRing, 0.08, 4.0e6, 0.4};
+    lib.push_back(p);
+  }
+
+  // ---- BFS: Graph500 breadth-first search, scale 24. The only compact
+  // program: cache-hungry (≈18 ways in Fig 12), and spreading inflates its
+  // instruction stream, memory traffic and miss rate (Figs 4, 5, 7).
+  {
+    ProgramModel p = base("BFS", Framework::kMpi, 240.0);
+    p.pow2_procs = true;
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.020;
+    p.mlp = 1.2;
+    p.dram_latency_cycles = 220.0;
+    p.miss = {0.75, 0.22, 4.0, 1.0};
+    p.comm = {CommPattern::kAllToAll, 0.06, 8.0e6, 0.4};
+    p.spread_instr_overhead = 0.15;
+    p.spread_mem_overhead = 0.5;
+    p.spread_miss_boost = 0.20;
+    lib.push_back(p);
+  }
+
+  // ---- HC: SPEC CPU 2006 h264ref (video coding), ref input, 16 replicated
+  // instances. CPU-bound neutral filler; content with 2 ways.
+  {
+    ProgramModel p = base("HC", Framework::kReplicated, 485.0);
+    p.cpi_core = 0.65;
+    p.mem_refs_per_instr = 0.006;
+    p.mlp = 3.0;
+    p.miss = {0.45, 0.08, 0.15, 1.8};
+    p.comm = {CommPattern::kNone, 0.0, 0.0, 0.0};
+    lib.push_back(p);
+  }
+
+  // ---- BW: SPEC CPU 2006 bwaves (blast-wave CFD), ref input, replicated.
+  // Bandwidth-intensive scaling program, no communication.
+  {
+    ProgramModel p = base("BW", Framework::kReplicated, 700.0);
+    p.cpi_core = 0.8;
+    p.mem_refs_per_instr = 0.32;
+    p.mlp = 13.0;
+    p.miss = {0.85, 0.38, 0.45, 1.6};
+    p.comm = {CommPattern::kNone, 0.0, 0.0, 0.0};
+    lib.push_back(p);
+  }
+
+  return lib;
+}
+
+std::vector<std::string> programNames() {
+  return {"WC", "TS", "NW", "GAN", "RNN", "MG", "CG", "EP", "LU", "BFS", "HC", "BW"};
+}
+
+const ProgramModel& findProgram(const std::vector<ProgramModel>& lib,
+                                const std::string& name) {
+  for (const auto& p : lib) {
+    if (p.name == name) return p;
+  }
+  throw util::DataError("program not in library: " + name);
+}
+
+}  // namespace sns::app

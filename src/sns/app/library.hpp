@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sns/app/program.hpp"
+
+namespace sns::app {
+
+/// The paper's 12-program workload set (§6.1): 3 Spark programs from
+/// HiBench, 2 TensorFlow-Examples programs, 4 NPB MPI programs, Graph500
+/// BFS, and 2 replicated SPEC CPU 2006 programs. Parameters are calibrated
+/// so the model reproduces the published characterization: Fig 12 (ways for
+/// 90% performance + bandwidth), Fig 13 (scale-out speedups and the
+/// scaling/neutral/compact classes), and the §2 deep-dive numbers for
+/// MG/CG/EP/BFS (Figs 2-7). The returned models are *not* yet calibrated to
+/// a machine; pass them through perfmodel::Estimator::calibrate (or use
+/// calibratedLibrary()).
+std::vector<ProgramModel> programLibrary();
+
+/// Names in canonical paper order: WC TS NW GAN RNN MG CG EP LU BFS HC BW.
+std::vector<std::string> programNames();
+
+/// Find a program by name in a library vector; throws DataError if absent.
+const ProgramModel& findProgram(const std::vector<ProgramModel>& lib,
+                                const std::string& name);
+
+}  // namespace sns::app

@@ -1,0 +1,18 @@
+#include "sns/app/miss_curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+
+double MissCurve::at(double mb_per_proc) const {
+  SNS_REQUIRE(half_mb > 0.0, "MissCurve::half_mb must be positive");
+  SNS_REQUIRE(shape > 0.0, "MissCurve::shape must be positive");
+  const double x = std::max(mb_per_proc, 1e-6);
+  const double m = m_warm + (m_cold - m_warm) / (1.0 + std::pow(x / half_mb, shape));
+  return std::clamp(m, 0.0, 1.0);
+}
+
+}  // namespace sns::app

@@ -1,0 +1,24 @@
+#pragma once
+
+namespace sns::app {
+
+/// LLC miss ratio (misses per LLC access) as a function of cache capacity
+/// available to one process, in MB. Uses a hill/logistic form
+///
+///   m(x) = m_warm + (m_cold - m_warm) / (1 + (x / half_mb)^shape)
+///
+/// which covers the behaviours in the paper's Figs 5-6: streaming programs
+/// (MG) have a high floor but reach it with little cache; cache-friendly
+/// programs (CG, NW, BFS) keep improving up to nearly the full LLC; EP-style
+/// compute-bound programs miss almost never at any size.
+struct MissCurve {
+  double m_cold = 0.9;   ///< miss ratio with almost no cache
+  double m_warm = 0.05;  ///< asymptotic miss ratio with ample cache
+  double half_mb = 1.0;  ///< capacity at which the improvement is half done
+  double shape = 2.0;    ///< steepness of the transition (> 0)
+
+  /// Evaluate at `mb_per_proc` megabytes of LLC available per process.
+  double at(double mb_per_proc) const;
+};
+
+}  // namespace sns::app

@@ -1,0 +1,36 @@
+#include "sns/app/program.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+
+std::string to_string(Framework f) {
+  switch (f) {
+    case Framework::kMpi: return "MPI";
+    case Framework::kSpark: return "Spark";
+    case Framework::kTensorFlow: return "TensorFlow";
+    case Framework::kReplicated: return "Replicated";
+  }
+  return "unknown";
+}
+
+double ProgramModel::missRatio(double mb_per_proc, double remote_frac) const {
+  const double m = miss.at(mb_per_proc) + spread_miss_boost * remote_frac;
+  return std::clamp(m, 0.0, 1.0);
+}
+
+std::vector<Phase> ProgramModel::effectivePhases() const {
+  if (phases.empty()) return {{1.0, 1.0}};
+  double total = 0.0;
+  for (const auto& p : phases) {
+    SNS_REQUIRE(p.weight > 0.0, "phase weights must be positive");
+    total += p.weight;
+  }
+  std::vector<Phase> out = phases;
+  for (auto& p : out) p.weight /= total;
+  return out;
+}
+
+}  // namespace sns::app

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sns/app/comm.hpp"
+#include "sns/app/miss_curve.hpp"
+
+namespace sns::app {
+
+/// Parallel framework a program runs on. Uberun co-schedules jobs across
+/// frameworks (paper §3.3); in the reproduction the framework mainly tags
+/// provenance and constrains scaling (TensorFlow programs are single-node).
+enum class Framework { kMpi, kSpark, kTensorFlow, kReplicated };
+
+std::string to_string(Framework f);
+
+/// A phase of execution with distinct memory behaviour. The profiler
+/// rotates LLC allocations over time, so multi-phase programs yield biased
+/// profiles — the paper's first explanation for slowdown-threshold
+/// violations (§6.2). Weights are fractions of total instructions and must
+/// sum to ~1; intensity multiplies the program's memory refs/instruction.
+struct Phase {
+  double weight = 1.0;
+  double mem_intensity = 1.0;
+};
+
+/// Ground-truth model of one program. Everything the evaluation needs —
+/// IPC-LLC curves, bandwidth curves, scaling speedups, miss rates — derives
+/// from these parameters through sns::perfmodel. Two fields
+/// (instructions_per_proc, comm_gb_per_proc) are filled in by calibration
+/// against `solo_time_ref` on a concrete machine.
+struct ProgramModel {
+  std::string name;
+  Framework framework = Framework::kMpi;
+
+  // ---- reference run (used for calibration) -------------------------------
+  /// Processes (or replicated instances / threads) in the reference run.
+  int ref_procs = 16;
+  /// Measured execution time of the reference run: `ref_procs` processes on
+  /// one node, exclusive, full LLC. Paper sizes inputs for 50-1200 s runs.
+  double solo_time_ref = 100.0;
+
+  // ---- compute/memory behaviour -------------------------------------------
+  /// Cycles per instruction with all memory references hitting in cache.
+  double cpi_core = 0.8;
+  /// LLC references per instruction (loads missing the private levels).
+  double mem_refs_per_instr = 0.01;
+  /// Miss ratio vs per-process LLC capacity.
+  MissCurve miss;
+  /// Average DRAM access latency in cycles, before MLP overlap.
+  double dram_latency_cycles = 180.0;
+  /// Memory-level parallelism: how many misses overlap. Streaming codes
+  /// (MG, LU, BW) have high MLP; pointer-chasing codes (CG, BFS) low.
+  double mlp = 4.0;
+  /// Bytes of DRAM traffic per LLC miss (line fill + write-back share).
+  double bytes_per_miss = 80.0;
+
+  // ---- communication -------------------------------------------------------
+  CommSpec comm;
+
+  // ---- spreading side effects ----------------------------------------------
+  /// Extra instructions executed per unit of remote traffic fraction
+  /// (different code paths for inter-node communication; BFS in Fig 5/7).
+  double spread_instr_overhead = 0.0;
+  /// Extra LLC refs/instruction per unit remote fraction (communication
+  /// buffers polluting the hierarchy; raises BFS's miss rate when spread).
+  double spread_mem_overhead = 0.0;
+  /// Additive miss-ratio boost per unit remote fraction.
+  double spread_miss_boost = 0.0;
+
+  // ---- scheduling constraints ----------------------------------------------
+  /// False for programs that cannot span nodes (the paper's GAN/RNN).
+  bool multi_node = true;
+  /// MPI programs need power-of-two process-per-node splits in the paper's
+  /// runs; generators respect this when picking job sizes.
+  bool pow2_procs = false;
+
+  // ---- execution phases ----------------------------------------------------
+  /// Empty means a single homogeneous phase.
+  std::vector<Phase> phases;
+
+  // ---- calibration products (filled by perfmodel::Estimator) ---------------
+  double instructions_per_proc = 0.0;  ///< total retired instructions / process
+  double comm_gb_per_proc = 0.0;       ///< total communication volume / process
+  double ref_node_pressure = 0.0;      ///< node BW / peak in the reference run
+
+  bool calibrated() const { return instructions_per_proc > 0.0; }
+
+  /// Memory refs per instruction including spread-out side effects.
+  double memRefs(double remote_frac) const {
+    return mem_refs_per_instr * (1.0 + spread_mem_overhead * remote_frac);
+  }
+
+  /// Miss ratio at the given per-process capacity and remote fraction.
+  double missRatio(double mb_per_proc, double remote_frac) const;
+
+  /// Instruction inflation factor when spread (>= 1).
+  double instrFactor(double remote_frac) const {
+    return 1.0 + spread_instr_overhead * remote_frac;
+  }
+
+  /// Weighted phases; returns {{1.0, 1.0}} when `phases` is empty.
+  std::vector<Phase> effectivePhases() const;
+};
+
+}  // namespace sns::app

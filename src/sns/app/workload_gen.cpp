@@ -1,0 +1,85 @@
+#include "sns/app/workload_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+
+std::vector<JobSpec> randomSequence(util::Rng& rng, const std::vector<ProgramModel>& lib,
+                                    int jobs, double alpha) {
+  SNS_REQUIRE(!lib.empty(), "randomSequence() needs a non-empty library");
+  SNS_REQUIRE(jobs > 0, "randomSequence() needs jobs > 0");
+  std::vector<JobSpec> seq;
+  seq.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    const auto& prog = lib[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(lib.size()) - 1))];
+    JobSpec j;
+    j.program = prog.name;
+    j.alpha = alpha;
+    // Rigid power-of-two programs use 16 processes; flexible ones use 16 or
+    // 28 ("to match the core count per node"). Single-node TensorFlow
+    // programs stay at their reference thread count.
+    if (prog.pow2_procs || !prog.multi_node) {
+      j.procs = prog.ref_procs;
+    } else {
+      j.procs = rng.chance(0.5) ? 16 : 28;
+    }
+    seq.push_back(j);
+  }
+  return seq;
+}
+
+double scalingRatio(const std::vector<JobSpec>& seq,
+                    const std::vector<std::string>& scaling_programs,
+                    const CeTimeFn& ce_time) {
+  SNS_REQUIRE(!seq.empty(), "scalingRatio() of empty sequence");
+  double scaling_core_hours = 0.0;
+  double total_core_hours = 0.0;
+  for (const auto& j : seq) {
+    const double ch = ce_time(j) * j.procs * j.repeats;
+    total_core_hours += ch;
+    if (std::find(scaling_programs.begin(), scaling_programs.end(), j.program) !=
+        scaling_programs.end()) {
+      scaling_core_hours += ch;
+    }
+  }
+  SNS_REQUIRE(total_core_hours > 0.0, "scalingRatio() needs positive core-hours");
+  return scaling_core_hours / total_core_hours;
+}
+
+std::vector<JobSpec> ratioControlledMix(util::Rng& rng, const std::string& scaling_prog,
+                                        const std::string& neutral_prog, int total_jobs,
+                                        int procs, double target_ratio,
+                                        const CeTimeFn& ce_time, double alpha) {
+  SNS_REQUIRE(total_jobs > 0, "ratioControlledMix() needs total_jobs > 0");
+  SNS_REQUIRE(target_ratio >= 0.0 && target_ratio <= 1.0,
+              "target_ratio must be in [0, 1]");
+  JobSpec s{scaling_prog, procs, alpha, 0.0, 1};
+  JobSpec n{neutral_prog, procs, alpha, 0.0, 1};
+  const double ts = ce_time(s);
+  const double tn = ce_time(n);
+
+  // Pick the scaling-job count whose core-hour share is closest to target.
+  int best_k = 0;
+  double best_err = std::abs(0.0 - target_ratio);
+  for (int k = 1; k <= total_jobs; ++k) {
+    const double ratio = k * ts / (k * ts + (total_jobs - k) * tn);
+    const double err = std::abs(ratio - target_ratio);
+    if (err < best_err) {
+      best_err = err;
+      best_k = k;
+    }
+  }
+
+  std::vector<JobSpec> seq;
+  seq.reserve(static_cast<std::size_t>(total_jobs));
+  for (int i = 0; i < best_k; ++i) seq.push_back(s);
+  for (int i = best_k; i < total_jobs; ++i) seq.push_back(n);
+  std::shuffle(seq.begin(), seq.end(), rng);
+  return seq;
+}
+
+}  // namespace sns::app

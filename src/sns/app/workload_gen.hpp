@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sns/app/program.hpp"
+#include "sns/util/rng.hpp"
+
+namespace sns::app {
+
+/// One job in a submission sequence. The evaluation submits all jobs at the
+/// same time (paper §6.2 studies a "time segment" of continuous batch
+/// scheduling), so submit_time is usually 0; the trace replayer sets it.
+struct JobSpec {
+  std::string program;
+  int procs = 16;        ///< 16 or 28 in the paper's sequences
+  double alpha = 0.9;    ///< slowdown threshold (paper default 0.9)
+  double submit_time = 0.0;
+  /// Repeat count: the job runs the program this many times back-to-back
+  /// (Fig 1 repeats MG five times). Affects total work, not scheduling.
+  int repeats = 1;
+  /// When positive, rescale the job's work so its CE execution time (minimum
+  /// footprint, exclusive, full LLC) equals this many seconds. Used by the
+  /// trace replayer, which takes CE run times from the job trace (§6.4)
+  /// while inheriting the mapped program's relative scaling behaviour.
+  double ce_time_override = 0.0;
+};
+
+/// Returns the CE execution time of a job (used for scaling-ratio math).
+using CeTimeFn = std::function<double(const JobSpec&)>;
+
+/// Random 20-job sequences sampled from the program set, per §6.2: each job
+/// uses 16 processes (programs with rigid power-of-two needs) or 28 (the
+/// node's core count, as flexible users commonly configure).
+std::vector<JobSpec> randomSequence(util::Rng& rng,
+                                    const std::vector<ProgramModel>& lib,
+                                    int jobs = 20, double alpha = 0.9);
+
+/// Fraction of CE core-hours consumed by jobs of scaling-class programs
+/// (the paper's "scaling ratio" metric, §6.2).
+double scalingRatio(const std::vector<JobSpec>& seq,
+                    const std::vector<std::string>& scaling_programs,
+                    const CeTimeFn& ce_time);
+
+/// Simplified two-program mixes with a controlled scaling ratio (Fig 19
+/// uses BW as the scaling job and HC as the neutral job, 30 jobs of 28
+/// cores each). Picks the split of job counts whose core-hour fraction is
+/// closest to `target_ratio`, then shuffles the order.
+std::vector<JobSpec> ratioControlledMix(util::Rng& rng, const std::string& scaling_prog,
+                                        const std::string& neutral_prog, int total_jobs,
+                                        int procs, double target_ratio,
+                                        const CeTimeFn& ce_time, double alpha = 0.9);
+
+}  // namespace sns::app

@@ -1,0 +1,6 @@
+#include "sns/hw/machine.hpp"
+
+// MachineConfig and ClusterConfig are aggregate configuration types; their
+// behaviour lives in the perfmodel/actuator layers. This TU anchors the
+// library so the target has at least one object file.
+namespace sns::hw {}

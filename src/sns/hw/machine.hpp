@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+#include "sns/hw/saturation_curve.hpp"
+
+namespace sns::hw {
+
+/// Static description of one compute node. Defaults model the paper's
+/// testbed: dual Intel Xeon E5-2680 v4 (2 x 14 cores @ 2.4 GHz), 35 MB
+/// 20-way LLC per socket (CAT treats the node's ways uniformly across the
+/// two sockets, as the paper allocates "the same number of LLC ways ...
+/// simultaneously across the two sockets"), 128 GB DDR4, EDR InfiniBand.
+struct MachineConfig {
+  int cores = 28;                   ///< total cores per node
+  double frequency_ghz = 2.4;       ///< nominal core clock
+  int llc_ways = 20;                ///< CAT-manageable LLC ways
+  double llc_mb = 35.0;             ///< LLC capacity per socket, MB
+  int min_ways_per_job = 2;         ///< below 2 ways associativity collapses (§5.1)
+  int max_llc_partitions = 16;      ///< CAT CLOS limit per node (§5.1)
+  SaturationCurve mem_bw = SaturationCurve::xeonE5_2680v4();
+  double net_bw_gbps = 6.8;         ///< measured IB point-to-point GB/s (§2)
+  double net_latency_us = 1.5;      ///< IB small-message latency
+  double shmem_bw_gbps = 60.0;      ///< intra-node (shared memory) comm bandwidth
+
+  /// Peak node memory bandwidth in GB/s.
+  double peakBandwidth() const { return mem_bw.peak(); }
+
+  static MachineConfig xeonE5_2680v4() { return MachineConfig{}; }
+};
+
+/// Static description of a cluster of identical nodes.
+struct ClusterConfig {
+  int nodes = 8;  ///< the paper's local testbed has 8 nodes
+  MachineConfig node = MachineConfig::xeonE5_2680v4();
+
+  int totalCores() const { return nodes * node.cores; }
+
+  static ClusterConfig testbed8() { return ClusterConfig{}; }
+  static ClusterConfig sized(int n) {
+    ClusterConfig c;
+    c.nodes = n;
+    return c;
+  }
+};
+
+}  // namespace sns::hw

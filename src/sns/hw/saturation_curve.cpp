@@ -1,0 +1,44 @@
+#include "sns/hw/saturation_curve.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::hw {
+
+SaturationCurve::SaturationCurve(util::Curve curve) : curve_(std::move(curve)) {
+  SNS_REQUIRE(curve_.size() >= 2, "SaturationCurve needs at least two samples");
+  SNS_REQUIRE(curve_.minX() >= 0.0, "SaturationCurve core counts must be >= 0");
+  SNS_REQUIRE(curve_.isNonDecreasing(),
+              "SaturationCurve must be non-decreasing in core count");
+}
+
+SaturationCurve SaturationCurve::xeonE5_2680v4() {
+  // (cores, aggregate GB/s). Anchors from the paper's §2 text; intermediate
+  // points follow its Figure 3 shape (level-off "around 8 cores").
+  return SaturationCurve(util::Curve({
+      {0.0, 0.0},
+      {1.0, 18.80},
+      {2.0, 37.17},
+      {3.0, 53.0},
+      {4.0, 66.0},
+      {6.0, 88.0},
+      {8.0, 104.0},
+      {12.0, 112.0},
+      {16.0, 115.0},
+      {20.0, 117.0},
+      {28.0, 118.26},
+  }));
+}
+
+double SaturationCurve::aggregate(double cores) const {
+  SNS_REQUIRE(cores >= 0.0, "aggregate() needs cores >= 0");
+  return curve_.at(cores);
+}
+
+double SaturationCurve::perCore(double cores) const {
+  SNS_REQUIRE(cores > 0.0, "perCore() needs cores > 0");
+  return aggregate(cores) / cores;
+}
+
+double SaturationCurve::peak() const { return curve_.points().back().second; }
+
+}  // namespace sns::hw

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "sns/util/curve.hpp"
+
+namespace sns::hw {
+
+/// Aggregate memory bandwidth achievable by n concurrently streaming cores
+/// on one node. Models the paper's Figure 3: linear growth for the first
+/// couple of cores, levelling off around 8 cores, saturating at the node
+/// peak with all cores active. Also answers "per-core bandwidth" and the
+/// node peak (the capacity term used by the contention model).
+class SaturationCurve {
+ public:
+  /// Build from (cores, GB/s) samples; intermediate values interpolate.
+  explicit SaturationCurve(util::Curve curve);
+
+  /// Calibrated to the STREAM numbers the paper reports for the dual Xeon
+  /// E5-2680 v4 node: 18.80 GB/s at 1 core, 37.17 at 2, ~levels at 8,
+  /// 118.26 GB/s at all 28 cores.
+  static SaturationCurve xeonE5_2680v4();
+
+  /// Aggregate GB/s with n cores streaming (n may be fractional when a job
+  /// only partially stresses its cores).
+  double aggregate(double cores) const;
+
+  /// Per-core GB/s with n cores streaming.
+  double perCore(double cores) const;
+
+  /// Peak node bandwidth (value at the largest sampled core count).
+  double peak() const;
+
+  const util::Curve& curve() const { return curve_; }
+
+ private:
+  util::Curve curve_;
+};
+
+}  // namespace sns::hw

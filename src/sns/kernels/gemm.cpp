@@ -1,0 +1,68 @@
+#include <cmath>
+#include <vector>
+
+#include "sns/kernels/kernels.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::kernels {
+
+// Blocked dense C = A x B — the compute pattern behind the TensorFlow
+// stand-ins (GAN/RNN training time is dominated by GEMMs): high arithmetic
+// intensity, cache-blocked working set, embarrassingly row-parallel.
+KernelResult runGemm(const GemmConfig& cfg) {
+  SNS_REQUIRE(cfg.dim >= 16, "bad GEMM config");
+  const int n = cfg.dim;
+  const auto nn = static_cast<std::size_t>(n);
+  std::vector<double> a(nn * nn), b(nn * nn), c(nn * nn, 0.0);
+  for (std::size_t i = 0; i < nn * nn; ++i) {
+    a[i] = static_cast<double>(i % 7) * 0.125;
+    b[i] = static_cast<double>(i % 5) * 0.25;
+  }
+
+  constexpr int kBlock = 32;
+  TeamRuntime team(cfg.threads, cfg.pin_cores);
+  const double secs = team.run([&](const TeamContext& ctx) {
+    const auto [lo, hi] = ctx.chunk(nn);  // my block of C rows
+    for (std::size_t i0 = lo; i0 < hi; i0 += kBlock) {
+      const std::size_t i1 = std::min(hi, i0 + kBlock);
+      for (std::size_t k0 = 0; k0 < nn; k0 += kBlock) {
+        const std::size_t k1 = std::min(nn, k0 + kBlock);
+        for (std::size_t i = i0; i < i1; ++i) {
+          for (std::size_t k = k0; k < k1; ++k) {
+            const double aik = a[i * nn + k];
+            double* crow = &c[i * nn];
+            const double* brow = &b[k * nn];
+            for (std::size_t j = 0; j < nn; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  });
+
+  // Validate against the separable closed form: with a[i][k] = f(i*n+k) and
+  // b[k][j] = g(k*n+j), spot-check a few entries by direct recomputation.
+  bool ok = true;
+  for (std::size_t i : {std::size_t{0}, nn / 2, nn - 1}) {
+    for (std::size_t j : {std::size_t{1}, nn / 3, nn - 1}) {
+      double expect = 0.0;
+      for (std::size_t k = 0; k < nn; ++k) {
+        expect += a[i * nn + k] * b[k * nn + j];
+      }
+      if (std::fabs(expect - c[i * nn + j]) > 1e-6 * std::max(1.0, expect)) {
+        ok = false;
+      }
+    }
+  }
+
+  double checksum = 0.0;
+  for (std::size_t i = 0; i < nn * nn; i += nn + 1) checksum += c[i];  // trace
+  KernelResult r;
+  r.name = "gemm";
+  r.seconds = secs;
+  r.bytes_moved = 3.0 * static_cast<double>(nn) * nn * 8.0;  // cold traffic
+  r.checksum = checksum;
+  r.valid = ok && std::isfinite(checksum);
+  return r;
+}
+
+}  // namespace sns::kernels

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sns/kernels/runtime.hpp"
+
+namespace sns::kernels {
+
+/// STREAM-triad bandwidth kernel (a[i] = b[i] + s*c[i]), the measurement
+/// behind the paper's Figure 3.
+struct StreamConfig {
+  std::size_t elements = 1 << 22;  ///< per array (3 arrays of doubles)
+  int iterations = 10;
+  int threads = 1;
+  bool pin_cores = false;
+};
+KernelResult runStream(const StreamConfig& cfg);
+
+/// 3-D 7-point stencil V-cycle, a compact stand-in for NPB MG: bandwidth
+/// bound, nearest-neighbour data flow.
+struct StencilMgConfig {
+  int dim = 96;        ///< grid is dim^3 at the finest level
+  int vcycles = 4;
+  int levels = 3;
+  int threads = 1;
+  bool pin_cores = false;
+};
+KernelResult runStencilMg(const StencilMgConfig& cfg);
+
+/// Conjugate-gradient solve on a synthetic sparse SPD matrix (2-D 5-point
+/// Laplacian), a compact stand-in for NPB CG: irregular access,
+/// latency/cache sensitive.
+struct CgConfig {
+  int grid = 256;      ///< matrix is (grid^2) x (grid^2)
+  int iterations = 50;
+  int threads = 1;
+  bool pin_cores = false;
+};
+KernelResult runCg(const CgConfig& cfg);
+
+/// Embarrassingly-parallel Monte-Carlo (Gaussian pair tallies), a compact
+/// stand-in for NPB EP: pure compute, no shared data.
+struct EpConfig {
+  std::uint64_t samples = 1 << 22;
+  int threads = 1;
+  bool pin_cores = false;
+};
+KernelResult runEp(const EpConfig& cfg);
+
+/// Level-synchronous parallel BFS on a synthetic power-law graph, a
+/// compact stand-in for Graph500: random access, cache hungry.
+struct BfsConfig {
+  int scale = 18;          ///< 2^scale vertices
+  int edge_factor = 16;    ///< average degree
+  int roots = 4;           ///< BFS runs from this many sources
+  int threads = 1;
+  std::uint64_t seed = 0x9f5f17ULL;
+  bool pin_cores = false;
+};
+KernelResult runBfs(const BfsConfig& cfg);
+
+/// Parallel sample sort over 64-bit keys, a compact stand-in for TeraSort:
+/// cache-friendly partitioning plus a butterfly-like exchange.
+struct SampleSortConfig {
+  std::size_t keys = 1 << 22;
+  int threads = 1;
+  std::uint64_t seed = 0x5048aULL;
+  bool pin_cores = false;
+};
+KernelResult runSampleSort(const SampleSortConfig& cfg);
+
+/// Red-black SSOR sweeps over a 2-D Poisson grid, a compact stand-in for
+/// NPB LU (symmetric Gauss-Seidel): bandwidth-heavy dependent sweeps.
+struct LuSsorConfig {
+  int grid = 512;
+  int sweeps = 20;
+  int threads = 1;
+  bool pin_cores = false;
+};
+KernelResult runLuSsor(const LuSsorConfig& cfg);
+
+/// Blocked dense matrix multiply, the compute core of the TensorFlow
+/// stand-ins (GAN/RNN): high arithmetic intensity, cache-blocked.
+struct GemmConfig {
+  int dim = 384;
+  int threads = 1;
+  bool pin_cores = false;
+};
+KernelResult runGemm(const GemmConfig& cfg);
+
+/// Parallel word count over synthetic text (map + hash-merge), a compact
+/// stand-in for HiBench WordCount.
+struct WordCountConfig {
+  std::size_t words = 1 << 22;
+  int vocabulary = 4096;
+  int threads = 1;
+  std::uint64_t seed = 0x30c0ULL;
+  bool pin_cores = false;
+};
+KernelResult runWordCount(const WordCountConfig& cfg);
+
+}  // namespace sns::kernels

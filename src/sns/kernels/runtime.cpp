@@ -1,0 +1,80 @@
+#include "sns/kernels/runtime.hpp"
+
+#include <chrono>
+
+#include "sns/util/error.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace sns::kernels {
+
+Barrier::Barrier(int parties) : parties_(parties) {
+  SNS_REQUIRE(parties >= 1, "Barrier needs at least one party");
+}
+
+void Barrier::arriveAndWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+std::pair<std::size_t, std::size_t> TeamContext::chunk(std::size_t n) const {
+  const std::size_t per = n / static_cast<std::size_t>(size);
+  const std::size_t extra = n % static_cast<std::size_t>(size);
+  const auto r = static_cast<std::size_t>(rank);
+  const std::size_t begin = r * per + std::min(r, extra);
+  const std::size_t end = begin + per + (r < extra ? 1 : 0);
+  return {begin, end};
+}
+
+namespace {
+void pinToCore(int core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  // Best effort: pinning may fail in containers; the kernel still runs.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof set, &set);
+#else
+  (void)core;
+#endif
+}
+}  // namespace
+
+double TeamRuntime::run(const std::function<void(const TeamContext&)>& body) const {
+  SNS_REQUIRE(threads_ >= 1, "TeamRuntime needs at least one thread");
+  Barrier barrier(threads_);
+  Barrier start_gate(threads_);
+  std::vector<std::thread> team;
+  team.reserve(static_cast<std::size_t>(threads_));
+  std::vector<double> times(static_cast<std::size_t>(threads_), 0.0);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  for (int r = 0; r < threads_; ++r) {
+    team.emplace_back([&, r] {
+      if (pin_cores_) pinToCore(static_cast<int>(static_cast<unsigned>(r) % hw));
+      TeamContext ctx{r, threads_, &barrier};
+      start_gate.arriveAndWait();
+      const auto t0 = std::chrono::steady_clock::now();
+      body(ctx);
+      const auto t1 = std::chrono::steady_clock::now();
+      times[static_cast<std::size_t>(r)] =
+          std::chrono::duration<double>(t1 - t0).count();
+    });
+  }
+  for (auto& t : team) t.join();
+  double max_t = 0.0;
+  for (double t : times) max_t = std::max(max_t, t);
+  return max_t;
+}
+
+}  // namespace sns::kernels

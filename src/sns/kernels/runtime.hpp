@@ -1,0 +1,73 @@
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sns::kernels {
+
+/// Reusable cyclic barrier for SPMD teams.
+class Barrier {
+ public:
+  explicit Barrier(int parties);
+
+  /// Block until all parties arrive; reusable across phases.
+  void arriveAndWait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int parties_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+/// Per-thread context handed to SPMD bodies.
+struct TeamContext {
+  int rank = 0;
+  int size = 1;
+  Barrier* barrier = nullptr;
+
+  void sync() const { barrier->arriveAndWait(); }
+
+  /// Split [0, n) into `size` contiguous chunks; returns this rank's
+  /// [begin, end).
+  std::pair<std::size_t, std::size_t> chunk(std::size_t n) const;
+};
+
+/// Thread-team SPMD runtime: the in-process stand-in for an MPI/Spark
+/// worker group. Launches `threads` OS threads, optionally pinning each to
+/// a core (the affinity binding Uberun's actuator performs), runs the body
+/// on every rank, and joins.
+class TeamRuntime {
+ public:
+  explicit TeamRuntime(int threads, bool pin_cores = false)
+      : threads_(threads), pin_cores_(pin_cores) {}
+
+  int threads() const { return threads_; }
+
+  /// Run `body(ctx)` on all ranks; returns the wall time in seconds of the
+  /// slowest rank (launch overhead excluded via an internal start barrier).
+  double run(const std::function<void(const TeamContext&)>& body) const;
+
+ private:
+  int threads_;
+  bool pin_cores_;
+};
+
+/// One kernel execution's outcome, with self-validation.
+struct KernelResult {
+  std::string name;
+  double seconds = 0.0;
+  double bytes_moved = 0.0;   ///< estimated memory traffic
+  double checksum = 0.0;      ///< kernel-specific result digest
+  bool valid = false;         ///< checksum verified against expectation
+
+  double bandwidthGbps() const {
+    return seconds > 0.0 ? bytes_moved / seconds / 1e9 : 0.0;
+  }
+};
+
+}  // namespace sns::kernels

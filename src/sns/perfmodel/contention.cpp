@@ -1,0 +1,148 @@
+#include "sns/perfmodel/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::perfmodel {
+
+double NodeContentionSolver::mbPerProc(double ways, int procs) const {
+  SNS_REQUIRE(procs >= 1, "mbPerProc() needs procs >= 1");
+  SNS_REQUIRE(ways > 0.0, "mbPerProc() needs ways > 0");
+  // Processes are spread evenly across the two sockets; with c processes on
+  // the node, each socket hosts c/2 of them sharing (ways/20)*llc_mb. A job
+  // with a single process on the node still only spans one socket's LLC.
+  const double per_socket_mb = ways / static_cast<double>(mach_.llc_ways) * mach_.llc_mb;
+  const double procs_per_socket = std::max(1.0, static_cast<double>(procs) / 2.0);
+  return per_socket_mb / procs_per_socket;
+}
+
+namespace {
+
+struct Derived {
+  double mb_pp = 0.0;
+  double miss = 0.0;
+  double refs = 0.0;
+  double cpi = 0.0;
+  double raw_rate = 0.0;  // instructions/s per process, unconstrained
+};
+
+Derived deriveAt(const app::ProgramModel& prog, const hw::MachineConfig& mach,
+                 const NodeShare& share, double ways,
+                 const NodeContentionSolver& solver) {
+  Derived d;
+  d.mb_pp = solver.mbPerProc(ways, share.procs);
+  d.miss = prog.missRatio(d.mb_pp, share.remote_frac);
+  d.refs = prog.memRefs(share.remote_frac) * share.mem_intensity;
+  const double lat_eff = prog.dram_latency_cycles / prog.mlp;
+  d.cpi = prog.cpi_core + d.refs * d.miss * lat_eff;
+  d.raw_rate = mach.frequency_ghz * 1e9 / d.cpi;
+  return d;
+}
+
+}  // namespace
+
+std::vector<ShareOutcome> NodeContentionSolver::solve(
+    std::span<const NodeShare> shares) const {
+  SNS_REQUIRE(!shares.empty(), "solve() needs at least one share");
+  int total_procs = 0;
+  double cat_ways = 0.0;
+  int free_count = 0;
+  for (const auto& s : shares) {
+    SNS_REQUIRE(s.prog != nullptr, "NodeShare::prog must be set");
+    SNS_REQUIRE(s.procs >= 1, "NodeShare::procs must be >= 1");
+    total_procs += s.procs;
+    if (s.ways > 0.0) cat_ways += s.ways;
+    else ++free_count;
+  }
+  SNS_REQUIRE(total_procs <= mach_.cores, "node oversubscribed in cores");
+  SNS_REQUIRE(cat_ways <= mach_.llc_ways + 1e-9, "node oversubscribed in LLC ways");
+
+  const double free_pool = std::max(0.0, static_cast<double>(mach_.llc_ways) - cat_ways);
+
+  // Resolve effective ways. CAT entries use exactly their partition. Free
+  // entries split `free_pool` in proportion to cache pressure, found by a
+  // short fixed-point iteration (their miss ratio depends on the split).
+  std::vector<double> eff_ways(shares.size(), 0.0);
+  if (free_count > 0) {
+    SNS_REQUIRE(free_pool > 0.0, "free-sharing jobs but no unpartitioned ways left");
+    // Start from an even per-process split.
+    int free_procs = 0;
+    for (const auto& s : shares)
+      if (s.ways <= 0.0) free_procs += s.procs;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      if (shares[i].ways <= 0.0)
+        eff_ways[i] = free_pool * shares[i].procs / static_cast<double>(free_procs);
+    }
+    constexpr int kIters = 4;
+    constexpr double kMinWays = 0.25;  // a thrashing job still occupies some lines
+    for (int it = 0; it < kIters; ++it) {
+      double total_pressure = 0.0;
+      std::vector<double> pressure(shares.size(), 0.0);
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        if (shares[i].ways > 0.0) continue;
+        const auto d = deriveAt(*shares[i].prog, mach_, shares[i], eff_ways[i], *this);
+        // Occupancy in an unpartitioned LLC tracks each job's miss traffic.
+        pressure[i] = shares[i].procs * d.refs * d.miss + 1e-9;
+        total_pressure += pressure[i];
+      }
+      if (total_pressure <= 0.0) break;
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        if (shares[i].ways > 0.0) continue;
+        eff_ways[i] = std::max(kMinWays, free_pool * pressure[i] / total_pressure);
+      }
+    }
+    // The stability floor can overcommit the pool when many thrashing jobs
+    // share it; renormalize so occupancy never exceeds the free ways.
+    double total_free = 0.0;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      if (shares[i].ways <= 0.0) total_free += eff_ways[i];
+    }
+    if (total_free > free_pool) {
+      const double scale_down = free_pool / total_free;
+      for (std::size_t i = 0; i < shares.size(); ++i) {
+        if (shares[i].ways <= 0.0) eff_ways[i] *= scale_down;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (shares[i].ways > 0.0) eff_ways[i] = shares[i].ways;
+  }
+
+  // Bandwidth demands and the proportional-share roofline.
+  std::vector<Derived> derived(shares.size());
+  std::vector<double> demand(shares.size(), 0.0);
+  std::vector<double> capped(shares.size(), 0.0);
+  double total_capped = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const auto& s = shares[i];
+    derived[i] = deriveAt(*s.prog, mach_, s, eff_ways[i], *this);
+    demand[i] = s.procs * derived[i].raw_rate * derived[i].refs * derived[i].miss *
+                s.prog->bytes_per_miss / 1e9;
+    // A job alone cannot pull more than the saturation curve allows at its
+    // own core count; an MBA throttle clamps it further.
+    capped[i] = std::min(demand[i], mach_.mem_bw.aggregate(s.procs));
+    if (s.bw_cap_gbps > 0.0) capped[i] = std::min(capped[i], s.bw_cap_gbps);
+    total_capped += capped[i];
+  }
+  const double capacity = mach_.mem_bw.aggregate(total_procs);
+  const double scale = total_capped > capacity ? capacity / total_capped : 1.0;
+
+  std::vector<ShareOutcome> out(shares.size());
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double bw = capped[i] * scale;
+    const double f_bw = demand[i] > 1e-12 ? std::min(1.0, bw / demand[i]) : 1.0;
+    ShareOutcome& o = out[i];
+    o.raw_rate_per_proc = derived[i].raw_rate;
+    o.rate_per_proc = derived[i].raw_rate * f_bw;
+    o.bw_gbps = demand[i] > 1e-12 ? demand[i] * f_bw : 0.0;
+    o.demand_gbps = demand[i];
+    o.ipc = o.rate_per_proc / (mach_.frequency_ghz * 1e9);
+    o.miss_ratio = derived[i].miss;
+    o.eff_ways = eff_ways[i];
+  }
+  return out;
+}
+
+}  // namespace sns::perfmodel

@@ -1,0 +1,100 @@
+#include "sns/perfmodel/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/app/comm.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::perfmodel {
+
+int Estimator::minNodes(int total_procs) const {
+  SNS_REQUIRE(total_procs >= 1, "minNodes() needs total_procs >= 1");
+  return (total_procs + machine().cores - 1) / machine().cores;
+}
+
+double Estimator::commDataTime(const app::ProgramModel& prog, int total_procs,
+                               int procs_per_node, int nodes) const {
+  if (prog.comm_gb_per_proc <= 0.0 && prog.comm.msgs_per_proc <= 0.0) return 0.0;
+  const auto& m = machine();
+  const double rf =
+      app::remoteFraction(prog.comm.pattern, total_procs, procs_per_node, nodes);
+  // Per-node volume: each of the c processes moves its share; local traffic
+  // goes through shared memory, remote traffic through the NIC.
+  const double c = procs_per_node;
+  const double t_local = c * prog.comm_gb_per_proc * (1.0 - rf) / m.shmem_bw_gbps;
+  const double t_remote = c * prog.comm_gb_per_proc * rf / m.net_bw_gbps;
+  const double t_latency = prog.comm.msgs_per_proc * rf * m.net_latency_us * 1e-6;
+  return t_local + t_remote + t_latency;
+}
+
+double Estimator::waitTime(const app::ProgramModel& prog, double node_pressure) const {
+  const double wait_ref =
+      prog.comm.comm_frac_ref * prog.comm.sync_wait_frac * prog.solo_time_ref;
+  if (wait_ref <= 0.0) return 0.0;
+  const double p_ref = prog.ref_node_pressure;
+  if (p_ref < 0.02) return wait_ref;  // reference run had no memory pressure
+  const double ratio = node_pressure / p_ref;
+  return wait_ref * std::min(4.0, ratio * ratio);
+}
+
+SoloRun Estimator::solo(const app::ProgramModel& prog, int total_procs, int nodes,
+                        double ways) const {
+  SNS_REQUIRE(prog.calibrated(), "program '" + prog.name + "' is not calibrated");
+  SNS_REQUIRE(total_procs >= 1, "solo() needs total_procs >= 1");
+  SNS_REQUIRE(nodes >= 1, "solo() needs nodes >= 1");
+  SNS_REQUIRE(nodes == 1 || prog.multi_node,
+              "program '" + prog.name + "' cannot span nodes");
+  const int c = (total_procs + nodes - 1) / nodes;
+  SNS_REQUIRE(c <= machine().cores, "placement oversubscribes a node");
+  const double rf =
+      app::remoteFraction(prog.comm.pattern, total_procs, c, nodes);
+
+  NodeShare share{&prog, c, ways, rf, 1.0};
+  const auto outcome = solver_.solve(std::span<const NodeShare>(&share, 1)).front();
+
+  SoloRun r;
+  r.nodes = nodes;
+  r.procs_per_node = c;
+  r.ways = ways;
+  r.remote_frac = rf;
+  r.comp_time =
+      prog.instructions_per_proc * prog.instrFactor(rf) / outcome.rate_per_proc;
+  r.comm_data_time = commDataTime(prog, total_procs, c, nodes);
+  const double pressure = outcome.bw_gbps / machine().peakBandwidth();
+  r.wait_time = waitTime(prog, pressure);
+  r.time = r.comp_time + r.comm_data_time + r.wait_time;
+  r.node_bw_gbps = outcome.bw_gbps;
+  r.ipc = outcome.ipc;
+  r.miss_ratio = outcome.miss_ratio;
+  return r;
+}
+
+void Estimator::calibrate(app::ProgramModel& prog) const {
+  SNS_REQUIRE(prog.solo_time_ref > 0.0, "solo_time_ref must be positive");
+  SNS_REQUIRE(prog.ref_procs >= 1, "ref_procs must be >= 1");
+  SNS_REQUIRE(prog.ref_procs <= machine().cores,
+              "reference run must fit on one node");
+  SNS_REQUIRE(prog.comm.comm_frac_ref >= 0.0 && prog.comm.comm_frac_ref < 1.0,
+              "comm_frac_ref must be in [0, 1)");
+
+  NodeShare share{&prog, prog.ref_procs, static_cast<double>(machine().llc_ways),
+                  0.0, 1.0};
+  const auto outcome = solver_.solve(std::span<const NodeShare>(&share, 1)).front();
+
+  // Split the reference time into compute and communication slots; the
+  // communication slot further splits into sync wait and data movement.
+  const double comm_slot = prog.comm.comm_frac_ref * prog.solo_time_ref;
+  const double data_slot = comm_slot * (1.0 - prog.comm.sync_wait_frac);
+  const double comp_slot = prog.solo_time_ref - comm_slot;
+  SNS_REQUIRE(comp_slot > 0.0, "reference run must have compute time");
+
+  prog.instructions_per_proc = outcome.rate_per_proc * comp_slot;
+  // At the reference placement all communication is intra-node: the data
+  // slot equals c * comm_gb / shmem_bw.
+  prog.comm_gb_per_proc =
+      data_slot * machine().shmem_bw_gbps / static_cast<double>(prog.ref_procs);
+  prog.ref_node_pressure = outcome.bw_gbps / machine().peakBandwidth();
+}
+
+}  // namespace sns::perfmodel

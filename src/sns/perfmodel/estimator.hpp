@@ -1,0 +1,82 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sns/app/program.hpp"
+#include "sns/hw/machine.hpp"
+#include "sns/perfmodel/contention.hpp"
+
+namespace sns::perfmodel {
+
+/// Result of an exclusive (solo) run of one job at a given placement.
+struct SoloRun {
+  int nodes = 1;
+  int procs_per_node = 0;
+  double ways = 0.0;           ///< LLC ways available on each node
+  double time = 0.0;           ///< total wall time, seconds
+  double comp_time = 0.0;      ///< computation component
+  double comm_data_time = 0.0; ///< data movement + message latency component
+  double wait_time = 0.0;      ///< synchronization wait component
+  double node_bw_gbps = 0.0;   ///< average per-node DRAM bandwidth while computing
+  double ipc = 0.0;            ///< per-core IPC while computing
+  double miss_ratio = 0.0;     ///< LLC miss ratio
+  double remote_frac = 0.0;    ///< fraction of traffic crossing nodes
+};
+
+/// Ground-truth performance estimator: maps (program, placement, LLC ways,
+/// co-runners) to times, rates, IPC and bandwidth, through the node
+/// contention model. Also performs program calibration: deriving absolute
+/// instruction and communication volumes from the measured reference run
+/// time, so that all model outputs are anchored to the paper's numbers.
+class Estimator {
+ public:
+  explicit Estimator(hw::MachineConfig mach = hw::MachineConfig::xeonE5_2680v4())
+      : solver_(mach) {}
+
+  const hw::MachineConfig& machine() const { return solver_.machine(); }
+  const NodeContentionSolver& solver() const { return solver_; }
+
+  /// Fill in instructions_per_proc / comm_gb_per_proc / ref_node_pressure
+  /// from prog.solo_time_ref at the reference placement (ref_procs on one
+  /// node, exclusive, full LLC).
+  void calibrate(app::ProgramModel& prog) const;
+
+  /// Exclusive run of `total_procs` processes over `nodes` nodes with
+  /// `ways` LLC ways per node (pass machine().llc_ways for a full-cache
+  /// run, the CE configuration).
+  SoloRun solo(const app::ProgramModel& prog, int total_procs, int nodes,
+               double ways) const;
+
+  /// Convenience: CE-style exclusive run (full cache).
+  SoloRun soloCE(const app::ProgramModel& prog, int total_procs, int nodes) const {
+    return solo(prog, total_procs, nodes, machine().llc_ways);
+  }
+
+  /// Time components of a placement given a per-node compute rate already
+  /// solved elsewhere (used by the cluster simulator for co-run stretching).
+  /// Returns {comp_time, comm_data_time, wait_time} for the placement at the
+  /// *solo* rate; the simulator stretches comp_time by solo/corun rate.
+  SoloRun placementBaseline(const app::ProgramModel& prog, int total_procs,
+                            int nodes, double ways) const {
+    return solo(prog, total_procs, nodes, ways);
+  }
+
+  /// Synchronization wait time for a placement, given the node memory
+  /// pressure (achieved node bandwidth / peak). Grows quadratically with
+  /// pressure relative to the calibrated reference pressure; reproduces
+  /// CG-style wait shrinkage when spread out (paper Fig 7).
+  double waitTime(const app::ProgramModel& prog, double node_pressure) const;
+
+  /// Communication data + latency time for a placement.
+  double commDataTime(const app::ProgramModel& prog, int total_procs,
+                      int procs_per_node, int nodes) const;
+
+  /// Minimum number of nodes for a job under compact placement.
+  int minNodes(int total_procs) const;
+
+ private:
+  NodeContentionSolver solver_;
+};
+
+}  // namespace sns::perfmodel

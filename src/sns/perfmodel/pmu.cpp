@@ -1,0 +1,28 @@
+#include "sns/perfmodel/pmu.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::perfmodel {
+
+double PmuSimulator::jitter() {
+  if (noise_ <= 0.0) return 1.0;
+  return std::max(0.5, rng_.normal(1.0, noise_));
+}
+
+PmuSample PmuSimulator::sample(const ShareOutcome& outcome, int procs,
+                               double duration_s, double frequency_ghz) {
+  SNS_REQUIRE(procs >= 1, "PmuSimulator::sample needs procs >= 1");
+  SNS_REQUIRE(duration_s > 0.0, "PmuSimulator::sample needs duration > 0");
+  PmuSample s;
+  s.duration_s = duration_s;
+  s.instructions = outcome.rate_per_proc * procs * duration_s * jitter();
+  // Cores are unhalted for the whole episode (busy polling / spinning in
+  // memory stalls still retires cycles), so cycles ~ procs * f * dt.
+  s.core_cycles = procs * frequency_ghz * 1e9 * duration_s * jitter();
+  s.ha_requests = outcome.bw_gbps * 1e9 / 64.0 * duration_s * jitter();
+  return s;
+}
+
+}  // namespace sns::perfmodel

@@ -1,0 +1,49 @@
+#pragma once
+
+#include "sns/perfmodel/contention.hpp"
+#include "sns/util/rng.hpp"
+
+namespace sns::perfmodel {
+
+/// Raw counter readings over one sampling episode, mirroring the three PMU
+/// events Uberun's monitor uses (§5.1): Instructions Retired, UnHalted Core
+/// Cycles, and REQUESTS on the Home Agent (memory controller traffic).
+struct PmuSample {
+  double instructions = 0.0;
+  double core_cycles = 0.0;
+  double ha_requests = 0.0;  ///< cache-line-sized memory requests
+  double duration_s = 0.0;
+
+  /// Derived metrics, as Uberun computes them.
+  double ipc() const { return core_cycles > 0.0 ? instructions / core_cycles : 0.0; }
+  double bandwidthGbps() const {
+    return duration_s > 0.0 ? ha_requests * 64.0 / duration_s / 1e9 : 0.0;
+  }
+};
+
+/// Synthesizes PMU counter readings from a ground-truth ShareOutcome, with
+/// multiplicative Gaussian measurement noise. This is the boundary between
+/// what *is* (the contention model) and what the scheduler can *observe*
+/// (noisy, episode-averaged counters) — profiles built from these samples
+/// inherit realistic measurement error.
+class PmuSimulator {
+ public:
+  /// relative_noise is the sigma of the multiplicative error (e.g. 0.02 for
+  /// 2% jitter); 0 gives exact counters.
+  explicit PmuSimulator(double relative_noise = 0.02,
+                        std::uint64_t seed = 0x9a3c5eedULL)
+      : noise_(relative_noise), rng_(seed) {}
+
+  /// Sample `duration_s` seconds of `procs` processes running with the given
+  /// per-process outcome.
+  PmuSample sample(const ShareOutcome& outcome, int procs, double duration_s,
+                   double frequency_ghz);
+
+ private:
+  double jitter();
+
+  double noise_;
+  util::Rng rng_;
+};
+
+}  // namespace sns::perfmodel

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sns/profile/profile_data.hpp"
+
+namespace sns::profile {
+
+/// The central SNS database component (paper Fig 9): per-program resource
+/// usage statistics keyed by (program, process count), persisted as a JSON
+/// file exactly like Uberun's prototype (§5.1).
+class ProfileDatabase {
+ public:
+  /// Insert or replace a profile.
+  void put(ProgramProfile profile);
+
+  /// Look up a profile; nullptr if the program was never profiled at this
+  /// process count.
+  const ProgramProfile* find(const std::string& program, int procs) const;
+
+  bool contains(const std::string& program, int procs) const {
+    return find(program, procs) != nullptr;
+  }
+  std::size_t size() const { return profiles_.size(); }
+
+  /// Drop a stale profile (drift-triggered re-profiling, §5.2); the next
+  /// submissions of the program re-enter the exploration pipeline.
+  /// Returns false when nothing was stored.
+  bool erase(const std::string& program, int procs);
+
+  /// JSON round-trip (whole-database granularity, like Uberun's file).
+  util::Json toJson() const;
+  static ProfileDatabase fromJson(const util::Json& j);
+
+  /// File persistence; throws DataError on I/O or parse failure.
+  void saveFile(const std::string& path) const;
+  static ProfileDatabase loadFile(const std::string& path);
+
+ private:
+  static std::string key(const std::string& program, int procs);
+  std::map<std::string, ProgramProfile> profiles_;
+};
+
+}  // namespace sns::profile

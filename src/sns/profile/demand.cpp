@@ -1,0 +1,27 @@
+#include "sns/profile/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+
+ResourceDemand estimateDemand(const ScaleProfile& sp, double alpha,
+                              const hw::MachineConfig& mach) {
+  SNS_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  SNS_REQUIRE(!sp.ipc_llc.empty() && !sp.bw_llc.empty(),
+              "demand estimation needs profile curves");
+
+  ResourceDemand d;
+  d.f_ipc = sp.ipc_llc.at(mach.llc_ways);
+  d.t_ipc = alpha * d.f_ipc;
+  const double w_raw = sp.ipc_llc.firstXReaching(d.t_ipc);
+  d.ways = std::clamp(static_cast<int>(std::ceil(w_raw - 1e-9)), mach.min_ways_per_job,
+                      mach.llc_ways);
+  d.bw_gbps = sp.bw_llc.at(d.ways);
+  d.net_gbps = sp.net_gbps;
+  return d;
+}
+
+}  // namespace sns::profile

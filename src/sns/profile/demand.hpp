@@ -1,0 +1,25 @@
+#pragma once
+
+#include "sns/hw/machine.hpp"
+#include "sns/profile/profile_data.hpp"
+
+namespace sns::profile {
+
+/// Per-node resource demand of a job at a fixed scale, derived from its
+/// profile curves and slowdown threshold (paper §4.3, Fig 10).
+struct ResourceDemand {
+  int ways = 0;          ///< w: minimum LLC ways to retain alpha x F-IPC
+  double bw_gbps = 0.0;  ///< b: expected bandwidth at that allocation
+  double net_gbps = 0.0; ///< per-node NIC demand at this scale (§3.3 extension)
+  double f_ipc = 0.0;    ///< IPC at full allocation (for diagnostics)
+  double t_ipc = 0.0;    ///< tolerable IPC = alpha x F-IPC
+};
+
+/// Walk the IPC-LLC curve from F-IPC (full ways) down to T-IPC = alpha x
+/// F-IPC, find the minimum ways w reaching T-IPC, then read the BW-LLC
+/// curve at w. Ways are rounded up to whole ways and clamped to
+/// [min_ways_per_job, llc_ways].
+ResourceDemand estimateDemand(const ScaleProfile& sp, double alpha,
+                              const hw::MachineConfig& mach);
+
+}  // namespace sns::profile

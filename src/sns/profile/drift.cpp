@@ -1,0 +1,45 @@
+#include "sns/profile/drift.hpp"
+
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+
+void DriftDetector::observe(const ProgramProfile& prof, int scale, double ways,
+                            double ipc, double bw_gbps) {
+  SNS_REQUIRE(ipc >= 0.0 && bw_gbps >= 0.0, "PMU readings must be non-negative");
+  const ScaleProfile* sp = prof.at(scale);
+  if (sp == nullptr || sp->ipc_llc.empty()) return;  // nothing to compare against
+
+  const double expect_ipc = sp->ipc_llc.at(ways);
+  if (expect_ipc > 1e-9) {
+    ipc_dev_.add(std::fabs(ipc - expect_ipc) / expect_ipc);
+  }
+  const double expect_bw = sp->bw_llc.at(ways);
+  if (expect_bw > 0.5) {  // GB/s; tiny baselines make ratios meaningless
+    bw_dev_.add(std::fabs(bw_gbps - expect_bw) / expect_bw);
+  }
+}
+
+double DriftDetector::meanIpcDeviation() const {
+  return ipc_dev_.count() > 0 ? ipc_dev_.mean() : 0.0;
+}
+
+double DriftDetector::meanBwDeviation() const {
+  return bw_dev_.count() > 0 ? bw_dev_.mean() : 0.0;
+}
+
+bool DriftDetector::reprofileNeeded() const {
+  if (ipc_dev_.count() < cfg_.min_samples) return false;
+  if (meanIpcDeviation() > cfg_.ipc_tolerance) return true;
+  return bw_dev_.count() >= cfg_.min_samples &&
+         meanBwDeviation() > cfg_.bw_tolerance;
+}
+
+void DriftDetector::reset() {
+  ipc_dev_ = util::RunningStats();
+  bw_dev_ = util::RunningStats();
+}
+
+}  // namespace sns::profile

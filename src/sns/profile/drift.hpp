@@ -1,0 +1,50 @@
+#pragma once
+
+#include "sns/profile/profile_data.hpp"
+#include "sns/util/stats.hpp"
+
+namespace sns::profile {
+
+/// Knobs of the production-monitoring drift check.
+struct DriftConfig {
+  std::size_t min_samples = 12;  ///< episodes before judging
+  double ipc_tolerance = 0.15;   ///< mean relative IPC deviation that triggers
+  double bw_tolerance = 0.30;    ///< mean relative bandwidth deviation
+};
+
+/// Sustained lightweight monitoring for profile staleness (paper §5.2):
+/// programs are modified between submissions, and "there do exist
+/// significant program re-designs or accumulated gradual changes that
+/// eventually alter an application's relevant performance behavior". The
+/// detector compares live PMU readings of a program's runs against its
+/// stored profile curves; sustained deviation flags the profile for
+/// re-profiling (the caller then erases it from the database, which sends
+/// the program back through the piggybacked exploration pipeline).
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftConfig cfg = DriftConfig()) : cfg_(cfg) {}
+
+  /// Feed one monitoring episode of a run at `scale` with `ways` LLC ways:
+  /// measured IPC and per-node bandwidth vs the profile's expectation.
+  /// Episodes at unprofiled scales are ignored.
+  void observe(const ProgramProfile& prof, int scale, double ways, double ipc,
+               double bw_gbps);
+
+  std::size_t samples() const { return ipc_dev_.count(); }
+  /// Mean relative deviations observed so far (0 when no samples).
+  double meanIpcDeviation() const;
+  double meanBwDeviation() const;
+
+  /// True once enough episodes show sustained deviation.
+  bool reprofileNeeded() const;
+
+  /// Forget everything (after a re-profile).
+  void reset();
+
+ private:
+  DriftConfig cfg_;
+  util::RunningStats ipc_dev_;
+  util::RunningStats bw_dev_;
+};
+
+}  // namespace sns::profile

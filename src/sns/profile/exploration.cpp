@@ -1,0 +1,55 @@
+#include "sns/profile/exploration.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+
+int nextTrialScale(const ProgramProfile* prof, const app::ProgramModel& prog,
+                   int total_procs, int cluster_nodes,
+                   const perfmodel::Estimator& est, const ProfilerConfig& cfg) {
+  SNS_REQUIRE(cluster_nodes >= 1, "nextTrialScale() needs a cluster");
+  if (prof == nullptr) return 1;
+  SNS_REQUIRE(prof->at(1) != nullptr || prof->scales.empty(),
+              "profiles must start from the 1x scale");
+
+  // Replays the profiler's own stopping rule so an exploration the offline
+  // Profiler would have cut short is recognized as finished: walking the
+  // recorded trials in scale order with a running best, a trial that is
+  // degrade_stop slower than the best seen *before it* ends the study.
+  // (scales are kept sorted by mergeTrial / fromJson.)
+  double best = 0.0;
+  for (const auto& s : prof->scales) {
+    if (best > 0.0 && s.exclusive_time > best * (1.0 + cfg.degrade_stop)) {
+      return 0;  // a recorded trial already degraded past the stop rule
+    }
+    if (best == 0.0 || s.exclusive_time < best) best = s.exclusive_time;
+  }
+
+  const int n_min = est.minNodes(total_procs);
+  for (int k : cfg.candidate_scales) {
+    if (prof->at(k) != nullptr) continue;
+    const int n = k * n_min;
+    if (n > 1 && !prog.multi_node) return 0;
+    if (n > cluster_nodes) return 0;
+    const int c = (total_procs + n - 1) / n;
+    if (c < cfg.min_procs_per_node) return 0;
+    return k;
+  }
+  return 0;  // every candidate scale has been trialled
+}
+
+void mergeTrial(ProgramProfile& prof, ScaleProfile trial, double neutral_band) {
+  if (std::any_of(prof.scales.begin(), prof.scales.end(), [&](const auto& s) {
+        return s.scale_factor == trial.scale_factor;
+      })) {
+    return;  // already recorded (e.g. two concurrent runs of the program)
+  }
+  prof.scales.push_back(std::move(trial));
+  std::sort(prof.scales.begin(), prof.scales.end(),
+            [](const auto& a, const auto& b) { return a.scale_factor < b.scale_factor; });
+  if (prof.at(1) != nullptr) prof.classify(neutral_band);
+}
+
+}  // namespace sns::profile

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sns/perfmodel/estimator.hpp"
+#include "sns/profile/profile_data.hpp"
+#include "sns/profile/profiler.hpp"
+
+namespace sns::profile {
+
+/// The piggybacked trial-and-error scaling study (paper §4.2): rather than
+/// dedicated profiling runs, each *production* run of a program is placed
+/// exclusively at the next unexplored scale factor; the monitor records a
+/// ScaleProfile during the run. Exploration stops at single-node programs,
+/// when spreading would leave too few processes per node, when a larger
+/// trial cannot fit the cluster, or when a trial degraded performance
+/// beyond the configured threshold.
+///
+/// Returns the scale factor the next run of (program, procs) should trial,
+/// or 0 when exploration is finished (the profile is ready for normal SNS
+/// scheduling). A null profile means the program was never seen: trial 1x.
+int nextTrialScale(const ProgramProfile* prof, const app::ProgramModel& prog,
+                   int total_procs, int cluster_nodes,
+                   const perfmodel::Estimator& est,
+                   const ProfilerConfig& cfg = ProfilerConfig());
+
+/// Merge one trial's measurements into a profile (insert-or-ignore by
+/// scale factor, keep scales sorted, reclassify when the 1x base exists).
+void mergeTrial(ProgramProfile& prof, ScaleProfile trial, double neutral_band);
+
+}  // namespace sns::profile

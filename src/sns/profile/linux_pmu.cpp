@@ -1,0 +1,94 @@
+#include "sns/profile/linux_pmu.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace sns::profile {
+
+namespace {
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#if defined(__linux__)
+int openCounter(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0 /* this thread */, -1 /* any cpu */,
+              -1 /* no group */, 0));
+}
+#endif
+}  // namespace
+
+LinuxPmu::LinuxPmu() {
+#if defined(__linux__)
+  instr_fd_ = openCounter(PERF_COUNT_HW_INSTRUCTIONS);
+  if (instr_fd_ < 0) {
+    error_ = std::string("perf_event_open(instructions): ") + std::strerror(errno);
+    return;
+  }
+  cycles_fd_ = openCounter(PERF_COUNT_HW_CPU_CYCLES);
+  if (cycles_fd_ < 0) {
+    error_ = std::string("perf_event_open(cycles): ") + std::strerror(errno);
+  }
+#else
+  error_ = "perf_event_open is Linux-only";
+#endif
+}
+
+LinuxPmu::~LinuxPmu() {
+#if defined(__linux__)
+  if (instr_fd_ >= 0) close(instr_fd_);
+  if (cycles_fd_ >= 0) close(cycles_fd_);
+#endif
+}
+
+void LinuxPmu::start() {
+#if defined(__linux__)
+  if (!available()) return;
+  ioctl(instr_fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(cycles_fd_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(instr_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  ioctl(cycles_fd_, PERF_EVENT_IOC_ENABLE, 0);
+#endif
+  start_time_ = nowSeconds();
+}
+
+std::optional<HwCounters> LinuxPmu::stop() {
+#if defined(__linux__)
+  if (!available()) return std::nullopt;
+  ioctl(instr_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  ioctl(cycles_fd_, PERF_EVENT_IOC_DISABLE, 0);
+  HwCounters c;
+  c.duration_s = nowSeconds() - start_time_;
+  if (read(instr_fd_, &c.instructions, sizeof c.instructions) !=
+      static_cast<ssize_t>(sizeof c.instructions)) {
+    return std::nullopt;
+  }
+  if (read(cycles_fd_, &c.cycles, sizeof c.cycles) !=
+      static_cast<ssize_t>(sizeof c.cycles)) {
+    return std::nullopt;
+  }
+  return c;
+#else
+  return std::nullopt;
+#endif
+}
+
+}  // namespace sns::profile

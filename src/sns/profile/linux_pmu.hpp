@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sns::profile {
+
+/// One reading from the hardware counters: instructions retired and core
+/// cycles over a measured window — the same events Uberun's monitor reads
+/// (§5.1), minus the uncore Home-Agent traffic (which needs root + uncore
+/// PMU access).
+struct HwCounters {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  double duration_s = 0.0;
+
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) / cycles : 0.0;
+  }
+};
+
+/// Thin RAII wrapper over Linux perf_event_open(2) counting the calling
+/// thread's instructions and cycles. This is the *real-hardware* profiling
+/// path: the simulated PmuSimulator and this class expose the same derived
+/// metrics, so the Kunafa pipeline can run against either. Many containers
+/// and locked-down kernels refuse perf_event_open; construction then fails
+/// soft (available() == false) and callers fall back to the simulator.
+class LinuxPmu {
+ public:
+  /// Try to open the counters for the calling thread.
+  LinuxPmu();
+  ~LinuxPmu();
+
+  LinuxPmu(const LinuxPmu&) = delete;
+  LinuxPmu& operator=(const LinuxPmu&) = delete;
+
+  bool available() const { return instr_fd_ >= 0 && cycles_fd_ >= 0; }
+  /// Why the counters could not be opened (empty when available).
+  const std::string& error() const { return error_; }
+
+  /// Reset + start counting.
+  void start();
+  /// Stop and read; nullopt when not available.
+  std::optional<HwCounters> stop();
+
+ private:
+  int instr_fd_ = -1;
+  int cycles_fd_ = -1;
+  double start_time_ = 0.0;
+  std::string error_;
+};
+
+/// Convenience: measure a callable's retired instructions / cycles / IPC on
+/// this thread. Returns nullopt when hardware counters are unavailable.
+template <typename F>
+std::optional<HwCounters> measure(F&& body) {
+  LinuxPmu pmu;
+  if (!pmu.available()) return std::nullopt;
+  pmu.start();
+  body();
+  return pmu.stop();
+}
+
+}  // namespace sns::profile

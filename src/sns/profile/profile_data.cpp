@@ -1,0 +1,158 @@
+#include "sns/profile/profile_data.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+
+namespace {
+
+util::Json curveToJson(const util::Curve& c) {
+  util::Json::Array arr;
+  for (const auto& [x, y] : c.points()) {
+    arr.push_back(util::Json(util::Json::Array{util::Json(x), util::Json(y)}));
+  }
+  return util::Json(std::move(arr));
+}
+
+util::Curve curveFromJson(const util::Json& j) {
+  std::vector<std::pair<double, double>> pts;
+  for (const auto& p : j.asArray()) {
+    const auto& pair = p.asArray();
+    if (pair.size() != 2) throw util::DataError("curve point must be [x, y]");
+    pts.emplace_back(pair[0].asNumber(), pair[1].asNumber());
+  }
+  return util::Curve(std::move(pts));
+}
+
+}  // namespace
+
+util::Json ScaleProfile::toJson() const {
+  util::Json j;
+  j["k"] = util::Json(scale_factor);
+  j["nodes"] = util::Json(nodes);
+  j["procs_per_node"] = util::Json(procs_per_node);
+  j["time"] = util::Json(exclusive_time);
+  j["ipc_llc"] = curveToJson(ipc_llc);
+  j["bw_llc"] = curveToJson(bw_llc);
+  j["net_gbps"] = util::Json(net_gbps);
+  return j;
+}
+
+ScaleProfile ScaleProfile::fromJson(const util::Json& j) {
+  ScaleProfile s;
+  s.scale_factor = static_cast<int>(j.get("k").asNumber());
+  s.nodes = static_cast<int>(j.get("nodes").asNumber());
+  s.procs_per_node = static_cast<int>(j.get("procs_per_node").asNumber());
+  s.exclusive_time = j.get("time").asNumber();
+  s.ipc_llc = curveFromJson(j.get("ipc_llc"));
+  s.bw_llc = curveFromJson(j.get("bw_llc"));
+  // Older profile files predate network management.
+  if (j.has("net_gbps")) s.net_gbps = j.get("net_gbps").asNumber();
+  return s;
+}
+
+std::string to_string(ScalingClass c) {
+  switch (c) {
+    case ScalingClass::kUnknown: return "unknown";
+    case ScalingClass::kScaling: return "scaling";
+    case ScalingClass::kCompact: return "compact";
+    case ScalingClass::kNeutral: return "neutral";
+  }
+  return "unknown";
+}
+
+ScalingClass scalingClassFromString(const std::string& s) {
+  if (s == "scaling") return ScalingClass::kScaling;
+  if (s == "compact") return ScalingClass::kCompact;
+  if (s == "neutral") return ScalingClass::kNeutral;
+  if (s == "unknown") return ScalingClass::kUnknown;
+  throw util::DataError("unknown scaling class: " + s);
+}
+
+const ScaleProfile* ProgramProfile::at(int scale_factor) const {
+  for (const auto& s : scales) {
+    if (s.scale_factor == scale_factor) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<int> ProgramProfile::scalesByPerformance() const {
+  std::vector<const ScaleProfile*> ordered;
+  ordered.reserve(scales.size());
+  for (const auto& s : scales) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return a->exclusive_time < b->exclusive_time;
+  });
+  std::vector<int> ks;
+  ks.reserve(ordered.size());
+  for (const auto* s : ordered) ks.push_back(s->scale_factor);
+  return ks;
+}
+
+std::vector<int> ProgramProfile::preferredScaleOrder() const {
+  if (cls == ScalingClass::kScaling) return scalesByPerformance();
+  std::vector<int> ks;
+  ks.reserve(scales.size());
+  for (const auto& s : scales) ks.push_back(s.scale_factor);
+  std::sort(ks.begin(), ks.end());
+  return ks;
+}
+
+void ProgramProfile::classify(double neutral_band) {
+  SNS_REQUIRE(!scales.empty(), "classify() needs at least one scale");
+  const ScaleProfile* base = at(1);
+  SNS_REQUIRE(base != nullptr, "classify() needs the 1x profile");
+  const double t1 = base->exclusive_time;
+
+  ideal_scale = 1;
+  double best = t1;
+  bool any_above_band = false;
+  for (const auto& s : scales) {
+    if (s.exclusive_time < best) {
+      best = s.exclusive_time;
+      ideal_scale = s.scale_factor;
+    }
+    if (s.exclusive_time > t1 * (1.0 + neutral_band)) any_above_band = true;
+  }
+
+  if (best < t1 * (1.0 - neutral_band)) {
+    cls = ScalingClass::kScaling;
+  } else if (any_above_band) {
+    // No scale is meaningfully faster and some are meaningfully slower:
+    // spreading hurts, keep compact.
+    cls = ScalingClass::kCompact;
+    ideal_scale = 1;
+  } else {
+    cls = ScalingClass::kNeutral;
+  }
+}
+
+util::Json ProgramProfile::toJson() const {
+  util::Json j;
+  j["program"] = util::Json(program);
+  j["procs"] = util::Json(procs);
+  j["class"] = util::Json(to_string(cls));
+  j["ideal_scale"] = util::Json(ideal_scale);
+  util::Json::Array arr;
+  for (const auto& s : scales) arr.push_back(s.toJson());
+  j["scales"] = util::Json(std::move(arr));
+  return j;
+}
+
+ProgramProfile ProgramProfile::fromJson(const util::Json& j) {
+  ProgramProfile p;
+  p.program = j.get("program").asString();
+  p.procs = static_cast<int>(j.get("procs").asNumber());
+  p.cls = scalingClassFromString(j.get("class").asString());
+  p.ideal_scale = static_cast<int>(j.get("ideal_scale").asNumber());
+  for (const auto& s : j.get("scales").asArray()) {
+    p.scales.push_back(ScaleProfile::fromJson(s));
+  }
+  std::sort(p.scales.begin(), p.scales.end(),
+            [](const auto& a, const auto& b) { return a.scale_factor < b.scale_factor; });
+  return p;
+}
+
+}  // namespace sns::profile

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sns/util/curve.hpp"
+#include "sns/util/json.hpp"
+
+namespace sns::profile {
+
+/// What the profiler learned about one program at one scale factor: the
+/// clean exclusive run time plus the IPC-LLC and BW-LLC curves built from
+/// episode sampling at a few way allocations (paper §4.1, §5.1).
+struct ScaleProfile {
+  int scale_factor = 1;      ///< k: nodes = k x minimum footprint
+  int nodes = 1;             ///< node count of the profiled run
+  int procs_per_node = 0;
+  double exclusive_time = 0.0;  ///< clean run (no LLC manipulation), seconds
+  util::Curve ipc_llc;       ///< ways -> per-core IPC
+  util::Curve bw_llc;        ///< ways -> per-node bandwidth, GB/s
+  /// Average per-node NIC bandwidth observed at this scale (from network
+  /// counters) — used when network is managed as a third resource (§3.3).
+  double net_gbps = 0.0;
+
+  util::Json toJson() const;
+  static ScaleProfile fromJson(const util::Json& j);
+};
+
+/// Program classification from scaling trials (paper §4.2).
+enum class ScalingClass {
+  kUnknown,
+  kScaling,  ///< benefits from more nodes; has an ideal scale factor
+  kCompact,  ///< suffers from scaling out; keep at minimum footprint
+  kNeutral,  ///< within 5% across all eligible scales; flexible filler
+};
+
+std::string to_string(ScalingClass c);
+ScalingClass scalingClassFromString(const std::string& s);
+
+/// Accumulated knowledge about one program at a given total process count.
+struct ProgramProfile {
+  std::string program;
+  int procs = 0;
+  std::vector<ScaleProfile> scales;  ///< ascending scale factor
+  ScalingClass cls = ScalingClass::kUnknown;
+  int ideal_scale = 1;  ///< empirically fastest scale factor
+
+  /// Profile for an exact scale factor, or nullptr.
+  const ScaleProfile* at(int scale_factor) const;
+
+  /// Scale factors ordered by profiled exclusive performance, fastest
+  /// first — the order SNS walks when the best footprint does not fit
+  /// (paper §4.4).
+  std::vector<int> scalesByPerformance() const;
+
+  /// Scale order the scheduler should actually walk. Scaling programs are
+  /// spread to their fastest profiled scale; neutral and compact programs
+  /// prefer the minimum footprint and are only scaled *passively*, "not
+  /// for improving their performance but to utilize residual cores"
+  /// (§6.1) — i.e., ascending scale factors.
+  std::vector<int> preferredScaleOrder() const;
+
+  /// Recompute cls and ideal_scale from the recorded scales, using the
+  /// paper's 5% neutrality band.
+  void classify(double neutral_band = 0.05);
+
+  util::Json toJson() const;
+  static ProgramProfile fromJson(const util::Json& j);
+};
+
+}  // namespace sns::profile

@@ -1,0 +1,108 @@
+#include "sns/profile/profiler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/app/comm.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+
+ScaleProfile Profiler::profileScale(const app::ProgramModel& prog, int total_procs,
+                                    int scale_factor) {
+  SNS_REQUIRE(scale_factor >= 1, "scale factor must be >= 1");
+  const int n = scale_factor * est_.minNodes(total_procs);
+  SNS_REQUIRE(prog.multi_node || n == 1, "single-node program at scale > 1");
+  const int c = (total_procs + n - 1) / n;
+  SNS_REQUIRE(c >= 1, "scale factor spreads job thinner than 1 proc/node");
+  const auto& mach = est_.machine();
+  const double full_ways = mach.llc_ways;
+
+  ScaleProfile sp;
+  sp.scale_factor = scale_factor;
+  sp.nodes = n;
+  sp.procs_per_node = c;
+
+  // Clean run: no LLC manipulation (the paper captures total run time in a
+  // separate run because lowering the allocation slows the program, §5.1).
+  const auto clean = est_.solo(prog, total_procs, n, full_ways);
+  sp.exclusive_time = clean.time;
+  // NIC counters: average per-node network bandwidth over the clean run
+  // (remote traffic volume / run time).
+  const double remote_gb = c * prog.comm_gb_per_proc * clean.remote_frac;
+  sp.net_gbps = clean.time > 0.0 ? remote_gb / clean.time : 0.0;
+
+  // Sampling run: rotate the CAT allocation over the sample ways, one
+  // episode at a time, reading PMU counters per episode.
+  const double rf =
+      app::remoteFraction(prog.comm.pattern, total_procs, c, n);
+  const auto phases = prog.effectivePhases();
+  const std::size_t n_ways = cfg_.sample_ways.size();
+  SNS_REQUIRE(n_ways >= 2, "need at least two sampled way allocations");
+  const double ep_len =
+      std::min(cfg_.episode_seconds, clean.time / static_cast<double>(2 * n_ways));
+  const auto n_eps = static_cast<std::size_t>(
+      std::max<double>(2 * n_ways, std::floor(clean.time / ep_len)));
+
+  std::vector<double> ipc_sum(n_ways, 0.0), bw_sum(n_ways, 0.0);
+  std::vector<std::size_t> count(n_ways, 0);
+  for (std::size_t ep = 0; ep < n_eps; ++ep) {
+    const std::size_t wi = ep % n_ways;
+    const double ways = cfg_.sample_ways[wi];
+    // Locate the execution phase the episode midpoint falls into (phases
+    // run in sequence, occupying their weight share of the run).
+    const double pos = (static_cast<double>(ep) + 0.5) / static_cast<double>(n_eps);
+    double acc = 0.0;
+    double intensity = phases.back().mem_intensity;
+    for (const auto& ph : phases) {
+      acc += ph.weight;
+      if (pos <= acc) {
+        intensity = ph.mem_intensity;
+        break;
+      }
+    }
+    perfmodel::NodeShare share{&prog, c, ways, rf, intensity};
+    const auto outcome =
+        est_.solver().solve(std::span<const perfmodel::NodeShare>(&share, 1)).front();
+    const auto pmu = pmu_.sample(outcome, c, ep_len, mach.frequency_ghz);
+    ipc_sum[wi] += pmu.ipc();
+    bw_sum[wi] += pmu.bandwidthGbps();
+    ++count[wi];
+  }
+
+  for (std::size_t wi = 0; wi < n_ways; ++wi) {
+    SNS_REQUIRE(count[wi] > 0, "way allocation never sampled");
+    sp.ipc_llc.addPoint(cfg_.sample_ways[wi],
+                        ipc_sum[wi] / static_cast<double>(count[wi]));
+    sp.bw_llc.addPoint(cfg_.sample_ways[wi],
+                       bw_sum[wi] / static_cast<double>(count[wi]));
+  }
+  return sp;
+}
+
+ProgramProfile Profiler::profileProgram(const app::ProgramModel& prog,
+                                        int total_procs) {
+  ProgramProfile out;
+  out.program = prog.name;
+  out.procs = total_procs;
+
+  double best = 0.0;
+  for (int k : cfg_.candidate_scales) {
+    const int n = k * est_.minNodes(total_procs);
+    if (n > 1 && !prog.multi_node) break;
+    const int c = (total_procs + n - 1) / n;
+    if (c < cfg_.min_procs_per_node) break;
+
+    auto sp = profileScale(prog, total_procs, k);
+    const double t = sp.exclusive_time;
+    out.scales.push_back(std::move(sp));
+    if (out.scales.size() == 1 || t < best) best = t;
+    // Stop exploring when spreading clearly degrades performance (§4.2).
+    if (t > best * (1.0 + cfg_.degrade_stop)) break;
+  }
+  SNS_REQUIRE(!out.scales.empty(), "no feasible scale for program " + prog.name);
+  out.classify(cfg_.neutral_band);
+  return out;
+}
+
+}  // namespace sns::profile

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "sns/perfmodel/estimator.hpp"
+#include "sns/perfmodel/pmu.hpp"
+#include "sns/profile/profile_data.hpp"
+
+namespace sns::profile {
+
+/// Knobs of the Kunafa-style monitor (paper §5.1 defaults).
+struct ProfilerConfig {
+  /// Way allocations sampled while rotating CAT masks at run time; missing
+  /// points are linearly interpolated.
+  std::vector<int> sample_ways = {2, 4, 8, 20};
+  /// Length of one fixed-allocation episode.
+  double episode_seconds = 5.0;
+  /// Relative sigma of PMU counter noise (0 disables measurement error).
+  double pmu_noise = 0.02;
+  /// Candidate scale factors explored by the trial-and-error scaling study.
+  std::vector<int> candidate_scales = {1, 2, 4, 8};
+  /// Stop exploring larger scales once a trial is this much slower than the
+  /// best seen ("seeing performance degradation above y%", §4.2).
+  double degrade_stop = 0.20;
+  /// Stop exploring once fewer than this many processes would land on each
+  /// node ("under x cores per node utilized").
+  int min_procs_per_node = 2;
+  /// 5% band for the neutral class.
+  double neutral_band = 0.05;
+};
+
+/// Simulated Kunafa profiler. Reproduces the paper's measurement pipeline:
+/// a clean exclusive run captures the scale's execution time; a second run
+/// rotates LLC allocations every `episode_seconds`, sampling IPC and
+/// bandwidth from (noisy) PMU counters per allocation; per-way averages
+/// become the IPC-LLC / BW-LLC curves. Multi-phase programs make the
+/// rotation land on biased phase mixes — the profiles inherit that error,
+/// as the paper's do (§6.2).
+class Profiler {
+ public:
+  Profiler(const perfmodel::Estimator& est, ProfilerConfig cfg = {},
+           std::uint64_t seed = 0xCAFEF00DULL)
+      : est_(est), cfg_(std::move(cfg)), pmu_(cfg_.pmu_noise, seed) {}
+
+  /// Profile one scale factor of a program.
+  ScaleProfile profileScale(const app::ProgramModel& prog, int total_procs,
+                            int scale_factor);
+
+  /// Full trial-and-error exploration over candidate scales, then classify.
+  ProgramProfile profileProgram(const app::ProgramModel& prog, int total_procs);
+
+  const ProfilerConfig& config() const { return cfg_; }
+
+ private:
+  const perfmodel::Estimator& est_;
+  ProfilerConfig cfg_;
+  perfmodel::PmuSimulator pmu_;
+};
+
+}  // namespace sns::profile

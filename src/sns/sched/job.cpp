@@ -1,0 +1,5 @@
+#include "sns/sched/job.hpp"
+
+// Job and Placement are aggregates; this TU anchors the header in the
+// library target.
+namespace sns::sched {}

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sns/actuator/node_ledger.hpp"
+#include "sns/app/program.hpp"
+#include "sns/app/workload_gen.hpp"
+
+namespace sns::sched {
+
+using JobId = actuator::JobId;
+
+/// The scheduler's decision for one job: which nodes, how many processes
+/// per node, which scale factor, and the per-node resource allocation.
+struct Placement {
+  std::vector<int> nodes;
+  int procs_per_node = 0;
+  int scale_factor = 1;
+  int ways = 0;          ///< CAT partition per node; 0 = unpartitioned
+  double bw_gbps = 0.0;  ///< per-node bandwidth reservation (estimate)
+  double net_gbps = 0.0; ///< per-node NIC reservation (when network-managed)
+  bool exclusive = false;
+
+  int nodeCount() const { return static_cast<int>(nodes.size()); }
+  actuator::NodeAllocation nodeAllocation() const {
+    return {procs_per_node, ways, bw_gbps, exclusive, net_gbps};
+  }
+};
+
+/// A submitted job as the scheduler sees it.
+struct Job {
+  JobId id = 0;
+  app::JobSpec spec;
+  const app::ProgramModel* program = nullptr;
+  double submit_time = 0.0;
+
+  double age(double now) const { return now - submit_time; }
+};
+
+}  // namespace sns::sched

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "sns/profile/profiler.hpp"
+#include "sns/sched/policy.hpp"
+
+namespace sns::sched {
+
+/// Compact-n-Exclusive: the conventional baseline. A job takes its minimum
+/// node footprint, each node fully dedicated (node mode E).
+class CePolicy final : public SchedulingPolicy {
+ public:
+  explicit CePolicy(const perfmodel::Estimator& est) : est_(&est) {}
+  std::string name() const override { return "CE"; }
+  std::optional<Placement> tryPlace(const Job& job,
+                                    const actuator::ResourceLedger& ledger,
+                                    const profile::ProfileDatabase& db) const override;
+
+ private:
+  const perfmodel::Estimator* est_;
+};
+
+/// Compact-n-Share: the intermediate policy (paper Fig 8). Nodes are
+/// shared (mode S) and idle cores filled; a scale factor of 1 is preferred
+/// but not forced — the lowest currently feasible scale is used. No cache
+/// partitioning and no bandwidth awareness.
+class CsPolicy final : public SchedulingPolicy {
+ public:
+  explicit CsPolicy(const perfmodel::Estimator& est) : est_(&est) {}
+  std::string name() const override { return "CS"; }
+  std::optional<Placement> tryPlace(const Job& job,
+                                    const actuator::ResourceLedger& ledger,
+                                    const profile::ProfileDatabase& db) const override;
+
+ private:
+  const perfmodel::Estimator* est_;
+};
+
+/// Spread-n-Share: the paper's contribution (§4.4, Fig 11). Walks the
+/// job's profiled scale factors in descending exclusive-run performance;
+/// per scale, estimates the (cores, ways, bandwidth) demand from the
+/// profile curves and the slowdown threshold alpha, and searches for nodes
+/// with that much residual capacity (group-aware, least-loaded-first with
+/// node score Co + Bo + beta x Wo). Unprofiled programs run compact and
+/// exclusive, which doubles as a profiling opportunity.
+class SnsPolicy final : public SchedulingPolicy {
+ public:
+  /// Node-selection heuristic: the paper's idlest-first score within
+  /// idle-core groups, or the dot-product vector-bin-packing alternative
+  /// its §7 points to.
+  enum class Packing { kIdlestScore, kDotProduct };
+
+  struct Options {
+    Packing packing = Packing::kIdlestScore;
+    double beta = 2.0;          ///< LLC weight in the node score (§4.4)
+    double default_alpha = 0.9; ///< used when a job does not specify alpha
+    /// Treat per-node NIC bandwidth as a third managed resource (§3.3's
+    /// extension): reserve the profiled network demand when placing.
+    bool manage_network = false;
+    /// Knobs of the piggybacked scale exploration for unprofiled or
+    /// partially profiled programs (§4.2).
+    profile::ProfilerConfig exploration;
+  };
+
+  explicit SnsPolicy(const perfmodel::Estimator& est) : SnsPolicy(est, Options()) {}
+  SnsPolicy(const perfmodel::Estimator& est, Options opts) : est_(&est), opts_(opts) {}
+  std::string name() const override { return "SNS"; }
+  std::optional<Placement> tryPlace(const Job& job,
+                                    const actuator::ResourceLedger& ledger,
+                                    const profile::ProfileDatabase& db) const override;
+  const Options& options() const { return opts_; }
+
+ private:
+  const perfmodel::Estimator* est_;
+  Options opts_;
+};
+
+/// Shared helper: an exclusive placement at the given scale factor. CE
+/// always uses scale 1; SNS exploration runs use the trial scale (the
+/// paper piggybacks scaling-out profiling on exclusive production runs).
+std::optional<Placement> exclusivePlacement(const Job& job,
+                                            const actuator::ResourceLedger& ledger,
+                                            const perfmodel::Estimator& est,
+                                            int scale_factor);
+
+}  // namespace sns::sched

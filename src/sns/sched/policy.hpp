@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sns/actuator/resource_ledger.hpp"
+#include "sns/perfmodel/estimator.hpp"
+#include "sns/profile/database.hpp"
+#include "sns/sched/job.hpp"
+
+namespace sns::sched {
+
+/// Placement strategy interface. A policy inspects (but does not mutate)
+/// the cluster state and proposes a placement for one job; the caller
+/// (scheduler / simulator) applies it to the ledger.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Propose a placement for `job`, or nullopt if it cannot start now.
+  virtual std::optional<Placement> tryPlace(const Job& job,
+                                            const actuator::ResourceLedger& ledger,
+                                            const profile::ProfileDatabase& db) const = 0;
+};
+
+enum class PolicyKind { kCE, kCS, kSNS };
+
+std::string to_string(PolicyKind k);
+
+/// Factory. CE and CS ignore the profile database; SNS needs the estimator
+/// only for footprint math (min nodes), never for ground-truth times.
+std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
+                                             const perfmodel::Estimator& est);
+
+}  // namespace sns::sched

@@ -1,0 +1,54 @@
+#include "sns/sched/policies.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::sched {
+
+std::string to_string(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kCE: return "CE";
+    case PolicyKind::kCS: return "CS";
+    case PolicyKind::kSNS: return "SNS";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SchedulingPolicy> makePolicy(PolicyKind kind,
+                                             const perfmodel::Estimator& est) {
+  switch (kind) {
+    case PolicyKind::kCE: return std::make_unique<CePolicy>(est);
+    case PolicyKind::kCS: return std::make_unique<CsPolicy>(est);
+    case PolicyKind::kSNS: return std::make_unique<SnsPolicy>(est);
+  }
+  throw util::PreconditionError("unknown policy kind");
+}
+
+std::optional<Placement> exclusivePlacement(const Job& job,
+                                            const actuator::ResourceLedger& ledger,
+                                            const perfmodel::Estimator& est,
+                                            int scale_factor) {
+  SNS_REQUIRE(scale_factor >= 1, "scale factor must be >= 1");
+  const int n = scale_factor * est.minNodes(job.spec.procs);
+  SNS_REQUIRE(est.minNodes(job.spec.procs) <= ledger.nodeCount(),
+              "job larger than the cluster");
+  if (n > ledger.nodeCount()) return std::nullopt;
+  const int c = (job.spec.procs + n - 1) / n;
+  auto nodes = ledger.selectNodes(n, c, 0, 0.0, /*exclusive=*/true);
+  if (nodes.empty()) return std::nullopt;
+  Placement p;
+  p.nodes = std::move(nodes);
+  p.procs_per_node = c;
+  p.scale_factor = scale_factor;
+  p.ways = 0;
+  p.bw_gbps = 0.0;
+  p.exclusive = true;
+  return p;
+}
+
+std::optional<Placement> CePolicy::tryPlace(const Job& job,
+                                            const actuator::ResourceLedger& ledger,
+                                            const profile::ProfileDatabase&) const {
+  return exclusivePlacement(job, ledger, *est_, 1);
+}
+
+}  // namespace sns::sched

@@ -1,0 +1,34 @@
+#include "sns/sched/policies.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::sched {
+
+std::optional<Placement> CsPolicy::tryPlace(const Job& job,
+                                            const actuator::ResourceLedger& ledger,
+                                            const profile::ProfileDatabase&) const {
+  const int n_min = est_->minNodes(job.spec.procs);
+  SNS_REQUIRE(n_min <= ledger.nodeCount(), "job larger than the cluster");
+  // Prefer the most compact placement; when the idle cores are scattered,
+  // accept the lowest feasible scale factor instead of waiting (Fig 8).
+  for (int k : {1, 2, 4, 8}) {
+    const int n = k * n_min;
+    if (n > ledger.nodeCount()) break;
+    if (n > 1 && !job.program->multi_node) break;
+    const int c = (job.spec.procs + n - 1) / n;
+    if (c < 1) break;
+    auto nodes = ledger.selectNodes(n, c, 0, 0.0, /*exclusive=*/false);
+    if (nodes.empty()) continue;
+    Placement p;
+    p.nodes = std::move(nodes);
+    p.procs_per_node = c;
+    p.scale_factor = k;
+    p.ways = 0;  // no CAT partitioning under CS: free-for-all cache sharing
+    p.bw_gbps = 0.0;
+    p.exclusive = false;
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sns::sched

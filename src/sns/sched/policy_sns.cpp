@@ -1,0 +1,61 @@
+#include "sns/sched/policies.hpp"
+
+#include "sns/profile/demand.hpp"
+#include "sns/profile/exploration.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::sched {
+
+std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
+                                             const actuator::ResourceLedger& ledger,
+                                             const profile::ProfileDatabase& db) const {
+  const auto* prof = db.find(job.spec.program, job.spec.procs);
+  // Unprofiled or partially-explored program: run it exclusively at the
+  // next trial scale; the monitor profiles it during that run (§4.2, §4.4).
+  const int trial = profile::nextTrialScale(prof, *job.program, job.spec.procs,
+                                            ledger.nodeCount(), *est_,
+                                            opts_.exploration);
+  if (trial > 0) {
+    return exclusivePlacement(job, ledger, *est_, trial);
+  }
+  SNS_REQUIRE(prof != nullptr, "finished exploration implies a profile");
+
+  const double alpha = job.spec.alpha > 0.0 ? job.spec.alpha : opts_.default_alpha;
+  const auto& mach = ledger.machine();
+
+  // Walk scale factors in preference order: fastest-profiled first for
+  // scaling programs (Fig 11's "select fastest scale factor among
+  // remaining"), most-compact first for neutral/compact programs, which
+  // are only scaled passively (§6.1).
+  for (int k : prof->preferredScaleOrder()) {
+    const auto* sp = prof->at(k);
+    SNS_REQUIRE(sp != nullptr, "profile lost a scale");
+    if (sp->nodes > 1 && !job.program->multi_node) continue;
+    if (sp->nodes > ledger.nodeCount()) continue;
+
+    const auto demand = profile::estimateDemand(*sp, alpha, mach);
+    actuator::NodeAllocation request;
+    request.cores = sp->procs_per_node;
+    request.ways = demand.ways;
+    request.bw_gbps = demand.bw_gbps;
+    request.exclusive = false;
+    request.net_gbps = opts_.manage_network ? demand.net_gbps : 0.0;
+    auto nodes = opts_.packing == Packing::kDotProduct
+                     ? ledger.selectNodesByAlignment(sp->nodes, request)
+                     : ledger.selectNodes(sp->nodes, request, opts_.beta);
+    if (nodes.empty()) continue;
+
+    Placement p;
+    p.nodes = std::move(nodes);
+    p.procs_per_node = sp->procs_per_node;
+    p.scale_factor = k;
+    p.ways = demand.ways;
+    p.bw_gbps = demand.bw_gbps;
+    p.net_gbps = request.net_gbps;
+    p.exclusive = false;
+    return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sns::sched

@@ -1,0 +1,33 @@
+#include "sns/sched/queue.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::sched {
+
+void JobQueue::push(Job job) {
+  // Insert keeping (submit_time, id) order; submissions usually arrive in
+  // order so this is O(1) amortized.
+  auto it = std::upper_bound(jobs_.begin(), jobs_.end(), job,
+                             [](const Job& a, const Job& b) {
+                               if (a.submit_time != b.submit_time)
+                                 return a.submit_time < b.submit_time;
+                               return a.id < b.id;
+                             });
+  jobs_.insert(it, std::move(job));
+}
+
+void JobQueue::remove(JobId id) {
+  auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                         [&](const Job& j) { return j.id == id; });
+  SNS_REQUIRE(it != jobs_.end(), "job not in queue");
+  jobs_.erase(it);
+}
+
+bool JobQueue::headStarved(double now, double age_limit) const {
+  if (jobs_.empty()) return false;
+  return jobs_.front().age(now) > age_limit;
+}
+
+}  // namespace sns::sched

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sns/sched/job.hpp"
+
+namespace sns::sched {
+
+/// Pending-job queue with the paper's age-based priority (§4.4): jobs are
+/// ordered by submission (FIFO base priority); at a scheduling point the
+/// scheduler walks the queue in priority order and may skip jobs that do
+/// not fit — but once the head job's waiting age exceeds the age limit, no
+/// younger job may jump ahead of it (anti-starvation: "a configurable age
+/// limit prevents starvation, so that resource-demanding jobs do not get
+/// delayed once reaching this limit").
+class JobQueue {
+ public:
+  void push(Job job);
+  bool empty() const { return jobs_.empty(); }
+  std::size_t size() const { return jobs_.size(); }
+
+  /// Jobs in priority order (submit time, then id).
+  const std::deque<Job>& pending() const { return jobs_; }
+
+  /// Remove a job by id (after it was dispatched).
+  void remove(JobId id);
+
+  /// True if the queue's head job has waited past `age_limit` at time
+  /// `now` — the signal to stop backfilling younger jobs.
+  bool headStarved(double now, double age_limit) const;
+
+ private:
+  std::deque<Job> jobs_;
+};
+
+}  // namespace sns::sched

@@ -1,0 +1,359 @@
+#include "sns/sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "sns/app/comm.hpp"
+#include "sns/profile/exploration.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kDoneEps = 1e-9;
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
+                                   const std::vector<app::ProgramModel>& library,
+                                   const profile::ProfileDatabase& db, SimConfig cfg)
+    : est_(&est),
+      library_(&library),
+      db_(&db),
+      cfg_(cfg),
+      ledger_(cfg.nodes, est.machine()) {
+  SNS_REQUIRE(cfg.nodes >= 1, "simulator needs at least one node");
+  if (cfg_.policy == sched::PolicyKind::kSNS) {
+    policy_ = std::make_unique<sched::SnsPolicy>(est, cfg_.sns);
+  } else {
+    policy_ = sched::makePolicy(cfg_.policy, est);
+  }
+  node_jobs_.resize(static_cast<std::size_t>(cfg.nodes));
+  node_solution_.resize(static_cast<std::size_t>(cfg.nodes));
+  node_net_demand_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
+  episode_accum_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
+  if (cfg_.online_profiling) {
+    monitor_ = std::make_unique<profile::Profiler>(est, cfg_.monitor);
+  }
+}
+
+void ClusterSimulator::resolveNode(int nd) {
+  auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
+  auto& sol = node_solution_[static_cast<std::size_t>(nd)];
+  sol.clear();
+  if (jobs.empty()) return;
+
+  std::vector<perfmodel::NodeShare> shares;
+  shares.reserve(jobs.size());
+  for (sched::JobId id : jobs) {
+    const Running& r = running_.at(id);
+    const double rf = app::remoteFraction(r.prog->comm.pattern, r.spec.procs,
+                                          r.placement.procs_per_node,
+                                          r.placement.nodeCount());
+    const auto& alloc = ledger_.node(nd).allocation(id);
+    const double ways = cfg_.donate_unused_ways
+                            ? ledger_.node(nd).effectiveWays(id)
+                            : static_cast<double>(alloc.ways);
+    const double cap = cfg_.enforce_bandwidth_caps && !alloc.exclusive
+                           ? alloc.bw_gbps
+                           : 0.0;
+    shares.push_back({r.prog, r.placement.procs_per_node, ways, rf, 1.0, cap});
+  }
+  const auto outcomes = est_->solver().solve(shares);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    sol[jobs[i]] = {outcomes[i].rate_per_proc, outcomes[i].bw_gbps};
+  }
+}
+
+void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
+  for (int nd : dirty_nodes) resolveNode(nd);
+
+  // Jobs touching a dirty node need their progress rate re-derived.
+  std::set<sched::JobId> affected;
+  for (int nd : dirty_nodes) {
+    for (sched::JobId id : node_jobs_[static_cast<std::size_t>(nd)]) {
+      affected.insert(id);
+    }
+  }
+  const double nic_cap = est_->machine().net_bw_gbps;
+  for (sched::JobId id : affected) {
+    Running& r = running_.at(id);
+    double corun_rate = kInf;
+    double bw_sum = 0.0;
+    double net_over = 1.0;
+    for (int nd : r.placement.nodes) {
+      const auto& entry = node_solution_[static_cast<std::size_t>(nd)].at(id);
+      corun_rate = std::min(corun_rate, entry.first);
+      bw_sum += entry.second;
+      // NIC oversubscription on this node stretches everyone's comm.
+      net_over = std::max(
+          net_over, node_net_demand_[static_cast<std::size_t>(nd)] / nic_cap);
+    }
+    SNS_REQUIRE(corun_rate > 0.0, "co-run rate must be positive");
+    const double stretch = r.solo_rate / corun_rate;
+    r.net_stretch = net_over;
+    const double t_inst = r.comp_time_solo * stretch +
+                          r.comm_data_time * net_over + r.wait_time;
+    SNS_REQUIRE(t_inst > 0.0, "instantaneous job time must be positive");
+    r.rate = 1.0 / t_inst;
+    r.bw_per_node = bw_sum / r.placement.nodeCount();
+  }
+}
+
+void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p,
+                                double now) {
+  Running r;
+  r.id = job.id;
+  r.prog = job.program;
+  r.spec = job.spec;
+  r.placement = p;
+
+  // Solo baseline at the allocated ways (full cache when unpartitioned or
+  // exclusive: alone, the job would own the whole LLC).
+  const double solo_ways =
+      p.ways > 0 ? p.ways : static_cast<double>(est_->machine().llc_ways);
+  const auto solo =
+      est_->solo(*job.program, job.spec.procs, p.nodeCount(), solo_ways);
+  double reps = std::max(1, job.spec.repeats);
+  if (job.spec.ce_time_override > 0.0) {
+    // Trace-driven jobs: rescale work so the CE run matches the trace
+    // duration, preserving the program's relative scaling behaviour.
+    const auto ce = est_->soloCE(*job.program, job.spec.procs,
+                                 est_->minNodes(job.spec.procs));
+    reps *= job.spec.ce_time_override / ce.time;
+  }
+  r.comp_time_solo = solo.comp_time * reps;
+  r.comm_data_time = solo.comm_data_time * reps;
+  r.wait_time = solo.wait_time * reps;
+  r.solo_rate = solo.ipc * est_->machine().frequency_ghz * 1e9;
+  r.remaining = 1.0;
+  // Ground-truth NIC usage: remote traffic volume over the solo run time
+  // (repeats and trace rescaling multiply volume and time alike).
+  r.nic_demand = solo.time > 0.0
+                     ? p.procs_per_node * job.program->comm_gb_per_proc *
+                           solo.remote_frac / solo.time
+                     : 0.0;
+
+  running_[job.id] = std::move(r);
+  for (int nd : p.nodes) {
+    ledger_.allocate(nd, job.id, p.nodeAllocation());
+    node_jobs_[static_cast<std::size_t>(nd)].push_back(job.id);
+    node_net_demand_[static_cast<std::size_t>(nd)] += running_[job.id].nic_demand;
+  }
+
+  JobRecord& rec = records_.at(job.id);
+  rec.start = now;
+  rec.placement = p;
+  if (cfg_.on_start) cfg_.on_start(rec);
+}
+
+void ClusterSimulator::finishJob(sched::JobId id, double now) {
+  const Running& r = running_.at(id);
+  records_.at(id).finish = now;
+  if (cfg_.on_finish) cfg_.on_finish(records_.at(id));
+  // Piggybacked profiling: an exclusive run doubles as a profiling trial at
+  // its scale factor (§4.1/§4.4); the monitor's measurements accumulate in
+  // the run-local database so later submissions schedule smarter.
+  if (monitor_ != nullptr && r.placement.exclusive) {
+    const int k = r.placement.scale_factor;
+    const auto* existing = local_db_.find(r.spec.program, r.spec.procs);
+    if (existing == nullptr || existing->at(k) == nullptr) {
+      profile::ProgramProfile pp;
+      if (existing != nullptr) {
+        pp = *existing;
+      } else {
+        pp.program = r.spec.program;
+        pp.procs = r.spec.procs;
+      }
+      profile::mergeTrial(pp, monitor_->profileScale(*r.prog, r.spec.procs, k),
+                          cfg_.monitor.neutral_band);
+      local_db_.put(std::move(pp));
+    }
+  }
+  for (int nd : r.placement.nodes) {
+    ledger_.release(nd, id);
+    auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
+    jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+    node_net_demand_[static_cast<std::size_t>(nd)] -= r.nic_demand;
+  }
+  const std::vector<int> dirty = r.placement.nodes;
+  running_.erase(id);
+  refreshRates(dirty);
+}
+
+void ClusterSimulator::schedule(double now) {
+  bool placed_any = true;
+  while (placed_any) {
+    placed_any = false;
+    int scanned = 0;
+    for (const sched::Job& job : queue_.pending()) {
+      if (++scanned > cfg_.max_queue_scan) break;
+      auto p = policy_->tryPlace(job, ledger_, local_db_);
+      if (p.has_value()) {
+        const sched::Job job_copy = job;
+        queue_.remove(job.id);
+        startJob(job_copy, *p, now);
+        refreshRates(p->nodes);
+        placed_any = true;
+        break;  // queue mutated; restart the walk
+      }
+      // Anti-starvation: once the head job has aged past the limit, no
+      // younger job may be backfilled ahead of it.
+      if (scanned == 1 && job.age(now) > cfg_.age_limit_s) break;
+    }
+  }
+}
+
+void ClusterSimulator::accumulate(double t0, double t1) {
+  if (t1 <= t0) return;
+  busy_integral_ += ledger_.busyNodeCount() * (t1 - t0);
+  if (cfg_.monitor_episode_s <= 0.0) return;
+
+  // Per-node bandwidth is piecewise constant over [t0, t1): sum of each
+  // resident job's bandwidth weighted by the fraction of its time spent in
+  // the memory-active (compute) component.
+  const int n_nodes = ledger_.nodeCount();
+  std::vector<double> node_bw(static_cast<std::size_t>(n_nodes), 0.0);
+  for (int nd = 0; nd < n_nodes; ++nd) {
+    double bw = 0.0;
+    for (sched::JobId id : node_jobs_[static_cast<std::size_t>(nd)]) {
+      const Running& r = running_.at(id);
+      const double t_inst = 1.0 / r.rate;
+      const double comp_part =
+          t_inst - r.comm_data_time * r.net_stretch - r.wait_time;
+      const double weight = comp_part > 0.0 ? comp_part / t_inst : 0.0;
+      bw += node_solution_[static_cast<std::size_t>(nd)].at(id).second * weight;
+    }
+    node_bw[static_cast<std::size_t>(nd)] = bw;
+  }
+
+  double t = t0;
+  while (t < t1 - 1e-12) {
+    const double boundary = episode_start_ + cfg_.monitor_episode_s;
+    const double span_end = std::min(t1, boundary);
+    for (int nd = 0; nd < n_nodes; ++nd) {
+      episode_accum_[static_cast<std::size_t>(nd)] +=
+          node_bw[static_cast<std::size_t>(nd)] * (span_end - t);
+    }
+    if (span_end >= boundary - 1e-12) {
+      // Close the episode: store per-node averages.
+      std::vector<double> avg(static_cast<std::size_t>(n_nodes));
+      for (int nd = 0; nd < n_nodes; ++nd) {
+        avg[static_cast<std::size_t>(nd)] =
+            episode_accum_[static_cast<std::size_t>(nd)] / cfg_.monitor_episode_s;
+        episode_accum_[static_cast<std::size_t>(nd)] = 0.0;
+      }
+      episodes_.push_back(std::move(avg));
+      episode_start_ = boundary;
+    }
+    t = span_end;
+  }
+}
+
+SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
+  SNS_REQUIRE(!jobs.empty(), "run() needs at least one job");
+  // Reset state so a simulator instance can be reused. The scheduler reads
+  // the run-local database: a copy of the seed database that the online
+  // monitor (if enabled) extends during the run.
+  local_db_ = *db_;
+  ledger_ = actuator::ResourceLedger(cfg_.nodes, est_->machine());
+  queue_ = sched::JobQueue{};
+  running_.clear();
+  records_.clear();
+  for (auto& v : node_jobs_) v.clear();
+  for (auto& m : node_solution_) m.clear();
+  std::fill(node_net_demand_.begin(), node_net_demand_.end(), 0.0);
+  episodes_.clear();
+  std::fill(episode_accum_.begin(), episode_accum_.end(), 0.0);
+  episode_start_ = 0.0;
+  busy_integral_ = 0.0;
+
+  // Build submit-ordered job list.
+  std::vector<sched::Job> submits;
+  submits.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    sched::Job j;
+    j.id = static_cast<sched::JobId>(i);
+    j.spec = jobs[i];
+    j.program = &app::findProgram(*library_, jobs[i].program);
+    SNS_REQUIRE(j.program->calibrated(), "program must be calibrated");
+    j.submit_time = jobs[i].submit_time;
+    JobRecord rec;
+    rec.id = j.id;
+    rec.spec = jobs[i];
+    rec.submit = jobs[i].submit_time;
+    records_[j.id] = rec;
+    submits.push_back(std::move(j));
+  }
+  std::stable_sort(submits.begin(), submits.end(),
+                   [](const sched::Job& a, const sched::Job& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+
+  double now = 0.0;
+  std::size_t next_submit = 0;
+
+  // Admit everything submitted at t = 0 before the first scheduling pass.
+  while (next_submit < submits.size() &&
+         submits[next_submit].submit_time <= now + 1e-12) {
+    queue_.push(submits[next_submit++]);
+  }
+  schedule(now);
+
+  while (!running_.empty() || !queue_.empty() || next_submit < submits.size()) {
+    // Next completion.
+    double t_finish = kInf;
+    for (const auto& [id, r] : running_) {
+      t_finish = std::min(t_finish, now + r.remaining / r.rate);
+    }
+    // Next submission.
+    const double t_submit =
+        next_submit < submits.size() ? submits[next_submit].submit_time : kInf;
+
+    SNS_REQUIRE(t_finish < kInf || t_submit < kInf,
+                "scheduler stuck: queued jobs but nothing running or arriving");
+    const double t_next = std::min(t_finish, t_submit);
+
+    accumulate(now, t_next);
+    for (auto& [id, r] : running_) r.remaining -= (t_next - now) * r.rate;
+    now = t_next;
+
+    while (next_submit < submits.size() &&
+           submits[next_submit].submit_time <= now + 1e-12) {
+      queue_.push(submits[next_submit++]);
+    }
+
+    // Finish all jobs that completed at this instant.
+    std::vector<sched::JobId> done;
+    for (const auto& [id, r] : running_) {
+      if (r.remaining <= kDoneEps) done.push_back(id);
+    }
+    for (sched::JobId id : done) finishJob(id, now);
+
+    schedule(now);
+  }
+
+  SimResult res;
+  res.policy = policy_->name();
+  res.makespan = now;
+  res.busy_node_seconds = busy_integral_;
+  res.node_bw_episodes.assign(static_cast<std::size_t>(cfg_.nodes), {});
+  for (const auto& ep : episodes_) {
+    for (int nd = 0; nd < cfg_.nodes; ++nd) {
+      res.node_bw_episodes[static_cast<std::size_t>(nd)].push_back(
+          ep[static_cast<std::size_t>(nd)]);
+    }
+  }
+  res.jobs.reserve(records_.size());
+  for (auto& [id, rec] : records_) {
+    SNS_REQUIRE(rec.completed(), "job never completed");
+    res.jobs.push_back(rec);
+  }
+  std::sort(res.jobs.begin(), res.jobs.end(),
+            [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
+  return res;
+}
+
+}  // namespace sns::sim

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sns/actuator/resource_ledger.hpp"
+#include "sns/app/library.hpp"
+#include "sns/app/workload_gen.hpp"
+#include "sns/perfmodel/estimator.hpp"
+#include "sns/profile/database.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sched/policies.hpp"
+#include "sns/sched/queue.hpp"
+
+namespace sns::sim {
+
+struct JobRecord;
+
+/// Simulator knobs.
+struct SimConfig {
+  int nodes = 8;                    ///< cluster size
+  sched::PolicyKind policy = sched::PolicyKind::kSNS;
+  double monitor_episode_s = 30.0;  ///< per-node bandwidth sampling window;
+                                    ///< <= 0 disables monitoring (big traces)
+  double age_limit_s = 900.0;       ///< queue head age that stops backfilling
+  int max_queue_scan = 1 << 20;     ///< max queue entries examined per point
+  /// SNS's donate-unused-ways optimisation (§4.4); switchable for ablation.
+  bool donate_unused_ways = true;
+  /// Enforce per-job bandwidth reservations in hardware (Intel MBA). The
+  /// paper's 2018 testbed lacked MBA, so its SNS only *estimates* usage —
+  /// one source of slowdown-threshold violations (§6.2). Turning this on
+  /// models an MBA-equipped cluster.
+  bool enforce_bandwidth_caps = false;
+  /// Piggybacked profiling (§4.1-4.2): exclusive runs are profiled by the
+  /// per-node monitors and accumulated into a run-local database, so
+  /// unknown programs converge to full profiles across submissions. The
+  /// input database still seeds everything already known.
+  bool online_profiling = false;
+  /// PMU/episode knobs of the online monitor.
+  profile::ProfilerConfig monitor;
+  sched::SnsPolicy::Options sns;    ///< SNS-specific options
+  /// Observation hooks for orchestration layers (launch planning, event
+  /// logs, drift monitors). on_start fires right after resources are
+  /// allocated; on_finish right after the record is finalized and before
+  /// resources are released. Both receive the up-to-date JobRecord.
+  std::function<void(const JobRecord&)> on_start;
+  std::function<void(const JobRecord&)> on_finish;
+};
+
+/// Everything recorded about one job.
+struct JobRecord {
+  sched::JobId id = 0;
+  app::JobSpec spec;
+  double submit = 0.0;
+  double start = -1.0;
+  double finish = -1.0;
+  sched::Placement placement;
+
+  bool completed() const { return finish >= 0.0; }
+  double waitTime() const { return start - submit; }
+  double runTime() const { return finish - start; }
+  double turnaround() const { return finish - submit; }
+};
+
+/// Output of one simulation.
+struct SimResult {
+  std::string policy;
+  std::vector<JobRecord> jobs;
+  double makespan = 0.0;           ///< start-to-end of the whole sequence
+  double busy_node_seconds = 0.0;  ///< integral of occupied-node count
+  /// Per-node average bandwidth per monitoring episode ([node][episode]).
+  std::vector<std::vector<double>> node_bw_episodes;
+
+  double meanTurnaround() const;
+  double meanWait() const;
+  double meanRun() const;
+  /// The paper's overall throughput metric: reciprocal of the average
+  /// submit-to-finish time of all jobs in the sequence (§6.2).
+  double throughput() const { return 1.0 / meanTurnaround(); }
+};
+
+/// Rate-based discrete-event cluster simulator. Jobs progress at rates
+/// derived from the ground-truth contention model; every placement or
+/// completion re-solves the affected nodes. The scheduling policy only
+/// sees the resource ledger and the profile database — never the ground
+/// truth — which preserves the paper's belief-vs-reality split.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(const perfmodel::Estimator& est,
+                   const std::vector<app::ProgramModel>& library,
+                   const profile::ProfileDatabase& db, SimConfig cfg);
+
+  /// Simulate a job sequence (submit times taken from the specs).
+  SimResult run(const std::vector<app::JobSpec>& jobs);
+
+  const SimConfig& config() const { return cfg_; }
+
+  /// Profiles accumulated by the online monitor during the last run()
+  /// (only meaningful with cfg.online_profiling).
+  const profile::ProfileDatabase& learnedProfiles() const { return local_db_; }
+
+ private:
+  struct Running {
+    sched::JobId id = 0;
+    const app::ProgramModel* prog = nullptr;
+    app::JobSpec spec;
+    sched::Placement placement;
+    double comp_time_solo = 0.0;   ///< solo compute time at allocated ways
+    double comm_data_time = 0.0;   ///< placement-fixed data-movement time
+    double wait_time = 0.0;        ///< placement-fixed sync-wait time
+    double nic_demand = 0.0;       ///< per-node NIC bandwidth demand, GB/s
+    double solo_rate = 0.0;        ///< per-proc instr rate when alone
+    double remaining = 1.0;        ///< fraction of the job left
+    double rate = 0.0;             ///< d(remaining)/dt under current co-run
+    double net_stretch = 1.0;      ///< NIC-contention stretch on comm time
+    double bw_per_node = 0.0;      ///< current achieved per-node bandwidth
+  };
+
+  void schedule(double now);
+  void startJob(const sched::Job& job, const sched::Placement& p, double now);
+  void finishJob(sched::JobId id, double now);
+  void resolveNode(int node);
+  void refreshRates(const std::vector<int>& dirty_nodes);
+  void accumulate(double t0, double t1);
+
+  const perfmodel::Estimator* est_;
+  const std::vector<app::ProgramModel>* library_;
+  const profile::ProfileDatabase* db_;
+  SimConfig cfg_;
+  profile::ProfileDatabase local_db_;  ///< db_ + online-learned profiles
+  std::unique_ptr<profile::Profiler> monitor_;
+
+  std::unique_ptr<sched::SchedulingPolicy> policy_;
+  actuator::ResourceLedger ledger_;
+  sched::JobQueue queue_;
+  std::map<sched::JobId, Running> running_;
+  std::map<sched::JobId, JobRecord> records_;
+  /// jobs resident on each node
+  std::vector<std::vector<sched::JobId>> node_jobs_;
+  /// per-node, per-job achieved compute rate / bandwidth from the last solve
+  std::vector<std::map<sched::JobId, std::pair<double, double>>> node_solution_;
+  /// total NIC bandwidth demand per node (ground-truth network contention)
+  std::vector<double> node_net_demand_;
+  std::vector<double> episode_accum_;   ///< per-node GB*s within current episode
+  std::vector<std::vector<double>> episodes_;
+  double episode_start_ = 0.0;
+  double busy_integral_ = 0.0;
+};
+
+}  // namespace sns::sim

@@ -1,0 +1,66 @@
+#include "sns/sim/gantt.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sns/util/error.hpp"
+#include "sns/util/table.hpp"
+
+namespace sns::sim {
+
+namespace {
+char jobLetter(sched::JobId id) {
+  constexpr const char* kAlphabet =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  return kAlphabet[static_cast<std::size_t>(id) % 52];
+}
+}  // namespace
+
+std::string renderGantt(const SimResult& result, int nodes, int width) {
+  SNS_REQUIRE(nodes >= 1, "renderGantt() needs nodes >= 1");
+  SNS_REQUIRE(width >= 8, "renderGantt() needs width >= 8");
+  SNS_REQUIRE(!result.jobs.empty(), "renderGantt() needs a non-empty result");
+  const double span = std::max(result.makespan, 1e-9);
+  const double dt = span / width;
+
+  std::string out;
+  for (int nd = 0; nd < nodes; ++nd) {
+    std::string row = "N" + std::to_string(nd);
+    row.append(nd < 10 ? 2 : 1, ' ');
+    for (int col = 0; col < width; ++col) {
+      const double t = (col + 0.5) * dt;
+      // Dominant job on this node at time t (most cores).
+      char cell = '.';
+      int best_cores = 0;
+      for (const auto& j : result.jobs) {
+        if (j.start > t || j.finish <= t) continue;
+        if (std::find(j.placement.nodes.begin(), j.placement.nodes.end(), nd) ==
+            j.placement.nodes.end()) {
+          continue;
+        }
+        if (j.placement.procs_per_node > best_cores) {
+          best_cores = j.placement.procs_per_node;
+          cell = jobLetter(j.id);
+        }
+      }
+      row += cell;
+    }
+    out += row + "\n";
+  }
+
+  out += "\n    ";
+  out += "0s";
+  out.append(static_cast<std::size_t>(std::max(0, width - 10)), ' ');
+  out += util::fmt(span, 0) + "s\n";
+
+  out += "legend:";
+  for (const auto& j : result.jobs) {
+    out += " ";
+    out += jobLetter(j.id);
+    out += "=" + j.spec.program;
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace sns::sim

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "sns/sim/cluster_sim.hpp"
+
+namespace sns::sim {
+
+/// ASCII Gantt chart of a schedule: one row per node, time on the x axis.
+/// Each cell shows the job occupying the most cores on that node during
+/// the cell's time slice (letters cycle A-Z a-z by job id), '.' for idle.
+/// Shared nodes show the dominant job; the legend lists every job's letter,
+/// program and span. Width is the number of time columns.
+std::string renderGantt(const SimResult& result, int nodes, int width = 72);
+
+}  // namespace sns::sim

@@ -1,0 +1,66 @@
+#include "sns/sim/metrics.hpp"
+
+#include "sns/util/error.hpp"
+#include "sns/util/stats.hpp"
+
+namespace sns::sim {
+
+double SimResult::meanTurnaround() const {
+  SNS_REQUIRE(!jobs.empty(), "no jobs in result");
+  double s = 0.0;
+  for (const auto& j : jobs) s += j.turnaround();
+  return s / static_cast<double>(jobs.size());
+}
+
+double SimResult::meanWait() const {
+  SNS_REQUIRE(!jobs.empty(), "no jobs in result");
+  double s = 0.0;
+  for (const auto& j : jobs) s += j.waitTime();
+  return s / static_cast<double>(jobs.size());
+}
+
+double SimResult::meanRun() const {
+  SNS_REQUIRE(!jobs.empty(), "no jobs in result");
+  double s = 0.0;
+  for (const auto& j : jobs) s += j.runTime();
+  return s / static_cast<double>(jobs.size());
+}
+
+std::vector<double> runTimeRatios(const SimResult& test, const SimResult& base) {
+  SNS_REQUIRE(test.jobs.size() == base.jobs.size(),
+              "results are not from the same sequence");
+  std::vector<double> out;
+  out.reserve(test.jobs.size());
+  for (std::size_t i = 0; i < test.jobs.size(); ++i) {
+    SNS_REQUIRE(test.jobs[i].id == base.jobs[i].id, "job id mismatch");
+    out.push_back(test.jobs[i].runTime() / base.jobs[i].runTime());
+  }
+  return out;
+}
+
+double geomeanRunTimeRatio(const SimResult& test, const SimResult& base) {
+  const auto ratios = runTimeRatios(test, base);
+  return util::geomean(ratios);
+}
+
+int thresholdViolations(const SimResult& test, const SimResult& base, double alpha) {
+  SNS_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  const auto ratios = runTimeRatios(test, base);
+  int n = 0;
+  for (double r : ratios) {
+    if (r > 1.0 / alpha + 1e-12) ++n;
+  }
+  return n;
+}
+
+double bandwidthVariance(const SimResult& r, double peak_bw) {
+  SNS_REQUIRE(peak_bw > 0.0, "peak bandwidth must be positive");
+  util::RunningStats stats;
+  for (const auto& node : r.node_bw_episodes) {
+    for (double bw : node) stats.add(bw);
+  }
+  SNS_REQUIRE(stats.count() > 0, "result has no monitoring episodes");
+  return stats.stddev() / peak_bw;
+}
+
+}  // namespace sns::sim

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "sns/sim/cluster_sim.hpp"
+
+namespace sns::sim {
+
+/// Per-job run-time ratios of `test` vs `base` (same job sequence run under
+/// two policies); index-aligned by job id.
+std::vector<double> runTimeRatios(const SimResult& test, const SimResult& base);
+
+/// Geometric mean of per-job normalized run time (the paper's Fig 16
+/// "average" line).
+double geomeanRunTimeRatio(const SimResult& test, const SimResult& base);
+
+/// Count of jobs whose run time exceeded base x (1/alpha) — slowdown
+/// threshold violations (§6.2 reports 136 of 720 executions).
+int thresholdViolations(const SimResult& test, const SimResult& base, double alpha);
+
+/// Coefficient of variation (stddev / peak) of the per-node per-episode
+/// bandwidth matrix — the paper's Fig 17 load-balance variance metric.
+double bandwidthVariance(const SimResult& r, double peak_bw);
+
+}  // namespace sns::sim

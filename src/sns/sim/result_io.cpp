@@ -1,0 +1,82 @@
+#include "sns/sim/result_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sns/app/jobspec_io.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::sim {
+
+util::Json resultToJson(const SimResult& result) {
+  util::Json j;
+  j["policy"] = util::Json(result.policy);
+  j["makespan"] = util::Json(result.makespan);
+  j["busy_node_seconds"] = util::Json(result.busy_node_seconds);
+  util::Json::Array jobs;
+  jobs.reserve(result.jobs.size());
+  for (const auto& r : result.jobs) {
+    util::Json job;
+    job["id"] = util::Json(static_cast<std::int64_t>(r.id));
+    job["spec"] = app::jobSpecToJson(r.spec);
+    job["submit"] = util::Json(r.submit);
+    job["start"] = util::Json(r.start);
+    job["finish"] = util::Json(r.finish);
+    util::Json::Array nodes;
+    for (int nd : r.placement.nodes) nodes.push_back(util::Json(nd));
+    job["nodes"] = util::Json(std::move(nodes));
+    job["procs_per_node"] = util::Json(r.placement.procs_per_node);
+    job["scale"] = util::Json(r.placement.scale_factor);
+    job["ways"] = util::Json(r.placement.ways);
+    job["bw_gbps"] = util::Json(r.placement.bw_gbps);
+    job["net_gbps"] = util::Json(r.placement.net_gbps);
+    job["exclusive"] = util::Json(r.placement.exclusive);
+    jobs.push_back(std::move(job));
+  }
+  j["jobs"] = util::Json(std::move(jobs));
+  return j;
+}
+
+SimResult resultFromJson(const util::Json& j) {
+  SimResult res;
+  res.policy = j.get("policy").asString();
+  res.makespan = j.get("makespan").asNumber();
+  res.busy_node_seconds = j.get("busy_node_seconds").asNumber();
+  for (const auto& job : j.get("jobs").asArray()) {
+    JobRecord r;
+    r.id = static_cast<sched::JobId>(job.get("id").asNumber());
+    r.spec = app::jobSpecFromJson(job.get("spec"));
+    r.submit = job.get("submit").asNumber();
+    r.start = job.get("start").asNumber();
+    r.finish = job.get("finish").asNumber();
+    for (const auto& nd : job.get("nodes").asArray()) {
+      r.placement.nodes.push_back(static_cast<int>(nd.asNumber()));
+    }
+    r.placement.procs_per_node =
+        static_cast<int>(job.get("procs_per_node").asNumber());
+    r.placement.scale_factor = static_cast<int>(job.get("scale").asNumber());
+    r.placement.ways = static_cast<int>(job.get("ways").asNumber());
+    r.placement.bw_gbps = job.get("bw_gbps").asNumber();
+    r.placement.net_gbps = job.get("net_gbps").asNumber();
+    r.placement.exclusive = job.get("exclusive").asBool();
+    res.jobs.push_back(std::move(r));
+  }
+  return res;
+}
+
+void saveResult(const std::string& path, const SimResult& result) {
+  std::ofstream out(path);
+  if (!out) throw util::DataError("cannot open for writing: " + path);
+  out << resultToJson(result).dump(2) << "\n";
+  if (!out) throw util::DataError("write failed: " + path);
+}
+
+SimResult loadResult(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw util::DataError("cannot open for reading: " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return resultFromJson(util::Json::parse(ss.str()));
+}
+
+}  // namespace sns::sim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/util/json.hpp"
+
+namespace sns::sim {
+
+/// JSON serialization of simulation results, for archiving experiment runs
+/// and feeding external analysis/plotting. The schema is stable:
+/// {"policy": ..., "makespan": ..., "busy_node_seconds": ...,
+///  "jobs": [{"id", "program", "procs", "submit", "start", "finish",
+///            "nodes": [...], "procs_per_node", "scale", "ways",
+///            "bw_gbps", "net_gbps", "exclusive"}, ...]}
+/// (the monitoring matrix is omitted — it can be megabytes; export it
+/// separately if needed).
+util::Json resultToJson(const SimResult& result);
+
+/// Rebuild a SimResult (without the monitoring matrix) from JSON.
+SimResult resultFromJson(const util::Json& j);
+
+/// File helpers; throw DataError on I/O or parse problems.
+void saveResult(const std::string& path, const SimResult& result);
+SimResult loadResult(const std::string& path);
+
+}  // namespace sns::sim

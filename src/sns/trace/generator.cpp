@@ -1,0 +1,58 @@
+#include "sns/trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sns/util/error.hpp"
+
+namespace sns::trace {
+
+std::vector<TraceJob> generateTrace(util::Rng& rng, const TraceGenParams& p) {
+  SNS_REQUIRE(p.jobs > 0, "trace needs at least one job");
+  SNS_REQUIRE(p.horizon_hours > 0.0, "trace horizon must be positive");
+  SNS_REQUIRE(p.max_nodes >= 1, "max_nodes must be >= 1");
+
+  std::vector<TraceJob> out;
+  out.reserve(static_cast<std::size_t>(p.jobs));
+  const double horizon_s = p.horizon_hours * 3600.0;
+
+  for (int i = 0; i < p.jobs; ++i) {
+    TraceJob j;
+
+    // Submit time: uniform draw thinned by a diurnal intensity profile
+    // (rejection sampling against 1 + depth * sin(2 pi t / 24h)).
+    while (true) {
+      const double t = rng.uniform(0.0, horizon_s);
+      const double day_phase = t / 86400.0 * 2.0 * std::numbers::pi;
+      const double intensity =
+          (1.0 + p.diurnal_depth * std::sin(day_phase)) / (1.0 + p.diurnal_depth);
+      if (rng.uniform() < intensity) {
+        j.submit_s = t;
+        break;
+      }
+    }
+
+    // Node count: power of two, log2 normally distributed, clamped below,
+    // re-sampled when above the filter cap.
+    while (true) {
+      const double l = rng.normal(p.lognodes_mean, p.lognodes_sigma);
+      const int e = std::max(0, static_cast<int>(std::lround(l)));
+      const double n = std::pow(2.0, e);
+      if (n <= static_cast<double>(p.max_nodes)) {
+        j.nodes = static_cast<int>(n);
+        break;
+      }
+    }
+
+    j.duration_s = std::clamp(rng.lognormal(p.logdur_mu, p.logdur_sigma),
+                              p.min_duration_s, p.max_duration_s);
+    out.push_back(j);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const TraceJob& a, const TraceJob& b) { return a.submit_s < b.submit_s; });
+  return out;
+}
+
+}  // namespace sns::trace

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "sns/util/rng.hpp"
+
+namespace sns::trace {
+
+/// One job from a cluster trace: submit timestamp, node count, duration.
+/// These are the only three fields the paper reuses from the LANL Trinity
+/// trace (§6.4) — everything else (cache sensitivity, scaling behaviour)
+/// is mapped from the measured 12-program set.
+struct TraceJob {
+  double submit_s = 0.0;
+  int nodes = 1;
+  double duration_s = 0.0;
+};
+
+/// Knobs of the synthetic Trinity-like trace. Defaults reproduce the
+/// paper's filtered trace: 7,044 parallel jobs over 1,900 hours, node
+/// counts capped at 4,096 (larger jobs are filtered out).
+struct TraceGenParams {
+  int jobs = 7044;
+  double horizon_hours = 1900.0;
+  int max_nodes = 4096;
+  /// Log2 node-count distribution: jobs request power-of-two node counts
+  /// with a geometric bias toward small jobs, as capability traces show.
+  /// The defaults put the offered load around 85% of a 4,096-node cluster
+  /// over the horizon, so the 4K replay is congested (the paper's
+  /// "stampeded" case) while larger clusters drain their queues.
+  double lognodes_mean = 4.0;   ///< mean of log2(nodes)
+  double lognodes_sigma = 2.6;  ///< sigma of log2(nodes)
+  /// Duration is log-normal; Trinity-class jobs run minutes to two days.
+  double logdur_mu = 10.2;      ///< ln seconds (e^10.2 ~ 7.4 h median)
+  double logdur_sigma = 1.1;
+  double min_duration_s = 300.0;
+  double max_duration_s = 48.0 * 3600.0;
+  /// Diurnal arrival modulation depth in [0, 1): 0 = uniform arrivals.
+  double diurnal_depth = 0.4;
+};
+
+/// Generate a synthetic trace. Deterministic for a given rng state; jobs
+/// come out sorted by submit time. Jobs whose sampled node count exceeds
+/// max_nodes are re-sampled (the paper *filters* such jobs; re-sampling
+/// keeps the job count exact while matching the filtered distribution).
+std::vector<TraceJob> generateTrace(util::Rng& rng, const TraceGenParams& params);
+
+}  // namespace sns::trace

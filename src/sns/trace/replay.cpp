@@ -1,0 +1,87 @@
+#include "sns/trace/replay.hpp"
+
+#include <map>
+#include <set>
+
+#include "sns/util/error.hpp"
+
+namespace sns::trace {
+
+std::vector<app::JobSpec> mapTraceToJobs(util::Rng& rng,
+                                         const std::vector<TraceJob>& trace,
+                                         double scaling_ratio, int cores_per_node,
+                                         const TraceMapping& mapping) {
+  SNS_REQUIRE(scaling_ratio >= 0.0 && scaling_ratio <= 1.0,
+              "scaling_ratio must be in [0, 1]");
+  SNS_REQUIRE(!mapping.scaling.empty() && !mapping.non_scaling.empty(),
+              "mapping needs both program groups");
+  std::vector<app::JobSpec> jobs;
+  jobs.reserve(trace.size());
+  for (const auto& t : trace) {
+    const auto& group = rng.chance(scaling_ratio) ? mapping.scaling : mapping.non_scaling;
+    app::JobSpec j;
+    j.program = group[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(group.size()) - 1))];
+    j.procs = t.nodes * cores_per_node;
+    j.alpha = 0.9;
+    j.submit_time = t.submit_s;
+    j.ce_time_override = t.duration_s;
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+profile::ProfileDatabase synthesizeTraceProfiles(
+    const profile::ProfileDatabase& reference, int reference_procs,
+    const std::vector<app::JobSpec>& jobs, const perfmodel::Estimator& est) {
+  profile::ProfileDatabase out;
+  std::set<std::pair<std::string, int>> seen;
+  for (const auto& j : jobs) {
+    if (!seen.insert({j.program, j.procs}).second) continue;
+    const auto* ref = reference.find(j.program, reference_procs);
+    SNS_REQUIRE(ref != nullptr,
+                "no reference profile for program " + j.program);
+    profile::ProgramProfile p;
+    p.program = j.program;
+    p.procs = j.procs;
+    p.cls = ref->cls;
+    p.ideal_scale = ref->ideal_scale;
+    const double t1 = ref->at(1) != nullptr ? ref->at(1)->exclusive_time : 1.0;
+    const int n_min = est.minNodes(j.procs);
+    for (const auto& rs : ref->scales) {
+      profile::ScaleProfile sp;
+      sp.scale_factor = rs.scale_factor;
+      sp.nodes = rs.scale_factor * n_min;
+      sp.procs_per_node = (j.procs + sp.nodes - 1) / sp.nodes;
+      // Relative timing carries over; absolute time comes from the trace
+      // via each job's ce_time_override, so store the normalized value.
+      sp.exclusive_time = rs.exclusive_time / t1;
+      sp.ipc_llc = rs.ipc_llc;
+      sp.bw_llc = rs.bw_llc;
+      p.scales.push_back(std::move(sp));
+    }
+    out.put(std::move(p));
+  }
+  return out;
+}
+
+sim::SimResult simulateTrace(const perfmodel::Estimator& est,
+                             const std::vector<app::ProgramModel>& library,
+                             const profile::ProfileDatabase& db,
+                             const std::vector<app::JobSpec>& jobs, int cluster_nodes,
+                             sched::PolicyKind policy) {
+  sim::SimConfig cfg;
+  cfg.nodes = cluster_nodes;
+  cfg.policy = policy;
+  cfg.monitor_episode_s = 0.0;   // no per-node sampling at 32K nodes
+  // Large traces build queues whose heads age for days; a tight age limit
+  // would shut backfilling off entirely and punish SNS for fragmentation
+  // it could otherwise fill. Trace replays therefore run with generous
+  // backfilling, like production EASY-style schedulers.
+  cfg.age_limit_s = 14.0 * 86400.0;
+  cfg.max_queue_scan = 256;
+  sim::ClusterSimulator sim(est, library, db, cfg);
+  return sim.run(jobs);
+}
+
+}  // namespace sns::trace

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "sns/app/library.hpp"
+#include "sns/app/workload_gen.hpp"
+#include "sns/profile/database.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/trace/generator.hpp"
+
+namespace sns::trace {
+
+/// Programs eligible for trace mapping, split by scaling class as measured
+/// on the testbed. The trace's "scaling ratio" is the sampling bias between
+/// the two groups (paper §6.4); within a group sampling is uniform.
+struct TraceMapping {
+  std::vector<std::string> scaling = {"TS", "MG", "CG", "LU", "BW"};
+  std::vector<std::string> non_scaling = {"WC", "NW", "EP", "HC", "BFS"};
+};
+
+/// Map trace jobs onto the measured program set. Each job becomes a
+/// full-node job (nodes x cores processes) whose CE run time is the trace
+/// duration; the mapped program supplies the relative scaling behaviour and
+/// cache/bandwidth curves.
+std::vector<app::JobSpec> mapTraceToJobs(util::Rng& rng,
+                                         const std::vector<TraceJob>& trace,
+                                         double scaling_ratio, int cores_per_node,
+                                         const TraceMapping& mapping = {});
+
+/// Trace jobs run at process counts the testbed profiles never saw. This
+/// synthesizes database entries for every (program, procs) in the job list
+/// by transplanting the reference profile's relative scale timings and
+/// LLC curves — exactly the paper's reuse of measured profile data for
+/// simulated jobs.
+profile::ProfileDatabase synthesizeTraceProfiles(
+    const profile::ProfileDatabase& reference, int reference_procs,
+    const std::vector<app::JobSpec>& jobs, const perfmodel::Estimator& est);
+
+/// Convenience runner for large-cluster replays: monitoring off, bounded
+/// queue scans, generous age limit.
+sim::SimResult simulateTrace(const perfmodel::Estimator& est,
+                             const std::vector<app::ProgramModel>& library,
+                             const profile::ProfileDatabase& db,
+                             const std::vector<app::JobSpec>& jobs, int cluster_nodes,
+                             sched::PolicyKind policy);
+
+}  // namespace sns::trace

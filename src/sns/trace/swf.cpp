@@ -1,0 +1,72 @@
+#include "sns/trace/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sns/util/error.hpp"
+
+namespace sns::trace {
+
+std::vector<TraceJob> parseSwf(std::istream& in, const SwfOptions& opts) {
+  SNS_REQUIRE(opts.cores_per_node >= 1, "cores_per_node must be >= 1");
+  std::vector<TraceJob> jobs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments ( ';' to end of line) and skip blanks.
+    if (const auto semi = line.find(';'); semi != std::string::npos) {
+      line.erase(semi);
+    }
+    std::istringstream fields(line);
+    double job_id = 0.0, submit = 0.0, wait = 0.0, runtime = 0.0, procs = 0.0;
+    if (!(fields >> job_id)) continue;  // blank / pure-comment line
+    if (!(fields >> submit >> wait >> runtime >> procs)) {
+      throw util::DataError("SWF line " + std::to_string(lineno) +
+                            ": fewer than 5 fields");
+    }
+    if (runtime < opts.min_duration_s) continue;
+    if (procs < 1.0) continue;  // unknown allocation (-1)
+    if (opts.parallel_only && procs < 2.0) continue;
+
+    TraceJob j;
+    j.submit_s = submit;
+    j.duration_s = runtime;
+    j.nodes = static_cast<int>((procs + opts.cores_per_node - 1) /
+                               opts.cores_per_node);
+    j.nodes = std::max(1, j.nodes);
+    if (j.nodes > opts.max_nodes) continue;  // the paper's size filter
+    jobs.push_back(j);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const TraceJob& a, const TraceJob& b) { return a.submit_s < b.submit_s; });
+  return jobs;
+}
+
+std::vector<TraceJob> loadSwf(const std::string& path, const SwfOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw util::DataError("cannot open SWF file: " + path);
+  return parseSwf(in, opts);
+}
+
+std::string toSwf(const std::vector<TraceJob>& jobs, int cores_per_node) {
+  SNS_REQUIRE(cores_per_node >= 1, "cores_per_node must be >= 1");
+  std::string out =
+      "; SWF export from the Spread-n-Share reproduction\n"
+      "; fields: id submit wait run procs cpu mem req_procs req_time req_mem "
+      "status uid gid exe queue part prev think\n";
+  int id = 1;
+  for (const auto& j : jobs) {
+    std::ostringstream line;
+    line.precision(12);  // don't truncate sub-second timestamps
+    line << id++ << ' ' << j.submit_s << " -1 " << j.duration_s << ' '
+         << j.nodes * cores_per_node;
+    for (int k = 0; k < 13; ++k) line << " -1";
+    line << '\n';
+    out += line.str();
+  }
+  return out;
+}
+
+}  // namespace sns::trace

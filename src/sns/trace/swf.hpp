@@ -1,0 +1,42 @@
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "sns/trace/generator.hpp"
+
+namespace sns::trace {
+
+/// Reader for the Standard Workload Format (SWF) used by the Parallel
+/// Workloads Archive — the de-facto interchange format for cluster job
+/// traces (the LANL Trinity trace the paper replays is distributed in a
+/// compatible form). Only the three fields the paper uses survive into
+/// TraceJob: submit time, node count, run time.
+///
+/// SWF lines have 18 whitespace-separated fields; `;` starts a comment.
+/// Field 2 is submit time (s), field 4 the run time (s), field 5 the
+/// number of allocated processors. A `cores_per_node` divisor converts
+/// processor counts into node counts (SWF records CPUs, the paper's
+/// placement works in nodes).
+struct SwfOptions {
+  int cores_per_node = 28;
+  int max_nodes = 4096;       ///< the paper filters jobs above 4,096 nodes
+  double min_duration_s = 1.0;  ///< drop zero/negative-length records
+  bool parallel_only = true;  ///< drop single-processor jobs (paper §6.4)
+};
+
+/// Parse an SWF stream. Malformed lines raise DataError with the line
+/// number; filtered jobs (too large, too short, sequential) are skipped
+/// silently, like the paper's preprocessing.
+std::vector<TraceJob> parseSwf(std::istream& in, const SwfOptions& opts = {});
+
+/// Convenience: parse from a file path.
+std::vector<TraceJob> loadSwf(const std::string& path, const SwfOptions& opts = {});
+
+/// Serialize jobs back out as SWF (comment header + the three meaningful
+/// fields; the remaining columns are filled with -1 placeholders), so
+/// synthetic traces can be exchanged with other SWF tooling.
+std::string toSwf(const std::vector<TraceJob>& jobs, int cores_per_node);
+
+}  // namespace sns::trace

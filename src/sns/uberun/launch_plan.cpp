@@ -1,0 +1,127 @@
+#include "sns/uberun/launch_plan.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::uberun {
+
+std::string cpuList(const std::vector<int>& cores) {
+  std::string out;
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(cores[i]);
+  }
+  return out;
+}
+
+LaunchPlanner::LaunchPlanner(int nodes, const hw::MachineConfig& mach,
+                             std::string hostname_prefix)
+    : mach_(mach), prefix_(std::move(hostname_prefix)) {
+  SNS_REQUIRE(nodes >= 1, "LaunchPlanner needs at least one node");
+  binders_.assign(static_cast<std::size_t>(nodes), actuator::CoreBinder(mach_));
+  maskers_.assign(static_cast<std::size_t>(nodes), actuator::CatMasker(mach_));
+}
+
+const actuator::CoreBinder& LaunchPlanner::binder(int node) const {
+  SNS_REQUIRE(node >= 0 && node < static_cast<int>(binders_.size()),
+              "node out of range");
+  return binders_[static_cast<std::size_t>(node)];
+}
+
+const actuator::CatMasker& LaunchPlanner::masker(int node) const {
+  SNS_REQUIRE(node >= 0 && node < static_cast<int>(maskers_.size()),
+              "node out of range");
+  return maskers_[static_cast<std::size_t>(node)];
+}
+
+LaunchPlan LaunchPlanner::materialize(const sched::Job& job,
+                                      const sched::Placement& p) {
+  SNS_REQUIRE(job.program != nullptr, "job needs its program model");
+  LaunchPlan plan;
+  plan.job = job.id;
+  plan.program = job.spec.program;
+  plan.framework = job.program->framework;
+  plan.total_procs = job.spec.procs;
+
+  // Per-node actuation: bind cores, program CAT, then the framework launch.
+  for (int nd : p.nodes) {
+    SNS_REQUIRE(nd >= 0 && nd < static_cast<int>(binders_.size()),
+                "placement references unknown node");
+    NodeLaunch nl;
+    nl.node = nd;
+    nl.hostname = prefix_ + std::to_string(nd);
+    nl.cores = binders_[static_cast<std::size_t>(nd)].bind(job.id, p.procs_per_node);
+    if (p.ways > 0) {
+      nl.cat_mask = maskers_[static_cast<std::size_t>(nd)].allocate(job.id, p.ways);
+      // CLOS ids are per-node; job id doubles as a stable tag in the demo.
+      plan.commands.push_back(
+          "ssh " + nl.hostname + " pqos -e 'llc:" + std::to_string(job.id % 16) +
+          "=" + actuator::CatMasker::toHex(nl.cat_mask) + "' -a 'llc:" +
+          std::to_string(job.id % 16) + "=" + cpuList(nl.cores) + "'");
+    }
+    plan.nodes.push_back(std::move(nl));
+  }
+
+  // Framework-specific launch (paper §5.1).
+  switch (plan.framework) {
+    case app::Framework::kMpi: {
+      std::string hosts;
+      for (std::size_t i = 0; i < plan.nodes.size(); ++i) {
+        if (i) hosts += ',';
+        hosts += plan.nodes[i].hostname + ":" + std::to_string(p.procs_per_node);
+      }
+      std::string cpus;
+      for (const auto& nl : plan.nodes) {
+        if (!cpus.empty()) cpus += ';';
+        cpus += nl.hostname + "@" + cpuList(nl.cores);
+      }
+      plan.commands.push_back("mpirun -np " + std::to_string(plan.total_procs) +
+                              " --host " + hosts + " --bind-to cpulist:'" + cpus +
+                              "' ./" + plan.program);
+      break;
+    }
+    case app::Framework::kSpark: {
+      // Standalone mode: size each worker to the allocated cores, then
+      // submit with the matching executor-core total.
+      for (const auto& nl : plan.nodes) {
+        plan.commands.push_back(
+            "ssh " + nl.hostname + " SPARK_WORKER_CORES=" +
+            std::to_string(nl.cores.size()) + " taskset -c " + cpuList(nl.cores) +
+            " start-worker.sh spark://master:7077");
+      }
+      plan.commands.push_back("spark-submit --total-executor-cores " +
+                              std::to_string(plan.total_procs) + " " +
+                              plan.program + ".jar");
+      break;
+    }
+    case app::Framework::kTensorFlow: {
+      SNS_REQUIRE(plan.nodes.size() == 1, "TensorFlow jobs are single-node");
+      const auto& nl = plan.nodes.front();
+      plan.commands.push_back(
+          "ssh " + nl.hostname + " taskset -c " + cpuList(nl.cores) + " python " +
+          plan.program + ".py --intra_op_parallelism_threads=" +
+          std::to_string(nl.cores.size()));
+      break;
+    }
+    case app::Framework::kReplicated: {
+      // One independent instance per allocated core.
+      for (const auto& nl : plan.nodes) {
+        for (int core : nl.cores) {
+          plan.commands.push_back("ssh " + nl.hostname + " taskset -c " +
+                                  std::to_string(core) + " ./" + plan.program +
+                                  " &");
+        }
+      }
+      break;
+    }
+  }
+  return plan;
+}
+
+void LaunchPlanner::release(sched::JobId job, const sched::Placement& p) {
+  for (int nd : p.nodes) {
+    binders_[static_cast<std::size_t>(nd)].unbind(job);
+    if (p.ways > 0) maskers_[static_cast<std::size_t>(nd)].release(job);
+  }
+}
+
+}  // namespace sns::uberun

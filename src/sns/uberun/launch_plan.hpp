@@ -1,0 +1,62 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sns/actuator/cat_masker.hpp"
+#include "sns/actuator/core_binder.hpp"
+#include "sns/sched/job.hpp"
+
+namespace sns::uberun {
+
+/// Concrete per-node actuation for one job: which cores, which CAT mask.
+struct NodeLaunch {
+  int node = 0;
+  std::string hostname;
+  std::vector<int> cores;       ///< cpuset the processes are pinned to
+  std::uint32_t cat_mask = 0;   ///< 0 when the job is unpartitioned
+};
+
+/// Everything the per-node daemons need to start one job: the resolved
+/// core bindings and CAT masks plus the framework-specific shell commands
+/// (the paper's §5.1 "coordinating with underlying frameworks": MPI gets
+/// explicit binding flags, Spark standalone workers get their core counts
+/// adjusted, TensorFlow gets its thread count set, replicated sequential
+/// jobs get taskset pinning; CAT is actuated with pqos).
+struct LaunchPlan {
+  sched::JobId job = 0;
+  std::string program;
+  app::Framework framework = app::Framework::kMpi;
+  int total_procs = 0;
+  std::vector<NodeLaunch> nodes;
+  std::vector<std::string> commands;  ///< ordered shell commands
+};
+
+/// Converts scheduler placements into launch plans, owning the per-node
+/// core binders and CAT maskers (the actuator state of every daemon).
+class LaunchPlanner {
+ public:
+  LaunchPlanner(int nodes, const hw::MachineConfig& mach,
+                std::string hostname_prefix = "node");
+
+  /// Materialize a placement decided by a scheduling policy. Reserves
+  /// cores and CAT ways on every node of the placement.
+  LaunchPlan materialize(const sched::Job& job, const sched::Placement& p);
+
+  /// Release a finished job's cores and masks everywhere it ran.
+  void release(sched::JobId job, const sched::Placement& p);
+
+  const actuator::CoreBinder& binder(int node) const;
+  const actuator::CatMasker& masker(int node) const;
+
+ private:
+  hw::MachineConfig mach_;
+  std::string prefix_;
+  std::vector<actuator::CoreBinder> binders_;
+  std::vector<actuator::CatMasker> maskers_;
+};
+
+/// Render a core list as a comma-separated cpuset string ("0,1,2,14,15").
+std::string cpuList(const std::vector<int>& cores);
+
+}  // namespace sns::uberun

@@ -1,0 +1,71 @@
+#include "sns/util/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+
+Curve::Curve(std::vector<std::pair<double, double>> points) : pts_(std::move(points)) {
+  std::sort(pts_.begin(), pts_.end());
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    SNS_REQUIRE(pts_[i].first > pts_[i - 1].first, "Curve x values must be distinct");
+  }
+}
+
+void Curve::addPoint(double x, double y) {
+  auto it = std::lower_bound(pts_.begin(), pts_.end(), std::pair<double, double>{x, y},
+                             [](const auto& a, const auto& b) { return a.first < b.first; });
+  SNS_REQUIRE(it == pts_.end() || it->first != x, "Curve x values must be distinct");
+  pts_.insert(it, {x, y});
+}
+
+double Curve::minX() const {
+  SNS_REQUIRE(!pts_.empty(), "minX() of empty curve");
+  return pts_.front().first;
+}
+
+double Curve::maxX() const {
+  SNS_REQUIRE(!pts_.empty(), "maxX() of empty curve");
+  return pts_.back().first;
+}
+
+double Curve::at(double x) const {
+  SNS_REQUIRE(!pts_.empty(), "at() of empty curve");
+  if (x <= pts_.front().first) return pts_.front().second;
+  if (x >= pts_.back().first) return pts_.back().second;
+  auto hi = std::lower_bound(pts_.begin(), pts_.end(), std::pair<double, double>{x, 0.0},
+                             [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (hi->first == x) return hi->second;
+  auto lo = hi - 1;
+  const double t = (x - lo->first) / (hi->first - lo->first);
+  return lo->second + t * (hi->second - lo->second);
+}
+
+double Curve::firstXReaching(double target) const {
+  SNS_REQUIRE(!pts_.empty(), "firstXReaching() of empty curve");
+  if (pts_.front().second >= target) return pts_.front().first;
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    const auto& [x0, y0] = pts_[i - 1];
+    const auto& [x1, y1] = pts_[i];
+    if (y1 >= target) {
+      if (y1 == y0) return x1;
+      const double t = (target - y0) / (y1 - y0);
+      // Only interpolate if the crossing happens inside the segment
+      // (the segment might dip then recover; linear pieces cannot, so the
+      // first segment whose right end reaches the target crosses inside it).
+      return x0 + std::clamp(t, 0.0, 1.0) * (x1 - x0);
+    }
+  }
+  return pts_.back().first;
+}
+
+bool Curve::isNonDecreasing() const {
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].second < pts_[i - 1].second) return false;
+  }
+  return true;
+}
+
+}  // namespace sns::util

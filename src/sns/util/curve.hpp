@@ -1,0 +1,55 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace sns::util {
+
+/// Piecewise-linear curve over strictly increasing x values with clamped
+/// extrapolation. This is the workhorse behind every profile in the system:
+/// IPC-LLC curves, BW-LLC curves, the STREAM bandwidth saturation curve,
+/// and miss-ratio-vs-ways curves are all `Curve`s. The paper's profiler
+/// samples 4 way-allocations and "performs linear interpolation for missing
+/// data points" (§5.1) — exactly `Curve::at`.
+class Curve {
+ public:
+  Curve() = default;
+  /// Points need not be pre-sorted but x values must be distinct.
+  explicit Curve(std::vector<std::pair<double, double>> points);
+
+  /// Insert a point, keeping x order; replacing an existing x is an error.
+  void addPoint(double x, double y);
+
+  bool empty() const { return pts_.empty(); }
+  std::size_t size() const { return pts_.size(); }
+  const std::vector<std::pair<double, double>>& points() const { return pts_; }
+
+  double minX() const;
+  double maxX() const;
+
+  /// Linear interpolation; x outside [minX, maxX] clamps to the end values.
+  double at(double x) const;
+
+  /// Smallest x (searching the sampled grid left to right, interpolating
+  /// within segments) such that y(x) >= target. Returns maxX if the target
+  /// is never reached. Intended for "minimum LLC ways needed to achieve
+  /// T-IPC" lookups on non-decreasing curves, but works on any curve by
+  /// taking the first crossing.
+  double firstXReaching(double target) const;
+
+  /// True if y values never decrease as x grows.
+  bool isNonDecreasing() const;
+
+  /// Pointwise map: returns a curve with the same x grid and y' = f applied.
+  template <typename F>
+  Curve mapY(F&& f) const {
+    Curve out = *this;
+    for (auto& [x, y] : out.pts_) y = f(y);
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> pts_;
+};
+
+}  // namespace sns::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sns::util {
+
+/// Error thrown when a caller violates an API precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Error thrown when input data (a profile file, a trace, a config) is
+/// malformed rather than the caller being at fault.
+class DataError : public std::runtime_error {
+ public:
+  explicit DataError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void failRequire(const char* cond, const char* file, int line,
+                                     const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement failed (" + cond + "): " + msg);
+}
+}  // namespace detail
+
+}  // namespace sns::util
+
+/// Precondition check that survives release builds. Use for public API
+/// contracts; use assert() only for internal invariants.
+#define SNS_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::sns::util::detail::failRequire(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,324 @@
+#include "sns/util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+
+bool Json::asBool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  throw DataError("Json: not a bool");
+}
+
+double Json::asNumber() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  throw DataError("Json: not a number");
+}
+
+const std::string& Json::asString() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  throw DataError("Json: not a string");
+}
+
+const Json::Array& Json::asArray() const {
+  if (const auto* a = std::get_if<Array>(&value_)) return *a;
+  throw DataError("Json: not an array");
+}
+
+const Json::Object& Json::asObject() const {
+  if (const auto* o = std::get_if<Object>(&value_)) return *o;
+  throw DataError("Json: not an object");
+}
+
+Json::Array& Json::asArray() {
+  if (auto* a = std::get_if<Array>(&value_)) return *a;
+  throw DataError("Json: not an array");
+}
+
+Json::Object& Json::asObject() {
+  if (auto* o = std::get_if<Object>(&value_)) return *o;
+  throw DataError("Json: not an object");
+}
+
+const Json& Json::get(const std::string& key) const {
+  const auto& obj = asObject();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw DataError("Json: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::has(const std::string& key) const {
+  return isObject() && asObject().count(key) > 0;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (isNull()) value_ = Object{};
+  return asObject()[key];
+}
+
+namespace {
+
+void dumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dumpNumber(double d, std::string& out) {
+  if (!std::isfinite(d)) throw DataError("Json: cannot serialize non-finite number");
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    out += std::to_string(static_cast<long long>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+}  // namespace
+
+static void dumpImpl(const Json& j, std::string& out, int indent, int depth);
+
+static void newlineIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+static void dumpImpl(const Json& j, std::string& out, int indent, int depth) {
+  if (j.isNull()) {
+    out += "null";
+  } else if (j.isBool()) {
+    out += j.asBool() ? "true" : "false";
+  } else if (j.isNumber()) {
+    dumpNumber(j.asNumber(), out);
+  } else if (j.isString()) {
+    dumpString(j.asString(), out);
+  } else if (j.isArray()) {
+    const auto& arr = j.asArray();
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += indent > 0 ? "," : ",";
+      newlineIndent(out, indent, depth + 1);
+      dumpImpl(arr[i], out, indent, depth + 1);
+    }
+    if (!arr.empty()) newlineIndent(out, indent, depth);
+    out += ']';
+  } else {
+    const auto& obj = j.asObject();
+    out += '{';
+    std::size_t i = 0;
+    for (const auto& [k, v] : obj) {
+      if (i++) out += ",";
+      newlineIndent(out, indent, depth + 1);
+      dumpString(k, out);
+      out += indent > 0 ? ": " : ":";
+      dumpImpl(v, out, indent, depth + 1);
+    }
+    if (!obj.empty()) newlineIndent(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpImpl(*this, out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parseDocument() {
+    Json v = parseValue();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw DataError("Json parse error at offset " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+                                s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void expectLiteral(const char* lit) {
+    for (const char* p = lit; *p; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) fail(std::string("bad literal, expected ") + lit);
+      ++pos_;
+    }
+  }
+
+  Json parseValue() {
+    skipWs();
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': return Json(parseString());
+      case 't': expectLiteral("true"); return Json(true);
+      case 'f': expectLiteral("false"); return Json(false);
+      case 'n': expectLiteral("null"); return Json(nullptr);
+      default: return parseNumber();
+    }
+  }
+
+  Json parseObject() {
+    expect('{');
+    Json::Object obj;
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      obj[std::move(key)] = parseValue();
+      skipWs();
+      char c = take();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parseArray() {
+    expect('[');
+    Json::Array arr;
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parseValue());
+      skipWs();
+      char c = take();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = take();
+      if (c == '"') break;
+      if (c == '\\') {
+        char e = take();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = take();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Encode BMP code point as UTF-8.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    auto [ptr, ec] = std::from_chars(s_.data() + start, s_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != s_.data() + pos_) fail("bad number");
+    return Json(value);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parseDocument(); }
+
+}  // namespace sns::util

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sns::util {
+
+/// Minimal self-contained JSON value used for profile-database persistence
+/// (the paper's Uberun "stores profiling data in a JSON-format file", §5.1).
+/// Supports the full JSON grammar except \uXXXX surrogate pairs outside the
+/// BMP. Object keys are kept sorted (std::map) so serialization is
+/// deterministic and files diff cleanly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::size_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(Array a) : value_(std::move(a)) {}
+  Json(Object o) : value_(std::move(o)) {}
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool isBool() const { return std::holds_alternative<bool>(value_); }
+  bool isNumber() const { return std::holds_alternative<double>(value_); }
+  bool isString() const { return std::holds_alternative<std::string>(value_); }
+  bool isArray() const { return std::holds_alternative<Array>(value_); }
+  bool isObject() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw DataError on type mismatch.
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+  const Array& asArray() const;
+  const Object& asObject() const;
+  Array& asArray();
+  Object& asObject();
+
+  /// Object member access; get() throws DataError if the key is missing.
+  const Json& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  Json& operator[](const std::string& key);
+
+  /// Serialize. indent == 0 produces compact one-line output; otherwise
+  /// pretty-printed with the given indent width.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; trailing garbage is an error.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const { return value_ == other.value_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace sns::util

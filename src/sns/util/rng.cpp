@@ -1,0 +1,112 @@
+#include "sns/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace sns::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  has_cached_normal_ = false;
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SNS_REQUIRE(lo <= hi, "uniform(lo, hi) needs lo <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  SNS_REQUIRE(lo <= hi, "uniformInt(lo, hi) needs lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  SNS_REQUIRE(stddev >= 0.0, "normal() needs stddev >= 0");
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+double Rng::exponential(double lambda) {
+  SNS_REQUIRE(lambda > 0.0, "exponential() needs lambda > 0");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::weightedIndex(const std::vector<double>& weights) {
+  SNS_REQUIRE(!weights.empty(), "weightedIndex() needs a non-empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    SNS_REQUIRE(w >= 0.0, "weightedIndex() needs non-negative weights");
+    total += w;
+  }
+  SNS_REQUIRE(total > 0.0, "weightedIndex() needs at least one positive weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: fell off the end
+}
+
+Rng Rng::split() {
+  Rng child;
+  std::uint64_t seed = next();
+  child.reseed(splitmix64(seed));
+  return child;
+}
+
+}  // namespace sns::util

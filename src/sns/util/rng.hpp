@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**), used
+/// everywhere randomness is needed so that every experiment in the repo is
+/// exactly reproducible from a seed. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via splitmix64 expansion.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached pair).
+  double normal();
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Log-normal where the *underlying* normal has (mu, sigma).
+  double lognormal(double mu, double sigma);
+  /// Exponential with given rate lambda (> 0).
+  double exponential(double lambda);
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+  /// Pick an index in [0, weights.size()) proportionally to weights (>= 0,
+  /// at least one positive).
+  std::size_t weightedIndex(const std::vector<double>& weights);
+  /// Derive an independent child generator (for per-experiment streams).
+  Rng split();
+
+ private:
+  std::uint64_t next();
+
+  std::uint64_t s_[4] = {};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sns::util

@@ -1,0 +1,125 @@
+#include "sns/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+
+double mean(std::span<const double> xs) {
+  SNS_REQUIRE(!xs.empty(), "mean() of empty span");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  SNS_REQUIRE(!xs.empty(), "geomean() of empty span");
+  double logsum = 0.0;
+  for (double x : xs) {
+    SNS_REQUIRE(x > 0.0, "geomean() needs positive values");
+    logsum += std::log(x);
+  }
+  return std::exp(logsum / static_cast<double>(xs.size()));
+}
+
+double variance(std::span<const double> xs) {
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double p) {
+  SNS_REQUIRE(!xs.empty(), "percentile() of empty span");
+  SNS_REQUIRE(p >= 0.0 && p <= 100.0, "percentile() needs p in [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double minOf(std::span<const double> xs) {
+  SNS_REQUIRE(!xs.empty(), "minOf() of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maxOf(std::span<const double> xs) {
+  SNS_REQUIRE(!xs.empty(), "maxOf() of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  SNS_REQUIRE(n_ > 0, "RunningStats::mean() with no samples");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  SNS_REQUIRE(n_ > 0, "RunningStats::variance() with no samples");
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  SNS_REQUIRE(n_ > 0, "RunningStats::min() with no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  SNS_REQUIRE(n_ > 0, "RunningStats::max() with no samples");
+  return max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  SNS_REQUIRE(hi > lo, "Histogram needs hi > lo");
+  SNS_REQUIRE(bins > 0, "Histogram needs at least one bin");
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  SNS_REQUIRE(bin < counts_.size(), "Histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::binLow(std::size_t bin) const {
+  SNS_REQUIRE(bin < counts_.size(), "Histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::binHigh(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return binLow(bin) + width;
+}
+
+}  // namespace sns::util

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sns::util {
+
+/// Arithmetic mean. Empty input is a precondition violation.
+double mean(std::span<const double> xs);
+
+/// Geometric mean; all inputs must be positive. The paper follows common
+/// practice (its §6.1) of arithmetic mean for times and geometric mean for
+/// speedups / normalized times.
+double geomean(std::span<const double> xs);
+
+/// Population variance (divide by N).
+double variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Min / max of a non-empty span.
+double minOf(std::span<const double> xs);
+double maxOf(std::span<const double> xs);
+
+/// Streaming mean/variance accumulator (Welford's algorithm); numerically
+/// stable for long monitoring streams.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); values outside are clamped into
+/// the first/last bin. Used for the paper's Fig 18 bandwidth-interval counts.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+  /// Inclusive lower edge of a bin.
+  double binLow(std::size_t bin) const;
+  /// Exclusive upper edge of a bin.
+  double binHigh(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sns::util

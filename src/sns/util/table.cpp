@@ -1,0 +1,77 @@
+#include "sns/util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SNS_REQUIRE(!header_.empty(), "Table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  SNS_REQUIRE(cells.size() == header_.size(), "Table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = renderRow(header_);
+  std::size_t ruleLen = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) ruleLen += widths[c] + (c ? 2 : 0);
+  out.append(ruleLen, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+std::string Table::csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    return q + "\"";
+  };
+  std::string out;
+  auto appendRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += quote(row[c]);
+    }
+    out += '\n';
+  };
+  appendRow(header_);
+  for (const auto& row : rows_) appendRow(row);
+  return out;
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmtPct(double fraction, int digits) {
+  return fmt(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace sns::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sns::util {
+
+/// Plain-text table renderer used by every bench binary to print the rows /
+/// series of the paper figure it regenerates. Column widths auto-fit;
+/// numeric cells should be pre-formatted by the caller (see fmt helpers).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with a header rule, columns separated by two spaces.
+  std::string render() const;
+
+  /// Render as CSV (comma-separated, quoted only when needed).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` decimal places.
+std::string fmt(double v, int digits = 2);
+/// Format as a percentage string, e.g. fmtPct(0.198) -> "19.8%".
+std::string fmtPct(double fraction, int digits = 1);
+
+}  // namespace sns::util

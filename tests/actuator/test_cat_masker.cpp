@@ -1,0 +1,93 @@
+#include "sns/actuator/cat_masker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::actuator {
+namespace {
+
+class CatMaskerTest : public ::testing::Test {
+ protected:
+  hw::MachineConfig mach_ = hw::MachineConfig::xeonE5_2680v4();
+  CatMasker masker_{mach_};
+};
+
+bool isContiguous(std::uint32_t mask) {
+  if (mask == 0) return false;
+  while ((mask & 1U) == 0) mask >>= 1;
+  return (mask & (mask + 1)) == 0;  // ...0111..1 after shifting
+}
+
+TEST_F(CatMaskerTest, AllocatesContiguousRuns) {
+  const auto a = masker_.allocate(1, 4);
+  const auto b = masker_.allocate(2, 6);
+  EXPECT_TRUE(isContiguous(a));
+  EXPECT_TRUE(isContiguous(b));
+  EXPECT_EQ(a & b, 0u);  // disjoint
+  EXPECT_EQ(masker_.freeWays(), 10);
+}
+
+TEST_F(CatMaskerTest, FirstFitFromWayZero) {
+  EXPECT_EQ(masker_.allocate(1, 3), 0b111u);
+  EXPECT_EQ(masker_.allocate(2, 2), 0b11000u);
+}
+
+TEST_F(CatMaskerTest, ReleaseRecyclesRuns) {
+  masker_.allocate(1, 10);
+  masker_.allocate(2, 10);
+  masker_.release(1);
+  EXPECT_EQ(masker_.freeWays(), 10);
+  EXPECT_EQ(masker_.largestFreeRun(), 10);
+  EXPECT_EQ(masker_.allocate(3, 10), 0x3FFu);  // reuses the freed low run
+}
+
+TEST_F(CatMaskerTest, FragmentationCanBlockDespiteFreeWays) {
+  masker_.allocate(1, 8);   // ways 0-7
+  masker_.allocate(2, 4);   // ways 8-11
+  masker_.allocate(3, 8);   // ways 12-19
+  masker_.release(1);
+  masker_.release(3);
+  // 16 ways free but the largest run is 8: a 10-way request must fail...
+  // wait, runs are 0-7 (8) and 12-19 (8) with 8-11 occupied.
+  EXPECT_EQ(masker_.freeWays(), 16);
+  EXPECT_EQ(masker_.largestFreeRun(), 8);
+  EXPECT_THROW(masker_.allocate(4, 10), util::PreconditionError);
+  EXPECT_NO_THROW(masker_.allocate(5, 8));
+}
+
+TEST_F(CatMaskerTest, EnforcesHardwareLimits) {
+  EXPECT_THROW(masker_.allocate(1, 1), util::PreconditionError);   // < min ways
+  EXPECT_THROW(masker_.allocate(1, 21), util::PreconditionError);  // > LLC
+  masker_.allocate(1, 2);
+  EXPECT_THROW(masker_.allocate(1, 2), util::PreconditionError);   // double alloc
+  EXPECT_THROW(masker_.release(9), util::PreconditionError);
+  EXPECT_THROW(masker_.mask(9), util::PreconditionError);
+}
+
+TEST_F(CatMaskerTest, ClosRegisterLimit) {
+  hw::MachineConfig tiny = mach_;
+  tiny.max_llc_partitions = 2;
+  CatMasker m(tiny);
+  m.allocate(1, 2);
+  m.allocate(2, 2);
+  EXPECT_THROW(m.allocate(3, 2), util::PreconditionError);
+}
+
+TEST_F(CatMaskerTest, HexRendering) {
+  EXPECT_EQ(CatMasker::toHex(0x3), "0x00003");
+  EXPECT_EQ(CatMasker::toHex(0xFFFFF), "0xfffff");
+}
+
+TEST_F(CatMaskerTest, ExhaustiveFillAndDrain) {
+  // 10 jobs x 2 ways fill the cache exactly.
+  for (JobId j = 0; j < 10; ++j) EXPECT_NO_THROW(masker_.allocate(j, 2));
+  EXPECT_EQ(masker_.freeWays(), 0);
+  EXPECT_THROW(masker_.allocate(99, 2), util::PreconditionError);
+  for (JobId j = 0; j < 10; ++j) masker_.release(j);
+  EXPECT_EQ(masker_.freeWays(), 20);
+  EXPECT_EQ(masker_.largestFreeRun(), 20);
+}
+
+}  // namespace
+}  // namespace sns::actuator

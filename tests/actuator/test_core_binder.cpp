@@ -1,0 +1,88 @@
+#include "sns/actuator/core_binder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sns/util/error.hpp"
+
+namespace sns::actuator {
+namespace {
+
+class CoreBinderTest : public ::testing::Test {
+ protected:
+  hw::MachineConfig mach_ = hw::MachineConfig::xeonE5_2680v4();
+  CoreBinder binder_{mach_};
+};
+
+TEST_F(CoreBinderTest, BindsRequestedCount) {
+  const auto cores = binder_.bind(1, 16);
+  EXPECT_EQ(cores.size(), 16u);
+  EXPECT_EQ(binder_.freeCores(), 12);
+}
+
+TEST_F(CoreBinderTest, SocketBalancedSplit) {
+  const auto cores = binder_.bind(1, 16);
+  int socket0 = 0, socket1 = 0;
+  for (int c : cores) (c < 14 ? socket0 : socket1)++;
+  EXPECT_EQ(socket0, 8);
+  EXPECT_EQ(socket1, 8);
+}
+
+TEST_F(CoreBinderTest, OddCountNearlyBalanced) {
+  const auto cores = binder_.bind(1, 7);
+  int socket0 = 0, socket1 = 0;
+  for (int c : cores) (c < 14 ? socket0 : socket1)++;
+  EXPECT_LE(std::abs(socket0 - socket1), 1);
+}
+
+TEST_F(CoreBinderTest, NoOverlapBetweenJobs) {
+  const auto a = binder_.bind(1, 10);
+  const auto b = binder_.bind(2, 10);
+  std::set<int> all(a.begin(), a.end());
+  for (int c : b) EXPECT_TRUE(all.insert(c).second) << "core " << c << " reused";
+  EXPECT_EQ(all.size(), 20u);
+}
+
+TEST_F(CoreBinderTest, UnbindFreesCores) {
+  binder_.bind(1, 20);
+  binder_.unbind(1);
+  EXPECT_EQ(binder_.freeCores(), 28);
+  EXPECT_FALSE(binder_.bound(1));
+  const auto again = binder_.bind(2, 28);
+  EXPECT_EQ(again.size(), 28u);
+}
+
+TEST_F(CoreBinderTest, OverflowRejected) {
+  binder_.bind(1, 20);
+  EXPECT_THROW(binder_.bind(2, 9), util::PreconditionError);
+  EXPECT_NO_THROW(binder_.bind(3, 8));
+}
+
+TEST_F(CoreBinderTest, DoubleBindAndUnknownUnbindRejected) {
+  binder_.bind(1, 4);
+  EXPECT_THROW(binder_.bind(1, 4), util::PreconditionError);
+  EXPECT_THROW(binder_.unbind(99), util::PreconditionError);
+  EXPECT_THROW(binder_.binding(99), util::PreconditionError);
+}
+
+TEST_F(CoreBinderTest, BindingLookupReturnsSortedCores) {
+  binder_.bind(5, 6);
+  const auto& b = binder_.binding(5);
+  EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+}
+
+TEST_F(CoreBinderTest, FragmentedFreeListStillBinds) {
+  binder_.bind(1, 10);
+  binder_.bind(2, 10);
+  binder_.unbind(1);
+  const auto c = binder_.bind(3, 14);
+  EXPECT_EQ(c.size(), 14u);
+  std::set<int> mine(c.begin(), c.end());
+  for (int core : binder_.binding(2)) {
+    EXPECT_EQ(mine.count(core), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sns::actuator

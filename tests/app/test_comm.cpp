@@ -1,0 +1,76 @@
+#include "sns/app/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+namespace {
+
+TEST(Comm, SingleNodeHasNoRemoteTraffic) {
+  for (auto p : {CommPattern::kNone, CommPattern::kRing, CommPattern::kAllToAll,
+                 CommPattern::kButterfly}) {
+    EXPECT_DOUBLE_EQ(remoteFraction(p, 16, 16, 1), 0.0) << to_string(p);
+  }
+}
+
+TEST(Comm, NonePatternNeverRemote) {
+  EXPECT_DOUBLE_EQ(remoteFraction(CommPattern::kNone, 16, 2, 8), 0.0);
+}
+
+TEST(Comm, RingRemoteFractionIsOneOverC) {
+  EXPECT_DOUBLE_EQ(remoteFraction(CommPattern::kRing, 16, 8, 2), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(remoteFraction(CommPattern::kRing, 16, 2, 8), 1.0 / 2.0);
+}
+
+TEST(Comm, AllToAllMatchesUniformPeerProbability) {
+  // 16 procs, 8 per node: peer remote with probability (16-8)/15.
+  EXPECT_DOUBLE_EQ(remoteFraction(CommPattern::kAllToAll, 16, 8, 2), 8.0 / 15.0);
+  EXPECT_DOUBLE_EQ(remoteFraction(CommPattern::kAllToAll, 16, 2, 8), 14.0 / 15.0);
+}
+
+TEST(Comm, ButterflyGrowsWithLogNodes) {
+  const double f2 = remoteFraction(CommPattern::kButterfly, 16, 8, 2);
+  const double f4 = remoteFraction(CommPattern::kButterfly, 16, 4, 4);
+  const double f8 = remoteFraction(CommPattern::kButterfly, 16, 2, 8);
+  EXPECT_DOUBLE_EQ(f2, 0.25);
+  EXPECT_DOUBLE_EQ(f4, 0.50);
+  EXPECT_DOUBLE_EQ(f8, 0.75);
+}
+
+TEST(Comm, RemoteFractionIsMonotoneInSpreading) {
+  for (auto p : {CommPattern::kRing, CommPattern::kAllToAll, CommPattern::kButterfly}) {
+    double prev = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+      const double f = remoteFraction(p, 16, 16 / n, n);
+      EXPECT_GE(f + 1e-12, prev) << to_string(p) << " at " << n << " nodes";
+      prev = f;
+    }
+  }
+}
+
+TEST(Comm, FractionBoundedByOne) {
+  EXPECT_LE(remoteFraction(CommPattern::kRing, 16, 1, 16), 1.0);
+  EXPECT_LE(remoteFraction(CommPattern::kAllToAll, 1024, 1, 1024), 1.0);
+}
+
+TEST(Comm, SingleProcessJobNeverRemote) {
+  EXPECT_DOUBLE_EQ(remoteFraction(CommPattern::kAllToAll, 1, 1, 4), 0.0);
+}
+
+TEST(Comm, ValidatesArguments) {
+  EXPECT_THROW(remoteFraction(CommPattern::kRing, 0, 1, 1), util::PreconditionError);
+  EXPECT_THROW(remoteFraction(CommPattern::kRing, 1, 0, 1), util::PreconditionError);
+  EXPECT_THROW(remoteFraction(CommPattern::kRing, 1, 1, 0), util::PreconditionError);
+}
+
+TEST(Comm, StringRoundTrip) {
+  for (auto p : {CommPattern::kNone, CommPattern::kRing, CommPattern::kAllToAll,
+                 CommPattern::kButterfly}) {
+    EXPECT_EQ(commPatternFromString(to_string(p)), p);
+  }
+  EXPECT_THROW(commPatternFromString("bogus"), util::DataError);
+}
+
+}  // namespace
+}  // namespace sns::app

@@ -1,0 +1,89 @@
+#include "sns/app/jobspec_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sns/app/library.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+namespace {
+
+TEST(JobSpecIo, RoundTripPreservesEverything) {
+  JobSpec j;
+  j.program = "MG";
+  j.procs = 28;
+  j.alpha = 0.85;
+  j.submit_time = 12.5;
+  j.repeats = 5;
+  j.ce_time_override = 321.0;
+  const JobSpec back = jobSpecFromJson(jobSpecToJson(j));
+  EXPECT_EQ(back.program, "MG");
+  EXPECT_EQ(back.procs, 28);
+  EXPECT_DOUBLE_EQ(back.alpha, 0.85);
+  EXPECT_DOUBLE_EQ(back.submit_time, 12.5);
+  EXPECT_EQ(back.repeats, 5);
+  EXPECT_DOUBLE_EQ(back.ce_time_override, 321.0);
+}
+
+TEST(JobSpecIo, DefaultsApplyForOptionalFields) {
+  const JobSpec j = jobSpecFromJson(util::Json::parse(R"({"program":"EP"})"));
+  EXPECT_EQ(j.program, "EP");
+  EXPECT_EQ(j.procs, 16);
+  EXPECT_DOUBLE_EQ(j.alpha, 0.9);
+  EXPECT_DOUBLE_EQ(j.submit_time, 0.0);
+  EXPECT_EQ(j.repeats, 1);
+}
+
+TEST(JobSpecIo, RejectsInvalidSpecs) {
+  EXPECT_THROW(jobSpecFromJson(util::Json::parse(R"({})")), util::DataError);
+  EXPECT_THROW(jobSpecFromJson(util::Json::parse(R"({"program":""})")),
+               util::DataError);
+  EXPECT_THROW(jobSpecFromJson(util::Json::parse(R"({"program":"X","procs":0})")),
+               util::DataError);
+  EXPECT_THROW(
+      jobSpecFromJson(util::Json::parse(R"({"program":"X","alpha":1.5})")),
+      util::DataError);
+  EXPECT_THROW(
+      jobSpecFromJson(util::Json::parse(R"({"program":"X","repeats":0})")),
+      util::DataError);
+}
+
+TEST(JobSpecIo, ListRoundTrip) {
+  util::Rng rng(5);
+  const auto lib = programLibrary();
+  const auto seq = randomSequence(rng, lib, 25, 0.9);
+  const auto back = jobListFromJson(jobListToJson(seq));
+  ASSERT_EQ(back.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(back[i].program, seq[i].program);
+    EXPECT_EQ(back[i].procs, seq[i].procs);
+  }
+}
+
+TEST(JobSpecIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "sns_jobs_test.json";
+  util::Rng rng(6);
+  const auto lib = programLibrary();
+  const auto seq = randomSequence(rng, lib, 10, 0.9);
+  saveJobList(path.string(), seq);
+  const auto back = loadJobList(path.string());
+  std::filesystem::remove(path);
+  ASSERT_EQ(back.size(), seq.size());
+  EXPECT_EQ(back.front().program, seq.front().program);
+}
+
+TEST(JobSpecIo, LoadMissingFileThrows) {
+  EXPECT_THROW(loadJobList("/nonexistent/jobs.json"), util::DataError);
+}
+
+TEST(JobSpecIo, MalformedListThrows) {
+  EXPECT_THROW(jobListFromJson(util::Json::parse(R"({"jobs":[{"procs":4}]})")),
+               util::DataError);
+  EXPECT_THROW(jobListFromJson(util::Json::parse(R"({"nope":[]})")),
+               util::DataError);
+}
+
+}  // namespace
+}  // namespace sns::app

@@ -1,0 +1,140 @@
+#include "sns/app/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+namespace {
+
+TEST(Library, HasTwelveProgramsInPaperOrder) {
+  const auto lib = programLibrary();
+  const auto names = programNames();
+  ASSERT_EQ(lib.size(), 12u);
+  ASSERT_EQ(names.size(), 12u);
+  for (std::size_t i = 0; i < lib.size(); ++i) {
+    EXPECT_EQ(lib[i].name, names[i]);
+  }
+}
+
+TEST(Library, NamesAreUnique) {
+  const auto lib = programLibrary();
+  std::set<std::string> names;
+  for (const auto& p : lib) names.insert(p.name);
+  EXPECT_EQ(names.size(), lib.size());
+}
+
+TEST(Library, FrameworkCoverageMatchesPaper) {
+  const auto lib = programLibrary();
+  int spark = 0, tf = 0, mpi = 0, repl = 0;
+  for (const auto& p : lib) {
+    switch (p.framework) {
+      case Framework::kSpark: ++spark; break;
+      case Framework::kTensorFlow: ++tf; break;
+      case Framework::kMpi: ++mpi; break;
+      case Framework::kReplicated: ++repl; break;
+    }
+  }
+  EXPECT_EQ(spark, 3);  // WC, TS, NW from HiBench
+  EXPECT_EQ(tf, 2);     // GAN, RNN
+  EXPECT_EQ(mpi, 5);    // MG, CG, EP, LU from NPB + BFS from Graph500
+  EXPECT_EQ(repl, 2);   // HC, BW from SPEC CPU
+}
+
+TEST(Library, TensorFlowProgramsAreSingleNode) {
+  const auto lib = programLibrary();
+  EXPECT_FALSE(findProgram(lib, "GAN").multi_node);
+  EXPECT_FALSE(findProgram(lib, "RNN").multi_node);
+  EXPECT_TRUE(findProgram(lib, "MG").multi_node);
+}
+
+TEST(Library, MpiProgramsNeedPowerOfTwo) {
+  const auto lib = programLibrary();
+  for (const char* n : {"MG", "CG", "EP", "LU", "BFS"}) {
+    EXPECT_TRUE(findProgram(lib, n).pow2_procs) << n;
+  }
+  EXPECT_FALSE(findProgram(lib, "WC").pow2_procs);
+}
+
+TEST(Library, ReferenceTimesInPaperRange) {
+  // §6.1: inputs sized for 50 s - 1200 s runs.
+  for (const auto& p : programLibrary()) {
+    EXPECT_GE(p.solo_time_ref, 50.0) << p.name;
+    EXPECT_LE(p.solo_time_ref, 1200.0) << p.name;
+  }
+}
+
+TEST(Library, ProgramsStartUncalibrated) {
+  for (const auto& p : programLibrary()) {
+    EXPECT_FALSE(p.calibrated()) << p.name;
+  }
+}
+
+TEST(Library, OnlyBfsHasSpreadPenalties) {
+  for (const auto& p : programLibrary()) {
+    if (p.name == "BFS") {
+      EXPECT_GT(p.spread_instr_overhead, 0.0);
+      EXPECT_GT(p.spread_mem_overhead, 0.0);
+      EXPECT_GT(p.spread_miss_boost, 0.0);
+    } else {
+      EXPECT_EQ(p.spread_instr_overhead, 0.0) << p.name;
+    }
+  }
+}
+
+TEST(Library, ReplicatedJobsDoNotCommunicate) {
+  const auto lib = programLibrary();
+  for (const char* n : {"HC", "BW", "GAN", "RNN"}) {
+    const auto& p = findProgram(lib, n);
+    EXPECT_EQ(p.comm.pattern, CommPattern::kNone) << n;
+    EXPECT_EQ(p.comm.comm_frac_ref, 0.0) << n;
+  }
+}
+
+TEST(Library, NpbCommunicationUnderTenPercent) {
+  // Fig 7: NPB programs spend < 10% of time communicating at the reference
+  // placement (CG's 12% slot is mostly wait, counted separately).
+  const auto lib = programLibrary();
+  for (const char* n : {"MG", "EP", "LU"}) {
+    EXPECT_LT(findProgram(lib, n).comm.comm_frac_ref, 0.10) << n;
+  }
+}
+
+TEST(Library, FindProgramThrowsOnUnknown) {
+  const auto lib = programLibrary();
+  EXPECT_THROW(findProgram(lib, "NOPE"), util::DataError);
+}
+
+TEST(Library, PhasesNormalizeToUnitWeight) {
+  for (const auto& p : programLibrary()) {
+    const auto phases = p.effectivePhases();
+    double total = 0.0;
+    for (const auto& ph : phases) total += ph.weight;
+    EXPECT_NEAR(total, 1.0, 1e-12) << p.name;
+  }
+}
+
+TEST(Program, MissRatioRespectsSpreadBoost) {
+  const auto lib = programLibrary();
+  const auto& bfs = findProgram(lib, "BFS");
+  EXPECT_GT(bfs.missRatio(4.0, 1.0), bfs.missRatio(4.0, 0.0));
+}
+
+TEST(Program, InstrFactorGrowsWithRemoteFraction) {
+  const auto lib = programLibrary();
+  const auto& bfs = findProgram(lib, "BFS");
+  EXPECT_DOUBLE_EQ(bfs.instrFactor(0.0), 1.0);
+  EXPECT_GT(bfs.instrFactor(0.5), 1.0);
+}
+
+TEST(Program, FrameworkToString) {
+  EXPECT_EQ(to_string(Framework::kMpi), "MPI");
+  EXPECT_EQ(to_string(Framework::kSpark), "Spark");
+  EXPECT_EQ(to_string(Framework::kTensorFlow), "TensorFlow");
+  EXPECT_EQ(to_string(Framework::kReplicated), "Replicated");
+}
+
+}  // namespace
+}  // namespace sns::app

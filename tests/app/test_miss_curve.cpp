@@ -1,0 +1,70 @@
+#include "sns/app/miss_curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+namespace {
+
+TEST(MissCurve, MonotoneDecreasingInCapacity) {
+  MissCurve m{0.9, 0.1, 1.0, 2.0};
+  double prev = 1.0;
+  for (double x = 0.1; x <= 40.0; x *= 1.5) {
+    const double v = m.at(x);
+    EXPECT_LE(v, prev + 1e-12);
+    prev = v;
+  }
+}
+
+TEST(MissCurve, LimitsApproachColdAndWarm) {
+  MissCurve m{0.8, 0.2, 1.0, 2.0};
+  EXPECT_NEAR(m.at(1e-6), 0.8, 1e-3);
+  EXPECT_NEAR(m.at(1e6), 0.2, 1e-3);
+}
+
+TEST(MissCurve, HalfwayAtHalfMb) {
+  MissCurve m{0.8, 0.2, 2.0, 2.0};
+  EXPECT_NEAR(m.at(2.0), 0.5, 1e-12);
+}
+
+TEST(MissCurve, ShapeControlsSteepness) {
+  MissCurve gentle{0.8, 0.2, 1.0, 1.0};
+  MissCurve steep{0.8, 0.2, 1.0, 4.0};
+  // Below half_mb the steep curve stays closer to cold; above, closer to warm.
+  EXPECT_GT(steep.at(0.25), gentle.at(0.25));
+  EXPECT_LT(steep.at(4.0), gentle.at(4.0));
+}
+
+TEST(MissCurve, ClampedToUnitInterval) {
+  MissCurve m{1.5, -0.2, 1.0, 2.0};  // out-of-range endpoints
+  EXPECT_LE(m.at(0.01), 1.0);
+  EXPECT_GE(m.at(100.0), 0.0);
+}
+
+TEST(MissCurve, RejectsBadParameters) {
+  MissCurve bad_half{0.8, 0.2, 0.0, 2.0};
+  EXPECT_THROW(bad_half.at(1.0), util::PreconditionError);
+  MissCurve bad_shape{0.8, 0.2, 1.0, 0.0};
+  EXPECT_THROW(bad_shape.at(1.0), util::PreconditionError);
+}
+
+TEST(MissCurve, ZeroCapacityIsSafe) {
+  MissCurve m{0.9, 0.1, 1.0, 2.0};
+  EXPECT_NEAR(m.at(0.0), 0.9, 1e-3);
+}
+
+class MissCurveSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MissCurveSweep, WithinEndpointBounds) {
+  MissCurve m{0.75, 0.15, 1.5, 1.8};
+  const double v = m.at(GetParam());
+  EXPECT_GE(v, 0.15 - 1e-12);
+  EXPECT_LE(v, 0.75 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MissCurveSweep,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0, 70.0));
+
+}  // namespace
+}  // namespace sns::app

@@ -1,0 +1,158 @@
+#include "sns/app/workload_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sns/app/library.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::app {
+namespace {
+
+double fakeCeTime(const JobSpec& j) {
+  // Simple deterministic stand-in: BW long, HC short, others medium.
+  if (j.program == "BW") return 700.0;
+  if (j.program == "HC") return 485.0;
+  return 200.0;
+}
+
+TEST(WorkloadGen, RandomSequenceHasRequestedLength) {
+  util::Rng rng(1);
+  const auto lib = programLibrary();
+  const auto seq = randomSequence(rng, lib, 20, 0.9);
+  EXPECT_EQ(seq.size(), 20u);
+  for (const auto& j : seq) EXPECT_DOUBLE_EQ(j.alpha, 0.9);
+}
+
+TEST(WorkloadGen, ProcsAre16Or28) {
+  util::Rng rng(2);
+  const auto lib = programLibrary();
+  const auto seq = randomSequence(rng, lib, 200, 0.9);
+  for (const auto& j : seq) {
+    EXPECT_TRUE(j.procs == 16 || j.procs == 28) << j.program << " " << j.procs;
+  }
+}
+
+TEST(WorkloadGen, RigidProgramsAlways16) {
+  util::Rng rng(3);
+  const auto lib = programLibrary();
+  const auto seq = randomSequence(rng, lib, 400, 0.9);
+  for (const auto& j : seq) {
+    const auto& prog = findProgram(lib, j.program);
+    if (prog.pow2_procs || !prog.multi_node) {
+      EXPECT_EQ(j.procs, prog.ref_procs) << j.program;
+    }
+  }
+}
+
+TEST(WorkloadGen, FlexibleProgramsUseBothSizes) {
+  util::Rng rng(4);
+  const auto lib = programLibrary();
+  const auto seq = randomSequence(rng, lib, 600, 0.9);
+  std::map<int, int> counts;
+  for (const auto& j : seq) {
+    if (!findProgram(lib, j.program).pow2_procs &&
+        findProgram(lib, j.program).multi_node) {
+      ++counts[j.procs];
+    }
+  }
+  EXPECT_GT(counts[16], 0);
+  EXPECT_GT(counts[28], 0);
+}
+
+TEST(WorkloadGen, SamplesEveryProgramEventually) {
+  util::Rng rng(5);
+  const auto lib = programLibrary();
+  const auto seq = randomSequence(rng, lib, 1000, 0.9);
+  std::map<std::string, int> seen;
+  for (const auto& j : seq) ++seen[j.program];
+  EXPECT_EQ(seen.size(), lib.size());
+}
+
+TEST(WorkloadGen, DeterministicForSeed) {
+  const auto lib = programLibrary();
+  util::Rng a(9), b(9);
+  const auto s1 = randomSequence(a, lib, 50, 0.9);
+  const auto s2 = randomSequence(b, lib, 50, 0.9);
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].program, s2[i].program);
+    EXPECT_EQ(s1[i].procs, s2[i].procs);
+  }
+}
+
+TEST(ScalingRatio, AllScalingIsOne) {
+  std::vector<JobSpec> seq = {{"BW", 28, 0.9, 0.0, 1, 0.0},
+                              {"BW", 28, 0.9, 0.0, 1, 0.0}};
+  EXPECT_DOUBLE_EQ(scalingRatio(seq, {"BW"}, fakeCeTime), 1.0);
+}
+
+TEST(ScalingRatio, NoneScalingIsZero) {
+  std::vector<JobSpec> seq = {{"HC", 28, 0.9, 0.0, 1, 0.0}};
+  EXPECT_DOUBLE_EQ(scalingRatio(seq, {"BW"}, fakeCeTime), 0.0);
+}
+
+TEST(ScalingRatio, WeightedByCoreHours) {
+  std::vector<JobSpec> seq = {{"BW", 28, 0.9, 0.0, 1, 0.0},
+                              {"HC", 28, 0.9, 0.0, 1, 0.0}};
+  const double expect = 700.0 / (700.0 + 485.0);
+  EXPECT_NEAR(scalingRatio(seq, {"BW"}, fakeCeTime), expect, 1e-12);
+}
+
+TEST(ScalingRatio, RepeatsCount) {
+  std::vector<JobSpec> seq = {{"BW", 28, 0.9, 0.0, 5, 0.0},
+                              {"HC", 28, 0.9, 0.0, 1, 0.0}};
+  const double expect = 5 * 700.0 / (5 * 700.0 + 485.0);
+  EXPECT_NEAR(scalingRatio(seq, {"BW"}, fakeCeTime), expect, 1e-12);
+}
+
+TEST(ScalingRatio, EmptySequenceThrows) {
+  std::vector<JobSpec> seq;
+  EXPECT_THROW(scalingRatio(seq, {"BW"}, fakeCeTime), util::PreconditionError);
+}
+
+TEST(RatioMix, HitsTargetApproximately) {
+  util::Rng rng(6);
+  for (double target : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const auto seq =
+        ratioControlledMix(rng, "BW", "HC", 30, 28, target, fakeCeTime);
+    EXPECT_EQ(seq.size(), 30u);
+    const double got = scalingRatio(seq, {"BW"}, fakeCeTime);
+    EXPECT_NEAR(got, target, 0.05) << "target " << target;
+  }
+}
+
+TEST(RatioMix, ZeroTargetHasNoScalingJobs) {
+  util::Rng rng(7);
+  const auto seq = ratioControlledMix(rng, "BW", "HC", 30, 28, 0.0, fakeCeTime);
+  for (const auto& j : seq) EXPECT_EQ(j.program, "HC");
+}
+
+TEST(RatioMix, FullTargetIsAllScalingJobs) {
+  util::Rng rng(8);
+  const auto seq = ratioControlledMix(rng, "BW", "HC", 30, 28, 1.0, fakeCeTime);
+  for (const auto& j : seq) EXPECT_EQ(j.program, "BW");
+}
+
+TEST(RatioMix, ValidatesArguments) {
+  util::Rng rng(9);
+  EXPECT_THROW(ratioControlledMix(rng, "BW", "HC", 0, 28, 0.5, fakeCeTime),
+               util::PreconditionError);
+  EXPECT_THROW(ratioControlledMix(rng, "BW", "HC", 10, 28, 1.5, fakeCeTime),
+               util::PreconditionError);
+}
+
+class RatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RatioSweep, AchievedRatioWithinBand) {
+  util::Rng rng(10);
+  const auto seq =
+      ratioControlledMix(rng, "BW", "HC", 30, 28, GetParam(), fakeCeTime);
+  EXPECT_NEAR(scalingRatio(seq, {"BW"}, fakeCeTime), GetParam(), 0.035);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, RatioSweep,
+                         ::testing::Values(0.1, 0.25, 0.4, 0.6, 0.75, 0.9));
+
+}  // namespace
+}  // namespace sns::app

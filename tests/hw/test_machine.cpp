@@ -1,0 +1,86 @@
+#include "sns/hw/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::hw {
+namespace {
+
+TEST(SaturationCurve, MatchesPaperAnchors) {
+  const auto s = SaturationCurve::xeonE5_2680v4();
+  // §2 text: 18.80 GB/s at 1 core, 37.17 at 2, 118.26 at 28.
+  EXPECT_NEAR(s.aggregate(1), 18.80, 1e-9);
+  EXPECT_NEAR(s.aggregate(2), 37.17, 1e-9);
+  EXPECT_NEAR(s.aggregate(28), 118.26, 1e-9);
+  EXPECT_NEAR(s.peak(), 118.26, 1e-9);
+}
+
+TEST(SaturationCurve, PerCoreBandwidthDeclines) {
+  const auto s = SaturationCurve::xeonE5_2680v4();
+  double prev = s.perCore(1);
+  for (int c = 2; c <= 28; ++c) {
+    EXPECT_LE(s.perCore(c), prev + 1e-9) << "at " << c << " cores";
+    prev = s.perCore(c);
+  }
+  // §2: at 28 cores per-core bandwidth dips to ~22.45% of single-core peak.
+  EXPECT_NEAR(s.perCore(28) / s.perCore(1), 0.2245, 0.005);
+}
+
+TEST(SaturationCurve, AggregateIsNonDecreasing) {
+  const auto s = SaturationCurve::xeonE5_2680v4();
+  double prev = 0.0;
+  for (double c = 0.0; c <= 28.0; c += 0.5) {
+    EXPECT_GE(s.aggregate(c) + 1e-12, prev);
+    prev = s.aggregate(c);
+  }
+}
+
+TEST(SaturationCurve, EarlyGrowthIsNearLinear) {
+  const auto s = SaturationCurve::xeonE5_2680v4();
+  // Doubling 1 -> 2 cores nearly doubles bandwidth (paper: 18.8 -> 37.17).
+  EXPECT_GT(s.aggregate(2) / s.aggregate(1), 1.9);
+  // But 8 -> 16 cores gains little: the bottleneck has set in.
+  EXPECT_LT(s.aggregate(16) / s.aggregate(8), 1.2);
+}
+
+TEST(SaturationCurve, FractionalCoresInterpolate) {
+  const auto s = SaturationCurve::xeonE5_2680v4();
+  const double mid = s.aggregate(1.5);
+  EXPECT_GT(mid, s.aggregate(1));
+  EXPECT_LT(mid, s.aggregate(2));
+}
+
+TEST(SaturationCurve, RejectsInvalidQueries) {
+  const auto s = SaturationCurve::xeonE5_2680v4();
+  EXPECT_THROW(s.aggregate(-1.0), util::PreconditionError);
+  EXPECT_THROW(s.perCore(0.0), util::PreconditionError);
+}
+
+TEST(SaturationCurve, RejectsDecreasingCurve) {
+  EXPECT_THROW(SaturationCurve(util::Curve({{0.0, 5.0}, {1.0, 3.0}})),
+               util::PreconditionError);
+  EXPECT_THROW(SaturationCurve(util::Curve({{1.0, 3.0}})),
+               util::PreconditionError);
+}
+
+TEST(MachineConfig, PaperTestbedDefaults) {
+  const auto m = MachineConfig::xeonE5_2680v4();
+  EXPECT_EQ(m.cores, 28);
+  EXPECT_EQ(m.llc_ways, 20);
+  EXPECT_DOUBLE_EQ(m.llc_mb, 35.0);
+  EXPECT_EQ(m.min_ways_per_job, 2);
+  EXPECT_EQ(m.max_llc_partitions, 16);
+  EXPECT_NEAR(m.peakBandwidth(), 118.26, 1e-9);
+  EXPECT_DOUBLE_EQ(m.net_bw_gbps, 6.8);
+}
+
+TEST(ClusterConfig, TestbedAndSized) {
+  const auto c = ClusterConfig::testbed8();
+  EXPECT_EQ(c.nodes, 8);
+  EXPECT_EQ(c.totalCores(), 8 * 28);
+  EXPECT_EQ(ClusterConfig::sized(4096).nodes, 4096);
+}
+
+}  // namespace
+}  // namespace sns::hw

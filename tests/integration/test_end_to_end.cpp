@@ -1,0 +1,171 @@
+// End-to-end pipeline tests: calibrate programs -> profile them -> persist
+// the database -> schedule job sequences under CE/CS/SNS -> check global
+// invariants of the resulting schedules.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "sns/app/library.hpp"
+#include "sns/app/workload_gen.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/metrics.hpp"
+
+namespace sns {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  EndToEnd() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    profile::ProfilerConfig cfg;
+    cfg.pmu_noise = 0.02;  // realistic measurement noise
+    profile::Profiler prof(est_, cfg, 2024);
+    for (const auto& p : lib_) db_.put(prof.profileProgram(p, 16));
+    // The paper's sequences also contain 28-process jobs; profile those too
+    // for the flexible programs.
+    for (const char* n : {"WC", "TS", "NW"}) {
+      db_.put(prof.profileProgram(app::findProgram(lib_, n), 28));
+    }
+  }
+
+  sim::SimResult run(sched::PolicyKind kind, const std::vector<app::JobSpec>& seq) {
+    sim::SimConfig cfg;
+    cfg.nodes = 8;
+    cfg.policy = kind;
+    sim::ClusterSimulator sim(est_, lib_, db_, cfg);
+    return sim.run(seq);
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  profile::ProfileDatabase db_;
+};
+
+TEST_F(EndToEnd, ScheduleInvariantsHoldForAllPolicies) {
+  util::Rng rng(71);
+  const auto seq = app::randomSequence(rng, lib_, 20, 0.9);
+  for (auto kind : {sched::PolicyKind::kCE, sched::PolicyKind::kCS,
+                    sched::PolicyKind::kSNS}) {
+    const auto res = run(kind, seq);
+    ASSERT_EQ(res.jobs.size(), seq.size());
+    for (const auto& j : res.jobs) {
+      // Causality.
+      EXPECT_GE(j.start, j.submit);
+      EXPECT_GT(j.finish, j.start);
+      EXPECT_LE(j.finish, res.makespan + 1e-6);
+      // Placement sanity.
+      EXPECT_GE(j.placement.nodeCount(), 1);
+      EXPECT_LE(j.placement.nodeCount(), 8);
+      EXPECT_GE(j.placement.procs_per_node, 1);
+      EXPECT_LE(j.placement.procs_per_node, 28);
+      EXPECT_GE(j.placement.procs_per_node * j.placement.nodeCount(),
+                j.spec.procs);
+    }
+    // Node-seconds can never exceed cluster capacity x makespan.
+    EXPECT_LE(res.busy_node_seconds, 8.0 * res.makespan + 1e-6);
+  }
+}
+
+TEST_F(EndToEnd, ExclusivityRespectedUnderCe) {
+  util::Rng rng(72);
+  const auto seq = app::randomSequence(rng, lib_, 15, 0.9);
+  const auto res = run(sched::PolicyKind::kCE, seq);
+  // Reconstruct node usage intervals; exclusive jobs must never overlap on
+  // a node.
+  for (std::size_t a = 0; a < res.jobs.size(); ++a) {
+    for (std::size_t b = a + 1; b < res.jobs.size(); ++b) {
+      const auto& ja = res.jobs[a];
+      const auto& jb = res.jobs[b];
+      const bool time_overlap =
+          ja.start < jb.finish - 1e-9 && jb.start < ja.finish - 1e-9;
+      if (!time_overlap) continue;
+      for (int na : ja.placement.nodes) {
+        for (int nb : jb.placement.nodes) {
+          EXPECT_NE(na, nb) << "jobs " << ja.id << " and " << jb.id
+                            << " shared node " << na << " under CE";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EndToEnd, SnsWayAllocationsNeverOversubscribe) {
+  util::Rng rng(73);
+  const auto seq = app::randomSequence(rng, lib_, 20, 0.9);
+  const auto res = run(sched::PolicyKind::kSNS, seq);
+  // At any pair-overlap moment, the ways allocated on a node must fit.
+  // Check every job-finish boundary as a probe point.
+  for (const auto& probe : res.jobs) {
+    const double t = probe.start + 1e-6;
+    std::map<int, int> ways_at_t;
+    std::map<int, int> cores_at_t;
+    for (const auto& j : res.jobs) {
+      if (j.start <= t && t < j.finish) {
+        for (int nd : j.placement.nodes) {
+          ways_at_t[nd] += j.placement.ways;
+          cores_at_t[nd] += j.placement.procs_per_node;
+        }
+      }
+    }
+    for (const auto& [nd, w] : ways_at_t) {
+      EXPECT_LE(w, 20) << "node " << nd << " at t=" << t;
+    }
+    for (const auto& [nd, c] : cores_at_t) {
+      EXPECT_LE(c, 28) << "node " << nd << " at t=" << t;
+    }
+  }
+}
+
+TEST_F(EndToEnd, ProfileDatabaseSurvivesDiskRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "sns_e2e_db.json";
+  db_.saveFile(path.string());
+  const auto loaded = profile::ProfileDatabase::loadFile(path.string());
+  std::filesystem::remove(path);
+
+  util::Rng rng(74);
+  const auto seq = app::randomSequence(rng, lib_, 10, 0.9);
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = sched::PolicyKind::kSNS;
+  sim::ClusterSimulator sim_mem(est_, lib_, db_, cfg);
+  sim::ClusterSimulator sim_disk(est_, lib_, loaded, cfg);
+  const auto a = sim_mem.run(seq);
+  const auto b = sim_disk.run(seq);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST_F(EndToEnd, NoStarvationWithAgeLimit) {
+  // A stream of small jobs must not starve a full-cluster job forever.
+  std::vector<app::JobSpec> seq;
+  app::JobSpec big{"WC", 28 * 8, 0.9, 0.0, 1, 0.0};
+  seq.push_back(big);
+  for (int i = 0; i < 30; ++i) {
+    seq.push_back({"HC", 16, 0.9, 0.0, 1, 0.0});
+  }
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = sched::PolicyKind::kCS;
+  cfg.age_limit_s = 300.0;
+  sim::ClusterSimulator sim(est_, lib_, db_, cfg);
+  const auto res = sim.run(seq);
+  for (const auto& j : res.jobs) EXPECT_TRUE(j.completed());
+}
+
+TEST_F(EndToEnd, AlphaSweepChangesAllocations) {
+  // Tighter alpha -> more ways demanded -> fewer co-runners. Verify the
+  // allocation for a cache-sensitive job grows with alpha.
+  int prev_ways = 0;
+  for (double alpha : {0.5, 0.7, 0.9, 0.99}) {
+    const std::vector<app::JobSpec> seq = {{"CG", 16, alpha, 0.0, 1, 0.0}};
+    const auto res = run(sched::PolicyKind::kSNS, seq);
+    EXPECT_GE(res.jobs[0].placement.ways, prev_ways);
+    prev_ways = res.jobs[0].placement.ways;
+  }
+  EXPECT_GT(prev_ways, 8);
+}
+
+}  // namespace
+}  // namespace sns

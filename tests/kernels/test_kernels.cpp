@@ -1,0 +1,301 @@
+#include "sns/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "sns/util/error.hpp"
+
+namespace sns::kernels {
+namespace {
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Barrier b(1);
+  b.arriveAndWait();
+  b.arriveAndWait();
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  TeamRuntime team(kThreads);
+  std::atomic<int> phase0{0};
+  std::atomic<bool> violated{false};
+  team.run([&](const TeamContext& ctx) {
+    phase0.fetch_add(1);
+    ctx.sync();
+    // After the barrier, every rank must observe all arrivals.
+    if (phase0.load() != kThreads) violated.store(true);
+    ctx.sync();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(TeamContext, ChunkPartitionsExactly) {
+  Barrier b(1);
+  for (int size : {1, 3, 4, 7}) {
+    std::size_t covered = 0;
+    std::size_t prev_end = 0;
+    for (int r = 0; r < size; ++r) {
+      TeamContext ctx{r, size, &b};
+      const auto [lo, hi] = ctx.chunk(100);
+      EXPECT_EQ(lo, prev_end);
+      EXPECT_GE(hi, lo);
+      covered += hi - lo;
+      prev_end = hi;
+    }
+    EXPECT_EQ(covered, 100u);
+    EXPECT_EQ(prev_end, 100u);
+  }
+}
+
+TEST(TeamContext, ChunkBalancedWithinOne) {
+  Barrier b(1);
+  for (int r = 0; r < 7; ++r) {
+    TeamContext ctx{r, 7, &b};
+    const auto [lo, hi] = ctx.chunk(100);
+    const std::size_t len = hi - lo;
+    EXPECT_TRUE(len == 14 || len == 15);
+  }
+}
+
+TEST(TeamRuntime, RunsEveryRankOnce) {
+  TeamRuntime team(5);
+  std::atomic<int> count{0};
+  std::atomic<int> rank_sum{0};
+  const double secs = team.run([&](const TeamContext& ctx) {
+    count.fetch_add(1);
+    rank_sum.fetch_add(ctx.rank);
+  });
+  EXPECT_EQ(count.load(), 5);
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3 + 4);
+  EXPECT_GE(secs, 0.0);
+}
+
+TEST(Stream, ValidatesAndMeasures) {
+  StreamConfig cfg;
+  cfg.elements = 1 << 18;
+  cfg.iterations = 3;
+  cfg.threads = 2;
+  const auto r = runStream(cfg);
+  EXPECT_TRUE(r.valid) << "checksum " << r.checksum;
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.bandwidthGbps(), 0.1);
+}
+
+TEST(Stream, SingleThreadWorks) {
+  StreamConfig cfg;
+  cfg.elements = 1 << 16;
+  cfg.iterations = 2;
+  cfg.threads = 1;
+  EXPECT_TRUE(runStream(cfg).valid);
+}
+
+TEST(StencilMg, ConservesImpulseMass) {
+  StencilMgConfig cfg;
+  cfg.dim = 32;
+  cfg.vcycles = 2;
+  cfg.levels = 3;
+  cfg.threads = 2;
+  const auto r = runStencilMg(cfg);
+  EXPECT_TRUE(r.valid) << "checksum " << r.checksum;
+  EXPECT_GT(r.checksum, 0.0);
+}
+
+TEST(StencilMg, RejectsIndivisibleDims) {
+  StencilMgConfig cfg;
+  cfg.dim = 33;
+  cfg.levels = 3;
+  EXPECT_THROW(runStencilMg(cfg), util::PreconditionError);
+}
+
+TEST(StencilMg, DeterministicAcrossThreadCounts) {
+  StencilMgConfig a;
+  a.dim = 16;
+  a.vcycles = 1;
+  a.levels = 2;
+  a.threads = 1;
+  StencilMgConfig b = a;
+  b.threads = 3;
+  EXPECT_NEAR(runStencilMg(a).checksum, runStencilMg(b).checksum, 1e-9);
+}
+
+TEST(Cg, ResidualShrinks) {
+  CgConfig cfg;
+  cfg.grid = 64;
+  cfg.iterations = 100;
+  cfg.threads = 2;
+  const auto r = runCg(cfg);
+  EXPECT_TRUE(r.valid);
+  // 100 CG iterations on a 64x64 Laplacian essentially solve the system.
+  EXPECT_LT(r.checksum, 64.0 * 64.0 * 0.001);
+}
+
+TEST(Cg, DeterministicAcrossThreadCounts) {
+  CgConfig a;
+  a.grid = 32;
+  a.iterations = 10;
+  a.threads = 1;
+  CgConfig b = a;
+  b.threads = 4;
+  EXPECT_NEAR(runCg(a).checksum, runCg(b).checksum, 1e-6);
+}
+
+TEST(Ep, GaussianTalliesValidate) {
+  EpConfig cfg;
+  cfg.samples = 1 << 20;
+  cfg.threads = 2;
+  const auto r = runEp(cfg);
+  EXPECT_TRUE(r.valid);
+  EXPECT_NEAR(r.checksum / static_cast<double>(cfg.samples), 0.785, 0.01);
+}
+
+TEST(Ep, WorkSplitsAcrossThreads) {
+  EpConfig a;
+  a.samples = 1 << 18;
+  a.threads = 1;
+  EpConfig b = a;
+  b.threads = 4;
+  // Different thread seeds, same statistics.
+  EXPECT_TRUE(runEp(a).valid);
+  EXPECT_TRUE(runEp(b).valid);
+}
+
+TEST(Bfs, ReachesGiantComponent) {
+  BfsConfig cfg;
+  cfg.scale = 12;
+  cfg.edge_factor = 8;
+  cfg.roots = 2;
+  cfg.threads = 2;
+  const auto r = runBfs(cfg);
+  EXPECT_TRUE(r.valid);
+  EXPECT_GT(r.checksum, 0.0);
+}
+
+TEST(Bfs, RejectsBadScale) {
+  BfsConfig cfg;
+  cfg.scale = 2;
+  EXPECT_THROW(runBfs(cfg), util::PreconditionError);
+}
+
+TEST(SampleSort, SortsAndPreservesMultiset) {
+  SampleSortConfig cfg;
+  cfg.keys = 1 << 16;
+  cfg.threads = 3;
+  const auto r = runSampleSort(cfg);
+  EXPECT_TRUE(r.valid);
+}
+
+TEST(SampleSort, SingleThreadDegenerate) {
+  SampleSortConfig cfg;
+  cfg.keys = 2048;
+  cfg.threads = 1;
+  EXPECT_TRUE(runSampleSort(cfg).valid);
+}
+
+TEST(WordCount, EveryWordCountedOnce) {
+  WordCountConfig cfg;
+  cfg.words = 1 << 18;
+  cfg.vocabulary = 512;
+  cfg.threads = 4;
+  const auto r = runWordCount(cfg);
+  EXPECT_TRUE(r.valid);
+  EXPECT_DOUBLE_EQ(r.checksum, static_cast<double>(cfg.words));
+}
+
+TEST(LuSsor, ConvergesTowardPositiveSolution) {
+  LuSsorConfig cfg;
+  cfg.grid = 64;
+  cfg.sweeps = 10;
+  cfg.threads = 2;
+  const auto r = runLuSsor(cfg);
+  EXPECT_TRUE(r.valid);
+  EXPECT_GT(r.checksum, 0.0);
+}
+
+TEST(LuSsor, MoreSweepsMoreMass) {
+  LuSsorConfig few;
+  few.grid = 48;
+  few.sweeps = 4;
+  few.threads = 1;
+  LuSsorConfig many = few;
+  many.sweeps = 40;
+  // The SSOR iteration monotonically builds up the solution from zero.
+  EXPECT_GT(runLuSsor(many).checksum, runLuSsor(few).checksum);
+}
+
+TEST(LuSsor, DeterministicAcrossThreadCounts) {
+  LuSsorConfig a;
+  a.grid = 32;
+  a.sweeps = 6;
+  a.threads = 1;
+  LuSsorConfig b = a;
+  b.threads = 4;
+  EXPECT_NEAR(runLuSsor(a).checksum, runLuSsor(b).checksum, 1e-9);
+}
+
+TEST(LuSsor, RejectsBadConfig) {
+  LuSsorConfig cfg;
+  cfg.grid = 4;
+  EXPECT_THROW(runLuSsor(cfg), util::PreconditionError);
+}
+
+TEST(Gemm, MatchesDirectRecomputation) {
+  GemmConfig cfg;
+  cfg.dim = 96;
+  cfg.threads = 2;
+  const auto r = runGemm(cfg);
+  EXPECT_TRUE(r.valid);
+  EXPECT_GT(r.checksum, 0.0);
+}
+
+TEST(Gemm, DeterministicAcrossThreadCounts) {
+  GemmConfig a;
+  a.dim = 64;
+  a.threads = 1;
+  GemmConfig b = a;
+  b.threads = 3;
+  EXPECT_DOUBLE_EQ(runGemm(a).checksum, runGemm(b).checksum);
+}
+
+TEST(Gemm, RejectsBadConfig) {
+  GemmConfig cfg;
+  cfg.dim = 8;
+  EXPECT_THROW(runGemm(cfg), util::PreconditionError);
+}
+
+class KernelThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelThreadSweep, AllKernelsValidate) {
+  const int t = GetParam();
+  StreamConfig sc;
+  sc.elements = 1 << 15;
+  sc.iterations = 2;
+  sc.threads = t;
+  EXPECT_TRUE(runStream(sc).valid);
+  WordCountConfig wc;
+  wc.words = 1 << 15;
+  wc.threads = t;
+  EXPECT_TRUE(runWordCount(wc).valid);
+  SampleSortConfig ss;
+  ss.keys = 1 << 14;
+  ss.threads = t;
+  EXPECT_TRUE(runSampleSort(ss).valid);
+  EpConfig ep;
+  ep.samples = 1 << 16;
+  ep.threads = t;
+  EXPECT_TRUE(runEp(ep).valid);
+  LuSsorConfig lu;
+  lu.grid = 32;
+  lu.sweeps = 4;
+  lu.threads = t;
+  EXPECT_TRUE(runLuSsor(lu).valid);
+  GemmConfig gm;
+  gm.dim = 48;
+  gm.threads = t;
+  EXPECT_TRUE(runGemm(gm).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, KernelThreadSweep, ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace sns::kernels

@@ -1,0 +1,194 @@
+#include "sns/perfmodel/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::perfmodel {
+namespace {
+
+class ContentionTest : public ::testing::Test {
+ protected:
+  ContentionTest() : lib_(app::programLibrary()), solver_(mach_) {}
+
+  const app::ProgramModel& prog(const std::string& n) const {
+    return app::findProgram(lib_, n);
+  }
+
+  hw::MachineConfig mach_ = hw::MachineConfig::xeonE5_2680v4();
+  std::vector<app::ProgramModel> lib_;
+  NodeContentionSolver solver_;
+};
+
+TEST_F(ContentionTest, MbPerProcSplitsSockets) {
+  // 16 procs on a node: 8 per socket share (w/20)*35 MB.
+  EXPECT_NEAR(solver_.mbPerProc(20, 16), 35.0 / 8.0, 1e-12);
+  EXPECT_NEAR(solver_.mbPerProc(10, 16), 17.5 / 8.0, 1e-12);
+  // A lone process spans only one socket.
+  EXPECT_NEAR(solver_.mbPerProc(20, 1), 35.0, 1e-12);
+  EXPECT_NEAR(solver_.mbPerProc(20, 2), 35.0, 1e-12);
+}
+
+TEST_F(ContentionTest, SoloJobRatesArePositive) {
+  for (const auto& p : lib_) {
+    NodeShare s{&p, 16, 20.0, 0.0, 1.0};
+    const auto out = solver_.solve(std::span<const NodeShare>(&s, 1));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_GT(out[0].rate_per_proc, 0.0) << p.name;
+    EXPECT_GT(out[0].ipc, 0.0) << p.name;
+    EXPECT_GE(out[0].bw_gbps, 0.0) << p.name;
+    EXPECT_LE(out[0].bw_gbps, mach_.peakBandwidth() + 1e-9) << p.name;
+  }
+}
+
+TEST_F(ContentionTest, BandwidthCapBindsMg) {
+  // MG with 16 processes demands more than the node peak; it must be
+  // bandwidth-capped (paper: 112 GB/s observed vs 118 peak).
+  NodeShare s{&prog("MG"), 16, 20.0, 0.0, 1.0};
+  const auto out = solver_.solve(std::span<const NodeShare>(&s, 1)).front();
+  EXPECT_GT(out.demand_gbps, mach_.mem_bw.aggregate(16));
+  EXPECT_LT(out.rate_per_proc, out.raw_rate_per_proc);
+  EXPECT_NEAR(out.bw_gbps, mach_.mem_bw.aggregate(16), 1.0);
+}
+
+TEST_F(ContentionTest, EpIsNeverBandwidthBound) {
+  NodeShare s{&prog("EP"), 16, 20.0, 0.0, 1.0};
+  const auto out = solver_.solve(std::span<const NodeShare>(&s, 1)).front();
+  EXPECT_DOUBLE_EQ(out.rate_per_proc, out.raw_rate_per_proc);
+  EXPECT_LT(out.bw_gbps, 1.0);
+}
+
+TEST_F(ContentionTest, MoreWaysNeverLowerRate) {
+  for (const char* name : {"CG", "BFS", "TS", "NW"}) {
+    const auto& p = prog(name);
+    double prev = 0.0;
+    for (double w : {2.0, 4.0, 8.0, 12.0, 16.0, 20.0}) {
+      NodeShare s{&p, 16, w, 0.0, 1.0};
+      const auto out = solver_.solve(std::span<const NodeShare>(&s, 1)).front();
+      EXPECT_GE(out.rate_per_proc + 1e-6, prev) << name << " at " << w;
+      prev = out.rate_per_proc;
+    }
+  }
+}
+
+TEST_F(ContentionTest, CoRunnersSlowEachOtherUnderBandwidthPressure) {
+  // Two bandwidth hogs split a node: each gets roughly half the capacity.
+  NodeShare a{&prog("MG"), 14, 10.0, 0.0, 1.0};
+  NodeShare b{&prog("BW"), 14, 10.0, 0.0, 1.0};
+  std::vector<NodeShare> shares = {a, b};
+  const auto out = solver_.solve(shares);
+  const double total = out[0].bw_gbps + out[1].bw_gbps;
+  EXPECT_LE(total, mach_.peakBandwidth() + 1e-6);
+  EXPECT_LT(out[0].rate_per_proc, out[0].raw_rate_per_proc);
+  EXPECT_LT(out[1].rate_per_proc, out[1].raw_rate_per_proc);
+}
+
+TEST_F(ContentionTest, LightJobUnharmedByBandwidthHog) {
+  // EP co-located with MG keeps its compute rate (its demand is trivial).
+  NodeShare mg{&prog("MG"), 14, 10.0, 0.0, 1.0};
+  NodeShare ep{&prog("EP"), 14, 10.0, 0.0, 1.0};
+  std::vector<NodeShare> shares = {mg, ep};
+  const auto out = solver_.solve(shares);
+  EXPECT_GT(out[1].rate_per_proc / out[1].raw_rate_per_proc, 0.97);
+}
+
+TEST_F(ContentionTest, ProportionalShareFavorsBiggerDemand) {
+  NodeShare mg{&prog("MG"), 14, 10.0, 0.0, 1.0};
+  NodeShare cg{&prog("CG"), 14, 10.0, 0.0, 1.0};
+  std::vector<NodeShare> shares = {mg, cg};
+  const auto out = solver_.solve(shares);
+  EXPECT_GT(out[0].bw_gbps, out[1].bw_gbps);
+}
+
+TEST_F(ContentionTest, FreeForAllSplitsPoolByPressure) {
+  // Unpartitioned cache: the cache-hungry program grabs more effective
+  // ways than the cache-light one.
+  NodeShare hungry{&prog("NW"), 14, 0.0, 0.0, 1.0};
+  NodeShare light{&prog("EP"), 14, 0.0, 0.0, 1.0};
+  std::vector<NodeShare> shares = {hungry, light};
+  const auto out = solver_.solve(shares);
+  EXPECT_GT(out[0].eff_ways, out[1].eff_ways);
+  EXPECT_NEAR(out[0].eff_ways + out[1].eff_ways, 20.0, 0.5);
+}
+
+TEST_F(ContentionTest, FreeForAllHurtsCacheSensitiveJob) {
+  // NW alone on the node vs sharing the cache with a thrashing co-runner.
+  NodeShare alone{&prog("NW"), 14, 0.0, 0.0, 1.0};
+  const auto solo = solver_.solve(std::span<const NodeShare>(&alone, 1)).front();
+  NodeShare nw{&prog("NW"), 14, 0.0, 0.0, 1.0};
+  NodeShare bw{&prog("BW"), 14, 0.0, 0.0, 1.0};
+  std::vector<NodeShare> shares = {nw, bw};
+  const auto corun = solver_.solve(shares);
+  EXPECT_LT(corun[0].rate_per_proc, solo.rate_per_proc);
+  EXPECT_GT(corun[0].miss_ratio, solo.miss_ratio);
+}
+
+TEST_F(ContentionTest, CatPartitionIsolatesCache) {
+  // With CAT, NW's 12-way partition is untouched by the co-runner.
+  NodeShare nw_solo{&prog("NW"), 14, 12.0, 0.0, 1.0};
+  const auto solo = solver_.solve(std::span<const NodeShare>(&nw_solo, 1)).front();
+  NodeShare nw{&prog("NW"), 14, 12.0, 0.0, 1.0};
+  NodeShare ep{&prog("EP"), 14, 8.0, 0.0, 1.0};
+  std::vector<NodeShare> shares = {nw, ep};
+  const auto corun = solver_.solve(shares);
+  EXPECT_DOUBLE_EQ(corun[0].miss_ratio, solo.miss_ratio);
+  EXPECT_DOUBLE_EQ(corun[0].eff_ways, 12.0);
+}
+
+TEST_F(ContentionTest, SpreadSideEffectsRaiseBfsTraffic) {
+  NodeShare compact{&prog("BFS"), 16, 20.0, 0.0, 1.0};
+  NodeShare spread{&prog("BFS"), 8, 20.0, 0.5, 1.0};
+  const auto c = solver_.solve(std::span<const NodeShare>(&compact, 1)).front();
+  const auto s = solver_.solve(std::span<const NodeShare>(&spread, 1)).front();
+  // Per-process traffic rises when spread (more refs, boosted misses),
+  // despite the larger per-process cache share.
+  EXPECT_GT(s.bw_gbps / 8.0, c.bw_gbps / 16.0);
+}
+
+TEST_F(ContentionTest, MemIntensityScalesBandwidth) {
+  NodeShare lo{&prog("TS"), 16, 20.0, 0.0, 0.5};
+  NodeShare hi{&prog("TS"), 16, 20.0, 0.0, 1.5};
+  const auto a = solver_.solve(std::span<const NodeShare>(&lo, 1)).front();
+  const auto b = solver_.solve(std::span<const NodeShare>(&hi, 1)).front();
+  EXPECT_GT(b.bw_gbps, a.bw_gbps);
+  EXPECT_LT(b.rate_per_proc, a.rate_per_proc);
+}
+
+TEST_F(ContentionTest, RejectsOversubscription) {
+  NodeShare too_many{&prog("EP"), 29, 20.0, 0.0, 1.0};
+  EXPECT_THROW(solver_.solve(std::span<const NodeShare>(&too_many, 1)),
+               util::PreconditionError);
+  NodeShare a{&prog("EP"), 14, 12.0, 0.0, 1.0};
+  NodeShare b{&prog("EP"), 14, 12.0, 0.0, 1.0};
+  std::vector<NodeShare> ways_over = {a, b};
+  EXPECT_THROW(solver_.solve(ways_over), util::PreconditionError);
+}
+
+TEST_F(ContentionTest, RejectsEmptyAndInvalidShares) {
+  std::vector<NodeShare> empty;
+  EXPECT_THROW(solver_.solve(empty), util::PreconditionError);
+  NodeShare null_prog{nullptr, 4, 20.0, 0.0, 1.0};
+  EXPECT_THROW(solver_.solve(std::span<const NodeShare>(&null_prog, 1)),
+               util::PreconditionError);
+}
+
+TEST_F(ContentionTest, ThreeWayMixIsStable) {
+  // The paper's Fig 9 zoom-in: a CPU-only job, a ways-sensitive job, and a
+  // bandwidth-heavy job share a node with CAT partitions.
+  NodeShare cpu{&prog("EP"), 8, 2.0, 0.0, 1.0};
+  NodeShare cache{&prog("NW"), 8, 12.0, 0.0, 1.0};
+  NodeShare bw{&prog("MG"), 8, 4.0, 0.0, 1.0};
+  std::vector<NodeShare> shares = {cpu, cache, bw};
+  const auto out = solver_.solve(shares);
+  for (const auto& o : out) {
+    EXPECT_GT(o.rate_per_proc, 0.0);
+    EXPECT_GE(o.bw_gbps, 0.0);
+  }
+  double total_bw = 0.0;
+  for (const auto& o : out) total_bw += o.bw_gbps;
+  EXPECT_LE(total_bw, mach_.peakBandwidth() + 1e-6);
+}
+
+}  // namespace
+}  // namespace sns::perfmodel

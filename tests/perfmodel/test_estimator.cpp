@@ -1,0 +1,203 @@
+#include "sns/perfmodel/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::perfmodel {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+  }
+  const app::ProgramModel& prog(const std::string& n) const {
+    return app::findProgram(lib_, n);
+  }
+  Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+};
+
+TEST_F(EstimatorTest, CalibrationReproducesReferenceTime) {
+  // The whole point of calibration: solo time at the reference placement
+  // must equal the published run time.
+  for (const auto& p : lib_) {
+    const auto r = est_.solo(p, p.ref_procs, 1, est_.machine().llc_ways);
+    EXPECT_NEAR(r.time, p.solo_time_ref, p.solo_time_ref * 1e-9) << p.name;
+  }
+}
+
+TEST_F(EstimatorTest, CalibrationFillsAllProducts) {
+  for (const auto& p : lib_) {
+    EXPECT_TRUE(p.calibrated()) << p.name;
+    EXPECT_GT(p.instructions_per_proc, 0.0) << p.name;
+    EXPECT_GE(p.comm_gb_per_proc, 0.0) << p.name;
+    EXPECT_GE(p.ref_node_pressure, 0.0) << p.name;
+    EXPECT_LE(p.ref_node_pressure, 1.0) << p.name;
+  }
+}
+
+TEST_F(EstimatorTest, UncalibratedProgramRejected) {
+  auto raw = app::programLibrary();
+  EXPECT_THROW(est_.solo(raw[0], 16, 1, 20), util::PreconditionError);
+}
+
+TEST_F(EstimatorTest, MinNodes) {
+  EXPECT_EQ(est_.minNodes(1), 1);
+  EXPECT_EQ(est_.minNodes(16), 1);
+  EXPECT_EQ(est_.minNodes(28), 1);
+  EXPECT_EQ(est_.minNodes(29), 2);
+  EXPECT_EQ(est_.minNodes(56), 2);
+  EXPECT_EQ(est_.minNodes(57), 3);
+  EXPECT_THROW(est_.minNodes(0), util::PreconditionError);
+}
+
+TEST_F(EstimatorTest, MgBandwidthMatchesPaperFig4) {
+  // Fig 4: MG consumes ~112 GB/s on one node, 67.6 GB/s per node on two.
+  const auto one = est_.soloCE(prog("MG"), 16, 1);
+  EXPECT_GT(one.node_bw_gbps, 105.0);
+  EXPECT_LE(one.node_bw_gbps, 118.3);
+  const auto two = est_.soloCE(prog("MG"), 16, 2);
+  EXPECT_GT(two.node_bw_gbps, 55.0);
+  EXPECT_LT(two.node_bw_gbps, 90.0);
+}
+
+TEST_F(EstimatorTest, CgBandwidthMatchesPaperFig4) {
+  const auto r = est_.soloCE(prog("CG"), 16, 1);
+  EXPECT_NEAR(r.node_bw_gbps, 42.9, 4.0);
+}
+
+TEST_F(EstimatorTest, EpBandwidthIsNegligible) {
+  const auto r = est_.soloCE(prog("EP"), 16, 1);
+  EXPECT_LT(r.node_bw_gbps, 0.5);
+}
+
+TEST_F(EstimatorTest, ScalingClassesMatchFig13) {
+  // Scaling programs speed up when spread; BFS slows down; EP/WC/HC stay flat.
+  for (const char* n : {"MG", "LU", "BW", "TS"}) {
+    const double t1 = est_.soloCE(prog(n), 16, 1).time;
+    const double t8 = est_.soloCE(prog(n), 16, 8).time;
+    EXPECT_GT(t1 / t8, 1.25) << n << " should gain >25% at 8 nodes";
+  }
+  const double bfs1 = est_.soloCE(prog("BFS"), 16, 1).time;
+  const double bfs2 = est_.soloCE(prog("BFS"), 16, 2).time;
+  EXPECT_LT(bfs1 / bfs2, 0.95);
+  for (const char* n : {"EP", "WC", "HC", "NW"}) {
+    const double t1 = est_.soloCE(prog(n), 16, 1).time;
+    for (int nodes : {2, 4, 8}) {
+      const double tn = est_.soloCE(prog(n), 16, nodes).time;
+      EXPECT_NEAR(t1 / tn, 1.0, 0.065) << n << " at " << nodes;
+    }
+  }
+}
+
+TEST_F(EstimatorTest, CgPeaksAtScaleTwo) {
+  const double t1 = est_.soloCE(prog("CG"), 16, 1).time;
+  const double t2 = est_.soloCE(prog("CG"), 16, 2).time;
+  const double t4 = est_.soloCE(prog("CG"), 16, 4).time;
+  const double t8 = est_.soloCE(prog("CG"), 16, 8).time;
+  EXPECT_GT(t1 / t2, 1.05);  // paper: 13% faster at scale 2
+  EXPECT_LE(t2, t4 + 1e-9);
+  EXPECT_LT(t4, t8);
+}
+
+TEST_F(EstimatorTest, MgNeedsOnlyThreeWays) {
+  // Fig 6/12: MG reaches 90% of full-cache performance with 3 ways.
+  const auto& mg = prog("MG");
+  const double perf_full = 1.0 / est_.solo(mg, 16, 1, 20).time;
+  const double perf_3 = 1.0 / est_.solo(mg, 16, 1, 3).time;
+  EXPECT_GT(perf_3 / perf_full, 0.90);
+  const double perf_2 = 1.0 / est_.solo(mg, 16, 1, 2).time;
+  EXPECT_LT(perf_2 / perf_full, perf_3 / perf_full);
+}
+
+TEST_F(EstimatorTest, CacheHungryProgramsNeedManyWays) {
+  for (const char* n : {"CG", "BFS", "NW"}) {
+    const double perf_full = 1.0 / est_.solo(prog(n), 16, 1, 20).time;
+    const double perf_4 = 1.0 / est_.solo(prog(n), 16, 1, 4).time;
+    EXPECT_LT(perf_4 / perf_full, 0.9) << n;
+  }
+}
+
+TEST_F(EstimatorTest, PerformanceMonotoneInWays) {
+  for (const auto& p : lib_) {
+    double prev = 0.0;
+    for (int w = 2; w <= 20; w += 2) {
+      const double perf = 1.0 / est_.solo(p, 16, 1, w).time;
+      EXPECT_GE(perf + 1e-9 * perf, prev) << p.name << " at " << w << " ways";
+      prev = perf;
+    }
+  }
+}
+
+TEST_F(EstimatorTest, MissRateDropsWhenMgCgSpread) {
+  // Fig 5: MG and CG miss rates fall with scale; BFS's rises.
+  for (const char* n : {"MG", "CG"}) {
+    const double m1 = est_.soloCE(prog(n), 16, 1).miss_ratio;
+    const double m8 = est_.soloCE(prog(n), 16, 8).miss_ratio;
+    EXPECT_LE(m8, m1 + 1e-12) << n;
+  }
+  const double b1 = est_.soloCE(prog("BFS"), 16, 1).miss_ratio;
+  const double b2 = est_.soloCE(prog("BFS"), 16, 2).miss_ratio;
+  EXPECT_GT(b2, b1);
+}
+
+TEST_F(EstimatorTest, CommBreakdownMatchesFig7Shape) {
+  // NPB programs: communication below ~10% of total at the reference
+  // placement; CG's wait shrinks when spread.
+  for (const char* n : {"MG", "EP", "LU"}) {
+    const auto r = est_.soloCE(prog(n), 16, 1);
+    EXPECT_LT((r.comm_data_time + r.wait_time) / r.time, 0.12) << n;
+  }
+  const auto cg1 = est_.soloCE(prog("CG"), 16, 1);
+  const auto cg2 = est_.soloCE(prog("CG"), 16, 2);
+  EXPECT_LT(cg2.wait_time, cg1.wait_time);
+}
+
+TEST_F(EstimatorTest, SingleNodeProgramRejectsMultiNode) {
+  EXPECT_THROW(est_.soloCE(prog("GAN"), 16, 2), util::PreconditionError);
+  EXPECT_NO_THROW(est_.soloCE(prog("GAN"), 16, 1));
+}
+
+TEST_F(EstimatorTest, WaitTimeGrowsQuadraticallyWithPressure) {
+  const auto& cg = prog("CG");
+  const double w_ref = est_.waitTime(cg, cg.ref_node_pressure);
+  const double w_half = est_.waitTime(cg, cg.ref_node_pressure * 0.5);
+  EXPECT_NEAR(w_half / w_ref, 0.25, 1e-9);
+  // Clamped at 4x the reference wait.
+  const double w_huge = est_.waitTime(cg, 1.0);
+  EXPECT_LE(w_huge, 4.0 * w_ref + 1e-9);
+}
+
+TEST_F(EstimatorTest, NoCommNoWait) {
+  const auto& hc = prog("HC");
+  EXPECT_DOUBLE_EQ(est_.waitTime(hc, 0.9), 0.0);
+  EXPECT_DOUBLE_EQ(est_.commDataTime(hc, 16, 16, 1), 0.0);
+}
+
+TEST_F(EstimatorTest, RemoteCommMoreExpensiveThanLocal) {
+  const auto& cg = prog("CG");
+  const double local = est_.commDataTime(cg, 16, 16, 1);
+  const double remote = est_.commDataTime(cg, 16, 2, 8);
+  EXPECT_GT(remote, local);
+}
+
+class ScaleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleSweep, SixteenProcessesSplitEvenly) {
+  Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  const int nodes = GetParam();
+  const auto r = est.soloCE(app::findProgram(lib, "LU"), 16, nodes);
+  EXPECT_EQ(r.nodes, nodes);
+  EXPECT_EQ(r.procs_per_node, 16 / nodes);
+  EXPECT_GT(r.time, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, ScaleSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace sns::perfmodel

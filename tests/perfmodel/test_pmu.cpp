@@ -1,0 +1,92 @@
+#include "sns/perfmodel/pmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/perfmodel/estimator.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::perfmodel {
+namespace {
+
+ShareOutcome sampleOutcome() {
+  ShareOutcome o;
+  o.rate_per_proc = 1.2e9;   // 0.5 IPC at 2.4 GHz
+  o.raw_rate_per_proc = 1.2e9;
+  o.bw_gbps = 50.0;
+  o.ipc = 0.5;
+  o.miss_ratio = 0.3;
+  o.eff_ways = 20.0;
+  return o;
+}
+
+TEST(Pmu, NoiselessCountersAreExact) {
+  PmuSimulator pmu(0.0);
+  const auto s = pmu.sample(sampleOutcome(), 16, 5.0, 2.4);
+  EXPECT_NEAR(s.ipc(), 0.5, 1e-12);
+  EXPECT_NEAR(s.bandwidthGbps(), 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.duration_s, 5.0);
+}
+
+TEST(Pmu, CountersScaleWithProcsAndDuration) {
+  PmuSimulator pmu(0.0);
+  const auto a = pmu.sample(sampleOutcome(), 8, 5.0, 2.4);
+  const auto b = pmu.sample(sampleOutcome(), 16, 10.0, 2.4);
+  EXPECT_NEAR(b.instructions / a.instructions, 4.0, 1e-9);
+  EXPECT_NEAR(b.core_cycles / a.core_cycles, 4.0, 1e-9);
+  // Bandwidth counters scale with duration only (node-level metric).
+  EXPECT_NEAR(b.ha_requests / a.ha_requests, 2.0, 1e-9);
+}
+
+TEST(Pmu, NoiseIsUnbiasedOnAverage) {
+  PmuSimulator pmu(0.05, 99);
+  double ipc_sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    ipc_sum += pmu.sample(sampleOutcome(), 16, 5.0, 2.4).ipc();
+  }
+  EXPECT_NEAR(ipc_sum / n, 0.5, 0.005);
+}
+
+TEST(Pmu, NoiseActuallyPerturbs) {
+  PmuSimulator pmu(0.05, 7);
+  const auto a = pmu.sample(sampleOutcome(), 16, 5.0, 2.4);
+  const auto b = pmu.sample(sampleOutcome(), 16, 5.0, 2.4);
+  EXPECT_NE(a.instructions, b.instructions);
+}
+
+TEST(Pmu, DeterministicForSeed) {
+  PmuSimulator a(0.05, 123), b(0.05, 123);
+  const auto sa = a.sample(sampleOutcome(), 16, 5.0, 2.4);
+  const auto sb = b.sample(sampleOutcome(), 16, 5.0, 2.4);
+  EXPECT_DOUBLE_EQ(sa.instructions, sb.instructions);
+  EXPECT_DOUBLE_EQ(sa.ha_requests, sb.ha_requests);
+}
+
+TEST(Pmu, RejectsBadArguments) {
+  PmuSimulator pmu(0.0);
+  EXPECT_THROW(pmu.sample(sampleOutcome(), 0, 5.0, 2.4), util::PreconditionError);
+  EXPECT_THROW(pmu.sample(sampleOutcome(), 16, 0.0, 2.4), util::PreconditionError);
+}
+
+TEST(Pmu, ZeroDurationSampleDerivedMetricsSafe) {
+  PmuSample s;
+  EXPECT_DOUBLE_EQ(s.ipc(), 0.0);
+  EXPECT_DOUBLE_EQ(s.bandwidthGbps(), 0.0);
+}
+
+TEST(Pmu, EndToEndWithSolver) {
+  Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  const auto& mg = app::findProgram(lib, "MG");
+  NodeShare share{&mg, 16, 20.0, 0.0, 1.0};
+  const auto out = est.solver().solve(std::span<const NodeShare>(&share, 1)).front();
+  PmuSimulator pmu(0.0);
+  const auto s = pmu.sample(out, 16, 5.0, est.machine().frequency_ghz);
+  EXPECT_NEAR(s.ipc(), out.ipc, 1e-9);
+  EXPECT_NEAR(s.bandwidthGbps(), out.bw_gbps, 1e-6);
+}
+
+}  // namespace
+}  // namespace sns::perfmodel

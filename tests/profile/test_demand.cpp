@@ -1,0 +1,113 @@
+#include "sns/profile/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/perfmodel/estimator.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+namespace {
+
+ScaleProfile syntheticProfile() {
+  // IPC ramps linearly from 0.5 at 2 ways to 1.0 at 20 ways; bandwidth
+  // falls from 80 to 40 as the cache grows.
+  ScaleProfile sp;
+  sp.scale_factor = 1;
+  sp.nodes = 1;
+  sp.procs_per_node = 16;
+  sp.exclusive_time = 100.0;
+  sp.ipc_llc = util::Curve({{2.0, 0.5}, {20.0, 1.0}});
+  sp.bw_llc = util::Curve({{2.0, 80.0}, {20.0, 40.0}});
+  return sp;
+}
+
+TEST(Demand, Fig10Walkthrough) {
+  const auto mach = hw::MachineConfig::xeonE5_2680v4();
+  const auto sp = syntheticProfile();
+  // F-IPC = 1.0; alpha = 0.9 -> T-IPC = 0.9; the ramp reaches 0.9 at
+  // w = 2 + 18 * (0.4/0.5) = 16.4 -> ceil 17 ways; b = bw at 17 ways.
+  const auto d = estimateDemand(sp, 0.9, mach);
+  EXPECT_DOUBLE_EQ(d.f_ipc, 1.0);
+  EXPECT_DOUBLE_EQ(d.t_ipc, 0.9);
+  EXPECT_EQ(d.ways, 17);
+  EXPECT_NEAR(d.bw_gbps, sp.bw_llc.at(17), 1e-9);
+}
+
+TEST(Demand, AlphaOneWantsFullPerformance) {
+  const auto mach = hw::MachineConfig::xeonE5_2680v4();
+  const auto d = estimateDemand(syntheticProfile(), 1.0, mach);
+  EXPECT_EQ(d.ways, 20);
+}
+
+TEST(Demand, LooseAlphaNeedsFewWays) {
+  const auto mach = hw::MachineConfig::xeonE5_2680v4();
+  const auto d = estimateDemand(syntheticProfile(), 0.5, mach);
+  EXPECT_EQ(d.ways, mach.min_ways_per_job);  // clamped to the 2-way floor
+}
+
+TEST(Demand, WaysMonotoneInAlpha) {
+  const auto mach = hw::MachineConfig::xeonE5_2680v4();
+  int prev = 0;
+  for (double a : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0}) {
+    const auto d = estimateDemand(syntheticProfile(), a, mach);
+    EXPECT_GE(d.ways, prev);
+    prev = d.ways;
+  }
+}
+
+TEST(Demand, RejectsBadAlphaAndEmptyCurves) {
+  const auto mach = hw::MachineConfig::xeonE5_2680v4();
+  EXPECT_THROW(estimateDemand(syntheticProfile(), 0.0, mach),
+               util::PreconditionError);
+  EXPECT_THROW(estimateDemand(syntheticProfile(), 1.5, mach),
+               util::PreconditionError);
+  ScaleProfile empty;
+  EXPECT_THROW(estimateDemand(empty, 0.9, mach), util::PreconditionError);
+}
+
+TEST(Demand, PaperProgramsGetSensibleDemands) {
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  ProfilerConfig cfg;
+  cfg.pmu_noise = 0.0;
+  Profiler prof(est, cfg);
+
+  // MG saturates with very few ways; EP and HC are happy at the floor;
+  // CG/BFS/NW want most of the cache (Fig 12).
+  const auto mg = estimateDemand(prof.profileScale(lib[5], 16, 1), 0.9, est.machine());
+  EXPECT_LE(mg.ways, 4);
+  EXPECT_GT(mg.bw_gbps, 100.0);
+
+  for (const char* n : {"EP", "HC"}) {
+    const auto d = estimateDemand(
+        prof.profileScale(app::findProgram(lib, n), 16, 1), 0.9, est.machine());
+    EXPECT_EQ(d.ways, est.machine().min_ways_per_job) << n;
+    EXPECT_LT(d.bw_gbps, 10.0) << n;
+  }
+  for (const char* n : {"CG", "BFS", "NW"}) {
+    const auto d = estimateDemand(
+        prof.profileScale(app::findProgram(lib, n), 16, 1), 0.9, est.machine());
+    EXPECT_GE(d.ways, 8) << n;
+  }
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, DemandIsAlwaysWithinHardwareLimits) {
+  const auto mach = hw::MachineConfig::xeonE5_2680v4();
+  const auto d = estimateDemand(syntheticProfile(), GetParam(), mach);
+  EXPECT_GE(d.ways, mach.min_ways_per_job);
+  EXPECT_LE(d.ways, mach.llc_ways);
+  EXPECT_GT(d.bw_gbps, 0.0);
+  EXPECT_LE(d.bw_gbps, mach.peakBandwidth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.05, 0.3, 0.5, 0.7, 0.85, 0.9, 0.99,
+                                           1.0));
+
+}  // namespace
+}  // namespace sns::profile

@@ -1,0 +1,140 @@
+#include "sns/profile/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/perfmodel/pmu.hpp"
+#include "sns/profile/database.hpp"
+#include "sns/profile/exploration.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+namespace {
+
+class DriftTest : public ::testing::Test {
+ protected:
+  DriftTest() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    ProfilerConfig cfg;
+    cfg.pmu_noise = 0.0;
+    Profiler prof(est_, cfg);
+    mg_profile_ = prof.profileProgram(app::findProgram(lib_, "MG"), 16);
+  }
+
+  /// Feed `episodes` simulated PMU readings of `prog` running at 1x/16p
+  /// with the given ways, compared against the stored MG profile.
+  void feed(DriftDetector& det, const app::ProgramModel& prog, int episodes,
+            double ways, double noise, std::uint64_t seed) {
+    perfmodel::PmuSimulator pmu(noise, seed);
+    perfmodel::NodeShare share{&prog, 16, ways, 0.0, 1.0, 0.0};
+    const auto out =
+        est_.solver().solve(std::span<const perfmodel::NodeShare>(&share, 1)).front();
+    for (int e = 0; e < episodes; ++e) {
+      const auto s = pmu.sample(out, 16, 5.0, est_.machine().frequency_ghz);
+      det.observe(mg_profile_, 1, ways, s.ipc(), s.bandwidthGbps());
+    }
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  ProgramProfile mg_profile_;
+};
+
+TEST_F(DriftTest, UnchangedProgramShowsNoDrift) {
+  DriftDetector det;
+  feed(det, app::findProgram(lib_, "MG"), 30, 8.0, 0.02, 1);
+  EXPECT_FALSE(det.reprofileNeeded());
+  EXPECT_LT(det.meanIpcDeviation(), 0.10);
+}
+
+TEST_F(DriftTest, RewrittenProgramTriggersReprofile) {
+  // "MG v2": a rewrite that halves the memory intensity — twice the IPC.
+  app::ProgramModel mg_v2 = app::findProgram(lib_, "MG");
+  mg_v2.mem_refs_per_instr *= 0.4;
+  est_.calibrate(mg_v2);
+  DriftDetector det;
+  feed(det, mg_v2, 30, 8.0, 0.02, 2);
+  EXPECT_TRUE(det.reprofileNeeded());
+  EXPECT_GT(det.meanIpcDeviation(), 0.15);
+}
+
+TEST_F(DriftTest, NeedsMinimumSampleCount) {
+  app::ProgramModel mg_v2 = app::findProgram(lib_, "MG");
+  mg_v2.mem_refs_per_instr *= 0.4;
+  est_.calibrate(mg_v2);
+  DriftConfig cfg;
+  cfg.min_samples = 12;
+  DriftDetector det(cfg);
+  feed(det, mg_v2, 5, 8.0, 0.0, 3);
+  EXPECT_FALSE(det.reprofileNeeded());  // too few episodes to judge
+  feed(det, mg_v2, 10, 8.0, 0.0, 4);
+  EXPECT_TRUE(det.reprofileNeeded());
+}
+
+TEST_F(DriftTest, ResetForgetsHistory) {
+  app::ProgramModel mg_v2 = app::findProgram(lib_, "MG");
+  mg_v2.mem_refs_per_instr *= 0.4;
+  est_.calibrate(mg_v2);
+  DriftDetector det;
+  feed(det, mg_v2, 30, 8.0, 0.0, 5);
+  ASSERT_TRUE(det.reprofileNeeded());
+  det.reset();
+  EXPECT_EQ(det.samples(), 0u);
+  EXPECT_FALSE(det.reprofileNeeded());
+}
+
+TEST_F(DriftTest, UnprofiledScaleIgnored) {
+  DriftDetector det;
+  det.observe(mg_profile_, 3 /* never profiled */, 8.0, 1.0, 50.0);
+  EXPECT_EQ(det.samples(), 0u);
+}
+
+TEST_F(DriftTest, RejectsNegativeReadings) {
+  DriftDetector det;
+  EXPECT_THROW(det.observe(mg_profile_, 1, 8.0, -1.0, 0.0),
+               util::PreconditionError);
+}
+
+TEST_F(DriftTest, DatabaseEraseSendsProgramBackToExploration) {
+  ProfileDatabase db;
+  db.put(mg_profile_);
+  ASSERT_TRUE(db.contains("MG", 16));
+  EXPECT_TRUE(db.erase("MG", 16));
+  EXPECT_FALSE(db.contains("MG", 16));
+  EXPECT_FALSE(db.erase("MG", 16));  // idempotent
+  // With the profile gone, the exploration pipeline restarts at 1x.
+  EXPECT_EQ(nextTrialScale(db.find("MG", 16), app::findProgram(lib_, "MG"), 16, 8,
+                           est_),
+            1);
+}
+
+class DriftWaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriftWaySweep, ObservationsAtAnyAllocationWork) {
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  ProfilerConfig cfg;
+  cfg.pmu_noise = 0.0;
+  Profiler prof(est, cfg);
+  const auto pp = prof.profileProgram(app::findProgram(lib, "CG"), 16);
+
+  const double ways = GetParam();
+  perfmodel::NodeShare share{&app::findProgram(lib, "CG"), 16, ways, 0.0, 1.0, 0.0};
+  const auto out =
+      est.solver().solve(std::span<const perfmodel::NodeShare>(&share, 1)).front();
+  DriftDetector det;
+  for (int e = 0; e < 20; ++e) {
+    det.observe(pp, 1, ways, out.ipc, out.bw_gbps);
+  }
+  // Ground truth at profiled way points matches the (noiseless) profile
+  // closely; interpolated points may deviate but never past the trigger.
+  EXPECT_FALSE(det.reprofileNeeded()) << "ways " << ways;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, DriftWaySweep,
+                         ::testing::Values(2.0, 4.0, 8.0, 12.0, 20.0));
+
+}  // namespace
+}  // namespace sns::profile

@@ -1,0 +1,122 @@
+#include "sns/profile/exploration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::profile {
+namespace {
+
+class ExplorationTest : public ::testing::Test {
+ protected:
+  ExplorationTest() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    ProfilerConfig cfg;
+    cfg.pmu_noise = 0.0;
+    prof_ = std::make_unique<Profiler>(est_, cfg);
+  }
+  const app::ProgramModel& prog(const std::string& n) const {
+    return app::findProgram(lib_, n);
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  std::unique_ptr<Profiler> prof_;
+};
+
+TEST_F(ExplorationTest, UnknownProgramTrialsScaleOne) {
+  EXPECT_EQ(nextTrialScale(nullptr, prog("MG"), 16, 8, est_), 1);
+}
+
+TEST_F(ExplorationTest, WalksCandidateScalesInOrder) {
+  ProgramProfile pp;
+  pp.program = "MG";
+  pp.procs = 16;
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 1), 0.05);
+  EXPECT_EQ(nextTrialScale(&pp, prog("MG"), 16, 8, est_), 2);
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 2), 0.05);
+  EXPECT_EQ(nextTrialScale(&pp, prog("MG"), 16, 8, est_), 4);
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 4), 0.05);
+  EXPECT_EQ(nextTrialScale(&pp, prog("MG"), 16, 8, est_), 8);
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 8), 0.05);
+  EXPECT_EQ(nextTrialScale(&pp, prog("MG"), 16, 8, est_), 0);
+}
+
+TEST_F(ExplorationTest, DegradedTrialStopsExploration) {
+  // BFS degrades >20% at 2x: after recording that trial, exploration ends.
+  ProgramProfile pp;
+  pp.program = "BFS";
+  pp.procs = 16;
+  mergeTrial(pp, prof_->profileScale(prog("BFS"), 16, 1), 0.05);
+  mergeTrial(pp, prof_->profileScale(prog("BFS"), 16, 2), 0.05);
+  EXPECT_EQ(nextTrialScale(&pp, prog("BFS"), 16, 8, est_), 0);
+  EXPECT_EQ(pp.cls, ScalingClass::kCompact);
+}
+
+TEST_F(ExplorationTest, SingleNodeProgramsFinishAfterOneTrial) {
+  ProgramProfile pp;
+  pp.program = "GAN";
+  pp.procs = 16;
+  mergeTrial(pp, prof_->profileScale(prog("GAN"), 16, 1), 0.05);
+  EXPECT_EQ(nextTrialScale(&pp, prog("GAN"), 16, 8, est_), 0);
+}
+
+TEST_F(ExplorationTest, ClusterSizeBoundsExploration) {
+  ProgramProfile pp;
+  pp.program = "MG";
+  pp.procs = 16;
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 1), 0.05);
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 2), 0.05);
+  // A 2-node cluster cannot host the 4x trial.
+  EXPECT_EQ(nextTrialScale(&pp, prog("MG"), 16, 2, est_), 0);
+  EXPECT_EQ(nextTrialScale(&pp, prog("MG"), 16, 8, est_), 4);
+}
+
+TEST_F(ExplorationTest, MinProcsPerNodeBoundsExploration) {
+  ProfilerConfig cfg;
+  cfg.min_procs_per_node = 4;
+  ProgramProfile pp;
+  pp.program = "MG";
+  pp.procs = 16;
+  for (int k : {1, 2, 4}) mergeTrial(pp, prof_->profileScale(prog("MG"), 16, k), 0.05);
+  // 8x would leave 2 procs/node < 4.
+  EXPECT_EQ(nextTrialScale(&pp, prog("MG"), 16, 8, est_, cfg), 0);
+}
+
+TEST_F(ExplorationTest, OfflineProfilesNeedNoTrials) {
+  // A fully explored profile (the offline Profiler's output) is final.
+  for (const auto& p : lib_) {
+    const auto pp = prof_->profileProgram(p, 16);
+    EXPECT_EQ(nextTrialScale(&pp, p, 16, 8, est_), 0) << p.name;
+  }
+}
+
+TEST_F(ExplorationTest, MergeIsIdempotentPerScale) {
+  ProgramProfile pp;
+  pp.program = "EP";
+  pp.procs = 16;
+  mergeTrial(pp, prof_->profileScale(prog("EP"), 16, 1), 0.05);
+  mergeTrial(pp, prof_->profileScale(prog("EP"), 16, 1), 0.05);
+  EXPECT_EQ(pp.scales.size(), 1u);
+}
+
+TEST_F(ExplorationTest, MergeKeepsScalesSortedAndClassifies) {
+  ProgramProfile pp;
+  pp.program = "MG";
+  pp.procs = 16;
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 2), 0.05);
+  EXPECT_EQ(pp.cls, ScalingClass::kUnknown);  // no 1x base yet
+  mergeTrial(pp, prof_->profileScale(prog("MG"), 16, 1), 0.05);
+  EXPECT_EQ(pp.scales[0].scale_factor, 1);
+  EXPECT_EQ(pp.scales[1].scale_factor, 2);
+  EXPECT_EQ(pp.cls, ScalingClass::kScaling);
+}
+
+TEST_F(ExplorationTest, ValidatesClusterArgument) {
+  EXPECT_THROW(nextTrialScale(nullptr, prog("MG"), 16, 0, est_),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sns::profile

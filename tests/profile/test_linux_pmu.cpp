@@ -1,0 +1,73 @@
+#include "sns/profile/linux_pmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace sns::profile {
+namespace {
+
+volatile double sink = 0.0;
+
+void burnCycles() {
+  double acc = 1.0;
+  for (int i = 0; i < 2'000'000; ++i) acc = acc * 1.0000001 + 0.5;
+  sink = acc;
+}
+
+TEST(LinuxPmu, ConstructionNeverThrows) {
+  LinuxPmu pmu;
+  if (!pmu.available()) {
+    EXPECT_FALSE(pmu.error().empty());
+  } else {
+    EXPECT_TRUE(pmu.error().empty());
+  }
+}
+
+TEST(LinuxPmu, StopWithoutCountersIsNullopt) {
+  LinuxPmu pmu;
+  if (pmu.available()) GTEST_SKIP() << "counters available; covered below";
+  pmu.start();
+  EXPECT_FALSE(pmu.stop().has_value());
+}
+
+TEST(LinuxPmu, CountsRealWork) {
+  LinuxPmu pmu;
+  if (!pmu.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable: " << pmu.error();
+  }
+  pmu.start();
+  burnCycles();
+  const auto c = pmu.stop();
+  ASSERT_TRUE(c.has_value());
+  // The loop retires at least a few million instructions.
+  EXPECT_GT(c->instructions, 1'000'000u);
+  EXPECT_GT(c->cycles, 0u);
+  EXPECT_GT(c->duration_s, 0.0);
+  EXPECT_GT(c->ipc(), 0.05);
+  EXPECT_LT(c->ipc(), 10.0);
+}
+
+TEST(LinuxPmu, MoreWorkMoreInstructions) {
+  LinuxPmu probe;
+  if (!probe.available()) {
+    GTEST_SKIP() << "perf_event_open unavailable: " << probe.error();
+  }
+  const auto one = measure([] { burnCycles(); });
+  const auto three = measure([] {
+    burnCycles();
+    burnCycles();
+    burnCycles();
+  });
+  ASSERT_TRUE(one.has_value());
+  ASSERT_TRUE(three.has_value());
+  EXPECT_GT(three->instructions, one->instructions * 2);
+}
+
+TEST(LinuxPmu, HwCountersIpcSafeOnZero) {
+  HwCounters c;
+  EXPECT_DOUBLE_EQ(c.ipc(), 0.0);
+}
+
+}  // namespace
+}  // namespace sns::profile

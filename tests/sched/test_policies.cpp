@@ -1,0 +1,228 @@
+#include "sns/sched/policies.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::sched {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() : lib_(app::programLibrary()), ledger_(8, est_.machine()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    profile::ProfilerConfig cfg;
+    cfg.pmu_noise = 0.0;
+    profile::Profiler prof(est_, cfg);
+    for (const auto& p : lib_) db_.put(prof.profileProgram(p, 16));
+  }
+
+  Job makeJob(const std::string& prog, int procs, JobId id = 1) {
+    Job j;
+    j.id = id;
+    j.spec.program = prog;
+    j.spec.procs = procs;
+    j.spec.alpha = 0.9;
+    j.program = &app::findProgram(lib_, prog);
+    return j;
+  }
+
+  void apply(const Placement& p, JobId id) {
+    for (int nd : p.nodes) ledger_.allocate(nd, id, p.nodeAllocation());
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  profile::ProfileDatabase db_;
+  actuator::ResourceLedger ledger_;
+};
+
+TEST_F(PolicyTest, CePlacesCompactExclusive) {
+  CePolicy ce(est_);
+  const auto p = ce.tryPlace(makeJob("MG", 16), ledger_, db_);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodeCount(), 1);
+  EXPECT_EQ(p->procs_per_node, 16);
+  EXPECT_EQ(p->scale_factor, 1);
+  EXPECT_TRUE(p->exclusive);
+}
+
+TEST_F(PolicyTest, CeTwoNodeJob) {
+  CePolicy ce(est_);
+  const auto p = ce.tryPlace(makeJob("WC", 32), ledger_, db_);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodeCount(), 2);
+  EXPECT_EQ(p->procs_per_node, 16);  // paper Fig 8: 32 procs over 2 nodes
+}
+
+TEST_F(PolicyTest, CeNeedsFullyIdleNodes) {
+  CePolicy ce(est_);
+  // A tiny shared job on every node blocks all exclusive placements.
+  for (int n = 0; n < 8; ++n) ledger_.allocate(n, 100 + n, {1, 0, 0.0, false});
+  EXPECT_FALSE(ce.tryPlace(makeJob("MG", 16), ledger_, db_).has_value());
+}
+
+TEST_F(PolicyTest, CeWastesIdleCores) {
+  CePolicy ce(est_);
+  const auto first = ce.tryPlace(makeJob("HC", 16, 1), ledger_, db_);
+  ASSERT_TRUE(first.has_value());
+  apply(*first, 1);
+  // 12 cores idle on that node, but CE cannot use them for another job.
+  const auto second = ce.tryPlace(makeJob("HC", 16, 2), ledger_, db_);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->nodes[0], first->nodes[0]);
+}
+
+TEST_F(PolicyTest, CsFillsIdleCoresWhereCeCannot) {
+  CsPolicy cs(est_);
+  CePolicy ce(est_);
+  // Fill all 8 nodes with 16-core jobs (12 idle cores each). CE has no
+  // fully idle node left; CS harvests the leftovers by spreading 2x.
+  for (int n = 0; n < 8; ++n) {
+    const auto p = cs.tryPlace(makeJob("HC", 16, 10 + n), ledger_, db_);
+    ASSERT_TRUE(p.has_value());
+    apply(*p, 10 + n);
+  }
+  EXPECT_FALSE(ce.tryPlace(makeJob("WC", 16, 99), ledger_, db_).has_value());
+  const auto second = cs.tryPlace(makeJob("WC", 16, 99), ledger_, db_);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->scale_factor, 2);
+  EXPECT_EQ(second->procs_per_node, 8);
+}
+
+TEST_F(PolicyTest, CsPrefersCompact) {
+  CsPolicy cs(est_);
+  const auto p = cs.tryPlace(makeJob("MG", 16), ledger_, db_);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->scale_factor, 1);
+  EXPECT_FALSE(p->exclusive);
+  EXPECT_EQ(p->ways, 0);  // no CAT partitioning under CS
+}
+
+TEST_F(PolicyTest, CsUsesLowestFeasibleScale) {
+  CsPolicy cs(est_);
+  // Fill 20 cores everywhere: a 16-proc job no longer fits compactly, but
+  // spreads 2x onto two nodes with 8 cores each.
+  for (int n = 0; n < 8; ++n) ledger_.allocate(n, 100 + n, {20, 0, 0.0, false});
+  const auto p = cs.tryPlace(makeJob("WC", 16), ledger_, db_);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->scale_factor, 2);
+  EXPECT_EQ(p->procs_per_node, 8);
+}
+
+TEST_F(PolicyTest, SnsSpreadsScalingJobToIdealScale) {
+  SnsPolicy sns(est_);
+  const auto p = sns.tryPlace(makeJob("MG", 16), ledger_, db_);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->scale_factor, db_.find("MG", 16)->ideal_scale);
+  EXPECT_EQ(p->nodeCount(), 8);
+  EXPECT_EQ(p->procs_per_node, 2);
+  EXPECT_GE(p->ways, est_.machine().min_ways_per_job);
+  EXPECT_GT(p->bw_gbps, 0.0);
+  EXPECT_FALSE(p->exclusive);
+}
+
+TEST_F(PolicyTest, SnsKeepsCompactJobCompact) {
+  SnsPolicy sns(est_);
+  const auto p = sns.tryPlace(makeJob("BFS", 16), ledger_, db_);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->scale_factor, 1);
+  EXPECT_EQ(p->nodeCount(), 1);
+}
+
+TEST_F(PolicyTest, SnsFallsBackToNextBestScale) {
+  SnsPolicy sns(est_);
+  // Take 4 nodes fully: MG's ideal 8-node spread is impossible; the next
+  // best profiled scale (4 nodes) should win.
+  for (int n = 0; n < 4; ++n) ledger_.allocate(n, 100 + n, {28, 0, 0.0, false});
+  const auto p = sns.tryPlace(makeJob("MG", 16), ledger_, db_);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->scale_factor, 4);
+  EXPECT_EQ(p->nodeCount(), 4);
+}
+
+TEST_F(PolicyTest, SnsUnprofiledProgramRunsExclusiveCompact) {
+  SnsPolicy sns(est_);
+  profile::ProfileDatabase empty;
+  const auto p = sns.tryPlace(makeJob("MG", 16), ledger_, empty);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->exclusive);
+  EXPECT_EQ(p->scale_factor, 1);
+}
+
+TEST_F(PolicyTest, SnsAdaptsScaleToWayAvailability) {
+  SnsPolicy sns(est_);
+  // Reserve 17 ways on every node, leaving 3. CG's preferred scale (2x)
+  // demands far more ways per node; SNS must fall back to a thinner
+  // spread whose per-node demand fits in the 3 remaining ways.
+  for (int n = 0; n < 8; ++n) ledger_.allocate(n, 100 + n, {2, 17, 0.0, false});
+  const auto cg = sns.tryPlace(makeJob("CG", 16), ledger_, db_);
+  ASSERT_TRUE(cg.has_value());
+  EXPECT_GT(cg->scale_factor, 2);
+  EXPECT_LE(cg->ways, 3);
+  // MG (2-3 ways even when compact) also fits.
+  const auto mg = sns.tryPlace(makeJob("MG", 16), ledger_, db_);
+  EXPECT_TRUE(mg.has_value());
+}
+
+TEST_F(PolicyTest, SnsBlockedWhenNoWaysAnywhere) {
+  SnsPolicy sns(est_);
+  // 19 reserved ways leave 1 free — below the 2-way partition floor, so
+  // nothing CAT-partitioned can start at any scale.
+  for (int n = 0; n < 8; ++n) ledger_.allocate(n, 100 + n, {2, 19, 0.0, false});
+  EXPECT_FALSE(sns.tryPlace(makeJob("CG", 16), ledger_, db_).has_value());
+  EXPECT_FALSE(sns.tryPlace(makeJob("MG", 16), ledger_, db_).has_value());
+}
+
+TEST_F(PolicyTest, SnsRespectsBandwidthBudget) {
+  SnsPolicy sns(est_);
+  // Reserve nearly all bandwidth everywhere; MG's per-node demand cannot
+  // be met at any scale.
+  for (int n = 0; n < 8; ++n) ledger_.allocate(n, 100 + n, {2, 2, 110.0, false});
+  EXPECT_FALSE(sns.tryPlace(makeJob("MG", 16), ledger_, db_).has_value());
+  // EP barely uses bandwidth and still fits.
+  EXPECT_TRUE(sns.tryPlace(makeJob("EP", 16), ledger_, db_).has_value());
+}
+
+TEST_F(PolicyTest, SnsCoLocatesComplementaryJobs) {
+  SnsPolicy sns(est_);
+  const auto mg = sns.tryPlace(makeJob("MG", 16, 1), ledger_, db_);
+  ASSERT_TRUE(mg.has_value());
+  apply(*mg, 1);
+  // MG took few ways on all 8 nodes; a cache-hungry but bandwidth-light
+  // job can share those nodes.
+  const auto nw = sns.tryPlace(makeJob("NW", 16, 2), ledger_, db_);
+  ASSERT_TRUE(nw.has_value());
+  EXPECT_FALSE(nw->nodes.empty());
+}
+
+TEST_F(PolicyTest, SingleNodeProgramsNeverSpread) {
+  SnsPolicy sns(est_);
+  CsPolicy cs(est_);
+  const auto p1 = sns.tryPlace(makeJob("GAN", 16), ledger_, db_);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(p1->nodeCount(), 1);
+  const auto p2 = cs.tryPlace(makeJob("GAN", 16), ledger_, db_);
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(p2->nodeCount(), 1);
+}
+
+TEST_F(PolicyTest, FactoryProducesAllPolicies) {
+  EXPECT_EQ(makePolicy(PolicyKind::kCE, est_)->name(), "CE");
+  EXPECT_EQ(makePolicy(PolicyKind::kCS, est_)->name(), "CS");
+  EXPECT_EQ(makePolicy(PolicyKind::kSNS, est_)->name(), "SNS");
+  EXPECT_EQ(to_string(PolicyKind::kCE), "CE");
+  EXPECT_EQ(to_string(PolicyKind::kCS), "CS");
+  EXPECT_EQ(to_string(PolicyKind::kSNS), "SNS");
+}
+
+TEST_F(PolicyTest, JobLargerThanClusterRejected) {
+  CePolicy ce(est_);
+  EXPECT_THROW(ce.tryPlace(makeJob("WC", 28 * 9), ledger_, db_),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sns::sched

@@ -1,0 +1,90 @@
+#include "sns/sched/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::sched {
+namespace {
+
+Job makeJob(JobId id, double submit) {
+  Job j;
+  j.id = id;
+  j.submit_time = submit;
+  j.spec.program = "X";
+  return j;
+}
+
+TEST(JobQueue, FifoOrderBySubmitTime) {
+  JobQueue q;
+  q.push(makeJob(2, 10.0));
+  q.push(makeJob(1, 5.0));
+  q.push(makeJob(3, 7.0));
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pending()[0].id, 1);
+  EXPECT_EQ(q.pending()[1].id, 3);
+  EXPECT_EQ(q.pending()[2].id, 2);
+}
+
+TEST(JobQueue, TieBreakById) {
+  JobQueue q;
+  q.push(makeJob(5, 1.0));
+  q.push(makeJob(3, 1.0));
+  q.push(makeJob(4, 1.0));
+  EXPECT_EQ(q.pending()[0].id, 3);
+  EXPECT_EQ(q.pending()[1].id, 4);
+  EXPECT_EQ(q.pending()[2].id, 5);
+}
+
+TEST(JobQueue, RemoveMiddle) {
+  JobQueue q;
+  q.push(makeJob(1, 1.0));
+  q.push(makeJob(2, 2.0));
+  q.push(makeJob(3, 3.0));
+  q.remove(2);
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pending()[0].id, 1);
+  EXPECT_EQ(q.pending()[1].id, 3);
+}
+
+TEST(JobQueue, RemoveUnknownThrows) {
+  JobQueue q;
+  q.push(makeJob(1, 1.0));
+  EXPECT_THROW(q.remove(9), util::PreconditionError);
+}
+
+TEST(JobQueue, EmptyBehaviour) {
+  JobQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.headStarved(1000.0, 1.0));
+}
+
+TEST(JobQueue, HeadStarvedAfterAgeLimit) {
+  JobQueue q;
+  q.push(makeJob(1, 0.0));
+  EXPECT_FALSE(q.headStarved(50.0, 100.0));
+  EXPECT_TRUE(q.headStarved(150.0, 100.0));
+}
+
+TEST(JobQueue, JobAge) {
+  const Job j = makeJob(1, 10.0);
+  EXPECT_DOUBLE_EQ(j.age(25.0), 15.0);
+}
+
+TEST(Placement, NodeAllocationView) {
+  Placement p;
+  p.nodes = {0, 3, 5};
+  p.procs_per_node = 8;
+  p.ways = 6;
+  p.bw_gbps = 40.0;
+  p.exclusive = false;
+  EXPECT_EQ(p.nodeCount(), 3);
+  const auto a = p.nodeAllocation();
+  EXPECT_EQ(a.cores, 8);
+  EXPECT_EQ(a.ways, 6);
+  EXPECT_DOUBLE_EQ(a.bw_gbps, 40.0);
+  EXPECT_FALSE(a.exclusive);
+}
+
+}  // namespace
+}  // namespace sns::sched

@@ -1,0 +1,131 @@
+// Scheduler behaviour tests that cut across queue, policies and simulator:
+// the paper's CS==CE equivalence for full-node jobs (§6.3), strict-FCFS
+// age limits, and whole-pipeline determinism.
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/metrics.hpp"
+
+namespace sns::sched {
+namespace {
+
+class SchedulerBehaviour : public ::testing::Test {
+ protected:
+  SchedulerBehaviour() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    profile::ProfilerConfig cfg;
+    cfg.pmu_noise = 0.0;
+    profile::Profiler prof(est_, cfg);
+    for (const auto& p : lib_) {
+      db_.put(prof.profileProgram(p, 16));
+      if (!p.pow2_procs && p.multi_node) db_.put(prof.profileProgram(p, 28));
+    }
+  }
+
+  sim::SimResult run(sim::SimConfig cfg, const std::vector<app::JobSpec>& seq) {
+    sim::ClusterSimulator sim(est_, lib_, db_, cfg);
+    return sim.run(seq);
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  profile::ProfileDatabase db_;
+};
+
+TEST_F(SchedulerBehaviour, CsEqualsCeForFullNodeJobs) {
+  // §6.3: "Since all jobs occupy a full node, CS and CE behave the same."
+  std::vector<app::JobSpec> seq;
+  for (int i = 0; i < 12; ++i) {
+    seq.push_back({i % 2 ? "HC" : "BW", 28, 0.9, 0.0, 1, 0.0});
+  }
+  sim::SimConfig ce_cfg;
+  ce_cfg.nodes = 8;
+  ce_cfg.policy = PolicyKind::kCE;
+  sim::SimConfig cs_cfg = ce_cfg;
+  cs_cfg.policy = PolicyKind::kCS;
+  const auto ce = run(ce_cfg, seq);
+  const auto cs = run(cs_cfg, seq);
+  ASSERT_EQ(ce.jobs.size(), cs.jobs.size());
+  for (std::size_t i = 0; i < ce.jobs.size(); ++i) {
+    EXPECT_NEAR(ce.jobs[i].start, cs.jobs[i].start, 1e-6);
+    EXPECT_NEAR(ce.jobs[i].finish, cs.jobs[i].finish, 1e-6);
+  }
+}
+
+TEST_F(SchedulerBehaviour, ZeroAgeLimitMeansStrictFifo) {
+  // Head job needs the whole cluster; with age_limit 0 nothing may jump
+  // ahead of it even though small jobs would fit right away.
+  std::vector<app::JobSpec> seq = {
+      {"HC", 28, 0.9, 0.0, 1, 0.0},        // takes node(s) first
+      {"WC", 28 * 8, 0.9, 1.0, 1, 0.0},    // whole-cluster job, must wait
+      {"EP", 16, 0.9, 2.0, 1, 0.0},        // would fit, but FIFO-blocked
+  };
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = PolicyKind::kCE;
+  cfg.age_limit_s = 0.0;
+  const auto res = run(cfg, seq);
+  // EP starts only after the big job started (which required HC to finish).
+  EXPECT_GE(res.jobs[2].start, res.jobs[1].start - 1e-6);
+  EXPECT_GE(res.jobs[1].start, res.jobs[0].finish - 1e-6);
+}
+
+TEST_F(SchedulerBehaviour, GenerousAgeLimitEnablesBackfill) {
+  std::vector<app::JobSpec> seq = {
+      {"HC", 28, 0.9, 0.0, 1, 0.0},
+      {"WC", 28 * 8, 0.9, 1.0, 1, 0.0},
+      {"EP", 16, 0.9, 2.0, 1, 0.0},
+  };
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = PolicyKind::kCE;
+  cfg.age_limit_s = 1e9;
+  const auto res = run(cfg, seq);
+  // EP backfills onto an idle node long before the whole-cluster job runs.
+  EXPECT_LT(res.jobs[2].start, res.jobs[1].start);
+}
+
+TEST_F(SchedulerBehaviour, IdenticalAcrossSimulatorInstances) {
+  util::Rng rng(31415);
+  const auto seq = app::randomSequence(rng, lib_, 20, 0.9);
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = PolicyKind::kSNS;
+  const auto a = run(cfg, seq);
+  const auto b = run(cfg, seq);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].start, b.jobs[i].start);
+    EXPECT_DOUBLE_EQ(a.jobs[i].finish, b.jobs[i].finish);
+    EXPECT_EQ(a.jobs[i].placement.nodes, b.jobs[i].placement.nodes);
+  }
+}
+
+TEST_F(SchedulerBehaviour, SubmittedLaterNeverStartsEarlierUnderFifoLimit) {
+  // With backfill disabled, start times follow submission order.
+  std::vector<app::JobSpec> seq;
+  for (int i = 0; i < 10; ++i) seq.push_back({"HC", 28, 0.9, 10.0 * i, 1, 0.0});
+  sim::SimConfig cfg;
+  cfg.nodes = 2;
+  cfg.policy = PolicyKind::kCE;
+  cfg.age_limit_s = 0.0;
+  const auto res = run(cfg, seq);
+  for (std::size_t i = 1; i < res.jobs.size(); ++i) {
+    EXPECT_GE(res.jobs[i].start, res.jobs[i - 1].start - 1e-6);
+  }
+}
+
+TEST_F(SchedulerBehaviour, AlphaFlowsFromSpecToAllocation) {
+  // A lax alpha shrinks the CAT partition SNS reserves for TS.
+  sim::SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = PolicyKind::kSNS;
+  const auto strict = run(cfg, {{"TS", 16, 0.95, 0.0, 1, 0.0}});
+  const auto lax = run(cfg, {{"TS", 16, 0.6, 0.0, 1, 0.0}});
+  EXPECT_GT(strict.jobs[0].placement.ways, lax.jobs[0].placement.ways);
+}
+
+}  // namespace
+}  // namespace sns::sched

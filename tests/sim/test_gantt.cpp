@@ -1,0 +1,94 @@
+#include "sns/sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::sim {
+namespace {
+
+SimResult twoJobResult() {
+  SimResult r;
+  JobRecord a;
+  a.id = 0;
+  a.spec.program = "MG";
+  a.submit = 0.0;
+  a.start = 0.0;
+  a.finish = 50.0;
+  a.placement.nodes = {0, 1};
+  a.placement.procs_per_node = 8;
+  JobRecord b;
+  b.id = 1;
+  b.spec.program = "HC";
+  b.submit = 0.0;
+  b.start = 50.0;
+  b.finish = 100.0;
+  b.placement.nodes = {1};
+  b.placement.procs_per_node = 16;
+  r.jobs = {a, b};
+  r.makespan = 100.0;
+  return r;
+}
+
+TEST(Gantt, RendersRowsPerNodeWithLegend) {
+  const auto out = renderGantt(twoJobResult(), 2, 20);
+  EXPECT_NE(out.find("N0 "), std::string::npos);
+  EXPECT_NE(out.find("N1 "), std::string::npos);
+  EXPECT_NE(out.find("legend: A=MG B=HC"), std::string::npos);
+}
+
+TEST(Gantt, CellsShowOccupancyOverTime) {
+  const auto out = renderGantt(twoJobResult(), 2, 20);
+  // Node 0: A for the first half, idle after. Node 1: A then B.
+  const auto n0 = out.substr(out.find("N0 ") + 4, 20);
+  const auto n1 = out.substr(out.find("N1 ") + 4, 20);
+  EXPECT_EQ(n0.substr(0, 9).find_first_not_of('A'), std::string::npos);
+  EXPECT_EQ(n0.substr(11).find_first_not_of('.'), std::string::npos);
+  EXPECT_EQ(n1.substr(0, 9).find_first_not_of('A'), std::string::npos);
+  EXPECT_EQ(n1.substr(11).find_first_not_of('B'), std::string::npos);
+}
+
+TEST(Gantt, SharedNodeShowsDominantJob) {
+  SimResult r = twoJobResult();
+  r.jobs[1].start = 0.0;   // B co-runs with A on node 1, with more cores
+  r.jobs[1].finish = 50.0;
+  r.makespan = 50.0;
+  const auto out = renderGantt(r, 2, 10);
+  const auto n1 = out.substr(out.find("N1 ") + 4, 10);
+  EXPECT_EQ(n1.find_first_not_of('B'), std::string::npos);  // 16 > 8 cores
+}
+
+TEST(Gantt, ValidatesArguments) {
+  const auto r = twoJobResult();
+  EXPECT_THROW(renderGantt(r, 0, 20), util::PreconditionError);
+  EXPECT_THROW(renderGantt(r, 2, 4), util::PreconditionError);
+  SimResult empty;
+  EXPECT_THROW(renderGantt(empty, 2, 20), util::PreconditionError);
+}
+
+TEST(Gantt, EndToEndWithSimulator) {
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  profile::ProfilerConfig cfg;
+  cfg.pmu_noise = 0.0;
+  profile::Profiler prof(est, cfg);
+  profile::ProfileDatabase db;
+  for (const auto& p : lib) db.put(prof.profileProgram(p, 16));
+  SimConfig scfg;
+  scfg.nodes = 4;
+  scfg.policy = sched::PolicyKind::kSNS;
+  ClusterSimulator sim(est, lib, db, scfg);
+  const auto res = sim.run({{"MG", 16, 0.9, 0.0, 1, 0.0},
+                            {"HC", 16, 0.9, 0.0, 1, 0.0}});
+  const auto out = renderGantt(res, 4, 40);
+  // Four node rows plus legend naming both programs.
+  EXPECT_NE(out.find("N3 "), std::string::npos);
+  EXPECT_NE(out.find("=MG"), std::string::npos);
+  EXPECT_NE(out.find("=HC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sns::sim

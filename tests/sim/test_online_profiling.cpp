@@ -1,0 +1,200 @@
+// Tests of the piggybacked (online) profiling pipeline and the MBA
+// bandwidth-enforcement option.
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/metrics.hpp"
+
+namespace sns::sim {
+namespace {
+
+class OnlineProfilingTest : public ::testing::Test {
+ protected:
+  OnlineProfilingTest() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+  }
+
+  SimConfig onlineConfig() {
+    SimConfig cfg;
+    cfg.nodes = 8;
+    cfg.policy = sched::PolicyKind::kSNS;
+    cfg.online_profiling = true;
+    cfg.monitor.pmu_noise = 0.0;
+    return cfg;
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  profile::ProfileDatabase empty_db_;
+};
+
+TEST_F(OnlineProfilingTest, FirstRunOfUnknownProgramIsExclusiveCompact) {
+  ClusterSimulator sim(est_, lib_, empty_db_, onlineConfig());
+  const auto res = sim.run({{"MG", 16, 0.9, 0.0, 1, 0.0}});
+  EXPECT_TRUE(res.jobs[0].placement.exclusive);
+  EXPECT_EQ(res.jobs[0].placement.scale_factor, 1);
+  EXPECT_EQ(res.jobs[0].placement.nodeCount(), 1);
+  // The run was profiled.
+  const auto* pp = sim.learnedProfiles().find("MG", 16);
+  ASSERT_NE(pp, nullptr);
+  EXPECT_NE(pp->at(1), nullptr);
+}
+
+TEST_F(OnlineProfilingTest, RepeatedSubmissionsExploreScales) {
+  ClusterSimulator sim(est_, lib_, empty_db_, onlineConfig());
+  // Five sequential submissions of MG (spaced so each sees the learned
+  // profile of the previous): scales 1, 2, 4, 8 get trialled, then the
+  // program schedules normally at its ideal scale.
+  std::vector<app::JobSpec> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back({"MG", 16, 0.9, 5000.0 * i, 1, 0.0});
+  }
+  const auto res = sim.run(jobs);
+  EXPECT_EQ(res.jobs[0].placement.scale_factor, 1);
+  EXPECT_EQ(res.jobs[1].placement.scale_factor, 2);
+  EXPECT_EQ(res.jobs[2].placement.scale_factor, 4);
+  EXPECT_EQ(res.jobs[3].placement.scale_factor, 8);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(res.jobs[static_cast<std::size_t>(i)].placement.exclusive);
+  // Fifth run: exploration done, shared placement at the ideal scale.
+  EXPECT_FALSE(res.jobs[4].placement.exclusive);
+  const auto* pp = sim.learnedProfiles().find("MG", 16);
+  ASSERT_NE(pp, nullptr);
+  EXPECT_EQ(pp->scales.size(), 4u);
+  EXPECT_EQ(pp->cls, profile::ScalingClass::kScaling);
+  EXPECT_EQ(res.jobs[4].placement.scale_factor, pp->ideal_scale);
+}
+
+TEST_F(OnlineProfilingTest, CompactProgramStopsExploringAfterDegradation) {
+  ClusterSimulator sim(est_, lib_, empty_db_, onlineConfig());
+  std::vector<app::JobSpec> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({"BFS", 16, 0.9, 5000.0 * i, 1, 0.0});
+  }
+  const auto res = sim.run(jobs);
+  EXPECT_EQ(res.jobs[0].placement.scale_factor, 1);
+  EXPECT_EQ(res.jobs[1].placement.scale_factor, 2);  // the degrading trial
+  // Exploration stops; later runs are compact and shared.
+  EXPECT_EQ(res.jobs[2].placement.scale_factor, 1);
+  EXPECT_FALSE(res.jobs[2].placement.exclusive);
+  const auto* pp = sim.learnedProfiles().find("BFS", 16);
+  ASSERT_NE(pp, nullptr);
+  EXPECT_EQ(pp->cls, profile::ScalingClass::kCompact);
+}
+
+TEST_F(OnlineProfilingTest, SeedDatabaseSkipsExploration) {
+  profile::ProfilerConfig pcfg;
+  pcfg.pmu_noise = 0.0;
+  profile::Profiler prof(est_, pcfg);
+  profile::ProfileDatabase db;
+  db.put(prof.profileProgram(app::findProgram(lib_, "MG"), 16));
+  ClusterSimulator sim(est_, lib_, db, onlineConfig());
+  const auto res = sim.run({{"MG", 16, 0.9, 0.0, 1, 0.0}});
+  EXPECT_FALSE(res.jobs[0].placement.exclusive);
+  EXPECT_EQ(res.jobs[0].placement.scale_factor, 8);
+}
+
+TEST_F(OnlineProfilingTest, LearnedProfilesMatchOfflineProfiler) {
+  ClusterSimulator sim(est_, lib_, empty_db_, onlineConfig());
+  std::vector<app::JobSpec> jobs;
+  for (int i = 0; i < 5; ++i) jobs.push_back({"LU", 16, 0.9, 6000.0 * i, 1, 0.0});
+  sim.run(jobs);
+
+  profile::ProfilerConfig pcfg;
+  pcfg.pmu_noise = 0.0;
+  profile::Profiler offline(est_, pcfg);
+  const auto reference = offline.profileProgram(app::findProgram(lib_, "LU"), 16);
+  const auto* learned = sim.learnedProfiles().find("LU", 16);
+  ASSERT_NE(learned, nullptr);
+  EXPECT_EQ(learned->cls, reference.cls);
+  EXPECT_EQ(learned->ideal_scale, reference.ideal_scale);
+  ASSERT_EQ(learned->scales.size(), reference.scales.size());
+  for (std::size_t i = 0; i < learned->scales.size(); ++i) {
+    EXPECT_NEAR(learned->scales[i].exclusive_time,
+                reference.scales[i].exclusive_time, 1e-6);
+  }
+}
+
+class MbaTest : public ::testing::Test {
+ protected:
+  MbaTest() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    profile::ProfilerConfig pcfg;
+    pcfg.pmu_noise = 0.0;
+    profile::Profiler prof(est_, pcfg);
+    for (const auto& p : lib_) db_.put(prof.profileProgram(p, 16));
+  }
+
+  SimResult run(bool mba, const std::vector<app::JobSpec>& jobs) {
+    SimConfig cfg;
+    cfg.nodes = 8;
+    cfg.policy = sched::PolicyKind::kSNS;
+    cfg.enforce_bandwidth_caps = mba;
+    ClusterSimulator sim(est_, lib_, db_, cfg);
+    return sim.run(jobs);
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  profile::ProfileDatabase db_;
+};
+
+TEST_F(MbaTest, SolverHonorsBandwidthCap) {
+  const auto& mg = app::findProgram(lib_, "MG");
+  perfmodel::NodeShare uncapped{&mg, 16, 20.0, 0.0, 1.0, 0.0};
+  perfmodel::NodeShare capped{&mg, 16, 20.0, 0.0, 1.0, 40.0};
+  const auto a =
+      est_.solver().solve(std::span<const perfmodel::NodeShare>(&uncapped, 1)).front();
+  const auto b =
+      est_.solver().solve(std::span<const perfmodel::NodeShare>(&capped, 1)).front();
+  EXPECT_GT(a.bw_gbps, 100.0);
+  EXPECT_LE(b.bw_gbps, 40.0 + 1e-9);
+  EXPECT_LT(b.rate_per_proc, a.rate_per_proc);
+}
+
+TEST_F(MbaTest, CapProtectsCoRunnerFromOverdraw) {
+  const auto& mg = app::findProgram(lib_, "MG");
+  const auto& cg = app::findProgram(lib_, "CG");
+  // MG reserved 60 but would demand ~130; CG reserved 45. Without MBA, MG
+  // overdraws and squeezes CG; with MBA both stay within reservations.
+  std::vector<perfmodel::NodeShare> no_mba = {{&mg, 14, 4.0, 0.0, 1.0, 0.0},
+                                              {&cg, 14, 16.0, 0.0, 1.0, 0.0}};
+  std::vector<perfmodel::NodeShare> mba = {{&mg, 14, 4.0, 0.0, 1.0, 60.0},
+                                           {&cg, 14, 16.0, 0.0, 1.0, 45.0}};
+  const auto free_run = est_.solver().solve(no_mba);
+  const auto capped_run = est_.solver().solve(mba);
+  EXPECT_GT(capped_run[1].rate_per_proc, free_run[1].rate_per_proc);
+  EXPECT_LE(capped_run[0].bw_gbps, 60.0 + 1e-9);
+}
+
+TEST_F(MbaTest, MbaReducesThresholdViolations) {
+  util::Rng rng(2025);
+  int v_off = 0, v_on = 0;
+  for (int s = 0; s < 6; ++s) {
+    const auto seq = app::randomSequence(rng, lib_, 20, 0.9);
+    SimConfig ce_cfg;
+    ce_cfg.nodes = 8;
+    ce_cfg.policy = sched::PolicyKind::kCE;
+    ClusterSimulator ce_sim(est_, lib_, db_, ce_cfg);
+    const auto ce = ce_sim.run(seq);
+    v_off += thresholdViolations(run(false, seq), ce, 0.9);
+    v_on += thresholdViolations(run(true, seq), ce, 0.9);
+  }
+  EXPECT_LE(v_on, v_off);
+}
+
+TEST_F(MbaTest, ExclusiveJobsNeverCapped) {
+  // CE placements carry no reservation; with MBA on they run full speed.
+  SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = sched::PolicyKind::kCE;
+  cfg.enforce_bandwidth_caps = true;
+  ClusterSimulator sim(est_, lib_, db_, cfg);
+  const auto res = sim.run({{"MG", 16, 0.9, 0.0, 1, 0.0}});
+  EXPECT_NEAR(res.jobs[0].runTime(),
+              est_.soloCE(app::findProgram(lib_, "MG"), 16, 1).time, 0.5);
+}
+
+}  // namespace
+}  // namespace sns::sim

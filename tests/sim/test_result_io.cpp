@@ -1,0 +1,76 @@
+#include "sns/sim/result_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/metrics.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::sim {
+namespace {
+
+SimResult runSample() {
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  profile::ProfilerConfig cfg;
+  cfg.pmu_noise = 0.0;
+  profile::Profiler prof(est, cfg);
+  profile::ProfileDatabase db;
+  for (const auto& p : lib) db.put(prof.profileProgram(p, 16));
+  SimConfig scfg;
+  scfg.nodes = 8;
+  scfg.policy = sched::PolicyKind::kSNS;
+  ClusterSimulator sim(est, lib, db, scfg);
+  return sim.run({{"MG", 16, 0.9, 0.0, 1, 0.0},
+                  {"NW", 16, 0.9, 0.0, 1, 0.0},
+                  {"HC", 16, 0.9, 10.0, 1, 0.0}});
+}
+
+TEST(ResultIo, JsonRoundTripPreservesSchedule) {
+  const auto res = runSample();
+  const auto back = resultFromJson(resultToJson(res));
+  EXPECT_EQ(back.policy, res.policy);
+  EXPECT_DOUBLE_EQ(back.makespan, res.makespan);
+  EXPECT_DOUBLE_EQ(back.busy_node_seconds, res.busy_node_seconds);
+  ASSERT_EQ(back.jobs.size(), res.jobs.size());
+  for (std::size_t i = 0; i < res.jobs.size(); ++i) {
+    EXPECT_EQ(back.jobs[i].id, res.jobs[i].id);
+    EXPECT_EQ(back.jobs[i].spec.program, res.jobs[i].spec.program);
+    EXPECT_DOUBLE_EQ(back.jobs[i].start, res.jobs[i].start);
+    EXPECT_DOUBLE_EQ(back.jobs[i].finish, res.jobs[i].finish);
+    EXPECT_EQ(back.jobs[i].placement.nodes, res.jobs[i].placement.nodes);
+    EXPECT_EQ(back.jobs[i].placement.ways, res.jobs[i].placement.ways);
+    EXPECT_EQ(back.jobs[i].placement.exclusive, res.jobs[i].placement.exclusive);
+  }
+  // Derived metrics survive the round trip.
+  EXPECT_DOUBLE_EQ(back.meanTurnaround(), res.meanTurnaround());
+}
+
+TEST(ResultIo, FileRoundTrip) {
+  const auto res = runSample();
+  const auto path = std::filesystem::temp_directory_path() / "sns_result.json";
+  saveResult(path.string(), res);
+  const auto back = loadResult(path.string());
+  std::filesystem::remove(path);
+  EXPECT_EQ(back.jobs.size(), res.jobs.size());
+  EXPECT_DOUBLE_EQ(back.makespan, res.makespan);
+}
+
+TEST(ResultIo, LoadMissingFileThrows) {
+  EXPECT_THROW(loadResult("/nonexistent/result.json"), util::DataError);
+}
+
+TEST(ResultIo, MalformedJsonThrows) {
+  EXPECT_THROW(resultFromJson(util::Json::parse("{}")), util::DataError);
+  EXPECT_THROW(
+      resultFromJson(util::Json::parse(
+          R"({"policy":"SNS","makespan":1,"busy_node_seconds":1,"jobs":[{}]})")),
+      util::DataError);
+}
+
+}  // namespace
+}  // namespace sns::sim

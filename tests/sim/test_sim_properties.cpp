@@ -1,0 +1,142 @@
+// Property-based fuzzing of the whole scheduling pipeline: random job
+// sequences under every policy and feature combination must produce
+// schedules satisfying global invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/metrics.hpp"
+
+namespace sns::sim {
+namespace {
+
+struct Fixture {
+  Fixture() : lib(app::programLibrary()) {
+    for (auto& p : lib) est.calibrate(p);
+    profile::ProfilerConfig cfg;
+    cfg.pmu_noise = 0.02;
+    profile::Profiler prof(est, cfg, 99);
+    for (const auto& p : lib) {
+      db.put(prof.profileProgram(p, 16));
+      if (!p.pow2_procs && p.multi_node) db.put(prof.profileProgram(p, 28));
+    }
+  }
+  perfmodel::Estimator est;
+  std::vector<app::ProgramModel> lib;
+  profile::ProfileDatabase db;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void checkInvariants(const SimResult& res, int nodes,
+                     const std::vector<app::JobSpec>& seq) {
+  ASSERT_EQ(res.jobs.size(), seq.size());
+  for (const auto& j : res.jobs) {
+    EXPECT_TRUE(j.completed());
+    EXPECT_GE(j.start, j.submit - 1e-9);
+    EXPECT_GT(j.finish, j.start);
+    EXPECT_GE(j.placement.nodeCount(), 1);
+    EXPECT_LE(j.placement.nodeCount(), nodes);
+    EXPECT_GE(j.placement.procs_per_node * j.placement.nodeCount(), j.spec.procs);
+  }
+  EXPECT_LE(res.busy_node_seconds, nodes * res.makespan + 1e-6);
+
+  // Resource conservation at every job-start instant: cores and ways on
+  // any node never exceed the hardware.
+  for (const auto& probe : res.jobs) {
+    const double t = probe.start + 1e-9;
+    std::map<int, int> cores, ways;
+    for (const auto& j : res.jobs) {
+      if (j.start <= t && t < j.finish) {
+        for (int nd : j.placement.nodes) {
+          cores[nd] += j.placement.procs_per_node;
+          ways[nd] += j.placement.ways;
+        }
+      }
+    }
+    for (const auto& [nd, c] : cores) EXPECT_LE(c, 28) << "node " << nd;
+    for (const auto& [nd, w] : ways) EXPECT_LE(w, 20) << "node " << nd;
+  }
+}
+
+class PipelineFuzz
+    : public ::testing::TestWithParam<std::tuple<sched::PolicyKind, std::uint64_t>> {
+};
+
+TEST_P(PipelineFuzz, RandomSequencesKeepInvariants) {
+  auto& f = fixture();
+  const auto [policy, seed] = GetParam();
+  util::Rng rng(seed);
+  const auto seq = app::randomSequence(rng, f.lib, 18, 0.9);
+
+  SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = policy;
+  ClusterSimulator sim(f.est, f.lib, f.db, cfg);
+  const auto res = sim.run(seq);
+  checkInvariants(res, 8, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyBySeed, PipelineFuzz,
+    ::testing::Combine(::testing::Values(sched::PolicyKind::kCE,
+                                         sched::PolicyKind::kCS,
+                                         sched::PolicyKind::kSNS),
+                       ::testing::Values(101ULL, 202ULL, 303ULL, 404ULL)),
+    [](const auto& info) {
+      return to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class FeatureFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeatureFuzz, FeatureCombinationsKeepInvariants) {
+  auto& f = fixture();
+  const int combo = GetParam();
+  util::Rng rng(5000ULL + static_cast<std::uint64_t>(combo));
+  const auto seq = app::randomSequence(rng, f.lib, 15, 0.9);
+
+  SimConfig cfg;
+  cfg.nodes = 8;
+  cfg.policy = sched::PolicyKind::kSNS;
+  cfg.donate_unused_ways = (combo & 1) != 0;
+  cfg.enforce_bandwidth_caps = (combo & 2) != 0;
+  cfg.online_profiling = (combo & 4) != 0;
+  cfg.sns.manage_network = (combo & 8) != 0;
+  // Online-profiling combos start from an empty database and learn.
+  profile::ProfileDatabase empty;
+  const profile::ProfileDatabase& db = cfg.online_profiling ? empty : f.db;
+  ClusterSimulator sim(f.est, f.lib, db, cfg);
+  const auto res = sim.run(seq);
+  checkInvariants(res, 8, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Combos, FeatureFuzz, ::testing::Range(0, 16));
+
+class ClusterSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClusterSizeSweep, SmallAndLargeClustersWork) {
+  auto& f = fixture();
+  const int nodes = GetParam();
+  util::Rng rng(777);
+  const auto seq = app::randomSequence(rng, f.lib, 10, 0.9);
+  SimConfig cfg;
+  cfg.nodes = nodes;
+  cfg.policy = sched::PolicyKind::kSNS;
+  ClusterSimulator sim(f.est, f.lib, f.db, cfg);
+  const auto res = sim.run(seq);
+  checkInvariants(res, nodes, seq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, ClusterSizeSweep,
+                         ::testing::Values(1, 2, 3, 8, 16, 64));
+
+}  // namespace
+}  // namespace sns::sim

@@ -1,0 +1,104 @@
+#include "sns/trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sns/util/error.hpp"
+
+namespace sns::trace {
+namespace {
+
+TEST(TraceGen, DefaultsMatchPaperFiltering) {
+  util::Rng rng(1);
+  const auto trace = generateTrace(rng, TraceGenParams{});
+  // §6.4: 7,044 jobs over 1,900 hours, none above 4,096 nodes.
+  EXPECT_EQ(trace.size(), 7044u);
+  for (const auto& j : trace) {
+    EXPECT_GE(j.submit_s, 0.0);
+    EXPECT_LE(j.submit_s, 1900.0 * 3600.0);
+    EXPECT_GE(j.nodes, 1);
+    EXPECT_LE(j.nodes, 4096);
+    EXPECT_GE(j.duration_s, 300.0);
+    EXPECT_LE(j.duration_s, 48.0 * 3600.0);
+  }
+}
+
+TEST(TraceGen, SortedBySubmitTime) {
+  util::Rng rng(2);
+  const auto trace = generateTrace(rng, TraceGenParams{});
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].submit_s, trace[i - 1].submit_s);
+  }
+}
+
+TEST(TraceGen, NodeCountsArePowersOfTwo) {
+  util::Rng rng(3);
+  const auto trace = generateTrace(rng, TraceGenParams{});
+  for (const auto& j : trace) {
+    EXPECT_EQ(j.nodes & (j.nodes - 1), 0) << j.nodes;
+  }
+}
+
+TEST(TraceGen, NodeDistributionSkewsSmall) {
+  util::Rng rng(4);
+  const auto trace = generateTrace(rng, TraceGenParams{});
+  std::size_t small = 0, big = 0;
+  for (const auto& j : trace) {
+    if (j.nodes <= 16) ++small;
+    if (j.nodes >= 1024) ++big;
+  }
+  EXPECT_GT(small, trace.size() / 2);
+  EXPECT_GT(big, 0u);  // capability jobs exist
+  EXPECT_LT(big, small);
+}
+
+TEST(TraceGen, DeterministicForSeed) {
+  util::Rng a(5), b(5);
+  const auto t1 = generateTrace(a, TraceGenParams{});
+  const auto t2 = generateTrace(b, TraceGenParams{});
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t1[i].submit_s, t2[i].submit_s);
+    EXPECT_EQ(t1[i].nodes, t2[i].nodes);
+    EXPECT_DOUBLE_EQ(t1[i].duration_s, t2[i].duration_s);
+  }
+}
+
+TEST(TraceGen, CustomParamsRespected) {
+  util::Rng rng(6);
+  TraceGenParams p;
+  p.jobs = 100;
+  p.horizon_hours = 10.0;
+  p.max_nodes = 64;
+  const auto trace = generateTrace(rng, p);
+  EXPECT_EQ(trace.size(), 100u);
+  for (const auto& j : trace) {
+    EXPECT_LE(j.nodes, 64);
+    EXPECT_LE(j.submit_s, 36000.0);
+  }
+}
+
+TEST(TraceGen, ValidatesParams) {
+  util::Rng rng(7);
+  TraceGenParams bad;
+  bad.jobs = 0;
+  EXPECT_THROW(generateTrace(rng, bad), util::PreconditionError);
+  TraceGenParams bad2;
+  bad2.horizon_hours = 0.0;
+  EXPECT_THROW(generateTrace(rng, bad2), util::PreconditionError);
+}
+
+TEST(TraceGen, ArrivalsSpreadAcrossHorizon) {
+  util::Rng rng(8);
+  const auto trace = generateTrace(rng, TraceGenParams{});
+  const double horizon = 1900.0 * 3600.0;
+  std::size_t first_half = 0;
+  for (const auto& j : trace) first_half += j.submit_s < horizon / 2 ? 1 : 0;
+  const double frac = static_cast<double>(first_half) / trace.size();
+  EXPECT_GT(frac, 0.4);
+  EXPECT_LT(frac, 0.6);
+}
+
+}  // namespace
+}  // namespace sns::trace

@@ -1,0 +1,140 @@
+#include "sns/trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sns/profile/profiler.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::trace {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  ReplayTest() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    profile::ProfilerConfig cfg;
+    cfg.pmu_noise = 0.0;
+    profile::Profiler prof(est_, cfg);
+    for (const auto& p : lib_) db16_.put(prof.profileProgram(p, 16));
+  }
+
+  std::vector<TraceJob> smallTrace(int jobs) {
+    util::Rng rng(21);
+    TraceGenParams p;
+    p.jobs = jobs;
+    p.horizon_hours = 20.0;
+    p.max_nodes = 8;
+    p.logdur_mu = 6.5;
+    return generateTrace(rng, p);
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  profile::ProfileDatabase db16_;
+};
+
+TEST_F(ReplayTest, MappingPreservesTraceFields) {
+  util::Rng rng(1);
+  const auto trace = smallTrace(50);
+  const auto jobs = mapTraceToJobs(rng, trace, 0.5, 28);
+  ASSERT_EQ(jobs.size(), trace.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jobs[i].submit_time, trace[i].submit_s);
+    EXPECT_EQ(jobs[i].procs, trace[i].nodes * 28);
+    EXPECT_DOUBLE_EQ(jobs[i].ce_time_override, trace[i].duration_s);
+    EXPECT_DOUBLE_EQ(jobs[i].alpha, 0.9);
+  }
+}
+
+TEST_F(ReplayTest, ScalingRatioBiasesSampling) {
+  util::Rng rng(2);
+  const auto trace = smallTrace(400);
+  const TraceMapping mapping;
+  const std::set<std::string> scaling(mapping.scaling.begin(), mapping.scaling.end());
+
+  const auto high = mapTraceToJobs(rng, trace, 0.9, 28);
+  std::size_t n_scaling = 0;
+  for (const auto& j : high) n_scaling += scaling.count(j.program);
+  EXPECT_NEAR(static_cast<double>(n_scaling) / high.size(), 0.9, 0.06);
+
+  const auto low = mapTraceToJobs(rng, trace, 0.5, 28);
+  n_scaling = 0;
+  for (const auto& j : low) n_scaling += scaling.count(j.program);
+  EXPECT_NEAR(static_cast<double>(n_scaling) / low.size(), 0.5, 0.08);
+}
+
+TEST_F(ReplayTest, ExtremeRatiosAreDegenerate) {
+  util::Rng rng(3);
+  const auto trace = smallTrace(50);
+  const TraceMapping mapping;
+  const std::set<std::string> scaling(mapping.scaling.begin(), mapping.scaling.end());
+  for (const auto& j : mapTraceToJobs(rng, trace, 1.0, 28)) {
+    EXPECT_TRUE(scaling.count(j.program)) << j.program;
+  }
+  for (const auto& j : mapTraceToJobs(rng, trace, 0.0, 28)) {
+    EXPECT_FALSE(scaling.count(j.program)) << j.program;
+  }
+  EXPECT_THROW(mapTraceToJobs(rng, trace, 1.5, 28), util::PreconditionError);
+}
+
+TEST_F(ReplayTest, SynthesizedProfilesCoverEveryJobShape) {
+  util::Rng rng(4);
+  const auto jobs = mapTraceToJobs(rng, smallTrace(100), 0.7, 28);
+  const auto db = synthesizeTraceProfiles(db16_, 16, jobs, est_);
+  for (const auto& j : jobs) {
+    const auto* p = db.find(j.program, j.procs);
+    ASSERT_NE(p, nullptr) << j.program << ":" << j.procs;
+    EXPECT_EQ(p->cls, db16_.find(j.program, 16)->cls);
+    // Scale 1 exists and is normalized to 1.0 (relative timing).
+    ASSERT_NE(p->at(1), nullptr);
+    EXPECT_NEAR(p->at(1)->exclusive_time, 1.0, 1e-9);
+  }
+}
+
+TEST_F(ReplayTest, SynthesizedProfilesKeepRelativeOrdering) {
+  util::Rng rng(5);
+  const auto jobs = mapTraceToJobs(rng, smallTrace(100), 0.7, 28);
+  const auto db = synthesizeTraceProfiles(db16_, 16, jobs, est_);
+  for (const auto& j : jobs) {
+    const auto* synth = db.find(j.program, j.procs);
+    const auto* ref = db16_.find(j.program, 16);
+    EXPECT_EQ(synth->scalesByPerformance(), ref->scalesByPerformance())
+        << j.program;
+  }
+}
+
+TEST_F(ReplayTest, SynthesisRequiresReferenceProfile) {
+  std::vector<app::JobSpec> jobs = {{"MG", 28, 0.9, 0.0, 1, 100.0}};
+  profile::ProfileDatabase empty;
+  EXPECT_THROW(synthesizeTraceProfiles(empty, 16, jobs, est_), util::PreconditionError);
+}
+
+TEST_F(ReplayTest, SmallTraceSimulationRunsUnderAllPolicies) {
+  util::Rng rng(6);
+  const auto trace = smallTrace(60);
+  const auto jobs = mapTraceToJobs(rng, trace, 0.7, 28);
+  const auto db = synthesizeTraceProfiles(db16_, 16, jobs, est_);
+  for (auto kind : {sched::PolicyKind::kCE, sched::PolicyKind::kSNS}) {
+    const auto res = simulateTrace(est_, lib_, db, jobs, 16, kind);
+    EXPECT_EQ(res.jobs.size(), jobs.size());
+    for (const auto& j : res.jobs) EXPECT_TRUE(j.completed());
+  }
+}
+
+TEST_F(ReplayTest, TraceCeRunTimeMatchesTraceDuration) {
+  util::Rng rng(7);
+  auto trace = smallTrace(10);
+  const auto jobs = mapTraceToJobs(rng, trace, 0.5, 28);
+  const auto db = synthesizeTraceProfiles(db16_, 16, jobs, est_);
+  const auto res = simulateTrace(est_, lib_, db, jobs, 64, sched::PolicyKind::kCE);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_NEAR(res.jobs[i].runTime(), jobs[i].ce_time_override,
+                jobs[i].ce_time_override * 0.01)
+        << jobs[i].program;
+  }
+}
+
+}  // namespace
+}  // namespace sns::trace

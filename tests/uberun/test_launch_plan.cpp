@@ -1,0 +1,135 @@
+#include "sns/uberun/launch_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::uberun {
+namespace {
+
+class LaunchPlanTest : public ::testing::Test {
+ protected:
+  LaunchPlanTest()
+      : lib_(app::programLibrary()),
+        planner_(8, hw::MachineConfig::xeonE5_2680v4()) {}
+
+  sched::Job makeJob(const std::string& prog, int procs, sched::JobId id = 1) {
+    sched::Job j;
+    j.id = id;
+    j.spec.program = prog;
+    j.spec.procs = procs;
+    j.program = &app::findProgram(lib_, prog);
+    return j;
+  }
+
+  static sched::Placement placement(std::vector<int> nodes, int c, int ways) {
+    sched::Placement p;
+    p.nodes = std::move(nodes);
+    p.procs_per_node = c;
+    p.scale_factor = static_cast<int>(p.nodes.size());
+    p.ways = ways;
+    return p;
+  }
+
+  std::vector<app::ProgramModel> lib_;
+  LaunchPlanner planner_;
+};
+
+bool anyCommandContains(const LaunchPlan& plan, const std::string& needle) {
+  for (const auto& c : plan.commands) {
+    if (c.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST_F(LaunchPlanTest, MpiPlanHasHostsAndBinding) {
+  const auto plan =
+      planner_.materialize(makeJob("MG", 16), placement({0, 1}, 8, 3));
+  EXPECT_EQ(plan.framework, app::Framework::kMpi);
+  ASSERT_EQ(plan.nodes.size(), 2u);
+  EXPECT_EQ(plan.nodes[0].hostname, "node0");
+  EXPECT_EQ(plan.nodes[0].cores.size(), 8u);
+  EXPECT_TRUE(anyCommandContains(plan, "mpirun -np 16"));
+  EXPECT_TRUE(anyCommandContains(plan, "--host node0:8,node1:8"));
+  EXPECT_TRUE(anyCommandContains(plan, "--bind-to cpulist"));
+}
+
+TEST_F(LaunchPlanTest, CatMasksProgrammedPerNode) {
+  const auto plan =
+      planner_.materialize(makeJob("CG", 16), placement({2, 3}, 8, 10));
+  for (const auto& nl : plan.nodes) {
+    EXPECT_NE(nl.cat_mask, 0u);
+    EXPECT_EQ(__builtin_popcount(nl.cat_mask), 10);
+  }
+  EXPECT_TRUE(anyCommandContains(plan, "pqos -e"));
+}
+
+TEST_F(LaunchPlanTest, UnpartitionedJobSkipsPqos) {
+  const auto plan =
+      planner_.materialize(makeJob("WC", 16), placement({0}, 16, 0));
+  EXPECT_EQ(plan.nodes[0].cat_mask, 0u);
+  EXPECT_FALSE(anyCommandContains(plan, "pqos"));
+}
+
+TEST_F(LaunchPlanTest, SparkWorkersSizedToAllocation) {
+  const auto plan =
+      planner_.materialize(makeJob("TS", 16), placement({0, 1}, 8, 6));
+  EXPECT_TRUE(anyCommandContains(plan, "SPARK_WORKER_CORES=8"));
+  EXPECT_TRUE(anyCommandContains(plan, "spark-submit --total-executor-cores 16"));
+}
+
+TEST_F(LaunchPlanTest, TensorFlowGetsThreadCount) {
+  const auto plan =
+      planner_.materialize(makeJob("GAN", 16), placement({4}, 16, 6));
+  EXPECT_TRUE(anyCommandContains(plan, "--intra_op_parallelism_threads=16"));
+  EXPECT_THROW(
+      planner_.materialize(makeJob("RNN", 16, 2), placement({0, 1}, 8, 4)),
+      util::PreconditionError);
+}
+
+TEST_F(LaunchPlanTest, ReplicatedSpawnsOneInstancePerCore) {
+  const auto plan =
+      planner_.materialize(makeJob("HC", 16), placement({0}, 16, 2));
+  int instances = 0;
+  for (const auto& c : plan.commands) {
+    if (c.find("taskset -c") != std::string::npos &&
+        c.find("./HC") != std::string::npos) {
+      ++instances;
+    }
+  }
+  EXPECT_EQ(instances, 16);
+}
+
+TEST_F(LaunchPlanTest, ReleaseFreesCoresAndMasks) {
+  const auto job = makeJob("CG", 16);
+  const auto p = placement({0, 1}, 8, 10);
+  planner_.materialize(job, p);
+  EXPECT_EQ(planner_.binder(0).freeCores(), 20);
+  EXPECT_EQ(planner_.masker(0).freeWays(), 10);
+  planner_.release(job.id, p);
+  EXPECT_EQ(planner_.binder(0).freeCores(), 28);
+  EXPECT_EQ(planner_.masker(0).freeWays(), 20);
+}
+
+TEST_F(LaunchPlanTest, CoLocatedJobsGetDisjointResources) {
+  const auto a =
+      planner_.materialize(makeJob("MG", 16, 1), placement({0, 1}, 8, 3));
+  const auto b =
+      planner_.materialize(makeJob("NW", 16, 2), placement({0, 1}, 8, 12));
+  for (std::size_t n = 0; n < 2; ++n) {
+    EXPECT_EQ(a.nodes[n].cat_mask & b.nodes[n].cat_mask, 0u);
+    std::set<int> cores(a.nodes[n].cores.begin(), a.nodes[n].cores.end());
+    for (int c : b.nodes[n].cores) {
+      EXPECT_EQ(cores.count(c), 0u) << "core " << c << " double-booked";
+    }
+  }
+}
+
+TEST_F(LaunchPlanTest, CpuListRendering) {
+  EXPECT_EQ(cpuList({0, 1, 14}), "0,1,14");
+  EXPECT_EQ(cpuList({}), "");
+}
+
+}  // namespace
+}  // namespace sns::uberun

@@ -1,0 +1,126 @@
+#include "sns/uberun/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/app/library.hpp"
+#include "sns/profile/profiler.hpp"
+
+namespace sns::uberun {
+namespace {
+
+class SystemTest : public ::testing::Test {
+ protected:
+  SystemTest() : lib_(app::programLibrary()) {
+    for (auto& p : lib_) est_.calibrate(p);
+    profile::ProfilerConfig cfg;
+    cfg.pmu_noise = 0.0;
+    profile::Profiler prof(est_, cfg);
+    for (const auto& p : lib_) db_.put(prof.profileProgram(p, 16));
+  }
+
+  UberunConfig config() {
+    UberunConfig cfg;
+    cfg.sim.nodes = 8;
+    cfg.sim.policy = sched::PolicyKind::kSNS;
+    return cfg;
+  }
+
+  perfmodel::Estimator est_;
+  std::vector<app::ProgramModel> lib_;
+  profile::ProfileDatabase db_;
+};
+
+TEST_F(SystemTest, ProcessProducesScheduleAndLaunches) {
+  UberunSystem sys(est_, lib_, db_, config());
+  const std::vector<app::JobSpec> jobs = {{"MG", 16, 0.9, 0.0, 1, 0.0},
+                                          {"NW", 16, 0.9, 0.0, 1, 0.0},
+                                          {"HC", 16, 0.9, 0.0, 1, 0.0}};
+  const auto report = sys.process(jobs);
+  EXPECT_EQ(report.schedule.jobs.size(), 3u);
+  ASSERT_EQ(report.launches.size(), 3u);
+  // Launch plans are in start order with framework-appropriate commands.
+  for (const auto& plan : report.launches) {
+    EXPECT_FALSE(plan.nodes.empty());
+    EXPECT_FALSE(plan.commands.empty());
+  }
+  // Event log records one start and one finish per job.
+  int starts = 0, finishes = 0;
+  for (const auto& e : report.events) {
+    starts += e.find(" start job ") != std::string::npos ? 1 : 0;
+    finishes += e.find(" finish job ") != std::string::npos ? 1 : 0;
+  }
+  EXPECT_EQ(starts, 3);
+  EXPECT_EQ(finishes, 3);
+}
+
+TEST_F(SystemTest, StableProgramsRequestNoReprofiling) {
+  UberunSystem sys(est_, lib_, db_, config());
+  std::vector<app::JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back({"CG", 16, 0.9, 600.0 * i, 1, 0.0});
+  const auto report = sys.process(jobs);
+  EXPECT_TRUE(report.reprofile.empty());
+}
+
+TEST_F(SystemTest, RewrittenProgramGetsFlaggedAndErased) {
+  // "CG v2": the binary changed between submissions — much lighter memory
+  // behaviour than its stored profile.
+  auto lib2 = lib_;
+  auto& cg = const_cast<app::ProgramModel&>(app::findProgram(lib2, "CG"));
+  cg.mem_refs_per_instr *= 0.35;
+  est_.calibrate(cg);
+
+  UberunConfig cfg = config();
+  cfg.drift_episodes_per_run = 4;
+  UberunSystem sys(est_, lib2, db_, cfg);
+  std::vector<app::JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back({"CG", 16, 0.9, 600.0 * i, 1, 0.0});
+  const auto report = sys.process(jobs);
+  ASSERT_FALSE(report.reprofile.empty());
+  EXPECT_EQ(report.reprofile.front().first, "CG");
+
+  profile::ProfileDatabase db = db_;
+  EXPECT_EQ(applyReprofiling(db, report), 1);
+  EXPECT_FALSE(db.contains("CG", 16));
+  // Re-running applyReprofiling is a no-op.
+  EXPECT_EQ(applyReprofiling(db, report), 0);
+}
+
+TEST_F(SystemTest, ReprofilingClosesTheLoop) {
+  // Full lifecycle: drift flags the stale profile; after erasing it, the
+  // next batch re-explores the program exclusively and relearns it.
+  auto lib2 = lib_;
+  auto& mg = const_cast<app::ProgramModel&>(app::findProgram(lib2, "MG"));
+  mg.mem_refs_per_instr *= 0.3;
+  est_.calibrate(mg);
+
+  UberunConfig cfg = config();
+  cfg.sim.online_profiling = true;
+  cfg.sim.monitor.pmu_noise = 0.0;
+  UberunSystem sys(est_, lib2, db_, cfg);
+
+  std::vector<app::JobSpec> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back({"MG", 16, 0.9, 500.0 * i, 1, 0.0});
+  const auto first = sys.process(jobs);
+  ASSERT_FALSE(first.reprofile.empty());
+
+  profile::ProfileDatabase db = db_;
+  applyReprofiling(db, first);
+  UberunSystem sys2(est_, lib2, db, cfg);
+  const auto second = sys2.process(jobs);
+  // Early runs are exclusive exploration trials again.
+  EXPECT_TRUE(second.schedule.jobs[0].placement.exclusive);
+  const auto* relearned = sys2.learnedProfiles().find("MG", 16);
+  ASSERT_NE(relearned, nullptr);
+  EXPECT_FALSE(relearned->scales.empty());
+}
+
+TEST_F(SystemTest, LaunchPlansNeverDoubleBookCores) {
+  UberunSystem sys(est_, lib_, db_, config());
+  util::Rng rng(404);
+  const auto jobs = app::randomSequence(rng, lib_, 12, 0.9);
+  // Throws inside materialize/release if cores or masks were double-booked.
+  EXPECT_NO_THROW(sys.process(jobs));
+}
+
+}  // namespace
+}  // namespace sns::uberun

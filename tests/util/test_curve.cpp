@@ -1,0 +1,117 @@
+#include "sns/util/curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+namespace {
+
+Curve ramp() { return Curve({{0.0, 0.0}, {10.0, 10.0}}); }
+
+TEST(Curve, InterpolatesLinearly) {
+  Curve c = ramp();
+  EXPECT_DOUBLE_EQ(c.at(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.at(2.5), 2.5);
+}
+
+TEST(Curve, ClampsOutsideDomain) {
+  Curve c = ramp();
+  EXPECT_DOUBLE_EQ(c.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(11.0), 10.0);
+}
+
+TEST(Curve, ExactPointsReturned) {
+  Curve c({{1.0, 3.0}, {2.0, 7.0}, {4.0, 5.0}});
+  EXPECT_DOUBLE_EQ(c.at(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(c.at(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.at(4.0), 5.0);
+}
+
+TEST(Curve, ConstructorSortsPoints) {
+  Curve c({{4.0, 8.0}, {1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c.minX(), 1.0);
+  EXPECT_DOUBLE_EQ(c.maxX(), 4.0);
+  EXPECT_DOUBLE_EQ(c.at(1.5), 3.0);
+}
+
+TEST(Curve, DuplicateXRejected) {
+  EXPECT_THROW(Curve({{1.0, 1.0}, {1.0, 2.0}}), PreconditionError);
+}
+
+TEST(Curve, AddPointKeepsOrder) {
+  Curve c;
+  c.addPoint(5.0, 50.0);
+  c.addPoint(1.0, 10.0);
+  c.addPoint(3.0, 30.0);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.at(2.0), 20.0);
+  EXPECT_THROW(c.addPoint(3.0, 99.0), PreconditionError);
+}
+
+TEST(Curve, EmptyCurveThrows) {
+  Curve c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_THROW(c.at(0.0), PreconditionError);
+  EXPECT_THROW(c.minX(), PreconditionError);
+  EXPECT_THROW(c.firstXReaching(1.0), PreconditionError);
+}
+
+TEST(Curve, FirstXReachingInterpolates) {
+  Curve c = ramp();
+  EXPECT_DOUBLE_EQ(c.firstXReaching(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.firstXReaching(0.0), 0.0);
+}
+
+TEST(Curve, FirstXReachingBeyondMaxClampsToMaxX) {
+  Curve c = ramp();
+  EXPECT_DOUBLE_EQ(c.firstXReaching(99.0), 10.0);
+}
+
+TEST(Curve, FirstXReachingTakesFirstCrossing) {
+  // Rises, dips, rises again: target 4 is first reached in the first rise.
+  Curve c({{0.0, 0.0}, {2.0, 5.0}, {4.0, 1.0}, {6.0, 8.0}});
+  EXPECT_NEAR(c.firstXReaching(4.0), 1.6, 1e-12);
+}
+
+TEST(Curve, FirstXReachingFlatSegment) {
+  Curve c({{0.0, 2.0}, {5.0, 2.0}, {10.0, 4.0}});
+  EXPECT_DOUBLE_EQ(c.firstXReaching(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.firstXReaching(3.0), 7.5);
+}
+
+TEST(Curve, IsNonDecreasing) {
+  EXPECT_TRUE(ramp().isNonDecreasing());
+  EXPECT_TRUE(Curve({{0.0, 1.0}, {1.0, 1.0}}).isNonDecreasing());
+  EXPECT_FALSE(Curve({{0.0, 2.0}, {1.0, 1.0}}).isNonDecreasing());
+}
+
+TEST(Curve, MapYTransformsValues) {
+  Curve c = ramp();
+  Curve doubled = c.mapY([](double y) { return 2.0 * y; });
+  EXPECT_DOUBLE_EQ(doubled.at(5.0), 10.0);
+  EXPECT_DOUBLE_EQ(c.at(5.0), 5.0);  // original untouched
+}
+
+TEST(Curve, SinglePointCurveIsConstant) {
+  Curve c({{3.0, 7.0}});
+  EXPECT_DOUBLE_EQ(c.at(-100.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.at(100.0), 7.0);
+  EXPECT_DOUBLE_EQ(c.firstXReaching(7.0), 3.0);
+}
+
+class CurveEvalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CurveEvalSweep, InterpolationBetweenNeighbors) {
+  Curve c({{0.0, 0.0}, {1.0, 1.0}, {2.0, 4.0}, {3.0, 9.0}, {4.0, 16.0}});
+  const double x = GetParam();
+  // Piecewise-linear chord of x^2 lies at or above the parabola.
+  EXPECT_GE(c.at(x) + 1e-12, x * x);
+  EXPECT_LE(c.at(x), x * x + 0.25 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Xs, CurveEvalSweep,
+                         ::testing::Values(0.25, 0.5, 1.5, 2.25, 2.75, 3.5));
+
+}  // namespace
+}  // namespace sns::util

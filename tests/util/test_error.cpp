@@ -1,0 +1,58 @@
+#include "sns/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sns::util {
+namespace {
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(SNS_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Error, RequireThrowsPreconditionError) {
+  EXPECT_THROW(SNS_REQUIRE(false, "nope"), PreconditionError);
+}
+
+TEST(Error, MessageCarriesConditionFileAndReason) {
+  try {
+    SNS_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Error, RequireEvaluatesConditionOnce) {
+  int calls = 0;
+  auto bump = [&] {
+    ++calls;
+    return true;
+  };
+  SNS_REQUIRE(bump(), "side effects counted");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  // PreconditionError is a logic_error (caller bug); DataError is a
+  // runtime_error (bad input) — callers can distinguish them.
+  EXPECT_THROW(throw PreconditionError("x"), std::logic_error);
+  EXPECT_THROW(throw DataError("y"), std::runtime_error);
+}
+
+TEST(Error, RequireWorksInsideIfWithoutBraces) {
+  // The do/while(0) idiom must make the macro statement-safe.
+  bool reached_else = false;
+  if (false)
+    SNS_REQUIRE(true, "never evaluated");
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace sns::util

@@ -1,0 +1,157 @@
+#include "sns/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+namespace {
+
+TEST(Json, NullDefault) {
+  Json j;
+  EXPECT_TRUE(j.isNull());
+  EXPECT_EQ(j.dump(), "null");
+}
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersSerializeWithoutDecimalPoint) {
+  EXPECT_EQ(Json(1000000.0).dump(), "1000000");
+  EXPECT_EQ(Json(-42).dump(), "-42");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  const Json parsed = Json::parse("\"a\\\"b\\\\c\\nd\\t\\u0041\"");
+  EXPECT_EQ(parsed.asString(), "a\"b\\c\nd\tA");
+}
+
+TEST(Json, ArrayRoundTrip) {
+  Json j(Json::Array{Json(1), Json("two"), Json(true), Json(nullptr)});
+  const std::string s = j.dump();
+  EXPECT_EQ(s, "[1,\"two\",true,null]");
+  EXPECT_EQ(Json::parse(s), j);
+}
+
+TEST(Json, ObjectRoundTrip) {
+  Json j;
+  j["name"] = Json("MG");
+  j["time"] = Json(95.5);
+  j["scaling"] = Json(true);
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(back.get("name").asString(), "MG");
+  EXPECT_DOUBLE_EQ(back.get("time").asNumber(), 95.5);
+  EXPECT_TRUE(back.get("scaling").asBool());
+}
+
+TEST(Json, ObjectKeysSortedDeterministically) {
+  Json j;
+  j["zeta"] = Json(1);
+  j["alpha"] = Json(2);
+  EXPECT_EQ(j.dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(Json, NestedStructures) {
+  const std::string text =
+      R"({"profiles":[{"k":1,"curve":[[2,0.5],[20,0.9]]},{"k":2}]})";
+  const Json j = Json::parse(text);
+  const auto& profiles = j.get("profiles").asArray();
+  ASSERT_EQ(profiles.size(), 2u);
+  const auto& curve = profiles[0].get("curve").asArray();
+  EXPECT_DOUBLE_EQ(curve[1].asArray()[1].asNumber(), 0.9);
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  Json j;
+  j["a"] = Json(Json::Array{Json(1), Json(2)});
+  j["b"] = Json("x");
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty), j);
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const Json j = Json::parse("  {  \"a\" :\n[ 1 , 2 ]\t}  ");
+  EXPECT_EQ(j.get("a").asArray().size(), 2u);
+}
+
+TEST(Json, ParseNumbers) {
+  EXPECT_DOUBLE_EQ(Json::parse("-0.5").asNumber(), -0.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").asNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").asNumber(), 0.025);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), DataError);
+  EXPECT_THROW(Json::parse("{"), DataError);
+  EXPECT_THROW(Json::parse("[1,]"), DataError);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), DataError);
+  EXPECT_THROW(Json::parse("tru"), DataError);
+  EXPECT_THROW(Json::parse("1 2"), DataError);
+  EXPECT_THROW(Json::parse("\"unterminated"), DataError);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("[1]");
+  EXPECT_THROW(j.asObject(), DataError);
+  EXPECT_THROW(j.asString(), DataError);
+  EXPECT_THROW(j.asNumber(), DataError);
+  EXPECT_THROW(Json(1.0).asArray(), DataError);
+  EXPECT_THROW(Json(1.0).asBool(), DataError);
+}
+
+TEST(Json, MissingKeyThrows) {
+  Json j;
+  j["a"] = Json(1);
+  EXPECT_THROW(j.get("b"), DataError);
+  EXPECT_TRUE(j.has("a"));
+  EXPECT_FALSE(j.has("b"));
+}
+
+TEST(Json, IndexingNullPromotesToObject) {
+  Json j;
+  j["x"]["y"] = Json(3);
+  EXPECT_DOUBLE_EQ(j.get("x").get("y").asNumber(), 3.0);
+}
+
+TEST(Json, NonFiniteNumbersRejected) {
+  Json j(std::numeric_limits<double>::infinity());
+  EXPECT_THROW(j.dump(), DataError);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json(Json::Array{}).dump(), "[]");
+  EXPECT_EQ(Json(Json::Object{}).dump(), "{}");
+  EXPECT_EQ(Json::parse("[]").asArray().size(), 0u);
+  EXPECT_EQ(Json::parse("{}").asObject().size(), 0u);
+}
+
+TEST(Json, UnicodeEscapeToUtf8) {
+  const Json j = Json::parse("\"\\u00e9\\u4e2d\"");
+  EXPECT_EQ(j.asString(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const Json a = Json::parse(GetParam());
+  const Json b = Json::parse(a.dump());
+  EXPECT_EQ(a, b);
+  const Json c = Json::parse(a.dump(4));
+  EXPECT_EQ(a, c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Docs, JsonRoundTrip,
+    ::testing::Values("null", "true", "[]", "{}", "[1,2,3]",
+                      R"({"a":{"b":[1,{"c":null}]},"d":"e"})",
+                      R"([0.1,-2e8,3.25,[["x"]],{}])"));
+
+}  // namespace
+}  // namespace sns::util

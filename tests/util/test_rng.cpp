@@ -1,0 +1,190 @@
+#include "sns/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sns/util/error.hpp"
+#include "sns/util/stats.hpp"
+
+namespace sns::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-5.0, 3.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(0, 9);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 9);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.uniformInt(-10, -1);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -1);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(10);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(1.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialRequiresPositiveRate) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(14);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceZeroAndOne) {
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(16);
+  std::vector<double> w = {1.0, 3.0, 0.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weightedIndex(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(17);
+  EXPECT_THROW(rng.weightedIndex({}), PreconditionError);
+  EXPECT_THROW(rng.weightedIndex({0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(rng.weightedIndex({1.0, -1.0}), PreconditionError);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(18);
+  Rng child = a.split();
+  // Child stream should not track the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == child()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRequiresOrderedBounds) {
+  Rng rng(19);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.uniformInt(2, 1), PreconditionError);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformStaysInRangeAndVaries) {
+  Rng rng(GetParam());
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 256; ++i) vals.insert(rng());
+  EXPECT_GT(vals.size(), 250u);  // essentially no collisions
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                                           ~0ULL));
+
+}  // namespace
+}  // namespace sns::util

@@ -1,0 +1,170 @@
+#include "sns/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sns/util/error.hpp"
+#include "sns/util/rng.hpp"
+
+namespace sns::util {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+}
+
+TEST(Stats, MeanSingle) {
+  std::vector<double> xs = {7.5};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.5);
+}
+
+TEST(Stats, MeanEmptyThrows) {
+  std::vector<double> xs;
+  EXPECT_THROW(mean(xs), PreconditionError);
+}
+
+TEST(Stats, GeomeanBasic) {
+  std::vector<double> xs = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+}
+
+TEST(Stats, GeomeanOfEqualValues) {
+  std::vector<double> xs = {3.0, 3.0, 3.0};
+  EXPECT_NEAR(geomean(xs), 3.0, 1e-12);
+}
+
+TEST(Stats, GeomeanBelowArithmeticMean) {
+  std::vector<double> xs = {1.0, 2.0, 8.0};
+  EXPECT_LT(geomean(xs), mean(xs));
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), PreconditionError);
+  std::vector<double> neg = {1.0, -2.0};
+  EXPECT_THROW(geomean(neg), PreconditionError);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  std::vector<double> xs = {5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileValidatesP) {
+  std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile(xs, -1.0), PreconditionError);
+  EXPECT_THROW(percentile(xs, 101.0), PreconditionError);
+}
+
+TEST(Stats, MinMax) {
+  std::vector<double> xs = {4.0, -1.0, 9.0};
+  EXPECT_DOUBLE_EQ(minOf(xs), -1.0);
+  EXPECT_DOUBLE_EQ(maxOf(xs), 9.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Rng rng(77);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-6);
+  EXPECT_DOUBLE_EQ(rs.min(), minOf(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), maxOf(xs));
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), PreconditionError);
+  EXPECT_THROW(rs.variance(), PreconditionError);
+  EXPECT_THROW(rs.min(), PreconditionError);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats rs;
+  rs.add(4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.binLow(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.binHigh(4), 10.0);
+}
+
+TEST(Histogram, CountsFallInRightBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-3.0);
+  h.add(42.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Histogram, BinIndexOutOfRangeThrows) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), PreconditionError);
+  EXPECT_THROW(h.binLow(2), PreconditionError);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, MonotoneInP) {
+  std::vector<double> xs = {5.0, 1.0, 9.0, 3.0, 7.0};
+  const double p = GetParam();
+  EXPECT_LE(percentile(xs, p), percentile(xs, std::min(100.0, p + 10.0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, PercentileSweep,
+                         ::testing::Values(0.0, 10.0, 25.0, 50.0, 75.0, 90.0));
+
+}  // namespace
+}  // namespace sns::util

@@ -1,0 +1,64 @@
+#include "sns/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/util/error.hpp"
+
+namespace sns::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRule) {
+  Table t({"prog", "time"});
+  t.addRow({"MG", "95.0"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("prog  time"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("MG    95.0"), std::string::npos);
+}
+
+TEST(Table, ColumnsAutoWiden) {
+  Table t({"a", "b"});
+  t.addRow({"longvalue", "x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("longvalue  x"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), PreconditionError);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(Table, EmptyHeaderRejected) { EXPECT_THROW(Table({}), PreconditionError); }
+
+TEST(Table, CsvQuotesOnlyWhenNeeded) {
+  Table t({"name", "note"});
+  t.addRow({"plain", "has,comma"});
+  t.addRow({"quote\"inside", "ok"});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("plain,\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\",ok"), std::string::npos);
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.addRow({"1"});
+  t.addRow({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.005, 1), "-1.0");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmtPct(0.198), "19.8%");
+  EXPECT_EQ(fmtPct(1.0, 0), "100%");
+  EXPECT_EQ(fmtPct(-0.034), "-3.4%");
+}
+
+}  // namespace
+}  // namespace sns::util

@@ -1,0 +1,311 @@
+// uberun — command-line front end to the Spread-n-Share reproduction.
+//
+//   uberun programs                           list the workload set
+//   uberun profile   [--procs N] [--noise S] [--out db.json] [PROG...]
+//   uberun generate  [--jobs N] [--seed S] [--alpha A] --out jobs.json
+//   uberun simulate  --jobs jobs.json [--policy CE|CS|SNS] [--nodes N]
+//                    [--db db.json] [--online] [--mba] [--network]
+//   uberun plan      --job PROG[:PROCS[:ALPHA]] [--db db.json]
+//   uberun trace     [--cluster N] [--ratio R] [--jobs N] [--policy P]
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sns/app/jobspec_io.hpp"
+#include "sns/app/library.hpp"
+#include "sns/profile/demand.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/metrics.hpp"
+#include "sns/sim/result_io.hpp"
+#include "sns/trace/replay.hpp"
+#include "sns/trace/swf.hpp"
+#include "sns/uberun/launch_plan.hpp"
+#include "sns/util/stats.hpp"
+#include "sns/util/table.hpp"
+
+namespace {
+
+using namespace sns;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  static Args parse(int argc, char** argv, const std::vector<std::string>& flag_names) {
+    Args a;
+    for (int i = 2; i < argc; ++i) {
+      std::string tok = argv[i];
+      if (tok.rfind("--", 0) == 0) {
+        const std::string name = tok.substr(2);
+        if (std::find(flag_names.begin(), flag_names.end(), name) !=
+            flag_names.end()) {
+          a.flags[name] = true;
+        } else if (i + 1 < argc) {
+          a.options[name] = argv[++i];
+        } else {
+          throw util::DataError("option --" + name + " needs a value");
+        }
+      } else {
+        a.positional.push_back(tok);
+      }
+    }
+    return a;
+  }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  double num(const std::string& key, double dflt) const {
+    auto it = options.find(key);
+    return it == options.end() ? dflt : std::stod(it->second);
+  }
+  bool flag(const std::string& key) const {
+    auto it = flags.find(key);
+    return it != flags.end() && it->second;
+  }
+};
+
+sched::PolicyKind parsePolicy(const std::string& s) {
+  if (s == "CE" || s == "ce") return sched::PolicyKind::kCE;
+  if (s == "CS" || s == "cs") return sched::PolicyKind::kCS;
+  if (s == "SNS" || s == "sns") return sched::PolicyKind::kSNS;
+  throw util::DataError("unknown policy: " + s + " (expected CE, CS or SNS)");
+}
+
+struct World {
+  perfmodel::Estimator est;
+  std::vector<app::ProgramModel> lib;
+
+  World() : lib(app::programLibrary()) {
+    for (auto& p : lib) est.calibrate(p);
+  }
+};
+
+profile::ProfileDatabase loadOrBuildDb(const World& w, const Args& a) {
+  const std::string path = a.get("db", "");
+  if (!path.empty()) return profile::ProfileDatabase::loadFile(path);
+  profile::ProfilerConfig cfg;
+  cfg.pmu_noise = a.num("noise", 0.02);
+  profile::Profiler prof(w.est, cfg);
+  profile::ProfileDatabase db;
+  for (const auto& p : w.lib) {
+    db.put(prof.profileProgram(p, 16));
+    if (!p.pow2_procs && p.multi_node) db.put(prof.profileProgram(p, 28));
+  }
+  return db;
+}
+
+int cmdPrograms(const World& w) {
+  util::Table t({"program", "framework", "ref time (s)", "multi-node",
+                 "pow2 procs"});
+  for (const auto& p : w.lib) {
+    t.addRow({p.name, to_string(p.framework), util::fmt(p.solo_time_ref, 0),
+              p.multi_node ? "yes" : "no", p.pow2_procs ? "yes" : "no"});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmdProfile(const World& w, const Args& a) {
+  const int procs = static_cast<int>(a.num("procs", 16));
+  profile::ProfilerConfig cfg;
+  cfg.pmu_noise = a.num("noise", 0.02);
+  profile::Profiler prof(w.est, cfg);
+
+  std::vector<std::string> targets = a.positional;
+  if (targets.empty()) targets = app::programNames();
+
+  profile::ProfileDatabase db;
+  util::Table t({"program", "class", "ideal k", "w (a=0.9)", "b (GB/s)"});
+  for (const auto& name : targets) {
+    const auto& p = app::findProgram(w.lib, name);
+    const int use_procs = p.multi_node || procs <= p.ref_procs ? procs : p.ref_procs;
+    auto pp = prof.profileProgram(p, use_procs);
+    const auto d = profile::estimateDemand(*pp.at(1), 0.9, w.est.machine());
+    t.addRow({name, to_string(pp.cls), std::to_string(pp.ideal_scale) + "x",
+              std::to_string(d.ways), util::fmt(d.bw_gbps, 1)});
+    db.put(std::move(pp));
+  }
+  std::printf("%s", t.render().c_str());
+
+  const std::string out = a.get("out", "");
+  if (!out.empty()) {
+    db.saveFile(out);
+    std::printf("\nwrote %zu profiles to %s\n", db.size(), out.c_str());
+  }
+  return 0;
+}
+
+int cmdGenerate(const World& w, const Args& a) {
+  const std::string out = a.get("out", "");
+  if (out.empty()) throw util::DataError("generate needs --out FILE");
+  util::Rng rng(static_cast<std::uint64_t>(a.num("seed", 2019)));
+  const auto seq =
+      app::randomSequence(rng, w.lib, static_cast<int>(a.num("jobs", 20)),
+                          a.num("alpha", 0.9));
+  app::saveJobList(out, seq);
+  std::printf("wrote %zu jobs to %s\n", seq.size(), out.c_str());
+  return 0;
+}
+
+int cmdSimulate(const World& w, const Args& a) {
+  const std::string jobs_path = a.get("jobs", "");
+  if (jobs_path.empty()) throw util::DataError("simulate needs --jobs FILE");
+  const auto jobs = app::loadJobList(jobs_path);
+  const auto db = loadOrBuildDb(w, a);
+
+  sim::SimConfig cfg;
+  cfg.nodes = static_cast<int>(a.num("nodes", 8));
+  cfg.policy = parsePolicy(a.get("policy", "SNS"));
+  cfg.online_profiling = a.flag("online");
+  cfg.enforce_bandwidth_caps = a.flag("mba");
+  cfg.sns.manage_network = a.flag("network");
+  sim::ClusterSimulator sim(w.est, w.lib, db, cfg);
+  const auto res = sim.run(jobs);
+
+  util::Table t({"job", "program", "procs", "nodes", "ways", "wait (s)",
+                 "run (s)", "turnaround (s)"});
+  for (const auto& j : res.jobs) {
+    t.addRow({std::to_string(j.id), j.spec.program, std::to_string(j.spec.procs),
+              std::to_string(j.placement.nodeCount()),
+              std::to_string(j.placement.ways), util::fmt(j.waitTime(), 1),
+              util::fmt(j.runTime(), 1), util::fmt(j.turnaround(), 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("policy %s: makespan %.1f s, mean turnaround %.1f s, "
+              "throughput %.6f jobs/s, node-seconds %.0f\n",
+              res.policy.c_str(), res.makespan, res.meanTurnaround(),
+              res.throughput(), res.busy_node_seconds);
+  const std::string out = a.get("out", "");
+  if (!out.empty()) {
+    sim::saveResult(out, res);
+    std::printf("wrote schedule to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmdPlan(const World& w, const Args& a) {
+  const std::string job_str = a.get("job", "");
+  if (job_str.empty()) throw util::DataError("plan needs --job PROG[:PROCS[:ALPHA]]");
+  std::string name = job_str;
+  int procs = 16;
+  double alpha = 0.9;
+  if (auto c1 = job_str.find(':'); c1 != std::string::npos) {
+    name = job_str.substr(0, c1);
+    const std::string rest = job_str.substr(c1 + 1);
+    if (auto c2 = rest.find(':'); c2 != std::string::npos) {
+      procs = std::stoi(rest.substr(0, c2));
+      alpha = std::stod(rest.substr(c2 + 1));
+    } else {
+      procs = std::stoi(rest);
+    }
+  }
+
+  auto db = loadOrBuildDb(w, a);
+  const int nodes = static_cast<int>(a.num("nodes", 8));
+  actuator::ResourceLedger ledger(nodes, w.est.machine());
+
+  sched::Job job;
+  job.id = 1;
+  job.spec.program = name;
+  job.spec.procs = procs;
+  job.spec.alpha = alpha;
+  job.program = &app::findProgram(w.lib, name);
+
+  sched::SnsPolicy policy(w.est);
+  const auto placement = policy.tryPlace(job, ledger, db);
+  if (!placement.has_value()) {
+    std::printf("no feasible placement\n");
+    return 2;
+  }
+
+  uberun::LaunchPlanner planner(nodes, w.est.machine());
+  const auto plan = planner.materialize(job, *placement);
+  std::printf("placement: %d node(s) x %d procs, %d LLC ways, %.1f GB/s "
+              "bandwidth reserve\n\n",
+              placement->nodeCount(), placement->procs_per_node, placement->ways,
+              placement->bw_gbps);
+  for (const auto& nl : plan.nodes) {
+    std::printf("  %s: cores %s%s\n", nl.hostname.c_str(),
+                uberun::cpuList(nl.cores).c_str(),
+                nl.cat_mask ? ("  CAT " + actuator::CatMasker::toHex(nl.cat_mask)).c_str()
+                            : "");
+  }
+  std::printf("\ncommands:\n");
+  for (const auto& c : plan.commands) std::printf("  %s\n", c.c_str());
+  return 0;
+}
+
+int cmdTrace(const World& w, const Args& a) {
+  const int cluster = static_cast<int>(a.num("cluster", 4096));
+  const double ratio = a.num("ratio", 0.9);
+  // Either replay a real SWF trace (Parallel Workloads Archive format) or
+  // generate the synthetic Trinity-like one.
+  std::vector<trace::TraceJob> raw;
+  const std::string swf = a.get("swf", "");
+  if (!swf.empty()) {
+    trace::SwfOptions sopts;
+    sopts.cores_per_node = w.est.machine().cores;
+    raw = trace::loadSwf(swf, sopts);
+    std::printf("loaded %zu parallel jobs from %s\n", raw.size(), swf.c_str());
+  } else {
+    trace::TraceGenParams params;
+    params.jobs = static_cast<int>(a.num("jobs", 700));
+    params.horizon_hours = 1900.0 * params.jobs / 7044.0;
+    util::Rng rng(static_cast<std::uint64_t>(a.num("seed", 0x7417177)));
+    raw = trace::generateTrace(rng, params);
+  }
+
+  util::Rng map_rng(static_cast<std::uint64_t>(ratio * 1000));
+  const auto jobs =
+      trace::mapTraceToJobs(map_rng, raw, ratio, w.est.machine().cores);
+  profile::ProfilerConfig pcfg;
+  pcfg.pmu_noise = 0.02;
+  profile::Profiler prof(w.est, pcfg);
+  profile::ProfileDatabase db16;
+  for (const auto& p : w.lib) db16.put(prof.profileProgram(p, 16));
+  const auto db = trace::synthesizeTraceProfiles(db16, 16, jobs, w.est);
+
+  const auto policy = parsePolicy(a.get("policy", "SNS"));
+  const auto res = trace::simulateTrace(w.est, w.lib, db, jobs, cluster, policy);
+  std::printf("%s on %d nodes, ratio %.2f: %zu jobs, mean wait %.0f s, mean "
+              "run %.0f s, mean turnaround %.0f s\n",
+              res.policy.c_str(), cluster, ratio, res.jobs.size(), res.meanWait(),
+              res.meanRun(), res.meanTurnaround());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: uberun <programs|profile|generate|simulate|plan|trace> "
+               "[options]\n(see the header of tools/uberun_cli.cpp)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    World w;
+    const Args a = Args::parse(argc, argv, {"online", "mba", "network"});
+    if (cmd == "programs") return cmdPrograms(w);
+    if (cmd == "profile") return cmdProfile(w, a);
+    if (cmd == "generate") return cmdGenerate(w, a);
+    if (cmd == "simulate") return cmdSimulate(w, a);
+    if (cmd == "plan") return cmdPlan(w, a);
+    if (cmd == "trace") return cmdTrace(w, a);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "uberun: %s\n", e.what());
+    return 2;
+  }
+}
