@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_donation.dir/bench_ablation_donation.cpp.o"
+  "CMakeFiles/bench_ablation_donation.dir/bench_ablation_donation.cpp.o.d"
+  "bench_ablation_donation"
+  "bench_ablation_donation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_donation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

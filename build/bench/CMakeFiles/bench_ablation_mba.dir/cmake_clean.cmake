@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mba.dir/bench_ablation_mba.cpp.o"
+  "CMakeFiles/bench_ablation_mba.dir/bench_ablation_mba.cpp.o.d"
+  "bench_ablation_mba"
+  "bench_ablation_mba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

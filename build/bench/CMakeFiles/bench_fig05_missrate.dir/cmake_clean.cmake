@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_missrate.dir/bench_fig05_missrate.cpp.o"
+  "CMakeFiles/bench_fig05_missrate.dir/bench_fig05_missrate.cpp.o.d"
+  "bench_fig05_missrate"
+  "bench_fig05_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

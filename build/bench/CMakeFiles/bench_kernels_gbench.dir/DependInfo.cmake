@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_kernels_gbench.cpp" "bench/CMakeFiles/bench_kernels_gbench.dir/bench_kernels_gbench.cpp.o" "gcc" "bench/CMakeFiles/bench_kernels_gbench.dir/bench_kernels_gbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/trace/CMakeFiles/sns_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/kernels/CMakeFiles/sns_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/uberun/CMakeFiles/sns_uberun.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/sim/CMakeFiles/sns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/sched/CMakeFiles/sns_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/profile/CMakeFiles/sns_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/app/CMakeFiles/sns_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/actuator/CMakeFiles/sns_actuator.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/hw/CMakeFiles/sns_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_plan.dir/deployment_plan.cpp.o"
+  "CMakeFiles/deployment_plan.dir/deployment_plan.cpp.o.d"
+  "deployment_plan"
+  "deployment_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivating_mix.dir/motivating_mix.cpp.o"
+  "CMakeFiles/motivating_mix.dir/motivating_mix.cpp.o.d"
+  "motivating_mix"
+  "motivating_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivating_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_kernels.dir/native_kernels.cpp.o"
+  "CMakeFiles/native_kernels.dir/native_kernels.cpp.o.d"
+  "native_kernels"
+  "native_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

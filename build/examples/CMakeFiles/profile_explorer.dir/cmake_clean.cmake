@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_explorer.dir/profile_explorer.cpp.o"
+  "CMakeFiles/profile_explorer.dir/profile_explorer.cpp.o.d"
+  "profile_explorer"
+  "profile_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sns/util")
+subdirs("sns/hw")
+subdirs("sns/app")
+subdirs("sns/perfmodel")
+subdirs("sns/profile")
+subdirs("sns/actuator")
+subdirs("sns/sched")
+subdirs("sns/sim")
+subdirs("sns/trace")
+subdirs("sns/kernels")
+subdirs("sns/uberun")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/actuator/cat_masker.cpp" "src/sns/actuator/CMakeFiles/sns_actuator.dir/cat_masker.cpp.o" "gcc" "src/sns/actuator/CMakeFiles/sns_actuator.dir/cat_masker.cpp.o.d"
+  "/root/repo/src/sns/actuator/core_binder.cpp" "src/sns/actuator/CMakeFiles/sns_actuator.dir/core_binder.cpp.o" "gcc" "src/sns/actuator/CMakeFiles/sns_actuator.dir/core_binder.cpp.o.d"
+  "/root/repo/src/sns/actuator/node_ledger.cpp" "src/sns/actuator/CMakeFiles/sns_actuator.dir/node_ledger.cpp.o" "gcc" "src/sns/actuator/CMakeFiles/sns_actuator.dir/node_ledger.cpp.o.d"
+  "/root/repo/src/sns/actuator/resource_ledger.cpp" "src/sns/actuator/CMakeFiles/sns_actuator.dir/resource_ledger.cpp.o" "gcc" "src/sns/actuator/CMakeFiles/sns_actuator.dir/resource_ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/hw/CMakeFiles/sns_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_actuator.dir/cat_masker.cpp.o"
+  "CMakeFiles/sns_actuator.dir/cat_masker.cpp.o.d"
+  "CMakeFiles/sns_actuator.dir/core_binder.cpp.o"
+  "CMakeFiles/sns_actuator.dir/core_binder.cpp.o.d"
+  "CMakeFiles/sns_actuator.dir/node_ledger.cpp.o"
+  "CMakeFiles/sns_actuator.dir/node_ledger.cpp.o.d"
+  "CMakeFiles/sns_actuator.dir/resource_ledger.cpp.o"
+  "CMakeFiles/sns_actuator.dir/resource_ledger.cpp.o.d"
+  "libsns_actuator.a"
+  "libsns_actuator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_actuator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

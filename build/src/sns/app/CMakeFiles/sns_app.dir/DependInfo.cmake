@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/app/comm.cpp" "src/sns/app/CMakeFiles/sns_app.dir/comm.cpp.o" "gcc" "src/sns/app/CMakeFiles/sns_app.dir/comm.cpp.o.d"
+  "/root/repo/src/sns/app/jobspec_io.cpp" "src/sns/app/CMakeFiles/sns_app.dir/jobspec_io.cpp.o" "gcc" "src/sns/app/CMakeFiles/sns_app.dir/jobspec_io.cpp.o.d"
+  "/root/repo/src/sns/app/library.cpp" "src/sns/app/CMakeFiles/sns_app.dir/library.cpp.o" "gcc" "src/sns/app/CMakeFiles/sns_app.dir/library.cpp.o.d"
+  "/root/repo/src/sns/app/miss_curve.cpp" "src/sns/app/CMakeFiles/sns_app.dir/miss_curve.cpp.o" "gcc" "src/sns/app/CMakeFiles/sns_app.dir/miss_curve.cpp.o.d"
+  "/root/repo/src/sns/app/program.cpp" "src/sns/app/CMakeFiles/sns_app.dir/program.cpp.o" "gcc" "src/sns/app/CMakeFiles/sns_app.dir/program.cpp.o.d"
+  "/root/repo/src/sns/app/workload_gen.cpp" "src/sns/app/CMakeFiles/sns_app.dir/workload_gen.cpp.o" "gcc" "src/sns/app/CMakeFiles/sns_app.dir/workload_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/hw/CMakeFiles/sns_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_app.dir/comm.cpp.o"
+  "CMakeFiles/sns_app.dir/comm.cpp.o.d"
+  "CMakeFiles/sns_app.dir/jobspec_io.cpp.o"
+  "CMakeFiles/sns_app.dir/jobspec_io.cpp.o.d"
+  "CMakeFiles/sns_app.dir/library.cpp.o"
+  "CMakeFiles/sns_app.dir/library.cpp.o.d"
+  "CMakeFiles/sns_app.dir/miss_curve.cpp.o"
+  "CMakeFiles/sns_app.dir/miss_curve.cpp.o.d"
+  "CMakeFiles/sns_app.dir/program.cpp.o"
+  "CMakeFiles/sns_app.dir/program.cpp.o.d"
+  "CMakeFiles/sns_app.dir/workload_gen.cpp.o"
+  "CMakeFiles/sns_app.dir/workload_gen.cpp.o.d"
+  "libsns_app.a"
+  "libsns_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

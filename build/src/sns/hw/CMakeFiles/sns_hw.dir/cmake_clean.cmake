@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_hw.dir/machine.cpp.o"
+  "CMakeFiles/sns_hw.dir/machine.cpp.o.d"
+  "CMakeFiles/sns_hw.dir/saturation_curve.cpp.o"
+  "CMakeFiles/sns_hw.dir/saturation_curve.cpp.o.d"
+  "libsns_hw.a"
+  "libsns_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/kernels/bfs.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/bfs.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/bfs.cpp.o.d"
+  "/root/repo/src/sns/kernels/cg.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/cg.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/cg.cpp.o.d"
+  "/root/repo/src/sns/kernels/ep.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/ep.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/ep.cpp.o.d"
+  "/root/repo/src/sns/kernels/gemm.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/gemm.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/gemm.cpp.o.d"
+  "/root/repo/src/sns/kernels/lu_ssor.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/lu_ssor.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/lu_ssor.cpp.o.d"
+  "/root/repo/src/sns/kernels/runtime.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/runtime.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/runtime.cpp.o.d"
+  "/root/repo/src/sns/kernels/sample_sort.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/sample_sort.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/sample_sort.cpp.o.d"
+  "/root/repo/src/sns/kernels/stencil_mg.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/stencil_mg.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/stencil_mg.cpp.o.d"
+  "/root/repo/src/sns/kernels/stream.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/stream.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/stream.cpp.o.d"
+  "/root/repo/src/sns/kernels/wordcount.cpp" "src/sns/kernels/CMakeFiles/sns_kernels.dir/wordcount.cpp.o" "gcc" "src/sns/kernels/CMakeFiles/sns_kernels.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_kernels.dir/bfs.cpp.o"
+  "CMakeFiles/sns_kernels.dir/bfs.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/cg.cpp.o"
+  "CMakeFiles/sns_kernels.dir/cg.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/ep.cpp.o"
+  "CMakeFiles/sns_kernels.dir/ep.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/gemm.cpp.o"
+  "CMakeFiles/sns_kernels.dir/gemm.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/lu_ssor.cpp.o"
+  "CMakeFiles/sns_kernels.dir/lu_ssor.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/runtime.cpp.o"
+  "CMakeFiles/sns_kernels.dir/runtime.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/sample_sort.cpp.o"
+  "CMakeFiles/sns_kernels.dir/sample_sort.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/stencil_mg.cpp.o"
+  "CMakeFiles/sns_kernels.dir/stencil_mg.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/stream.cpp.o"
+  "CMakeFiles/sns_kernels.dir/stream.cpp.o.d"
+  "CMakeFiles/sns_kernels.dir/wordcount.cpp.o"
+  "CMakeFiles/sns_kernels.dir/wordcount.cpp.o.d"
+  "libsns_kernels.a"
+  "libsns_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

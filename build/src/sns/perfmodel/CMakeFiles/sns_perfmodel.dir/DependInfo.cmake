@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/perfmodel/contention.cpp" "src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/contention.cpp.o" "gcc" "src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/contention.cpp.o.d"
+  "/root/repo/src/sns/perfmodel/estimator.cpp" "src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/estimator.cpp.o" "gcc" "src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/estimator.cpp.o.d"
+  "/root/repo/src/sns/perfmodel/pmu.cpp" "src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/pmu.cpp.o" "gcc" "src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/pmu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/hw/CMakeFiles/sns_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/app/CMakeFiles/sns_app.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

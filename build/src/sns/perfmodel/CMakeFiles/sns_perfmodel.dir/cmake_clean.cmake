@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_perfmodel.dir/contention.cpp.o"
+  "CMakeFiles/sns_perfmodel.dir/contention.cpp.o.d"
+  "CMakeFiles/sns_perfmodel.dir/estimator.cpp.o"
+  "CMakeFiles/sns_perfmodel.dir/estimator.cpp.o.d"
+  "CMakeFiles/sns_perfmodel.dir/pmu.cpp.o"
+  "CMakeFiles/sns_perfmodel.dir/pmu.cpp.o.d"
+  "libsns_perfmodel.a"
+  "libsns_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

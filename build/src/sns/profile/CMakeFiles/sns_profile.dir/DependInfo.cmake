@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/profile/database.cpp" "src/sns/profile/CMakeFiles/sns_profile.dir/database.cpp.o" "gcc" "src/sns/profile/CMakeFiles/sns_profile.dir/database.cpp.o.d"
+  "/root/repo/src/sns/profile/demand.cpp" "src/sns/profile/CMakeFiles/sns_profile.dir/demand.cpp.o" "gcc" "src/sns/profile/CMakeFiles/sns_profile.dir/demand.cpp.o.d"
+  "/root/repo/src/sns/profile/drift.cpp" "src/sns/profile/CMakeFiles/sns_profile.dir/drift.cpp.o" "gcc" "src/sns/profile/CMakeFiles/sns_profile.dir/drift.cpp.o.d"
+  "/root/repo/src/sns/profile/exploration.cpp" "src/sns/profile/CMakeFiles/sns_profile.dir/exploration.cpp.o" "gcc" "src/sns/profile/CMakeFiles/sns_profile.dir/exploration.cpp.o.d"
+  "/root/repo/src/sns/profile/linux_pmu.cpp" "src/sns/profile/CMakeFiles/sns_profile.dir/linux_pmu.cpp.o" "gcc" "src/sns/profile/CMakeFiles/sns_profile.dir/linux_pmu.cpp.o.d"
+  "/root/repo/src/sns/profile/profile_data.cpp" "src/sns/profile/CMakeFiles/sns_profile.dir/profile_data.cpp.o" "gcc" "src/sns/profile/CMakeFiles/sns_profile.dir/profile_data.cpp.o.d"
+  "/root/repo/src/sns/profile/profiler.cpp" "src/sns/profile/CMakeFiles/sns_profile.dir/profiler.cpp.o" "gcc" "src/sns/profile/CMakeFiles/sns_profile.dir/profiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/hw/CMakeFiles/sns_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/app/CMakeFiles/sns_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

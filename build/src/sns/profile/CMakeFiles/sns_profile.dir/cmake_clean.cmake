@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_profile.dir/database.cpp.o"
+  "CMakeFiles/sns_profile.dir/database.cpp.o.d"
+  "CMakeFiles/sns_profile.dir/demand.cpp.o"
+  "CMakeFiles/sns_profile.dir/demand.cpp.o.d"
+  "CMakeFiles/sns_profile.dir/drift.cpp.o"
+  "CMakeFiles/sns_profile.dir/drift.cpp.o.d"
+  "CMakeFiles/sns_profile.dir/exploration.cpp.o"
+  "CMakeFiles/sns_profile.dir/exploration.cpp.o.d"
+  "CMakeFiles/sns_profile.dir/linux_pmu.cpp.o"
+  "CMakeFiles/sns_profile.dir/linux_pmu.cpp.o.d"
+  "CMakeFiles/sns_profile.dir/profile_data.cpp.o"
+  "CMakeFiles/sns_profile.dir/profile_data.cpp.o.d"
+  "CMakeFiles/sns_profile.dir/profiler.cpp.o"
+  "CMakeFiles/sns_profile.dir/profiler.cpp.o.d"
+  "libsns_profile.a"
+  "libsns_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

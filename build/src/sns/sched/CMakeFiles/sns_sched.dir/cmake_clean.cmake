@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_sched.dir/job.cpp.o"
+  "CMakeFiles/sns_sched.dir/job.cpp.o.d"
+  "CMakeFiles/sns_sched.dir/policy_ce.cpp.o"
+  "CMakeFiles/sns_sched.dir/policy_ce.cpp.o.d"
+  "CMakeFiles/sns_sched.dir/policy_cs.cpp.o"
+  "CMakeFiles/sns_sched.dir/policy_cs.cpp.o.d"
+  "CMakeFiles/sns_sched.dir/policy_sns.cpp.o"
+  "CMakeFiles/sns_sched.dir/policy_sns.cpp.o.d"
+  "CMakeFiles/sns_sched.dir/queue.cpp.o"
+  "CMakeFiles/sns_sched.dir/queue.cpp.o.d"
+  "libsns_sched.a"
+  "libsns_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/sim/cluster_sim.cpp" "src/sns/sim/CMakeFiles/sns_sim.dir/cluster_sim.cpp.o" "gcc" "src/sns/sim/CMakeFiles/sns_sim.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/sns/sim/gantt.cpp" "src/sns/sim/CMakeFiles/sns_sim.dir/gantt.cpp.o" "gcc" "src/sns/sim/CMakeFiles/sns_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sns/sim/metrics.cpp" "src/sns/sim/CMakeFiles/sns_sim.dir/metrics.cpp.o" "gcc" "src/sns/sim/CMakeFiles/sns_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sns/sim/result_io.cpp" "src/sns/sim/CMakeFiles/sns_sim.dir/result_io.cpp.o" "gcc" "src/sns/sim/CMakeFiles/sns_sim.dir/result_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/hw/CMakeFiles/sns_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/app/CMakeFiles/sns_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/profile/CMakeFiles/sns_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/actuator/CMakeFiles/sns_actuator.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/sched/CMakeFiles/sns_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_sim.dir/cluster_sim.cpp.o"
+  "CMakeFiles/sns_sim.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/sns_sim.dir/gantt.cpp.o"
+  "CMakeFiles/sns_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/sns_sim.dir/metrics.cpp.o"
+  "CMakeFiles/sns_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/sns_sim.dir/result_io.cpp.o"
+  "CMakeFiles/sns_sim.dir/result_io.cpp.o.d"
+  "libsns_sim.a"
+  "libsns_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

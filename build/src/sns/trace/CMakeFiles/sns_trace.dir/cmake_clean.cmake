@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_trace.dir/generator.cpp.o"
+  "CMakeFiles/sns_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/sns_trace.dir/replay.cpp.o"
+  "CMakeFiles/sns_trace.dir/replay.cpp.o.d"
+  "CMakeFiles/sns_trace.dir/swf.cpp.o"
+  "CMakeFiles/sns_trace.dir/swf.cpp.o.d"
+  "libsns_trace.a"
+  "libsns_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

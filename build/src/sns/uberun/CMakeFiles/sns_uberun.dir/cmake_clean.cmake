@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_uberun.dir/launch_plan.cpp.o"
+  "CMakeFiles/sns_uberun.dir/launch_plan.cpp.o.d"
+  "CMakeFiles/sns_uberun.dir/system.cpp.o"
+  "CMakeFiles/sns_uberun.dir/system.cpp.o.d"
+  "libsns_uberun.a"
+  "libsns_uberun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_uberun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sns/util/curve.cpp" "src/sns/util/CMakeFiles/sns_util.dir/curve.cpp.o" "gcc" "src/sns/util/CMakeFiles/sns_util.dir/curve.cpp.o.d"
+  "/root/repo/src/sns/util/json.cpp" "src/sns/util/CMakeFiles/sns_util.dir/json.cpp.o" "gcc" "src/sns/util/CMakeFiles/sns_util.dir/json.cpp.o.d"
+  "/root/repo/src/sns/util/rng.cpp" "src/sns/util/CMakeFiles/sns_util.dir/rng.cpp.o" "gcc" "src/sns/util/CMakeFiles/sns_util.dir/rng.cpp.o.d"
+  "/root/repo/src/sns/util/stats.cpp" "src/sns/util/CMakeFiles/sns_util.dir/stats.cpp.o" "gcc" "src/sns/util/CMakeFiles/sns_util.dir/stats.cpp.o.d"
+  "/root/repo/src/sns/util/table.cpp" "src/sns/util/CMakeFiles/sns_util.dir/table.cpp.o" "gcc" "src/sns/util/CMakeFiles/sns_util.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sns_util.dir/curve.cpp.o"
+  "CMakeFiles/sns_util.dir/curve.cpp.o.d"
+  "CMakeFiles/sns_util.dir/json.cpp.o"
+  "CMakeFiles/sns_util.dir/json.cpp.o.d"
+  "CMakeFiles/sns_util.dir/rng.cpp.o"
+  "CMakeFiles/sns_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sns_util.dir/stats.cpp.o"
+  "CMakeFiles/sns_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sns_util.dir/table.cpp.o"
+  "CMakeFiles/sns_util.dir/table.cpp.o.d"
+  "libsns_util.a"
+  "libsns_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sns_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

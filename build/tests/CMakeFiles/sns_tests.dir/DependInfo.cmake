@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/actuator/test_cat_masker.cpp" "tests/CMakeFiles/sns_tests.dir/actuator/test_cat_masker.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/actuator/test_cat_masker.cpp.o.d"
+  "/root/repo/tests/actuator/test_core_binder.cpp" "tests/CMakeFiles/sns_tests.dir/actuator/test_core_binder.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/actuator/test_core_binder.cpp.o.d"
+  "/root/repo/tests/actuator/test_node_ledger.cpp" "tests/CMakeFiles/sns_tests.dir/actuator/test_node_ledger.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/actuator/test_node_ledger.cpp.o.d"
+  "/root/repo/tests/actuator/test_resource_ledger.cpp" "tests/CMakeFiles/sns_tests.dir/actuator/test_resource_ledger.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/actuator/test_resource_ledger.cpp.o.d"
+  "/root/repo/tests/app/test_comm.cpp" "tests/CMakeFiles/sns_tests.dir/app/test_comm.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/app/test_comm.cpp.o.d"
+  "/root/repo/tests/app/test_jobspec_io.cpp" "tests/CMakeFiles/sns_tests.dir/app/test_jobspec_io.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/app/test_jobspec_io.cpp.o.d"
+  "/root/repo/tests/app/test_library.cpp" "tests/CMakeFiles/sns_tests.dir/app/test_library.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/app/test_library.cpp.o.d"
+  "/root/repo/tests/app/test_miss_curve.cpp" "tests/CMakeFiles/sns_tests.dir/app/test_miss_curve.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/app/test_miss_curve.cpp.o.d"
+  "/root/repo/tests/app/test_workload_gen.cpp" "tests/CMakeFiles/sns_tests.dir/app/test_workload_gen.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/app/test_workload_gen.cpp.o.d"
+  "/root/repo/tests/hw/test_machine.cpp" "tests/CMakeFiles/sns_tests.dir/hw/test_machine.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/hw/test_machine.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/sns_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_paper_claims.cpp" "tests/CMakeFiles/sns_tests.dir/integration/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/integration/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/kernels/test_kernels.cpp" "tests/CMakeFiles/sns_tests.dir/kernels/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/kernels/test_kernels.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_contention.cpp" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_contention.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_contention.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_estimator.cpp" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_estimator.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_estimator.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_model_properties.cpp" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_model_properties.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_model_properties.cpp.o.d"
+  "/root/repo/tests/perfmodel/test_pmu.cpp" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_pmu.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/perfmodel/test_pmu.cpp.o.d"
+  "/root/repo/tests/profile/test_database.cpp" "tests/CMakeFiles/sns_tests.dir/profile/test_database.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/profile/test_database.cpp.o.d"
+  "/root/repo/tests/profile/test_demand.cpp" "tests/CMakeFiles/sns_tests.dir/profile/test_demand.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/profile/test_demand.cpp.o.d"
+  "/root/repo/tests/profile/test_drift.cpp" "tests/CMakeFiles/sns_tests.dir/profile/test_drift.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/profile/test_drift.cpp.o.d"
+  "/root/repo/tests/profile/test_exploration.cpp" "tests/CMakeFiles/sns_tests.dir/profile/test_exploration.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/profile/test_exploration.cpp.o.d"
+  "/root/repo/tests/profile/test_linux_pmu.cpp" "tests/CMakeFiles/sns_tests.dir/profile/test_linux_pmu.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/profile/test_linux_pmu.cpp.o.d"
+  "/root/repo/tests/profile/test_profiler.cpp" "tests/CMakeFiles/sns_tests.dir/profile/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/profile/test_profiler.cpp.o.d"
+  "/root/repo/tests/sched/test_policies.cpp" "tests/CMakeFiles/sns_tests.dir/sched/test_policies.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sched/test_policies.cpp.o.d"
+  "/root/repo/tests/sched/test_queue.cpp" "tests/CMakeFiles/sns_tests.dir/sched/test_queue.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sched/test_queue.cpp.o.d"
+  "/root/repo/tests/sched/test_scheduler_behavior.cpp" "tests/CMakeFiles/sns_tests.dir/sched/test_scheduler_behavior.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sched/test_scheduler_behavior.cpp.o.d"
+  "/root/repo/tests/sim/test_cluster_sim.cpp" "tests/CMakeFiles/sns_tests.dir/sim/test_cluster_sim.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sim/test_cluster_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_gantt.cpp" "tests/CMakeFiles/sns_tests.dir/sim/test_gantt.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sim/test_gantt.cpp.o.d"
+  "/root/repo/tests/sim/test_metrics.cpp" "tests/CMakeFiles/sns_tests.dir/sim/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sim/test_metrics.cpp.o.d"
+  "/root/repo/tests/sim/test_network.cpp" "tests/CMakeFiles/sns_tests.dir/sim/test_network.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sim/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_online_profiling.cpp" "tests/CMakeFiles/sns_tests.dir/sim/test_online_profiling.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sim/test_online_profiling.cpp.o.d"
+  "/root/repo/tests/sim/test_result_io.cpp" "tests/CMakeFiles/sns_tests.dir/sim/test_result_io.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sim/test_result_io.cpp.o.d"
+  "/root/repo/tests/sim/test_sim_properties.cpp" "tests/CMakeFiles/sns_tests.dir/sim/test_sim_properties.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/sim/test_sim_properties.cpp.o.d"
+  "/root/repo/tests/trace/test_generator.cpp" "tests/CMakeFiles/sns_tests.dir/trace/test_generator.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/trace/test_generator.cpp.o.d"
+  "/root/repo/tests/trace/test_replay.cpp" "tests/CMakeFiles/sns_tests.dir/trace/test_replay.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/trace/test_replay.cpp.o.d"
+  "/root/repo/tests/trace/test_swf.cpp" "tests/CMakeFiles/sns_tests.dir/trace/test_swf.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/trace/test_swf.cpp.o.d"
+  "/root/repo/tests/uberun/test_launch_plan.cpp" "tests/CMakeFiles/sns_tests.dir/uberun/test_launch_plan.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/uberun/test_launch_plan.cpp.o.d"
+  "/root/repo/tests/uberun/test_system.cpp" "tests/CMakeFiles/sns_tests.dir/uberun/test_system.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/uberun/test_system.cpp.o.d"
+  "/root/repo/tests/util/test_curve.cpp" "tests/CMakeFiles/sns_tests.dir/util/test_curve.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/util/test_curve.cpp.o.d"
+  "/root/repo/tests/util/test_error.cpp" "tests/CMakeFiles/sns_tests.dir/util/test_error.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/util/test_error.cpp.o.d"
+  "/root/repo/tests/util/test_json.cpp" "tests/CMakeFiles/sns_tests.dir/util/test_json.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/util/test_json.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/sns_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/sns_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/sns_tests.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/sns_tests.dir/util/test_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sns/trace/CMakeFiles/sns_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/kernels/CMakeFiles/sns_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/uberun/CMakeFiles/sns_uberun.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/sim/CMakeFiles/sns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/sched/CMakeFiles/sns_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/profile/CMakeFiles/sns_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/perfmodel/CMakeFiles/sns_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/app/CMakeFiles/sns_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/actuator/CMakeFiles/sns_actuator.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/hw/CMakeFiles/sns_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sns/util/CMakeFiles/sns_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uberun.dir/uberun_cli.cpp.o"
+  "CMakeFiles/uberun.dir/uberun_cli.cpp.o.d"
+  "uberun"
+  "uberun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uberun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
