@@ -1,0 +1,85 @@
+// Observability overhead: wall-clock of the Fig-14-style simulation loop
+// with tracing disabled (no sink), a NullSink attached, and a full
+// RingBufferLog + metrics registry. The disabled path must stay within
+// noise of the seed simulator — every Recorder helper is a single null
+// check — and even the full path should cost only a few percent.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/obs/metrics.hpp"
+#include "sns/obs/sink.hpp"
+#include "sns/util/stats.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double runOnce(const snsbench::Env& env,
+               const std::vector<std::vector<sns::app::JobSpec>>& seqs,
+               sns::obs::EventSink* sink, sns::obs::Registry* metrics,
+               double* sink_events) {
+  using namespace sns;
+  const auto t0 = Clock::now();
+  for (const auto& seq : seqs) {
+    sim::SimConfig cfg;
+    cfg.nodes = 8;
+    cfg.policy = sched::PolicyKind::kSNS;
+    cfg.sink = sink;
+    cfg.metrics = metrics;
+    const auto res = env.run(cfg, seq);
+    if (res.jobs.empty()) std::abort();  // keep the loop observable
+  }
+  const auto t1 = Clock::now();
+  if (sink_events != nullptr && sink != nullptr) {
+    if (auto* rb = dynamic_cast<obs::RingBufferLog*>(sink)) {
+      *sink_events = static_cast<double>(rb->totalRecorded());
+    }
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  std::vector<std::vector<app::JobSpec>> seqs;
+  util::Rng rng(3356152);
+  for (int s = 0; s < 12; ++s) {
+    seqs.push_back(app::randomSequence(rng, env.lib(), 20, 0.9));
+  }
+
+  constexpr int kReps = 5;
+  std::vector<double> off_ms, null_ms, full_ms;
+  double events = 0.0;
+  // Interleave the variants so machine drift hits all three equally.
+  for (int r = 0; r < kReps; ++r) {
+    off_ms.push_back(runOnce(env, seqs, nullptr, nullptr, nullptr));
+    obs::NullSink null_sink;
+    null_ms.push_back(runOnce(env, seqs, &null_sink, nullptr, nullptr));
+    obs::RingBufferLog log(1 << 18);
+    obs::Registry reg;
+    full_ms.push_back(runOnce(env, seqs, &log, &reg, &events));
+  }
+
+  const double off = util::mean(off_ms);
+  std::printf("=== sns::obs overhead, %zu sequences x %d reps (SNS policy) ===\n\n",
+              seqs.size(), kReps);
+  util::Table t({"variant", "mean (ms)", "min (ms)", "vs disabled"});
+  auto row = [&](const char* name, const std::vector<double>& xs) {
+    t.addRow({name, util::fmt(util::mean(xs), 1), util::fmt(util::minOf(xs), 1),
+              util::fmtPct(util::mean(xs) / off - 1.0)});
+  };
+  row("tracing disabled", off_ms);
+  row("NullSink", null_ms);
+  row("RingBufferLog+metrics", full_ms);
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "disabled == the seed hot loop (one null check per emit, zero event\n"
+      "allocations); NullSink pays full event construction without storage;\n"
+      "full tracing recorded %.0f events per rep on top of that.\n",
+      events);
+  return 0;
+}

@@ -8,10 +8,13 @@
 
 #include "sns/app/library.hpp"
 #include "sns/app/workload_gen.hpp"
+#include "sns/obs/metrics.hpp"
+#include "sns/obs/sink.hpp"
 #include "sns/profile/profiler.hpp"
 #include "sns/sim/cluster_sim.hpp"
 #include "sns/sim/gantt.hpp"
 #include "sns/sim/metrics.hpp"
+#include "sns/sim/trace_export.hpp"
 #include "sns/util/stats.hpp"
 #include "sns/util/table.hpp"
 
@@ -36,15 +39,22 @@ int main(int argc, char** argv) {
   std::printf("\n\n");
 
   sim::SimResult results[3];
+  obs::Registry registries[3];
+  std::string trace_paths[3];
   const sched::PolicyKind kinds[3] = {sched::PolicyKind::kCE,
                                       sched::PolicyKind::kCS,
                                       sched::PolicyKind::kSNS};
   for (int i = 0; i < 3; ++i) {
+    obs::RingBufferLog log;
     sim::SimConfig cfg;
     cfg.nodes = 8;
     cfg.policy = kinds[i];
+    cfg.sink = &log;
+    cfg.metrics = &registries[i];
     sim::ClusterSimulator sim(est, lib, db, cfg);
     results[i] = sim.run(seq);
+    trace_paths[i] = "faceoff_" + results[i].policy + ".perfetto.json";
+    sim::writePerfettoFile(trace_paths[i], results[i], log.snapshot());
   }
   const auto& ce = results[0];
 
@@ -60,6 +70,23 @@ int main(int argc, char** argv) {
               std::to_string(sim::thresholdViolations(r, ce, 0.9))});
   }
   std::printf("%s", t.render().c_str());
+
+  // One-line digest per policy straight from the metrics registry, plus
+  // where to find the Perfetto trace of that run.
+  std::printf("\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto& r = results[i];
+    const auto& reg = registries[i];
+    const auto ratios = sim::runTimeRatios(r, ce);
+    const auto* fin = reg.findCounter("sim.jobs_finished");
+    const auto* dec = reg.findHistogram("sim.decision_us");
+    std::printf(
+        "%-3s | jobs %.0f | geomean slowdown %.2fx | alpha violations %d | "
+        "sched p99 %.0f us | trace %s\n",
+        r.policy.c_str(), fin != nullptr ? fin->value() : 0.0,
+        util::geomean(ratios), sim::thresholdViolations(r, ce, 0.9),
+        dec != nullptr ? dec->quantile(0.99) : 0.0, trace_paths[i].c_str());
+  }
 
   std::printf("\nschedules (dominant job per node over time):\n");
   for (int i = 0; i < 3; ++i) {

@@ -1,0 +1,49 @@
+#include "sns/obs/event.hpp"
+
+namespace sns::obs {
+
+const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::kJobSubmitted: return "job_submitted";
+    case EventType::kScheduleAttempt: return "schedule_attempt";
+    case EventType::kPlacementDecided: return "placement_decided";
+    case EventType::kWaysDonated: return "ways_donated";
+    case EventType::kWaysReclaimed: return "ways_reclaimed";
+    case EventType::kBackfillSkipped: return "backfill_skipped";
+    case EventType::kExplorationStarted: return "exploration_started";
+    case EventType::kExplorationPreempted: return "exploration_preempted";
+    case EventType::kBandwidthThrottled: return "bandwidth_throttled";
+    case EventType::kMonitorEpisode: return "monitor_episode";
+    case EventType::kJobStarted: return "job_started";
+    case EventType::kJobFinished: return "job_finished";
+  }
+  return "unknown";
+}
+
+util::Json toJson(const Event& e) {
+  util::Json o;
+  o["type"] = util::Json(to_string(e.type));
+  o["t"] = util::Json(e.time);
+  if (e.job >= 0) o["job"] = util::Json(e.job);
+  if (e.node >= 0) o["node"] = util::Json(e.node);
+  if (e.ways != 0) o["ways"] = util::Json(e.ways);
+  if (e.scale != 0) o["scale"] = util::Json(e.scale);
+  if (e.value != 0.0) o["value"] = util::Json(e.value);
+  if (e.value2 != 0.0) o["value2"] = util::Json(e.value2);
+  if (!e.what.empty()) o["what"] = util::Json(e.what);
+  if (!e.detail.empty()) o["detail"] = util::Json(e.detail);
+  if (!e.candidates.empty()) {
+    util::Json::Array cands;
+    cands.reserve(e.candidates.size());
+    for (const auto& c : e.candidates) {
+      util::Json co;
+      co["node"] = util::Json(c.node);
+      co["score"] = util::Json(c.score);
+      cands.push_back(std::move(co));
+    }
+    o["candidates"] = util::Json(std::move(cands));
+  }
+  return o;
+}
+
+}  // namespace sns::obs

@@ -1,0 +1,136 @@
+#include "sns/obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sns/util/error.hpp"
+#include "sns/util/table.hpp"
+
+namespace sns::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SNS_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  SNS_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                  std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                      bounds_.end(),
+              "histogram bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+double Histogram::upperBound(std::size_t i) const {
+  SNS_REQUIRE(i < counts_.size(), "histogram bucket index out of range");
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::quantile(double q) const {
+  SNS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      if (i >= bounds_.size()) return max_;  // overflow bucket
+      const double lo = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cum = next;
+  }
+  return max_;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+const Counter* Registry::findCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* Registry::findGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* Registry::findHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+util::Json Registry::toJson() const {
+  util::Json counters;
+  for (const auto& [name, c] : counters_) counters[name] = util::Json(c.value());
+
+  util::Json gauges;
+  for (const auto& [name, g] : gauges_) {
+    util::Json go;
+    go["value"] = util::Json(g.value());
+    go["max"] = util::Json(g.max());
+    gauges[name] = std::move(go);
+  }
+
+  util::Json histograms;
+  for (const auto& [name, h] : histograms_) {
+    util::Json ho;
+    ho["count"] = util::Json(static_cast<double>(h.count()));
+    ho["sum"] = util::Json(h.sum());
+    ho["mean"] = util::Json(h.mean());
+    util::Json::Array buckets;
+    for (std::size_t i = 0; i < h.bucketCount(); ++i) {
+      util::Json b;
+      // The overflow bucket's +inf bound is not representable in JSON.
+      if (i + 1 < h.bucketCount()) b["le"] = util::Json(h.upperBound(i));
+      b["count"] = util::Json(static_cast<double>(h.bucketValue(i)));
+      buckets.push_back(std::move(b));
+    }
+    ho["buckets"] = util::Json(std::move(buckets));
+    histograms[name] = std::move(ho);
+  }
+
+  util::Json out;
+  // Empty sections still serialize as {} rather than null.
+  out["counters"] = counters.isNull() ? util::Json(util::Json::Object{}) : std::move(counters);
+  out["gauges"] = gauges.isNull() ? util::Json(util::Json::Object{}) : std::move(gauges);
+  out["histograms"] = histograms.isNull() ? util::Json(util::Json::Object{}) : std::move(histograms);
+  return out;
+}
+
+std::string Registry::renderTable() const {
+  util::Table t({"metric", "kind", "value", "detail"});
+  for (const auto& [name, c] : counters_) {
+    t.addRow({name, "counter", util::fmt(c.value(), 2), ""});
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.addRow({name, "gauge", util::fmt(g.value(), 2),
+              "max " + util::fmt(g.max(), 2)});
+  }
+  for (const auto& [name, h] : histograms_) {
+    t.addRow({name, "histogram", util::fmt(h.mean(), 2),
+              "n=" + std::to_string(h.count()) + " p50=" +
+                  util::fmt(h.quantile(0.5), 2) + " p99=" +
+                  util::fmt(h.quantile(0.99), 2)});
+  }
+  return t.render();
+}
+
+}  // namespace sns::obs

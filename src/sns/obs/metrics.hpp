@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sns/util/json.hpp"
+
+namespace sns::obs {
+
+/// Monotonically increasing sum (events, solver calls, donated ways...).
+class Counter {
+ public:
+  void inc(double v = 1.0) { value_ += v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Last-written value (queue depth, busy nodes...). Tracks the observed
+/// peak so end-of-run summaries can report high-water marks.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > max_) max_ = v;
+  }
+  double value() const { return value_; }
+  double max() const { return max_; }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the
+/// finite buckets, strictly increasing; one implicit overflow bucket
+/// catches everything above the last bound. Cheap to observe (branchless
+/// scan over a handful of bounds) and trivially mergeable/exportable.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double minSeen() const { return min_; }
+  double maxSeen() const { return max_; }
+
+  /// Finite buckets + 1 overflow bucket.
+  std::size_t bucketCount() const { return counts_.size(); }
+  /// Upper bound of bucket i; the overflow bucket reports +inf.
+  double upperBound(std::size_t i) const;
+  std::uint64_t bucketValue(std::size_t i) const { return counts_[i]; }
+
+  /// Linear-interpolated quantile estimate from the bucket counts,
+  /// q in [0, 1]. The overflow bucket clamps to the largest observed value.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> instrument registry any component can share. References
+/// returned by counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime (std::map nodes are stable), so hot paths fetch the pointer
+/// once and increment without lookups.
+class Registry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// Creates with `bounds` on first use; later calls return the existing
+  /// histogram unchanged (bounds are fixed at registration).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  const Counter* findCounter(const std::string& name) const;
+  const Gauge* findGauge(const std::string& name) const;
+  const Histogram* findHistogram(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  /// Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  util::Json toJson() const;
+
+  /// Human-readable summary via util::Table (one row per instrument).
+  std::string renderTable() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace sns::obs

@@ -1,0 +1,92 @@
+#include "sns/obs/perfetto.hpp"
+
+#include <cmath>
+
+#include "sns/util/error.hpp"
+
+namespace sns::obs {
+
+namespace {
+
+// Trace-event timestamps are microseconds; round to keep the JSON small.
+double toUs(double seconds) { return std::round(seconds * 1e6); }
+
+util::Json metaEvent(const char* name, int pid) {
+  util::Json e;
+  e["ph"] = util::Json("M");
+  e["name"] = util::Json(name);
+  e["pid"] = util::Json(pid);
+  e["ts"] = util::Json(0.0);
+  return e;
+}
+
+}  // namespace
+
+void PerfettoTraceBuilder::processName(int pid, const std::string& name) {
+  util::Json e = metaEvent("process_name", pid);
+  e["args"]["name"] = util::Json(name);
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::threadName(int pid, int tid, const std::string& name) {
+  util::Json e = metaEvent("thread_name", pid);
+  e["tid"] = util::Json(tid);
+  e["args"]["name"] = util::Json(name);
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::processSortIndex(int pid, int index) {
+  util::Json e = metaEvent("process_sort_index", pid);
+  e["args"]["sort_index"] = util::Json(index);
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::addSlice(int pid, int tid, double t0_s, double t1_s,
+                                    const std::string& name,
+                                    util::Json::Object args) {
+  SNS_REQUIRE(t1_s >= t0_s, "slice must not end before it starts");
+  util::Json e;
+  e["ph"] = util::Json("X");
+  e["pid"] = util::Json(pid);
+  e["tid"] = util::Json(tid);
+  e["ts"] = util::Json(toUs(t0_s));
+  // Zero-duration slices are invisible in the UI; give them 1 us.
+  e["dur"] = util::Json(std::max(1.0, toUs(t1_s) - toUs(t0_s)));
+  e["name"] = util::Json(name);
+  if (!args.empty()) e["args"] = util::Json(std::move(args));
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::addInstant(int pid, int tid, double t_s,
+                                      const std::string& name,
+                                      util::Json::Object args) {
+  util::Json e;
+  e["ph"] = util::Json("i");
+  e["s"] = util::Json("t");
+  e["pid"] = util::Json(pid);
+  e["tid"] = util::Json(tid);
+  e["ts"] = util::Json(toUs(t_s));
+  e["name"] = util::Json(name);
+  if (!args.empty()) e["args"] = util::Json(std::move(args));
+  events_.push_back(std::move(e));
+}
+
+void PerfettoTraceBuilder::addCounter(int pid, const std::string& counter,
+                                      double t_s, double value) {
+  util::Json e;
+  e["ph"] = util::Json("C");
+  e["pid"] = util::Json(pid);
+  e["ts"] = util::Json(toUs(t_s));
+  e["name"] = util::Json(counter);
+  e["args"]["value"] = util::Json(value);
+  events_.push_back(std::move(e));
+}
+
+util::Json PerfettoTraceBuilder::build() const {
+  util::Json out;
+  out["traceEvents"] = util::Json(events_);
+  out["displayTimeUnit"] = util::Json("ms");
+  return out;
+}
+
+}  // namespace sns::obs

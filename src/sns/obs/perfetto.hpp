@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "sns/util/json.hpp"
+
+namespace sns::obs {
+
+/// Builder for the Chrome/Perfetto trace-event JSON format (the legacy
+/// "traceEvents" array that ui.perfetto.dev and chrome://tracing both
+/// load). Tracks are addressed Perfetto-style: a `pid` is a process group
+/// (we use one per cluster node plus one for the scheduler) and a `tid`
+/// is a lane inside it (we use one per job so concurrent slices never
+/// have to nest). Times are given in seconds and emitted in microseconds,
+/// the format's native unit.
+class PerfettoTraceBuilder {
+ public:
+  /// Label a process group, e.g. processName(1, "node 0").
+  void processName(int pid, const std::string& name);
+  /// Label a lane, e.g. threadName(1, 4, "job 3 (MG/16)").
+  void threadName(int pid, int tid, const std::string& name);
+  /// Order processes in the UI (lower sort index renders higher).
+  void processSortIndex(int pid, int index);
+
+  /// Complete duration slice ("ph":"X").
+  void addSlice(int pid, int tid, double t0_s, double t1_s,
+                const std::string& name, util::Json::Object args = {});
+  /// Instant marker ("ph":"i", thread scope).
+  void addInstant(int pid, int tid, double t_s, const std::string& name,
+                  util::Json::Object args = {});
+  /// One sample of a counter track ("ph":"C"); series within the same
+  /// counter name stack in the UI.
+  void addCounter(int pid, const std::string& counter, double t_s,
+                  double value);
+
+  std::size_t eventCount() const { return events_.size(); }
+
+  /// Assemble {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  util::Json build() const;
+
+ private:
+  util::Json::Array events_;
+};
+
+}  // namespace sns::obs

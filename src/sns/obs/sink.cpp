@@ -1,0 +1,40 @@
+#include "sns/obs/sink.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::obs {
+
+RingBufferLog::RingBufferLog(std::size_t capacity) : buf_(capacity) {
+  SNS_REQUIRE(capacity > 0, "ring buffer capacity must be positive");
+}
+
+void RingBufferLog::record(const Event& e) {
+  buf_[head_] = e;
+  head_ = (head_ + 1) % buf_.size();
+  if (size_ < buf_.size()) ++size_;
+  ++total_;
+}
+
+std::vector<Event> RingBufferLog::snapshot() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  // Oldest event sits at head_ when the buffer has wrapped, else at 0.
+  const std::size_t start = size_ == buf_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(buf_[(start + i) % buf_.size()]);
+  }
+  return out;
+}
+
+void RingBufferLog::clear() {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
+void JsonlSink::record(const Event& e) {
+  (*os_) << toJson(e).dump() << '\n';
+  ++count_;
+}
+
+}  // namespace sns::obs

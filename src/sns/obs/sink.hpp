@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "sns/obs/event.hpp"
+
+namespace sns::obs {
+
+/// Destination of the structured event stream. Implementations must
+/// tolerate high event rates; record() is called from the simulator's
+/// event loop (never concurrently — one simulation, one thread).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void record(const Event& e) = 0;
+};
+
+/// Swallows everything. Useful to measure the overhead of event
+/// *construction* alone (a null sink pointer skips even that).
+class NullSink final : public EventSink {
+ public:
+  void record(const Event&) override { ++count_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Bounded in-memory log: keeps the most recent `capacity` events,
+/// overwriting the oldest once full (flight-recorder semantics — at a
+/// crash or at run end the tail of the decision history is intact).
+class RingBufferLog final : public EventSink {
+ public:
+  explicit RingBufferLog(std::size_t capacity = 1 << 16);
+
+  void record(const Event& e) override;
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  /// Events ever recorded, including those since overwritten.
+  std::uint64_t totalRecorded() const { return total_; }
+  /// Events lost to overwriting.
+  std::uint64_t dropped() const { return total_ - size_; }
+
+  /// Retained events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  void clear();
+
+ private:
+  std::vector<Event> buf_;
+  std::size_t head_ = 0;  ///< next write position
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Streams each event as one compact JSON object per line (JSONL) —
+/// grep-able, `jq`-able, and loadable by the analysis notebooks the
+/// evaluation recipes in EXPERIMENTS.md describe.
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+  void record(const Event& e) override;
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::ostream* os_;
+  std::uint64_t count_ = 0;
+};
+
+/// Fans one stream out to several sinks (e.g. a ring buffer for the
+/// Perfetto export plus a JSONL file for offline analysis).
+class TeeSink final : public EventSink {
+ public:
+  TeeSink() = default;
+  explicit TeeSink(std::vector<EventSink*> sinks) : sinks_(std::move(sinks)) {}
+  void add(EventSink* s) {
+    if (s != nullptr) sinks_.push_back(s);
+  }
+  bool empty() const { return sinks_.empty(); }
+  void record(const Event& e) override {
+    for (EventSink* s : sinks_) s->record(e);
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace sns::obs

@@ -8,13 +8,25 @@ namespace sns::profile {
 
 namespace {
 
+// GCC 12 at -O2 flags spurious maybe-uninitialized / array-bounds inside
+// the std::variant move when a freshly built Json array is pushed into
+// another array (GCC PR 105705 family); the code is well-defined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Warray-bounds"
 util::Json curveToJson(const util::Curve& c) {
   util::Json::Array arr;
+  arr.reserve(c.points().size());
   for (const auto& [x, y] : c.points()) {
-    arr.push_back(util::Json(util::Json::Array{util::Json(x), util::Json(y)}));
+    util::Json::Array pt;
+    pt.reserve(2);
+    pt.push_back(util::Json(x));
+    pt.push_back(util::Json(y));
+    arr.push_back(util::Json(std::move(pt)));
   }
   return util::Json(std::move(arr));
 }
+#pragma GCC diagnostic pop
 
 util::Curve curveFromJson(const util::Json& j) {
   std::vector<std::pair<double, double>> pts;

@@ -68,6 +68,10 @@ ScaleProfile Profiler::profileScale(const app::ProgramModel& prog, int total_pro
     ipc_sum[wi] += pmu.ipc();
     bw_sum[wi] += pmu.bandwidthGbps();
     ++count[wi];
+    if (rec_ != nullptr) {
+      rec_->monitorEpisode(prog.name, static_cast<int>(ways), pmu.ipc(),
+                           pmu.bandwidthGbps());
+    }
   }
 
   for (std::size_t wi = 0; wi < n_ways; ++wi) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "sns/obs/recorder.hpp"
 #include "sns/perfmodel/estimator.hpp"
 #include "sns/perfmodel/pmu.hpp"
 #include "sns/profile/profile_data.hpp"
@@ -47,12 +48,18 @@ class Profiler {
   /// Full trial-and-error exploration over candidate scales, then classify.
   ProgramProfile profileProgram(const app::ProgramModel& prog, int total_procs);
 
+  /// Attach a caller-owned decision recorder: every fixed-allocation
+  /// sampling episode is then emitted as a monitor_episode event (way
+  /// count + measured IPC / bandwidth). Null detaches.
+  void attachRecorder(obs::Recorder* rec) { rec_ = rec; }
+
   const ProfilerConfig& config() const { return cfg_; }
 
  private:
   const perfmodel::Estimator& est_;
   ProfilerConfig cfg_;
   perfmodel::PmuSimulator pmu_;
+  obs::Recorder* rec_ = nullptr;
 };
 
 }  // namespace sns::profile

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sns/actuator/resource_ledger.hpp"
+#include "sns/obs/recorder.hpp"
 #include "sns/perfmodel/estimator.hpp"
 #include "sns/profile/database.hpp"
 #include "sns/sched/job.hpp"
@@ -24,6 +25,17 @@ class SchedulingPolicy {
   virtual std::optional<Placement> tryPlace(const Job& job,
                                             const actuator::ResourceLedger& ledger,
                                             const profile::ProfileDatabase& db) const = 0;
+
+  /// Attach the caller-owned decision recorder; policies then explain each
+  /// tryPlace() as schedule_attempt / placement_decided / exploration
+  /// events (null or a sink-less recorder disables emission entirely).
+  /// Emitting through the recorder mutates only the sink, so the hook is
+  /// usable from the const tryPlace() path.
+  void attachRecorder(obs::Recorder* rec) { rec_ = rec; }
+
+ protected:
+  bool tracing() const { return rec_ != nullptr && rec_->enabled(); }
+  obs::Recorder* rec_ = nullptr;
 };
 
 enum class PolicyKind { kCE, kCS, kSNS };

@@ -48,7 +48,25 @@ std::optional<Placement> exclusivePlacement(const Job& job,
 std::optional<Placement> CePolicy::tryPlace(const Job& job,
                                             const actuator::ResourceLedger& ledger,
                                             const profile::ProfileDatabase&) const {
-  return exclusivePlacement(job, ledger, *est_, 1);
+  auto p = exclusivePlacement(job, ledger, *est_, 1);
+  if (tracing()) {
+    const int need = est_->minNodes(job.spec.procs);
+    if (p.has_value()) {
+      std::vector<obs::NodeScore> scored;
+      scored.reserve(p->nodes.size());
+      for (int nd : p->nodes) scored.push_back({nd, ledger.node(nd).score(0.0)});
+      rec_->scheduleAttempt(job.id, job.spec.program, 1, 0, 0.0, "", scored);
+      rec_->placementDecided(job.id, job.spec.program, 1, 0, 0.0,
+                             /*exclusive=*/true, std::move(scored));
+    } else {
+      rec_->scheduleAttempt(job.id, job.spec.program, 1, 0, 0.0,
+                            "needs " + std::to_string(need) +
+                                " idle node(s), only " +
+                                std::to_string(ledger.idleNodeCount()) +
+                                " idle");
+    }
+  }
+  return p;
 }
 
 }  // namespace sns::sched

@@ -9,6 +9,7 @@ std::optional<Placement> CsPolicy::tryPlace(const Job& job,
                                             const profile::ProfileDatabase&) const {
   const int n_min = est_->minNodes(job.spec.procs);
   SNS_REQUIRE(n_min <= ledger.nodeCount(), "job larger than the cluster");
+  std::string rejections;  // built only while tracing
   // Prefer the most compact placement; when the idle cores are scattered,
   // accept the lowest feasible scale factor instead of waiting (Fig 8).
   for (int k : {1, 2, 4, 8}) {
@@ -18,7 +19,13 @@ std::optional<Placement> CsPolicy::tryPlace(const Job& job,
     const int c = (job.spec.procs + n - 1) / n;
     if (c < 1) break;
     auto nodes = ledger.selectNodes(n, c, 0, 0.0, /*exclusive=*/false);
-    if (nodes.empty()) continue;
+    if (nodes.empty()) {
+      if (tracing()) {
+        rejections += "k=" + std::to_string(k) + ": no " + std::to_string(n) +
+                      " node(s) with " + std::to_string(c) + " idle cores; ";
+      }
+      continue;
+    }
     Placement p;
     p.nodes = std::move(nodes);
     p.procs_per_node = c;
@@ -26,7 +33,21 @@ std::optional<Placement> CsPolicy::tryPlace(const Job& job,
     p.ways = 0;  // no CAT partitioning under CS: free-for-all cache sharing
     p.bw_gbps = 0.0;
     p.exclusive = false;
+    if (tracing()) {
+      std::vector<obs::NodeScore> scored;
+      scored.reserve(p.nodes.size());
+      // CS selects purely by idle cores; report the occupancy-only score.
+      for (int nd : p.nodes) scored.push_back({nd, ledger.node(nd).score(0.0)});
+      rec_->scheduleAttempt(job.id, job.spec.program, k, 0, 0.0, rejections,
+                            scored);
+      rec_->placementDecided(job.id, job.spec.program, k, 0, 0.0,
+                             /*exclusive=*/false, std::move(scored));
+    }
     return p;
+  }
+  if (tracing()) {
+    if (rejections.empty()) rejections = "no feasible scale for the cluster";
+    rec_->scheduleAttempt(job.id, job.spec.program, 0, 0, 0.0, rejections);
   }
   return std::nullopt;
 }

@@ -3,6 +3,7 @@
 #include "sns/profile/demand.hpp"
 #include "sns/profile/exploration.hpp"
 #include "sns/util/error.hpp"
+#include "sns/util/table.hpp"
 
 namespace sns::sched {
 
@@ -16,12 +17,22 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
                                             ledger.nodeCount(), *est_,
                                             opts_.exploration);
   if (trial > 0) {
-    return exclusivePlacement(job, ledger, *est_, trial);
+    auto p = exclusivePlacement(job, ledger, *est_, trial);
+    if (tracing()) {
+      if (p.has_value()) {
+        rec_->explorationStarted(job.id, job.spec.program, trial);
+      } else {
+        rec_->explorationPreempted(job.id, job.spec.program, trial,
+                                   "no idle nodes for the exclusive trial run");
+      }
+    }
+    return p;
   }
   SNS_REQUIRE(prof != nullptr, "finished exploration implies a profile");
 
   const double alpha = job.spec.alpha > 0.0 ? job.spec.alpha : opts_.default_alpha;
   const auto& mach = ledger.machine();
+  std::string rejections;  // built only while tracing
 
   // Walk scale factors in preference order: fastest-profiled first for
   // scaling programs (Fig 11's "select fastest scale factor among
@@ -43,7 +54,16 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
     auto nodes = opts_.packing == Packing::kDotProduct
                      ? ledger.selectNodesByAlignment(sp->nodes, request)
                      : ledger.selectNodes(sp->nodes, request, opts_.beta);
-    if (nodes.empty()) continue;
+    if (nodes.empty()) {
+      if (tracing()) {
+        rejections += "k=" + std::to_string(k) + ": no " +
+                      std::to_string(sp->nodes) + " node(s) with " +
+                      std::to_string(request.cores) + " cores + " +
+                      std::to_string(request.ways) + " ways + " +
+                      util::fmt(request.bw_gbps, 1) + " GB/s free; ";
+      }
+      continue;
+    }
 
     Placement p;
     p.nodes = std::move(nodes);
@@ -53,7 +73,25 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
     p.bw_gbps = demand.bw_gbps;
     p.net_gbps = request.net_gbps;
     p.exclusive = false;
+    if (tracing()) {
+      // Chosen nodes with the Co + Bo + beta x Wo score they were picked by
+      // (pre-allocation, i.e. the value the selection compared).
+      std::vector<obs::NodeScore> scored;
+      scored.reserve(p.nodes.size());
+      for (int nd : p.nodes) {
+        scored.push_back({nd, ledger.node(nd).score(opts_.beta)});
+      }
+      rec_->scheduleAttempt(job.id, job.spec.program, k, demand.ways,
+                            demand.bw_gbps, rejections, scored);
+      rec_->placementDecided(job.id, job.spec.program, k, demand.ways,
+                             demand.bw_gbps, /*exclusive=*/false,
+                             std::move(scored));
+    }
     return p;
+  }
+  if (tracing()) {
+    if (rejections.empty()) rejections = "no profiled scale fits the cluster";
+    rec_->scheduleAttempt(job.id, job.spec.program, 0, 0, 0.0, rejections);
   }
   return std::nullopt;
 }

@@ -1,6 +1,7 @@
 #include "sns/sim/cluster_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <set>
@@ -14,6 +15,22 @@ namespace sns::sim {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kDoneEps = 1e-9;
+
+/// Implements the legacy SimConfig::on_start / on_finish hooks on top of
+/// the structured event stream: job_started / job_finished events are
+/// replayed as callbacks carrying the up-to-date JobRecord.
+struct LegacyHookSink final : obs::EventSink {
+  const SimConfig* cfg = nullptr;
+  const std::map<sched::JobId, JobRecord>* records = nullptr;
+
+  void record(const obs::Event& e) override {
+    if (e.type == obs::EventType::kJobStarted) {
+      if (cfg->on_start) cfg->on_start(records->at(e.job));
+    } else if (e.type == obs::EventType::kJobFinished) {
+      if (cfg->on_finish) cfg->on_finish(records->at(e.job));
+    }
+  }
+};
 }  // namespace
 
 ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
@@ -34,9 +51,65 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
   node_solution_.resize(static_cast<std::size_t>(cfg.nodes));
   node_net_demand_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
   episode_accum_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
+  node_donated_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
   if (cfg_.online_profiling) {
     monitor_ = std::make_unique<profile::Profiler>(est, cfg_.monitor);
+    monitor_->attachRecorder(&rec_);  // piggybacked episodes become events
   }
+  // The policy explains its decisions through the same recorder; the
+  // recorder's sink is wired per run().
+  policy_->attachRecorder(&rec_);
+  if (cfg_.metrics != nullptr) {
+    // Fetch instrument pointers once; hot-loop updates are then a null
+    // check plus an add — no map lookups, no allocations.
+    auto& m = *cfg_.metrics;
+    const std::vector<double> time_buckets = {1,   10,   30,   60,   120,  300,
+                                              600, 1200, 3600, 7200, 14400};
+    m_solver_calls_ = &m.counter("sim.solver_calls");
+    m_submitted_ = &m.counter("sim.jobs_submitted");
+    m_started_ = &m.counter("sim.jobs_started");
+    m_finished_ = &m.counter("sim.jobs_finished");
+    m_backfill_skips_ = &m.counter("sim.backfill_skips");
+    m_sched_passes_ = &m.counter("sim.schedule_passes");
+    m_ways_donated_ = &m.counter("sim.ways_donated");
+    m_queue_depth_ = &m.gauge("sim.queue_depth");
+    m_busy_nodes_ = &m.gauge("sim.busy_nodes");
+    m_wait_s_ = &m.histogram("sim.wait_s", time_buckets);
+    m_run_s_ = &m.histogram("sim.run_s", time_buckets);
+    m_decision_us_ = &m.histogram(
+        "sim.decision_us",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+  }
+}
+
+void ClusterSimulator::noteDonations(int nd) {
+  if (!cfg_.donate_unused_ways) return;
+  if (!rec_.enabled() && m_ways_donated_ == nullptr) return;
+  const auto& node = ledger_.node(nd);
+  double total = 0.0;
+  for (sched::JobId id : node_jobs_[static_cast<std::size_t>(nd)]) {
+    const auto& alloc = node.allocation(id);
+    // Donation is only meaningful for partitioned co-runners: exclusive
+    // and unpartitioned jobs already see the whole cache.
+    if (alloc.exclusive || alloc.ways == 0) continue;
+    total += node.effectiveWays(id) - alloc.ways;
+  }
+  double& prev = node_donated_[static_cast<std::size_t>(nd)];
+  const double delta = total - prev;
+  if (delta > 1e-9) {
+    rec_.waysDonated(nd, delta, total);
+    if (m_ways_donated_) m_ways_donated_->inc(delta);
+  } else if (delta < -1e-9) {
+    rec_.waysReclaimed(nd, -delta, total);
+  }
+  prev = total;
+}
+
+void ClusterSimulator::admit(sched::Job job) {
+  rec_.jobSubmitted(job.id, job.spec.program, job.spec.procs);
+  if (m_submitted_) m_submitted_->inc();
+  queue_.push(std::move(job));
+  if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
 }
 
 void ClusterSimulator::resolveNode(int nd) {
@@ -45,6 +118,7 @@ void ClusterSimulator::resolveNode(int nd) {
   sol.clear();
   if (jobs.empty()) return;
 
+  if (m_solver_calls_) m_solver_calls_->inc();
   std::vector<perfmodel::NodeShare> shares;
   shares.reserve(jobs.size());
   for (sched::JobId id : jobs) {
@@ -99,6 +173,16 @@ void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
     SNS_REQUIRE(t_inst > 0.0, "instantaneous job time must be positive");
     r.rate = 1.0 / t_inst;
     r.bw_per_node = bw_sum / r.placement.nodeCount();
+    if (cfg_.enforce_bandwidth_caps && rec_.enabled()) {
+      // Report each transition into the MBA-capped regime exactly once.
+      const double cap = r.placement.bw_gbps;
+      const bool capped = !r.placement.exclusive && cap > 0.0 &&
+                          r.bw_per_node >= cap * (1.0 - 1e-6);
+      if (capped && !r.throttled) {
+        rec_.bandwidthThrottled(id, r.placement.nodes.front(), cap);
+      }
+      r.throttled = capped;
+    }
   }
 }
 
@@ -146,13 +230,23 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
   JobRecord& rec = records_.at(job.id);
   rec.start = now;
   rec.placement = p;
-  if (cfg_.on_start) cfg_.on_start(rec);
+  // job_started drives the legacy on_start hook through the adapter sink,
+  // so the record must be complete before emission.
+  rec_.jobStarted(job.id, job.spec.program,
+                  p.nodes.empty() ? -1 : p.nodes.front(), p.nodeCount(),
+                  p.ways, p.scale_factor, p.exclusive);
+  if (m_started_) m_started_->inc();
+  for (int nd : p.nodes) noteDonations(nd);
 }
 
 void ClusterSimulator::finishJob(sched::JobId id, double now) {
   const Running& r = running_.at(id);
-  records_.at(id).finish = now;
-  if (cfg_.on_finish) cfg_.on_finish(records_.at(id));
+  JobRecord& record = records_.at(id);
+  record.finish = now;
+  rec_.jobFinished(id, record.spec.program, record.runTime());
+  if (m_finished_) m_finished_->inc();
+  if (m_wait_s_) m_wait_s_->observe(record.waitTime());
+  if (m_run_s_) m_run_s_->observe(record.runTime());
   // Piggybacked profiling: an exclusive run doubles as a profiling trial at
   // its scale factor (§4.1/§4.4); the monitor's measurements accumulate in
   // the run-local database so later submissions schedule smarter.
@@ -177,6 +271,7 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
     auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
     jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
     node_net_demand_[static_cast<std::size_t>(nd)] -= r.nic_demand;
+    noteDonations(nd);
   }
   const std::vector<int> dirty = r.placement.nodes;
   running_.erase(id);
@@ -184,6 +279,10 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
 }
 
 void ClusterSimulator::schedule(double now) {
+  using Clock = std::chrono::steady_clock;
+  const auto wall_begin = m_decision_us_ ? Clock::now() : Clock::time_point{};
+  if (m_sched_passes_) m_sched_passes_->inc();
+
   bool placed_any = true;
   while (placed_any) {
     placed_any = false;
@@ -201,8 +300,23 @@ void ClusterSimulator::schedule(double now) {
       }
       // Anti-starvation: once the head job has aged past the limit, no
       // younger job may be backfilled ahead of it.
-      if (scanned == 1 && job.age(now) > cfg_.age_limit_s) break;
+      if (scanned == 1 && job.age(now) > cfg_.age_limit_s) {
+        rec_.backfillSkipped(job.id, job.age(now),
+                             "head job aged past the backfill age limit");
+        if (m_backfill_skips_) m_backfill_skips_->inc();
+        break;
+      }
     }
+  }
+
+  if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+  if (m_busy_nodes_) {
+    m_busy_nodes_->set(static_cast<double>(ledger_.busyNodeCount()));
+  }
+  if (m_decision_us_) {
+    m_decision_us_->observe(
+        std::chrono::duration<double, std::micro>(Clock::now() - wall_begin)
+            .count());
   }
 }
 
@@ -254,6 +368,27 @@ void ClusterSimulator::accumulate(double t0, double t1) {
 
 SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   SNS_REQUIRE(!jobs.empty(), "run() needs at least one job");
+  // Wire the event stream for this run: the configured sink, plus — when
+  // the legacy callbacks are set — an adapter sink that replays
+  // job_started / job_finished back into them. All three live on the
+  // stack; the recorder is detached again below.
+  LegacyHookSink legacy;
+  obs::TeeSink tee;
+  obs::EventSink* effective = cfg_.sink;
+  if (cfg_.on_start || cfg_.on_finish) {
+    legacy.cfg = &cfg_;
+    legacy.records = &records_;
+    if (effective != nullptr) {
+      tee.add(effective);
+      tee.add(&legacy);
+      effective = &tee;
+    } else {
+      effective = &legacy;
+    }
+  }
+  rec_.setSink(effective);
+  rec_.setTime(0.0);
+
   // Reset state so a simulator instance can be reused. The scheduler reads
   // the run-local database: a copy of the seed database that the online
   // monitor (if enabled) extends during the run.
@@ -269,6 +404,7 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   std::fill(episode_accum_.begin(), episode_accum_.end(), 0.0);
   episode_start_ = 0.0;
   busy_integral_ = 0.0;
+  std::fill(node_donated_.begin(), node_donated_.end(), 0.0);
 
   // Build submit-ordered job list.
   std::vector<sched::Job> submits;
@@ -298,7 +434,7 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   // Admit everything submitted at t = 0 before the first scheduling pass.
   while (next_submit < submits.size() &&
          submits[next_submit].submit_time <= now + 1e-12) {
-    queue_.push(submits[next_submit++]);
+    admit(std::move(submits[next_submit++]));
   }
   schedule(now);
 
@@ -319,10 +455,11 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     accumulate(now, t_next);
     for (auto& [id, r] : running_) r.remaining -= (t_next - now) * r.rate;
     now = t_next;
+    rec_.setTime(now);
 
     while (next_submit < submits.size() &&
            submits[next_submit].submit_time <= now + 1e-12) {
-      queue_.push(submits[next_submit++]);
+      admit(std::move(submits[next_submit++]));
     }
 
     // Finish all jobs that completed at this instant.
@@ -353,6 +490,9 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   }
   std::sort(res.jobs.begin(), res.jobs.end(),
             [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
+  // Detach the per-run sink chain (tee / legacy adapter live on this
+  // frame) before it goes out of scope.
+  rec_.setSink(nullptr);
   return res;
 }
 

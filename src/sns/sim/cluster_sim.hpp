@@ -7,6 +7,8 @@
 #include "sns/actuator/resource_ledger.hpp"
 #include "sns/app/library.hpp"
 #include "sns/app/workload_gen.hpp"
+#include "sns/obs/metrics.hpp"
+#include "sns/obs/recorder.hpp"
 #include "sns/perfmodel/estimator.hpp"
 #include "sns/profile/database.hpp"
 #include "sns/profile/profiler.hpp"
@@ -40,10 +42,22 @@ struct SimConfig {
   /// PMU/episode knobs of the online monitor.
   profile::ProfilerConfig monitor;
   sched::SnsPolicy::Options sns;    ///< SNS-specific options
-  /// Observation hooks for orchestration layers (launch planning, event
-  /// logs, drift monitors). on_start fires right after resources are
-  /// allocated; on_finish right after the record is finalized and before
-  /// resources are released. Both receive the up-to-date JobRecord.
+  /// Structured decision trace (sns::obs): every scheduling attempt,
+  /// placement, way donation, backfill skip and job start/finish is
+  /// recorded into this sink. Null (the default) disables tracing
+  /// entirely — the hot loop then performs no event construction and no
+  /// allocations. The sink is caller-owned and must outlive run().
+  obs::EventSink* sink = nullptr;
+  /// Metrics registry (counters / gauges / histograms under "sim.*").
+  /// Null disables collection; caller-owned, must outlive run().
+  obs::Registry* metrics = nullptr;
+  /// Legacy observation hooks for orchestration layers (launch planning,
+  /// drift monitors). They are implemented *on top of* the event stream:
+  /// an internal adapter sink turns job_started / job_finished events back
+  /// into callbacks, so on_start fires right after resources are
+  /// allocated and on_finish right after the record is finalized and
+  /// before resources are released. Both receive the up-to-date
+  /// JobRecord. New code should prefer `sink`.
   std::function<void(const JobRecord&)> on_start;
   std::function<void(const JobRecord&)> on_finish;
 };
@@ -72,12 +86,19 @@ struct SimResult {
   /// Per-node average bandwidth per monitoring episode ([node][episode]).
   std::vector<std::vector<double>> node_bw_episodes;
 
+  /// Means over *completed* jobs only; 0.0 when none completed, so partial
+  /// or empty results never divide by zero and never leak NaN into
+  /// downstream metrics.
   double meanTurnaround() const;
   double meanWait() const;
   double meanRun() const;
   /// The paper's overall throughput metric: reciprocal of the average
-  /// submit-to-finish time of all jobs in the sequence (§6.2).
-  double throughput() const { return 1.0 / meanTurnaround(); }
+  /// submit-to-finish time of all jobs in the sequence (§6.2). 0.0 when
+  /// nothing completed.
+  double throughput() const {
+    const double t = meanTurnaround();
+    return t > 0.0 ? 1.0 / t : 0.0;
+  }
 };
 
 /// Rate-based discrete-event cluster simulator. Jobs progress at rates
@@ -115,6 +136,7 @@ class ClusterSimulator {
     double rate = 0.0;             ///< d(remaining)/dt under current co-run
     double net_stretch = 1.0;      ///< NIC-contention stretch on comm time
     double bw_per_node = 0.0;      ///< current achieved per-node bandwidth
+    bool throttled = false;        ///< MBA cap currently binding (for events)
   };
 
   void schedule(double now);
@@ -123,6 +145,11 @@ class ClusterSimulator {
   void resolveNode(int node);
   void refreshRates(const std::vector<int>& dirty_nodes);
   void accumulate(double t0, double t1);
+  void admit(sched::Job job);
+  /// Re-derive how many LLC ways node `nd` currently donates to its
+  /// partitioned residents and emit ways_donated / ways_reclaimed on
+  /// change. Only called at placement changes, and only when observing.
+  void noteDonations(int nd);
 
   const perfmodel::Estimator* est_;
   const std::vector<app::ProgramModel>* library_;
@@ -146,6 +173,24 @@ class ClusterSimulator {
   std::vector<std::vector<double>> episodes_;
   double episode_start_ = 0.0;
   double busy_integral_ = 0.0;
+
+  /// Decision tracing + metrics (sns::obs). The recorder's sink is wired
+  /// per run(): the configured sink plus, when legacy callbacks are set,
+  /// an adapter that replays job events into them.
+  obs::Recorder rec_;
+  std::vector<double> node_donated_;  ///< last observed donated ways per node
+  obs::Counter* m_solver_calls_ = nullptr;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_started_ = nullptr;
+  obs::Counter* m_finished_ = nullptr;
+  obs::Counter* m_backfill_skips_ = nullptr;
+  obs::Counter* m_sched_passes_ = nullptr;
+  obs::Counter* m_ways_donated_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Gauge* m_busy_nodes_ = nullptr;
+  obs::Histogram* m_wait_s_ = nullptr;
+  obs::Histogram* m_run_s_ = nullptr;
+  obs::Histogram* m_decision_us_ = nullptr;
 };
 
 }  // namespace sns::sim

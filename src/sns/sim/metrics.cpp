@@ -5,25 +5,34 @@
 
 namespace sns::sim {
 
-double SimResult::meanTurnaround() const {
-  SNS_REQUIRE(!jobs.empty(), "no jobs in result");
+namespace {
+// Mean of `get` over completed jobs; 0.0 when none completed. Guarding
+// here (instead of SNS_REQUIREing non-emptiness) keeps partial results —
+// e.g. a result assembled from an aborted or still-loading run — from
+// dividing by zero and silently spreading NaN through derived metrics.
+template <typename Fn>
+double meanOverCompleted(const std::vector<JobRecord>& jobs, Fn get) {
   double s = 0.0;
-  for (const auto& j : jobs) s += j.turnaround();
-  return s / static_cast<double>(jobs.size());
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (!j.completed()) continue;
+    s += get(j);
+    ++n;
+  }
+  return n > 0 ? s / static_cast<double>(n) : 0.0;
+}
+}  // namespace
+
+double SimResult::meanTurnaround() const {
+  return meanOverCompleted(jobs, [](const JobRecord& j) { return j.turnaround(); });
 }
 
 double SimResult::meanWait() const {
-  SNS_REQUIRE(!jobs.empty(), "no jobs in result");
-  double s = 0.0;
-  for (const auto& j : jobs) s += j.waitTime();
-  return s / static_cast<double>(jobs.size());
+  return meanOverCompleted(jobs, [](const JobRecord& j) { return j.waitTime(); });
 }
 
 double SimResult::meanRun() const {
-  SNS_REQUIRE(!jobs.empty(), "no jobs in result");
-  double s = 0.0;
-  for (const auto& j : jobs) s += j.runTime();
-  return s / static_cast<double>(jobs.size());
+  return meanOverCompleted(jobs, [](const JobRecord& j) { return j.runTime(); });
 }
 
 std::vector<double> runTimeRatios(const SimResult& test, const SimResult& base) {

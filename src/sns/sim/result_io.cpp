@@ -8,6 +8,12 @@
 
 namespace sns::sim {
 
+// GCC 12 at -O2 flags spurious maybe-uninitialized / array-bounds inside
+// the std::variant move when a freshly built Json value is pushed into an
+// array (GCC PR 105705 family); the code is well-defined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Warray-bounds"
 util::Json resultToJson(const SimResult& result) {
   util::Json j;
   j["policy"] = util::Json(result.policy);
@@ -36,6 +42,7 @@ util::Json resultToJson(const SimResult& result) {
   j["jobs"] = util::Json(std::move(jobs));
   return j;
 }
+#pragma GCC diagnostic pop
 
 SimResult resultFromJson(const util::Json& j) {
   SimResult res;

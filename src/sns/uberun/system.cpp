@@ -23,6 +23,8 @@ SystemReport UberunSystem::process(const std::vector<app::JobSpec>& jobs) {
   auto logf = [&](std::string line) { report.events.push_back(std::move(line)); };
 
   sim::SimConfig sim_cfg = cfg_.sim;
+  sim_cfg.sink = cfg_.sink;
+  sim_cfg.metrics = cfg_.metrics;
   sim_cfg.on_start = [&](const sim::JobRecord& rec) {
     sched::Job job;
     job.id = rec.id;

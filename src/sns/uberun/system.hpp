@@ -19,6 +19,14 @@ struct UberunConfig {
   int drift_episodes_per_run = 6;
   /// PMU noise of the sustained production monitor.
   double monitor_noise = 0.02;
+  /// Structured observability (sns::obs), forwarded to the embedded
+  /// simulator: the full decision event stream and the "sim.*" metrics.
+  /// The human-readable SystemReport::events log is itself derived from
+  /// this stream (via the simulator's legacy-hook adapter), so a sink
+  /// attached here sees a superset of what the report prints. Both are
+  /// caller-owned and may be null.
+  obs::EventSink* sink = nullptr;
+  obs::Registry* metrics = nullptr;
 };
 
 /// Output of one batch: the schedule, the concrete launch plans in start

@@ -1,0 +1,165 @@
+#include "sns/obs/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sns/obs/recorder.hpp"
+#include "sns/util/error.hpp"
+#include "sns/util/json.hpp"
+
+namespace sns::obs {
+namespace {
+
+Event makeEvent(EventType type, std::int64_t job) {
+  Event e;
+  e.type = type;
+  e.job = job;
+  return e;
+}
+
+TEST(Event, TypeNamesAreDistinct) {
+  const EventType all[] = {
+      EventType::kJobSubmitted,      EventType::kScheduleAttempt,
+      EventType::kPlacementDecided,  EventType::kWaysDonated,
+      EventType::kWaysReclaimed,     EventType::kBackfillSkipped,
+      EventType::kExplorationStarted, EventType::kExplorationPreempted,
+      EventType::kBandwidthThrottled, EventType::kMonitorEpisode,
+      EventType::kJobStarted,        EventType::kJobFinished,
+  };
+  std::set<std::string> names;
+  for (auto t : all) names.insert(to_string(t));
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_EQ(names.count("unknown"), 0u);
+}
+
+TEST(Event, ToJsonOmitsDefaultedFields) {
+  Event e;
+  e.type = EventType::kJobFinished;
+  e.time = 12.5;
+  const auto j = toJson(e);
+  EXPECT_EQ(j.get("type").asString(), "job_finished");
+  EXPECT_DOUBLE_EQ(j.get("t").asNumber(), 12.5);
+  EXPECT_FALSE(j.has("job"));
+  EXPECT_FALSE(j.has("candidates"));
+}
+
+TEST(Event, ToJsonCarriesCandidates) {
+  Event e;
+  e.type = EventType::kPlacementDecided;
+  e.job = 3;
+  e.candidates = {{0, 1.5}, {2, 0.25}};
+  const auto j = toJson(e);
+  const auto& cands = j.get("candidates").asArray();
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[1].get("node").asNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(cands[1].get("score").asNumber(), 0.25);
+}
+
+TEST(RingBuffer, PreservesOrderBelowCapacity) {
+  RingBufferLog log(8);
+  for (int i = 0; i < 5; ++i) {
+    log.record(makeEvent(EventType::kJobSubmitted, i));
+  }
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(snap[static_cast<std::size_t>(i)].job, i);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  RingBufferLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.record(makeEvent(EventType::kJobSubmitted, i));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.totalRecorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Flight-recorder semantics: the newest 4 survive, oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[static_cast<std::size_t>(i)].job, 6 + i);
+  }
+}
+
+TEST(RingBuffer, ClearResetsEverything) {
+  RingBufferLog log(2);
+  log.record(makeEvent(EventType::kJobStarted, 1));
+  log.record(makeEvent(EventType::kJobStarted, 2));
+  log.record(makeEvent(EventType::kJobStarted, 3));
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.totalRecorded(), 0u);
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBufferLog(0), util::PreconditionError);
+}
+
+TEST(JsonlSink, EachLineParsesBack) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  Event e1 = makeEvent(EventType::kJobStarted, 7);
+  e1.what = "MG";
+  e1.node = 3;
+  sink.record(e1);
+  sink.record(makeEvent(EventType::kJobFinished, 7));
+  EXPECT_EQ(sink.count(), 2u);
+
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<util::Json> parsed;
+  while (std::getline(is, line)) parsed.push_back(util::Json::parse(line));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].get("type").asString(), "job_started");
+  EXPECT_EQ(parsed[0].get("what").asString(), "MG");
+  EXPECT_EQ(parsed[0].get("node").asNumber(), 3.0);
+  EXPECT_EQ(parsed[1].get("type").asString(), "job_finished");
+}
+
+TEST(TeeSink, FansOutToAllSinks) {
+  NullSink a, b;
+  TeeSink tee;
+  tee.add(&a);
+  tee.add(&b);
+  tee.add(nullptr);  // ignored
+  tee.record(makeEvent(EventType::kWaysDonated, -1));
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(Recorder, DisabledRecorderIsANoOp) {
+  Recorder rec;  // no sink attached
+  EXPECT_FALSE(rec.enabled());
+  rec.jobSubmitted(1, "MG", 16);
+  rec.placementDecided(1, "MG", 2, 9, 10.0, false, {{0, 1.0}});
+  rec.jobFinished(1, "MG", 100.0);
+  // Attach a sink afterwards: nothing was buffered while disabled.
+  NullSink sink;
+  rec.setSink(&sink);
+  EXPECT_TRUE(rec.enabled());
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(Recorder, StampsCurrentTimeOnEmit) {
+  RingBufferLog log(8);
+  Recorder rec(&log);
+  rec.setTime(10.0);
+  rec.jobSubmitted(1, "MG", 16);
+  rec.setTime(25.5);
+  rec.jobStarted(1, "MG", 0, 2, 9, 2, false);
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap[0].time, 10.0);
+  EXPECT_EQ(snap[0].type, EventType::kJobSubmitted);
+  EXPECT_EQ(snap[0].ways, 16);  // procs travel in the ways field
+  EXPECT_DOUBLE_EQ(snap[1].time, 25.5);
+  EXPECT_EQ(snap[1].type, EventType::kJobStarted);
+  EXPECT_DOUBLE_EQ(snap[1].value, 2.0);  // node count
+}
+
+}  // namespace
+}  // namespace sns::obs

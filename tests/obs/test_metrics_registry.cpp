@@ -1,0 +1,138 @@
+#include "sns/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "sns/util/error.hpp"
+
+namespace sns::obs {
+namespace {
+
+TEST(Counter, AccumulatesIncrements) {
+  Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, TracksValueAndHighWaterMark) {
+  Gauge g;
+  g.set(4.0);
+  g.set(9.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+}
+
+TEST(Histogram, BucketsUseInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 5.0});
+  // Exactly on a bound lands in that bucket, just above spills over.
+  h.observe(1.0);
+  h.observe(1.0000001);
+  h.observe(0.0);
+  h.observe(5.0);
+  h.observe(100.0);  // overflow bucket
+  ASSERT_EQ(h.bucketCount(), 4u);
+  EXPECT_EQ(h.bucketValue(0), 2u);  // 1.0 and 0.0
+  EXPECT_EQ(h.bucketValue(1), 1u);  // 1.0000001
+  EXPECT_EQ(h.bucketValue(2), 1u);  // 5.0
+  EXPECT_EQ(h.bucketValue(3), 1u);  // 100.0
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.minSeen(), 0.0);
+  EXPECT_DOUBLE_EQ(h.maxSeen(), 100.0);
+  EXPECT_DOUBLE_EQ(h.upperBound(2), 5.0);
+  EXPECT_EQ(h.upperBound(3), std::numeric_limits<double>::infinity());
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // all in (10, 20]
+  // The whole mass sits in bucket 1; the median interpolates to its middle.
+  EXPECT_NEAR(h.quantile(0.5), 15.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 20.0, 1e-9);
+  // Overflow-bucket quantiles clamp to the largest observed value.
+  h.observe(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 1000.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), util::PreconditionError);
+  EXPECT_THROW(Histogram({1.0, 1.0}), util::PreconditionError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), util::PreconditionError);
+  Histogram h({1.0});
+  EXPECT_THROW(h.quantile(1.5), util::PreconditionError);
+}
+
+TEST(Registry, SameNameReturnsSameInstrument) {
+  Registry reg;
+  Counter& a = reg.counter("x");
+  a.inc(5.0);
+  EXPECT_DOUBLE_EQ(reg.counter("x").value(), 5.0);
+  EXPECT_EQ(&reg.counter("x"), &a);
+
+  Histogram& h = reg.histogram("lat", {1.0, 2.0});
+  h.observe(1.5);
+  // Re-registration with different bounds keeps the original histogram.
+  Histogram& h2 = reg.histogram("lat", {100.0});
+  EXPECT_EQ(&h, &h2);
+  EXPECT_EQ(h2.bucketCount(), 3u);
+  EXPECT_EQ(h2.count(), 1u);
+}
+
+TEST(Registry, FindReturnsNullForUnknownNames) {
+  Registry reg;
+  reg.counter("present");
+  EXPECT_NE(reg.findCounter("present"), nullptr);
+  EXPECT_EQ(reg.findCounter("absent"), nullptr);
+  EXPECT_EQ(reg.findGauge("absent"), nullptr);
+  EXPECT_EQ(reg.findHistogram("absent"), nullptr);
+}
+
+TEST(Registry, ToJsonRoundTripsThroughParser) {
+  Registry reg;
+  reg.counter("jobs").inc(3.0);
+  reg.gauge("queue").set(2.0);
+  reg.histogram("wait", {1.0, 10.0}).observe(4.0);
+
+  const auto j = util::Json::parse(reg.toJson().dump());
+  EXPECT_DOUBLE_EQ(j.get("counters").get("jobs").asNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(j.get("gauges").get("queue").get("value").asNumber(), 2.0);
+  const auto& h = j.get("histograms").get("wait");
+  EXPECT_EQ(h.get("count").asNumber(), 1.0);
+  const auto& buckets = h.get("buckets").asArray();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(buckets[1].get("le").asNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(buckets[1].get("count").asNumber(), 1.0);
+  EXPECT_FALSE(buckets[2].has("le"));  // overflow bucket has no finite bound
+}
+
+TEST(Registry, EmptyRegistrySerializesEmptySections) {
+  Registry reg;
+  const auto j = util::Json::parse(reg.toJson().dump());
+  EXPECT_TRUE(j.get("counters").isObject());
+  EXPECT_TRUE(j.get("counters").asObject().empty());
+  EXPECT_TRUE(j.get("histograms").asObject().empty());
+}
+
+TEST(Registry, RenderTableListsEveryInstrument) {
+  Registry reg;
+  reg.counter("sim.jobs").inc();
+  reg.gauge("sim.depth").set(1.0);
+  reg.histogram("sim.wait", {1.0}).observe(0.5);
+  const std::string table = reg.renderTable();
+  EXPECT_NE(table.find("sim.jobs"), std::string::npos);
+  EXPECT_NE(table.find("sim.depth"), std::string::npos);
+  EXPECT_NE(table.find("sim.wait"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sns::obs

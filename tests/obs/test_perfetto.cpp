@@ -1,0 +1,113 @@
+#include "sns/obs/perfetto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sns/app/library.hpp"
+#include "sns/obs/sink.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+#include "sns/sim/trace_export.hpp"
+#include "sns/util/error.hpp"
+#include "sns/util/json.hpp"
+
+namespace sns::obs {
+namespace {
+
+TEST(PerfettoBuilder, EmitsWellFormedTraceEvents) {
+  PerfettoTraceBuilder b;
+  b.processName(1, "node 0");
+  b.processSortIndex(1, 1);
+  b.threadName(1, 4, "job 3");
+  b.addSlice(1, 4, 0.5, 1.5, "J3 MG/16");
+  b.addInstant(0, 1, 0.5, "placement_decided");
+  b.addCounter(1, "bandwidth (GB/s)", 0.0, 42.0);
+  EXPECT_EQ(b.eventCount(), 6u);
+
+  const auto j = util::Json::parse(b.build().dump());
+  EXPECT_EQ(j.get("displayTimeUnit").asString(), "ms");
+  const auto& ev = j.get("traceEvents").asArray();
+  ASSERT_EQ(ev.size(), 6u);
+  EXPECT_EQ(ev[0].get("ph").asString(), "M");
+  EXPECT_EQ(ev[0].get("args").get("name").asString(), "node 0");
+  EXPECT_EQ(ev[3].get("ph").asString(), "X");
+  // Seconds become microseconds.
+  EXPECT_DOUBLE_EQ(ev[3].get("ts").asNumber(), 500000.0);
+  EXPECT_DOUBLE_EQ(ev[3].get("dur").asNumber(), 1000000.0);
+  EXPECT_EQ(ev[5].get("ph").asString(), "C");
+  EXPECT_DOUBLE_EQ(ev[5].get("args").get("value").asNumber(), 42.0);
+}
+
+TEST(PerfettoBuilder, ZeroDurationSlicesStayVisible) {
+  PerfettoTraceBuilder b;
+  b.addSlice(1, 1, 2.0, 2.0, "blip");
+  const auto j = b.build();
+  EXPECT_DOUBLE_EQ(j.get("traceEvents").asArray()[0].get("dur").asNumber(), 1.0);
+}
+
+TEST(PerfettoBuilder, RejectsNegativeDuration) {
+  PerfettoTraceBuilder b;
+  EXPECT_THROW(b.addSlice(1, 1, 2.0, 1.0, "backwards"), util::PreconditionError);
+}
+
+// Golden end-to-end check: a small two-node simulation must export a trace
+// that our own JSON parser accepts and that carries one track per node, one
+// slice per completed job and a healthy variety of event types.
+TEST(PerfettoExport, TwoNodeSimulationProducesLoadableTrace) {
+  perfmodel::Estimator est;
+  auto lib = app::programLibrary();
+  for (auto& p : lib) est.calibrate(p);
+  profile::ProfilerConfig pcfg;
+  pcfg.pmu_noise = 0.0;
+  profile::Profiler prof(est, pcfg);
+  profile::ProfileDatabase db;
+  for (const auto& p : lib) db.put(prof.profileProgram(p, 16));
+
+  RingBufferLog log;
+  sim::SimConfig cfg;
+  cfg.nodes = 2;
+  cfg.policy = sched::PolicyKind::kSNS;
+  cfg.sink = &log;
+  sim::ClusterSimulator sim(est, lib, db, cfg);
+  const auto res = sim.run({{"MG", 16, 0.9, 0.0, 1, 0.0},
+                            {"NW", 16, 0.9, 0.0, 1, 0.0},
+                            {"EP", 16, 0.9, 0.0, 1, 0.0}});
+  std::size_t completed = 0;
+  for (const auto& j : res.jobs) completed += j.completed() ? 1 : 0;
+  ASSERT_EQ(completed, 3u);
+
+  const auto events = log.snapshot();
+  std::set<EventType> types;
+  for (const auto& e : events) types.insert(e.type);
+  EXPECT_GE(types.size(), 5u);
+
+  // The export must survive a dump/parse round trip through util::Json.
+  const auto j =
+      util::Json::parse(sim::exportPerfetto(res, events).dump());
+  const auto& ev = j.get("traceEvents").asArray();
+
+  std::set<int> named_pids;
+  std::size_t slices = 0;
+  std::set<double> slice_tids;
+  for (const auto& e : ev) {
+    const auto& ph = e.get("ph").asString();
+    if (ph == "M" && e.get("name").asString() == "process_name") {
+      named_pids.insert(static_cast<int>(e.get("pid").asNumber()));
+    }
+    if (ph == "X") {
+      ++slices;
+      slice_tids.insert(e.get("tid").asNumber());
+    }
+  }
+  // One track per node (pids 1, 2) plus the scheduler lane (pid 0).
+  EXPECT_TRUE(named_pids.count(0));
+  EXPECT_TRUE(named_pids.count(1));
+  EXPECT_TRUE(named_pids.count(2));
+  // At least one slice per completed job; tids identify jobs.
+  EXPECT_GE(slices, completed);
+  EXPECT_GE(slice_tids.size(), completed);
+}
+
+}  // namespace
+}  // namespace sns::obs

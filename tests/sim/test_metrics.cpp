@@ -42,9 +42,26 @@ TEST(Metrics, MeansAndThroughput) {
   EXPECT_DOUBLE_EQ(res.throughput(), 1.0 / 17.5);
 }
 
-TEST(Metrics, EmptyResultThrows) {
+TEST(Metrics, EmptyResultYieldsZeroMeans) {
   const SimResult res;
-  EXPECT_THROW(res.meanTurnaround(), util::PreconditionError);
+  EXPECT_DOUBLE_EQ(res.meanTurnaround(), 0.0);
+  EXPECT_DOUBLE_EQ(res.meanWait(), 0.0);
+  EXPECT_DOUBLE_EQ(res.meanRun(), 0.0);
+  EXPECT_DOUBLE_EQ(res.throughput(), 0.0);
+}
+
+TEST(Metrics, UncompletedJobsAreExcludedFromMeans) {
+  // One finished job plus one still waiting: means cover the finished one,
+  // and an all-unfinished result degrades to zero instead of NaN.
+  const auto pending = makeRecord(1, 0.0, -1.0, -1.0);
+  const auto mixed = makeResult({makeRecord(0, 0.0, 2.0, 12.0), pending});
+  EXPECT_DOUBLE_EQ(mixed.meanTurnaround(), 12.0);
+  EXPECT_DOUBLE_EQ(mixed.meanWait(), 2.0);
+  EXPECT_DOUBLE_EQ(mixed.meanRun(), 10.0);
+
+  const auto none = makeResult({pending});
+  EXPECT_DOUBLE_EQ(none.meanTurnaround(), 0.0);
+  EXPECT_DOUBLE_EQ(none.throughput(), 0.0);
 }
 
 TEST(Metrics, RunTimeRatios) {

@@ -7,6 +7,8 @@
 //                    [--db db.json] [--online] [--mba] [--network]
 //   uberun plan      --job PROG[:PROCS[:ALPHA]] [--db db.json]
 //   uberun trace     [--cluster N] [--ratio R] [--jobs N] [--policy P]
+//   uberun trace     --workload quickstart|random|FILE [--policy P] [--nodes N]
+//                    [--out trace.perfetto.json] [--online] [--mba]
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
 #include <cstdio>
@@ -17,11 +19,14 @@
 
 #include "sns/app/jobspec_io.hpp"
 #include "sns/app/library.hpp"
+#include "sns/obs/metrics.hpp"
+#include "sns/obs/sink.hpp"
 #include "sns/profile/demand.hpp"
 #include "sns/profile/profiler.hpp"
 #include "sns/sim/cluster_sim.hpp"
 #include "sns/sim/metrics.hpp"
 #include "sns/sim/result_io.hpp"
+#include "sns/sim/trace_export.hpp"
 #include "sns/trace/replay.hpp"
 #include "sns/trace/swf.hpp"
 #include "sns/uberun/launch_plan.hpp"
@@ -243,7 +248,62 @@ int cmdPlan(const World& w, const Args& a) {
   return 0;
 }
 
+// `trace --workload ...`: run a small workload with the observability stack
+// attached and export a Perfetto/Chrome trace plus a metrics summary.
+int cmdTraceWorkload(const World& w, const Args& a) {
+  const std::string workload = a.get("workload", "quickstart");
+  std::vector<app::JobSpec> jobs;
+  if (workload == "quickstart") {
+    jobs = {
+        {"MG", 16, 0.9, 0.0, 1, 0.0},
+        {"NW", 16, 0.9, 0.0, 1, 0.0},
+        {"HC", 16, 0.9, 0.0, 1, 0.0},
+        {"EP", 16, 0.9, 0.0, 1, 0.0},
+    };
+  } else if (workload == "random") {
+    util::Rng rng(static_cast<std::uint64_t>(a.num("seed", 2019)));
+    jobs = app::randomSequence(rng, w.lib, static_cast<int>(a.num("jobs", 20)),
+                               a.num("alpha", 0.9));
+  } else {
+    // Anything else is a job-list file written by `uberun generate`.
+    jobs = app::loadJobList(workload);
+  }
+
+  const auto db = loadOrBuildDb(w, a);
+  sim::SimConfig cfg;
+  cfg.nodes = static_cast<int>(a.num("nodes", 8));
+  cfg.policy = parsePolicy(a.get("policy", "SNS"));
+  cfg.online_profiling = a.flag("online");
+  cfg.enforce_bandwidth_caps = a.flag("mba");
+
+  obs::RingBufferLog log;
+  obs::Registry metrics;
+  cfg.sink = &log;
+  cfg.metrics = &metrics;
+  sim::ClusterSimulator sim(w.est, w.lib, db, cfg);
+  const auto res = sim.run(jobs);
+
+  const auto events = log.snapshot();
+  const std::string out = a.get("out", "trace.perfetto.json");
+  sim::writePerfettoFile(out, res, events);
+
+  std::map<std::string, std::size_t> by_type;
+  for (const auto& e : events) ++by_type[obs::to_string(e.type)];
+  util::Table et({"event type", "count"});
+  for (const auto& [name, n] : by_type) et.addRow({name, std::to_string(n)});
+  std::printf("%s policy on %d nodes: %zu jobs, makespan %.1f s\n\n",
+              res.policy.c_str(), cfg.nodes, res.jobs.size(), res.makespan);
+  std::printf("%s\n%s\n", et.render().c_str(), metrics.renderTable().c_str());
+  if (log.dropped() > 0) {
+    std::printf("(ring buffer dropped %zu oldest events)\n", log.dropped());
+  }
+  std::printf("wrote %zu trace events to %s — open in ui.perfetto.dev\n",
+              events.size(), out.c_str());
+  return 0;
+}
+
 int cmdTrace(const World& w, const Args& a) {
+  if (a.options.count("workload") != 0) return cmdTraceWorkload(w, a);
   const int cluster = static_cast<int>(a.num("cluster", 4096));
   const double ratio = a.num("ratio", 0.9);
   // Either replay a real SWF trace (Parallel Workloads Archive format) or
