@@ -8,12 +8,21 @@
 // vanishes and SNS's run-time gains dominate (+15.7% throughput at
 // 32K/0.9).
 //
+// The (ratio x cluster-size x policy) grid is embarrassingly parallel:
+// every cell is an independent ClusterSimulator over shared immutable
+// inputs, so cells are replayed on a worker pool and the rows assembled
+// in deterministic grid order from the futures.
+//
 // Pass --quick to shrink the trace (CI-friendly).
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "sns/trace/replay.hpp"
+#include "sns/util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace sns;
@@ -32,18 +41,56 @@ int main(int argc, char** argv) {
   std::printf("trace: %zu jobs over %.0f hours, max %d nodes/job\n\n",
               raw_trace.size(), params.horizon_hours, params.max_nodes);
 
+  const std::vector<double> ratios = {0.9, 0.5};
+  const std::vector<int> cluster_sizes = {4096, 8192, 16384, 32768};
+
+  // Per-ratio inputs are derived serially (deterministic RNG streams);
+  // the simulations fan out over the pool.
+  struct RatioInput {
+    std::vector<app::JobSpec> jobs;
+    profile::ProfileDatabase db;
+  };
+  std::vector<RatioInput> inputs;
+  inputs.reserve(ratios.size());
+  for (double ratio : ratios) {
+    util::Rng map_rng(static_cast<std::uint64_t>(ratio * 1000));
+    auto jobs = trace::mapTraceToJobs(map_rng, raw_trace, ratio,
+                                      env.est().machine().cores);
+    auto db = trace::synthesizeTraceProfiles(env.db(), 16, jobs, env.est());
+    inputs.push_back({std::move(jobs), std::move(db)});
+  }
+
+  struct Cell {
+    std::future<sim::SimResult> ce;
+    std::future<sim::SimResult> sns;
+  };
+  util::ThreadPool pool;
+  std::vector<Cell> grid;
+  grid.reserve(ratios.size() * cluster_sizes.size());
+  for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+    const RatioInput& in = inputs[ri];
+    for (int nodes : cluster_sizes) {
+      Cell cell;
+      cell.ce = pool.submit([&env, &in, nodes] {
+        return trace::simulateTrace(env.est(), env.lib(), in.db, in.jobs, nodes,
+                                    sched::PolicyKind::kCE);
+      });
+      cell.sns = pool.submit([&env, &in, nodes] {
+        return trace::simulateTrace(env.est(), env.lib(), in.db, in.jobs, nodes,
+                                    sched::PolicyKind::kSNS);
+      });
+      grid.push_back(std::move(cell));
+    }
+  }
+
   util::Table t({"cluster-ratio", "CE wait", "CE run", "SNS wait", "SNS run",
                  "SNS throughput vs CE"});
-  for (double ratio : {0.9, 0.5}) {
-    util::Rng map_rng(static_cast<std::uint64_t>(ratio * 1000));
-    const auto jobs = trace::mapTraceToJobs(map_rng, raw_trace, ratio,
-                                            env.est().machine().cores);
-    const auto db = trace::synthesizeTraceProfiles(env.db(), 16, jobs, env.est());
-    for (int nodes : {4096, 8192, 16384, 32768}) {
-      const auto ce = trace::simulateTrace(env.est(), env.lib(), db, jobs, nodes,
-                                           sched::PolicyKind::kCE);
-      const auto sns_res = trace::simulateTrace(env.est(), env.lib(), db, jobs,
-                                                nodes, sched::PolicyKind::kSNS);
+  std::size_t cell_idx = 0;
+  for (double ratio : ratios) {
+    for (int nodes : cluster_sizes) {
+      Cell& cell = grid[cell_idx++];
+      const sim::SimResult ce = cell.ce.get();
+      const sim::SimResult sns_res = cell.sns.get();
       const double ce_turn = ce.meanTurnaround();
       t.addRow({std::to_string(nodes / 1024) + "K-" + util::fmt(ratio, 1),
                 util::fmt(ce.meanWait() / ce_turn, 3),

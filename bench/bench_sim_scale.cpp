@@ -1,0 +1,134 @@
+// Simulator scalability harness: replays the Fig 20 synthetic trace on
+// growing cluster sizes (4K -> 32K nodes) and reports how the simulator
+// itself scales — simulated events per wall-clock second and the
+// scheduler's placement-decision latency (mean / p99 of sim.decision_us).
+// Cells run serially on purpose: latency numbers from runs sharing cores
+// would measure the scheduler's neighbours, not the scheduler.
+//
+// Results are printed as a table and written to BENCH_sim_scale.json in
+// the working directory (CI runs this from the repo root and checks the
+// file), so scalability regressions show up as a diffable artifact.
+//
+// Pass --quick for a CI-sized trace.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "sns/obs/metrics.hpp"
+#include "sns/trace/replay.hpp"
+#include "sns/util/json.hpp"
+
+namespace {
+
+double counterValue(const sns::obs::Registry& m, const char* name) {
+  const sns::obs::Counter* c = m.findCounter(name);
+  return c != nullptr ? c->value() : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sns;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+
+  snsbench::Env env;
+
+  trace::TraceGenParams params;
+  if (quick) {
+    params.jobs = 700;
+    params.horizon_hours = 190.0;
+  }
+  util::Rng trace_rng(0x7417177);
+  const auto raw_trace = trace::generateTrace(trace_rng, params);
+
+  const double ratio = 0.9;
+  util::Rng map_rng(static_cast<std::uint64_t>(ratio * 1000));
+  const auto jobs = trace::mapTraceToJobs(map_rng, raw_trace, ratio,
+                                          env.est().machine().cores);
+  const auto db = trace::synthesizeTraceProfiles(env.db(), 16, jobs, env.est());
+
+  std::printf("=== simulator scalability: events/sec and placement latency ===\n");
+  std::printf("trace: %zu jobs over %.0f hours, scaling ratio %.1f\n\n",
+              jobs.size(), params.horizon_hours, ratio);
+
+  const std::vector<int> cluster_sizes = {4096, 8192, 16384, 32768};
+  const std::vector<sched::PolicyKind> policies = {sched::PolicyKind::kCE,
+                                                   sched::PolicyKind::kSNS};
+
+  util::Table t({"nodes", "policy", "wall s", "events", "events/s",
+                 "decision mean us", "decision p99 us", "memo hit %"});
+  util::Json::Array results;
+  for (int nodes : cluster_sizes) {
+    for (sched::PolicyKind policy : policies) {
+      obs::Registry metrics;
+      sim::SimConfig cfg;
+      cfg.nodes = nodes;
+      cfg.policy = policy;
+      cfg.monitor_episode_s = 0.0;  // match trace::simulateTrace
+      cfg.age_limit_s = 14.0 * 86400.0;
+      cfg.max_queue_scan = 256;
+      cfg.metrics = &metrics;
+      sim::ClusterSimulator sim(env.est(), env.lib(), db, cfg);
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const sim::SimResult res = sim.run(jobs);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+      // Every queue event the simulator processed: submissions, starts
+      // and completions all pop the event loop.
+      const double events = counterValue(metrics, "sim.jobs_submitted") +
+                            counterValue(metrics, "sim.jobs_started") +
+                            counterValue(metrics, "sim.jobs_finished");
+      const double events_per_s = wall_s > 0.0 ? events / wall_s : 0.0;
+      const obs::Histogram* dec = metrics.findHistogram("sim.decision_us");
+      const double dec_mean = dec != nullptr ? dec->mean() : 0.0;
+      const double dec_p99 = dec != nullptr ? dec->quantile(0.99) : 0.0;
+      const double solver_calls = counterValue(metrics, "sim.solver_calls");
+      const double memo_hits = counterValue(metrics, "sim.solver_memo_hits");
+      const double memo_pct =
+          solver_calls > 0.0 ? 100.0 * memo_hits / solver_calls : 0.0;
+
+      const std::string policy_name = res.policy;
+      t.addRow({std::to_string(nodes), policy_name, util::fmt(wall_s, 3),
+                util::fmt(events, 0), util::fmt(events_per_s, 0),
+                util::fmt(dec_mean, 1), util::fmt(dec_p99, 1),
+                util::fmt(memo_pct, 1)});
+
+      util::Json row;
+      row["nodes"] = nodes;
+      row["policy"] = policy_name;
+      row["wall_s"] = wall_s;
+      row["events"] = events;
+      row["events_per_sec"] = events_per_s;
+      row["decision_us_mean"] = dec_mean;
+      row["decision_us_p99"] = dec_p99;
+      row["solver_calls"] = solver_calls;
+      row["solver_memo_hits"] = memo_hits;
+      row["jobs_completed"] = counterValue(metrics, "sim.jobs_finished");
+      row["mean_turnaround_s"] = res.meanTurnaround();
+      results.push_back(std::move(row));
+
+      std::fprintf(stderr, "done %dK nodes, %s\n", nodes / 1024,
+                   policy_name.c_str());
+    }
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  util::Json out;
+  out["bench"] = "sim_scale";
+  out["quick"] = quick;
+  out["trace_jobs"] = jobs.size();
+  out["scaling_ratio"] = ratio;
+  out["results"] = util::Json(std::move(results));
+  std::ofstream f("BENCH_sim_scale.json");
+  f << out.dump(2) << "\n";
+  f.close();
+  std::printf("wrote BENCH_sim_scale.json (%zu cells)\n",
+              cluster_sizes.size() * policies.size());
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "sns/actuator/node_ledger.hpp"
 
+#include <algorithm>
+
 #include "sns/util/error.hpp"
 
 namespace sns::actuator {
@@ -15,22 +17,40 @@ bool NodeLedger::fits(const NodeAllocation& r) const {
   return true;
 }
 
+void NodeLedger::refreshOccupancy() {
+  occ_cores_ = static_cast<double>(cores_used_) / mach_->cores;
+  occ_ways_ = static_cast<double>(ways_reserved_) / mach_->llc_ways;
+  occ_bw_ = bw_reserved_ / peak_bw_;
+}
+
+const NodeAllocation* NodeLedger::find(JobId job) const {
+  for (const auto& [id, alloc] : allocs_) {
+    if (id == job) return &alloc;
+  }
+  return nullptr;
+}
+
 void NodeLedger::allocate(JobId job, const NodeAllocation& alloc) {
   SNS_REQUIRE(alloc.cores >= 1, "allocation needs at least one core");
   SNS_REQUIRE(!holds(job), "job already holds resources on this node");
   SNS_REQUIRE(alloc.ways == 0 || alloc.ways >= mach_->min_ways_per_job,
               "CAT partitions need at least min_ways_per_job ways");
   SNS_REQUIRE(fits(alloc), "allocation does not fit on node");
-  allocs_[job] = alloc;
+  auto it = std::lower_bound(
+      allocs_.begin(), allocs_.end(), job,
+      [](const auto& entry, JobId id) { return entry.first < id; });
+  allocs_.insert(it, {job, alloc});
   cores_used_ += alloc.cores;
   ways_reserved_ += alloc.ways;
   bw_reserved_ += alloc.bw_gbps;
   net_reserved_ += alloc.net_gbps;
   if (alloc.exclusive) exclusive_ = true;
+  refreshOccupancy();
 }
 
 void NodeLedger::release(JobId job) {
-  auto it = allocs_.find(job);
+  auto it = std::find_if(allocs_.begin(), allocs_.end(),
+                         [job](const auto& entry) { return entry.first == job; });
   SNS_REQUIRE(it != allocs_.end(), "job holds nothing on this node");
   cores_used_ -= it->second.cores;
   ways_reserved_ -= it->second.ways;
@@ -38,16 +58,20 @@ void NodeLedger::release(JobId job) {
   net_reserved_ -= it->second.net_gbps;
   if (it->second.exclusive) exclusive_ = false;
   allocs_.erase(it);
+  refreshOccupancy();
 }
 
 const NodeAllocation& NodeLedger::allocation(JobId job) const {
-  auto it = allocs_.find(job);
-  SNS_REQUIRE(it != allocs_.end(), "job holds nothing on this node");
-  return it->second;
+  const NodeAllocation* alloc = find(job);
+  SNS_REQUIRE(alloc != nullptr, "job holds nothing on this node");
+  return *alloc;
 }
 
 double NodeLedger::effectiveWays(JobId job) const {
-  const auto& alloc = allocation(job);
+  return effectiveWays(allocation(job));
+}
+
+double NodeLedger::effectiveWays(const NodeAllocation& alloc) const {
   if (alloc.exclusive || alloc.ways == 0) {
     // Exclusive jobs own the whole cache; unpartitioned jobs compete for it
     // (the contention model resolves the free-for-all split).

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "sns/hw/machine.hpp"
 
@@ -29,12 +30,13 @@ struct NodeAllocation {
 /// (§4.4).
 class NodeLedger {
  public:
-  explicit NodeLedger(const hw::MachineConfig& mach) : mach_(&mach) {}
+  explicit NodeLedger(const hw::MachineConfig& mach)
+      : mach_(&mach), peak_bw_(mach.peakBandwidth()) {}
 
   // ---- capacity queries -----------------------------------------------------
   int idleCores() const { return mach_->cores - cores_used_; }
   int freeWays() const { return mach_->llc_ways - ways_reserved_; }
-  double freeBandwidth() const { return mach_->peakBandwidth() - bw_reserved_; }
+  double freeBandwidth() const { return peak_bw_ - bw_reserved_; }
   double freeNetwork() const { return mach_->net_bw_gbps - net_reserved_; }
   int jobCount() const { return static_cast<int>(allocs_.size()); }
   bool idle() const { return allocs_.empty(); }
@@ -50,13 +52,13 @@ class NodeLedger {
   }
 
   // ---- occupancy fractions for the SNS node score (§4.4) --------------------
-  double coreOccupancy() const {
-    return static_cast<double>(cores_used_) / mach_->cores;
-  }
-  double wayOccupancy() const {
-    return static_cast<double>(ways_reserved_) / mach_->llc_ways;
-  }
-  double bwOccupancy() const { return bw_reserved_ / mach_->peakBandwidth(); }
+  // Maintained by allocate()/release() — recomputed from the reserved sums
+  // with the same divisions the on-the-fly versions performed, so the
+  // cached values are bit-identical; node selection scores thousands of
+  // candidates per placement and reads these in a tight loop.
+  double coreOccupancy() const { return occ_cores_; }
+  double wayOccupancy() const { return occ_ways_; }
+  double bwOccupancy() const { return occ_bw_; }
 
   /// The paper's node-selection metric Co + Bo + beta x Wo.
   double score(double beta) const {
@@ -69,24 +71,42 @@ class NodeLedger {
   void allocate(JobId job, const NodeAllocation& alloc);
   /// Release a job's resources; throws if the job holds nothing here.
   void release(JobId job);
-  bool holds(JobId job) const { return allocs_.count(job) > 0; }
+  bool holds(JobId job) const { return find(job) != nullptr; }
   const NodeAllocation& allocation(JobId job) const;
-  const std::map<JobId, NodeAllocation>& allocations() const { return allocs_; }
+  /// Resident allocations in ascending JobId order. Backed by a sorted
+  /// vector: a node hosts at most max_llc_partitions jobs, so linear
+  /// operations beat a tree, and the vector's capacity is reused across
+  /// the node's whole lifetime — steady-state allocate/release touch the
+  /// heap not at all (a std::map paid one tree-node malloc/free per job
+  /// per node, which dominated large multi-node placements).
+  const std::vector<std::pair<JobId, NodeAllocation>>& allocations() const {
+    return allocs_;
+  }
 
   /// Ways actually backing a job's data right now: its partition plus an
   /// equal share of all unallocated ways (CAT partitions can overlap, so
   /// leftover capacity is donated and reclaimed dynamically).
   double effectiveWays(JobId job) const;
+  /// Same, for a caller that already looked the allocation up (the hot
+  /// per-node solve path does, and the lookup would otherwise repeat).
+  double effectiveWays(const NodeAllocation& alloc) const;
 
   const hw::MachineConfig& machine() const { return *mach_; }
 
  private:
+  const NodeAllocation* find(JobId job) const;
+  void refreshOccupancy();
+
   const hw::MachineConfig* mach_;
-  std::map<JobId, NodeAllocation> allocs_;
+  double peak_bw_;  ///< mach_->peakBandwidth(), hoisted out of fits()
+  std::vector<std::pair<JobId, NodeAllocation>> allocs_;  ///< sorted by JobId
   int cores_used_ = 0;
   int ways_reserved_ = 0;
   double bw_reserved_ = 0.0;
   double net_reserved_ = 0.0;
+  double occ_cores_ = 0.0;
+  double occ_ways_ = 0.0;
+  double occ_bw_ = 0.0;
   bool exclusive_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "sns/actuator/resource_ledger.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "sns/util/error.hpp"
 
@@ -10,8 +11,9 @@ ResourceLedger::ResourceLedger(int nodes, const hw::MachineConfig& mach)
     : mach_(&mach) {
   SNS_REQUIRE(nodes >= 1, "ResourceLedger needs at least one node");
   nodes_.assign(static_cast<std::size_t>(nodes), NodeLedger(mach));
-  auto& idle_group = groups_[mach.cores];
-  for (int i = 0; i < nodes; ++i) idle_group.insert(i);
+  buckets_.assign(static_cast<std::size_t>(mach.cores) + 1, NodeBitset(nodes));
+  auto& idle_bucket = buckets_[static_cast<std::size_t>(mach.cores)];
+  for (int i = 0; i < nodes; ++i) idle_bucket.insert(i);
 }
 
 const NodeLedger& ResourceLedger::node(int id) const {
@@ -27,11 +29,10 @@ NodeLedger& ResourceLedger::mutableNode(int id) {
 void ResourceLedger::reindex(int id, int old_idle) {
   const int new_idle = node(id).idleCores();
   if (new_idle == old_idle) return;
-  auto it = groups_.find(old_idle);
-  SNS_REQUIRE(it != groups_.end() && it->second.erase(id) == 1,
+  SNS_REQUIRE(buckets_[static_cast<std::size_t>(old_idle)].erase(id),
               "ledger group index corrupt");
-  if (it->second.empty()) groups_.erase(it);
-  groups_[new_idle].insert(id);
+  SNS_REQUIRE(buckets_[static_cast<std::size_t>(new_idle)].insert(id),
+              "ledger group index corrupt");
 }
 
 void ResourceLedger::allocate(int nd, JobId job, const NodeAllocation& alloc) {
@@ -48,24 +49,103 @@ void ResourceLedger::release(int nd, JobId job) {
 
 std::vector<int> ResourceLedger::feasibleNodes(const NodeAllocation& request) const {
   std::vector<int> out;
-  for (auto it = groups_.rbegin(); it != groups_.rend(); ++it) {
-    if (it->first < request.cores) break;  // remaining groups have fewer idle cores
-    for (int id : it->second) {
-      if (node(id).fits(request)) out.push_back(id);
+  if (full_scan_) {
+    // Legacy path: regroup all nodes by idle-core count on the fly.
+    std::map<int, std::vector<int>> groups;
+    for (int id = 0; id < nodeCount(); ++id) {
+      groups[nodes_[static_cast<std::size_t>(id)].idleCores()].push_back(id);
     }
+    for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+      if (it->first < request.cores) break;
+      for (int id : it->second) {
+        if (node(id).fits(request)) out.push_back(id);
+      }
+    }
+    return out;
+  }
+  for (int c = mach_->cores; c >= std::max(0, request.cores); --c) {
+    buckets_[static_cast<std::size_t>(c)].scan([&](int id) {
+      if (node(id).fits(request)) out.push_back(id);
+      return true;
+    });
   }
   return out;
+}
+
+void ResourceLedger::collectCandidates(const NodeAllocation& request,
+                                       std::size_t per_group_cap) const {
+  cand_.clear();
+  group_end_.clear();
+  const int from = std::max(0, request.cores);
+  if (full_scan_) {
+    std::map<int, std::vector<int>> groups;
+    for (int id = 0; id < nodeCount(); ++id) {
+      const int idle = nodes_[static_cast<std::size_t>(id)].idleCores();
+      if (idle >= from) groups[idle].push_back(id);
+    }
+    for (const auto& [idle, ids] : groups) {
+      std::size_t in_group = 0;
+      for (int id : ids) {
+        if (node(id).fits(request)) {
+          cand_.push_back(id);
+          ++in_group;
+        }
+        if (in_group >= per_group_cap) break;
+      }
+      group_end_.push_back(cand_.size());
+    }
+    return;
+  }
+  for (int c = from; c <= mach_->cores; ++c) {
+    const auto& bucket = buckets_[static_cast<std::size_t>(c)];
+    if (bucket.empty()) continue;
+    const std::size_t begin = cand_.size();
+    bucket.scan([&](int id) {
+      if (nodes_[static_cast<std::size_t>(id)].fits(request)) cand_.push_back(id);
+      return cand_.size() - begin < per_group_cap;
+    });
+    group_end_.push_back(cand_.size());
+  }
 }
 
 std::vector<int> ResourceLedger::selectNodes(int count, const NodeAllocation& request,
                                              double beta) const {
   SNS_REQUIRE(count >= 1, "selectNodes() needs count >= 1");
 
-  auto byScore = [&](int a, int b) {
-    const double sa = node(a).score(beta);
-    const double sb = node(b).score(beta);
-    if (sa != sb) return sa < sb;
-    return a < b;  // deterministic tie-break
+  // Rank `ids` by the node score Co + Bo + beta x Wo (hoisted: one score
+  // evaluation per candidate, not per comparison), id as the deterministic
+  // tie-break, and return the best `count`. Only the winning prefix is
+  // needed, so partial_sort suffices: the comparator is a strict total
+  // order, making the prefix identical to a full sort's.
+  // `ids_ascending` marks callers whose candidate list is already in
+  // ascending id order (a single group's scan); when additionally every
+  // candidate scores the same — the dominant case for exclusive requests,
+  // where all candidates are fully idle and score exactly 0.0 — the ranked
+  // prefix is just the first `count` ids, no sort needed.
+  auto best = [&](const int* ids, std::size_t n, bool ids_ascending) {
+    rank_scratch_.clear();
+    bool uniform = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int id = ids[i];
+      const double s = nodes_[static_cast<std::size_t>(id)].score(beta);
+      uniform = uniform && (i == 0 || s == rank_scratch_.front().first);
+      rank_scratch_.emplace_back(s, id);
+    }
+    if (!(uniform && ids_ascending)) {
+      // Identical prefix either way (strict total order); heap-based
+      // partial_sort only pays off when the prefix is a small slice.
+      if (static_cast<std::size_t>(count) * 4 >= n) {
+        std::sort(rank_scratch_.begin(), rank_scratch_.end());
+      } else {
+        std::partial_sort(
+            rank_scratch_.begin(),
+            rank_scratch_.begin() + static_cast<std::ptrdiff_t>(count),
+            rank_scratch_.end());
+      }
+    }
+    std::vector<int> out(static_cast<std::size_t>(count));
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = rank_scratch_[i].second;
+    return out;
   };
 
   // Walk feasible groups best-fit first (least idle cores that still hold
@@ -76,26 +156,51 @@ std::vector<int> ResourceLedger::selectNodes(int count, const NodeAllocation& re
   // Co + Bo + beta x Wo. If no single group suffices, fall back to the
   // idlest feasible nodes cluster-wide. Bucket scans are capped so a
   // single placement stays sub-linear on 32K-node clusters.
+  // Exclusive requests are a provable special case: they only fit on
+  // completely idle nodes (every resident allocation holds >= 1 core), so
+  // all candidates live in one group and score exactly 0.0 — the ranked
+  // prefix is the first `count` candidates, making any scan window
+  // >= count equivalent and the scoring pass unnecessary. CE and the
+  // E-mode arm of SNS place this request for every multi-node job, with
+  // `count` in the thousands on Fig 20 clusters.
+  if (request.exclusive) {
+    // Candidates can only be fully idle nodes, so when the free list is
+    // already too small the scan cannot succeed — failed placement
+    // attempts (a deep queue probing an overcommitted cluster every
+    // scheduling point) cost O(1) instead of a walk over every idle node.
+    // The full-scan path reaches the same empty answer by scanning.
+    if (!full_scan_ &&
+        buckets_[static_cast<std::size_t>(mach_->cores)].size() < count) {
+      return {};
+    }
+    collectCandidates(request, static_cast<std::size_t>(count));
+    if (cand_.size() < static_cast<std::size_t>(count)) return {};
+    std::size_t begin = 0;
+    for (std::size_t end : group_end_) {
+      if (end - begin >= static_cast<std::size_t>(count)) {
+        return {cand_.begin() + static_cast<std::ptrdiff_t>(begin),
+                cand_.begin() + static_cast<std::ptrdiff_t>(begin + count)};
+      }
+      begin = end;
+    }
+    return {};
+  }
+
   const std::size_t scan_cap =
       std::max<std::size_t>(64, 2 * static_cast<std::size_t>(count) + 8);
-  std::vector<int> accumulated;
-  for (auto it = groups_.lower_bound(request.cores); it != groups_.end(); ++it) {
-    std::vector<int> in_group;
-    for (int id : it->second) {
-      if (node(id).fits(request)) in_group.push_back(id);
-      if (in_group.size() >= scan_cap) break;
+  collectCandidates(request, scan_cap);
+  std::size_t begin = 0;
+  for (std::size_t end : group_end_) {
+    if (end - begin >= static_cast<std::size_t>(count)) {
+      return best(cand_.data() + begin, end - begin, /*ids_ascending=*/true);
     }
-    if (static_cast<int>(in_group.size()) >= count) {
-      std::sort(in_group.begin(), in_group.end(), byScore);
-      in_group.resize(static_cast<std::size_t>(count));
-      return in_group;
-    }
-    accumulated.insert(accumulated.end(), in_group.begin(), in_group.end());
+    begin = end;
   }
-  if (static_cast<int>(accumulated.size()) < count) return {};
-  std::sort(accumulated.begin(), accumulated.end(), byScore);
-  accumulated.resize(static_cast<std::size_t>(count));
-  return accumulated;
+  // No single group suffices: fall back to all feasible candidates, which
+  // is exactly the flattened group concatenation (ascending only within
+  // each group, so the shortcut does not apply).
+  if (cand_.size() < static_cast<std::size_t>(count)) return {};
+  return best(cand_.data(), cand_.size(), /*ids_ascending=*/false);
 }
 
 std::vector<int> ResourceLedger::selectNodesByAlignment(
@@ -125,19 +230,34 @@ std::vector<int> ResourceLedger::selectNodesByAlignment(
     return dot;
   };
 
-  std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
-    const double da = alignment(a);
-    const double db = alignment(b);
-    if (da != db) return da > db;  // best alignment first
-    return a < b;
-  });
+  // Only the top `count` are needed: precompute each candidate's alignment
+  // once and partial-sort, instead of the old full O(N log N) sort with
+  // the dot product re-derived inside the comparator. The comparator is a
+  // strict total order (id tie-break), so the selected prefix is identical
+  // to what a full sort would produce.
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(candidates.size());
+  for (int id : candidates) scored.emplace_back(alignment(id), id);
+  std::partial_sort(scored.begin(), scored.begin() + count, scored.end(),
+                    [](const std::pair<double, int>& a,
+                       const std::pair<double, int>& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
   candidates.resize(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    candidates[static_cast<std::size_t>(i)] = scored[static_cast<std::size_t>(i)].second;
+  }
   return candidates;
 }
 
 int ResourceLedger::idleNodeCount() const {
-  auto it = groups_.find(mach_->cores);
-  return it == groups_.end() ? 0 : static_cast<int>(it->second.size());
+  if (full_scan_) {
+    int idle = 0;
+    for (const NodeLedger& n : nodes_) idle += n.idle() ? 1 : 0;
+    return idle;
+  }
+  return static_cast<int>(buckets_[static_cast<std::size_t>(mach_->cores)].size());
 }
 
 }  // namespace sns::actuator

@@ -1,13 +1,73 @@
 #pragma once
 
-#include <map>
-#include <set>
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "sns/actuator/node_ledger.hpp"
 #include "sns/hw/machine.hpp"
 
 namespace sns::actuator {
+
+/// Fixed-universe set of node ids backed by a bitmap with a member count.
+/// insert/erase are two ALU ops (no tree rebalance, no heap traffic) and
+/// scan() enumerates members in ascending id order by walking 64-bit words
+/// — exactly the order the selection paths need. At 32K nodes a set is
+/// 4 KB, so even one per idle-core bucket stays cache-friendly.
+class NodeBitset {
+ public:
+  NodeBitset() = default;
+  explicit NodeBitset(int universe)
+      : words_(static_cast<std::size_t>(universe + 63) / 64, 0) {}
+
+  /// Returns false if the id was already present (nothing changed).
+  bool insert(int id) {
+    std::uint64_t& w = words_[static_cast<std::size_t>(id) >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (id & 63);
+    if (w & m) return false;
+    w |= m;
+    ++count_;
+    return true;
+  }
+
+  /// Returns false if the id was not present (nothing changed).
+  bool erase(int id) {
+    std::uint64_t& w = words_[static_cast<std::size_t>(id) >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (id & 63);
+    if (!(w & m)) return false;
+    w &= ~m;
+    --count_;
+    return true;
+  }
+
+  bool contains(int id) const {
+    return (words_[static_cast<std::size_t>(id) >> 6] >>
+            (id & 63)) & 1;
+  }
+
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Visit members in ascending id order; the visitor returns false to
+  /// stop early.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    int remaining = count_;
+    for (std::size_t w = 0; w < words_.size() && remaining > 0; ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int id = static_cast<int>(w << 6) + std::countr_zero(bits);
+        if (!fn(id)) return;
+        --remaining;
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  int count_ = 0;
+};
 
 /// Cluster-wide resource bookkeeping: one NodeLedger per node plus the node
 /// selection machinery the SNS scheduler uses (§4.4): nodes are clustered
@@ -16,10 +76,15 @@ namespace sns::actuator {
 /// falling back to the whole cluster; among candidates the least-loaded
 /// nodes win, by the score Co + Bo + beta x Wo.
 ///
-/// Nodes are indexed by idle-core count so selection stays fast on
-/// 32K-node clusters (the paper's Fig 20 simulations): groups are walked
-/// from most-idle down, and the walk stops as soon as groups cannot hold
-/// the per-node core request.
+/// Selection is index-driven so it stays fast on 32K-node clusters (the
+/// paper's Fig 20 simulations): a dense bucket array keyed by idle-core
+/// count is updated incrementally on every allocate/release, groups are
+/// walked best-fit first, bucket scans are capped, and the fully-idle
+/// bucket doubles as the free list CE-style exclusive placements draw
+/// from. The original implementation — rebuild the grouping by scanning
+/// every node on each query — is kept behind setFullScan(true) as the
+/// equivalence baseline: both paths must return bit-identical selections
+/// (tests/sim/test_sim_equivalence.cpp, tests/actuator).
 class ResourceLedger {
  public:
   ResourceLedger(int nodes, const hw::MachineConfig& mach);
@@ -27,12 +92,21 @@ class ResourceLedger {
   int nodeCount() const { return static_cast<int>(nodes_.size()); }
   const NodeLedger& node(int id) const;
 
+  /// A/B switch: when true, every query recomputes the idle-core grouping
+  /// from a full scan of all nodes (the legacy O(N) path) instead of using
+  /// the incrementally maintained index. Results must be identical; the
+  /// flag exists so equivalence tests can prove the index is maintained
+  /// correctly.
+  void setFullScan(bool on) { full_scan_ = on; }
+  bool fullScan() const { return full_scan_; }
+
   /// All mutations go through the ledger so the idle-core index stays
   /// consistent.
   void allocate(int node, JobId job, const NodeAllocation& alloc);
   void release(int node, JobId job);
 
-  /// Nodes where the request fits (unordered).
+  /// Nodes where the request fits, most-idle group first, ascending id
+  /// within a group.
   std::vector<int> feasibleNodes(const NodeAllocation& request) const;
   std::vector<int> feasibleNodes(int cores, int ways, double bw_gbps,
                                  bool exclusive) const {
@@ -57,7 +131,8 @@ class ResourceLedger {
                        beta);
   }
 
-  /// Count of completely idle nodes (for CE feasibility checks).
+  /// Count of completely idle nodes (for CE feasibility checks). O(1) on
+  /// the indexed path: the fully-idle bucket is the free list.
   int idleNodeCount() const;
 
   /// Number of nodes currently running at least one job.
@@ -68,11 +143,29 @@ class ResourceLedger {
  private:
   NodeLedger& mutableNode(int id);
   void reindex(int id, int old_idle);
+  /// Collect feasible candidates grouped by idle-core count into the
+  /// cand_ / group_end_ scratch: ascending from request.cores (best-fit
+  /// first), ascending id within a group; each group's scan stops at
+  /// `per_group_cap` candidates. Shared core of the indexed and full-scan
+  /// selection paths — both produce this exact sequence, which is what the
+  /// equivalence tests pin down. Flattened into reusable buffers so a
+  /// placement query allocates nothing at steady state.
+  void collectCandidates(const NodeAllocation& request,
+                         std::size_t per_group_cap) const;
 
   const hw::MachineConfig* mach_;
   std::vector<NodeLedger> nodes_;
-  /// idle-core count -> node ids (the paper's node groups)
-  std::map<int, std::set<int>> groups_;
+  /// Scratch for collectCandidates/selectNodes (selection is logically
+  /// const; a ledger is owned by one simulator and not shared across
+  /// threads).
+  mutable std::vector<int> cand_;            ///< flattened candidate ids
+  mutable std::vector<std::size_t> group_end_;  ///< prefix end per group
+  mutable std::vector<std::pair<double, int>> rank_scratch_;
+  /// buckets_[c] = ids of nodes with exactly c idle cores (the paper's node
+  /// groups), maintained on every allocate/release. buckets_[cores] is the
+  /// idle-node free list.
+  std::vector<NodeBitset> buckets_;
+  bool full_scan_ = false;
 };
 
 }  // namespace sns::actuator

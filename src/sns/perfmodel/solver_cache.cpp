@@ -1,0 +1,73 @@
+#include "sns/perfmodel/solver_cache.hpp"
+
+#include <bit>
+
+namespace sns::perfmodel {
+
+namespace {
+inline std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  // splitmix64-style combine: cheap and well-distributed for bit patterns.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+std::size_t SolverCache::SigHash::operator()(const Signature& sig) const {
+  std::uint64_t h = sig.size();
+  for (const Key& k : sig) {
+    h = mix(h, reinterpret_cast<std::uintptr_t>(k.prog));
+    h = mix(h, static_cast<std::uint64_t>(k.procs));
+    h = mix(h, k.ways_bits);
+    h = mix(h, k.remote_bits);
+    h = mix(h, k.intensity_bits);
+    h = mix(h, k.cap_bits);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+const std::vector<ShareOutcome>& SolverCache::solve(
+    std::span<const NodeShare> shares) {
+  scratch_.clear();
+  scratch_.reserve(shares.size());
+  for (const NodeShare& s : shares) {
+    scratch_.push_back({s.prog, s.procs, std::bit_cast<std::uint64_t>(s.ways),
+                        std::bit_cast<std::uint64_t>(s.remote_frac),
+                        std::bit_cast<std::uint64_t>(s.mem_intensity),
+                        std::bit_cast<std::uint64_t>(s.bw_cap_gbps)});
+  }
+  // Same-signature fast path: every node of a K-node exclusive placement
+  // issues the same single-share lookup back to back, so one vector
+  // compare replaces K-1 hash probes.
+  if (last_ != nullptr && scratch_ == *last_sig_) {
+    ++hits_;
+    return *last_;
+  }
+  auto it = cache_.find(scratch_);
+  if (it != cache_.end()) {
+    ++hits_;
+    last_sig_ = &it->first;
+    last_ = &it->second;
+    return it->second;
+  }
+  ++misses_;
+  if (cache_.size() >= kMaxEntries) {
+    cache_.clear();
+    last_sig_ = nullptr;
+    last_ = nullptr;
+  }
+  auto [ins, added] = cache_.emplace(scratch_, solver_->solve(shares));
+  (void)added;
+  last_sig_ = &ins->first;
+  last_ = &ins->second;
+  return ins->second;
+}
+
+void SolverCache::clear() {
+  cache_.clear();
+  last_sig_ = nullptr;
+  last_ = nullptr;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace sns::perfmodel

@@ -2,32 +2,101 @@
 
 #include <algorithm>
 
-#include "sns/util/error.hpp"
-
 namespace sns::sched {
 
+namespace {
+/// Priority order: submit time, then id. Tombstoned slots keep their key so
+/// ordered insertion stays correct between compactions.
+bool before(const Job& a, const Job& b) {
+  if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+  return a.id < b.id;
+}
+}  // namespace
+
 void JobQueue::push(Job job) {
-  // Insert keeping (submit_time, id) order; submissions usually arrive in
-  // order so this is O(1) amortized.
-  auto it = std::upper_bound(jobs_.begin(), jobs_.end(), job,
-                             [](const Job& a, const Job& b) {
-                               if (a.submit_time != b.submit_time)
-                                 return a.submit_time < b.submit_time;
-                               return a.id < b.id;
+  maintain();
+  SNS_REQUIRE(pos_.count(job.id) == 0, "job id already queued");
+  auto it = std::upper_bound(slots_.begin(), slots_.end(), job,
+                             [](const Job& a, const Slot& s) {
+                               return before(a, s.job);
                              });
-  jobs_.insert(it, std::move(job));
+  if (it == slots_.end()) {
+    // Submissions almost always arrive in order: O(1) append.
+    pos_.emplace(job.id, base_ + slots_.size());
+    slots_.push_back(Slot{std::move(job), true});
+  } else {
+    // Out-of-order submit: insert mid-queue and rebuild the index (rare).
+    slots_.insert(it, Slot{std::move(job), true});
+    rebuildIndex();
+  }
+  ++live_;
+}
+
+std::vector<Job> JobQueue::pending() const {
+  std::vector<Job> out;
+  out.reserve(live_);
+  for (const Slot& s : slots_) {
+    if (s.live) out.push_back(s.job);
+  }
+  return out;
 }
 
 void JobQueue::remove(JobId id) {
-  auto it = std::find_if(jobs_.begin(), jobs_.end(),
-                         [&](const Job& j) { return j.id == id; });
-  SNS_REQUIRE(it != jobs_.end(), "job not in queue");
-  jobs_.erase(it);
+  auto it = pos_.find(id);
+  SNS_REQUIRE(it != pos_.end(), "job not in queue");
+  bury(it->second - base_);
+  popDeadPrefix();
+}
+
+void JobQueue::bury(std::size_t phys) {
+  SNS_REQUIRE(phys < slots_.size() && slots_[phys].live,
+              "queue tombstone index corrupt");
+  slots_[phys].live = false;
+  pos_.erase(slots_[phys].job.id);
+  --live_;
+  ++dead_;
+}
+
+void JobQueue::popDeadPrefix() {
+  while (!slots_.empty() && !slots_.front().live) {
+    slots_.pop_front();
+    ++base_;
+    --dead_;
+  }
+  first_live_ = 0;
+}
+
+void JobQueue::maintain() {
+  popDeadPrefix();
+  if (dead_ > 32 && dead_ > live_) {
+    slots_.erase(std::remove_if(slots_.begin(), slots_.end(),
+                                [](const Slot& s) { return !s.live; }),
+                 slots_.end());
+    dead_ = 0;
+    rebuildIndex();
+  }
+}
+
+void JobQueue::rebuildIndex() {
+  base_ = 0;
+  first_live_ = 0;
+  pos_.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) pos_.emplace(slots_[i].job.id, i);
+  }
+}
+
+const Job* JobQueue::headJob() const {
+  for (std::size_t i = first_live_; i < slots_.size(); ++i) {
+    if (slots_[i].live) return &slots_[i].job;
+  }
+  return nullptr;
 }
 
 bool JobQueue::headStarved(double now, double age_limit) const {
-  if (jobs_.empty()) return false;
-  return jobs_.front().age(now) > age_limit;
+  const Job* head = headJob();
+  if (head == nullptr) return false;
+  return head->age(now) > age_limit;
 }
 
 }  // namespace sns::sched

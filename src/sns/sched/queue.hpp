@@ -1,9 +1,11 @@
 #pragma once
 
 #include <deque>
+#include <unordered_map>
 #include <vector>
 
 #include "sns/sched/job.hpp"
+#include "sns/util/error.hpp"
 
 namespace sns::sched {
 
@@ -14,24 +16,77 @@ namespace sns::sched {
 /// younger job may jump ahead of it (anti-starvation: "a configurable age
 /// limit prevents starvation, so that resource-demanding jobs do not get
 /// delayed once reaching this limit").
+///
+/// Dispatch removal is O(1) amortized: removed jobs are tombstoned in
+/// place (an id → position index finds them), dead head slots are popped
+/// lazily, and the store is compacted only when tombstones outnumber live
+/// jobs. Trace replays remove thousands of backfilled jobs from the middle
+/// of a deep queue, where the old linear erase was a per-dispatch O(Q)
+/// memmove.
 class JobQueue {
  public:
+  /// Visitor verdict for walk().
+  enum class Walk {
+    kContinue,       ///< keep the job, move to the next live one
+    kRemove,         ///< remove the job, move to the next live one
+    kStop,           ///< keep the job, end the walk
+    kRemoveAndStop,  ///< remove the job, end the walk
+  };
+
   void push(Job job);
-  bool empty() const { return jobs_.empty(); }
-  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
-  /// Jobs in priority order (submit time, then id).
-  const std::deque<Job>& pending() const { return jobs_; }
+  /// Snapshot of the live jobs in priority order (submit time, then id).
+  /// O(live) copy — for tests and inspection, not the scheduling hot path;
+  /// the scheduler uses walk().
+  std::vector<Job> pending() const;
 
-  /// Remove a job by id (after it was dispatched).
+  /// Remove a job by id (after it was dispatched). Must not be called
+  /// while a walk() is in progress — return Walk::kRemove instead.
   void remove(JobId id);
+
+  /// Visit live jobs in priority order without copying. The visitor may
+  /// remove the job it is currently shown (via kRemove / kRemoveAndStop);
+  /// the walk then continues with the next live job. Structural cleanup
+  /// (popping dead head slots, compaction) happens between walks, so
+  /// visiting is safe against the tombstone bookkeeping.
+  template <typename Fn>
+  void walk(Fn&& fn) {
+    maintain();
+    for (std::size_t i = first_live_; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (!s.live) continue;
+      const Walk w = fn(static_cast<const Job&>(s.job));
+      if (w == Walk::kRemove || w == Walk::kRemoveAndStop) bury(i);
+      if (w == Walk::kStop || w == Walk::kRemoveAndStop) break;
+    }
+    popDeadPrefix();
+  }
 
   /// True if the queue's head job has waited past `age_limit` at time
   /// `now` — the signal to stop backfilling younger jobs.
   bool headStarved(double now, double age_limit) const;
 
  private:
-  std::deque<Job> jobs_;
+  struct Slot {
+    Job job;
+    bool live = true;
+  };
+
+  void bury(std::size_t phys);
+  void popDeadPrefix();
+  void maintain();       ///< prefix pop + compaction when tombstone-heavy
+  void rebuildIndex();   ///< recompute pos_ / base_ after a structural edit
+  const Job* headJob() const;
+
+  std::deque<Slot> slots_;
+  /// id -> sequence number; physical index = seq - base_.
+  std::unordered_map<JobId, std::size_t> pos_;
+  std::size_t base_ = 0;        ///< sequence number of slots_.front()
+  std::size_t live_ = 0;
+  std::size_t dead_ = 0;
+  std::size_t first_live_ = 0;  ///< physical index hint of the first live slot
 };
 
 }  // namespace sns::sched

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <set>
 
 #include "sns/app/comm.hpp"
 #include "sns/profile/exploration.hpp"
@@ -21,13 +20,13 @@ constexpr double kDoneEps = 1e-9;
 /// replayed as callbacks carrying the up-to-date JobRecord.
 struct LegacyHookSink final : obs::EventSink {
   const SimConfig* cfg = nullptr;
-  const std::map<sched::JobId, JobRecord>* records = nullptr;
+  const std::vector<JobRecord>* records = nullptr;
 
   void record(const obs::Event& e) override {
     if (e.type == obs::EventType::kJobStarted) {
-      if (cfg->on_start) cfg->on_start(records->at(e.job));
+      if (cfg->on_start) cfg->on_start((*records)[static_cast<std::size_t>(e.job)]);
     } else if (e.type == obs::EventType::kJobFinished) {
-      if (cfg->on_finish) cfg->on_finish(records->at(e.job));
+      if (cfg->on_finish) cfg->on_finish((*records)[static_cast<std::size_t>(e.job)]);
     }
   }
 };
@@ -40,8 +39,10 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
       library_(&library),
       db_(&db),
       cfg_(cfg),
-      ledger_(cfg.nodes, est.machine()) {
+      ledger_(cfg.nodes, est.machine()),
+      solve_cache_(est.solver()) {
   SNS_REQUIRE(cfg.nodes >= 1, "simulator needs at least one node");
+  ledger_.setFullScan(!cfg_.opt.indexed_ledger);
   if (cfg_.policy == sched::PolicyKind::kSNS) {
     policy_ = std::make_unique<sched::SnsPolicy>(est, cfg_.sns);
   } else {
@@ -50,6 +51,7 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
   node_jobs_.resize(static_cast<std::size_t>(cfg.nodes));
   node_solution_.resize(static_cast<std::size_t>(cfg.nodes));
   node_net_demand_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
+  busy_pos_.assign(static_cast<std::size_t>(cfg.nodes), -1);
   episode_accum_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
   node_donated_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
   if (cfg_.online_profiling) {
@@ -66,6 +68,7 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
     const std::vector<double> time_buckets = {1,   10,   30,   60,   120,  300,
                                               600, 1200, 3600, 7200, 14400};
     m_solver_calls_ = &m.counter("sim.solver_calls");
+    m_solver_memo_hits_ = &m.counter("sim.solver_memo_hits");
     m_submitted_ = &m.counter("sim.jobs_submitted");
     m_started_ = &m.counter("sim.jobs_started");
     m_finished_ = &m.counter("sim.jobs_finished");
@@ -82,6 +85,46 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
   }
 }
 
+void ClusterSimulator::activate(sched::JobId id) {
+  auto& pos = active_pos_[static_cast<std::size_t>(id)];
+  SNS_REQUIRE(pos < 0, "job already active");
+  pos = static_cast<std::int32_t>(active_.size());
+  active_.push_back(id);
+}
+
+void ClusterSimulator::deactivate(sched::JobId id) {
+  auto& pos = active_pos_[static_cast<std::size_t>(id)];
+  SNS_REQUIRE(pos >= 0, "job not active");
+  const sched::JobId last = active_.back();
+  active_[static_cast<std::size_t>(pos)] = last;
+  active_pos_[static_cast<std::size_t>(last)] = pos;
+  active_.pop_back();
+  pos = -1;
+}
+
+void ClusterSimulator::addResident(int nd, sched::JobId id) {
+  auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
+  if (jobs.empty()) {
+    busy_pos_[static_cast<std::size_t>(nd)] =
+        static_cast<std::int32_t>(busy_nodes_.size());
+    busy_nodes_.push_back(nd);
+  }
+  jobs.push_back(id);
+}
+
+void ClusterSimulator::removeResident(int nd, sched::JobId id) {
+  auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
+  jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+  if (jobs.empty()) {
+    auto& pos = busy_pos_[static_cast<std::size_t>(nd)];
+    const int last = busy_nodes_.back();
+    busy_nodes_[static_cast<std::size_t>(pos)] = last;
+    busy_pos_[static_cast<std::size_t>(last)] = pos;
+    busy_nodes_.pop_back();
+    pos = -1;
+  }
+}
+
 void ClusterSimulator::noteDonations(int nd) {
   if (!cfg_.donate_unused_ways) return;
   if (!rec_.enabled() && m_ways_donated_ == nullptr) return;
@@ -92,7 +135,7 @@ void ClusterSimulator::noteDonations(int nd) {
     // Donation is only meaningful for partitioned co-runners: exclusive
     // and unpartitioned jobs already see the whole cache.
     if (alloc.exclusive || alloc.ways == 0) continue;
-    total += node.effectiveWays(id) - alloc.ways;
+    total += node.effectiveWays(alloc) - alloc.ways;
   }
   double& prev = node_donated_[static_cast<std::size_t>(nd)];
   const double delta = total - prev;
@@ -115,52 +158,82 @@ void ClusterSimulator::admit(sched::Job job) {
 void ClusterSimulator::resolveNode(int nd) {
   auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
   auto& sol = node_solution_[static_cast<std::size_t>(nd)];
-  sol.clear();
+  sol.rate.clear();
+  sol.bw.clear();
   if (jobs.empty()) return;
 
   if (m_solver_calls_) m_solver_calls_->inc();
-  std::vector<perfmodel::NodeShare> shares;
-  shares.reserve(jobs.size());
+  const auto& node = ledger_.node(nd);
+  shares_scratch_.clear();
+  shares_scratch_.reserve(jobs.size());
   for (sched::JobId id : jobs) {
-    const Running& r = running_.at(id);
-    const double rf = app::remoteFraction(r.prog->comm.pattern, r.spec.procs,
-                                          r.placement.procs_per_node,
-                                          r.placement.nodeCount());
-    const auto& alloc = ledger_.node(nd).allocation(id);
+    const Running& r = running(id);
+    const double rf = r.remote_frac;  // placement-fixed, hoisted to startJob
+    const auto& alloc = node.allocation(id);
     const double ways = cfg_.donate_unused_ways
-                            ? ledger_.node(nd).effectiveWays(id)
+                            ? node.effectiveWays(alloc)
                             : static_cast<double>(alloc.ways);
     const double cap = cfg_.enforce_bandwidth_caps && !alloc.exclusive
                            ? alloc.bw_gbps
                            : 0.0;
-    shares.push_back({r.prog, r.placement.procs_per_node, ways, rf, 1.0, cap});
+    shares_scratch_.push_back({r.prog, r.placement.procs_per_node, ways, rf, 1.0, cap});
   }
-  const auto outcomes = est_->solver().solve(shares);
+
+  const std::vector<perfmodel::ShareOutcome>* outcomes;
+  if (cfg_.opt.memoize_solves) {
+    const std::uint64_t hits_before = solve_cache_.hits();
+    outcomes = &solve_cache_.solve(shares_scratch_);
+    if (m_solver_memo_hits_ && solve_cache_.hits() > hits_before) {
+      m_solver_memo_hits_->inc();
+    }
+  } else {
+    outcomes_scratch_ = est_->solver().solve(shares_scratch_);
+    outcomes = &outcomes_scratch_;
+  }
+  sol.rate.reserve(jobs.size());
+  sol.bw.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    sol[jobs[i]] = {outcomes[i].rate_per_proc, outcomes[i].bw_gbps};
+    sol.rate.push_back((*outcomes)[i].rate_per_proc);
+    sol.bw.push_back((*outcomes)[i].bw_gbps);
   }
 }
 
 void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
-  for (int nd : dirty_nodes) resolveNode(nd);
-
   // Jobs touching a dirty node need their progress rate re-derived.
-  std::set<sched::JobId> affected;
+  // Deduplicate with epoch stamps (collected in the same pass that
+  // re-solves each node) and sort, so the per-job refresh runs in
+  // ascending id order, exactly like the old std::set-based collection.
+  if (++stamp_epoch_ == 0) {
+    std::fill(job_stamp_.begin(), job_stamp_.end(), 0u);
+    stamp_epoch_ = 1;
+  }
+  affected_scratch_.clear();
   for (int nd : dirty_nodes) {
+    resolveNode(nd);
     for (sched::JobId id : node_jobs_[static_cast<std::size_t>(nd)]) {
-      affected.insert(id);
+      auto& stamp = job_stamp_[static_cast<std::size_t>(id)];
+      if (stamp != stamp_epoch_) {
+        stamp = stamp_epoch_;
+        affected_scratch_.push_back(id);
+      }
     }
   }
+  std::sort(affected_scratch_.begin(), affected_scratch_.end());
+
   const double nic_cap = est_->machine().net_bw_gbps;
-  for (sched::JobId id : affected) {
-    Running& r = running_.at(id);
+  for (sched::JobId id : affected_scratch_) {
+    Running& r = running(id);
     double corun_rate = kInf;
     double bw_sum = 0.0;
     double net_over = 1.0;
     for (int nd : r.placement.nodes) {
-      const auto& entry = node_solution_[static_cast<std::size_t>(nd)].at(id);
-      corun_rate = std::min(corun_rate, entry.first);
-      bw_sum += entry.second;
+      const auto& resident = node_jobs_[static_cast<std::size_t>(nd)];
+      const auto& sol = node_solution_[static_cast<std::size_t>(nd)];
+      std::size_t k = 0;
+      while (k < resident.size() && resident[k] != id) ++k;
+      SNS_REQUIRE(k < resident.size(), "job missing from node solution");
+      corun_rate = std::min(corun_rate, sol.rate[k]);
+      bw_sum += sol.bw[k];
       // NIC oversubscription on this node stretches everyone's comm.
       net_over = std::max(
           net_over, node_net_demand_[static_cast<std::size_t>(nd)] / nic_cap);
@@ -188,11 +261,14 @@ void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
 
 void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p,
                                 double now) {
-  Running r;
+  Running& r = running(job.id);
+  r = Running{};
   r.id = job.id;
   r.prog = job.program;
   r.spec = job.spec;
   r.placement = p;
+  r.remote_frac = app::remoteFraction(job.program->comm.pattern, job.spec.procs,
+                                      p.procs_per_node, p.nodeCount());
 
   // Solo baseline at the allocated ways (full cache when unpartitioned or
   // exclusive: alone, the job would own the whole LLC).
@@ -220,14 +296,15 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
                            solo.remote_frac / solo.time
                      : 0.0;
 
-  running_[job.id] = std::move(r);
+  activate(job.id);
+  const actuator::NodeAllocation alloc = p.nodeAllocation();
   for (int nd : p.nodes) {
-    ledger_.allocate(nd, job.id, p.nodeAllocation());
-    node_jobs_[static_cast<std::size_t>(nd)].push_back(job.id);
-    node_net_demand_[static_cast<std::size_t>(nd)] += running_[job.id].nic_demand;
+    ledger_.allocate(nd, job.id, alloc);
+    addResident(nd, job.id);
+    node_net_demand_[static_cast<std::size_t>(nd)] += r.nic_demand;
   }
 
-  JobRecord& rec = records_.at(job.id);
+  JobRecord& rec = records_[static_cast<std::size_t>(job.id)];
   rec.start = now;
   rec.placement = p;
   // job_started drives the legacy on_start hook through the adapter sink,
@@ -240,8 +317,8 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
 }
 
 void ClusterSimulator::finishJob(sched::JobId id, double now) {
-  const Running& r = running_.at(id);
-  JobRecord& record = records_.at(id);
+  const Running& r = running(id);
+  JobRecord& record = records_[static_cast<std::size_t>(id)];
   record.finish = now;
   rec_.jobFinished(id, record.spec.program, record.runTime());
   if (m_finished_) m_finished_->inc();
@@ -268,14 +345,80 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
   }
   for (int nd : r.placement.nodes) {
     ledger_.release(nd, id);
-    auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
-    jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+    removeResident(nd, id);
     node_net_demand_[static_cast<std::size_t>(nd)] -= r.nic_demand;
     noteDonations(nd);
   }
-  const std::vector<int> dirty = r.placement.nodes;
-  running_.erase(id);
-  refreshRates(dirty);
+  deactivate(id);
+  // The Running slot (and its placement node list) stays valid after
+  // deactivation — no copy of the dirty-node list is needed.
+  refreshRates(r.placement.nodes);
+}
+
+bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
+  auto p = policy_->tryPlace(job, ledger_, local_db_);
+  if (!p.has_value()) return false;
+  const sched::Job job_copy = job;
+  startJob(job_copy, *p, now);
+  refreshRates(p->nodes);
+  return true;
+}
+
+void ClusterSimulator::scheduleSinglePass(double now) {
+  // One priority-ordered walk. A placement only consumes resources and
+  // per-node feasibility is monotone in free capacity, so a job that
+  // failed tryPlace earlier in this pass can never succeed later in the
+  // same pass — continuing past a placement visits exactly the jobs the
+  // legacy restart-from-head walk would have placed, in the same order,
+  // without re-running tryPlace over the already-skipped prefix. The
+  // `scanned` counter tracks the job's live queue position so the
+  // max_queue_scan window and the head-age check keep their legacy
+  // semantics.
+  int scanned = 0;
+  queue_.walk([&](const sched::Job& job) {
+    using W = sched::JobQueue::Walk;
+    if (++scanned > cfg_.max_queue_scan) return W::kStop;
+    if (tryDispatch(job, now)) {
+      --scanned;  // the dispatched job no longer occupies a queue position
+      return W::kRemove;
+    }
+    // Anti-starvation: once the head job has aged past the limit, no
+    // younger job may be backfilled ahead of it.
+    if (scanned == 1 && job.age(now) > cfg_.age_limit_s) {
+      rec_.backfillSkipped(job.id, job.age(now),
+                           "head job aged past the backfill age limit");
+      if (m_backfill_skips_) m_backfill_skips_->inc();
+      return W::kStop;
+    }
+    return W::kContinue;
+  });
+}
+
+void ClusterSimulator::scheduleLegacy(double now) {
+  // Legacy walk: restart from the head after every successful placement,
+  // re-running tryPlace over the whole skipped prefix. Kept for the
+  // equivalence suite; the placements it produces are identical to
+  // scheduleSinglePass().
+  bool placed_any = true;
+  while (placed_any) {
+    placed_any = false;
+    int scanned = 0;
+    queue_.walk([&](const sched::Job& job) {
+      using W = sched::JobQueue::Walk;
+      if (++scanned > cfg_.max_queue_scan) return W::kStop;
+      if (tryDispatch(job, now)) {
+        placed_any = true;
+        return W::kRemoveAndStop;  // queue changed; restart the walk
+      }
+      if (scanned == 1 && job.age(now) > cfg_.age_limit_s) {
+        rec_.backfillSkipped(job.id, job.age(now),
+                             "head job aged past the backfill age limit");
+        if (m_backfill_skips_) m_backfill_skips_->inc();
+        return W::kStop;
+      }
+      return W::kContinue;
+    });
+  }
 }
 
 void ClusterSimulator::schedule(double now) {
@@ -283,30 +426,10 @@ void ClusterSimulator::schedule(double now) {
   const auto wall_begin = m_decision_us_ ? Clock::now() : Clock::time_point{};
   if (m_sched_passes_) m_sched_passes_->inc();
 
-  bool placed_any = true;
-  while (placed_any) {
-    placed_any = false;
-    int scanned = 0;
-    for (const sched::Job& job : queue_.pending()) {
-      if (++scanned > cfg_.max_queue_scan) break;
-      auto p = policy_->tryPlace(job, ledger_, local_db_);
-      if (p.has_value()) {
-        const sched::Job job_copy = job;
-        queue_.remove(job.id);
-        startJob(job_copy, *p, now);
-        refreshRates(p->nodes);
-        placed_any = true;
-        break;  // queue mutated; restart the walk
-      }
-      // Anti-starvation: once the head job has aged past the limit, no
-      // younger job may be backfilled ahead of it.
-      if (scanned == 1 && job.age(now) > cfg_.age_limit_s) {
-        rec_.backfillSkipped(job.id, job.age(now),
-                             "head job aged past the backfill age limit");
-        if (m_backfill_skips_) m_backfill_skips_->inc();
-        break;
-      }
-    }
+  if (cfg_.opt.single_pass_schedule) {
+    scheduleSinglePass(now);
+  } else {
+    scheduleLegacy(now);
   }
 
   if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
@@ -327,29 +450,32 @@ void ClusterSimulator::accumulate(double t0, double t1) {
 
   // Per-node bandwidth is piecewise constant over [t0, t1): sum of each
   // resident job's bandwidth weighted by the fraction of its time spent in
-  // the memory-active (compute) component.
-  const int n_nodes = ledger_.nodeCount();
-  std::vector<double> node_bw(static_cast<std::size_t>(n_nodes), 0.0);
-  for (int nd = 0; nd < n_nodes; ++nd) {
+  // the memory-active (compute) component. Idle nodes contribute zero, so
+  // only the busy-node list is touched; the scratch buffer is a hoisted
+  // member, so steady-state events allocate nothing.
+  bw_scratch_.clear();
+  for (int nd : busy_nodes_) {
+    const auto& resident = node_jobs_[static_cast<std::size_t>(nd)];
+    const auto& sol = node_solution_[static_cast<std::size_t>(nd)];
     double bw = 0.0;
-    for (sched::JobId id : node_jobs_[static_cast<std::size_t>(nd)]) {
-      const Running& r = running_.at(id);
+    for (std::size_t i = 0; i < resident.size(); ++i) {
+      const Running& r = running(resident[i]);
       const double t_inst = 1.0 / r.rate;
       const double comp_part =
           t_inst - r.comm_data_time * r.net_stretch - r.wait_time;
       const double weight = comp_part > 0.0 ? comp_part / t_inst : 0.0;
-      bw += node_solution_[static_cast<std::size_t>(nd)].at(id).second * weight;
+      bw += sol.bw[i] * weight;
     }
-    node_bw[static_cast<std::size_t>(nd)] = bw;
+    bw_scratch_.emplace_back(nd, bw);
   }
 
+  const int n_nodes = ledger_.nodeCount();
   double t = t0;
   while (t < t1 - 1e-12) {
     const double boundary = episode_start_ + cfg_.monitor_episode_s;
     const double span_end = std::min(t1, boundary);
-    for (int nd = 0; nd < n_nodes; ++nd) {
-      episode_accum_[static_cast<std::size_t>(nd)] +=
-          node_bw[static_cast<std::size_t>(nd)] * (span_end - t);
+    for (const auto& [nd, bw] : bw_scratch_) {
+      episode_accum_[static_cast<std::size_t>(nd)] += bw * (span_end - t);
     }
     if (span_end >= boundary - 1e-12) {
       // Close the episode: store per-node averages.
@@ -392,13 +518,25 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   // Reset state so a simulator instance can be reused. The scheduler reads
   // the run-local database: a copy of the seed database that the online
   // monitor (if enabled) extends during the run.
+  const std::size_t n = jobs.size();
   local_db_ = *db_;
   ledger_ = actuator::ResourceLedger(cfg_.nodes, est_->machine());
+  ledger_.setFullScan(!cfg_.opt.indexed_ledger);
   queue_ = sched::JobQueue{};
-  running_.clear();
-  records_.clear();
+  solve_cache_.clear();
+  running_.assign(n, Running{});
+  records_.assign(n, JobRecord{});
+  active_.clear();
+  active_pos_.assign(n, -1);
+  job_stamp_.assign(n, 0u);
+  stamp_epoch_ = 0;
   for (auto& v : node_jobs_) v.clear();
-  for (auto& m : node_solution_) m.clear();
+  for (auto& s : node_solution_) {
+    s.rate.clear();
+    s.bw.clear();
+  }
+  busy_nodes_.clear();
+  std::fill(busy_pos_.begin(), busy_pos_.end(), -1);
   std::fill(node_net_demand_.begin(), node_net_demand_.end(), 0.0);
   episodes_.clear();
   std::fill(episode_accum_.begin(), episode_accum_.end(), 0.0);
@@ -408,19 +546,18 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
 
   // Build submit-ordered job list.
   std::vector<sched::Job> submits;
-  submits.reserve(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
+  submits.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     sched::Job j;
     j.id = static_cast<sched::JobId>(i);
     j.spec = jobs[i];
     j.program = &app::findProgram(*library_, jobs[i].program);
     SNS_REQUIRE(j.program->calibrated(), "program must be calibrated");
     j.submit_time = jobs[i].submit_time;
-    JobRecord rec;
+    JobRecord& rec = records_[i];
     rec.id = j.id;
     rec.spec = jobs[i];
     rec.submit = jobs[i].submit_time;
-    records_[j.id] = rec;
     submits.push_back(std::move(j));
   }
   std::stable_sort(submits.begin(), submits.end(),
@@ -438,10 +575,11 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   }
   schedule(now);
 
-  while (!running_.empty() || !queue_.empty() || next_submit < submits.size()) {
+  while (!active_.empty() || !queue_.empty() || next_submit < submits.size()) {
     // Next completion.
     double t_finish = kInf;
-    for (const auto& [id, r] : running_) {
+    for (sched::JobId id : active_) {
+      const Running& r = running(id);
       t_finish = std::min(t_finish, now + r.remaining / r.rate);
     }
     // Next submission.
@@ -453,7 +591,10 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     const double t_next = std::min(t_finish, t_submit);
 
     accumulate(now, t_next);
-    for (auto& [id, r] : running_) r.remaining -= (t_next - now) * r.rate;
+    for (sched::JobId id : active_) {
+      Running& r = running(id);
+      r.remaining -= (t_next - now) * r.rate;
+    }
     now = t_next;
     rec_.setTime(now);
 
@@ -462,12 +603,16 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
       admit(std::move(submits[next_submit++]));
     }
 
-    // Finish all jobs that completed at this instant.
-    std::vector<sched::JobId> done;
-    for (const auto& [id, r] : running_) {
-      if (r.remaining <= kDoneEps) done.push_back(id);
+    // Finish all jobs that completed at this instant, in ascending id
+    // order (the active list is unordered; sorting keeps the finish
+    // sequence — and hence events and profile merges — deterministic and
+    // identical to the old map iteration).
+    done_scratch_.clear();
+    for (sched::JobId id : active_) {
+      if (running(id).remaining <= kDoneEps) done_scratch_.push_back(id);
     }
-    for (sched::JobId id : done) finishJob(id, now);
+    std::sort(done_scratch_.begin(), done_scratch_.end());
+    for (sched::JobId id : done_scratch_) finishJob(id, now);
 
     schedule(now);
   }
@@ -483,13 +628,10 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
           ep[static_cast<std::size_t>(nd)]);
     }
   }
-  res.jobs.reserve(records_.size());
-  for (auto& [id, rec] : records_) {
+  for (const JobRecord& rec : records_) {
     SNS_REQUIRE(rec.completed(), "job never completed");
-    res.jobs.push_back(rec);
   }
-  std::sort(res.jobs.begin(), res.jobs.end(),
-            [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
+  res.jobs = records_;  // already in ascending id order
   // Detach the per-run sink chain (tee / legacy adapter live on this
   // frame) before it goes out of scope.
   rec_.setSink(nullptr);

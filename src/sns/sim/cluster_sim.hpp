@@ -1,7 +1,7 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "sns/actuator/resource_ledger.hpp"
@@ -10,6 +10,7 @@
 #include "sns/obs/metrics.hpp"
 #include "sns/obs/recorder.hpp"
 #include "sns/perfmodel/estimator.hpp"
+#include "sns/perfmodel/solver_cache.hpp"
 #include "sns/profile/database.hpp"
 #include "sns/profile/profiler.hpp"
 #include "sns/sched/policies.hpp"
@@ -18,6 +19,27 @@
 namespace sns::sim {
 
 struct JobRecord;
+
+/// Performance-path switches of the simulator. Everything defaults to the
+/// fast path; each legacy path is kept so the equivalence suite
+/// (tests/sim/test_sim_equivalence.cpp) can prove optimized == legacy
+/// bit-for-bit on the simulated results. See DESIGN.md "Simulator
+/// performance architecture".
+struct SimOptFlags {
+  /// Incrementally maintained idle-core index in the resource ledger vs
+  /// the legacy full scan of all nodes per selection query.
+  bool indexed_ledger = true;
+  /// Cache NodeContentionSolver::solve() outcomes keyed on the node's
+  /// co-run signature; trace replay re-solves identical co-run sets
+  /// thousands of times.
+  bool memoize_solves = true;
+  /// Walk the queue once per scheduling point, continuing past a
+  /// successful placement (placements only shrink free resources, so
+  /// previously skipped jobs stay unplaceable within the point) vs the
+  /// legacy restart-from-head walk that re-ran tryPlace over the whole
+  /// skipped prefix after every placement — O(Q^2) in queue depth.
+  bool single_pass_schedule = true;
+};
 
 /// Simulator knobs.
 struct SimConfig {
@@ -42,6 +64,8 @@ struct SimConfig {
   /// PMU/episode knobs of the online monitor.
   profile::ProfilerConfig monitor;
   sched::SnsPolicy::Options sns;    ///< SNS-specific options
+  /// Hot-path implementation switches (A/B-testable; results identical).
+  SimOptFlags opt;
   /// Structured decision trace (sns::obs): every scheduling attempt,
   /// placement, way donation, backfill skip and job start/finish is
   /// recorded into this sink. Null (the default) disables tracing
@@ -106,6 +130,14 @@ struct SimResult {
 /// completion re-solves the affected nodes. The scheduling policy only
 /// sees the resource ledger and the profile database — never the ground
 /// truth — which preserves the paper's belief-vs-reality split.
+///
+/// Hot-path state is dense: job ids are contiguous (assigned 0..n-1 per
+/// run), so per-job state lives in vectors indexed by JobId with a compact
+/// active-id list, per-node co-run solutions are arrays parallel to the
+/// node's resident list, and per-event scratch buffers are hoisted into
+/// members. This is what lets the paper's Fig 20 replay (7,044 jobs on up
+/// to 32K nodes) run in seconds; see DESIGN.md "Simulator performance
+/// architecture".
 class ClusterSimulator {
  public:
   ClusterSimulator(const perfmodel::Estimator& est,
@@ -131,6 +163,7 @@ class ClusterSimulator {
     double comm_data_time = 0.0;   ///< placement-fixed data-movement time
     double wait_time = 0.0;        ///< placement-fixed sync-wait time
     double nic_demand = 0.0;       ///< per-node NIC bandwidth demand, GB/s
+    double remote_frac = 0.0;      ///< placement-fixed remote-traffic fraction
     double solo_rate = 0.0;        ///< per-proc instr rate when alone
     double remaining = 1.0;        ///< fraction of the job left
     double rate = 0.0;             ///< d(remaining)/dt under current co-run
@@ -139,7 +172,17 @@ class ClusterSimulator {
     bool throttled = false;        ///< MBA cap currently binding (for events)
   };
 
+  /// Per-node co-run solution, parallel to node_jobs_[nd]: rate[i] / bw[i]
+  /// belong to job node_jobs_[nd][i].
+  struct NodeSolution {
+    std::vector<double> rate;
+    std::vector<double> bw;
+  };
+
   void schedule(double now);
+  void scheduleSinglePass(double now);
+  void scheduleLegacy(double now);
+  bool tryDispatch(const sched::Job& job, double now);  ///< tryPlace + start
   void startJob(const sched::Job& job, const sched::Placement& p, double now);
   void finishJob(sched::JobId id, double now);
   void resolveNode(int node);
@@ -151,6 +194,15 @@ class ClusterSimulator {
   /// change. Only called at placement changes, and only when observing.
   void noteDonations(int nd);
 
+  Running& running(sched::JobId id) { return running_[static_cast<std::size_t>(id)]; }
+  bool alive(sched::JobId id) const {
+    return active_pos_[static_cast<std::size_t>(id)] >= 0;
+  }
+  void activate(sched::JobId id);
+  void deactivate(sched::JobId id);
+  void addResident(int nd, sched::JobId id);
+  void removeResident(int nd, sched::JobId id);
+
   const perfmodel::Estimator* est_;
   const std::vector<app::ProgramModel>* library_;
   const profile::ProfileDatabase* db_;
@@ -161,18 +213,37 @@ class ClusterSimulator {
   std::unique_ptr<sched::SchedulingPolicy> policy_;
   actuator::ResourceLedger ledger_;
   sched::JobQueue queue_;
-  std::map<sched::JobId, Running> running_;
-  std::map<sched::JobId, JobRecord> records_;
+  perfmodel::SolverCache solve_cache_;
+
+  /// Dense per-job state, indexed by contiguous JobId (0..n_jobs-1).
+  std::vector<Running> running_;
+  std::vector<JobRecord> records_;
+  std::vector<sched::JobId> active_;       ///< ids of in-flight jobs
+  std::vector<std::int32_t> active_pos_;   ///< id -> index in active_, -1 if idle
+
   /// jobs resident on each node
   std::vector<std::vector<sched::JobId>> node_jobs_;
   /// per-node, per-job achieved compute rate / bandwidth from the last solve
-  std::vector<std::map<sched::JobId, std::pair<double, double>>> node_solution_;
+  std::vector<NodeSolution> node_solution_;
   /// total NIC bandwidth demand per node (ground-truth network contention)
   std::vector<double> node_net_demand_;
+  /// nodes hosting at least one job (so accumulate() touches only them)
+  std::vector<int> busy_nodes_;
+  std::vector<std::int32_t> busy_pos_;     ///< node -> index in busy_nodes_, -1
+
   std::vector<double> episode_accum_;   ///< per-node GB*s within current episode
   std::vector<std::vector<double>> episodes_;
   double episode_start_ = 0.0;
   double busy_integral_ = 0.0;
+
+  /// Hoisted scratch buffers (no per-event allocation at steady state).
+  std::vector<perfmodel::NodeShare> shares_scratch_;
+  std::vector<perfmodel::ShareOutcome> outcomes_scratch_;
+  std::vector<sched::JobId> affected_scratch_;
+  std::vector<std::uint32_t> job_stamp_;   ///< refreshRates dedup stamps
+  std::uint32_t stamp_epoch_ = 0;
+  std::vector<std::pair<int, double>> bw_scratch_;  ///< (node, bandwidth)
+  std::vector<sched::JobId> done_scratch_;
 
   /// Decision tracing + metrics (sns::obs). The recorder's sink is wired
   /// per run(): the configured sink plus, when legacy callbacks are set,
@@ -180,6 +251,7 @@ class ClusterSimulator {
   obs::Recorder rec_;
   std::vector<double> node_donated_;  ///< last observed donated ways per node
   obs::Counter* m_solver_calls_ = nullptr;
+  obs::Counter* m_solver_memo_hits_ = nullptr;
   obs::Counter* m_submitted_ = nullptr;
   obs::Counter* m_started_ = nullptr;
   obs::Counter* m_finished_ = nullptr;

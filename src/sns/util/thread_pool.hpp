@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sns::util {
+
+/// Fixed-size worker pool for embarrassingly parallel harness work — e.g.
+/// replaying the (cluster-size x ratio x policy) grid of bench_fig20, where
+/// every ClusterSimulator instance is self-contained and only shares
+/// immutable inputs (estimator, program library, profile database).
+///
+/// Tasks run in submission order when workers are free; submit() returns a
+/// future for the task's result. Exceptions propagate through the future.
+/// The destructor drains the queue (all submitted tasks run) and joins.
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace sns::util

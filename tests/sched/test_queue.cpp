@@ -66,6 +66,83 @@ TEST(JobQueue, HeadStarvedAfterAgeLimit) {
   EXPECT_TRUE(q.headStarved(150.0, 100.0));
 }
 
+TEST(JobQueue, RemoveUnderIteration) {
+  // The scheduler's single-pass walk removes dispatched jobs while the
+  // walk is in flight: the visitor's kRemove must tombstone the current
+  // job and keep visiting the remaining live jobs in priority order.
+  JobQueue q;
+  for (JobId id = 1; id <= 6; ++id) q.push(makeJob(id, static_cast<double>(id)));
+  std::vector<JobId> visited;
+  q.walk([&](const Job& j) {
+    visited.push_back(j.id);
+    return j.id % 2 == 0 ? JobQueue::Walk::kRemove : JobQueue::Walk::kContinue;
+  });
+  EXPECT_EQ(visited, (std::vector<JobId>{1, 2, 3, 4, 5, 6}));
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pending()[0].id, 1);
+  EXPECT_EQ(q.pending()[1].id, 3);
+  EXPECT_EQ(q.pending()[2].id, 5);
+
+  // A second walk sees only survivors; kRemoveAndStop removes the shown
+  // job and ends the walk without visiting the rest.
+  visited.clear();
+  q.walk([&](const Job& j) {
+    visited.push_back(j.id);
+    return j.id == 3 ? JobQueue::Walk::kRemoveAndStop : JobQueue::Walk::kContinue;
+  });
+  EXPECT_EQ(visited, (std::vector<JobId>{1, 3}));
+  ASSERT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pending()[0].id, 1);
+  EXPECT_EQ(q.pending()[1].id, 5);
+}
+
+TEST(JobQueue, TombstoneCompactionPreservesOrderAndIndex) {
+  // Remove far more jobs than survive so the tombstone store compacts;
+  // the id index and priority order must survive compaction, and later
+  // removals by id must still resolve.
+  JobQueue q;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    q.push(makeJob(static_cast<JobId>(i + 1), static_cast<double>(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i % 4 != 0) q.remove(static_cast<JobId>(i + 1));  // kill 75%
+  }
+  ASSERT_EQ(q.size(), static_cast<std::size_t>(n / 4));
+  const auto live = q.pending();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].id, static_cast<JobId>(4 * i + 1));
+  }
+  // Post-compaction removals and walks still work.
+  q.remove(5);
+  EXPECT_THROW(q.remove(5), util::PreconditionError);
+  std::size_t seen = 0;
+  q.walk([&](const Job&) {
+    ++seen;
+    return JobQueue::Walk::kContinue;
+  });
+  EXPECT_EQ(seen, q.size());
+}
+
+TEST(JobQueue, OutOfOrderPushAfterRemovals) {
+  // Mid-queue inserts (late submit times arriving out of order) rebuild
+  // the index; mixing them with tombstones must keep priority order.
+  JobQueue q;
+  q.push(makeJob(1, 10.0));
+  q.push(makeJob(2, 30.0));
+  q.push(makeJob(3, 50.0));
+  q.remove(2);
+  q.push(makeJob(4, 20.0));  // lands between the live 1 and 3
+  q.push(makeJob(5, 40.0));
+  ASSERT_EQ(q.size(), 4u);
+  const auto live = q.pending();
+  EXPECT_EQ(live[0].id, 1);
+  EXPECT_EQ(live[1].id, 4);
+  EXPECT_EQ(live[2].id, 5);
+  EXPECT_EQ(live[3].id, 3);
+  EXPECT_TRUE(q.headStarved(100.0, 50.0));
+}
+
 TEST(JobQueue, JobAge) {
   const Job j = makeJob(1, 10.0);
   EXPECT_DOUBLE_EQ(j.age(25.0), 15.0);
