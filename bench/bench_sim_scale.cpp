@@ -60,7 +60,8 @@ int main(int argc, char** argv) {
                                                    sched::PolicyKind::kSNS};
 
   util::Table t({"nodes", "policy", "wall s", "events", "events/s",
-                 "decision mean us", "decision p99 us", "memo hit %"});
+                 "decision mean us", "decision p99 us", "memo hit %",
+                 "cache hit %"});
   util::Json::Array results;
   for (int nodes : cluster_sizes) {
     for (sched::PolicyKind policy : policies) {
@@ -92,12 +93,24 @@ int main(int argc, char** argv) {
       const double memo_hits = counterValue(metrics, "sim.solver_memo_hits");
       const double memo_pct =
           solver_calls > 0.0 ? 100.0 * memo_hits / solver_calls : 0.0;
+      // SolverCache publishes its own counters through the registry
+      // (solver.cache.*): unlike sim.solver_memo_hits — one per re-solved
+      // node — these count individual cache lookups, including the
+      // same-signature fast path, and whole-cache eviction wipes.
+      const double cache_hits = counterValue(metrics, "solver.cache.hits");
+      const double cache_misses = counterValue(metrics, "solver.cache.misses");
+      const double cache_evictions =
+          counterValue(metrics, "solver.cache.evictions");
+      const double cache_hit_pct =
+          cache_hits + cache_misses > 0.0
+              ? 100.0 * cache_hits / (cache_hits + cache_misses)
+              : 0.0;
 
       const std::string policy_name = res.policy;
       t.addRow({std::to_string(nodes), policy_name, util::fmt(wall_s, 3),
                 util::fmt(events, 0), util::fmt(events_per_s, 0),
                 util::fmt(dec_mean, 1), util::fmt(dec_p99, 1),
-                util::fmt(memo_pct, 1)});
+                util::fmt(memo_pct, 1), util::fmt(cache_hit_pct, 1)});
 
       util::Json row;
       row["nodes"] = nodes;
@@ -109,6 +122,9 @@ int main(int argc, char** argv) {
       row["decision_us_p99"] = dec_p99;
       row["solver_calls"] = solver_calls;
       row["solver_memo_hits"] = memo_hits;
+      row["solver_cache_hits"] = cache_hits;
+      row["solver_cache_misses"] = cache_misses;
+      row["solver_cache_evictions"] = cache_evictions;
       row["jobs_completed"] = counterValue(metrics, "sim.jobs_finished");
       row["mean_turnaround_s"] = res.meanTurnaround();
       results.push_back(std::move(row));

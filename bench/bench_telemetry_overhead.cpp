@@ -1,0 +1,170 @@
+// Telemetry overhead: wall-clock of the Fig-20 synthetic-trace replay
+// (the deployment scenario `uberun report` targets) with the
+// sns::telemetry stack off versus on — periodic sampler + SLO watchdog at
+// the CLI's 600 s trace period, then additionally the phase profiler. The
+// budget for the sampling path is <2%: the hot loop pays one due() check
+// per event, a full sample is only built when a period boundary elapsed,
+// and at 4K nodes the per-node series are disabled so each tick is nine
+// series appends plus three SLO rule checks.
+//
+// A second, deliberately adversarial table runs the tiny 8-node testbed
+// workload at a 1 s period — sub-millisecond simulations where sampling
+// ticks outnumber scheduler events ~50:1. That row documents the cost of
+// a mismatched period (it is NOT gated): pick a period that matches the
+// workload's event density, as the CLI defaults do.
+#include <chrono>
+#include <cstdio>
+
+#include "common.hpp"
+#include "sns/obs/metrics.hpp"
+#include "sns/telemetry/phase_profiler.hpp"
+#include "sns/telemetry/sampler.hpp"
+#include "sns/trace/replay.hpp"
+#include "sns/util/stats.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Variant {
+  bool sampler = false;
+  bool phases = false;
+};
+
+struct TraceSetup {
+  std::vector<sns::app::JobSpec> jobs;
+  sns::profile::ProfileDatabase db;
+};
+
+double runTraceOnce(const snsbench::Env& env, const TraceSetup& ts, Variant v,
+                    std::uint64_t* ticks_out) {
+  using namespace sns;
+  telemetry::TimeSeriesStore store(512);
+  telemetry::SloWatchdog watchdog(telemetry::SloWatchdog::defaultRules());
+  telemetry::SamplerConfig scfg;
+  scfg.period_s = 600.0;  // the CLI's fig20 default
+  telemetry::Sampler sampler(store, scfg);
+  sampler.attachWatchdog(&watchdog);
+  telemetry::PhaseProfiler phases;
+  obs::Registry reg;
+
+  sim::SimConfig cfg;
+  cfg.nodes = 4096;
+  cfg.policy = sched::PolicyKind::kSNS;
+  cfg.monitor_episode_s = 0.0;
+  cfg.age_limit_s = 14.0 * 86400.0;
+  cfg.max_queue_scan = 256;
+  // The registry is attached in every variant (its own cost is what
+  // bench_obs_overhead measures), so the deltas here isolate telemetry.
+  cfg.metrics = &reg;
+  if (v.sampler) cfg.sampler = &sampler;
+  if (v.phases) cfg.phases = &phases;
+  sim::ClusterSimulator sim(env.est(), env.lib(), ts.db, cfg);
+
+  const auto t0 = Clock::now();
+  const auto res = sim.run(ts.jobs);
+  const auto t1 = Clock::now();
+  if (res.jobs.empty()) std::abort();  // keep the loop observable
+  if (ticks_out != nullptr) *ticks_out = sampler.ticks();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double runTestbedOnce(const snsbench::Env& env,
+                      const std::vector<std::vector<sns::app::JobSpec>>& seqs,
+                      bool enable) {
+  using namespace sns;
+  const auto t0 = Clock::now();
+  for (const auto& seq : seqs) {
+    telemetry::TimeSeriesStore store(256);
+    telemetry::SamplerConfig scfg;
+    scfg.period_s = 1.0;
+    telemetry::Sampler sampler(store, scfg);
+    sim::SimConfig cfg;
+    cfg.nodes = 8;
+    cfg.policy = sched::PolicyKind::kSNS;
+    if (enable) cfg.sampler = &sampler;
+    const auto res = env.run(cfg, seq);
+    if (res.jobs.empty()) std::abort();
+  }
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sns;
+  snsbench::Env env;
+
+  TraceSetup ts;
+  {
+    trace::TraceGenParams params;
+    params.jobs = 700;
+    params.horizon_hours = 1900.0 * params.jobs / 7044.0;
+    util::Rng trace_rng(0x7417177);
+    const auto raw = trace::generateTrace(trace_rng, params);
+    const double ratio = 0.9;
+    util::Rng map_rng(static_cast<std::uint64_t>(ratio * 1000));
+    ts.jobs = trace::mapTraceToJobs(map_rng, raw, ratio, env.est().machine().cores);
+    ts.db = trace::synthesizeTraceProfiles(env.db(), 16, ts.jobs, env.est());
+  }
+
+  constexpr int kReps = 5;
+  std::vector<double> off_ms, sample_ms, full_ms;
+  std::uint64_t ticks = 0;
+  // Interleave the variants so machine drift hits all three equally.
+  for (int r = 0; r < kReps; ++r) {
+    off_ms.push_back(runTraceOnce(env, ts, {false, false}, nullptr));
+    sample_ms.push_back(runTraceOnce(env, ts, {true, false},
+                                     r == 0 ? &ticks : nullptr));
+    full_ms.push_back(runTraceOnce(env, ts, {true, true}, nullptr));
+  }
+
+  // Minimum over reps, not mean: the minimum is the run least disturbed by
+  // the machine, which is the honest basis for a relative-overhead gate.
+  const double off = util::minOf(off_ms);
+  const double sample_over = util::minOf(sample_ms) / off - 1.0;
+  std::printf("=== sns::telemetry overhead: Fig-20 trace, %zu jobs on 4096 "
+              "nodes, %d reps ===\n\n",
+              ts.jobs.size(), kReps);
+  util::Table t({"variant", "mean (ms)", "min (ms)", "vs disabled (min)"});
+  auto row = [&](const char* name, const std::vector<double>& xs) {
+    t.addRow({name, util::fmt(util::mean(xs), 1), util::fmt(util::minOf(xs), 1),
+              util::fmtPct(util::minOf(xs) / off - 1.0)});
+  };
+  row("telemetry disabled", off_ms);
+  row("sampler + SLO watchdog", sample_ms);
+  row("sampler + phase profiler", full_ms);
+  std::printf("%s\n", t.render().c_str());
+  std::printf("sampler took %llu ticks at the 600 s period; sampling-path "
+              "overhead %s (budget <2%%)\n\n",
+              static_cast<unsigned long long>(ticks),
+              util::fmtPct(sample_over).c_str());
+
+  // Adversarial period: sub-millisecond testbed runs sampled at 1 s.
+  std::vector<double> tb_off, tb_on;
+  std::vector<std::vector<app::JobSpec>> seqs;
+  util::Rng rng(3356152);
+  for (int s = 0; s < 12; ++s) {
+    seqs.push_back(app::randomSequence(rng, env.lib(), 20, 0.9));
+  }
+  for (int r = 0; r < kReps; ++r) {
+    tb_off.push_back(runTestbedOnce(env, seqs, false));
+    tb_on.push_back(runTestbedOnce(env, seqs, true));
+  }
+  std::printf("mismatched-period reference (8-node testbed, 1 s period, not "
+              "gated):\n  disabled %.1f ms, sampled %.1f ms (%s) — ~50 ticks "
+              "per scheduler event;\n  match the period to the workload's "
+              "event density, as the CLI defaults do.\n",
+              util::minOf(tb_off), util::minOf(tb_on),
+              util::fmtPct(util::minOf(tb_on) / util::minOf(tb_off) - 1.0)
+                  .c_str());
+
+  // Exit non-zero when the sampling path blows the documented budget, so
+  // CI treats a regression as a failure. The budget is 2% under quiet
+  // conditions; run-to-run variance of min-of-5 on shared runners is
+  // itself a few percent, so the gate trips at 10% — wide enough to never
+  // flake, tight enough to catch an accidental O(nodes) sample rebuild
+  // (which measured 10-15% before the ledger kept cluster-level totals).
+  return sample_over < 0.10 ? 0 : 1;
+}

@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   sim::SimResult results[3];
   obs::Registry registries[3];
   std::string trace_paths[3];
+  std::uint64_t event_drops[3] = {0, 0, 0};
   const sched::PolicyKind kinds[3] = {sched::PolicyKind::kCE,
                                       sched::PolicyKind::kCS,
                                       sched::PolicyKind::kSNS};
@@ -55,6 +56,7 @@ int main(int argc, char** argv) {
     results[i] = sim.run(seq);
     trace_paths[i] = "faceoff_" + results[i].policy + ".perfetto.json";
     sim::writePerfettoFile(trace_paths[i], results[i], log.snapshot());
+    event_drops[i] = log.dropped();
   }
   const auto& ce = results[0];
 
@@ -82,10 +84,11 @@ int main(int argc, char** argv) {
     const auto* dec = reg.findHistogram("sim.decision_us");
     std::printf(
         "%-3s | jobs %.0f | geomean slowdown %.2fx | alpha violations %d | "
-        "sched p99 %.0f us | trace %s\n",
+        "sched p99 %.0f us | events dropped %llu | trace %s\n",
         r.policy.c_str(), fin != nullptr ? fin->value() : 0.0,
         util::geomean(ratios), sim::thresholdViolations(r, ce, 0.9),
-        dec != nullptr ? dec->quantile(0.99) : 0.0, trace_paths[i].c_str());
+        dec != nullptr ? dec->quantile(0.99) : 0.0,
+        static_cast<unsigned long long>(event_drops[i]), trace_paths[i].c_str());
   }
 
   std::printf("\nschedules (dominant job per node over time):\n");

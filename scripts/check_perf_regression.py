@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Guard against simulator-throughput collapse.
+
+Compares a fresh BENCH_sim_scale.json (typically from `bench_sim_scale
+--quick` on a CI runner) against the checked-in baseline, cell by cell
+(nodes, policy). CI hardware is unrelated to the machine that produced the
+baseline and the quick trace is smaller than the full one, so absolute
+numbers are not comparable — the guard only fails when a cell's simulated
+events per wall-second collapses by more than --tolerance (default 8x),
+which catches algorithmic regressions (an accidental O(N) scan in the hot
+loop, a disabled memo cache) while shrugging off runner noise.
+
+Exit status: 0 when every comparable cell is within tolerance, 1 on
+regression, 2 on bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    cells = {}
+    for row in doc.get("results", []):
+        cells[(row["nodes"], row["policy"])] = row
+    if not cells:
+        print(f"error: {path} has no results", file=sys.stderr)
+        sys.exit(2)
+    return cells
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_sim_scale.json",
+                    help="checked-in reference results")
+    ap.add_argument("--current", required=True,
+                    help="fresh results to validate")
+    ap.add_argument("--tolerance", type=float, default=8.0,
+                    help="max allowed events/sec collapse factor (default 8)")
+    args = ap.parse_args()
+
+    base = load_cells(args.baseline)
+    cur = load_cells(args.current)
+
+    regressions = []
+    compared = 0
+    print(f"{'nodes':>6} {'policy':<6} {'baseline ev/s':>14} "
+          f"{'current ev/s':>14} {'ratio':>7}")
+    for key in sorted(base):
+        if key not in cur:
+            print(f"{key[0]:>6} {key[1]:<6} {'':>14} {'(missing)':>14}")
+            continue
+        b = base[key]["events_per_sec"]
+        c = cur[key]["events_per_sec"]
+        if b <= 0 or c <= 0:
+            continue
+        compared += 1
+        ratio = c / b
+        flag = ""
+        if ratio * args.tolerance < 1.0:
+            flag = "  << REGRESSION"
+            regressions.append(key)
+        print(f"{key[0]:>6} {key[1]:<6} {b:>14.0f} {c:>14.0f} "
+              f"{ratio:>6.2f}x{flag}")
+
+    if compared == 0:
+        print("error: no comparable cells between baseline and current",
+              file=sys.stderr)
+        return 2
+    if regressions:
+        cells = ", ".join(f"{n} nodes/{p}" for n, p in regressions)
+        print(f"\nFAIL: events/sec collapsed by more than "
+              f"{args.tolerance:.0f}x in: {cells}", file=sys.stderr)
+        return 1
+    print(f"\nOK: {compared} cell(s) within the {args.tolerance:.0f}x "
+          f"tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

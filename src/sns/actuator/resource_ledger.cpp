@@ -38,12 +38,19 @@ void ResourceLedger::reindex(int id, int old_idle) {
 void ResourceLedger::allocate(int nd, JobId job, const NodeAllocation& alloc) {
   const int old_idle = node(nd).idleCores();
   mutableNode(nd).allocate(job, alloc);
+  total_cores_used_ += alloc.cores;
+  total_ways_reserved_ += alloc.ways;
+  total_bw_reserved_ += alloc.bw_gbps;
   reindex(nd, old_idle);
 }
 
 void ResourceLedger::release(int nd, JobId job) {
   const int old_idle = node(nd).idleCores();
+  const NodeAllocation alloc = node(nd).allocation(job);
   mutableNode(nd).release(job);
+  total_cores_used_ -= alloc.cores;
+  total_ways_reserved_ -= alloc.ways;
+  total_bw_reserved_ -= alloc.bw_gbps;
   reindex(nd, old_idle);
 }
 

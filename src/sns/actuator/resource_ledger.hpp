@@ -138,6 +138,24 @@ class ResourceLedger {
   /// Number of nodes currently running at least one job.
   int busyNodeCount() const { return nodeCount() - idleNodeCount(); }
 
+  // ---- cluster-mean occupancy fractions, O(1) -------------------------------
+  // Per-node occupancy is linear in the allocation's (cores, ways, bw), and
+  // every node shares one machine config, so the cluster mean reduces to
+  // reserved totals maintained on each allocate/release. The telemetry
+  // sampler reads these on every tick; recomputing them from 32K node
+  // ledgers would cost more than the simulation step being sampled.
+  double meanCoreOccupancy() const {
+    return static_cast<double>(total_cores_used_) /
+           (static_cast<double>(mach_->cores) * nodeCount());
+  }
+  double meanWayOccupancy() const {
+    return static_cast<double>(total_ways_reserved_) /
+           (static_cast<double>(mach_->llc_ways) * nodeCount());
+  }
+  double meanBwOccupancy() const {
+    return total_bw_reserved_ / (mach_->peakBandwidth() * nodeCount());
+  }
+
   const hw::MachineConfig& machine() const { return *mach_; }
 
  private:
@@ -166,6 +184,12 @@ class ResourceLedger {
   /// idle-node free list.
   std::vector<NodeBitset> buckets_;
   bool full_scan_ = false;
+  /// Reserved-resource totals across all nodes (see meanCoreOccupancy()).
+  /// Cores and ways are integers, so their totals are drift-free; the
+  /// bandwidth total accumulates at most one ulp per allocate/release.
+  std::int64_t total_cores_used_ = 0;
+  std::int64_t total_ways_reserved_ = 0;
+  double total_bw_reserved_ = 0.0;
 };
 
 }  // namespace sns::actuator

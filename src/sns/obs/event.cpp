@@ -16,6 +16,7 @@ const char* to_string(EventType t) {
     case EventType::kMonitorEpisode: return "monitor_episode";
     case EventType::kJobStarted: return "job_started";
     case EventType::kJobFinished: return "job_finished";
+    case EventType::kSloViolation: return "slo_violation";
   }
   return "unknown";
 }

@@ -27,6 +27,7 @@ enum class EventType : std::uint8_t {
   kMonitorEpisode,        ///< one fixed-allocation profiling episode (§5.1)
   kJobStarted,            ///< resources allocated, job is running
   kJobFinished,           ///< job completed, resources about to be released
+  kSloViolation,          ///< a telemetry SLO rule entered violation
 };
 
 /// Stable lowercase name, e.g. "placement_decided" (used by the JSONL sink
@@ -62,6 +63,8 @@ struct NodeScore {
 ///   job_started:           job, what=program, node=first node, ways, scale,
 ///                          value=node count, value2=exclusive(0/1)
 ///   job_finished:          job, what=program, value=run time (s)
+///   slo_violation:         what=rule name, value=observed, value2=threshold,
+///                          detail=human-readable cause
 struct Event {
   EventType type = EventType::kJobSubmitted;
   double time = 0.0;   ///< simulation time, seconds

@@ -169,6 +169,18 @@ class Recorder {
     emit(std::move(e));
   }
 
+  void sloViolation(std::string_view rule, double observed, double threshold,
+                    std::string_view cause) {
+    if (sink_ == nullptr) return;
+    Event e;
+    e.type = EventType::kSloViolation;
+    e.what = rule;
+    e.value = observed;
+    e.value2 = threshold;
+    e.detail = cause;
+    emit(std::move(e));
+  }
+
   void jobFinished(std::int64_t job, std::string_view program, double run_s) {
     if (sink_ == nullptr) return;
     Event e;

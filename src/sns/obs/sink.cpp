@@ -9,6 +9,10 @@ RingBufferLog::RingBufferLog(std::size_t capacity) : buf_(capacity) {
 }
 
 void RingBufferLog::record(const Event& e) {
+  if (size_ == buf_.size()) {
+    ++dropped_;
+    dropped_through_t_ = buf_[head_].time;
+  }
   buf_[head_] = e;
   head_ = (head_ + 1) % buf_.size();
   if (size_ < buf_.size()) ++size_;
@@ -30,6 +34,8 @@ void RingBufferLog::clear() {
   head_ = 0;
   size_ = 0;
   total_ = 0;
+  dropped_ = 0;
+  dropped_through_t_ = 0.0;
 }
 
 void JsonlSink::record(const Event& e) {

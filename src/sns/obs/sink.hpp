@@ -41,8 +41,14 @@ class RingBufferLog final : public EventSink {
   std::size_t capacity() const { return buf_.size(); }
   /// Events ever recorded, including those since overwritten.
   std::uint64_t totalRecorded() const { return total_; }
-  /// Events lost to overwriting.
-  std::uint64_t dropped() const { return total_ - size_; }
+  /// Events lost to overwriting — counted explicitly at each overwrite so
+  /// the run digest can report flight-recorder truncation, and so the
+  /// count survives future retention-policy changes that would break the
+  /// old derived total-minus-size arithmetic.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Timestamp of the most recently overwritten event: everything at or
+  /// before this instant is gone from the buffer (0 when nothing dropped).
+  double droppedThrough() const { return dropped_through_t_; }
 
   /// Retained events, oldest first.
   std::vector<Event> snapshot() const;
@@ -54,6 +60,8 @@ class RingBufferLog final : public EventSink {
   std::size_t head_ = 0;  ///< next write position
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+  double dropped_through_t_ = 0.0;
 };
 
 /// Streams each event as one compact JSON object per line (JSONL) —

@@ -40,17 +40,22 @@ const std::vector<ShareOutcome>& SolverCache::solve(
   // compare replaces K-1 hash probes.
   if (last_ != nullptr && scratch_ == *last_sig_) {
     ++hits_;
+    if (m_hits_) m_hits_->inc();
     return *last_;
   }
   auto it = cache_.find(scratch_);
   if (it != cache_.end()) {
     ++hits_;
+    if (m_hits_) m_hits_->inc();
     last_sig_ = &it->first;
     last_ = &it->second;
     return it->second;
   }
   ++misses_;
+  if (m_misses_) m_misses_->inc();
   if (cache_.size() >= kMaxEntries) {
+    evictions_ += cache_.size();
+    if (m_evictions_) m_evictions_->inc(static_cast<double>(cache_.size()));
     cache_.clear();
     last_sig_ = nullptr;
     last_ = nullptr;
@@ -68,6 +73,13 @@ void SolverCache::clear() {
   last_ = nullptr;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+}
+
+void SolverCache::attachMetrics(obs::Registry& reg) {
+  m_hits_ = &reg.counter("solver.cache.hits");
+  m_misses_ = &reg.counter("solver.cache.misses");
+  m_evictions_ = &reg.counter("solver.cache.evictions");
 }
 
 }  // namespace sns::perfmodel

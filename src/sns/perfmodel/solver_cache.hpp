@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sns/obs/metrics.hpp"
 #include "sns/perfmodel/contention.hpp"
 
 namespace sns::perfmodel {
@@ -34,6 +35,15 @@ class SolverCache {
   std::size_t size() const { return cache_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Entries discarded by the capacity safety valve (whole-cache wipes).
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Publish hit/miss/evict counts as `solver.cache.{hits,misses,evictions}`
+  /// counters in `reg`, updated inline on every lookup. The registry must
+  /// outlive the cache (instrument references are stable). clear() resets
+  /// the cache's own counters but never rolls the registry back — registry
+  /// counters are cumulative across runs, like every other instrument.
+  void attachMetrics(obs::Registry& reg);
 
  private:
   struct Key {
@@ -64,6 +74,10 @@ class SolverCache {
   const std::vector<ShareOutcome>* last_ = nullptr;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
 };
 
 }  // namespace sns::perfmodel

@@ -99,4 +99,9 @@ bool JobQueue::headStarved(double now, double age_limit) const {
   return head->age(now) > age_limit;
 }
 
+double JobQueue::headAge(double now) const {
+  const Job* head = headJob();
+  return head != nullptr ? head->age(now) : 0.0;
+}
+
 }  // namespace sns::sched

@@ -68,6 +68,10 @@ class JobQueue {
   /// `now` — the signal to stop backfilling younger jobs.
   bool headStarved(double now, double age_limit) const;
 
+  /// Waiting age of the head job at time `now`; 0 when the queue is empty.
+  /// The telemetry sampler reads this every tick (queue-starvation SLO).
+  double headAge(double now) const;
+
  private:
   struct Slot {
     Job job;

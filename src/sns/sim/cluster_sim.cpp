@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "sns/app/comm.hpp"
 #include "sns/profile/exploration.hpp"
@@ -62,6 +63,7 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
   // recorder's sink is wired per run().
   policy_->attachRecorder(&rec_);
   if (cfg_.metrics != nullptr) {
+    solve_cache_.attachMetrics(*cfg_.metrics);
     // Fetch instrument pointers once; hot-loop updates are then a null
     // check plus an add — no map lookups, no allocations.
     auto& m = *cfg_.metrics;
@@ -180,15 +182,18 @@ void ClusterSimulator::resolveNode(int nd) {
   }
 
   const std::vector<perfmodel::ShareOutcome>* outcomes;
-  if (cfg_.opt.memoize_solves) {
-    const std::uint64_t hits_before = solve_cache_.hits();
-    outcomes = &solve_cache_.solve(shares_scratch_);
-    if (m_solver_memo_hits_ && solve_cache_.hits() > hits_before) {
-      m_solver_memo_hits_->inc();
+  {
+    telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kContentionSolve);
+    if (cfg_.opt.memoize_solves) {
+      const std::uint64_t hits_before = solve_cache_.hits();
+      outcomes = &solve_cache_.solve(shares_scratch_);
+      if (m_solver_memo_hits_ && solve_cache_.hits() > hits_before) {
+        m_solver_memo_hits_->inc();
+      }
+    } else {
+      outcomes_scratch_ = est_->solver().solve(shares_scratch_);
+      outcomes = &outcomes_scratch_;
     }
-  } else {
-    outcomes_scratch_ = est_->solver().solve(shares_scratch_);
-    outcomes = &outcomes_scratch_;
   }
   sol.rate.reserve(jobs.size());
   sol.bw.reserve(jobs.size());
@@ -199,6 +204,7 @@ void ClusterSimulator::resolveNode(int nd) {
 }
 
 void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
+  telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kRateRefresh);
   // Jobs touching a dirty node need their progress rate re-derived.
   // Deduplicate with epoch stamps (collected in the same pass that
   // re-solves each node) and sort, so the per-job refresh runs in
@@ -356,8 +362,13 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
 }
 
 bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
-  auto p = policy_->tryPlace(job, ledger_, local_db_);
+  std::optional<sched::Placement> p;
+  {
+    telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kLedgerScan);
+    p = policy_->tryPlace(job, ledger_, local_db_);
+  }
   if (!p.has_value()) return false;
+  telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kPlacementCommit);
   const sched::Job job_copy = job;
   startJob(job_copy, *p, now);
   refreshRates(p->nodes);
@@ -426,10 +437,13 @@ void ClusterSimulator::schedule(double now) {
   const auto wall_begin = m_decision_us_ ? Clock::now() : Clock::time_point{};
   if (m_sched_passes_) m_sched_passes_->inc();
 
-  if (cfg_.opt.single_pass_schedule) {
-    scheduleSinglePass(now);
-  } else {
-    scheduleLegacy(now);
+  {
+    telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kQueueWalk);
+    if (cfg_.opt.single_pass_schedule) {
+      scheduleSinglePass(now);
+    } else {
+      scheduleLegacy(now);
+    }
   }
 
   if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
@@ -443,8 +457,41 @@ void ClusterSimulator::schedule(double now) {
   }
 }
 
+void ClusterSimulator::sampleTelemetry(double now) {
+  // Snapshot observable cluster state and hand it to the sampler, which
+  // stamps every elapsed period boundary with it. Everything here is O(1)
+  // — the ledger maintains cluster-wide reserved totals on each
+  // allocate/release — except the per-node occupancy fill, which only
+  // small clusters opt into.
+  telemetry::ClusterSample& s = sample_scratch_;
+  const int n_nodes = ledger_.nodeCount();
+  s.core_util = ledger_.meanCoreOccupancy();
+  s.way_util = ledger_.meanWayOccupancy();
+  s.bw_util = ledger_.meanBwOccupancy();
+  s.busy_nodes = ledger_.busyNodeCount();
+  s.total_nodes = n_nodes;
+  s.running_jobs = static_cast<int>(active_.size());
+  s.queue_depth = queue_.size();
+  s.queue_head_age_s = queue_.headAge(now);
+  const std::uint64_t lookups = solve_cache_.hits() + solve_cache_.misses();
+  s.solver_hit_rate =
+      lookups > 0 ? static_cast<double>(solve_cache_.hits()) / lookups : 0.0;
+  s.decision_us_p99 = m_decision_us_ != nullptr && m_decision_us_->count() > 0
+                          ? m_decision_us_->quantile(0.99)
+                          : 0.0;
+  s.node_core_occ.clear();
+  if (cfg_.sampler->wantsPerNode(n_nodes)) {
+    s.node_core_occ.reserve(static_cast<std::size_t>(n_nodes));
+    for (int nd = 0; nd < n_nodes; ++nd) {
+      s.node_core_occ.push_back(ledger_.node(nd).coreOccupancy());
+    }
+  }
+  cfg_.sampler->advanceTo(now, s);
+}
+
 void ClusterSimulator::accumulate(double t0, double t1) {
   if (t1 <= t0) return;
+  telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kAccounting);
   busy_integral_ += ledger_.busyNodeCount() * (t1 - t0);
   if (cfg_.monitor_episode_s <= 0.0) return;
 
@@ -574,6 +621,7 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     admit(std::move(submits[next_submit++]));
   }
   schedule(now);
+  if (cfg_.sampler != nullptr && cfg_.sampler->due(now)) sampleTelemetry(now);
 
   while (!active_.empty() || !queue_.empty() || next_submit < submits.size()) {
     // Next completion.
@@ -615,6 +663,11 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     for (sched::JobId id : done_scratch_) finishJob(id, now);
 
     schedule(now);
+    // Telemetry rides the event clock: one cheap due() check per event,
+    // and only when a period boundary has elapsed is a sample built.
+    // Post-schedule state is what lands in the series — the scheduler's
+    // committed view at this instant.
+    if (cfg_.sampler != nullptr && cfg_.sampler->due(now)) sampleTelemetry(now);
   }
 
   SimResult res;

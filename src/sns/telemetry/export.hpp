@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sns/obs/metrics.hpp"
+#include "sns/telemetry/phase_profiler.hpp"
+#include "sns/telemetry/slo.hpp"
+#include "sns/telemetry/timeseries.hpp"
+
+namespace sns::telemetry {
+
+/// Prometheus text exposition (format 0.0.4): every registry counter
+/// (`sns_<name>_total`), gauge and histogram (cumulative `_bucket` rows,
+/// `_sum`, `_count`) plus the last value of every store series as a gauge
+/// with its labels. Names are sanitized (`.` -> `_`, `sns_` prefix); each
+/// metric carries `# HELP` and `# TYPE` lines. `uberun metrics` prints
+/// this verbatim, ready for a file-based scrape.
+std::string renderPrometheus(const TimeSeriesStore* store,
+                             const obs::Registry* registry);
+
+/// Everything the HTML report can show; null members are omitted.
+struct ReportContext {
+  std::string title;
+  const TimeSeriesStore* store = nullptr;
+  const obs::Registry* metrics = nullptr;
+  const SloWatchdog* watchdog = nullptr;
+  const PhaseProfiler* phases = nullptr;
+  /// Headline facts ((label, value) pairs) rendered as stat tiles.
+  std::vector<std::pair<std::string, std::string>> summary;
+  std::uint64_t events_dropped = 0;  ///< ring-buffer drops, flagged if > 0
+};
+
+/// Self-contained single-file HTML dashboard: stat tiles, one inline-SVG
+/// sparkline card per series (min/max band + mean line, native <title>
+/// hover tooltips, no external assets or scripts), the SLO watchdog table,
+/// the phase profile and folded stacks, and the raw metrics dump.
+std::string renderHtmlReport(const ReportContext& ctx);
+
+/// Terminal cluster-state view at time `at` (clamped to the sampled
+/// range): headline series values with occupancy bars, plus per-node bars
+/// when per-node series were recorded. Backs `uberun top --at T`.
+std::string renderTop(const TimeSeriesStore& store, double at,
+                      int bar_width = 32);
+
+}  // namespace sns::telemetry

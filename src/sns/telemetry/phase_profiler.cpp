@@ -1,0 +1,105 @@
+#include "sns/telemetry/phase_profiler.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+#include "sns/util/table.hpp"
+
+namespace sns::telemetry {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kQueueWalk: return "queue_walk";
+    case Phase::kLedgerScan: return "ledger_scan";
+    case Phase::kPlacementCommit: return "placement_commit";
+    case Phase::kContentionSolve: return "contention_solve";
+    case Phase::kRateRefresh: return "rate_refresh";
+    case Phase::kAccounting: return "accounting";
+    case Phase::kCount_: break;
+  }
+  return "unknown";
+}
+
+void PhaseProfiler::enter(Phase p) {
+  Frame f;
+  f.phase = p;
+  f.start = Clock::now();
+  const std::uint64_t parent_path = stack_.empty() ? 0 : stack_.back().path;
+  f.path = (parent_path << 5) | (static_cast<std::uint64_t>(p) + 1);
+  stack_.push_back(f);
+}
+
+void PhaseProfiler::exit() {
+  SNS_REQUIRE(!stack_.empty(), "phase exit without matching enter");
+  const Frame f = stack_.back();
+  stack_.pop_back();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           f.start)
+          .count());
+  Stat& st = stats_[static_cast<std::size_t>(f.phase)];
+  ++st.calls;
+  st.total_ns += ns;
+  const std::uint64_t self = ns >= f.child_ns ? ns - f.child_ns : 0;
+  st.self_ns += self;
+  if (ns > st.max_ns) st.max_ns = ns;
+  folded_[f.path] += self;
+  if (!stack_.empty()) stack_.back().child_ns += ns;
+}
+
+std::uint64_t PhaseProfiler::totalSelfNs() const {
+  std::uint64_t total = 0;
+  for (const Stat& s : stats_) total += s.self_ns;
+  return total;
+}
+
+std::string PhaseProfiler::renderTable() const {
+  const double total_ms = static_cast<double>(totalSelfNs()) / 1e6;
+  util::Table t({"phase", "calls", "incl ms", "self ms", "self %", "max us"});
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Stat& s = stats_[i];
+    if (s.calls == 0) continue;
+    const double self_ms = static_cast<double>(s.self_ns) / 1e6;
+    t.addRow({to_string(static_cast<Phase>(i)), std::to_string(s.calls),
+              util::fmt(static_cast<double>(s.total_ns) / 1e6, 2),
+              util::fmt(self_ms, 2),
+              total_ms > 0.0 ? util::fmt(100.0 * self_ms / total_ms, 1) : "0.0",
+              util::fmt(static_cast<double>(s.max_ns) / 1e3, 1)});
+  }
+  return t.render();
+}
+
+std::string PhaseProfiler::foldedStacks() const {
+  // Decode each signature back into a ";"-joined path, bottom frame first.
+  std::vector<std::pair<std::string, std::uint64_t>> lines;
+  lines.reserve(folded_.size());
+  for (const auto& [path, ns] : folded_) {
+    std::vector<Phase> frames;
+    for (std::uint64_t rest = path; rest != 0; rest >>= 5) {
+      frames.push_back(static_cast<Phase>((rest & 31) - 1));
+    }
+    std::string sig;
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+      if (!sig.empty()) sig += ';';
+      sig += to_string(*it);
+    }
+    lines.emplace_back(std::move(sig), ns);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& [sig, ns] : lines) {
+    out += sig;
+    out += ' ';
+    out += std::to_string(ns);
+    out += '\n';
+  }
+  return out;
+}
+
+void PhaseProfiler::reset() {
+  stats_.fill(Stat{});
+  stack_.clear();
+  folded_.clear();
+}
+
+}  // namespace sns::telemetry

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sns::telemetry {
+
+/// The scheduler hot-path phases instrumented by sim::ClusterSimulator.
+/// Values are stable (they index the profile and encode folded stacks).
+enum class Phase : std::uint8_t {
+  kQueueWalk = 0,      ///< priority-ordered queue scan of one scheduling point
+  kLedgerScan,         ///< policy tryPlace: feasibility + node selection
+  kPlacementCommit,    ///< startJob: ledger allocation, solo model, events
+  kContentionSolve,    ///< per-node co-run solve (solver or memo cache)
+  kRateRefresh,        ///< re-deriving progress rates of affected jobs
+  kAccounting,         ///< busy-node integral + bandwidth episode fill
+  kCount_,             ///< sentinel
+};
+
+constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount_);
+
+/// Stable lowercase name, e.g. "queue_walk".
+const char* to_string(Phase p);
+
+/// Aggregating wall-clock profiler for the scheduler's phases. Scopes are
+/// opened/closed via ScopedPhase (RAII) and may nest: a contention solve
+/// inside a placement commit inside a queue walk accumulates into all
+/// three totals, while self-time subtracts the children so the flat
+/// profile sums to the instrumented wall time exactly once. Each unique
+/// scope stack additionally accumulates self-time under its folded
+/// signature ("queue_walk;placement_commit;contention_solve"), the input
+/// format of every flamegraph tool.
+///
+/// Single-threaded by design (one simulator, one thread) and null-safe at
+/// the call sites: a ScopedPhase over a null profiler is two predictable
+/// branches and zero clock reads, so the disabled hot path stays at the
+/// seed simulator's cost.
+class PhaseProfiler {
+ public:
+  struct Stat {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;  ///< inclusive (with children)
+    std::uint64_t self_ns = 0;   ///< exclusive (children subtracted)
+    std::uint64_t max_ns = 0;    ///< worst single inclusive scope
+  };
+
+  void enter(Phase p);
+  void exit();
+
+  const Stat& stat(Phase p) const {
+    return stats_[static_cast<std::size_t>(p)];
+  }
+  /// Total instrumented wall time (sum of self times = sum of top-level
+  /// inclusive times).
+  std::uint64_t totalSelfNs() const;
+
+  /// Flat profile as a util::Table: calls, inclusive/self ms, % of
+  /// instrumented time, worst call.
+  std::string renderTable() const;
+
+  /// Folded-stack lines, "queue_walk;ledger_scan <self_ns>", sorted by
+  /// signature — feed to inferno / flamegraph.pl / speedscope.
+  std::string foldedStacks() const;
+
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Frame {
+    Phase phase;
+    Clock::time_point start;
+    std::uint64_t child_ns = 0;
+    std::uint64_t path;  ///< folded-stack signature up to this frame
+  };
+
+  std::array<Stat, kPhaseCount> stats_{};
+  std::vector<Frame> stack_;
+  /// Folded signature (5 bits per frame, bottom frame in the low bits;
+  /// phase+1 so 0 means "no frame") -> accumulated self ns. Depth is
+  /// bounded by the phase nesting the simulator can produce (<= 12 fits).
+  std::unordered_map<std::uint64_t, std::uint64_t> folded_;
+};
+
+/// RAII scope. Null profiler -> no-op (no clock reads).
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseProfiler* prof, Phase p) : prof_(prof) {
+    if (prof_ != nullptr) prof_->enter(p);
+  }
+  ~ScopedPhase() {
+    if (prof_ != nullptr) prof_->exit();
+  }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseProfiler* prof_;
+};
+
+}  // namespace sns::telemetry

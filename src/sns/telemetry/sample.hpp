@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sns::telemetry {
+
+/// One snapshot of observable cluster state, taken at a sample tick. The
+/// producer (sim::ClusterSimulator on its virtual clock, UberunSystem on
+/// the wall clock) fills this; the Sampler fans it out into time series
+/// and the SLO watchdog. Utilizations are fractions of total cluster
+/// capacity reserved in the resource ledger — the scheduler's belief, which
+/// is exactly what the paper's Uberun monitors expose (Figs 17-20).
+/// Timestamps are supplied alongside the sample (Sampler stamps each
+/// period boundary; SloWatchdog::evaluate takes `t` explicitly), so the
+/// struct itself is timeless.
+struct ClusterSample {
+  double core_util = 0.0;     ///< reserved cores / total cores
+  double way_util = 0.0;      ///< partitioned LLC ways / total ways
+  double bw_util = 0.0;       ///< reserved memory bandwidth / total peak
+  int busy_nodes = 0;         ///< nodes hosting at least one job
+  int total_nodes = 0;
+  int running_jobs = 0;       ///< in-flight job count
+  std::size_t queue_depth = 0;
+  double queue_head_age_s = 0.0;  ///< waiting age of the queue head (0 if empty)
+  double solver_hit_rate = 0.0;   ///< SolverCache hits / lookups, cumulative
+  double decision_us_p99 = 0.0;   ///< sim.decision_us p99 (0 without metrics)
+  /// Per-node core-occupancy fractions, indexed by node id. Only filled
+  /// when the sampler asks for it (small clusters / `uberun top`); empty
+  /// at trace scale, where aggregate min/mean/max series stand in.
+  std::vector<double> node_core_occ;
+};
+
+}  // namespace sns::telemetry

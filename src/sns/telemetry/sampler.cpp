@@ -1,0 +1,84 @@
+#include "sns/telemetry/sampler.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::telemetry {
+
+Sampler::Sampler(TimeSeriesStore& store, SamplerConfig cfg)
+    : store_(&store), cfg_(cfg) {
+  SNS_REQUIRE(cfg.period_s > 0.0, "sampler period must be positive");
+  s_core_util_ = &store.series("cluster.core_util");
+  s_way_util_ = &store.series("cluster.way_util");
+  s_bw_util_ = &store.series("cluster.bw_util");
+  s_busy_nodes_ = &store.series("cluster.busy_nodes");
+  s_running_ = &store.series("jobs.running");
+  s_queue_depth_ = &store.series("queue.depth");
+  s_head_age_ = &store.series("queue.head_age_s");
+  s_solver_hit_ = &store.series("solver.hit_rate");
+  s_decision_p99_ = &store.series("sched.decision_us_p99");
+  s_node_occ_min_ = &store.series("node.core_occ_min");
+  s_node_occ_mean_ = &store.series("node.core_occ_mean");
+  s_node_occ_max_ = &store.series("node.core_occ_max");
+}
+
+void Sampler::recordTick(double t, const ClusterSample& s) {
+  s_core_util_->append(t, s.core_util);
+  s_way_util_->append(t, s.way_util);
+  s_bw_util_->append(t, s.bw_util);
+  s_busy_nodes_->append(t, static_cast<double>(s.busy_nodes));
+  s_running_->append(t, static_cast<double>(s.running_jobs));
+  s_queue_depth_->append(t, static_cast<double>(s.queue_depth));
+  s_head_age_->append(t, s.queue_head_age_s);
+  s_solver_hit_->append(t, s.solver_hit_rate);
+  s_decision_p99_->append(t, s.decision_us_p99);
+
+  if (!s.node_core_occ.empty()) {
+    double mn = s.node_core_occ.front();
+    double mx = mn;
+    double sum = 0.0;
+    for (double occ : s.node_core_occ) {
+      mn = std::min(mn, occ);
+      mx = std::max(mx, occ);
+      sum += occ;
+    }
+    s_node_occ_min_->append(t, mn);
+    s_node_occ_mean_->append(t, sum / static_cast<double>(s.node_core_occ.size()));
+    s_node_occ_max_->append(t, mx);
+    if (s_per_node_.size() < s.node_core_occ.size()) {
+      const std::size_t old = s_per_node_.size();
+      s_per_node_.resize(s.node_core_occ.size());
+      for (std::size_t nd = old; nd < s_per_node_.size(); ++nd) {
+        s_per_node_[nd] = &store_->series(
+            "node.core_occ", {{"node", std::to_string(nd)}});
+      }
+    }
+    for (std::size_t nd = 0; nd < s.node_core_occ.size(); ++nd) {
+      s_per_node_[nd]->append(t, s.node_core_occ[nd]);
+    }
+  }
+
+  if (watchdog_ != nullptr) watchdog_->evaluate(t, s);
+  ++ticks_;
+}
+
+void Sampler::advanceTo(double now, const ClusterSample& s) {
+  while (next_ <= now + 1e-12) {
+    recordTick(next_, s);
+    next_ += cfg_.period_s;
+  }
+}
+
+void Sampler::recordScalar(const std::string& name, double t, double v,
+                           Labels labels) {
+  store_->series(name, std::move(labels)).append(t, v);
+}
+
+void Sampler::reset() {
+  next_ = 0.0;
+  ticks_ = 0;
+  if (watchdog_ != nullptr) watchdog_->reset();
+}
+
+}  // namespace sns::telemetry

@@ -1,0 +1,106 @@
+#include "sns/telemetry/slo.hpp"
+
+#include "sns/util/error.hpp"
+#include "sns/util/table.hpp"
+
+namespace sns::telemetry {
+
+namespace {
+const char* kindName(SloRule::Kind k) {
+  switch (k) {
+    case SloRule::Kind::kDecisionLatencyP99: return "decision_latency_p99";
+    case SloRule::Kind::kQueueStarvation: return "queue_starvation";
+    case SloRule::Kind::kUtilizationCollapse: return "utilization_collapse";
+  }
+  return "unknown";
+}
+}  // namespace
+
+SloWatchdog::SloWatchdog(std::vector<SloRule> rules)
+    : rules_(std::move(rules)), status_(rules_.size()) {
+  for (auto& r : rules_) {
+    SNS_REQUIRE(r.threshold > 0.0, "SLO rule threshold must be positive");
+    if (r.name.empty()) r.name = kindName(r.kind);
+  }
+}
+
+std::vector<SloRule> SloWatchdog::defaultRules() {
+  return {
+      {SloRule::Kind::kDecisionLatencyP99, "decision_p99_budget", 10000.0, 1},
+      {SloRule::Kind::kQueueStarvation, "queue_starvation", 86400.0, 1},
+      {SloRule::Kind::kUtilizationCollapse, "utilization_collapse", 0.5, 1},
+  };
+}
+
+std::pair<double, bool> SloWatchdog::check(const SloRule& r,
+                                           const ClusterSample& s) const {
+  switch (r.kind) {
+    case SloRule::Kind::kDecisionLatencyP99:
+      return {s.decision_us_p99, s.decision_us_p99 > r.threshold};
+    case SloRule::Kind::kQueueStarvation:
+      return {s.queue_head_age_s,
+              s.queue_depth > 0 && s.queue_head_age_s > r.threshold};
+    case SloRule::Kind::kUtilizationCollapse: {
+      const double drop =
+          prev_core_util_ >= 0.0 ? prev_core_util_ - s.core_util : 0.0;
+      return {drop, s.queue_depth >= r.min_queue_depth && drop > r.threshold};
+    }
+  }
+  return {0.0, false};
+}
+
+void SloWatchdog::evaluate(double t, const ClusterSample& s) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& r = rules_[i];
+    SloStatus& st = status_[i];
+    const auto [observed, violated] = check(r, s);
+    ++st.ticks_evaluated;
+    if (violated) {
+      ++st.ticks_violated;
+      if (st.first_violation_t < 0.0) st.first_violation_t = t;
+      st.last_violation_t = t;
+      if (observed > st.worst_observed) st.worst_observed = observed;
+      if (!st.in_violation) {
+        ++st.episodes;
+        if (rec_ != nullptr) {
+          rec_->setTime(t);  // stamp the event with the sample tick
+          rec_->sloViolation(r.name, observed, r.threshold,
+                             std::string(kindName(r.kind)) + " breached at t=" +
+                                 util::fmt(t, 1));
+        }
+      }
+    }
+    st.in_violation = violated;
+  }
+  prev_core_util_ = s.core_util;
+}
+
+std::uint64_t SloWatchdog::totalEpisodes() const {
+  std::uint64_t n = 0;
+  for (const auto& st : status_) n += st.episodes;
+  return n;
+}
+
+std::string SloWatchdog::renderSummary() const {
+  util::Table t({"rule", "kind", "threshold", "episodes", "ticks violated",
+                 "worst", "first t", "last t"});
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const SloRule& r = rules_[i];
+    const SloStatus& st = status_[i];
+    t.addRow({r.name, kindName(r.kind), util::fmt(r.threshold, 2),
+              std::to_string(st.episodes),
+              std::to_string(st.ticks_violated) + "/" +
+                  std::to_string(st.ticks_evaluated),
+              st.episodes > 0 ? util::fmt(st.worst_observed, 2) : "-",
+              st.episodes > 0 ? util::fmt(st.first_violation_t, 1) : "-",
+              st.episodes > 0 ? util::fmt(st.last_violation_t, 1) : "-"});
+  }
+  return t.render();
+}
+
+void SloWatchdog::reset() {
+  status_.assign(rules_.size(), SloStatus{});
+  prev_core_util_ = -1.0;
+}
+
+}  // namespace sns::telemetry

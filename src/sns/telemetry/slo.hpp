@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sns/obs/recorder.hpp"
+#include "sns/telemetry/sample.hpp"
+
+namespace sns::telemetry {
+
+/// One declarative service-level objective over the sampled cluster state.
+/// Rules are evaluated on every sample tick; violations are edge-triggered
+/// into the structured event stream (one slo_violation event per episode,
+/// not per tick) and accumulated into per-rule status for the end-of-run
+/// summary the CLI turns into an exit code.
+struct SloRule {
+  enum class Kind : std::uint8_t {
+    /// Scheduler decision latency p99 (us) exceeds `threshold`. Needs a
+    /// metrics registry attached (the p99 comes from sim.decision_us);
+    /// without one the observed value is 0 and the rule stays silent.
+    kDecisionLatencyP99,
+    /// The queue's head job has waited more than `threshold` seconds —
+    /// the "when did the queue starve?" question, answered online.
+    kQueueStarvation,
+    /// Core utilization dropped by more than `threshold` (an absolute
+    /// fraction, e.g. 0.25) between consecutive samples while at least
+    /// `min_queue_depth` jobs were waiting: capacity collapsed although
+    /// work was available.
+    kUtilizationCollapse,
+  };
+
+  Kind kind = Kind::kQueueStarvation;
+  std::string name;        ///< stable identifier used in events and reports
+  double threshold = 0.0;  ///< us / s / utilization delta, per kind
+  std::size_t min_queue_depth = 1;  ///< kUtilizationCollapse only
+};
+
+/// Running state of one rule.
+struct SloStatus {
+  std::uint64_t ticks_evaluated = 0;
+  std::uint64_t ticks_violated = 0;
+  std::uint64_t episodes = 0;  ///< transitions clean -> violating
+  double first_violation_t = -1.0;
+  double last_violation_t = -1.0;
+  double worst_observed = 0.0;  ///< most extreme violating value seen
+  bool in_violation = false;
+};
+
+/// Evaluates a rule set against each ClusterSample. Owned by the caller
+/// and attached to a Sampler; the recorder (optional) routes violation
+/// events into the same sns::obs stream as every scheduler decision, so a
+/// Perfetto trace shows *when* an SLO broke amid the placements that
+/// broke it.
+class SloWatchdog {
+ public:
+  explicit SloWatchdog(std::vector<SloRule> rules);
+
+  /// The default production rule set: decision p99 <= 10 ms, no job waits
+  /// past 24 h, no >50% utilization collapse with a backlog.
+  static std::vector<SloRule> defaultRules();
+
+  void setRecorder(obs::Recorder* rec) { rec_ = rec; }
+
+  /// Evaluate every rule against `s`, timestamping any violation with `t`
+  /// (the sample tick time; `s.time` is not consulted).
+  void evaluate(double t, const ClusterSample& s);
+
+  const std::vector<SloRule>& rules() const { return rules_; }
+  const std::vector<SloStatus>& status() const { return status_; }
+
+  /// Total clean->violating transitions across all rules.
+  std::uint64_t totalEpisodes() const;
+  bool anyViolation() const { return totalEpisodes() > 0; }
+
+  /// Human-readable per-rule summary (util::Table). The CLI prints this
+  /// and exits non-zero when anyViolation() under --enforce-slo.
+  std::string renderSummary() const;
+
+  void reset();
+
+ private:
+  /// Observed value + violation verdict for one rule on one sample.
+  std::pair<double, bool> check(const SloRule& r, const ClusterSample& s) const;
+
+  std::vector<SloRule> rules_;
+  std::vector<SloStatus> status_;
+  obs::Recorder* rec_ = nullptr;
+  double prev_core_util_ = -1.0;
+};
+
+}  // namespace sns::telemetry

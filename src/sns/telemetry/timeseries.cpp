@@ -1,0 +1,117 @@
+#include "sns/telemetry/timeseries.hpp"
+
+#include <algorithm>
+
+#include "sns/util/error.hpp"
+
+namespace sns::telemetry {
+
+Series::Series(std::size_t budget) : budget_(budget) {
+  SNS_REQUIRE(budget >= 2, "series budget must be at least 2");
+  pts_.reserve(budget + 1);
+}
+
+void Series::append(double t, double v) {
+  // Whole-run rollups first (they are downsampling-independent).
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  last_ = v;
+  sum_ += v;
+
+  // Bucket of this sample at the current level. Buckets are contiguous
+  // from index 0, and the retained points cover buckets 0..pts_.size()-1,
+  // so the sample either extends the last point or opens the next bucket.
+  const std::uint64_t bucket = n_ >> level_;
+  ++n_;
+  if (!pts_.empty() && bucket < pts_.size()) {
+    SeriesPoint& p = pts_.back();
+    p.t_last = t;
+    p.last = v;
+    p.min = std::min(p.min, v);
+    p.max = std::max(p.max, v);
+    p.sum += v;
+    ++p.count;
+    return;
+  }
+  SeriesPoint p;
+  p.t_first = p.t_last = t;
+  p.last = v;
+  p.min = p.max = v;
+  p.sum = v;
+  p.count = 1;
+  pts_.push_back(p);
+  if (pts_.size() > budget_) compact();
+}
+
+void Series::compact() {
+  // Merge index-aligned pairs: after level += 1, old points 2j and 2j+1
+  // share new bucket j. An odd tail point survives alone and keeps
+  // filling — its bucket is simply not complete yet.
+  ++level_;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < pts_.size(); i += 2) {
+    SeriesPoint p = pts_[i];
+    if (i + 1 < pts_.size()) {
+      const SeriesPoint& q = pts_[i + 1];
+      p.t_last = q.t_last;
+      p.last = q.last;
+      p.min = std::min(p.min, q.min);
+      p.max = std::max(p.max, q.max);
+      p.sum += q.sum;
+      p.count += q.count;
+    }
+    pts_[out++] = p;
+  }
+  pts_.resize(out);
+}
+
+void Series::setBudget(std::size_t budget) {
+  SNS_REQUIRE(budget >= 2, "series budget must be at least 2");
+  budget_ = budget;
+  while (pts_.size() > budget_) compact();
+}
+
+const SeriesPoint* Series::at(double t) const {
+  if (pts_.empty() || t < pts_.front().t_first) return nullptr;
+  // Last point with t_first <= t (points are in ascending time order).
+  auto it = std::upper_bound(
+      pts_.begin(), pts_.end(), t,
+      [](double x, const SeriesPoint& p) { return x < p.t_first; });
+  return &*std::prev(it);
+}
+
+void Series::clear() {
+  pts_.clear();
+  level_ = 0;
+  n_ = 0;
+  last_ = min_ = max_ = sum_ = 0.0;
+}
+
+TimeSeriesStore::TimeSeriesStore(std::size_t budget_per_series)
+    : budget_(budget_per_series) {
+  SNS_REQUIRE(budget_per_series >= 2, "store budget must be at least 2");
+}
+
+Series& TimeSeriesStore::series(std::string_view name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  Key key{std::string(name), std::move(labels)};
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(std::move(key), Series(budget_)).first;
+  }
+  return it->second;
+}
+
+const Series* TimeSeriesStore::find(std::string_view name,
+                                    const Labels& labels) const {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  auto it = series_.find(Key{std::string(name), std::move(sorted)});
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sns::telemetry

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sns::telemetry {
+
+/// One retained point of a series. At downsampling level L a point
+/// aggregates 2^L consecutive raw samples (the tail point may hold fewer
+/// while its bucket is still filling): the aggregate keeps enough state —
+/// first/last time, last value, min/max and the running sum — that any
+/// further 2:1 merge is exact, so a coarse series is bit-identical to one
+/// that was coarse from the start.
+struct SeriesPoint {
+  double t_first = 0.0;  ///< time of the first raw sample in the bucket
+  double t_last = 0.0;   ///< time of the last raw sample in the bucket
+  double last = 0.0;     ///< most recent raw value
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;            ///< sum of raw values (for exact means)
+  std::uint64_t count = 0;     ///< raw samples aggregated
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Fixed-budget time series: raw samples are appended in time order and the
+/// series deterministically halves its resolution (2:1 pair merges) each
+/// time the retained point count would exceed the budget, so memory is
+/// O(budget) regardless of run length while the full time range stays
+/// covered — the flight-recorder counterpart for continuous signals.
+///
+/// Merge boundaries are aligned to *absolute sample indices* (sample i
+/// belongs to bucket i >> level), never to when the budget check happened
+/// to trigger, so the retained points are a pure function of
+/// (samples, budget). tests/telemetry/test_timeseries.cpp pins this down
+/// by compacting at different times and demanding identical series.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::size_t budget);
+
+  /// Append one raw sample; `t` must be non-decreasing.
+  void append(double t, double v);
+
+  /// Retained points, oldest first. Every point except possibly the last
+  /// aggregates exactly 2^level() raw samples.
+  const std::vector<SeriesPoint>& points() const { return pts_; }
+
+  /// Number of 2:1 halvings performed so far (0 = full resolution).
+  int level() const { return level_; }
+  /// Raw samples per fully-merged point: 2^level().
+  std::uint64_t stride() const { return std::uint64_t{1} << level_; }
+
+  std::size_t budget() const { return budget_; }
+  /// Shrinking the budget compacts immediately; because merges are
+  /// index-aligned this yields the same points as if the series had used
+  /// the smaller budget from the start.
+  void setBudget(std::size_t budget);
+
+  // ---- whole-run rollups over every raw sample ever appended ---------------
+  std::uint64_t sampleCount() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double last() const { return last_; }
+  double minSeen() const { return min_; }
+  double maxSeen() const { return max_; }
+  double mean() const { return n_ > 0 ? sum_ / static_cast<double>(n_) : 0.0; }
+
+  /// Latest point whose bucket started at or before `t` (nullptr when the
+  /// series is empty or `t` precedes the first sample). Drives
+  /// `uberun top --at T`.
+  const SeriesPoint* at(double t) const;
+
+  void clear();
+
+ private:
+  void compact();  ///< one 2:1 halving pass (level_ += 1)
+
+  std::size_t budget_ = 512;
+  int level_ = 0;
+  std::vector<SeriesPoint> pts_;
+  std::uint64_t n_ = 0;  ///< raw samples appended
+  double last_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Label set of one series instance ((key, value) pairs, kept sorted so
+/// identity and export order are deterministic).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named collection of series, each identified by (name, labels) like a
+/// Prometheus instrument. Series references stay valid for the store's
+/// lifetime (map nodes are stable), so samplers resolve each series once
+/// and append without lookups.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t budget_per_series = 512);
+
+  /// Find-or-create. Labels are sorted on insertion.
+  Series& series(std::string_view name, Labels labels = {});
+  const Series* find(std::string_view name, const Labels& labels = {}) const;
+
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  /// All series, sorted by (name, labels) — deterministic export order.
+  const std::map<Key, Series>& all() const { return series_; }
+  std::size_t size() const { return series_.size(); }
+  std::size_t budgetPerSeries() const { return budget_; }
+
+  void clear() { series_.clear(); }
+
+ private:
+  std::size_t budget_;
+  std::map<Key, Series> series_;
+};
+
+}  // namespace sns::telemetry

@@ -27,6 +27,13 @@ struct UberunConfig {
   /// caller-owned and may be null.
   obs::EventSink* sink = nullptr;
   obs::Registry* metrics = nullptr;
+  /// Time-series telemetry (sns::telemetry), forwarded to the embedded
+  /// simulator. The sampler ticks on the simulator's virtual clock during
+  /// process(); in addition the system records the wall-clock duration of
+  /// each batch as the `uberun.batch_wall_s` series, so deployment-side
+  /// dashboards see both clocks. Caller-owned, may be null.
+  telemetry::Sampler* sampler = nullptr;
+  telemetry::PhaseProfiler* phases = nullptr;
 };
 
 /// Output of one batch: the schedule, the concrete launch plans in start

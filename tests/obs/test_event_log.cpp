@@ -84,14 +84,40 @@ TEST(RingBuffer, OverwritesOldestWhenFull) {
   }
 }
 
+TEST(RingBuffer, DroppedThroughTracksOverwrittenTimestamps) {
+  RingBufferLog log(4);
+  for (int i = 0; i < 4; ++i) {
+    Event e = makeEvent(EventType::kJobSubmitted, i);
+    e.time = 100.0 * i;
+    log.record(e);
+  }
+  // Nothing dropped yet.
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_DOUBLE_EQ(log.droppedThrough(), 0.0);
+
+  // Each further record overwrites the current oldest; the high-water
+  // timestamp follows the most recently evicted event.
+  log.record(makeEvent(EventType::kJobSubmitted, 4));
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_DOUBLE_EQ(log.droppedThrough(), 0.0);  // the t=0 event went first
+  log.record(makeEvent(EventType::kJobSubmitted, 5));
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_DOUBLE_EQ(log.droppedThrough(), 100.0);
+  log.record(makeEvent(EventType::kJobSubmitted, 6));
+  EXPECT_DOUBLE_EQ(log.droppedThrough(), 200.0);
+}
+
 TEST(RingBuffer, ClearResetsEverything) {
   RingBufferLog log(2);
   log.record(makeEvent(EventType::kJobStarted, 1));
   log.record(makeEvent(EventType::kJobStarted, 2));
   log.record(makeEvent(EventType::kJobStarted, 3));
+  ASSERT_EQ(log.dropped(), 1u);
   log.clear();
   EXPECT_EQ(log.size(), 0u);
   EXPECT_EQ(log.totalRecorded(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_DOUBLE_EQ(log.droppedThrough(), 0.0);
   EXPECT_TRUE(log.snapshot().empty());
 }
 

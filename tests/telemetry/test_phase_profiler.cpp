@@ -1,0 +1,136 @@
+#include "sns/telemetry/phase_profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "sns/util/error.hpp"
+
+namespace sns::telemetry {
+namespace {
+
+// Spin long enough for steady_clock to register a nonzero duration.
+void burn() {
+  volatile int sink = 0;
+  for (int i = 0; i < 20000; ++i) sink = sink + i;
+}
+
+TEST(PhaseProfiler, FlatStatsAccumulate) {
+  PhaseProfiler prof;
+  for (int i = 0; i < 3; ++i) {
+    ScopedPhase sp(&prof, Phase::kQueueWalk);
+    burn();
+  }
+  const auto& st = prof.stat(Phase::kQueueWalk);
+  EXPECT_EQ(st.calls, 3u);
+  EXPECT_GT(st.total_ns, 0u);
+  EXPECT_EQ(st.self_ns, st.total_ns);  // no children
+  EXPECT_GE(st.max_ns, st.total_ns / 3);
+  EXPECT_EQ(prof.stat(Phase::kLedgerScan).calls, 0u);
+}
+
+TEST(PhaseProfiler, NestingSplitsSelfFromInclusive) {
+  PhaseProfiler prof;
+  {
+    ScopedPhase outer(&prof, Phase::kQueueWalk);
+    burn();
+    {
+      ScopedPhase inner(&prof, Phase::kLedgerScan);
+      burn();
+    }
+    burn();
+  }
+  const auto& walk = prof.stat(Phase::kQueueWalk);
+  const auto& scan = prof.stat(Phase::kLedgerScan);
+  // The child's time is inside the parent's inclusive total but subtracted
+  // from its self time, so instrumented time is counted exactly once.
+  EXPECT_GE(walk.total_ns, scan.total_ns);
+  EXPECT_EQ(walk.self_ns + scan.self_ns, prof.totalSelfNs());
+  EXPECT_LE(walk.self_ns, walk.total_ns - scan.total_ns);
+  // Sum of self == sum of top-level inclusive.
+  EXPECT_EQ(prof.totalSelfNs(), walk.total_ns);
+}
+
+TEST(PhaseProfiler, FoldedStacksEncodeThePath) {
+  PhaseProfiler prof;
+  {
+    ScopedPhase outer(&prof, Phase::kQueueWalk);
+    burn();
+    {
+      ScopedPhase mid(&prof, Phase::kPlacementCommit);
+      burn();
+      ScopedPhase inner(&prof, Phase::kContentionSolve);
+      burn();
+    }
+  }
+  const std::string folded = prof.foldedStacks();
+  EXPECT_NE(folded.find("queue_walk "), std::string::npos);
+  EXPECT_NE(folded.find("queue_walk;placement_commit "), std::string::npos);
+  EXPECT_NE(
+      folded.find("queue_walk;placement_commit;contention_solve "),
+      std::string::npos);
+
+  // Each line is "sig self_ns"; the self values sum to the instrumented
+  // total, the flamegraph invariant.
+  std::istringstream is(folded);
+  std::string sig;
+  std::uint64_t ns = 0, sum = 0;
+  int lines = 0;
+  while (is >> sig >> ns) {
+    sum += ns;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  EXPECT_EQ(sum, prof.totalSelfNs());
+}
+
+TEST(PhaseProfiler, SameSignatureMergesAcrossVisits) {
+  PhaseProfiler prof;
+  for (int i = 0; i < 5; ++i) {
+    ScopedPhase outer(&prof, Phase::kQueueWalk);
+    ScopedPhase inner(&prof, Phase::kLedgerScan);
+    burn();
+  }
+  // Two unique signatures, not ten.
+  const std::string folded = prof.foldedStacks();
+  EXPECT_EQ(std::count(folded.begin(), folded.end(), '\n'), 2);
+}
+
+TEST(PhaseProfiler, NullProfilerScopeIsANoOp) {
+  // The disabled hot path: no profiler attached, no effect, no crash.
+  ScopedPhase sp(nullptr, Phase::kContentionSolve);
+  SUCCEED();
+}
+
+TEST(PhaseProfiler, ExitWithoutEnterRejected) {
+  PhaseProfiler prof;
+  EXPECT_THROW(prof.exit(), util::PreconditionError);
+}
+
+TEST(PhaseProfiler, RenderTableListsActivePhasesOnly) {
+  PhaseProfiler prof;
+  {
+    ScopedPhase sp(&prof, Phase::kRateRefresh);
+    burn();
+  }
+  const std::string table = prof.renderTable();
+  EXPECT_NE(table.find("rate_refresh"), std::string::npos);
+  EXPECT_EQ(table.find("accounting"), std::string::npos);
+}
+
+TEST(PhaseProfiler, ResetClearsEverything) {
+  PhaseProfiler prof;
+  {
+    ScopedPhase sp(&prof, Phase::kAccounting);
+    burn();
+  }
+  prof.reset();
+  EXPECT_EQ(prof.stat(Phase::kAccounting).calls, 0u);
+  EXPECT_EQ(prof.totalSelfNs(), 0u);
+  EXPECT_TRUE(prof.foldedStacks().empty());
+}
+
+}  // namespace
+}  // namespace sns::telemetry

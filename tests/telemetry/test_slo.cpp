@@ -1,0 +1,216 @@
+#include "sns/telemetry/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sns/obs/recorder.hpp"
+#include "sns/obs/sink.hpp"
+#include "sns/util/error.hpp"
+
+namespace sns::telemetry {
+namespace {
+
+ClusterSample healthySample() {
+  ClusterSample s;
+  s.core_util = 0.8;
+  s.way_util = 0.6;
+  s.bw_util = 0.5;
+  s.busy_nodes = 6;
+  s.total_nodes = 8;
+  s.running_jobs = 10;
+  s.queue_depth = 2;
+  s.queue_head_age_s = 30.0;
+  s.decision_us_p99 = 500.0;
+  return s;
+}
+
+const SloStatus& statusOf(const SloWatchdog& wd, SloRule::Kind kind) {
+  for (std::size_t i = 0; i < wd.rules().size(); ++i) {
+    if (wd.rules()[i].kind == kind) return wd.status()[i];
+  }
+  ADD_FAILURE() << "rule kind not found";
+  static SloStatus empty;
+  return empty;
+}
+
+TEST(SloWatchdog, StaysSilentOnCleanTrace) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  obs::RingBufferLog log(64);
+  obs::Recorder rec(&log);
+  wd.setRecorder(&rec);
+
+  for (int i = 0; i < 50; ++i) wd.evaluate(60.0 * i, healthySample());
+
+  EXPECT_FALSE(wd.anyViolation());
+  EXPECT_EQ(wd.totalEpisodes(), 0u);
+  EXPECT_EQ(log.size(), 0u);
+  for (const SloStatus& st : wd.status()) {
+    EXPECT_EQ(st.ticks_evaluated, 50u);
+    EXPECT_EQ(st.ticks_violated, 0u);
+    EXPECT_FALSE(st.in_violation);
+  }
+}
+
+TEST(SloWatchdog, DecisionLatencyRuleFires) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  ClusterSample s = healthySample();
+  s.decision_us_p99 = 25000.0;  // default budget is 10 ms
+  wd.evaluate(10.0, s);
+
+  const SloStatus& st = statusOf(wd, SloRule::Kind::kDecisionLatencyP99);
+  EXPECT_EQ(st.episodes, 1u);
+  EXPECT_TRUE(st.in_violation);
+  EXPECT_DOUBLE_EQ(st.first_violation_t, 10.0);
+  EXPECT_DOUBLE_EQ(st.worst_observed, 25000.0);
+  // The other rules did not fire.
+  EXPECT_EQ(statusOf(wd, SloRule::Kind::kQueueStarvation).episodes, 0u);
+  EXPECT_EQ(statusOf(wd, SloRule::Kind::kUtilizationCollapse).episodes, 0u);
+}
+
+TEST(SloWatchdog, StarvationRuleNeedsAWaitingJob) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  ClusterSample s = healthySample();
+  s.queue_head_age_s = 2.0 * 86400.0;  // past the 24 h default
+  s.queue_depth = 0;                   // ...but the queue is empty
+  wd.evaluate(0.0, s);
+  EXPECT_EQ(statusOf(wd, SloRule::Kind::kQueueStarvation).episodes, 0u);
+
+  s.queue_depth = 1;
+  wd.evaluate(60.0, s);
+  const SloStatus& st = statusOf(wd, SloRule::Kind::kQueueStarvation);
+  EXPECT_EQ(st.episodes, 1u);
+  EXPECT_DOUBLE_EQ(st.worst_observed, 2.0 * 86400.0);
+}
+
+TEST(SloWatchdog, CollapseRuleComparesConsecutiveSamples) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  ClusterSample high = healthySample();
+  high.core_util = 0.9;
+  ClusterSample low = healthySample();
+  low.core_util = 0.2;  // drop of 0.7 > default 0.5
+  low.queue_depth = 3;  // with a backlog
+
+  // The very first sample has no predecessor -> never a collapse.
+  wd.evaluate(0.0, low);
+  EXPECT_EQ(statusOf(wd, SloRule::Kind::kUtilizationCollapse).episodes, 0u);
+
+  wd.evaluate(60.0, high);
+  wd.evaluate(120.0, low);
+  const SloStatus& st = statusOf(wd, SloRule::Kind::kUtilizationCollapse);
+  EXPECT_EQ(st.episodes, 1u);
+  EXPECT_NEAR(st.worst_observed, 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(st.last_violation_t, 120.0);
+}
+
+TEST(SloWatchdog, CollapseIgnoredWithoutBacklog) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  ClusterSample high = healthySample();
+  high.core_util = 0.9;
+  ClusterSample low = healthySample();
+  low.core_util = 0.1;
+  low.queue_depth = 0;  // draining at end of run — not a collapse
+
+  wd.evaluate(0.0, high);
+  wd.evaluate(60.0, low);
+  EXPECT_EQ(statusOf(wd, SloRule::Kind::kUtilizationCollapse).episodes, 0u);
+}
+
+TEST(SloWatchdog, EpisodesAreEdgeTriggered) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  obs::RingBufferLog log(64);
+  obs::Recorder rec(&log);
+  wd.setRecorder(&rec);
+
+  ClusterSample bad = healthySample();
+  bad.decision_us_p99 = 50000.0;
+  const ClusterSample good = healthySample();
+
+  // Ten consecutive violating ticks are ONE episode and ONE event...
+  for (int i = 0; i < 10; ++i) wd.evaluate(i, bad);
+  EXPECT_EQ(wd.totalEpisodes(), 1u);
+  EXPECT_EQ(log.size(), 1u);
+
+  // ...recovery then re-violation opens a second episode.
+  wd.evaluate(10.0, good);
+  wd.evaluate(11.0, bad);
+  EXPECT_EQ(wd.totalEpisodes(), 2u);
+  EXPECT_EQ(log.size(), 2u);
+
+  const SloStatus& st = statusOf(wd, SloRule::Kind::kDecisionLatencyP99);
+  EXPECT_EQ(st.ticks_evaluated, 12u);
+  EXPECT_EQ(st.ticks_violated, 11u);
+  EXPECT_DOUBLE_EQ(st.first_violation_t, 0.0);
+  EXPECT_DOUBLE_EQ(st.last_violation_t, 11.0);
+}
+
+TEST(SloWatchdog, ViolationEventCarriesRuleAndValues) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  obs::RingBufferLog log(64);
+  obs::Recorder rec(&log);
+  wd.setRecorder(&rec);
+
+  ClusterSample s = healthySample();
+  s.queue_head_age_s = 100000.0;
+  wd.evaluate(777.0, s);
+
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const obs::Event& e = events[0];
+  EXPECT_EQ(e.type, obs::EventType::kSloViolation);
+  EXPECT_DOUBLE_EQ(e.time, 777.0);  // stamped with the sample tick time
+  EXPECT_DOUBLE_EQ(e.value, 100000.0);
+  EXPECT_DOUBLE_EQ(e.value2, 86400.0);
+  // The rule's stable name travels in `what` for grep/Perfetto.
+  const SloRule* rule = nullptr;
+  for (const SloRule& r : wd.rules()) {
+    if (r.kind == SloRule::Kind::kQueueStarvation) rule = &r;
+  }
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(e.what, rule->name);
+  EXPECT_FALSE(e.detail.empty());
+}
+
+TEST(SloWatchdog, ResetClearsEpisodesAndHistory) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  ClusterSample bad = healthySample();
+  bad.decision_us_p99 = 50000.0;
+  wd.evaluate(0.0, bad);
+  ASSERT_TRUE(wd.anyViolation());
+
+  wd.reset();
+  EXPECT_FALSE(wd.anyViolation());
+  for (const SloStatus& st : wd.status()) {
+    EXPECT_EQ(st.ticks_evaluated, 0u);
+    EXPECT_FALSE(st.in_violation);
+  }
+  // The collapse rule's previous-sample memory is also gone: a low first
+  // sample after reset must not read as a drop from the pre-reset value.
+  ClusterSample high = healthySample();
+  high.core_util = 0.95;
+  wd.evaluate(0.0, high);  // re-seed
+  wd.reset();
+  ClusterSample low = healthySample();
+  low.core_util = 0.1;
+  low.queue_depth = 5;
+  wd.evaluate(1.0, low);
+  EXPECT_EQ(statusOf(wd, SloRule::Kind::kUtilizationCollapse).episodes, 0u);
+}
+
+TEST(SloWatchdog, NonPositiveThresholdRejected) {
+  SloRule r;
+  r.kind = SloRule::Kind::kQueueStarvation;
+  r.name = "bad";
+  r.threshold = 0.0;
+  EXPECT_THROW(SloWatchdog({r}), util::PreconditionError);
+}
+
+TEST(SloWatchdog, SummaryListsEveryRule) {
+  SloWatchdog wd(SloWatchdog::defaultRules());
+  wd.evaluate(0.0, healthySample());
+  const std::string out = wd.renderSummary();
+  for (const SloRule& r : wd.rules()) {
+    EXPECT_NE(out.find(r.name), std::string::npos) << r.name;
+  }
+}
+
+}  // namespace
+}  // namespace sns::telemetry

@@ -1,0 +1,154 @@
+#include "sns/telemetry/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sns/util/error.hpp"
+
+namespace sns::telemetry {
+namespace {
+
+// A deterministic, non-trivial signal: trend + oscillation.
+double signal(int i) { return 10.0 + 0.01 * i + 3.0 * std::sin(0.37 * i); }
+
+TEST(Series, RollupsTrackEveryRawSample) {
+  Series s(4);
+  for (int i = 0; i < 100; ++i) s.append(i, signal(i));
+
+  double mn = signal(0), mx = signal(0), sum = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    mn = std::min(mn, signal(i));
+    mx = std::max(mx, signal(i));
+    sum += signal(i);
+  }
+  EXPECT_EQ(s.sampleCount(), 100u);
+  EXPECT_DOUBLE_EQ(s.last(), signal(99));
+  EXPECT_DOUBLE_EQ(s.minSeen(), mn);
+  EXPECT_DOUBLE_EQ(s.maxSeen(), mx);
+  EXPECT_NEAR(s.mean(), sum / 100.0, 1e-9);
+}
+
+TEST(Series, BudgetBoundsRetainedPoints) {
+  Series s(8);
+  for (int i = 0; i < 10000; ++i) {
+    s.append(i, signal(i));
+    EXPECT_LE(s.points().size(), 8u);
+  }
+  // Full time range still covered.
+  EXPECT_DOUBLE_EQ(s.points().front().t_first, 0.0);
+  EXPECT_DOUBLE_EQ(s.points().back().t_last, 9999.0);
+  // Points aggregate 2^level samples each (tail may still be filling).
+  const std::uint64_t stride = s.stride();
+  for (std::size_t i = 0; i + 1 < s.points().size(); ++i) {
+    EXPECT_EQ(s.points()[i].count, stride);
+  }
+}
+
+TEST(Series, PointAggregatesAreExact) {
+  Series s(4);
+  for (int i = 0; i < 64; ++i) s.append(i, signal(i));
+  // 64 samples at budget 4 -> level 4, stride 16, 4 points.
+  ASSERT_EQ(s.points().size(), 4u);
+  EXPECT_EQ(s.stride(), 16u);
+  for (int p = 0; p < 4; ++p) {
+    const SeriesPoint& pt = s.points()[static_cast<std::size_t>(p)];
+    double mn = signal(16 * p), mx = mn, sum = 0.0;
+    for (int i = 16 * p; i < 16 * (p + 1); ++i) {
+      mn = std::min(mn, signal(i));
+      mx = std::max(mx, signal(i));
+      sum += signal(i);
+    }
+    EXPECT_DOUBLE_EQ(pt.t_first, 16.0 * p);
+    EXPECT_DOUBLE_EQ(pt.t_last, 16.0 * p + 15.0);
+    EXPECT_DOUBLE_EQ(pt.min, mn);
+    EXPECT_DOUBLE_EQ(pt.max, mx);
+    EXPECT_DOUBLE_EQ(pt.sum, sum);
+    EXPECT_DOUBLE_EQ(pt.last, signal(16 * p + 15));
+    EXPECT_EQ(pt.count, 16u);
+  }
+}
+
+void expectIdenticalPoints(const Series& a, const Series& b) {
+  ASSERT_EQ(a.points().size(), b.points().size());
+  ASSERT_EQ(a.level(), b.level());
+  for (std::size_t i = 0; i < a.points().size(); ++i) {
+    const SeriesPoint& p = a.points()[i];
+    const SeriesPoint& q = b.points()[i];
+    EXPECT_EQ(p.t_first, q.t_first);
+    EXPECT_EQ(p.t_last, q.t_last);
+    EXPECT_EQ(p.last, q.last);
+    EXPECT_EQ(p.min, q.min);
+    EXPECT_EQ(p.max, q.max);
+    // Sums are built in different association orders (sequential appends
+    // vs pairwise point merges), so they agree to rounding, not bitwise.
+    EXPECT_NEAR(p.sum, q.sum, 1e-9 * std::abs(p.sum));
+    EXPECT_EQ(p.count, q.count);
+  }
+}
+
+// The headline property: because merge boundaries are aligned to absolute
+// sample indices, the retained points are a pure function of
+// (samples, budget) — a series that ran at a large budget and was then
+// shrunk covers exactly the same buckets, with identical boundaries and
+// order-independent aggregates, as one that was small from the start.
+TEST(Series, DownsamplingIsDeterministic) {
+  for (int n : {7, 64, 100, 513, 4096, 5000}) {
+    Series small(16);
+    Series wide(256);
+    for (int i = 0; i < n; ++i) {
+      small.append(0.5 * i, signal(i));
+      wide.append(0.5 * i, signal(i));
+    }
+    wide.setBudget(16);
+    expectIdenticalPoints(small, wide);
+  }
+}
+
+TEST(Series, AtFindsCoveringPoint) {
+  Series s(4);
+  for (int i = 0; i < 64; ++i) s.append(i, signal(i));  // stride 16
+  EXPECT_EQ(s.at(-1.0), nullptr);
+  ASSERT_NE(s.at(0.0), nullptr);
+  EXPECT_DOUBLE_EQ(s.at(0.0)->t_first, 0.0);
+  EXPECT_DOUBLE_EQ(s.at(15.9)->t_first, 0.0);
+  EXPECT_DOUBLE_EQ(s.at(16.0)->t_first, 16.0);
+  EXPECT_DOUBLE_EQ(s.at(1e9)->t_first, 48.0);  // clamps to the last point
+}
+
+TEST(Series, BudgetBelowTwoRejected) {
+  EXPECT_THROW(Series(1), util::PreconditionError);
+  Series s(4);
+  EXPECT_THROW(s.setBudget(0), util::PreconditionError);
+}
+
+TEST(TimeSeriesStore, FindOrCreateAndLabelOrder) {
+  TimeSeriesStore store(32);
+  Series& a = store.series("cluster.core_util");
+  Series& b = store.series("node.core_occ", {{"node", "3"}});
+  EXPECT_EQ(&a, &store.series("cluster.core_util"));
+  EXPECT_EQ(&b, &store.series("node.core_occ", {{"node", "3"}}));
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(store.size(), 2u);
+
+  // Label order is normalized: permuted labels name the same series.
+  Series& c = store.series("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&c, &store.series("x", {{"a", "1"}, {"b", "2"}}));
+
+  EXPECT_NE(store.find("cluster.core_util"), nullptr);
+  EXPECT_EQ(store.find("nope"), nullptr);
+  EXPECT_EQ(store.find("node.core_occ", {{"node", "4"}}), nullptr);
+}
+
+TEST(TimeSeriesStore, ReferencesSurviveGrowth) {
+  TimeSeriesStore store(8);
+  Series& first = store.series("a");
+  first.append(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) store.series("s" + std::to_string(i));
+  EXPECT_DOUBLE_EQ(first.last(), 1.0);  // map nodes are stable
+  EXPECT_EQ(&first, &store.series("a"));
+}
+
+}  // namespace
+}  // namespace sns::telemetry

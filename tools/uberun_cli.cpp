@@ -9,11 +9,25 @@
 //   uberun trace     [--cluster N] [--ratio R] [--jobs N] [--policy P]
 //   uberun trace     --workload quickstart|random|FILE [--policy P] [--nodes N]
 //                    [--out trace.perfetto.json] [--online] [--mba]
+//   uberun metrics   [--workload quickstart|random|fig20|FILE] [--policy P]
+//                    [--nodes N] [--period S] [--budget N] [--out FILE]
+//   uberun report    [same as metrics] [--out report.html] [--enforce-slo]
+//   uberun top       [same as metrics] [--at T]
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors.
+// The telemetry subcommands (metrics / report / top) run the workload with
+// the sns::telemetry stack attached — periodic cluster sampling, SLO
+// watchdogs and the scheduler phase profiler — then export the series as
+// Prometheus text, a self-contained HTML dashboard, or a terminal view of
+// the cluster at one instant. SLO thresholds: --slo-decision-us,
+// --slo-starvation-s, --slo-collapse.
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime errors,
+// 4 when --enforce-slo is set and an SLO rule fired.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +41,8 @@
 #include "sns/sim/metrics.hpp"
 #include "sns/sim/result_io.hpp"
 #include "sns/sim/trace_export.hpp"
+#include "sns/telemetry/export.hpp"
+#include "sns/telemetry/sampler.hpp"
 #include "sns/trace/replay.hpp"
 #include "sns/trace/swf.hpp"
 #include "sns/uberun/launch_plan.hpp"
@@ -342,9 +358,208 @@ int cmdTrace(const World& w, const Args& a) {
   return 0;
 }
 
+// ---- telemetry subcommands (metrics / report / top) -----------------------
+
+/// Workload + database + scale defaults for one telemetry run.
+struct TelemetryWorkload {
+  std::vector<app::JobSpec> jobs;
+  profile::ProfileDatabase db;
+  std::string name;
+  int default_nodes = 8;
+  double default_period_s = 1.0;
+  bool trace_scale = false;  ///< fig20: replay-style simulator knobs
+};
+
+TelemetryWorkload buildTelemetryWorkload(const World& w, const Args& a) {
+  TelemetryWorkload wl;
+  wl.name = a.get("workload", "quickstart");
+  if (wl.name == "quickstart") {
+    wl.jobs = {
+        {"MG", 16, 0.9, 0.0, 1, 0.0},
+        {"NW", 16, 0.9, 0.0, 1, 0.0},
+        {"HC", 16, 0.9, 0.0, 1, 0.0},
+        {"EP", 16, 0.9, 0.0, 1, 0.0},
+    };
+    wl.db = loadOrBuildDb(w, a);
+  } else if (wl.name == "random") {
+    util::Rng rng(static_cast<std::uint64_t>(a.num("seed", 2019)));
+    wl.jobs = app::randomSequence(rng, w.lib,
+                                  static_cast<int>(a.num("jobs", 20)),
+                                  a.num("alpha", 0.9));
+    wl.db = loadOrBuildDb(w, a);
+  } else if (wl.name == "fig20") {
+    // The paper's Fig 20 setup: the synthetic Trinity-like trace mapped
+    // onto the measured program set, replayed at cluster scale.
+    trace::TraceGenParams params;
+    params.jobs = static_cast<int>(a.num("jobs", 700));
+    params.horizon_hours = 1900.0 * params.jobs / 7044.0;
+    util::Rng rng(static_cast<std::uint64_t>(a.num("seed", 0x7417177)));
+    const auto raw = trace::generateTrace(rng, params);
+    const double ratio = a.num("ratio", 0.9);
+    util::Rng map_rng(static_cast<std::uint64_t>(ratio * 1000));
+    wl.jobs = trace::mapTraceToJobs(map_rng, raw, ratio, w.est.machine().cores);
+    profile::ProfilerConfig pcfg;
+    pcfg.pmu_noise = 0.02;
+    profile::Profiler prof(w.est, pcfg);
+    profile::ProfileDatabase db16;
+    for (const auto& p : w.lib) db16.put(prof.profileProgram(p, 16));
+    wl.db = trace::synthesizeTraceProfiles(db16, 16, wl.jobs, w.est);
+    wl.default_nodes = 4096;
+    wl.default_period_s = 600.0;  // trace horizon is weeks; 10 min ticks
+    wl.trace_scale = true;
+  } else {
+    // Anything else is a job-list file written by `uberun generate`.
+    wl.jobs = app::loadJobList(wl.name);
+    wl.db = loadOrBuildDb(w, a);
+  }
+  return wl;
+}
+
+/// One workload run with the full telemetry stack attached. The members
+/// reference each other (sampler -> store, watchdog -> recorder -> log),
+/// so the struct is heap-allocated and immovable.
+struct TelemetryRun {
+  telemetry::TimeSeriesStore store;
+  telemetry::SloWatchdog watchdog;
+  telemetry::Sampler sampler;
+  telemetry::PhaseProfiler phases;
+  obs::Registry metrics;
+  obs::RingBufferLog log;
+  obs::Recorder slo_rec;  ///< routes watchdog violations into `log`
+  sim::SimResult result;
+  int nodes = 0;
+  std::string workload;
+
+  TelemetryRun(std::vector<telemetry::SloRule> rules, std::size_t budget,
+               telemetry::SamplerConfig scfg)
+      : store(budget), watchdog(std::move(rules)), sampler(store, scfg) {}
+
+  /// Headline facts for report tiles and the terminal summary.
+  std::vector<std::pair<std::string, std::string>> summaryTiles() const {
+    return {
+        {"policy", result.policy},
+        {"nodes", std::to_string(nodes)},
+        {"jobs", std::to_string(result.jobs.size())},
+        {"makespan (s)", util::fmt(result.makespan, 1)},
+        {"mean turnaround (s)", util::fmt(result.meanTurnaround(), 1)},
+        {"sample ticks", std::to_string(sampler.ticks())},
+        {"SLO episodes", std::to_string(watchdog.totalEpisodes())},
+    };
+  }
+};
+
+std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a) {
+  auto wl = buildTelemetryWorkload(w, a);
+
+  auto rules = telemetry::SloWatchdog::defaultRules();
+  for (auto& r : rules) {
+    using K = telemetry::SloRule::Kind;
+    if (r.kind == K::kDecisionLatencyP99) {
+      r.threshold = a.num("slo-decision-us", r.threshold);
+    } else if (r.kind == K::kQueueStarvation) {
+      r.threshold = a.num("slo-starvation-s", r.threshold);
+    } else if (r.kind == K::kUtilizationCollapse) {
+      r.threshold = a.num("slo-collapse", r.threshold);
+    }
+  }
+
+  telemetry::SamplerConfig scfg;
+  scfg.period_s = a.num("period", wl.default_period_s);
+  const auto budget = static_cast<std::size_t>(a.num("budget", 512));
+
+  auto run = std::make_unique<TelemetryRun>(std::move(rules), budget, scfg);
+  run->workload = wl.name;
+  run->slo_rec.setSink(&run->log);
+  run->watchdog.setRecorder(&run->slo_rec);
+  run->sampler.attachWatchdog(&run->watchdog);
+
+  sim::SimConfig cfg;
+  cfg.nodes = static_cast<int>(a.num("nodes", wl.default_nodes));
+  cfg.policy = parsePolicy(a.get("policy", "SNS"));
+  cfg.online_profiling = a.flag("online");
+  cfg.enforce_bandwidth_caps = a.flag("mba");
+  if (wl.trace_scale) {
+    cfg.monitor_episode_s = 0.0;  // no per-node bw sampling at 4K nodes
+    cfg.age_limit_s = 14.0 * 86400.0;
+    cfg.max_queue_scan = 256;
+  }
+  cfg.sink = &run->log;
+  cfg.metrics = &run->metrics;
+  cfg.sampler = &run->sampler;
+  cfg.phases = &run->phases;
+  run->nodes = cfg.nodes;
+
+  sim::ClusterSimulator sim(w.est, w.lib, wl.db, cfg);
+  run->result = sim.run(wl.jobs);
+  return run;
+}
+
+/// Shared tail: print the watchdog summary (stderr keeps `uberun metrics`
+/// stdout machine-clean) and map violations to exit 4 under --enforce-slo.
+int finishTelemetry(const TelemetryRun& run, const Args& a) {
+  std::fprintf(stderr, "%s", run.watchdog.renderSummary().c_str());
+  if (run.watchdog.anyViolation()) {
+    std::fprintf(stderr, "SLO: %llu violation episode(s)%s\n",
+                 static_cast<unsigned long long>(run.watchdog.totalEpisodes()),
+                 a.flag("enforce-slo") ? " — failing (--enforce-slo)" : "");
+    if (a.flag("enforce-slo")) return 4;
+  }
+  return 0;
+}
+
+void writeOrPrint(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::printf("%s", text.c_str());
+    return;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw util::DataError("cannot write " + path);
+  out << text;
+}
+
+int cmdMetrics(const World& w, const Args& a) {
+  auto run = runTelemetry(w, a);
+  writeOrPrint(a.get("out", ""),
+               telemetry::renderPrometheus(&run->store, &run->metrics));
+  return finishTelemetry(*run, a);
+}
+
+int cmdReport(const World& w, const Args& a) {
+  auto run = runTelemetry(w, a);
+  telemetry::ReportContext ctx;
+  ctx.title = "uberun — " + run->result.policy + " on " +
+              std::to_string(run->nodes) + " nodes (" + run->workload + ")";
+  ctx.store = &run->store;
+  ctx.metrics = &run->metrics;
+  ctx.watchdog = &run->watchdog;
+  ctx.phases = &run->phases;
+  ctx.summary = run->summaryTiles();
+  ctx.events_dropped = run->log.dropped();
+  const std::string out = a.get("out", "uberun_report.html");
+  writeOrPrint(out, telemetry::renderHtmlReport(ctx));
+  std::printf("%s policy on %d nodes: %zu jobs, makespan %.1f s, %llu sample "
+              "ticks across %zu series\nwrote report to %s\n",
+              run->result.policy.c_str(), run->nodes, run->result.jobs.size(),
+              run->result.makespan,
+              static_cast<unsigned long long>(run->sampler.ticks()),
+              run->store.size(), out.c_str());
+  return finishTelemetry(*run, a);
+}
+
+int cmdTop(const World& w, const Args& a) {
+  auto run = runTelemetry(w, a);
+  const double at = a.num("at", run->result.makespan);
+  std::printf("%s policy on %d nodes (%s), makespan %.1f s\n\n%s",
+              run->result.policy.c_str(), run->nodes, run->workload.c_str(),
+              run->result.makespan, telemetry::renderTop(run->store, at).c_str());
+  std::printf("\n%s", run->phases.renderTable().c_str());
+  return finishTelemetry(*run, a);
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: uberun <programs|profile|generate|simulate|plan|trace> "
+               "usage: uberun <programs|profile|generate|simulate|plan|trace|"
+               "metrics|report|top> "
                "[options]\n(see the header of tools/uberun_cli.cpp)\n");
   return 1;
 }
@@ -356,13 +571,17 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     World w;
-    const Args a = Args::parse(argc, argv, {"online", "mba", "network"});
+    const Args a =
+        Args::parse(argc, argv, {"online", "mba", "network", "enforce-slo"});
     if (cmd == "programs") return cmdPrograms(w);
     if (cmd == "profile") return cmdProfile(w, a);
     if (cmd == "generate") return cmdGenerate(w, a);
     if (cmd == "simulate") return cmdSimulate(w, a);
     if (cmd == "plan") return cmdPlan(w, a);
     if (cmd == "trace") return cmdTrace(w, a);
+    if (cmd == "metrics") return cmdMetrics(w, a);
+    if (cmd == "report") return cmdReport(w, a);
+    if (cmd == "top") return cmdTop(w, a);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uberun: %s\n", e.what());
