@@ -51,6 +51,11 @@ void ResourceLedger::release(int nd, JobId job) {
   total_cores_used_ -= alloc.cores;
   total_ways_reserved_ -= alloc.ways;
   total_bw_reserved_ -= alloc.bw_gbps;
+  // The bandwidth total is the one float among the cached totals, and a
+  // +=/-= pair need not cancel exactly, so an idle cluster can be left with
+  // a ~1-ulp residue (the invariant auditor flagged exactly this). An empty
+  // cluster is an unambiguous resync point: snap back to exact zero.
+  if (total_cores_used_ == 0) total_bw_reserved_ = 0.0;
   reindex(nd, old_idle);
 }
 

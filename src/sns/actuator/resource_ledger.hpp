@@ -158,6 +158,30 @@ class ResourceLedger {
 
   const hw::MachineConfig& machine() const { return *mach_; }
 
+  // ---- audit introspection (sns::audit) -------------------------------------
+  // Raw cached state backing the O(1) paths, exposed read-only so the
+  // invariant auditor can cross-validate it against a full recomputation
+  // from the per-node ledgers. Not for scheduling code: policies read the
+  // occupancy means and selection APIs above.
+  std::int64_t cachedTotalCoresUsed() const { return total_cores_used_; }
+  std::int64_t cachedTotalWaysReserved() const { return total_ways_reserved_; }
+  double cachedTotalBwReserved() const { return total_bw_reserved_; }
+  int bucketCount() const { return static_cast<int>(buckets_.size()); }
+  const NodeBitset& bucket(int idle_cores) const {
+    return buckets_[static_cast<std::size_t>(idle_cores)];
+  }
+
+  // ---- test hooks (tests/audit) ---------------------------------------------
+  /// Deliberately desynchronize the cached core total / the idle-core index
+  /// from the per-node truth. Exist ONLY so the audit tests can prove a
+  /// corrupted ledger is caught; never called by production code.
+  void debugCorruptCoreTotal(std::int64_t delta) { total_cores_used_ += delta; }
+  void debugCorruptBucket(int node) {
+    for (auto& b : buckets_) {
+      if (b.erase(node)) return;
+    }
+  }
+
  private:
   NodeLedger& mutableNode(int id);
   void reindex(int id, int old_idle);

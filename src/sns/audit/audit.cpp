@@ -1,0 +1,227 @@
+#include "sns/audit/audit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sns::audit {
+
+namespace {
+/// |a - b| within `rel` of max(1, |b|): the comparison used for the two
+/// cached floating-point aggregates that legitimately drift by ulps
+/// (incremental += / -= vs a fresh left-to-right resummation).
+bool near(double a, double b, double rel) {
+  return std::abs(a - b) <= rel * std::max(1.0, std::abs(b));
+}
+}  // namespace
+
+void Auditor::check(bool ok_cond, std::string_view check_name, double observed,
+                    double expected, const std::string& detail) {
+  ++checks_run_;
+  if (ok_cond) return;
+  ++total_violations_;
+  if (violations_.size() < cfg_.max_recorded) {
+    violations_.push_back(
+        {std::string(check_name), detail, observed, expected});
+  }
+  if (rec_ != nullptr) {
+    rec_->auditViolation(check_name, observed, expected, detail);
+  }
+  if (cfg_.fail_fast) {
+    throw AuditError(std::string(check_name) + ": " + detail);
+  }
+}
+
+std::size_t Auditor::auditLedger(const actuator::ResourceLedger& ledger) {
+  const std::uint64_t before = total_violations_;
+  const hw::MachineConfig& mach = ledger.machine();
+  const int n = ledger.nodeCount();
+  const int buckets = ledger.bucketCount();
+
+  std::int64_t sum_cores = 0;
+  std::int64_t sum_ways = 0;
+  double sum_bw = 0.0;
+  int idle_nodes = 0;
+  std::vector<std::int64_t> members(static_cast<std::size_t>(buckets), 0);
+
+  for (int id = 0; id < n; ++id) {
+    const actuator::NodeLedger& node = ledger.node(id);
+    std::int64_t cores = 0;
+    std::int64_t ways = 0;
+    double bw = 0.0;
+    bool exclusive = false;
+    for (const auto& [job, alloc] : node.allocations()) {
+      cores += alloc.cores;
+      ways += alloc.ways;
+      bw += alloc.bw_gbps;
+      exclusive = exclusive || alloc.exclusive;
+    }
+    const auto tag = [id](const char* what) {
+      return "node " + std::to_string(id) + ": " + what;
+    };
+    // Per-node counters vs a re-sum of the resident allocations. Cores and
+    // ways are integers, so the cached values must match exactly; the
+    // cached occupancy fractions must reproduce bit-for-bit when the same
+    // division is re-run on the re-summed numerators.
+    check(node.idleCores() == mach.cores - cores, "ledger.node_cores",
+          node.idleCores(), static_cast<double>(mach.cores - cores),
+          tag("cached idle-core count disagrees with resident allocations"));
+    check(node.freeWays() == mach.llc_ways - ways, "ledger.node_ways",
+          node.freeWays(), static_cast<double>(mach.llc_ways - ways),
+          tag("cached free-way count disagrees with resident allocations"));
+    check(node.coreOccupancy() ==
+              static_cast<double>(cores) / mach.cores,
+          "ledger.node_core_occ", node.coreOccupancy(),
+          static_cast<double>(cores) / mach.cores,
+          tag("cached core occupancy is not the recomputed fraction"));
+    check(node.wayOccupancy() ==
+              static_cast<double>(ways) / mach.llc_ways,
+          "ledger.node_way_occ", node.wayOccupancy(),
+          static_cast<double>(ways) / mach.llc_ways,
+          tag("cached way occupancy is not the recomputed fraction"));
+    check(near(node.bwOccupancy(), bw / mach.peakBandwidth(),
+               cfg_.bw_total_rel_eps),
+          "ledger.node_bw_occ", node.bwOccupancy(), bw / mach.peakBandwidth(),
+          tag("cached bandwidth occupancy drifted beyond ulp tolerance"));
+    check(node.hasExclusiveJob() == exclusive, "ledger.node_exclusive",
+          node.hasExclusiveJob() ? 1.0 : 0.0, exclusive ? 1.0 : 0.0,
+          tag("cached exclusive flag disagrees with resident allocations"));
+
+    sum_cores += cores;
+    sum_ways += ways;
+    sum_bw += bw;
+    if (node.idle()) ++idle_nodes;
+
+    // Idle-core index: the node must be in exactly the bucket keyed by its
+    // recomputed idle-core count, and in no other.
+    const int idle = mach.cores - static_cast<int>(cores);
+    for (int c = 0; c < buckets; ++c) {
+      if (!ledger.bucket(c).contains(id)) continue;
+      ++members[static_cast<std::size_t>(c)];
+      check(c == idle, "ledger.bucket_membership", c, idle,
+            tag("indexed in the wrong idle-core bucket"));
+    }
+    check(idle >= 0 && idle < buckets && ledger.bucket(idle).contains(id),
+          "ledger.bucket_missing", 0.0, idle,
+          tag("missing from its idle-core bucket"));
+  }
+
+  for (int c = 0; c < buckets; ++c) {
+    check(ledger.bucket(c).size() == members[static_cast<std::size_t>(c)],
+          "ledger.bucket_count", ledger.bucket(c).size(),
+          static_cast<double>(members[static_cast<std::size_t>(c)]),
+          "bucket " + std::to_string(c) +
+              ": cached population disagrees with enumeration");
+  }
+
+  // Cluster-wide cached totals (the O(1) occupancy means and free list).
+  check(ledger.cachedTotalCoresUsed() == sum_cores, "ledger.core_total",
+        static_cast<double>(ledger.cachedTotalCoresUsed()),
+        static_cast<double>(sum_cores),
+        "cached cluster core total disagrees with per-node resummation");
+  check(ledger.cachedTotalWaysReserved() == sum_ways, "ledger.way_total",
+        static_cast<double>(ledger.cachedTotalWaysReserved()),
+        static_cast<double>(sum_ways),
+        "cached cluster way total disagrees with per-node resummation");
+  // Drift in the incremental bandwidth total accumulates over every
+  // allocate/release ever performed, so the tolerance must scale with the
+  // values actually summed — cluster bandwidth capacity — not with the
+  // current total, which can legitimately sit near zero on an idle cluster.
+  const double bw_capacity = mach.peakBandwidth() * ledger.nodeCount();
+  check(std::abs(ledger.cachedTotalBwReserved() - sum_bw) <=
+            cfg_.bw_total_rel_eps * std::max(1.0, bw_capacity),
+        "ledger.bw_total", ledger.cachedTotalBwReserved(), sum_bw,
+        "cached cluster bandwidth total drifted beyond ulp tolerance");
+  check(ledger.idleNodeCount() == idle_nodes, "ledger.idle_nodes",
+        ledger.idleNodeCount(), idle_nodes,
+        "idle-node count (free-list bucket) disagrees with a full recount");
+
+  return static_cast<std::size_t>(total_violations_ - before);
+}
+
+std::size_t Auditor::auditQueue(const sched::JobQueue& queue) {
+  const std::uint64_t before = total_violations_;
+  for (const std::string& why : queue.auditInvariants()) {
+    check(false, "queue.invariant", 0.0, 0.0, why);
+  }
+  const std::size_t live = queue.pending().size();
+  check(queue.size() == live, "queue.size", static_cast<double>(queue.size()),
+        static_cast<double>(live),
+        "size() disagrees with the live-job snapshot");
+  return static_cast<std::size_t>(total_violations_ - before);
+}
+
+std::size_t Auditor::auditSolverCache(const perfmodel::SolverCache& cache) {
+  const std::uint64_t before = total_violations_;
+  for (const std::string& why : cache.auditInvariants()) {
+    check(false, "solver_cache.invariant", 0.0, 0.0, why);
+  }
+  return static_cast<std::size_t>(total_violations_ - before);
+}
+
+std::size_t Auditor::auditTimeSeries(const telemetry::TimeSeriesStore& store) {
+  const std::uint64_t before = total_violations_;
+  for (const auto& [key, s] : store.all()) {
+    const auto tag = [&key](const char* what) {
+      return "series " + key.name + ": " + what;
+    };
+    std::uint64_t count_sum = 0;
+    double prev_end = -std::numeric_limits<double>::infinity();
+    for (const telemetry::SeriesPoint& pt : s.points()) {
+      check(pt.t_first <= pt.t_last, "telemetry.point_span", pt.t_first,
+            pt.t_last, tag("point spans backwards in time"));
+      check(pt.t_first >= prev_end, "telemetry.monotonic", pt.t_first,
+            prev_end, tag("points are not in nondecreasing time order"));
+      check(pt.count > 0, "telemetry.point_count",
+            static_cast<double>(pt.count), 1.0, tag("retained point holds no samples"));
+      check(pt.min <= pt.max && pt.min <= pt.last && pt.last <= pt.max,
+            "telemetry.point_bounds", pt.last, pt.min,
+            tag("last value escapes the point's min/max envelope"));
+      check(near(pt.mean(), std::clamp(pt.mean(), pt.min, pt.max), 1e-9),
+            "telemetry.point_mean", pt.mean(), pt.min,
+            tag("mean escapes the point's min/max envelope"));
+      count_sum += pt.count;
+      prev_end = pt.t_last;
+    }
+    check(count_sum == s.sampleCount(), "telemetry.sample_conservation",
+          static_cast<double>(count_sum),
+          static_cast<double>(s.sampleCount()),
+          tag("downsampling lost or invented raw samples"));
+  }
+  return static_cast<std::size_t>(total_violations_ - before);
+}
+
+std::size_t Auditor::auditSchedulerState(
+    const actuator::ResourceLedger& ledger, const sched::JobQueue& queue,
+    const perfmodel::SolverCache& cache) {
+  ++passes_run_;
+  std::size_t found = 0;
+  if (cfg_.check_ledger) found += auditLedger(ledger);
+  if (cfg_.check_queue) found += auditQueue(queue);
+  if (cfg_.check_solver_cache) found += auditSolverCache(cache);
+  return found;
+}
+
+std::string Auditor::report() const {
+  std::string out = "audit: " + std::to_string(checks_run_) +
+                    " invariant checks across " + std::to_string(passes_run_) +
+                    " scheduler pass(es): ";
+  if (ok()) {
+    out += "all clean\n";
+    return out;
+  }
+  out += std::to_string(total_violations_) + " violation(s)\n";
+  for (const Violation& v : violations_) {
+    out += "  [" + v.check + "] " + v.detail + " (observed " +
+           std::to_string(v.observed) + ", expected " +
+           std::to_string(v.expected) + ")\n";
+  }
+  if (total_violations_ > violations_.size()) {
+    out += "  ... and " +
+           std::to_string(total_violations_ - violations_.size()) +
+           " more (recording capped)\n";
+  }
+  return out;
+}
+
+}  // namespace sns::audit

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sns/actuator/resource_ledger.hpp"
+#include "sns/obs/recorder.hpp"
+#include "sns/perfmodel/solver_cache.hpp"
+#include "sns/sched/queue.hpp"
+#include "sns/telemetry/timeseries.hpp"
+
+/// SNS_AUDIT_ENABLED: 1 when the build compiles the scheduler-stack audit
+/// hooks in (every build type except plain Release by default; see the
+/// SNS_AUDIT option in the top-level CMakeLists). The sns::audit library
+/// itself is always built — only the hot-path hooks inside the simulator
+/// vanish when the flag is off.
+#if defined(SNS_AUDIT)
+#define SNS_AUDIT_ENABLED 1
+#else
+#define SNS_AUDIT_ENABLED 0
+#endif
+
+namespace sns::audit {
+
+/// Thrown by a fail-fast Auditor on the first violated invariant, so
+/// `uberun audit` can exit nonzero the moment the scheduler state
+/// diverges from a full recomputation.
+class AuditError : public std::runtime_error {
+ public:
+  explicit AuditError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One failed invariant check.
+struct Violation {
+  std::string check;   ///< dotted check name, e.g. "ledger.core_total"
+  std::string detail;  ///< human-readable cause
+  double observed = 0.0;
+  double expected = 0.0;
+};
+
+struct AuditorConfig {
+  /// Throw AuditError on the first violation (after recording and
+  /// emitting it) instead of accumulating. `uberun audit` runs fail-fast.
+  bool fail_fast = false;
+  bool check_ledger = true;
+  bool check_queue = true;
+  bool check_solver_cache = true;
+  /// Relative tolerance for the cluster-wide bandwidth total: it is the
+  /// one cached value that legitimately accumulates floating-point drift
+  /// (at most one ulp per allocate/release; integers are exact).
+  double bw_total_rel_eps = 1e-9;
+  /// Retain at most this many violations verbatim (the counter keeps
+  /// counting past it, so a corrupt long run cannot exhaust memory).
+  std::size_t max_recorded = 256;
+};
+
+/// Runtime invariant auditor: cross-validates the scheduler stack's
+/// hand-maintained O(1) caches against full recomputation from ground
+/// truth — the redundancy the PR-3 equivalence claim ("optimized replay is
+/// bit-identical to the legacy path") silently relies on:
+///
+///   - ResourceLedger: cached occupancy totals and per-node occupancy
+///     fractions vs re-summed per-node allocations; every node present in
+///     exactly the idle-core bucket matching its recomputed idle count,
+///     with bucket population counts matching enumeration.
+///   - JobQueue: tombstone / live-count / position-index accounting vs a
+///     recount of the slot store, plus priority ordering.
+///   - SolverCache: signature <-> outcome-list consistency and the
+///     last-signature fast path.
+///   - TimeSeriesStore: per-series time monotonicity and aggregation
+///     conservation (sum of point counts == raw samples appended).
+///
+/// Violations are recorded, optionally emitted as `audit_violation` events
+/// through an obs::Recorder (so they land in Perfetto traces and reports),
+/// and optionally escalate to AuditError (fail_fast).
+class Auditor {
+ public:
+  explicit Auditor(AuditorConfig cfg = {}) : cfg_(cfg) {}
+
+  const AuditorConfig& config() const { return cfg_; }
+
+  /// Route violations into the obs stream as audit_violation events. The
+  /// recorder is borrowed (caller-owned, must outlive the audits); the
+  /// simulator attaches its own per-run recorder when a SimConfig names
+  /// this auditor.
+  void setRecorder(obs::Recorder* rec) { rec_ = rec; }
+
+  // ---- individual check families (each returns new violations found) -------
+  std::size_t auditLedger(const actuator::ResourceLedger& ledger);
+  std::size_t auditQueue(const sched::JobQueue& queue);
+  std::size_t auditSolverCache(const perfmodel::SolverCache& cache);
+  std::size_t auditTimeSeries(const telemetry::TimeSeriesStore& store);
+
+  /// The per-scheduling-point bundle ClusterSimulator drives: ledger +
+  /// queue + solver cache, honoring the per-family config toggles.
+  std::size_t auditSchedulerState(const actuator::ResourceLedger& ledger,
+                                  const sched::JobQueue& queue,
+                                  const perfmodel::SolverCache& cache);
+
+  // ---- results --------------------------------------------------------------
+  bool ok() const { return total_violations_ == 0; }
+  /// Violations retained verbatim (capped at config().max_recorded).
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t totalViolations() const { return total_violations_; }
+  std::uint64_t checksRun() const { return checks_run_; }
+  std::uint64_t passesRun() const { return passes_run_; }
+
+  /// Human-readable summary: checks run, violations (or "all clean").
+  std::string report() const;
+
+ private:
+  /// One primitive check: counts it, and on failure records / emits /
+  /// (fail_fast) throws.
+  void check(bool ok_cond, std::string_view check_name, double observed,
+             double expected, const std::string& detail);
+
+  AuditorConfig cfg_;
+  obs::Recorder* rec_ = nullptr;
+  std::vector<Violation> violations_;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t passes_run_ = 0;
+};
+
+}  // namespace sns::audit

@@ -17,6 +17,7 @@ const char* to_string(EventType t) {
     case EventType::kJobStarted: return "job_started";
     case EventType::kJobFinished: return "job_finished";
     case EventType::kSloViolation: return "slo_violation";
+    case EventType::kAuditViolation: return "audit_violation";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class EventType : std::uint8_t {
   kJobStarted,            ///< resources allocated, job is running
   kJobFinished,           ///< job completed, resources about to be released
   kSloViolation,          ///< a telemetry SLO rule entered violation
+  kAuditViolation,        ///< an sns::audit invariant check failed
 };
 
 /// Stable lowercase name, e.g. "placement_decided" (used by the JSONL sink
@@ -64,6 +65,8 @@ struct NodeScore {
 ///                          value=node count, value2=exclusive(0/1)
 ///   job_finished:          job, what=program, value=run time (s)
 ///   slo_violation:         what=rule name, value=observed, value2=threshold,
+///                          detail=human-readable cause
+///   audit_violation:       what=check name, value=observed, value2=expected,
 ///                          detail=human-readable cause
 struct Event {
   EventType type = EventType::kJobSubmitted;

@@ -181,6 +181,18 @@ class Recorder {
     emit(std::move(e));
   }
 
+  void auditViolation(std::string_view check, double observed, double expected,
+                      std::string_view cause) {
+    if (sink_ == nullptr) return;
+    Event e;
+    e.type = EventType::kAuditViolation;
+    e.what = check;
+    e.value = observed;
+    e.value2 = expected;
+    e.detail = cause;
+    emit(std::move(e));
+  }
+
   void jobFinished(std::int64_t job, std::string_view program, double run_s) {
     if (sink_ == nullptr) return;
     Event e;

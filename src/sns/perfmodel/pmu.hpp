@@ -42,7 +42,7 @@ class PmuSimulator {
  private:
   double jitter();
 
-  double noise_;
+  double noise_ = 0.0;
   util::Rng rng_;
 };
 

@@ -76,6 +76,45 @@ void SolverCache::clear() {
   evictions_ = 0;
 }
 
+std::vector<std::string> SolverCache::auditInvariants() const {
+  std::vector<std::string> out;
+  for (const auto& [sig, outcomes] : cache_) {
+    if (sig.empty()) {
+      out.push_back("cached entry with an empty co-run signature");
+    }
+    if (outcomes.size() != sig.size()) {
+      out.push_back("signature of " + std::to_string(sig.size()) +
+                    " share(s) maps to " + std::to_string(outcomes.size()) +
+                    " outcome(s)");
+    }
+  }
+  if ((last_sig_ == nullptr) != (last_ == nullptr)) {
+    out.push_back("last-signature fast path half-set");
+  } else if (last_sig_ != nullptr) {
+    auto it = cache_.find(*last_sig_);
+    if (it == cache_.end()) {
+      out.push_back("last-signature fast path points at an evicted entry");
+    } else if (&it->second != last_) {
+      out.push_back("last-signature fast path outcome does not match its entry");
+    }
+  }
+  // Every stored entry was produced by a miss; evictions only ever discard
+  // entries, so the live count can never exceed the misses that created
+  // entries minus those wiped.
+  if (cache_.size() > misses_) {
+    out.push_back("cache holds " + std::to_string(cache_.size()) +
+                  " entries but only " + std::to_string(misses_) +
+                  " misses were counted");
+  }
+  return out;
+}
+
+void SolverCache::debugCorruptEntry() {
+  if (cache_.empty()) return;
+  // Test hook: any entry will do, the auditor must find it either way.
+  cache_.begin()->second.clear();  // snslint: allow(unordered-iteration)
+}
+
 void SolverCache::attachMetrics(obs::Registry& reg) {
   m_hits_ = &reg.counter("solver.cache.hits");
   m_misses_ = &reg.counter("solver.cache.misses");

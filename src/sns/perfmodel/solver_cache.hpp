@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,20 @@ class SolverCache {
   /// the cache's own counters but never rolls the registry back — registry
   /// counters are cumulative across runs, like every other instrument.
   void attachMetrics(obs::Registry& reg);
+
+  // ---- audit introspection (sns::audit) -------------------------------------
+  /// Validate signature <-> entry consistency: every cached outcome list is
+  /// exactly as long as its signature (solve() returns one outcome per
+  /// share), signatures are non-empty, the last-signature fast path points
+  /// at a live entry, and miss accounting covers the stored entries.
+  /// Returns human-readable descriptions of every violated invariant
+  /// (empty = consistent). O(entries); called by sns::audit.
+  std::vector<std::string> auditInvariants() const;
+
+  /// Test hook (tests/audit): truncate one cached entry's outcome list so
+  /// the audit tests can prove corruption is caught. No-op on an empty
+  /// cache. Never called by production code.
+  void debugCorruptEntry();
 
  private:
   struct Key {

@@ -104,4 +104,48 @@ double JobQueue::headAge(double now) const {
   return head != nullptr ? head->age(now) : 0.0;
 }
 
+std::vector<std::string> JobQueue::auditInvariants() const {
+  std::vector<std::string> out;
+  std::size_t live = 0;
+  std::size_t dead = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.live) {
+      ++live;
+      auto it = pos_.find(s.job.id);
+      if (it == pos_.end()) {
+        out.push_back("live job " + std::to_string(s.job.id) +
+                      " missing from the position index");
+      } else if (it->second - base_ != i) {
+        out.push_back("job " + std::to_string(s.job.id) + " indexed at slot " +
+                      std::to_string(it->second - base_) + ", stored at " +
+                      std::to_string(i));
+      }
+    } else {
+      ++dead;
+      if (pos_.count(s.job.id) != 0) {
+        out.push_back("tombstoned job " + std::to_string(s.job.id) +
+                      " still in the position index");
+      }
+    }
+    if (i > 0 && before(s.job, slots_[i - 1].job)) {
+      out.push_back("slots out of priority order at position " +
+                    std::to_string(i));
+    }
+  }
+  if (live != live_) {
+    out.push_back("live counter " + std::to_string(live_) + " != recount " +
+                  std::to_string(live));
+  }
+  if (dead != dead_) {
+    out.push_back("tombstone counter " + std::to_string(dead_) +
+                  " != recount " + std::to_string(dead));
+  }
+  if (pos_.size() != live) {
+    out.push_back("position index holds " + std::to_string(pos_.size()) +
+                  " entries for " + std::to_string(live) + " live jobs");
+  }
+  return out;
+}
+
 }  // namespace sns::sched

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -71,6 +72,20 @@ class JobQueue {
   /// Waiting age of the head job at time `now`; 0 when the queue is empty.
   /// The telemetry sampler reads this every tick (queue-starvation SLO).
   double headAge(double now) const;
+
+  // ---- audit introspection (sns::audit) -------------------------------------
+  /// Validate the tombstone bookkeeping against the slot store: live_ /
+  /// dead_ match a recount, every live slot is indexed at its physical
+  /// position, no tombstone is indexed, and slots stay in priority order.
+  /// Returns human-readable descriptions of every violated invariant
+  /// (empty = consistent). Runs in O(slots); called by sns::audit, not by
+  /// scheduling code.
+  std::vector<std::string> auditInvariants() const;
+
+  /// Test hook (tests/audit): desynchronize the live counter from the slot
+  /// store so the audit tests can prove corruption is caught. Never called
+  /// by production code.
+  void debugCorruptLiveCount(std::size_t delta) { live_ += delta; }
 
  private:
   struct Slot {

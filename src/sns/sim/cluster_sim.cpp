@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "sns/app/comm.hpp"
+#include "sns/audit/audit.hpp"
 #include "sns/profile/exploration.hpp"
 #include "sns/util/error.hpp"
 
@@ -433,7 +434,8 @@ void ClusterSimulator::scheduleLegacy(double now) {
 }
 
 void ClusterSimulator::schedule(double now) {
-  using Clock = std::chrono::steady_clock;
+  // Decision-latency metric only — never feeds a scheduling decision.
+  using Clock = std::chrono::steady_clock;  // snslint: allow(wall-clock)
   const auto wall_begin = m_decision_us_ ? Clock::now() : Clock::time_point{};
   if (m_sched_passes_) m_sched_passes_->inc();
 
@@ -455,6 +457,17 @@ void ClusterSimulator::schedule(double now) {
         std::chrono::duration<double, std::micro>(Clock::now() - wall_begin)
             .count());
   }
+}
+
+void ClusterSimulator::auditTick() {
+#if SNS_AUDIT_ENABLED
+  // Cross-validate every hand-maintained O(1) structure on the decision
+  // path against full recomputation. Null auditor (the default) keeps this
+  // a single predictable branch; Release builds compile the call out.
+  if (cfg_.auditor != nullptr) {
+    cfg_.auditor->auditSchedulerState(ledger_, queue_, solve_cache_);
+  }
+#endif
 }
 
 void ClusterSimulator::sampleTelemetry(double now) {
@@ -561,6 +574,24 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   }
   rec_.setSink(effective);
   rec_.setTime(0.0);
+#if SNS_AUDIT_ENABLED
+  // Audit violations ride the same per-run event stream as every other
+  // decision event, so they land in traces, reports and the ring buffer.
+  if (cfg_.auditor != nullptr) cfg_.auditor->setRecorder(&rec_);
+#endif
+  // Detach the per-run sink chain (tee / legacy adapter live on this
+  // frame) on every exit path: a fail-fast auditor leaves run() by
+  // throwing AuditError, and neither the recorder nor the auditor may
+  // keep pointing into this frame afterwards.
+  struct SinkGuard {
+    ClusterSimulator* sim;
+    ~SinkGuard() {
+#if SNS_AUDIT_ENABLED
+      if (sim->cfg_.auditor != nullptr) sim->cfg_.auditor->setRecorder(nullptr);
+#endif
+      sim->rec_.setSink(nullptr);
+    }
+  } sink_guard{this};
 
   // Reset state so a simulator instance can be reused. The scheduler reads
   // the run-local database: a copy of the seed database that the online
@@ -621,6 +652,7 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     admit(std::move(submits[next_submit++]));
   }
   schedule(now);
+  auditTick();
   if (cfg_.sampler != nullptr && cfg_.sampler->due(now)) sampleTelemetry(now);
 
   while (!active_.empty() || !queue_.empty() || next_submit < submits.size()) {
@@ -663,6 +695,7 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     for (sched::JobId id : done_scratch_) finishJob(id, now);
 
     schedule(now);
+    auditTick();
     // Telemetry rides the event clock: one cheap due() check per event,
     // and only when a period boundary has elapsed is a sample built.
     // Post-schedule state is what lands in the series — the scheduler's
@@ -685,9 +718,6 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     SNS_REQUIRE(rec.completed(), "job never completed");
   }
   res.jobs = records_;  // already in ascending id order
-  // Detach the per-run sink chain (tee / legacy adapter live on this
-  // frame) before it goes out of scope.
-  rec_.setSink(nullptr);
   return res;
 }
 

@@ -18,6 +18,10 @@
 #include "sns/telemetry/phase_profiler.hpp"
 #include "sns/telemetry/sampler.hpp"
 
+namespace sns::audit {
+class Auditor;
+}
+
 namespace sns::sim {
 
 struct JobRecord;
@@ -91,6 +95,15 @@ struct SimConfig {
   /// accounting hot paths). Null disables all clock reads; caller-owned,
   /// must outlive run().
   telemetry::PhaseProfiler* phases = nullptr;
+  /// Runtime invariant auditor (sns::audit): when set — and the build
+  /// compiled the hooks in (SNS_AUDIT, on by default outside Release) —
+  /// every scheduling point cross-validates the ledger's cached occupancy
+  /// totals and idle-core buckets, the queue's tombstone accounting and
+  /// the solver cache's signature consistency against full recomputation.
+  /// Null (the default) costs nothing; caller-owned, must outlive run().
+  /// A fail-fast auditor makes run() throw audit::AuditError on the first
+  /// violated invariant (`uberun audit` maps that to a nonzero exit).
+  audit::Auditor* auditor = nullptr;
   /// Legacy observation hooks for orchestration layers (launch planning,
   /// drift monitors). They are implemented *on top of* the event stream:
   /// an internal adapter sink turns job_started / job_finished events back
@@ -196,6 +209,7 @@ class ClusterSimulator {
   };
 
   void schedule(double now);
+  void auditTick();  ///< cfg_.auditor checks (no-op unless SNS_AUDIT build)
   void sampleTelemetry(double now);  ///< offer state to cfg_.sampler
   void scheduleSinglePass(double now);
   void scheduleLegacy(double now);

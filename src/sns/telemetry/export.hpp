@@ -30,6 +30,14 @@ struct ReportContext {
   /// Headline facts ((label, value) pairs) rendered as stat tiles.
   std::vector<std::pair<std::string, std::string>> summary;
   std::uint64_t events_dropped = 0;  ///< ring-buffer drops, flagged if > 0
+  /// sns::audit outcome when an invariant auditor ran alongside the
+  /// workload (`uberun report --audit`): the auditor's report() text plus
+  /// its violation count, rendered as a dedicated section. Passed as plain
+  /// data so sns_telemetry does not depend on sns_audit (the audit library
+  /// links telemetry for the time-series checks, not vice versa). Empty
+  /// text omits the section.
+  std::string audit_text;
+  std::uint64_t audit_violations = 0;
 };
 
 /// Self-contained single-file HTML dashboard: stat tiles, one inline-SVG

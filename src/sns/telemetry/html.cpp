@@ -208,6 +208,14 @@ std::string renderHtmlReport(const ReportContext& ctx) {
     html += "</table>";
   }
 
+  if (!ctx.audit_text.empty()) {
+    const bool bad = ctx.audit_violations > 0;
+    html += "<h2>Invariant audit <span class=\"badge " +
+            std::string(bad ? "bad" : "ok") + "\">" +
+            (bad ? "violations" : "clean") + "</span></h2><pre>" +
+            esc(ctx.audit_text) + "</pre>";
+  }
+
   if (ctx.store != nullptr) {
     // Full-width cards for the cluster-level series, small multiples for
     // label-differentiated (per-node) instances.

@@ -1,0 +1,210 @@
+// sns::audit behavior: a consistent scheduler stack audits clean, every
+// supported corruption is caught (via the documented debugCorrupt* test
+// hooks), fail-fast escalates to AuditError, violations flow into the obs
+// event stream, and a full simulator run under per-pass auditing stays
+// clean without changing the schedule.
+#include "sns/audit/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "sns/app/library.hpp"
+#include "sns/obs/sink.hpp"
+#include "sns/perfmodel/contention.hpp"
+#include "sns/profile/profiler.hpp"
+#include "sns/sim/cluster_sim.hpp"
+
+namespace sns::audit {
+namespace {
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  AuditorTest() : lib_(app::programLibrary()), solver_(mach_) {}
+
+  sched::Job job(sched::JobId id, double submit = 0.0) const {
+    sched::Job j;
+    j.id = id;
+    j.spec = {"EP", 16, 0.9, submit, 1, 0.0};
+    j.program = &lib_.front();
+    j.submit_time = submit;
+    return j;
+  }
+
+  hw::MachineConfig mach_ = hw::MachineConfig::xeonE5_2680v4();
+  std::vector<app::ProgramModel> lib_;
+  perfmodel::NodeContentionSolver solver_;
+};
+
+TEST_F(AuditorTest, ConsistentStateAuditsClean) {
+  actuator::ResourceLedger ledger(8, mach_);
+  ledger.allocate(0, 1, {16, 10, 40.0, false});
+  ledger.allocate(0, 2, {8, 5, 20.0, false});
+  ledger.allocate(3, 3, {28, 0, 0.0, true});
+  ledger.release(0, 2);
+
+  sched::JobQueue queue;
+  queue.push(job(1, 0.0));
+  queue.push(job(2, 5.0));
+  queue.push(job(3, 10.0));
+  queue.remove(2);
+
+  perfmodel::SolverCache cache(solver_);
+  perfmodel::NodeShare share{&lib_.front(), 16, 20.0, 0.0, 1.0};
+  cache.solve(std::span<const perfmodel::NodeShare>(&share, 1));
+  cache.solve(std::span<const perfmodel::NodeShare>(&share, 1));
+
+  Auditor auditor;
+  EXPECT_EQ(auditor.auditSchedulerState(ledger, queue, cache), 0u);
+  EXPECT_TRUE(auditor.ok());
+  EXPECT_GT(auditor.checksRun(), 0u);
+  EXPECT_EQ(auditor.passesRun(), 1u);
+  EXPECT_NE(auditor.report().find("all clean"), std::string::npos);
+}
+
+TEST_F(AuditorTest, CorruptedLedgerTotalIsCaught) {
+  actuator::ResourceLedger ledger(4, mach_);
+  ledger.allocate(1, 7, {16, 10, 40.0, false});
+  ledger.debugCorruptCoreTotal(+3);
+
+  Auditor auditor;
+  EXPECT_GT(auditor.auditLedger(ledger), 0u);
+  EXPECT_FALSE(auditor.ok());
+  bool found = false;
+  for (const Violation& v : auditor.violations()) {
+    if (v.check == "ledger.core_total") found = true;
+  }
+  EXPECT_TRUE(found) << auditor.report();
+}
+
+TEST_F(AuditorTest, CorruptedIdleBucketIsCaught) {
+  actuator::ResourceLedger ledger(4, mach_);
+  ledger.allocate(2, 9, {8, 4, 10.0, false});
+  ledger.debugCorruptBucket(2);
+
+  Auditor auditor;
+  EXPECT_GT(auditor.auditLedger(ledger), 0u);
+  bool found = false;
+  for (const Violation& v : auditor.violations()) {
+    if (v.check == "ledger.bucket_missing" ||
+        v.check == "ledger.bucket_count") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << auditor.report();
+}
+
+TEST_F(AuditorTest, CorruptedQueueAccountingIsCaught) {
+  sched::JobQueue queue;
+  queue.push(job(1));
+  queue.push(job(2, 3.0));
+  queue.debugCorruptLiveCount(+1);
+
+  Auditor auditor;
+  EXPECT_GT(auditor.auditQueue(queue), 0u);
+  EXPECT_FALSE(auditor.ok());
+}
+
+TEST_F(AuditorTest, CorruptedSolverCacheEntryIsCaught) {
+  perfmodel::SolverCache cache(solver_);
+  perfmodel::NodeShare share{&lib_.front(), 16, 20.0, 0.0, 1.0};
+  cache.solve(std::span<const perfmodel::NodeShare>(&share, 1));
+  cache.debugCorruptEntry();
+
+  Auditor auditor;
+  EXPECT_GT(auditor.auditSolverCache(cache), 0u);
+  EXPECT_FALSE(auditor.ok());
+}
+
+TEST_F(AuditorTest, FailFastThrowsOnFirstViolation) {
+  actuator::ResourceLedger ledger(4, mach_);
+  ledger.allocate(0, 1, {16, 0, 0.0, false});
+  ledger.debugCorruptCoreTotal(-2);
+
+  AuditorConfig cfg;
+  cfg.fail_fast = true;
+  Auditor auditor(cfg);
+  EXPECT_THROW(auditor.auditLedger(ledger), AuditError);
+  // The violation is recorded before the throw, so the report names it.
+  EXPECT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.totalViolations(), 1u);
+}
+
+TEST_F(AuditorTest, ViolationsFlowIntoTheObsStream) {
+  actuator::ResourceLedger ledger(4, mach_);
+  ledger.allocate(0, 1, {16, 0, 0.0, false});
+  ledger.debugCorruptCoreTotal(+1);
+
+  obs::RingBufferLog log;
+  obs::Recorder rec;
+  rec.setSink(&log);
+  Auditor auditor;
+  auditor.setRecorder(&rec);
+  EXPECT_GT(auditor.auditLedger(ledger), 0u);
+
+  bool seen = false;
+  for (const obs::Event& e : log.snapshot()) {
+    if (e.type == obs::EventType::kAuditViolation) {
+      seen = true;
+      EXPECT_FALSE(e.what.empty());
+      EXPECT_FALSE(e.detail.empty());
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST_F(AuditorTest, ViolationRecordingIsCappedButCountingIsNot) {
+  sched::JobQueue queue;
+  queue.push(job(1));
+  queue.debugCorruptLiveCount(+1);
+
+  AuditorConfig cfg;
+  cfg.max_recorded = 2;
+  Auditor auditor(cfg);
+  for (int i = 0; i < 5; ++i) auditor.auditQueue(queue);
+  EXPECT_LE(auditor.violations().size(), 2u);
+  EXPECT_GE(auditor.totalViolations(), 5u);
+}
+
+#if SNS_AUDIT_ENABLED
+// End-to-end: a real simulator run with per-pass auditing stays clean and
+// produces the same schedule as an unaudited run.
+TEST(AuditorSimTest, FullRunAuditsCleanWithoutChangingTheSchedule) {
+  auto lib = app::programLibrary();
+  perfmodel::Estimator est;
+  for (auto& p : lib) est.calibrate(p);
+  profile::ProfilerConfig pcfg;
+  pcfg.pmu_noise = 0.0;
+  profile::Profiler prof(est, pcfg);
+  profile::ProfileDatabase db;
+  for (const auto& p : lib) db.put(prof.profileProgram(p, 16));
+  const std::vector<app::JobSpec> jobs = {{"MG", 16, 0.9, 0.0, 2, 0.0},
+                                          {"HC", 28, 0.9, 10.0, 1, 0.0},
+                                          {"LU", 16, 0.9, 20.0, 2, 0.0}};
+
+  sim::SimConfig plain;
+  plain.nodes = 8;
+  plain.policy = sched::PolicyKind::kSNS;
+  sim::ClusterSimulator base(est, lib, db, plain);
+  const auto base_res = base.run(jobs);
+
+  Auditor auditor;
+  sim::SimConfig audited = plain;
+  audited.auditor = &auditor;
+  sim::ClusterSimulator sim(est, lib, db, audited);
+  const auto res = sim.run(jobs);
+
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+  EXPECT_GT(auditor.passesRun(), 0u);
+  EXPECT_GT(auditor.checksRun(), 0u);
+  ASSERT_EQ(res.jobs.size(), base_res.jobs.size());
+  EXPECT_DOUBLE_EQ(res.makespan, base_res.makespan);
+  for (std::size_t i = 0; i < res.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(res.jobs[i].start, base_res.jobs[i].start);
+    EXPECT_DOUBLE_EQ(res.jobs[i].finish, base_res.jobs[i].finish);
+  }
+}
+#endif  // SNS_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace sns::audit

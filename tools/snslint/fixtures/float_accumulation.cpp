@@ -1,0 +1,26 @@
+// Fixture: rule float-accumulation. A float sum inside an
+// unordered-container loop depends on hash iteration order.
+#include <unordered_map>
+#include <vector>
+
+double order_dependent(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {  // unordered-iteration fires here
+    total += w;                          // FIRES float-accumulation
+  }
+  return total;
+}
+
+double order_independent(const std::vector<double>& ordered) {
+  double total = 0.0;
+  for (double w : ordered) total += w;  // ordered: no finding
+  return total;
+}
+
+long counting_is_fine(const std::unordered_map<int, double>& weights) {
+  long n = 0;
+  // Integer counting over an unordered walk is order-independent.
+  // snslint: allow(unordered-iteration)
+  for (const auto& kv : weights) n += kv.first;
+  return n;
+}

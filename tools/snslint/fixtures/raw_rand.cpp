@@ -1,0 +1,23 @@
+// Fixture: rule raw-rand. Process-global or hardware randomness is not
+// replayable; sns::util::Rng with an explicit seed is.
+#include <cstdlib>
+#include <random>
+
+int bad_random() {
+  srand(42);                      // FIRES
+  int a = rand();                 // FIRES
+  std::random_device rd;          // FIRES
+  return a + static_cast<int>(rd());
+}
+
+int allowed_random() {
+  // Entropy for a session id only, never for scheduling decisions.
+  std::random_device rd;  // snslint: allow(raw-rand)
+  return static_cast<int>(rd());
+}
+
+unsigned fine(unsigned seed) {
+  // A named operand is not the C rand(): no finding.
+  unsigned grand = seed * 2654435761u;
+  return grand;
+}

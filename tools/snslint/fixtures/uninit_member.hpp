@@ -1,0 +1,21 @@
+#pragma once
+// Fixture: rule uninit-member. Scalar members without initializers read
+// as indeterminate values — different runs, different garbage.
+#include <cstdint>
+#include <string>
+
+class Tracker {
+ public:
+  int count() const { return count_; }
+
+ private:
+  int count_;                  // FIRES
+  double ratio_;               // FIRES
+  bool armed_;                 // FIRES
+  std::uint64_t ticks_;        // FIRES
+  int set_by_ctor_;  // snslint: allow(uninit-member)
+
+  int ok_count_ = 0;           // initialized: no finding
+  double ok_ratio_{1.0};       // initialized: no finding
+  std::string name_;           // non-scalar: default-constructs, no finding
+};

@@ -1,0 +1,37 @@
+// Fixture: rule unordered-iteration. Range-for and .begin() walks over
+// unordered containers must fire; the allow-comment lines must not.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<int, std::string> names_;
+  std::unordered_set<int> live_;
+  std::vector<int> order_;
+
+  int bad_walks() const {
+    int n = 0;
+    for (const auto& [id, name] : names_) {  // FIRES
+      n += id + static_cast<int>(name.size());
+    }
+    for (int id : live_) n += id;  // FIRES
+    for (auto it = live_.begin(); it != live_.end(); ++it) n += *it;  // FIRES
+    return n;
+  }
+
+  int allowed_walks() const {
+    int n = 0;
+    // Membership counting is order-independent.
+    // snslint: allow(unordered-iteration)
+    for (int id : live_) n += id;
+    for (int id : live_) n += id;  // snslint: allow(unordered-iteration)
+    return n;
+  }
+
+  int fine() const {
+    int n = 0;
+    for (int id : order_) n += id;  // ordered container: no finding
+    return n;
+  }
+};

@@ -1,0 +1,25 @@
+// Fixture: rule wall-clock. Wall time in scheduler logic breaks replay.
+#include <chrono>
+#include <ctime>
+
+double bad_now() {
+  auto t = std::chrono::steady_clock::now();  // FIRES
+  auto w = std::chrono::system_clock::now();  // FIRES
+  long s = time(nullptr);                     // FIRES
+  return static_cast<double>(s) + t.time_since_epoch().count() +
+         w.time_since_epoch().count();
+}
+
+double allowed_now() {
+  // Observability-only timing, excluded from scheduling decisions.
+  // snslint: allow(wall-clock)
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+double fine(double sim_now_s) {
+  // Simulated time threaded through as a parameter: no finding. Strings
+  // and comments mentioning steady_clock must not fire either.
+  const char* doc = "uses std::chrono::steady_clock::now";
+  return sim_now_s + static_cast<double>(doc[0]);
+}

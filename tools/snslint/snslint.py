@@ -1,0 +1,386 @@
+#!/usr/bin/env python3
+"""snslint — determinism lint for the Spread-n-Share scheduler stack.
+
+The repo's central claim (PR 3) is that a scheduling run is a pure function
+of its inputs: same workload + same seed => bit-identical schedule. This
+checker flags the C++ constructs that quietly break that property. It is a
+regex + heuristic source scanner, not a compiler plugin: it needs no clang
+on the box, runs in milliseconds under ctest, and is tuned for this
+codebase's idiom (members end in `_`, one declaration per line).
+
+Rules
+-----
+  unordered-iteration   iterating a std::unordered_{map,set} — iteration
+                        order is hash-seed and libstdc++-version dependent,
+                        so anything order-sensitive derived from the walk
+                        (output order, tie-breaks, accumulation) diverges
+                        across builds.
+  float-accumulation    compound float accumulation (`+=`/`-=` on a
+                        float/double) inside a loop over an unordered
+                        container: the sum depends on iteration order.
+  wall-clock            std::chrono::{system,steady,high_resolution}_clock,
+                        time(), gettimeofday, clock_gettime — wall time in
+                        scheduler logic makes replays non-reproducible.
+  raw-rand              rand()/srand()/std::random_device — unseeded or
+                        process-global randomness; use sns::util::Rng with
+                        an explicit seed.
+  uninit-member         scalar data member declared without an initializer
+                        (`int x_;`) — reads of indeterminate values are UB
+                        and differ run to run.
+
+Suppression
+-----------
+  * inline, same or preceding line:   // snslint: allow(rule)
+  * allowlist file, one entry per line:   <rule> <path-glob>  [# comment]
+
+Usage
+-----
+  snslint.py [--compile-commands build/compile_commands.json]
+             [--root REPO_ROOT] [--allowlist FILE] PATH_OR_MODULE...
+
+Positional args are files, directories, or (with --compile-commands)
+module prefixes like `sns/sched` resolved against the compilation database
+plus the headers under `<root>/src/<module>`. Exits 1 if any finding
+survives suppression, 0 otherwise.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+
+RULES = (
+    "unordered-iteration",
+    "float-accumulation",
+    "wall-clock",
+    "raw-rand",
+    "uninit-member",
+)
+
+ALLOW_RE = re.compile(r"//\s*snslint:\s*allow\(([a-z0-9_,\- ]+)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*"
+    r"[&*]?\s*(\w+)\s*[;={,)]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*):([^)]*)\)")
+# Only begin(): an `.end()` alone is the harmless `find() != end()`
+# membership idiom; every real iterator walk names `.begin()` somewhere.
+BEGIN_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
+FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*[;={]")
+COMPOUND_ACC_RE = re.compile(r"\b(\w+)\s*[+\-]=")
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+    r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+RAW_RAND_RE = re.compile(
+    r"(?<![\w:.])s?rand\s*\(|std::random_device|(?<!\w)std::rand\b"
+)
+# Scalar member without `=` or `{...}`: relies on the `trailing _` member
+# naming convention, which holds across the sns:: tree.
+UNINIT_MEMBER_RE = re.compile(
+    r"^\s*(?:(?:unsigned|signed|const|volatile|mutable)\s+)*"
+    r"(?:int|long|short|char|bool|float|double|std::size_t|std::ptrdiff_t|"
+    r"std::u?int(?:8|16|32|64)_t|std::uintptr_t)\s+"
+    r"(\w+_)\s*;\s*(?://.*)?$"
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_code(lines):
+    """Per-line code with comments and string/char literals blanked out
+    (same length, so column positions survive). Keeps rule regexes from
+    matching prose or log strings."""
+    out = []
+    in_block = False
+    for raw in lines:
+        buf = []
+        i, n = 0, len(raw)
+        in_str = in_chr = False
+        while i < n:
+            c = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    buf.append("  ")
+                    i += 2
+                    continue
+                buf.append(" ")
+                i += 1
+            elif in_str or in_chr:
+                if c == "\\":
+                    buf.append("  ")
+                    i += 2
+                    continue
+                if (in_str and c == '"') or (in_chr and c == "'"):
+                    in_str = in_chr = False
+                    buf.append(c)
+                else:
+                    buf.append(" ")
+                i += 1
+            elif c == "/" and nxt == "/":
+                buf.append(" " * (n - i))
+                break
+            elif c == "/" and nxt == "*":
+                in_block = True
+                buf.append("  ")
+                i += 2
+            elif c == '"':
+                in_str = True
+                buf.append(c)
+                i += 1
+            elif c == "'":
+                in_chr = True
+                buf.append(c)
+                i += 1
+            else:
+                buf.append(c)
+                i += 1
+        out.append("".join(buf))
+    return out
+
+
+def inline_allowed(lines, idx, rule):
+    """`// snslint: allow(rule)` on the flagged line or the line above."""
+    for j in (idx, idx - 1):
+        if j < 0:
+            continue
+        m = ALLOW_RE.search(lines[j])
+        if m and rule in [r.strip() for r in m.group(1).split(",")]:
+            return True
+    return False
+
+
+def block_range(code, start):
+    """Line range [start, end) of the brace block opened at/after `start`
+    (the body of a loop header). Falls back to the single next line for
+    braceless bodies."""
+    depth = 0
+    opened = False
+    for i in range(start, len(code)):
+        for c in code[i]:
+            if c == "{":
+                depth += 1
+                opened = True
+            elif c == "}":
+                depth -= 1
+                if opened and depth == 0:
+                    return start, i + 1
+        if not opened and i > start:
+            return start, i + 1  # `for (...) stmt;` without braces
+    return start, len(code)
+
+
+def scan_file(path, display_path):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [Finding(display_path, 0, "io", str(e))]
+
+    code = strip_code(lines)
+    findings = []
+
+    flagged = set()
+
+    def add(idx, rule, message):
+        if (idx, rule) in flagged or inline_allowed(lines, idx, rule):
+            return
+        flagged.add((idx, rule))
+        findings.append(Finding(display_path, idx + 1, rule, message))
+
+    unordered_names = set()
+    float_names = set()
+
+    def harvest(stripped):
+        for ln in stripped:
+            for m in UNORDERED_DECL_RE.finditer(ln):
+                unordered_names.add(m.group(1))
+            for m in FLOAT_DECL_RE.finditer(ln):
+                float_names.add(m.group(1))
+
+    harvest(code)
+    # Members are declared in the companion header, used in the .cpp: a
+    # foo.cpp next to a foo.hpp/h inherits the header's declared names so
+    # `for (... : member_)` in the source still resolves.
+    base, ext = os.path.splitext(path)
+    if ext in (".cpp", ".cc", ".cxx"):
+        for hext in (".hpp", ".h", ".hh", ".hxx"):
+            try:
+                with open(base + hext, encoding="utf-8",
+                          errors="replace") as hf:
+                    harvest(strip_code(hf.read().splitlines()))
+            except OSError:
+                continue
+
+    is_header = path.endswith((".h", ".hpp", ".hh", ".hxx"))
+
+    for idx, ln in enumerate(code):
+        # unordered-iteration: range-for over a known unordered name (or an
+        # inline construction), or explicit .begin()/.end() on one.
+        for m in RANGE_FOR_RE.finditer(ln):
+            expr = m.group(2)
+            tokens = set(re.findall(r"\w+", expr))
+            if tokens & unordered_names or "unordered_map" in expr or \
+                    "unordered_set" in expr:
+                add(idx, "unordered-iteration",
+                    f"iteration order over '{expr.strip()}' is "
+                    "hash-seed dependent")
+                # float-accumulation: order-dependent sums in this body.
+                lo, hi = block_range(code, idx)
+                for j in range(lo, hi):
+                    for am in COMPOUND_ACC_RE.finditer(code[j]):
+                        if am.group(1) in float_names:
+                            add(j, "float-accumulation",
+                                f"'{am.group(1)} {code[j][am.end(1):].strip()[:2]}' "
+                                "inside an unordered-container loop: the sum "
+                                "depends on iteration order")
+        for m in BEGIN_CALL_RE.finditer(ln):
+            if m.group(1) in unordered_names:
+                add(idx, "unordered-iteration",
+                    f"'{m.group(0).strip()})' walks an unordered container "
+                    "in hash order")
+
+        if WALL_CLOCK_RE.search(ln):
+            add(idx, "wall-clock",
+                "wall-clock time in scheduler code breaks replay "
+                "determinism; thread simulated time through instead")
+        if RAW_RAND_RE.search(ln):
+            add(idx, "raw-rand",
+                "process-global / nondeterministic randomness; use "
+                "sns::util::Rng with an explicit seed")
+        if is_header:
+            m = UNINIT_MEMBER_RE.match(ln)
+            if m:
+                add(idx, "uninit-member",
+                    f"scalar member '{m.group(1)}' has no initializer; "
+                    "reads before assignment are indeterminate")
+
+    return findings
+
+
+def load_allowlist(path):
+    entries = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2 or parts[0] not in RULES:
+                raise SystemExit(
+                    f"{path}:{lineno}: bad allowlist entry {raw.strip()!r} "
+                    "(want: <rule> <path-glob>)")
+            entries.append((parts[0], parts[1]))
+    return entries
+
+
+def allowlisted(entries, finding):
+    norm = finding.path.replace(os.sep, "/")
+    for rule, glob in entries:
+        if rule == finding.rule and (
+                fnmatch.fnmatch(norm, glob) or fnmatch.fnmatch(norm, "*/" + glob)):
+            return True
+    return False
+
+
+def collect_files(args):
+    """(abs_path, display_path) pairs: explicit files/dirs, plus module
+    prefixes resolved via compile_commands + the module's headers."""
+    root = os.path.abspath(args.root)
+    seen = {}
+
+    def add(p):
+        ap = os.path.abspath(p)
+        if ap.endswith((".cpp", ".cc", ".cxx", ".h", ".hpp", ".hh", ".hxx")):
+            disp = os.path.relpath(ap, root) if ap.startswith(root + os.sep) else ap
+            seen[ap] = disp
+
+    cc_files = []
+    if args.compile_commands:
+        with open(args.compile_commands, encoding="utf-8") as f:
+            for entry in json.load(f):
+                p = entry["file"]
+                if not os.path.isabs(p):
+                    p = os.path.join(entry.get("directory", "."), p)
+                cc_files.append(os.path.abspath(p))
+
+    for target in args.paths:
+        if os.path.isfile(target):
+            add(target)
+            continue
+        if os.path.isdir(target):
+            for dirpath, _, names in os.walk(target):
+                for n in sorted(names):
+                    add(os.path.join(dirpath, n))
+            continue
+        # Module prefix like `sns/sched`: TUs from the compilation database
+        # plus every header in the module directory.
+        prefix = os.path.join(root, "src", target) + os.sep
+        matched = False
+        for p in cc_files:
+            if p.startswith(prefix):
+                add(p)
+                matched = True
+        mod_dir = os.path.join(root, "src", target)
+        if os.path.isdir(mod_dir):
+            matched = True
+            for dirpath, _, names in os.walk(mod_dir):
+                for n in sorted(names):
+                    if n.endswith((".h", ".hpp", ".hh", ".hxx")):
+                        add(os.path.join(dirpath, n))
+        if not matched:
+            raise SystemExit(f"snslint: nothing matches '{target}' "
+                             f"(not a file, directory, or module under {root}/src)")
+    return sorted(seen.items())
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(prog="snslint", add_help=True)
+    ap.add_argument("--compile-commands", help="compile_commands.json path")
+    ap.add_argument("--root", default=".", help="repo root for module prefixes")
+    ap.add_argument("--allowlist", help="allowlist file (<rule> <glob> lines)")
+    ap.add_argument("--rules", help="comma-separated subset of rules to run")
+    ap.add_argument("paths", nargs="+", metavar="PATH_OR_MODULE")
+    args = ap.parse_args(argv)
+
+    active = set(RULES)
+    if args.rules:
+        active = {r.strip() for r in args.rules.split(",")}
+        bad = active - set(RULES)
+        if bad:
+            raise SystemExit(f"snslint: unknown rule(s): {', '.join(sorted(bad))}")
+
+    entries = load_allowlist(args.allowlist) if args.allowlist else []
+
+    files = collect_files(args)
+    findings = []
+    for ap_, disp in files:
+        for f in scan_file(ap_, disp):
+            if f.rule in active and not allowlisted(entries, f):
+                findings.append(f)
+
+    for f in findings:
+        print(f)
+    print(f"snslint: {len(files)} file(s), {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

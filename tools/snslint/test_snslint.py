@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Self-tests for snslint: every rule fires on its fixture, inline
+allow-comments suppress, the allowlist file suppresses, and clean code
+stays clean. Pure stdlib; runs under ctest as `snslint_fixtures`."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import snslint  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def scan(name):
+    path = os.path.join(FIXTURES, name)
+    return snslint.scan_file(path, name)
+
+
+def lines_for(findings, rule):
+    return sorted(f.line for f in findings if f.rule == rule)
+
+
+class UnorderedIteration(unittest.TestCase):
+    def test_fires_on_range_for_and_begin(self):
+        findings = scan("unordered_iteration.cpp")
+        hits = lines_for(findings, "unordered-iteration")
+        # map range-for, set range-for, explicit .begin() walk.
+        self.assertEqual(len(hits), 3, findings)
+
+    def test_inline_allow_suppresses(self):
+        findings = scan("unordered_iteration.cpp")
+        # allowed_walks() holds two allowed loops (lines 27-29); none of
+        # its lines may appear.
+        for f in findings:
+            self.assertNotIn(f.line, range(24, 32), f)
+
+    def test_ordered_container_clean(self):
+        findings = scan("unordered_iteration.cpp")
+        for f in findings:
+            self.assertLess(f.line, 33, f)  # fine() never flagged
+
+
+class FloatAccumulation(unittest.TestCase):
+    def test_fires_inside_unordered_loop_only(self):
+        findings = scan("float_accumulation.cpp")
+        acc = lines_for(findings, "float-accumulation")
+        self.assertEqual(len(acc), 1, findings)
+        # The ordered-vector sum and the integer count stay clean.
+        self.assertTrue(all(line < 12 for line in acc), findings)
+
+
+class WallClock(unittest.TestCase):
+    def test_fires_thrice_allow_and_strings_clean(self):
+        findings = scan("wall_clock.cpp")
+        hits = lines_for(findings, "wall-clock")
+        self.assertEqual(len(hits), 3, findings)
+        self.assertTrue(all(line <= 11 for line in hits), findings)
+
+
+class RawRand(unittest.TestCase):
+    def test_fires_thrice_allow_and_lookalike_clean(self):
+        findings = scan("raw_rand.cpp")
+        hits = lines_for(findings, "raw-rand")
+        self.assertEqual(len(hits), 3, findings)
+        self.assertTrue(all(line <= 10 for line in hits), findings)
+
+
+class UninitMember(unittest.TestCase):
+    def test_fires_on_bare_scalars_only(self):
+        findings = scan("uninit_member.hpp")
+        hits = lines_for(findings, "uninit-member")
+        self.assertEqual(len(hits), 4, findings)
+
+    def test_initialized_and_class_members_clean(self):
+        findings = scan("uninit_member.hpp")
+        for f in findings:
+            self.assertLess(f.line, 17, f)
+
+
+class AllowlistFile(unittest.TestCase):
+    def test_allowlist_suppresses_by_rule_and_glob(self):
+        entries = [("wall-clock", "fixtures/wall_clock.cpp")]
+        findings = scan("wall_clock.cpp")
+        wall = [f for f in findings if f.rule == "wall-clock"]
+        self.assertTrue(wall)
+        for f in wall:
+            f.path = "fixtures/wall_clock.cpp"
+            self.assertTrue(snslint.allowlisted(entries, f), f)
+        # A different rule under the same glob is not suppressed.
+        other = snslint.Finding("fixtures/wall_clock.cpp", 1, "raw-rand", "x")
+        self.assertFalse(snslint.allowlisted(entries, other))
+
+    def test_bad_entry_rejected(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write("not-a-rule some/path.cpp\n")
+            path = f.name
+        try:
+            with self.assertRaises(SystemExit):
+                snslint.load_allowlist(path)
+        finally:
+            os.unlink(path)
+
+
+class CliEndToEnd(unittest.TestCase):
+    def test_exit_one_on_findings_zero_when_allowlisted(self):
+        target = os.path.join(FIXTURES, "raw_rand.cpp")
+        self.assertEqual(snslint.main([target]), 1)
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as f:
+            f.write("# suppress everything the fixture raises\n")
+            f.write("raw-rand *raw_rand.cpp\n")
+            path = f.name
+        try:
+            self.assertEqual(
+                snslint.main(["--allowlist", path, target]), 0)
+        finally:
+            os.unlink(path)
+
+    def test_rules_subset(self):
+        target = os.path.join(FIXTURES, "wall_clock.cpp")
+        self.assertEqual(snslint.main(["--rules", "raw-rand", target]), 0)
+        self.assertEqual(snslint.main(["--rules", "wall-clock", target]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

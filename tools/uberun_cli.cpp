@@ -12,7 +12,9 @@
 //   uberun metrics   [--workload quickstart|random|fig20|FILE] [--policy P]
 //                    [--nodes N] [--period S] [--budget N] [--out FILE]
 //   uberun report    [same as metrics] [--out report.html] [--enforce-slo]
+//                    [--audit]
 //   uberun top       [same as metrics] [--at T]
+//   uberun audit     [same as metrics] [--keep-going]
 //
 // The telemetry subcommands (metrics / report / top) run the workload with
 // the sns::telemetry stack attached — periodic cluster sampling, SLO
@@ -21,8 +23,17 @@
 // the cluster at one instant. SLO thresholds: --slo-decision-us,
 // --slo-starvation-s, --slo-collapse.
 //
+// `uberun audit` replays a workload with the sns::audit invariant auditor
+// attached: at every scheduling point the ledger's cached occupancy totals
+// and idle-core buckets, the queue's tombstone accounting, and the solver
+// cache's signature consistency are cross-validated against full
+// recomputation (fail-fast by default; --keep-going accumulates). `--audit`
+// on report/trace attaches the same auditor in accumulate mode and folds
+// the outcome into the HTML report / trace summary.
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime errors,
-// 4 when --enforce-slo is set and an SLO rule fired.
+// 4 when --enforce-slo is set and an SLO rule fired, 5 when the invariant
+// auditor found a violation.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +44,7 @@
 
 #include "sns/app/jobspec_io.hpp"
 #include "sns/app/library.hpp"
+#include "sns/audit/audit.hpp"
 #include "sns/obs/metrics.hpp"
 #include "sns/obs/sink.hpp"
 #include "sns/profile/demand.hpp"
@@ -292,6 +304,12 @@ int cmdTraceWorkload(const World& w, const Args& a) {
   cfg.online_profiling = a.flag("online");
   cfg.enforce_bandwidth_caps = a.flag("mba");
 
+  // --audit: cross-validate scheduler state at every decision point, in
+  // accumulate mode so the trace still gets written with the violations
+  // embedded as audit_violation instants.
+  audit::Auditor auditor;
+  if (a.flag("audit")) cfg.auditor = &auditor;
+
   obs::RingBufferLog log;
   obs::Registry metrics;
   cfg.sink = &log;
@@ -315,6 +333,10 @@ int cmdTraceWorkload(const World& w, const Args& a) {
   }
   std::printf("wrote %zu trace events to %s — open in ui.perfetto.dev\n",
               events.size(), out.c_str());
+  if (a.flag("audit")) {
+    std::printf("\n%s", auditor.report().c_str());
+    if (!auditor.ok()) return 5;
+  }
   return 0;
 }
 
@@ -448,7 +470,8 @@ struct TelemetryRun {
   }
 };
 
-std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a) {
+std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a,
+                                           audit::Auditor* auditor = nullptr) {
   auto wl = buildTelemetryWorkload(w, a);
 
   auto rules = telemetry::SloWatchdog::defaultRules();
@@ -487,6 +510,7 @@ std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a) {
   cfg.metrics = &run->metrics;
   cfg.sampler = &run->sampler;
   cfg.phases = &run->phases;
+  cfg.auditor = auditor;
   run->nodes = cfg.nodes;
 
   sim::ClusterSimulator sim(w.est, w.lib, wl.db, cfg);
@@ -525,7 +549,11 @@ int cmdMetrics(const World& w, const Args& a) {
 }
 
 int cmdReport(const World& w, const Args& a) {
-  auto run = runTelemetry(w, a);
+  // --audit: accumulate violations (never abort the run — the report is the
+  // point) and surface them as a dedicated section + an extra tile.
+  audit::Auditor auditor;
+  const bool with_audit = a.flag("audit");
+  auto run = runTelemetry(w, a, with_audit ? &auditor : nullptr);
   telemetry::ReportContext ctx;
   ctx.title = "uberun — " + run->result.policy + " on " +
               std::to_string(run->nodes) + " nodes (" + run->workload + ")";
@@ -535,6 +563,13 @@ int cmdReport(const World& w, const Args& a) {
   ctx.phases = &run->phases;
   ctx.summary = run->summaryTiles();
   ctx.events_dropped = run->log.dropped();
+  if (with_audit) {
+    auditor.auditTimeSeries(run->store);
+    ctx.summary.emplace_back("audit violations",
+                             std::to_string(auditor.totalViolations()));
+    ctx.audit_text = auditor.report();
+    ctx.audit_violations = auditor.totalViolations();
+  }
   const std::string out = a.get("out", "uberun_report.html");
   writeOrPrint(out, telemetry::renderHtmlReport(ctx));
   std::printf("%s policy on %d nodes: %zu jobs, makespan %.1f s, %llu sample "
@@ -543,7 +578,41 @@ int cmdReport(const World& w, const Args& a) {
               run->result.makespan,
               static_cast<unsigned long long>(run->sampler.ticks()),
               run->store.size(), out.c_str());
-  return finishTelemetry(*run, a);
+  const int rc = finishTelemetry(*run, a);
+  if (with_audit && !auditor.ok()) {
+    std::fprintf(stderr, "%s", auditor.report().c_str());
+    return 5;
+  }
+  return rc;
+}
+
+// `uberun audit`: the invariant auditor as a first-class gate. Runs the
+// workload with per-scheduling-point audits of the ledger / queue / solver
+// cache, then the post-run time-series audit. Fail-fast by default so CI
+// stops at the first divergence; --keep-going accumulates everything.
+int cmdAudit(const World& w, const Args& a) {
+  audit::AuditorConfig acfg;
+  acfg.fail_fast = !a.flag("keep-going");
+  audit::Auditor auditor(acfg);
+#if !SNS_AUDIT_ENABLED
+  std::fprintf(stderr,
+               "uberun audit: warning: this build compiled the scheduler "
+               "audit hooks out (SNS_AUDIT=OFF); only the post-run "
+               "time-series audit will run\n");
+#endif
+  try {
+    auto run = runTelemetry(w, a, &auditor);
+    auditor.auditTimeSeries(run->store);
+    std::printf("%s policy on %d nodes (%s): %zu jobs, makespan %.1f s\n\n",
+                run->result.policy.c_str(), run->nodes, run->workload.c_str(),
+                run->result.jobs.size(), run->result.makespan);
+    std::printf("%s", auditor.report().c_str());
+    return auditor.ok() ? 0 : 5;
+  } catch (const audit::AuditError& e) {
+    std::fprintf(stderr, "uberun audit: %s\n%s", e.what(),
+                 auditor.report().c_str());
+    return 5;
+  }
 }
 
 int cmdTop(const World& w, const Args& a) {
@@ -559,7 +628,7 @@ int cmdTop(const World& w, const Args& a) {
 int usage() {
   std::fprintf(stderr,
                "usage: uberun <programs|profile|generate|simulate|plan|trace|"
-               "metrics|report|top> "
+               "metrics|report|top|audit> "
                "[options]\n(see the header of tools/uberun_cli.cpp)\n");
   return 1;
 }
@@ -571,8 +640,9 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     World w;
-    const Args a =
-        Args::parse(argc, argv, {"online", "mba", "network", "enforce-slo"});
+    const Args a = Args::parse(
+        argc, argv,
+        {"online", "mba", "network", "enforce-slo", "audit", "keep-going"});
     if (cmd == "programs") return cmdPrograms(w);
     if (cmd == "profile") return cmdProfile(w, a);
     if (cmd == "generate") return cmdGenerate(w, a);
@@ -582,6 +652,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmdMetrics(w, a);
     if (cmd == "report") return cmdReport(w, a);
     if (cmd == "top") return cmdTop(w, a);
+    if (cmd == "audit") return cmdAudit(w, a);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uberun: %s\n", e.what());
