@@ -1,14 +1,25 @@
 #!/usr/bin/env python3
-"""Guard against simulator-throughput collapse.
+"""Guard against simulator-throughput collapse and decision-latency blowups.
 
 Compares a fresh BENCH_sim_scale.json (typically from `bench_sim_scale
 --quick` on a CI runner) against the checked-in baseline, cell by cell
 (nodes, policy). CI hardware is unrelated to the machine that produced the
 baseline and the quick trace is smaller than the full one, so absolute
-numbers are not comparable — the guard only fails when a cell's simulated
-events per wall-second collapses by more than --tolerance (default 8x),
-which catches algorithmic regressions (an accidental O(N) scan in the hot
-loop, a disabled memo cache) while shrugging off runner noise.
+numbers are not comparable — the guard only fails when a cell collapses by
+more than a tolerance factor, which catches algorithmic regressions (an
+accidental O(N) scan in the hot loop, a disabled memo cache) while
+shrugging off runner noise. Two signals are checked per cell:
+
+  * events_per_sec must not collapse by more than --tolerance (default 8x);
+  * decision_us_p99 must not grow by more than --latency-tolerance
+    (default 8x) — the per-decision tail is what sns::xray attributes, and
+    a span site accidentally left on the unsampled path shows up here
+    first.
+
+With --xray-overhead FILE the script additionally gates the recorded
+sns::xray sampled-mode overhead (BENCH_xray_overhead.json written by
+bench_xray_overhead) against --xray-budget (default 0.10 — the documented
+quiet-machine budget is 3%, widened for shared-runner noise).
 
 Exit status: 0 when every comparable cell is within tolerance, 1 on
 regression, 2 on bad input.
@@ -19,13 +30,17 @@ import json
 import sys
 
 
-def load_cells(path):
+def load_json(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_cells(path):
+    doc = load_json(path)
     cells = {}
     for row in doc.get("results", []):
         cells[(row["nodes"], row["policy"])] = row
@@ -35,19 +50,7 @@ def load_cells(path):
     return cells
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", default="BENCH_sim_scale.json",
-                    help="checked-in reference results")
-    ap.add_argument("--current", required=True,
-                    help="fresh results to validate")
-    ap.add_argument("--tolerance", type=float, default=8.0,
-                    help="max allowed events/sec collapse factor (default 8)")
-    args = ap.parse_args()
-
-    base = load_cells(args.baseline)
-    cur = load_cells(args.current)
-
+def check_throughput(base, cur, tolerance):
     regressions = []
     compared = 0
     print(f"{'nodes':>6} {'policy':<6} {'baseline ev/s':>14} "
@@ -63,24 +66,106 @@ def main():
         compared += 1
         ratio = c / b
         flag = ""
-        if ratio * args.tolerance < 1.0:
+        if ratio * tolerance < 1.0:
             flag = "  << REGRESSION"
             regressions.append(key)
         print(f"{key[0]:>6} {key[1]:<6} {b:>14.0f} {c:>14.0f} "
               f"{ratio:>6.2f}x{flag}")
+    return compared, regressions
 
-    if compared == 0:
-        print("error: no comparable cells between baseline and current",
-              file=sys.stderr)
-        return 2
-    if regressions:
-        cells = ", ".join(f"{n} nodes/{p}" for n, p in regressions)
-        print(f"\nFAIL: events/sec collapsed by more than "
-              f"{args.tolerance:.0f}x in: {cells}", file=sys.stderr)
-        return 1
-    print(f"\nOK: {compared} cell(s) within the {args.tolerance:.0f}x "
-          f"tolerance")
-    return 0
+
+def check_latency(base, cur, tolerance):
+    """decision_us_p99 growth per cell; baselines without the field skip."""
+    regressions = []
+    compared = 0
+    print(f"\n{'nodes':>6} {'policy':<6} {'baseline p99 us':>16} "
+          f"{'current p99 us':>16} {'ratio':>7}")
+    for key in sorted(base):
+        if key not in cur:
+            continue
+        b = base[key].get("decision_us_p99", 0)
+        c = cur[key].get("decision_us_p99", 0)
+        if b <= 0 or c <= 0:
+            continue
+        compared += 1
+        ratio = c / b
+        flag = ""
+        if ratio > tolerance:
+            flag = "  << REGRESSION"
+            regressions.append(key)
+        print(f"{key[0]:>6} {key[1]:<6} {b:>16.1f} {c:>16.1f} "
+              f"{ratio:>6.2f}x{flag}")
+    return compared, regressions
+
+
+def check_xray(path, budget):
+    doc = load_json(path)
+    over = doc.get("sampled_overhead")
+    if over is None:
+        print(f"error: {path} has no sampled_overhead", file=sys.stderr)
+        sys.exit(2)
+    ok = over <= budget
+    print(f"\nxray sampled-mode overhead: {over * 100:.2f}% "
+          f"(budget {budget * 100:.0f}%)"
+          f"{'' if ok else '  << REGRESSION'}")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_sim_scale.json",
+                    help="checked-in reference results")
+    ap.add_argument("--current",
+                    help="fresh results to validate")
+    ap.add_argument("--tolerance", type=float, default=8.0,
+                    help="max allowed events/sec collapse factor (default 8)")
+    ap.add_argument("--latency-tolerance", type=float, default=8.0,
+                    help="max allowed decision_us_p99 growth factor "
+                         "(default 8)")
+    ap.add_argument("--xray-overhead", metavar="FILE",
+                    help="BENCH_xray_overhead.json to gate")
+    ap.add_argument("--xray-budget", type=float, default=0.10,
+                    help="max sns::xray sampled-mode overhead fraction "
+                         "(default 0.10)")
+    args = ap.parse_args()
+    if args.current is None and args.xray_overhead is None:
+        ap.error("nothing to check: pass --current and/or --xray-overhead")
+
+    failed = False
+    if args.current is not None:
+        base = load_cells(args.baseline)
+        cur = load_cells(args.current)
+
+        compared, regressions = check_throughput(base, cur, args.tolerance)
+        lat_compared, lat_regressions = check_latency(
+            base, cur, args.latency_tolerance)
+        if compared == 0:
+            print("error: no comparable cells between baseline and current",
+                  file=sys.stderr)
+            return 2
+        if regressions:
+            cells = ", ".join(f"{n} nodes/{p}" for n, p in regressions)
+            print(f"\nFAIL: events/sec collapsed by more than "
+                  f"{args.tolerance:.0f}x in: {cells}", file=sys.stderr)
+            failed = True
+        if lat_regressions:
+            cells = ", ".join(f"{n} nodes/{p}" for n, p in lat_regressions)
+            print(f"\nFAIL: decision_us_p99 grew by more than "
+                  f"{args.latency_tolerance:.0f}x in: {cells}",
+                  file=sys.stderr)
+            failed = True
+        if not failed:
+            print(f"\nOK: {compared} throughput cell(s) within the "
+                  f"{args.tolerance:.0f}x tolerance, {lat_compared} latency "
+                  f"cell(s) within {args.latency_tolerance:.0f}x")
+
+    if args.xray_overhead is not None:
+        if not check_xray(args.xray_overhead, args.xray_budget):
+            print(f"\nFAIL: xray sampled-mode overhead exceeds the "
+                  f"{args.xray_budget * 100:.0f}% budget", file=sys.stderr)
+            failed = True
+
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

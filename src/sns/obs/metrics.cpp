@@ -48,7 +48,13 @@ double Histogram::quantile(double q) const {
       const double lo = i == 0 ? std::min(min_, bounds_[0]) : bounds_[i - 1];
       const double hi = bounds_[i];
       const double frac = (target - cum) / static_cast<double>(counts_[i]);
-      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      // Clamp the interpolated estimate to the observed range: with few
+      // samples (e.g. a p99 over <100 decisions) the within-bucket
+      // interpolation would otherwise extrapolate past the largest value
+      // ever observed — or below the smallest — reporting tail latencies
+      // no sample ever had.
+      return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0), min_,
+                        max_);
     }
     cum = next;
   }

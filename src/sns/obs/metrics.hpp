@@ -58,7 +58,9 @@ class Histogram {
   std::uint64_t bucketValue(std::size_t i) const { return counts_[i]; }
 
   /// Linear-interpolated quantile estimate from the bucket counts,
-  /// q in [0, 1]. The overflow bucket clamps to the largest observed value.
+  /// q in [0, 1]. Estimates are clamped to [minSeen(), maxSeen()] — small
+  /// sample counts must never extrapolate a tail past any observed value —
+  /// and the overflow bucket reports the largest observed value.
   double quantile(double q) const;
 
  private:

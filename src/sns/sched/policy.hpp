@@ -9,6 +9,7 @@
 #include "sns/perfmodel/estimator.hpp"
 #include "sns/profile/database.hpp"
 #include "sns/sched/job.hpp"
+#include "sns/xray/span.hpp"
 
 namespace sns::sched {
 
@@ -33,9 +34,24 @@ class SchedulingPolicy {
   /// usable from the const tryPlace() path.
   void attachRecorder(obs::Recorder* rec) { rec_ = rec; }
 
+  /// Attach the caller-owned decision tracer (sns::xray); policies then
+  /// attribute tryPlace() cost to candidate-prune / curve-score spans and
+  /// record placement provenance (scale walks, rejection reasons, winning
+  /// score breakdowns). Null (the default) keeps tryPlace() span sites at
+  /// one predictable branch each and records nothing. Like the recorder,
+  /// the tracer is observational state only, so the hook is usable from
+  /// the const tryPlace() path.
+  void attachXray(xray::Tracer* tracer) { xray_ = tracer; }
+
  protected:
   bool tracing() const { return rec_ != nullptr && rec_->enabled(); }
+  /// Provenance store to write, or nullptr when xray is detached or
+  /// provenance is configured off.
+  xray::ProvenanceStore* provenance() const {
+    return xray_ != nullptr ? xray_->provenance() : nullptr;
+  }
   obs::Recorder* rec_ = nullptr;
+  xray::Tracer* xray_ = nullptr;
 };
 
 enum class PolicyKind { kCE, kCS, kSNS };

@@ -48,7 +48,35 @@ std::optional<Placement> exclusivePlacement(const Job& job,
 std::optional<Placement> CePolicy::tryPlace(const Job& job,
                                             const actuator::ResourceLedger& ledger,
                                             const profile::ProfileDatabase&) const {
-  auto p = exclusivePlacement(job, ledger, *est_, 1);
+  xray::ProvenanceStore* prov = provenance();
+  if (prov != nullptr) {
+    prov->beginAttempt(job.id, job.spec.program, job.spec.procs, 0.0, 0.0,
+                       xray_->passSimTime());
+  }
+  std::optional<Placement> p;
+  {
+    xray::ScopedSpan xs(xray_, xray::SpanKind::kCandidatePrune, job.id);
+    p = exclusivePlacement(job, ledger, *est_, 1);
+  }
+  if (prov != nullptr) {
+    const int n = est_->minNodes(job.spec.procs);
+    const int c = (job.spec.procs + n - 1) / n;
+    prov->addAttempt(job.id,
+                     {1, n, c, 0, 0.0,
+                      p.has_value() ? xray::RejectReason::kNone
+                                    : xray::RejectReason::kInsufficientResources});
+    if (p.has_value()) {
+      std::vector<xray::ScoredNode> scored;
+      scored.reserve(p->nodes.size());
+      for (int nd : p->nodes) {
+        const auto& node = ledger.node(nd);
+        scored.push_back({nd, node.score(0.0), node.coreOccupancy(),
+                          node.wayOccupancy(), node.bwOccupancy()});
+      }
+      prov->decide(job.id, xray_->passSimTime(), 1, 0, p->procs_per_node, 0.0,
+                   /*exclusive=*/true, scored);
+    }
+  }
   if (tracing()) {
     const int need = est_->minNodes(job.spec.procs);
     if (p.has_value()) {

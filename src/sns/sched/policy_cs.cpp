@@ -9,6 +9,11 @@ std::optional<Placement> CsPolicy::tryPlace(const Job& job,
                                             const profile::ProfileDatabase&) const {
   const int n_min = est_->minNodes(job.spec.procs);
   SNS_REQUIRE(n_min <= ledger.nodeCount(), "job larger than the cluster");
+  xray::ProvenanceStore* prov = provenance();
+  if (prov != nullptr) {
+    prov->beginAttempt(job.id, job.spec.program, job.spec.procs, 0.0, 0.0,
+                       xray_->passSimTime());
+  }
   std::string rejections;  // built only while tracing
   // Prefer the most compact placement; when the idle cores are scattered,
   // accept the lowest feasible scale factor instead of waiting (Fig 8).
@@ -18,8 +23,16 @@ std::optional<Placement> CsPolicy::tryPlace(const Job& job,
     if (n > 1 && !job.program->multi_node) break;
     const int c = (job.spec.procs + n - 1) / n;
     if (c < 1) break;
-    auto nodes = ledger.selectNodes(n, c, 0, 0.0, /*exclusive=*/false);
+    std::vector<int> nodes;
+    {
+      xray::ScopedSpan xs(xray_, xray::SpanKind::kCandidatePrune, job.id);
+      nodes = ledger.selectNodes(n, c, 0, 0.0, /*exclusive=*/false);
+    }
     if (nodes.empty()) {
+      if (prov != nullptr) {
+        prov->addAttempt(job.id, {k, n, c, 0, 0.0,
+                                  xray::RejectReason::kInsufficientResources});
+      }
       if (tracing()) {
         rejections += "k=" + std::to_string(k) + ": no " + std::to_string(n) +
                       " node(s) with " + std::to_string(c) + " idle cores; ";
@@ -33,6 +46,18 @@ std::optional<Placement> CsPolicy::tryPlace(const Job& job,
     p.ways = 0;  // no CAT partitioning under CS: free-for-all cache sharing
     p.bw_gbps = 0.0;
     p.exclusive = false;
+    if (prov != nullptr) {
+      prov->addAttempt(job.id, {k, n, c, 0, 0.0, xray::RejectReason::kNone});
+      std::vector<xray::ScoredNode> scored;
+      scored.reserve(p.nodes.size());
+      for (int nd : p.nodes) {
+        const auto& node = ledger.node(nd);
+        scored.push_back({nd, node.score(0.0), node.coreOccupancy(),
+                          node.wayOccupancy(), node.bwOccupancy()});
+      }
+      prov->decide(job.id, xray_->passSimTime(), k, 0, c, 0.0,
+                   /*exclusive=*/false, scored);
+    }
     if (tracing()) {
       std::vector<obs::NodeScore> scored;
       scored.reserve(p.nodes.size());
@@ -44,6 +69,10 @@ std::optional<Placement> CsPolicy::tryPlace(const Job& job,
                              /*exclusive=*/false, std::move(scored));
     }
     return p;
+  }
+  if (prov != nullptr && prov->record(job.id).walk.empty()) {
+    prov->addAttempt(job.id,
+                     {0, 0, 0, 0, 0.0, xray::RejectReason::kNoFeasibleScale});
   }
   if (tracing()) {
     if (rejections.empty()) rejections = "no feasible scale for the cluster";

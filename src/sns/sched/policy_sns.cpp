@@ -7,9 +7,35 @@
 
 namespace sns::sched {
 
+namespace {
+
+/// Winning nodes with the pre-allocation score breakdown behind the
+/// Co + Bo + beta x Wo selection metric, for the provenance record.
+std::vector<xray::ScoredNode> scoreBreakdown(
+    const actuator::ResourceLedger& ledger, const std::vector<int>& nodes,
+    double beta) {
+  std::vector<xray::ScoredNode> scored;
+  scored.reserve(nodes.size());
+  for (int nd : nodes) {
+    const auto& node = ledger.node(nd);
+    scored.push_back({nd, node.score(beta), node.coreOccupancy(),
+                      node.wayOccupancy(), node.bwOccupancy()});
+  }
+  return scored;
+}
+
+}  // namespace
+
 std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
                                              const actuator::ResourceLedger& ledger,
                                              const profile::ProfileDatabase& db) const {
+  xray::ProvenanceStore* prov = provenance();
+  const double alpha0 = job.spec.alpha > 0.0 ? job.spec.alpha : opts_.default_alpha;
+  if (prov != nullptr) {
+    prov->beginAttempt(job.id, job.spec.program, job.spec.procs, alpha0,
+                       opts_.beta, xray_->passSimTime());
+  }
+
   const auto* prof = db.find(job.spec.program, job.spec.procs);
   // Unprofiled or partially-explored program: run it exclusively at the
   // next trial scale; the monitor profiles it during that run (§4.2, §4.4).
@@ -17,7 +43,19 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
                                             ledger.nodeCount(), *est_,
                                             opts_.exploration);
   if (trial > 0) {
-    auto p = exclusivePlacement(job, ledger, *est_, trial);
+    std::optional<Placement> p;
+    {
+      xray::ScopedSpan xs(xray_, xray::SpanKind::kCandidatePrune, job.id);
+      p = exclusivePlacement(job, ledger, *est_, trial);
+    }
+    if (prov != nullptr) {
+      prov->noteExploration(job.id, trial, p.has_value());
+      if (p.has_value()) {
+        prov->decide(job.id, xray_->passSimTime(), trial, 0, p->procs_per_node,
+                     0.0, /*exclusive=*/true,
+                     scoreBreakdown(ledger, p->nodes, opts_.beta));
+      }
+    }
     if (tracing()) {
       if (p.has_value()) {
         rec_->explorationStarted(job.id, job.spec.program, trial);
@@ -30,7 +68,7 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
   }
   SNS_REQUIRE(prof != nullptr, "finished exploration implies a profile");
 
-  const double alpha = job.spec.alpha > 0.0 ? job.spec.alpha : opts_.default_alpha;
+  const double alpha = alpha0;
   const auto& mach = ledger.machine();
   std::string rejections;  // built only while tracing
 
@@ -41,20 +79,49 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
   for (int k : prof->preferredScaleOrder()) {
     const auto* sp = prof->at(k);
     SNS_REQUIRE(sp != nullptr, "profile lost a scale");
-    if (sp->nodes > 1 && !job.program->multi_node) continue;
-    if (sp->nodes > ledger.nodeCount()) continue;
+    if (sp->nodes > 1 && !job.program->multi_node) {
+      if (prov != nullptr) {
+        prov->addAttempt(job.id, {k, sp->nodes, sp->procs_per_node, 0, 0.0,
+                                  xray::RejectReason::kMultiNodeUnsupported});
+      }
+      continue;
+    }
+    if (sp->nodes > ledger.nodeCount()) {
+      if (prov != nullptr) {
+        prov->addAttempt(job.id, {k, sp->nodes, sp->procs_per_node, 0, 0.0,
+                                  xray::RejectReason::kClusterTooSmall});
+      }
+      continue;
+    }
 
-    const auto demand = profile::estimateDemand(*sp, alpha, mach);
+    profile::ResourceDemand demand;
+    {
+      // Demand estimation walks the IPC-LLC / BW-LLC profile curves.
+      xray::ScopedSpan xs(xray_, xray::SpanKind::kCurveScore, job.id);
+      demand = profile::estimateDemand(*sp, alpha, mach);
+    }
     actuator::NodeAllocation request;
     request.cores = sp->procs_per_node;
     request.ways = demand.ways;
     request.bw_gbps = demand.bw_gbps;
     request.exclusive = false;
     request.net_gbps = opts_.manage_network ? demand.net_gbps : 0.0;
-    auto nodes = opts_.packing == Packing::kDotProduct
-                     ? ledger.selectNodesByAlignment(sp->nodes, request)
-                     : ledger.selectNodes(sp->nodes, request, opts_.beta);
+    std::vector<int> nodes;
+    {
+      // Candidate pruning: the ledger scan scoring every feasible node —
+      // the dominant cost of the contended SNS decision path.
+      xray::ScopedSpan xs(xray_, xray::SpanKind::kCandidatePrune, job.id);
+      nodes = opts_.packing == Packing::kDotProduct
+                  ? ledger.selectNodesByAlignment(sp->nodes, request)
+                  : ledger.selectNodes(sp->nodes, request, opts_.beta);
+    }
     if (nodes.empty()) {
+      if (prov != nullptr) {
+        prov->addAttempt(job.id,
+                         {k, sp->nodes, request.cores, request.ways,
+                          request.bw_gbps,
+                          xray::RejectReason::kInsufficientResources});
+      }
       if (tracing()) {
         rejections += "k=" + std::to_string(k) + ": no " +
                       std::to_string(sp->nodes) + " node(s) with " +
@@ -73,6 +140,13 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
     p.bw_gbps = demand.bw_gbps;
     p.net_gbps = request.net_gbps;
     p.exclusive = false;
+    if (prov != nullptr) {
+      prov->addAttempt(job.id, {k, sp->nodes, request.cores, request.ways,
+                                request.bw_gbps, xray::RejectReason::kNone});
+      prov->decide(job.id, xray_->passSimTime(), k, demand.ways,
+                   sp->procs_per_node, demand.bw_gbps, /*exclusive=*/false,
+                   scoreBreakdown(ledger, p.nodes, opts_.beta));
+    }
     if (tracing()) {
       // Chosen nodes with the Co + Bo + beta x Wo score they were picked by
       // (pre-allocation, i.e. the value the selection compared).
@@ -88,6 +162,10 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
                              std::move(scored));
     }
     return p;
+  }
+  if (prov != nullptr && prov->record(job.id).walk.empty()) {
+    prov->addAttempt(job.id,
+                     {0, 0, 0, 0, 0.0, xray::RejectReason::kNoFeasibleScale});
   }
   if (tracing()) {
     if (rejections.empty()) rejections = "no profiled scale fits the cluster";

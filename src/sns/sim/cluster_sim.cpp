@@ -61,8 +61,11 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
     monitor_->attachRecorder(&rec_);  // piggybacked episodes become events
   }
   // The policy explains its decisions through the same recorder; the
-  // recorder's sink is wired per run().
+  // recorder's sink is wired per run(). The xray tracer rides along the
+  // same hook so tryPlace() cost lands in candidate-prune / curve-score
+  // spans and provenance captures the scale walks.
   policy_->attachRecorder(&rec_);
+  policy_->attachXray(cfg_.xray);
   if (cfg_.metrics != nullptr) {
     solve_cache_.attachMetrics(*cfg_.metrics);
     // Fetch instrument pointers once; hot-loop updates are then a null
@@ -185,6 +188,9 @@ void ClusterSimulator::resolveNode(int nd) {
   const std::vector<perfmodel::ShareOutcome>* outcomes;
   {
     telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kContentionSolve);
+    // Solver spans only attribute inside a decision pass; the refreshes a
+    // finishJob triggers are not decision cost and stay untimed.
+    xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kSolverCall);
     if (cfg_.opt.memoize_solves) {
       const std::uint64_t hits_before = solve_cache_.hits();
       outcomes = &solve_cache_.solve(shares_scratch_);
@@ -363,6 +369,12 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
 }
 
 bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
+  // Solver-cache provenance: attribute the deciding dispatch's contention
+  // solves (and how many the memo served) to the placed job.
+  xray::ProvenanceStore* prov =
+      cfg_.xray != nullptr ? cfg_.xray->provenance() : nullptr;
+  const std::uint64_t hits0 = prov != nullptr ? solve_cache_.hits() : 0;
+  const std::uint64_t miss0 = prov != nullptr ? solve_cache_.misses() : 0;
   std::optional<sched::Placement> p;
   {
     telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kLedgerScan);
@@ -371,8 +383,19 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
   if (!p.has_value()) return false;
   telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kPlacementCommit);
   const sched::Job job_copy = job;
-  startJob(job_copy, *p, now);
-  refreshRates(p->nodes);
+  {
+    xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kCommit, job_copy.id);
+    startJob(job_copy, *p, now);
+  }
+  {
+    xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kRateRefresh, job_copy.id);
+    refreshRates(p->nodes);
+  }
+  if (prov != nullptr) {
+    const std::uint64_t hits = solve_cache_.hits() - hits0;
+    const std::uint64_t misses = solve_cache_.misses() - miss0;
+    prov->noteSolverDelta(job_copy.id, hits + misses, hits);
+  }
   return true;
 }
 
@@ -437,6 +460,10 @@ void ClusterSimulator::schedule(double now) {
   // Decision-latency metric only — never feeds a scheduling decision.
   using Clock = std::chrono::steady_clock;  // snslint: allow(wall-clock)
   const auto wall_begin = m_decision_us_ ? Clock::now() : Clock::time_point{};
+  // The xray pass opens right after the latency stopwatch and closes right
+  // before it reads, so the decision root span and sim.decision_us cover
+  // the same region (uberun hotpath reconciles them within 5%).
+  if (cfg_.xray != nullptr) cfg_.xray->beginPass(now);
   if (m_sched_passes_) m_sched_passes_->inc();
 
   {
@@ -452,6 +479,7 @@ void ClusterSimulator::schedule(double now) {
   if (m_busy_nodes_) {
     m_busy_nodes_->set(static_cast<double>(ledger_.busyNodeCount()));
   }
+  if (cfg_.xray != nullptr) cfg_.xray->endPass();
   if (m_decision_us_) {
     m_decision_us_->observe(
         std::chrono::duration<double, std::micro>(Clock::now() - wall_begin)

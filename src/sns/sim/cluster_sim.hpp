@@ -17,6 +17,7 @@
 #include "sns/sched/queue.hpp"
 #include "sns/telemetry/phase_profiler.hpp"
 #include "sns/telemetry/sampler.hpp"
+#include "sns/xray/span.hpp"
 
 namespace sns::audit {
 class Auditor;
@@ -95,6 +96,18 @@ struct SimConfig {
   /// accounting hot paths). Null disables all clock reads; caller-owned,
   /// must outlive run().
   telemetry::PhaseProfiler* phases = nullptr;
+  /// Decision tracer + provenance (sns::xray): every scheduling pass
+  /// becomes a decision span tree (candidate pruning, curve scoring,
+  /// solver calls, commit, rate refresh) with nanosecond attribution, and
+  /// the policy records per-job placement provenance for `uberun explain`.
+  /// Null (the default) is zero-cost — each span site is one predictable
+  /// branch and no clocks are read. Sampling (TracerConfig::sample_period)
+  /// bounds the overhead of attached tracers (<=3% at Fig-20 scale,
+  /// bench_xray_overhead); simulation results are bit-identical with the
+  /// tracer on or off (tests/sim/test_xray_equivalence.cpp). Caller-owned,
+  /// must outlive run(); measures ONE run — call Tracer::reset() before
+  /// reusing.
+  xray::Tracer* xray = nullptr;
   /// Runtime invariant auditor (sns::audit): when set — and the build
   /// compiled the hooks in (SNS_AUDIT, on by default outside Release) —
   /// every scheduling point cross-validates the ledger's cached occupancy

@@ -71,6 +71,31 @@ util::Json exportPerfetto(const SimResult& res, std::span<const obs::Event> even
     }
   }
 
+  // Decision anatomy: the xray tracer's retained spans as nested duration
+  // slices under the scheduler process, one lane per nesting depth so the
+  // span tree reads as a flame. Each pass anchors at its virtual time;
+  // within a pass, real nanoseconds map 1:1 onto the virtual axis (a
+  // 500 us decision renders as a 500 us flame at its scheduling point).
+  if (opts.xray != nullptr && !opts.xray->records().empty()) {
+    constexpr int kSpanLaneBase = 100;
+    bool named_depths[32] = {};
+    for (const xray::SpanRecord& s : opts.xray->records()) {
+      const int lane = kSpanLaneBase + static_cast<int>(s.depth);
+      if (s.depth < 32 && !named_depths[s.depth]) {
+        named_depths[s.depth] = true;
+        b.threadName(kSchedulerPid, lane,
+                     "decision anatomy (depth " + std::to_string(s.depth) + ")");
+      }
+      util::Json::Object args;
+      args["pass"] = util::Json(static_cast<std::int64_t>(s.pass));
+      if (s.job >= 0) args["job"] = util::Json(s.job);
+      b.addSlice(kSchedulerPid, lane,
+                 s.sim_time + static_cast<double>(s.t0_ns) / 1e9,
+                 s.sim_time + static_cast<double>(s.t1_ns) / 1e9,
+                 to_string(s.kind), std::move(args));
+    }
+  }
+
   // Decision log: instant markers grouped by event type, plus the queue
   // depth reconstructed from submit/start pairs.
   std::size_t first_instant = 0;

@@ -6,6 +6,7 @@
 #include "sns/obs/event.hpp"
 #include "sns/sim/cluster_sim.hpp"
 #include "sns/util/json.hpp"
+#include "sns/xray/span.hpp"
 
 namespace sns::sim {
 
@@ -17,6 +18,11 @@ struct TraceExportOptions {
   /// Cap on scheduler instant markers taken from the event log (newest
   /// kept); <= 0 means unlimited.
   std::size_t max_instants = 0;
+  /// Decision tracer whose retained spans (TracerConfig::keep_records)
+  /// render as nested "decision anatomy" slices under the scheduler
+  /// process, anchored at each pass's virtual time with real nanoseconds
+  /// mapped 1:1 onto the virtual axis. Null skips the lanes.
+  const xray::Tracer* xray = nullptr;
 };
 
 /// Render one simulation as a Perfetto / Chrome trace-event JSON document

@@ -81,6 +81,18 @@ std::string renderPrometheus(const TimeSeriesStore* store,
       header(n, "gauge", "gauge " + name);
       out += n + " " + promValue(g.value()) + "\n";
     }
+    // Derived gauge: solver cache hit rate, emitted directly so scrape
+    // consumers don't have to compute it from the two raw counters.
+    const obs::Counter* sc_hits = registry->findCounter("solver.cache.hits");
+    const obs::Counter* sc_miss = registry->findCounter("solver.cache.misses");
+    if (sc_hits != nullptr && sc_miss != nullptr) {
+      const double lookups = sc_hits->value() + sc_miss->value();
+      const std::string n = promName("solver.cache.hit_rate");
+      header(n, "gauge",
+             "derived gauge solver.cache.hit_rate (hits / lookups)");
+      out += n + " " +
+             promValue(lookups > 0.0 ? sc_hits->value() / lookups : 0.0) + "\n";
+    }
     for (const auto& [name, h] : registry->histograms()) {
       const std::string n = promName(name);
       header(n, "histogram", "histogram " + name);

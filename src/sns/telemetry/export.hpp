@@ -38,6 +38,12 @@ struct ReportContext {
   /// text omits the section.
   std::string audit_text;
   std::uint64_t audit_violations = 0;
+  /// sns::xray outcome when a decision tracer rode along the workload
+  /// (`uberun report`): the rendered hot-path attribution report, shown as
+  /// a "Decision anatomy" section. Plain data for the same reason as
+  /// audit_text — sns_telemetry must not depend on sns_xray. Empty text
+  /// omits the section.
+  std::string xray_text;
 };
 
 /// Self-contained single-file HTML dashboard: stat tiles, one inline-SVG

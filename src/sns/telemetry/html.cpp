@@ -245,6 +245,10 @@ std::string renderHtmlReport(const ReportContext& ctx) {
             esc(ctx.phases->foldedStacks()) + "</pre></details>";
   }
 
+  if (!ctx.xray_text.empty()) {
+    html += "<h2>Decision anatomy</h2><pre>" + esc(ctx.xray_text) + "</pre>";
+  }
+
   if (ctx.metrics != nullptr) {
     html += "<details><summary>metrics registry</summary><pre>" +
             esc(ctx.metrics->renderTable()) + "</pre></details>";

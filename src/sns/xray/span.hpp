@@ -1,0 +1,208 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sns/obs/metrics.hpp"
+#include "sns/xray/provenance.hpp"
+
+namespace sns::xray {
+
+/// The decision-path spans instrumented by the scheduler and simulator.
+/// Values are stable (they index the per-kind stats and encode folded
+/// stacks, like telemetry::Phase).
+enum class SpanKind : std::uint8_t {
+  kDecision = 0,    ///< one whole scheduling pass (the decision root)
+  kCandidatePrune,  ///< node feasibility scan + selection inside tryPlace
+  kCurveScore,      ///< demand estimation from the profile curves
+  kSolverCall,      ///< per-node co-run contention solve (or memo hit)
+  kCommit,          ///< ledger allocation + solo-model derivation (startJob)
+  kRateRefresh,     ///< progress-rate re-derivation after a placement
+  kCount_,          ///< sentinel
+};
+
+constexpr std::size_t kSpanKindCount = static_cast<std::size_t>(SpanKind::kCount_);
+
+/// Stable lowercase name, e.g. "candidate_prune".
+const char* to_string(SpanKind k);
+
+/// Tracer knobs. The defaults trace every pass with provenance on; the
+/// sampled production mode raises sample_period so only every Nth
+/// scheduling pass pays for clock reads (provenance stays complete —
+/// `uberun explain` must answer for *any* job).
+struct TracerConfig {
+  /// Trace timing on every Nth scheduling pass; 1 = every pass. Unsampled
+  /// passes cost one branch per span site and read no clocks.
+  int sample_period = 1;
+  /// Max timed spans per decision pass. Spans beyond the budget are
+  /// dropped (counted in droppedSpans()) instead of growing without bound
+  /// on pathological queue walks.
+  std::size_t span_budget = 4096;
+  /// Retain per-span records for the Perfetto export. Off by default:
+  /// a Fig-20 replay produces millions of spans.
+  bool keep_records = false;
+  /// Cap on retained SpanRecords (oldest kept; newer ones counted as
+  /// dropped records, not dropped spans).
+  std::size_t max_records = 1 << 20;
+  /// Record placement provenance (scored candidates, rejection reasons,
+  /// winning breakdown) for every decision.
+  bool provenance = true;
+  /// Scored winning nodes retained per decision (large multi-node
+  /// placements keep the first N; the full count is still recorded).
+  std::size_t max_candidates = 8;
+};
+
+/// One retained span, for the Perfetto export. Times are nanoseconds
+/// relative to the start of the decision pass the span belongs to, so the
+/// export can anchor them at the pass's virtual timestamp.
+struct SpanRecord {
+  double sim_time = 0.0;     ///< virtual time of the enclosing pass
+  std::uint64_t pass = 0;    ///< scheduling-pass ordinal
+  SpanKind kind = SpanKind::kDecision;
+  std::uint8_t depth = 0;    ///< nesting depth (0 = the decision root)
+  std::int64_t job = -1;     ///< job id the span worked on, -1 if pass-wide
+  std::uint64_t t0_ns = 0;   ///< start, relative to the pass start
+  std::uint64_t t1_ns = 0;   ///< end, relative to the pass start
+};
+
+/// Span-based cost-attribution tracer for the scheduler decision path.
+/// A pass (one schedule() invocation) is opened with beginPass() and
+/// closed with endPass(); in between, ScopedSpan scopes attribute
+/// nanoseconds to SpanKinds with full nesting (self-time subtracts
+/// children, folded stacks accumulate per unique scope path, per-kind
+/// latency histograms feed `uberun hotpath` percentiles).
+///
+/// Cost model: a null tracer is zero-cost (ScopedSpan over nullptr is one
+/// predictable branch). An attached tracer on an *unsampled* pass reads no
+/// clocks — ScopedSpan latches "engaged" once at construction. Sampled
+/// passes pay two steady_clock reads per span. Provenance (attached via
+/// provenance()) is independent of sampling and never reads clocks.
+///
+/// Determinism: the tracer observes the decision path, never feeds it —
+/// all timing uses the monotonic clock for metrics only, and the
+/// equivalence suite proves simulation results are bit-identical with the
+/// tracer attached or absent.
+class Tracer {
+ public:
+  struct Stat {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;  ///< inclusive (with children)
+    std::uint64_t self_ns = 0;   ///< exclusive (children subtracted)
+    std::uint64_t max_ns = 0;    ///< worst single inclusive span
+  };
+
+  explicit Tracer(TracerConfig cfg = {});
+
+  // ---- pass lifecycle -------------------------------------------------------
+  /// Open a decision pass at virtual time `sim_time`; decides whether this
+  /// pass is sampled and, if so, opens the kDecision root span.
+  void beginPass(double sim_time);
+  /// Close the pass (pops the root span when sampled).
+  void endPass();
+  bool inPass() const { return in_pass_; }
+  /// True while the current pass is timing spans.
+  bool sampledPass() const { return in_pass_ && sampled_; }
+  /// Virtual time of the open (or most recent) pass; provenance writers
+  /// stamp first_seen / decided with it.
+  double passSimTime() const { return pass_sim_time_; }
+
+  // ---- span scopes (use ScopedSpan, not these, at call sites) ---------------
+  void enter(SpanKind k, std::int64_t job = -1);
+  void exit();
+
+  // ---- results --------------------------------------------------------------
+  const Stat& stat(SpanKind k) const {
+    return stats_[static_cast<std::size_t>(k)];
+  }
+  /// Per-kind inclusive latency histogram, microseconds.
+  const obs::Histogram& kindUs(SpanKind k) const {
+    return kind_us_[static_cast<std::size_t>(k)];
+  }
+  std::uint64_t passes() const { return passes_; }
+  std::uint64_t sampledPasses() const { return sampled_passes_; }
+  /// Spans discarded by the per-pass budget.
+  std::uint64_t droppedSpans() const { return dropped_spans_; }
+  /// Retained records discarded by the max_records cap.
+  std::uint64_t droppedRecords() const { return dropped_records_; }
+  /// Total attributed time (sum of self times over all kinds).
+  std::uint64_t totalSelfNs() const;
+  const std::vector<SpanRecord>& records() const { return records_; }
+  const TracerConfig& config() const { return cfg_; }
+
+  /// Placement provenance store, or nullptr when cfg.provenance is off.
+  /// Policies and the simulator write through this; `uberun explain`
+  /// reads it.
+  ProvenanceStore* provenance() { return provenance_.get(); }
+  const ProvenanceStore* provenance() const { return provenance_.get(); }
+
+  /// Folded-stack lines ("decision;candidate_prune <self_ns>"), sorted —
+  /// flamegraph.pl / speedscope / inferno input.
+  std::string foldedStacks() const;
+  /// Flat per-kind profile as a util::Table (calls, incl/self ms, %, p50,
+  /// p99, worst).
+  std::string renderTable() const;
+
+  void reset();
+
+ private:
+  // Metric-only timing: span costs are reported, never used to decide
+  // anything. snslint's span-wall-clock rule enforces the monotonic clock
+  // here.
+  using Clock = std::chrono::steady_clock;  // snslint: allow(wall-clock)
+
+  struct Frame {
+    SpanKind kind;
+    std::int64_t job;
+    Clock::time_point start;
+    std::uint64_t child_ns = 0;
+    std::uint64_t path;    ///< folded-stack signature up to this frame
+    bool dropped = false;  ///< over budget: no clock reads, no accounting
+  };
+
+  TracerConfig cfg_;
+  std::unique_ptr<ProvenanceStore> provenance_;
+
+  bool in_pass_ = false;
+  bool sampled_ = false;
+  double pass_sim_time_ = 0.0;
+  Clock::time_point pass_start_{};
+  std::size_t pass_spans_ = 0;
+
+  std::uint64_t passes_ = 0;
+  std::uint64_t sampled_passes_ = 0;
+  std::uint64_t dropped_spans_ = 0;
+  std::uint64_t dropped_records_ = 0;
+
+  std::array<Stat, kSpanKindCount> stats_{};
+  std::vector<obs::Histogram> kind_us_;  ///< kSpanKindCount entries
+  std::vector<Frame> stack_;
+  /// Folded signature (5 bits per frame, kind+1 so 0 = empty) -> self ns.
+  std::unordered_map<std::uint64_t, std::uint64_t> folded_;
+  std::vector<SpanRecord> records_;
+};
+
+/// RAII span scope, safe on every exit path (early return, exception).
+/// Engagement is latched at construction: null tracer, outside a pass, or
+/// an unsampled pass all cost one branch and zero clock reads.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, SpanKind k, std::int64_t job = -1)
+      : tracer_(tracer != nullptr && tracer->sampledPass() ? tracer : nullptr) {
+    if (tracer_ != nullptr) tracer_->enter(k, job);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->exit();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+};
+
+}  // namespace sns::xray

@@ -51,10 +51,27 @@ TEST(Histogram, QuantilesInterpolateWithinBuckets) {
   for (int i = 0; i < 10; ++i) h.observe(15.0);  // all in (10, 20]
   // The whole mass sits in bucket 1; the median interpolates to its middle.
   EXPECT_NEAR(h.quantile(0.5), 15.0, 1e-9);
-  EXPECT_NEAR(h.quantile(1.0), 20.0, 1e-9);
+  // q=1.0 used to extrapolate to the bucket's upper bound (20.0); estimates
+  // are clamped to the observed range, and every sample was exactly 15.0.
+  EXPECT_NEAR(h.quantile(1.0), 15.0, 1e-9);
   // Overflow-bucket quantiles clamp to the largest observed value.
   h.observe(1000.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.999), 1000.0);
+}
+
+TEST(Histogram, SmallSampleQuantilesStayInObservedRange) {
+  // One sample must never report a p99 past itself: linear interpolation
+  // inside the (100, 1000] bucket would place q=0.99 near 991 when the only
+  // observation is 150.
+  Histogram h({1.0, 10.0, 100.0, 1000.0});
+  h.observe(150.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 150.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 150.0);
+  // Two spread samples: estimates stay within [min, max] observed.
+  h.observe(3.0);
+  EXPECT_GE(h.quantile(0.99), 3.0);
+  EXPECT_LE(h.quantile(0.99), 150.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
 }
 
 TEST(Histogram, EmptyQuantileIsZero) {

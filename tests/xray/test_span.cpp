@@ -1,0 +1,220 @@
+// sns::xray::Tracer unit tests: span nesting and self/inclusive
+// accounting, RAII early-exit safety, the per-pass span budget, pass
+// sampling, folded stacks, and record retention.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sns/util/error.hpp"
+#include "sns/xray/span.hpp"
+
+namespace sns::xray {
+namespace {
+
+void spin() {
+  // A little real work so every span accumulates nonzero time on any
+  // clock granularity.
+  volatile double x = 1.0;
+  for (int i = 0; i < 1000; ++i) x = x * 1.0000001 + 0.5;
+}
+
+TEST(Span, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(SpanKind::kDecision), "decision");
+  EXPECT_STREQ(to_string(SpanKind::kCandidatePrune), "candidate_prune");
+  EXPECT_STREQ(to_string(SpanKind::kCurveScore), "curve_score");
+  EXPECT_STREQ(to_string(SpanKind::kSolverCall), "solver_call");
+  EXPECT_STREQ(to_string(SpanKind::kCommit), "commit");
+  EXPECT_STREQ(to_string(SpanKind::kRateRefresh), "rate_refresh");
+}
+
+TEST(Span, NestedSpansAttributeSelfAndInclusive) {
+  Tracer t;
+  t.beginPass(10.0);
+  {
+    ScopedSpan prune(&t, SpanKind::kCandidatePrune, 3);
+    spin();
+    {
+      ScopedSpan solve(&t, SpanKind::kSolverCall, 3);
+      spin();
+    }
+    {
+      ScopedSpan solve(&t, SpanKind::kSolverCall, 3);
+      spin();
+    }
+    spin();
+  }
+  t.endPass();
+
+  EXPECT_EQ(t.stat(SpanKind::kDecision).calls, 1u);
+  EXPECT_EQ(t.stat(SpanKind::kCandidatePrune).calls, 1u);
+  EXPECT_EQ(t.stat(SpanKind::kSolverCall).calls, 2u);
+  EXPECT_EQ(t.stat(SpanKind::kCommit).calls, 0u);
+
+  const auto& dec = t.stat(SpanKind::kDecision);
+  const auto& prune = t.stat(SpanKind::kCandidatePrune);
+  const auto& solve = t.stat(SpanKind::kSolverCall);
+  // Inclusive nests: decision >= prune >= both solves together.
+  EXPECT_GE(dec.total_ns, prune.total_ns);
+  EXPECT_GE(prune.total_ns, solve.total_ns);
+  // Self excludes children: prune did real work outside the solves.
+  EXPECT_LT(prune.self_ns, prune.total_ns);
+  EXPECT_GT(prune.self_ns, 0u);
+  // Leaves have self == inclusive.
+  EXPECT_EQ(solve.self_ns, solve.total_ns);
+  // The attributed total is the sum of the self times.
+  EXPECT_EQ(t.totalSelfNs(), dec.self_ns + prune.self_ns + solve.self_ns);
+  // max_ns tracks the worst single inclusive span.
+  EXPECT_GE(solve.max_ns, solve.total_ns / 2);
+  // Per-kind histograms observed every call.
+  EXPECT_EQ(t.kindUs(SpanKind::kSolverCall).count(), 2u);
+}
+
+TEST(Span, FoldedStacksEncodeTheScopePath) {
+  Tracer t;
+  t.beginPass(0.0);
+  {
+    ScopedSpan prune(&t, SpanKind::kCandidatePrune);
+    ScopedSpan solve(&t, SpanKind::kSolverCall);
+    spin();
+  }
+  t.endPass();
+  const std::string folded = t.foldedStacks();
+  EXPECT_NE(folded.find("decision "), std::string::npos);
+  EXPECT_NE(folded.find("decision;candidate_prune "), std::string::npos);
+  EXPECT_NE(folded.find("decision;candidate_prune;solver_call "),
+            std::string::npos);
+}
+
+TEST(Span, RaiiExitsOnEarlyReturnAndException) {
+  Tracer t;
+  t.beginPass(0.0);
+  auto early = [&](bool bail) {
+    ScopedSpan s(&t, SpanKind::kCurveScore);
+    if (bail) return 1;
+    return 2;
+  };
+  EXPECT_EQ(early(true), 1);
+  try {
+    ScopedSpan s(&t, SpanKind::kCommit);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // Both scopes unwound; the pass closes with a balanced stack.
+  EXPECT_NO_THROW(t.endPass());
+  EXPECT_EQ(t.stat(SpanKind::kCurveScore).calls, 1u);
+  EXPECT_EQ(t.stat(SpanKind::kCommit).calls, 1u);
+}
+
+TEST(Span, NullTracerAndOutsidePassAreInert) {
+  { ScopedSpan s(nullptr, SpanKind::kSolverCall); }
+  Tracer t;
+  // Outside any pass: latched off at construction.
+  { ScopedSpan s(&t, SpanKind::kSolverCall); }
+  EXPECT_EQ(t.stat(SpanKind::kSolverCall).calls, 0u);
+}
+
+TEST(Span, BudgetDropsSpansButKeepsPairing) {
+  TracerConfig cfg;
+  cfg.span_budget = 2;  // the decision root + one timed span
+  Tracer t(cfg);
+  t.beginPass(0.0);
+  { ScopedSpan a(&t, SpanKind::kSolverCall); }
+  { ScopedSpan b(&t, SpanKind::kSolverCall); }  // over budget: dropped
+  {
+    ScopedSpan c(&t, SpanKind::kCandidatePrune);  // dropped
+    ScopedSpan d(&t, SpanKind::kSolverCall);      // dropped, nested
+  }
+  EXPECT_NO_THROW(t.endPass());
+  EXPECT_EQ(t.droppedSpans(), 3u);
+  EXPECT_EQ(t.stat(SpanKind::kSolverCall).calls, 1u);
+  EXPECT_EQ(t.stat(SpanKind::kCandidatePrune).calls, 0u);
+}
+
+TEST(Span, SamplePeriodTimesEveryNthPass) {
+  TracerConfig cfg;
+  cfg.sample_period = 3;
+  Tracer t(cfg);
+  for (int p = 0; p < 7; ++p) {
+    t.beginPass(static_cast<double>(p));
+    const bool expect_sampled = p % 3 == 0;
+    EXPECT_EQ(t.sampledPass(), expect_sampled) << "pass " << p;
+    { ScopedSpan s(&t, SpanKind::kSolverCall); }
+    t.endPass();
+  }
+  EXPECT_EQ(t.passes(), 7u);
+  EXPECT_EQ(t.sampledPasses(), 3u);  // passes 0, 3, 6
+  // Unsampled passes timed nothing.
+  EXPECT_EQ(t.stat(SpanKind::kDecision).calls, 3u);
+  EXPECT_EQ(t.stat(SpanKind::kSolverCall).calls, 3u);
+}
+
+TEST(Span, RecordsRetainPassAndRelativeTimes) {
+  TracerConfig cfg;
+  cfg.keep_records = true;
+  Tracer t(cfg);
+  t.beginPass(42.5);
+  {
+    ScopedSpan s(&t, SpanKind::kCandidatePrune, 9);
+    spin();
+  }
+  t.endPass();
+  ASSERT_EQ(t.records().size(), 2u);  // prune closes before the root
+  const SpanRecord& prune = t.records()[0];
+  const SpanRecord& root = t.records()[1];
+  EXPECT_EQ(prune.kind, SpanKind::kCandidatePrune);
+  EXPECT_EQ(prune.job, 9);
+  EXPECT_EQ(prune.depth, 1);
+  EXPECT_EQ(prune.pass, 0u);
+  EXPECT_DOUBLE_EQ(prune.sim_time, 42.5);
+  EXPECT_LE(prune.t0_ns, prune.t1_ns);
+  EXPECT_EQ(root.kind, SpanKind::kDecision);
+  EXPECT_EQ(root.depth, 0);
+  EXPECT_LE(root.t0_ns, prune.t0_ns);
+  EXPECT_GE(root.t1_ns, prune.t1_ns);
+}
+
+TEST(Span, RecordCapCountsDrops) {
+  TracerConfig cfg;
+  cfg.keep_records = true;
+  cfg.max_records = 2;
+  Tracer t(cfg);
+  t.beginPass(0.0);
+  for (int i = 0; i < 4; ++i) {
+    ScopedSpan s(&t, SpanKind::kSolverCall);
+  }
+  t.endPass();
+  EXPECT_EQ(t.records().size(), 2u);
+  EXPECT_EQ(t.droppedRecords(), 3u);  // 2 solves + the root
+  EXPECT_EQ(t.droppedSpans(), 0u);    // the cap is on records, not timing
+}
+
+TEST(Span, ResetClearsEverything) {
+  TracerConfig cfg;
+  cfg.keep_records = true;
+  Tracer t(cfg);
+  t.beginPass(0.0);
+  { ScopedSpan s(&t, SpanKind::kSolverCall); }
+  t.endPass();
+  ASSERT_GT(t.passes(), 0u);
+  t.reset();
+  EXPECT_EQ(t.passes(), 0u);
+  EXPECT_EQ(t.sampledPasses(), 0u);
+  EXPECT_EQ(t.totalSelfNs(), 0u);
+  EXPECT_EQ(t.stat(SpanKind::kSolverCall).calls, 0u);
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_TRUE(t.foldedStacks().empty());
+}
+
+TEST(Span, LifecycleMisuseThrows) {
+  Tracer t;
+  EXPECT_THROW(t.endPass(), util::PreconditionError);
+  t.beginPass(0.0);
+  EXPECT_THROW(t.beginPass(1.0), util::PreconditionError);
+  t.endPass();
+  TracerConfig bad;
+  bad.sample_period = 0;
+  EXPECT_THROW(Tracer{bad}, util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace sns::xray

@@ -1,0 +1,26 @@
+// Fixture: rule span-wall-clock. Span timing must use the monotonic
+// clock: system_clock jumps under NTP slew and high_resolution_clock may
+// alias it, producing negative or wildly wrong span durations.
+#include <chrono>
+
+long bad_span() {
+  auto t0 = std::chrono::system_clock::now();           // FIRES
+  auto t1 = std::chrono::high_resolution_clock::now();  // FIRES
+  return t1.time_since_epoch().count() - t0.time_since_epoch().count();
+}
+
+long allowed_span() {
+  // Wall timestamp for a report header, never subtracted from anything.
+  // snslint: allow(span-wall-clock)
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+long fine_span() {
+  // steady_clock is the correct span clock: clean under this rule (the
+  // broader wall-clock rule still governs scheduler-logic modules).
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  const char* doc = "std::chrono::system_clock in a string must not fire";
+  return (t1 - t0).count() + doc[0];
+}

@@ -21,6 +21,12 @@ Rules
   wall-clock            std::chrono::{system,steady,high_resolution}_clock,
                         time(), gettimeofday, clock_gettime — wall time in
                         scheduler logic makes replays non-reproducible.
+  span-wall-clock       std::chrono::{system,high_resolution}_clock in
+                        span/phase timing code (sns/xray, sns/telemetry):
+                        cost attribution must use the monotonic
+                        steady_clock — system_clock jumps under NTP slew
+                        and high_resolution_clock may alias it, producing
+                        negative or wildly wrong span durations.
   raw-rand              rand()/srand()/std::random_device — unseeded or
                         process-global randomness; use sns::util::Rng with
                         an explicit seed.
@@ -55,6 +61,7 @@ RULES = (
     "unordered-iteration",
     "float-accumulation",
     "wall-clock",
+    "span-wall-clock",
     "raw-rand",
     "uninit-member",
 )
@@ -76,6 +83,11 @@ WALL_CLOCK_RE = re.compile(
     r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
     r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
     r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+# Only the non-monotonic (or potentially aliased) clocks: steady_clock is
+# exactly what span timing should use, so it stays clean under this rule.
+SPAN_WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(?:system_clock|high_resolution_clock)"
 )
 RAW_RAND_RE = re.compile(
     r"(?<![\w:.])s?rand\s*\(|std::random_device|(?<!\w)std::rand\b"
@@ -260,6 +272,11 @@ def scan_file(path, display_path):
             add(idx, "wall-clock",
                 "wall-clock time in scheduler code breaks replay "
                 "determinism; thread simulated time through instead")
+        if SPAN_WALL_CLOCK_RE.search(ln):
+            add(idx, "span-wall-clock",
+                "span timing must use the monotonic std::chrono::"
+                "steady_clock; system_clock jumps under NTP and "
+                "high_resolution_clock may alias it")
         if RAW_RAND_RE.search(ln):
             add(idx, "raw-rand",
                 "process-global / nondeterministic randomness; use "

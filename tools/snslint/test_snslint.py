@@ -61,6 +61,26 @@ class WallClock(unittest.TestCase):
         self.assertTrue(all(line <= 11 for line in hits), findings)
 
 
+class SpanWallClock(unittest.TestCase):
+    def test_fires_on_nonmonotonic_clocks_only(self):
+        findings = scan("span_wall_clock.cpp")
+        hits = lines_for(findings, "span-wall-clock")
+        # system_clock and high_resolution_clock; the allowed use, the
+        # steady_clock spans, and the string literal all stay clean.
+        self.assertEqual(len(hits), 2, findings)
+        self.assertTrue(all(line <= 9 for line in hits), findings)
+
+    def test_steady_clock_clean_under_rule_subset(self):
+        target = os.path.join(FIXTURES, "wall_clock.cpp")
+        # The wall-clock fixture's steady_clock/time() uses are fine for
+        # span timing: only the broad wall-clock rule flags them.
+        self.assertEqual(snslint.main(["--rules", "span-wall-clock",
+                                       target]), 1)  # system_clock on l.7
+        findings = scan("wall_clock.cpp")
+        hits = lines_for(findings, "span-wall-clock")
+        self.assertEqual(hits, [7], findings)
+
+
 class RawRand(unittest.TestCase):
     def test_fires_thrice_allow_and_lookalike_clean(self):
         findings = scan("raw_rand.cpp")

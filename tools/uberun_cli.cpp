@@ -8,13 +8,15 @@
 //   uberun plan      --job PROG[:PROCS[:ALPHA]] [--db db.json]
 //   uberun trace     [--cluster N] [--ratio R] [--jobs N] [--policy P]
 //   uberun trace     --workload quickstart|random|FILE [--policy P] [--nodes N]
-//                    [--out trace.perfetto.json] [--online] [--mba]
+//                    [--out trace.perfetto.json] [--online] [--mba] [--anatomy]
 //   uberun metrics   [--workload quickstart|random|fig20|FILE] [--policy P]
 //                    [--nodes N] [--period S] [--budget N] [--out FILE]
 //   uberun report    [same as metrics] [--out report.html] [--enforce-slo]
 //                    [--audit]
 //   uberun top       [same as metrics] [--at T]
 //   uberun audit     [same as metrics] [--keep-going]
+//   uberun explain   [same as metrics] [--job J]
+//   uberun hotpath   [same as metrics] [--sample N] [--folded FILE]
 //
 // The telemetry subcommands (metrics / report / top) run the workload with
 // the sns::telemetry stack attached — periodic cluster sampling, SLO
@@ -22,6 +24,18 @@
 // Prometheus text, a self-contained HTML dashboard, or a terminal view of
 // the cluster at one instant. SLO thresholds: --slo-decision-us,
 // --slo-starvation-s, --slo-collapse.
+//
+// `uberun explain` replays a workload with the sns::xray provenance store
+// attached and answers "why did job J land where it did": the scale-factor
+// walk with per-step rejection reasons, the winning nodes with their
+// Co + Bo + beta x Wo score breakdown, and the solver-cache provenance of
+// the deciding dispatch. Without --job it prints a one-line-per-job index.
+//
+// `uberun hotpath` replays a workload with the sns::xray decision tracer
+// timing every scheduling pass (--sample N times every Nth) and prints the
+// aggregated cost attribution: per-span calls / self time / p50 / p99,
+// folded stacks (--folded FILE writes them for flamegraph.pl), and a
+// reconciliation line against the simulator's own decision-latency metric.
 //
 // `uberun audit` replays a workload with the sns::audit invariant auditor
 // attached: at every scheduling point the ledger's cached occupancy totals
@@ -60,6 +74,8 @@
 #include "sns/uberun/launch_plan.hpp"
 #include "sns/util/stats.hpp"
 #include "sns/util/table.hpp"
+#include "sns/xray/explain.hpp"
+#include "sns/xray/span.hpp"
 
 namespace {
 
@@ -310,6 +326,13 @@ int cmdTraceWorkload(const World& w, const Args& a) {
   audit::Auditor auditor;
   if (a.flag("audit")) cfg.auditor = &auditor;
 
+  // --anatomy: retain per-span decision records and render them as nested
+  // "decision anatomy" lanes under the scheduler process in the trace.
+  xray::TracerConfig xcfg;
+  xcfg.keep_records = true;
+  xray::Tracer tracer(xcfg);
+  if (a.flag("anatomy")) cfg.xray = &tracer;
+
   obs::RingBufferLog log;
   obs::Registry metrics;
   cfg.sink = &log;
@@ -319,7 +342,9 @@ int cmdTraceWorkload(const World& w, const Args& a) {
 
   const auto events = log.snapshot();
   const std::string out = a.get("out", "trace.perfetto.json");
-  sim::writePerfettoFile(out, res, events);
+  sim::TraceExportOptions topts;
+  if (a.flag("anatomy")) topts.xray = &tracer;
+  sim::writePerfettoFile(out, res, events, topts);
 
   std::map<std::string, std::size_t> by_type;
   for (const auto& e : events) ++by_type[obs::to_string(e.type)];
@@ -448,6 +473,10 @@ struct TelemetryRun {
   obs::Registry metrics;
   obs::RingBufferLog log;
   obs::Recorder slo_rec;  ///< routes watchdog violations into `log`
+  /// Decision tracer + provenance store, when the subcommand asked for one
+  /// (explain / hotpath / report). Null on plain metrics/top runs so the
+  /// scheduler hot path stays untouched.
+  std::unique_ptr<xray::Tracer> xray;
   sim::SimResult result;
   int nodes = 0;
   std::string workload;
@@ -471,7 +500,8 @@ struct TelemetryRun {
 };
 
 std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a,
-                                           audit::Auditor* auditor = nullptr) {
+                                           audit::Auditor* auditor = nullptr,
+                                           const xray::TracerConfig* xcfg = nullptr) {
   auto wl = buildTelemetryWorkload(w, a);
 
   auto rules = telemetry::SloWatchdog::defaultRules();
@@ -511,6 +541,10 @@ std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a,
   cfg.sampler = &run->sampler;
   cfg.phases = &run->phases;
   cfg.auditor = auditor;
+  if (xcfg != nullptr) {
+    run->xray = std::make_unique<xray::Tracer>(*xcfg);
+    cfg.xray = run->xray.get();
+  }
   run->nodes = cfg.nodes;
 
   sim::ClusterSimulator sim(w.est, w.lib, wl.db, cfg);
@@ -553,7 +587,13 @@ int cmdReport(const World& w, const Args& a) {
   // point) and surface them as a dedicated section + an extra tile.
   audit::Auditor auditor;
   const bool with_audit = a.flag("audit");
-  auto run = runTelemetry(w, a, with_audit ? &auditor : nullptr);
+  // Ride a sampled decision tracer along every report run so the HTML gets
+  // a "Decision anatomy" section without measurably perturbing the run
+  // (provenance off — the report aggregates, it doesn't explain jobs).
+  xray::TracerConfig xcfg;
+  xcfg.sample_period = static_cast<int>(a.num("sample", 32));
+  xcfg.provenance = false;
+  auto run = runTelemetry(w, a, with_audit ? &auditor : nullptr, &xcfg);
   telemetry::ReportContext ctx;
   ctx.title = "uberun — " + run->result.policy + " on " +
               std::to_string(run->nodes) + " nodes (" + run->workload + ")";
@@ -563,6 +603,11 @@ int cmdReport(const World& w, const Args& a) {
   ctx.phases = &run->phases;
   ctx.summary = run->summaryTiles();
   ctx.events_dropped = run->log.dropped();
+  if (run->xray != nullptr && run->xray->sampledPasses() > 0) {
+    const obs::Histogram* dh = run->metrics.findHistogram("sim.decision_us");
+    ctx.xray_text =
+        xray::renderHotpath(*run->xray, dh != nullptr ? dh->mean() : 0.0);
+  }
   if (with_audit) {
     auditor.auditTimeSeries(run->store);
     ctx.summary.emplace_back("audit violations",
@@ -621,14 +666,75 @@ int cmdTop(const World& w, const Args& a) {
   std::printf("%s policy on %d nodes (%s), makespan %.1f s\n\n%s",
               run->result.policy.c_str(), run->nodes, run->workload.c_str(),
               run->result.makespan, telemetry::renderTop(run->store, at).c_str());
+  // End-of-run solver-cache effectiveness, derived from the raw counters
+  // (the renderTop row shows the *sampled* series; this is the exact total).
+  const obs::Counter* sc_hits = run->metrics.findCounter("solver.cache.hits");
+  const obs::Counter* sc_miss = run->metrics.findCounter("solver.cache.misses");
+  if (sc_hits != nullptr && sc_miss != nullptr) {
+    const double lookups = sc_hits->value() + sc_miss->value();
+    std::printf("\nsolver cache: %.0f lookups, %.1f%% hit rate\n",
+                lookups,
+                lookups > 0.0 ? 100.0 * sc_hits->value() / lookups : 0.0);
+  }
   std::printf("\n%s", run->phases.renderTable().c_str());
   return finishTelemetry(*run, a);
+}
+
+// `uberun explain`: replay the workload with the provenance store attached
+// (timing effectively off — a huge sample period — since explanation needs
+// no clocks) and answer "why did job J land where it did".
+int cmdExplain(const World& w, const Args& a) {
+  xray::TracerConfig xcfg;
+  xcfg.sample_period = 1 << 30;  // provenance is sampling-independent
+  xcfg.provenance = true;
+  xcfg.max_candidates = static_cast<std::size_t>(a.num("candidates", 8));
+  auto run = runTelemetry(w, a, nullptr, &xcfg);
+  const xray::ProvenanceStore* prov = run->xray->provenance();
+  std::printf("%s policy on %d nodes (%s): %zu jobs, makespan %.1f s\n\n",
+              run->result.policy.c_str(), run->nodes, run->workload.c_str(),
+              run->result.jobs.size(), run->result.makespan);
+  if (a.options.count("job") != 0) {
+    const auto job = static_cast<std::int64_t>(a.num("job", 0));
+    if (!prov->has(job)) {
+      std::fprintf(stderr, "uberun explain: no decision recorded for job %lld\n",
+                   static_cast<long long>(job));
+      return 2;
+    }
+    std::printf("%s", xray::renderExplain(*prov, job).c_str());
+  } else {
+    std::printf("%s", xray::renderExplainIndex(*prov).c_str());
+  }
+  return 0;
+}
+
+// `uberun hotpath`: replay the workload with the decision tracer timing
+// every (or every --sample'th) scheduling pass and print the aggregated
+// cost attribution plus the reconciliation against sim.decision_us.
+int cmdHotpath(const World& w, const Args& a) {
+  xray::TracerConfig xcfg;
+  xcfg.sample_period = static_cast<int>(a.num("sample", 1));
+  xcfg.provenance = false;
+  auto run = runTelemetry(w, a, nullptr, &xcfg);
+  const obs::Histogram* dh = run->metrics.findHistogram("sim.decision_us");
+  std::printf("%s policy on %d nodes (%s): %zu jobs, makespan %.1f s\n\n",
+              run->result.policy.c_str(), run->nodes, run->workload.c_str(),
+              run->result.jobs.size(), run->result.makespan);
+  std::printf("%s", xray::renderHotpath(*run->xray,
+                                        dh != nullptr ? dh->mean() : 0.0)
+                        .c_str());
+  const std::string folded = a.get("folded", "");
+  if (!folded.empty()) {
+    writeOrPrint(folded, run->xray->foldedStacks());
+    std::printf("\nwrote folded stacks to %s (flamegraph.pl / speedscope)\n",
+                folded.c_str());
+  }
+  return 0;
 }
 
 int usage() {
   std::fprintf(stderr,
                "usage: uberun <programs|profile|generate|simulate|plan|trace|"
-               "metrics|report|top|audit> "
+               "metrics|report|top|audit|explain|hotpath> "
                "[options]\n(see the header of tools/uberun_cli.cpp)\n");
   return 1;
 }
@@ -642,7 +748,8 @@ int main(int argc, char** argv) {
     World w;
     const Args a = Args::parse(
         argc, argv,
-        {"online", "mba", "network", "enforce-slo", "audit", "keep-going"});
+        {"online", "mba", "network", "enforce-slo", "audit", "keep-going",
+         "anatomy"});
     if (cmd == "programs") return cmdPrograms(w);
     if (cmd == "profile") return cmdProfile(w, a);
     if (cmd == "generate") return cmdGenerate(w, a);
@@ -653,6 +760,8 @@ int main(int argc, char** argv) {
     if (cmd == "report") return cmdReport(w, a);
     if (cmd == "top") return cmdTop(w, a);
     if (cmd == "audit") return cmdAudit(w, a);
+    if (cmd == "explain") return cmdExplain(w, a);
+    if (cmd == "hotpath") return cmdHotpath(w, a);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uberun: %s\n", e.what());
