@@ -7,18 +7,35 @@
 //
 // Results are printed as a table and written to BENCH_sim_scale.json in
 // the working directory (CI runs this from the repo root and checks the
-// file), so scalability regressions show up as a diffable artifact.
+// file against bench/baselines/sim_scale.json), so scalability
+// regressions show up as a diffable artifact.
 //
-// Pass --quick for a CI-sized trace.
+// Flags:
+//   --quick       CI-sized trace (700 jobs instead of 7044)
+//   --phases      attach the phase profiler and print the flat profile per
+//                 cell (adds clock-read overhead; attribution runs only).
+//                 Unlike `uberun hotpath` this keeps the batched fast path
+//                 engaged — no event sink is attached.
+//   --nodes CSV   cluster sizes to run (default 4096,8192,16384,32768)
+//   --opt CSV     SimOptFlags selection, for per-flag attribution:
+//                   all  (default: every optimization on)
+//                   none (every optimization off — the legacy paths)
+//                   base (indexed + memo + singlepass; the pre-fast-path
+//                         configuration, baseline for the new flags)
+//                 plus additive tokens starting from none:
+//                   indexed, memo, singlepass, prune, batch, parallel, simd
+//                 e.g. --opt base,prune measures incremental pruning alone.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "sns/obs/metrics.hpp"
+#include "sns/telemetry/phase_profiler.hpp"
 #include "sns/trace/replay.hpp"
 #include "sns/util/json.hpp"
 
@@ -29,11 +46,80 @@ double counterValue(const sns::obs::Registry& m, const char* name) {
   return c != nullptr ? c->value() : 0.0;
 }
 
+sns::sim::SimOptFlags parseOpt(const std::string& csv) {
+  sns::sim::SimOptFlags f;  // defaults: all on
+  if (csv.empty() || csv == "all") return f;
+  f.indexed_ledger = false;
+  f.memoize_solves = false;
+  f.single_pass_schedule = false;
+  f.incremental_prune = false;
+  f.batched_scoring = false;
+  f.parallel_select = false;
+  f.simd_solver = false;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok == "none") {
+    } else if (tok == "all") {
+      f = sns::sim::SimOptFlags{};
+    } else if (tok == "base") {
+      f.indexed_ledger = true;
+      f.memoize_solves = true;
+      f.single_pass_schedule = true;
+    } else if (tok == "indexed") {
+      f.indexed_ledger = true;
+    } else if (tok == "memo") {
+      f.memoize_solves = true;
+    } else if (tok == "singlepass") {
+      f.single_pass_schedule = true;
+    } else if (tok == "prune") {
+      f.incremental_prune = true;
+    } else if (tok == "batch") {
+      f.batched_scoring = true;
+    } else if (tok == "parallel") {
+      f.parallel_select = true;
+    } else if (tok == "simd") {
+      f.simd_solver = true;
+    } else {
+      std::fprintf(stderr, "unknown --opt token: %s\n", tok.c_str());
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+std::vector<int> parseNodes(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(std::stoi(tok));
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace sns;
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bool quick = false;
+  bool phases = false;
+  std::string opt_csv = "all";
+  std::vector<int> cluster_sizes = {4096, 8192, 16384, 32768};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--phases") == 0) {
+      phases = true;
+    } else if (std::strcmp(argv[i], "--opt") == 0 && i + 1 < argc) {
+      opt_csv = argv[++i];
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      cluster_sizes = parseNodes(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--opt CSV] [--nodes CSV]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const sim::SimOptFlags opt = parseOpt(opt_csv);
 
   snsbench::Env env;
 
@@ -52,16 +138,15 @@ int main(int argc, char** argv) {
   const auto db = trace::synthesizeTraceProfiles(env.db(), 16, jobs, env.est());
 
   std::printf("=== simulator scalability: events/sec and placement latency ===\n");
-  std::printf("trace: %zu jobs over %.0f hours, scaling ratio %.1f\n\n",
-              jobs.size(), params.horizon_hours, ratio);
+  std::printf("trace: %zu jobs over %.0f hours, scaling ratio %.1f, opt %s\n\n",
+              jobs.size(), params.horizon_hours, ratio, opt_csv.c_str());
 
-  const std::vector<int> cluster_sizes = {4096, 8192, 16384, 32768};
   const std::vector<sched::PolicyKind> policies = {sched::PolicyKind::kCE,
                                                    sched::PolicyKind::kSNS};
 
   util::Table t({"nodes", "policy", "wall s", "events", "events/s",
                  "decision mean us", "decision p99 us", "memo hit %",
-                 "cache hit %"});
+                 "cache hit %", "select hit %", "spec skips"});
   util::Json::Array results;
   for (int nodes : cluster_sizes) {
     for (sched::PolicyKind policy : policies) {
@@ -73,12 +158,19 @@ int main(int argc, char** argv) {
       cfg.age_limit_s = 14.0 * 86400.0;
       cfg.max_queue_scan = 256;
       cfg.metrics = &metrics;
+      cfg.opt = opt;
+      telemetry::PhaseProfiler prof;
+      if (phases) cfg.phases = &prof;
       sim::ClusterSimulator sim(env.est(), env.lib(), db, cfg);
 
       const auto t0 = std::chrono::steady_clock::now();
       const sim::SimResult res = sim.run(jobs);
       const auto t1 = std::chrono::steady_clock::now();
       const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+      if (phases) {
+        std::printf("--- phases: %d nodes, %s ---\n%s\n", nodes,
+                    res.policy.c_str(), prof.renderTable().c_str());
+      }
 
       // Every queue event the simulator processed: submissions, starts
       // and completions all pop the event loop.
@@ -105,12 +197,22 @@ int main(int argc, char** argv) {
           cache_hits + cache_misses > 0.0
               ? 100.0 * cache_hits / (cache_hits + cache_misses)
               : 0.0;
+      // Fast-decision-path attribution: ledger selection-cache reuse and
+      // failed-spec skips (both zero when the flags are off).
+      const double sel_hits = counterValue(metrics, "sim.select_cache_hits");
+      const double sel_misses = counterValue(metrics, "sim.select_cache_misses");
+      const double sel_hit_pct =
+          sel_hits + sel_misses > 0.0
+              ? 100.0 * sel_hits / (sel_hits + sel_misses)
+              : 0.0;
+      const double spec_skips = counterValue(metrics, "sim.spec_skips");
 
       const std::string policy_name = res.policy;
       t.addRow({std::to_string(nodes), policy_name, util::fmt(wall_s, 3),
                 util::fmt(events, 0), util::fmt(events_per_s, 0),
                 util::fmt(dec_mean, 1), util::fmt(dec_p99, 1),
-                util::fmt(memo_pct, 1), util::fmt(cache_hit_pct, 1)});
+                util::fmt(memo_pct, 1), util::fmt(cache_hit_pct, 1),
+                util::fmt(sel_hit_pct, 1), util::fmt(spec_skips, 0)});
 
       util::Json row;
       row["nodes"] = nodes;
@@ -125,6 +227,9 @@ int main(int argc, char** argv) {
       row["solver_cache_hits"] = cache_hits;
       row["solver_cache_misses"] = cache_misses;
       row["solver_cache_evictions"] = cache_evictions;
+      row["select_cache_hits"] = sel_hits;
+      row["select_cache_misses"] = sel_misses;
+      row["spec_skips"] = spec_skips;
       row["jobs_completed"] = counterValue(metrics, "sim.jobs_finished");
       row["mean_turnaround_s"] = res.meanTurnaround();
       results.push_back(std::move(row));
@@ -138,6 +243,7 @@ int main(int argc, char** argv) {
   util::Json out;
   out["bench"] = "sim_scale";
   out["quick"] = quick;
+  out["opt"] = opt_csv;
   out["trace_jobs"] = jobs.size();
   out["scaling_ratio"] = ratio;
   out["results"] = util::Json(std::move(results));

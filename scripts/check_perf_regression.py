@@ -2,19 +2,29 @@
 """Guard against simulator-throughput collapse and decision-latency blowups.
 
 Compares a fresh BENCH_sim_scale.json (typically from `bench_sim_scale
---quick` on a CI runner) against the checked-in baseline, cell by cell
-(nodes, policy). CI hardware is unrelated to the machine that produced the
-baseline and the quick trace is smaller than the full one, so absolute
-numbers are not comparable — the guard only fails when a cell collapses by
-more than a tolerance factor, which catches algorithmic regressions (an
-accidental O(N) scan in the hot loop, a disabled memo cache) while
-shrugging off runner noise. Two signals are checked per cell:
+--quick` on a CI runner) against the checked-in baseline
+(bench/baselines/sim_scale.json), cell by cell (nodes, policy). CI
+hardware is unrelated to the machine that produced the baseline and the
+quick trace is smaller than the full one, so absolute numbers are not
+comparable — the guard only fails when a cell moves by more than a
+tolerance factor, which catches algorithmic regressions (an accidental
+O(N) scan in the hot loop, a disabled memo cache, a fast-path flag wired
+to the slow path) while shrugging off runner noise. Three signals are
+checked per cell:
 
   * events_per_sec must not collapse by more than --tolerance (default 8x);
+  * decision_us_mean must not grow by more than --mean-tolerance
+    (default 8x) — the headline number of the fast decision path
+    (DESIGN.md section 10); losing one of the SimOptFlags optimizations
+    moves it far more than runner noise does;
   * decision_us_p99 must not grow by more than --latency-tolerance
-    (default 8x) — the per-decision tail is what sns::xray attributes, and
-    a span site accidentally left on the unsampled path shows up here
-    first.
+    (default 8x) — the per-decision tail is what sns::xray attributes,
+    and a span site accidentally left on the unsampled path shows up
+    here first.
+
+On failure the full delta table is printed so the offending cells are
+readable straight from the CI log. Baseline rows missing a field skip
+that signal (older baselines predate decision_us_mean).
 
 With --xray-overhead FILE the script additionally gates the recorded
 sns::xray sampled-mode overhead (BENCH_xray_overhead.json written by
@@ -28,6 +38,17 @@ regression, 2 on bad input.
 import argparse
 import json
 import sys
+
+DEFAULT_BASELINE = "bench/baselines/sim_scale.json"
+
+# (json field, direction, human label). Direction "min" fails when the
+# current value collapses below baseline/tolerance (bigger is better);
+# "max" fails when it grows past baseline*tolerance (smaller is better).
+SIGNALS = [
+    ("events_per_sec", "min", "events/sec"),
+    ("decision_us_mean", "max", "decision_us_mean"),
+    ("decision_us_p99", "max", "decision_us_p99"),
+]
 
 
 def load_json(path):
@@ -43,59 +64,76 @@ def load_cells(path):
     doc = load_json(path)
     cells = {}
     for row in doc.get("results", []):
-        cells[(row["nodes"], row["policy"])] = row
+        try:
+            cells[(row["nodes"], row["policy"])] = row
+        except (KeyError, TypeError):
+            print(f"error: malformed result row in {path}", file=sys.stderr)
+            sys.exit(2)
     if not cells:
         print(f"error: {path} has no results", file=sys.stderr)
         sys.exit(2)
     return cells
 
 
-def check_throughput(base, cur, tolerance):
-    regressions = []
+def compare_cells(base, cur, tolerances):
+    """Per-cell, per-signal comparison.
+
+    Returns (rows, regressions, compared): rows feed the delta table
+    (cell values keyed by signal field, None where not comparable),
+    regressions maps signal field -> offending (nodes, policy) keys, and
+    compared counts cells with at least one comparable signal.
+    """
+    rows = []
+    regressions = {field: [] for field, _, _ in SIGNALS}
     compared = 0
-    print(f"{'nodes':>6} {'policy':<6} {'baseline ev/s':>14} "
-          f"{'current ev/s':>14} {'ratio':>7}")
     for key in sorted(base):
         if key not in cur:
-            print(f"{key[0]:>6} {key[1]:<6} {'':>14} {'(missing)':>14}")
+            rows.append((key, None))
             continue
-        b = base[key]["events_per_sec"]
-        c = cur[key]["events_per_sec"]
-        if b <= 0 or c <= 0:
-            continue
-        compared += 1
-        ratio = c / b
-        flag = ""
-        if ratio * tolerance < 1.0:
-            flag = "  << REGRESSION"
-            regressions.append(key)
-        print(f"{key[0]:>6} {key[1]:<6} {b:>14.0f} {c:>14.0f} "
-              f"{ratio:>6.2f}x{flag}")
-    return compared, regressions
+        cells = {}
+        any_signal = False
+        for field, direction, _ in SIGNALS:
+            b = base[key].get(field, 0) or 0
+            c = cur[key].get(field, 0) or 0
+            if b <= 0 or c <= 0:
+                cells[field] = None  # signal absent/zero in one side
+                continue
+            any_signal = True
+            ratio = c / b
+            tol = tolerances[field]
+            bad = (ratio * tol < 1.0) if direction == "min" else (ratio > tol)
+            if bad:
+                regressions[field].append(key)
+            cells[field] = (b, c, ratio, bad)
+        if any_signal:
+            compared += 1
+        rows.append((key, cells))
+    return rows, regressions, compared
 
 
-def check_latency(base, cur, tolerance):
-    """decision_us_p99 growth per cell; baselines without the field skip."""
-    regressions = []
-    compared = 0
-    print(f"\n{'nodes':>6} {'policy':<6} {'baseline p99 us':>16} "
-          f"{'current p99 us':>16} {'ratio':>7}")
-    for key in sorted(base):
-        if key not in cur:
+def render_delta_table(rows):
+    out = [f"{'nodes':>6} {'policy':<6} "
+           f"{'ev/s base':>10} {'ev/s cur':>10} {'ratio':>8}  "
+           f"{'mean base':>10} {'mean cur':>10} {'ratio':>8}  "
+           f"{'p99 base':>10} {'p99 cur':>10} {'ratio':>8}"]
+
+    def fmt(cell):
+        if cell is None:
+            return f"{'-':>10} {'-':>10} {'-':>8}"
+        b, c, ratio, bad = cell
+        mark = "!" if bad else " "
+        return f"{b:>10.1f} {c:>10.1f} {ratio:>6.2f}x{mark}"
+
+    for key, cells in rows:
+        if cells is None:
+            out.append(f"{key[0]:>6} {key[1]:<6} (missing from current run)")
             continue
-        b = base[key].get("decision_us_p99", 0)
-        c = cur[key].get("decision_us_p99", 0)
-        if b <= 0 or c <= 0:
-            continue
-        compared += 1
-        ratio = c / b
-        flag = ""
-        if ratio > tolerance:
-            flag = "  << REGRESSION"
-            regressions.append(key)
-        print(f"{key[0]:>6} {key[1]:<6} {b:>16.1f} {c:>16.1f} "
-              f"{ratio:>6.2f}x{flag}")
-    return compared, regressions
+        out.append(f"{key[0]:>6} {key[1]:<6} "
+                   f"{fmt(cells['events_per_sec'])}  "
+                   f"{fmt(cells['decision_us_mean'])}  "
+                   f"{fmt(cells['decision_us_p99'])}")
+    out.append("('!' marks a ratio outside its tolerance)")
+    return "\n".join(out)
 
 
 def check_xray(path, budget):
@@ -113,12 +151,16 @@ def check_xray(path, budget):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", default="BENCH_sim_scale.json",
-                    help="checked-in reference results")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="checked-in reference results "
+                         f"(default {DEFAULT_BASELINE})")
     ap.add_argument("--current",
                     help="fresh results to validate")
     ap.add_argument("--tolerance", type=float, default=8.0,
                     help="max allowed events/sec collapse factor (default 8)")
+    ap.add_argument("--mean-tolerance", type=float, default=8.0,
+                    help="max allowed decision_us_mean growth factor "
+                         "(default 8)")
     ap.add_argument("--latency-tolerance", type=float, default=8.0,
                     help="max allowed decision_us_p99 growth factor "
                          "(default 8)")
@@ -135,29 +177,31 @@ def main():
     if args.current is not None:
         base = load_cells(args.baseline)
         cur = load_cells(args.current)
-
-        compared, regressions = check_throughput(base, cur, args.tolerance)
-        lat_compared, lat_regressions = check_latency(
-            base, cur, args.latency_tolerance)
+        tolerances = {
+            "events_per_sec": args.tolerance,
+            "decision_us_mean": args.mean_tolerance,
+            "decision_us_p99": args.latency_tolerance,
+        }
+        rows, regressions, compared = compare_cells(base, cur, tolerances)
+        print(render_delta_table(rows))
         if compared == 0:
             print("error: no comparable cells between baseline and current",
                   file=sys.stderr)
             return 2
-        if regressions:
-            cells = ", ".join(f"{n} nodes/{p}" for n, p in regressions)
-            print(f"\nFAIL: events/sec collapsed by more than "
-                  f"{args.tolerance:.0f}x in: {cells}", file=sys.stderr)
-            failed = True
-        if lat_regressions:
-            cells = ", ".join(f"{n} nodes/{p}" for n, p in lat_regressions)
-            print(f"\nFAIL: decision_us_p99 grew by more than "
-                  f"{args.latency_tolerance:.0f}x in: {cells}",
-                  file=sys.stderr)
+        for field, direction, label in SIGNALS:
+            if not regressions[field]:
+                continue
+            cells = ", ".join(f"{n} nodes/{p}" for n, p in regressions[field])
+            verb = ("collapsed by more than"
+                    if direction == "min" else "grew by more than")
+            print(f"\nFAIL: {label} {verb} {tolerances[field]:.0f}x in: "
+                  f"{cells}", file=sys.stderr)
             failed = True
         if not failed:
-            print(f"\nOK: {compared} throughput cell(s) within the "
-                  f"{args.tolerance:.0f}x tolerance, {lat_compared} latency "
-                  f"cell(s) within {args.latency_tolerance:.0f}x")
+            print(f"\nOK: {compared} cell(s) within tolerance "
+                  f"(events/sec {args.tolerance:.0f}x, mean "
+                  f"{args.mean_tolerance:.0f}x, p99 "
+                  f"{args.latency_tolerance:.0f}x)")
 
     if args.xray_overhead is not None:
         if not check_xray(args.xray_overhead, args.xray_budget):

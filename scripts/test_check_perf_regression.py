@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Unit tests for check_perf_regression.py (registered under ctest).
+
+Each test drives the script as a subprocess against synthetic baseline /
+current JSON pairs in a temp directory and asserts on the exit status
+and the delta-table / FAIL output, because the exit status is the CI
+contract: 0 clean, 1 regression, 2 bad input.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "check_perf_regression.py")
+
+
+def make_doc(cells):
+    """cells: list of (nodes, policy, ev/s, mean, p99) -> bench JSON doc."""
+    results = []
+    for nodes, policy, evs, mean, p99 in cells:
+        row = {"nodes": nodes, "policy": policy, "events_per_sec": evs}
+        if mean is not None:
+            row["decision_us_mean"] = mean
+        if p99 is not None:
+            row["decision_us_p99"] = p99
+        results.append(row)
+    return {"bench": "sim_scale", "results": results}
+
+
+class CheckPerfRegressionTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_script(self, *args):
+        return subprocess.run([sys.executable, SCRIPT, *args],
+                              capture_output=True, text=True)
+
+    def run_pair(self, base_cells, cur_cells, *extra):
+        base = self.write("base.json", make_doc(base_cells))
+        cur = self.write("cur.json", make_doc(cur_cells))
+        return self.run_script("--baseline", base, "--current", cur, *extra)
+
+    def test_identical_results_pass(self):
+        cells = [(4096, "CE", 200000.0, 5.0, 90.0),
+                 (4096, "SNS", 20000.0, 55.0, 500.0)]
+        r = self.run_pair(cells, cells)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("OK:", r.stdout)
+
+    def test_throughput_collapse_fails(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(4096, "SNS", 1000.0, 55.0, 500.0)]  # 20x collapse
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("events/sec", r.stderr)
+        self.assertIn("4096 nodes/SNS", r.stderr)
+
+    def test_mean_growth_fails(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(4096, "SNS", 20000.0, 1100.0, 500.0)]  # 20x mean growth
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("decision_us_mean", r.stderr)
+        self.assertNotIn("decision_us_p99", r.stderr)
+
+    def test_p99_growth_fails(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(4096, "SNS", 20000.0, 55.0, 12000.0)]  # 24x p99 growth
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("decision_us_p99", r.stderr)
+        self.assertNotIn("decision_us_mean", r.stderr)
+
+    def test_growth_within_tolerance_passes(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(4096, "SNS", 5000.0, 300.0, 3000.0)]  # all < 8x
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_tighter_mean_tolerance_flag(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(4096, "SNS", 20000.0, 300.0, 500.0)]  # ~5.5x mean growth
+        self.assertEqual(self.run_pair(base, cur).returncode, 0)
+        r = self.run_pair(base, cur, "--mean-tolerance", "4")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("decision_us_mean", r.stderr)
+
+    def test_baseline_missing_mean_skips_that_signal(self):
+        # Baselines predating decision_us_mean gate only ev/s and p99.
+        base = [(4096, "SNS", 20000.0, None, 500.0)]
+        cur = [(4096, "SNS", 20000.0, 9999.0, 500.0)]
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_empty_results_is_bad_input(self):
+        base = self.write("base.json", {"results": []})
+        cur = self.write("cur.json",
+                         make_doc([(4096, "SNS", 1.0, 1.0, 1.0)]))
+        r = self.run_script("--baseline", base, "--current", cur)
+        self.assertEqual(r.returncode, 2)
+
+    def test_missing_file_is_bad_input(self):
+        cur = self.write("cur.json", make_doc([(4096, "SNS", 1.0, 1.0, 1.0)]))
+        r = self.run_script("--baseline",
+                            os.path.join(self.tmp.name, "nope.json"),
+                            "--current", cur)
+        self.assertEqual(r.returncode, 2)
+
+    def test_no_overlapping_cells_is_bad_input(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(8192, "CE", 20000.0, 5.0, 90.0)]
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("(missing from current run)", r.stdout)
+
+    def test_delta_table_marks_offender(self):
+        base = [(4096, "CE", 200000.0, 5.0, 90.0),
+                (4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(4096, "CE", 200000.0, 5.0, 90.0),
+               (4096, "SNS", 20000.0, 55.0, 12000.0)]
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("24.00x!", r.stdout)
+
+    def test_xray_over_budget_fails(self):
+        xray = self.write("xray.json", {"sampled_overhead": 0.5})
+        r = self.run_script("--xray-overhead", xray)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("budget", r.stderr)
+
+    def test_xray_within_budget_passes(self):
+        xray = self.write("xray.json", {"sampled_overhead": 0.02})
+        r = self.run_script("--xray-overhead", xray)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

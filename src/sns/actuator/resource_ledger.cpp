@@ -1,11 +1,64 @@
 #include "sns/actuator/resource_ledger.hpp"
 
 #include <algorithm>
+#include <future>
+#include <limits>
 #include <map>
 
 #include "sns/util/error.hpp"
+#include "sns/util/thread_pool.hpp"
 
 namespace sns::actuator {
+
+namespace {
+
+/// Bounds for the selection cache: the dirty log halves itself past this
+/// size (older entries lose node-level revalidation and just recompute),
+/// and the entry map wipes wholesale — a contended simulation cycles
+/// through a few dozen distinct queries, so neither bound is reached in
+/// practice.
+constexpr std::size_t kMaxDirtyLog = 4096;
+constexpr std::size_t kMaxCacheEntries = 8192;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Score `ids` into `out` as (score, id) pairs — sharded across pool
+/// workers when the candidate set is large enough, serial otherwise.
+/// Shards are fixed index ranges and every score lands at its candidate's
+/// index, so the filled array is independent of worker timing.
+template <typename ScoreFn>
+void fillScores(util::ThreadPool* pool, std::size_t min_parallel,
+                const int* ids, std::size_t n,
+                std::vector<std::pair<double, int>>& out, const ScoreFn& fn) {
+  out.resize(n);
+  if (pool != nullptr && n >= min_parallel && pool->threadCount() > 1) {
+    const std::size_t shards = pool->threadCount();
+    const std::size_t chunk = (n + shards - 1) / shards;
+    std::vector<std::future<void>> pending;
+    pending.reserve(shards - 1);
+    for (std::size_t t = 1; t < shards; ++t) {
+      const std::size_t b = chunk * t;
+      if (b >= n) break;
+      const std::size_t e = std::min(n, b + chunk);
+      pending.push_back(pool->submit([&out, &fn, ids, b, e] {
+        for (std::size_t i = b; i < e; ++i) out[i] = {fn(ids[i]), ids[i]};
+      }));
+    }
+    for (std::size_t i = 0; i < std::min(n, chunk); ++i) {
+      out[i] = {fn(ids[i]), ids[i]};
+    }
+    for (auto& f : pending) f.get();
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = {fn(ids[i]), ids[i]};
+}
+
+}  // namespace
 
 ResourceLedger::ResourceLedger(int nodes, const hw::MachineConfig& mach)
     : mach_(&mach) {
@@ -14,6 +67,10 @@ ResourceLedger::ResourceLedger(int nodes, const hw::MachineConfig& mach)
   buckets_.assign(static_cast<std::size_t>(mach.cores) + 1, NodeBitset(nodes));
   auto& idle_bucket = buckets_[static_cast<std::size_t>(mach.cores)];
   for (int i = 0; i < nodes; ++i) idle_bucket.insert(i);
+  cw_grid_.assign(static_cast<std::size_t>(mach.cores + 1) *
+                      static_cast<std::size_t>(mach.llc_ways + 1),
+                  0);
+  gridCell(mach.cores, mach.llc_ways) = nodes;
 }
 
 const NodeLedger& ResourceLedger::node(int id) const {
@@ -37,15 +94,20 @@ void ResourceLedger::reindex(int id, int old_idle) {
 
 void ResourceLedger::allocate(int nd, JobId job, const NodeAllocation& alloc) {
   const int old_idle = node(nd).idleCores();
+  const int old_fw = node(nd).freeWays();
   mutableNode(nd).allocate(job, alloc);
   total_cores_used_ += alloc.cores;
   total_ways_reserved_ += alloc.ways;
   total_bw_reserved_ += alloc.bw_gbps;
   reindex(nd, old_idle);
+  --gridCell(old_idle, old_fw);
+  ++gridCell(node(nd).idleCores(), node(nd).freeWays());
+  if (cache_on_) noteMutation(old_idle, node(nd).idleCores(), false);
 }
 
 void ResourceLedger::release(int nd, JobId job) {
   const int old_idle = node(nd).idleCores();
+  const int old_fw = node(nd).freeWays();
   const NodeAllocation alloc = node(nd).allocation(job);
   mutableNode(nd).release(job);
   total_cores_used_ -= alloc.cores;
@@ -57,9 +119,15 @@ void ResourceLedger::release(int nd, JobId job) {
   // cluster is an unambiguous resync point: snap back to exact zero.
   if (total_cores_used_ == 0) total_bw_reserved_ = 0.0;
   reindex(nd, old_idle);
+  --gridCell(old_idle, old_fw);
+  ++gridCell(node(nd).idleCores(), node(nd).freeWays());
+  ++release_epoch_;
+  release_idle_watermark_ = std::max(release_idle_watermark_, node(nd).idleCores());
+  if (cache_on_) noteMutation(old_idle, node(nd).idleCores(), true);
 }
 
 std::vector<int> ResourceLedger::feasibleNodes(const NodeAllocation& request) const {
+  query_core_floor_ = std::min(query_core_floor_, request.cores);
   std::vector<int> out;
   if (full_scan_) {
     // Legacy path: regroup all nodes by idle-core count on the fly.
@@ -76,12 +144,68 @@ std::vector<int> ResourceLedger::feasibleNodes(const NodeAllocation& request) co
     return out;
   }
   for (int c = mach_->cores; c >= std::max(0, request.cores); --c) {
-    buckets_[static_cast<std::size_t>(c)].scan([&](int id) {
-      if (node(id).fits(request)) out.push_back(id);
-      return true;
-    });
+    const auto& bucket = buckets_[static_cast<std::size_t>(c)];
+    if (bucket.empty()) continue;
+    scanBucket(bucket, request, std::numeric_limits<std::size_t>::max(), out);
   }
   return out;
+}
+
+void ResourceLedger::scanBucket(const NodeBitset& bucket,
+                                const NodeAllocation& request, std::size_t cap,
+                                std::vector<int>& dest) const {
+  const std::size_t begin = dest.size();
+  if (pool_ == nullptr ||
+      static_cast<std::size_t>(bucket.size()) < min_parallel_ ||
+      pool_->threadCount() <= 1) {
+    bucket.scan([&](int id) {
+      if (nodes_[static_cast<std::size_t>(id)].fits(request)) dest.push_back(id);
+      return dest.size() - begin < cap;
+    });
+    return;
+  }
+  // Sharded scan with ordered merge: shard boundaries are fixed bitmap word
+  // ranges (a function of node id only), each shard is capped at `cap` (no
+  // shard can contribute more than the whole scan keeps), and the merge
+  // concatenates shards in order — bit-for-bit the serial scan's capped
+  // prefix, regardless of worker timing. Workers read immutable node state
+  // and write only their own scratch vector; f.get() sequences every write
+  // before the merge.
+  const std::size_t shards = pool_->threadCount();
+  if (shard_scratch_.size() < shards) shard_scratch_.resize(shards);
+  const std::size_t words = bucket.wordCount();
+  const std::size_t chunk = (words + shards - 1) / shards;
+  const std::size_t used = (words + chunk - 1) / chunk;
+  std::vector<std::future<void>> pending;
+  pending.reserve(used - 1);
+  for (std::size_t t = 1; t < used; ++t) {
+    const std::size_t wb = chunk * t;
+    const std::size_t we = std::min(words, wb + chunk);
+    auto& out = shard_scratch_[t];
+    pending.push_back(
+        pool_->submit([this, &bucket, &request, &out, wb, we, cap] {
+          out.clear();
+          bucket.scanWords(wb, we, [&](int id) {
+            if (nodes_[static_cast<std::size_t>(id)].fits(request)) {
+              out.push_back(id);
+            }
+            return out.size() < cap;
+          });
+        }));
+  }
+  auto& own = shard_scratch_[0];
+  own.clear();
+  bucket.scanWords(0, std::min(words, chunk), [&](int id) {
+    if (nodes_[static_cast<std::size_t>(id)].fits(request)) own.push_back(id);
+    return own.size() < cap;
+  });
+  for (auto& f : pending) f.get();
+  for (std::size_t t = 0; t < used; ++t) {
+    for (int id : shard_scratch_[t]) {
+      if (dest.size() - begin >= cap) return;
+      dest.push_back(id);
+    }
+  }
 }
 
 void ResourceLedger::collectCandidates(const NodeAllocation& request,
@@ -111,11 +235,7 @@ void ResourceLedger::collectCandidates(const NodeAllocation& request,
   for (int c = from; c <= mach_->cores; ++c) {
     const auto& bucket = buckets_[static_cast<std::size_t>(c)];
     if (bucket.empty()) continue;
-    const std::size_t begin = cand_.size();
-    bucket.scan([&](int id) {
-      if (nodes_[static_cast<std::size_t>(id)].fits(request)) cand_.push_back(id);
-      return cand_.size() - begin < per_group_cap;
-    });
+    scanBucket(bucket, request, per_group_cap, cand_);
     group_end_.push_back(cand_.size());
   }
 }
@@ -123,7 +243,56 @@ void ResourceLedger::collectCandidates(const NodeAllocation& request,
 std::vector<int> ResourceLedger::selectNodes(int count, const NodeAllocation& request,
                                              double beta) const {
   SNS_REQUIRE(count >= 1, "selectNodes() needs count >= 1");
+  query_core_floor_ = std::min(query_core_floor_, request.cores);
 
+  // Exclusive requests are a provable special case: they only fit on
+  // completely idle nodes (every resident allocation holds >= 1 core), so
+  // all candidates live in one group and score exactly 0.0 — the ranked
+  // prefix is the first `count` candidates, making any scan window
+  // >= count equivalent and the scoring pass unnecessary. CE and the
+  // E-mode arm of SNS place this request for every multi-node job, with
+  // `count` in the thousands on Fig 20 clusters. Already O(1) on failure,
+  // so the selection cache skips them.
+  if (request.exclusive) {
+    // Candidates can only be fully idle nodes, so when the free list is
+    // already too small the scan cannot succeed — failed placement
+    // attempts (a deep queue probing an overcommitted cluster every
+    // scheduling point) cost O(1) instead of a walk over every idle node.
+    // The full-scan path reaches the same empty answer by scanning.
+    if (!full_scan_ &&
+        buckets_[static_cast<std::size_t>(mach_->cores)].size() < count) {
+      return {};
+    }
+    collectCandidates(request, static_cast<std::size_t>(count));
+    if (cand_.size() < static_cast<std::size_t>(count)) return {};
+    std::size_t begin = 0;
+    for (std::size_t end : group_end_) {
+      if (end - begin >= static_cast<std::size_t>(count)) {
+        return {cand_.begin() + static_cast<std::ptrdiff_t>(begin),
+                cand_.begin() + static_cast<std::ptrdiff_t>(begin + count)};
+      }
+      begin = end;
+    }
+    return {};
+  }
+
+  if (!cache_on_) return selectNodesRanked(count, request, beta);
+  const SelectQuery q = makeQuery(/*kind=*/0, count, request, beta);
+  if (const std::vector<int>* hit = cacheLookup(q)) return *hit;
+  std::vector<int> out;
+  // Fast fail: the suffix bucket population bounds the feasible set from
+  // above, so fewer than `count` nodes with enough idle cores proves the
+  // scans below would come back empty — without reading one node ledger.
+  if (feasibleUpperBound(request.cores, request.ways, count) >= count) {
+    out = selectNodesRanked(count, request, beta);
+  }
+  cacheStore(q, out, count, request, beta, /*kind=*/0);
+  return out;
+}
+
+std::vector<int> ResourceLedger::selectNodesRanked(int count,
+                                                   const NodeAllocation& request,
+                                                   double beta) const {
   // Rank `ids` by the node score Co + Bo + beta x Wo (hoisted: one score
   // evaluation per candidate, not per comparison), id as the deterministic
   // tie-break, and return the best `count`. Only the winning prefix is
@@ -131,17 +300,15 @@ std::vector<int> ResourceLedger::selectNodes(int count, const NodeAllocation& re
   // order, making the prefix identical to a full sort's.
   // `ids_ascending` marks callers whose candidate list is already in
   // ascending id order (a single group's scan); when additionally every
-  // candidate scores the same — the dominant case for exclusive requests,
-  // where all candidates are fully idle and score exactly 0.0 — the ranked
-  // prefix is just the first `count` ids, no sort needed.
+  // candidate scores the same, the ranked prefix is just the first `count`
+  // ids, no sort needed.
   auto best = [&](const int* ids, std::size_t n, bool ids_ascending) {
-    rank_scratch_.clear();
+    fillScores(pool_, min_parallel_, ids, n, rank_scratch_, [&](int id) {
+      return nodes_[static_cast<std::size_t>(id)].score(beta);
+    });
     bool uniform = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      const int id = ids[i];
-      const double s = nodes_[static_cast<std::size_t>(id)].score(beta);
-      uniform = uniform && (i == 0 || s == rank_scratch_.front().first);
-      rank_scratch_.emplace_back(s, id);
+    for (std::size_t i = 1; i < n && uniform; ++i) {
+      uniform = rank_scratch_[i].first == rank_scratch_.front().first;
     }
     if (!(uniform && ids_ascending)) {
       // Identical prefix either way (strict total order); heap-based
@@ -168,36 +335,6 @@ std::vector<int> ResourceLedger::selectNodes(int count, const NodeAllocation& re
   // Co + Bo + beta x Wo. If no single group suffices, fall back to the
   // idlest feasible nodes cluster-wide. Bucket scans are capped so a
   // single placement stays sub-linear on 32K-node clusters.
-  // Exclusive requests are a provable special case: they only fit on
-  // completely idle nodes (every resident allocation holds >= 1 core), so
-  // all candidates live in one group and score exactly 0.0 — the ranked
-  // prefix is the first `count` candidates, making any scan window
-  // >= count equivalent and the scoring pass unnecessary. CE and the
-  // E-mode arm of SNS place this request for every multi-node job, with
-  // `count` in the thousands on Fig 20 clusters.
-  if (request.exclusive) {
-    // Candidates can only be fully idle nodes, so when the free list is
-    // already too small the scan cannot succeed — failed placement
-    // attempts (a deep queue probing an overcommitted cluster every
-    // scheduling point) cost O(1) instead of a walk over every idle node.
-    // The full-scan path reaches the same empty answer by scanning.
-    if (!full_scan_ &&
-        buckets_[static_cast<std::size_t>(mach_->cores)].size() < count) {
-      return {};
-    }
-    collectCandidates(request, static_cast<std::size_t>(count));
-    if (cand_.size() < static_cast<std::size_t>(count)) return {};
-    std::size_t begin = 0;
-    for (std::size_t end : group_end_) {
-      if (end - begin >= static_cast<std::size_t>(count)) {
-        return {cand_.begin() + static_cast<std::ptrdiff_t>(begin),
-                cand_.begin() + static_cast<std::ptrdiff_t>(begin + count)};
-      }
-      begin = end;
-    }
-    return {};
-  }
-
   const std::size_t scan_cap =
       std::max<std::size_t>(64, 2 * static_cast<std::size_t>(count) + 8);
   collectCandidates(request, scan_cap);
@@ -218,6 +355,20 @@ std::vector<int> ResourceLedger::selectNodes(int count, const NodeAllocation& re
 std::vector<int> ResourceLedger::selectNodesByAlignment(
     int count, const NodeAllocation& request) const {
   SNS_REQUIRE(count >= 1, "selectNodesByAlignment() needs count >= 1");
+  query_core_floor_ = std::min(query_core_floor_, request.cores);
+  if (!cache_on_ || request.exclusive) return selectNodesAligned(count, request);
+  const SelectQuery q = makeQuery(/*kind=*/1, count, request, /*beta=*/0.0);
+  if (const std::vector<int>* hit = cacheLookup(q)) return *hit;
+  std::vector<int> out;
+  if (feasibleUpperBound(request.cores, request.ways, count) >= count) {
+    out = selectNodesAligned(count, request);
+  }
+  cacheStore(q, out, count, request, /*beta=*/0.0, /*kind=*/1);
+  return out;
+}
+
+std::vector<int> ResourceLedger::selectNodesAligned(
+    int count, const NodeAllocation& request) const {
   auto candidates = feasibleNodes(request);
   if (static_cast<int>(candidates.size()) < count) return {};
 
@@ -248,8 +399,8 @@ std::vector<int> ResourceLedger::selectNodesByAlignment(
   // strict total order (id tie-break), so the selected prefix is identical
   // to what a full sort would produce.
   std::vector<std::pair<double, int>> scored;
-  scored.reserve(candidates.size());
-  for (int id : candidates) scored.emplace_back(alignment(id), id);
+  fillScores(pool_, min_parallel_, candidates.data(), candidates.size(),
+             scored, alignment);
   std::partial_sort(scored.begin(), scored.begin() + count, scored.end(),
                     [](const std::pair<double, int>& a,
                        const std::pair<double, int>& b) {
@@ -270,6 +421,171 @@ int ResourceLedger::idleNodeCount() const {
     return idle;
   }
   return static_cast<int>(buckets_[static_cast<std::size_t>(mach_->cores)].size());
+}
+
+// ---- selection cache --------------------------------------------------------
+
+void ResourceLedger::setSelectionCache(bool on) {
+  cache_on_ = on;
+  sel_cache_.clear();
+  dirty_log_.clear();
+  dirty_floor_ = change_version_;
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+}
+
+void ResourceLedger::setSearchPool(util::ThreadPool* pool,
+                                   int min_parallel_nodes) {
+  pool_ = pool;
+  min_parallel_ = static_cast<std::size_t>(std::max(1, min_parallel_nodes));
+}
+
+ResourceLedger::SelectQuery ResourceLedger::makeQuery(
+    int kind, int count, const NodeAllocation& request, double beta) {
+  SelectQuery q;
+  q.kind = kind;
+  q.count = count;
+  q.cores = request.cores;
+  q.ways = request.ways;
+  q.bw_bits = std::bit_cast<std::uint64_t>(request.bw_gbps);
+  q.net_bits = std::bit_cast<std::uint64_t>(request.net_gbps);
+  q.beta_bits = std::bit_cast<std::uint64_t>(beta);
+  return q;
+}
+
+std::size_t ResourceLedger::SelectQueryHash::operator()(
+    const SelectQuery& q) const {
+  std::uint64_t h =
+      mix64((static_cast<std::uint64_t>(static_cast<std::uint32_t>(q.kind)) << 48) ^
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(q.count)) << 32) ^
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(q.cores)) << 16) ^
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(q.ways)));
+  h = mix64(h ^ q.bw_bits);
+  h = mix64(h ^ q.net_bits);
+  h = mix64(h ^ q.beta_bits);
+  return static_cast<std::size_t>(h);
+}
+
+void ResourceLedger::noteMutation(int old_idle, int new_idle, bool released) {
+  ++change_version_;
+  if (released) last_release_version_ = change_version_;
+  if (dirty_log_.size() >= kMaxDirtyLog) {
+    // Drop the older half; entries filled before the new floor lose
+    // node-level revalidation and simply recompute on their next lookup.
+    const std::size_t half = dirty_log_.size() / 2;
+    dirty_floor_ = dirty_log_[half - 1].version;
+    dirty_log_.erase(dirty_log_.begin(),
+                     dirty_log_.begin() + static_cast<std::ptrdiff_t>(half));
+  }
+  dirty_log_.push_back({change_version_, std::max(old_idle, new_idle), released});
+}
+
+bool ResourceLedger::entryStillValid(const CacheEntry& e) const {
+  if (e.version == change_version_) return true;
+  const int from = std::max(0, e.request.cores);
+  if (e.nodes.empty()) {
+    // Failure certificate: an empty result proved fewer than `count` nodes
+    // could hold the request. Allocations only shrink capacity, so the
+    // conclusion stands until a release — and only a release that lifts
+    // the freed node's idle cores into the scanned range [cores, max]
+    // can add a node the query would now see (a release's max_idle IS its
+    // post-release idle count, since releasing only raises it).
+    if (last_release_version_ <= e.version) return true;
+    if (e.version < dirty_floor_) return false;
+    for (auto ev = dirty_log_.rbegin();
+         ev != dirty_log_.rend() && ev->version > e.version; ++ev) {
+      if (ev->released && ev->max_idle >= from) return false;
+    }
+    return true;
+  }
+  // Node-level revalidation: the query read exactly the nodes whose
+  // idle-core count lies in [request.cores, cores]. A mutation whose
+  // touched node stayed below that range (before and after) cannot have
+  // changed any input the query read; if every event since the fill is
+  // such a mutation, the result is unchanged.
+  if (e.version < dirty_floor_) return false;
+  for (auto ev = dirty_log_.rbegin();
+       ev != dirty_log_.rend() && ev->version > e.version; ++ev) {
+    if (ev->max_idle >= from) return false;
+  }
+  return true;
+}
+
+const std::vector<int>* ResourceLedger::cacheLookup(const SelectQuery& q) const {
+  const auto it = sel_cache_.find(q);
+  if (it != sel_cache_.end() && entryStillValid(it->second)) {
+    // Touch: the entry is proven valid at the current version, so future
+    // checks only need to consider mutations from here on.
+    it->second.version = change_version_;
+    ++cache_hits_;
+    return &it->second.nodes;
+  }
+  ++cache_misses_;
+  return nullptr;
+}
+
+void ResourceLedger::cacheStore(const SelectQuery& q,
+                                const std::vector<int>& result, int count,
+                                const NodeAllocation& request, double beta,
+                                int kind) const {
+  if (sel_cache_.size() >= kMaxCacheEntries) {
+    sel_cache_.clear();
+    // With no live entries the history protects nothing; restart the log.
+    dirty_log_.clear();
+    dirty_floor_ = change_version_;
+  }
+  CacheEntry e;
+  e.nodes = result;
+  e.version = change_version_;
+  e.request = request;
+  e.count = count;
+  e.kind = kind;
+  e.beta = beta;
+  sel_cache_[q] = std::move(e);
+}
+
+int ResourceLedger::feasibleUpperBound(int from, int ways, int enough) const {
+  // #{nodes : idleCores >= from AND freeWays >= ways} — counted exactly
+  // from the (idle-cores x free-ways) population grid, so it bounds the
+  // feasible set from above (fits() additionally checks bandwidth,
+  // network and exclusivity, which only shrink it further). Callers pass
+  // the candidate count they need in `enough`: the suffix sum stops as
+  // soon as the bound proves the scan could succeed, so the common
+  // feasible case costs a handful of adds and the provably-empty case at
+  // most one pass over the grid.
+  int n = 0;
+  const int w0 = std::max(0, ways);
+  for (int c = mach_->cores; c >= std::max(0, from); --c) {
+    const std::int32_t* row = cw_grid_.data() +
+                              static_cast<std::size_t>(c) *
+                                  static_cast<std::size_t>(mach_->llc_ways + 1);
+    for (int w = w0; w <= mach_->llc_ways; ++w) n += row[w];
+    if (n >= enough) return n;
+  }
+  return n;
+}
+
+std::vector<std::string> ResourceLedger::auditSelectionCache() const {
+  std::vector<std::string> out;
+  if (!cache_on_) return out;
+  // Violations are sorted below, so map order never reaches output.
+  for (const auto& [q, e] : sel_cache_) {  // snslint: allow(unordered-iteration)
+    // An entry the lookup would not serve recomputes on next use; only
+    // currently-reusable entries can return stale data.
+    if (!entryStillValid(e)) continue;
+    const std::vector<int> fresh =
+        e.kind == 1 ? selectNodesAligned(e.count, e.request)
+                    : selectNodesRanked(e.count, e.request, e.beta);
+    if (fresh != e.nodes) {
+      out.push_back("selection cache entry stale: kind=" + std::to_string(e.kind) +
+                    " count=" + std::to_string(e.count) +
+                    " cores=" + std::to_string(e.request.cores) +
+                    " cached_n=" + std::to_string(e.nodes.size()) +
+                    " fresh_n=" + std::to_string(fresh.size()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace sns::actuator

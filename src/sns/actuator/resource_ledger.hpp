@@ -2,10 +2,18 @@
 
 #include <bit>
 #include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sns/actuator/node_ledger.hpp"
 #include "sns/hw/machine.hpp"
+
+namespace sns::util {
+class ThreadPool;
+}
 
 namespace sns::actuator {
 
@@ -64,6 +72,25 @@ class NodeBitset {
     }
   }
 
+  std::size_t wordCount() const { return words_.size(); }
+
+  /// Visit members whose ids fall in word range [w_begin, w_end), ascending;
+  /// the visitor returns false to stop early. Shardable form of scan() for
+  /// the parallel candidate search: word boundaries are fixed by id, so a
+  /// sharded scan concatenated in shard order reproduces scan()'s sequence.
+  template <typename Fn>
+  void scanWords(std::size_t w_begin, std::size_t w_end, Fn&& fn) const {
+    const std::size_t end = std::min(w_end, words_.size());
+    for (std::size_t w = w_begin; w < end; ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int id = static_cast<int>(w << 6) + std::countr_zero(bits);
+        if (!fn(id)) return;
+        bits &= bits - 1;
+      }
+    }
+  }
+
  private:
   std::vector<std::uint64_t> words_;
   int count_ = 0;
@@ -99,6 +126,53 @@ class ResourceLedger {
   /// correctly.
   void setFullScan(bool on) { full_scan_ = on; }
   bool fullScan() const { return full_scan_; }
+
+  /// A/B switch (SimOptFlags::incremental_prune): memoize selection
+  /// queries and reuse the previous decision's result while the ledger
+  /// state it read is provably unchanged. Invalidation is node-level: a
+  /// bounded dirty log records, per allocate/release, the maximum of the
+  /// touched node's idle-core count before and after the mutation; a
+  /// cached query is reusable iff no logged event since its fill reaches
+  /// into the idle-core range [request.cores, cores] the query scanned.
+  /// Cached empty results additionally survive any run of pure
+  /// allocations (failure is monotone: capacity only shrinks until a
+  /// release). Results must be bit-identical to the uncached path; the
+  /// equivalence suite and auditSelectionCache() enforce it.
+  void setSelectionCache(bool on);
+  bool selectionCache() const { return cache_on_; }
+  std::uint64_t selectionCacheHits() const { return cache_hits_; }
+  std::uint64_t selectionCacheMisses() const { return cache_misses_; }
+
+  /// A/B switch (SimOptFlags::parallel_select): shard bucket scans and
+  /// candidate scoring across pool workers when a bucket holds at least
+  /// `min_parallel_nodes` nodes. Shard boundaries are fixed bitmap word
+  /// ranges and the merge concatenates shards in order, so the result is
+  /// identical to the serial scan regardless of worker timing. The pool
+  /// is caller-owned and must outlive the ledger (or be cleared with
+  /// nullptr).
+  void setSearchPool(util::ThreadPool* pool, int min_parallel_nodes = 2048);
+
+  /// Monotone counter bumped on every release(), regardless of flags.
+  /// Scheduler layers key "this request cannot currently be satisfied"
+  /// memos on it: allocations only shrink capacity, so only a release can
+  /// turn a placement failure into a success.
+  std::uint64_t releaseEpoch() const { return release_epoch_; }
+
+  /// Highest post-release idle-core count among releases since the last
+  /// take, then resets the accumulator. Pairs with releaseEpoch(): a
+  /// failure memo tagged "every ledger query asked for >= c idle cores"
+  /// survives a batch of releases whenever none of the freed nodes came
+  /// out with c or more idle cores — no freed node can newly enter any
+  /// query the failed attempt made, so the attempt still fails.
+  int takeReleaseIdleWatermark() { return std::exchange(release_idle_watermark_, -1); }
+
+  /// Minimum request.cores across every selection/feasibility query since
+  /// the last reset. The scheduler brackets a placement attempt with
+  /// reset/read to learn the smallest idle-core count a release must
+  /// reach before the attempt could possibly see different ledger state.
+  /// INT_MAX when no query ran (the attempt never read dynamic state).
+  void resetQueryCoreFloor() const { query_core_floor_ = std::numeric_limits<int>::max(); }
+  int queryCoreFloor() const { return query_core_floor_; }
 
   /// All mutations go through the ledger so the idle-core index stays
   /// consistent.
@@ -171,6 +245,12 @@ class ResourceLedger {
     return buckets_[static_cast<std::size_t>(idle_cores)];
   }
 
+  /// Re-execute every currently-reusable selection-cache entry through the
+  /// uncached path and report any mismatch (sns::audit). Returns
+  /// human-readable violation strings, sorted for determinism; empty when
+  /// the cache is off or consistent.
+  std::vector<std::string> auditSelectionCache() const;
+
   // ---- test hooks (tests/audit) ---------------------------------------------
   /// Deliberately desynchronize the cached core total / the idle-core index
   /// from the per-node truth. Exist ONLY so the audit tests can prove a
@@ -194,6 +274,70 @@ class ResourceLedger {
   /// placement query allocates nothing at steady state.
   void collectCandidates(const NodeAllocation& request,
                          std::size_t per_group_cap) const;
+  /// Scan one bucket for nodes fitting `request`, appending up to `cap`
+  /// ids to `dest` in ascending order — sharded across pool workers when
+  /// the bucket is large enough, serial otherwise; identical output
+  /// either way.
+  void scanBucket(const NodeBitset& bucket, const NodeAllocation& request,
+                  std::size_t cap, std::vector<int>& dest) const;
+  /// The ranked (score / group-preference) selection — the former
+  /// selectNodes() body; selectNodes() wraps it with the exclusive
+  /// shortcut and the selection cache.
+  std::vector<int> selectNodesRanked(int count, const NodeAllocation& request,
+                                     double beta) const;
+  /// The alignment-ranked selection body behind selectNodesByAlignment().
+  std::vector<int> selectNodesAligned(int count,
+                                      const NodeAllocation& request) const;
+
+  // ---- selection cache (incremental candidate pruning) ----------------------
+  struct SelectQuery {
+    std::int32_t kind = 0;  ///< 0 = ranked (selectNodes), 1 = alignment
+    std::int32_t count = 0;
+    std::int32_t cores = 0;
+    std::int32_t ways = 0;
+    std::uint64_t bw_bits = 0;
+    std::uint64_t net_bits = 0;
+    std::uint64_t beta_bits = 0;
+    bool operator==(const SelectQuery&) const = default;
+  };
+  struct SelectQueryHash {
+    std::size_t operator()(const SelectQuery& q) const;
+  };
+  struct CacheEntry {
+    std::vector<int> nodes;
+    std::uint64_t version = 0;  ///< change_version_ when filled/revalidated
+    /// The full query, kept so the auditor can re-execute it uncached.
+    NodeAllocation request;
+    std::int32_t count = 0;
+    std::int32_t kind = 0;
+    double beta = 0.0;
+  };
+  /// One ledger mutation: the touched node's max(idle before, idle after).
+  /// A query that scanned idle range [from, cores] is unaffected by every
+  /// event whose max_idle < from — the node was outside the scanned range
+  /// both before and after. Empty (failure) entries only care about
+  /// releases, so the event also records which kind it was.
+  struct DirtyEvent {
+    std::uint64_t version = 0;
+    std::int32_t max_idle = 0;
+    bool released = false;
+  };
+  static SelectQuery makeQuery(int kind, int count,
+                               const NodeAllocation& request, double beta);
+  bool entryStillValid(const CacheEntry& e) const;
+  /// Returns the cached result if reusable (touching the entry to the
+  /// current version), nullptr on miss.
+  const std::vector<int>* cacheLookup(const SelectQuery& q) const;
+  void cacheStore(const SelectQuery& q, const std::vector<int>& result,
+                  int count, const NodeAllocation& request, double beta,
+                  int kind) const;
+  void noteMutation(int old_idle, int new_idle, bool released);
+  /// Upper bound on feasible nodes for a request needing `from` idle
+  /// cores and `ways` free cache ways: a suffix sum over the
+  /// (idle-cores x free-ways) population grid, exact on that membership
+  /// (ignores bw/net), so `bound < count` proves the selection empty.
+  /// Stops summing once the bound reaches `enough`.
+  int feasibleUpperBound(int from, int ways, int enough) const;
 
   const hw::MachineConfig* mach_;
   std::vector<NodeLedger> nodes_;
@@ -207,7 +351,38 @@ class ResourceLedger {
   /// groups), maintained on every allocate/release. buckets_[cores] is the
   /// idle-node free list.
   std::vector<NodeBitset> buckets_;
+  /// cw_grid_[idle * (llc_ways+1) + free_ways] = #nodes with exactly that
+  /// (idle-core, free-way) pair, maintained on every allocate/release —
+  /// the population behind feasibleUpperBound()'s two-dimensional
+  /// fast-fail.
+  std::vector<std::int32_t> cw_grid_;
+  std::int32_t& gridCell(int idle, int free_ways) {
+    return cw_grid_[static_cast<std::size_t>(idle) *
+                        static_cast<std::size_t>(mach_->llc_ways + 1) +
+                    static_cast<std::size_t>(free_ways)];
+  }
   bool full_scan_ = false;
+  // ---- selection-cache state (see setSelectionCache) ------------------------
+  // Mutable: lookups run on the logically-const selection path; a ledger
+  // is owned by one simulator and queried from one thread.
+  bool cache_on_ = false;
+  mutable std::unordered_map<SelectQuery, CacheEntry, SelectQueryHash>
+      sel_cache_;
+  mutable std::vector<DirtyEvent> dirty_log_;
+  /// Events at or below this version were discarded; entries filled before
+  /// it cannot be node-level revalidated.
+  mutable std::uint64_t dirty_floor_ = 0;
+  std::uint64_t change_version_ = 0;       ///< bumped per allocate/release
+  std::uint64_t last_release_version_ = 0;
+  std::uint64_t release_epoch_ = 0;        ///< maintained regardless of flags
+  int release_idle_watermark_ = -1;        ///< see takeReleaseIdleWatermark()
+  mutable int query_core_floor_ = std::numeric_limits<int>::max();
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+  // ---- parallel search (see setSearchPool) ----------------------------------
+  util::ThreadPool* pool_ = nullptr;
+  std::size_t min_parallel_ = 2048;
+  mutable std::vector<std::vector<int>> shard_scratch_;
   /// Reserved-resource totals across all nodes (see meanCoreOccupancy()).
   /// Cores and ways are integers, so their totals are drift-free; the
   /// bandwidth total accumulates at most one ulp per allocate/release.

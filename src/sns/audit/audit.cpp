@@ -136,6 +136,13 @@ std::size_t Auditor::auditLedger(const actuator::ResourceLedger& ledger) {
         ledger.idleNodeCount(), idle_nodes,
         "idle-node count (free-list bucket) disagrees with a full recount");
 
+  // Selection cache (incremental candidate pruning): every entry the
+  // validity rules would serve must reproduce the node list a fresh scan
+  // returns right now.
+  for (const std::string& why : ledger.auditSelectionCache()) {
+    check(false, "ledger.selection_cache", 0.0, 0.0, why);
+  }
+
   return static_cast<std::size_t>(total_violations_ - before);
 }
 

@@ -145,4 +145,112 @@ std::vector<ShareOutcome> NodeContentionSolver::solve(
   return out;
 }
 
+void NodeContentionSolver::solveInto(std::span<const NodeShare> shares,
+                                     SolveScratch& sc,
+                                     std::vector<ShareOutcome>& out) const {
+  SNS_REQUIRE(!shares.empty(), "solve() needs at least one share");
+  const std::size_t n = shares.size();
+  int total_procs = 0;
+  double cat_ways = 0.0;
+  int free_count = 0;
+  for (const auto& s : shares) {
+    SNS_REQUIRE(s.prog != nullptr, "NodeShare::prog must be set");
+    SNS_REQUIRE(s.procs >= 1, "NodeShare::procs must be >= 1");
+    total_procs += s.procs;
+    if (s.ways > 0.0) cat_ways += s.ways;
+    else ++free_count;
+  }
+  SNS_REQUIRE(total_procs <= mach_.cores, "node oversubscribed in cores");
+  SNS_REQUIRE(cat_ways <= mach_.llc_ways + 1e-9, "node oversubscribed in LLC ways");
+
+  const double free_pool = std::max(0.0, static_cast<double>(mach_.llc_ways) - cat_ways);
+
+  // Effective ways: same fixed point as solve(), but the per-iteration
+  // pressure vector lives in the scratch instead of a fresh allocation.
+  sc.eff_ways.assign(n, 0.0);
+  if (free_count > 0) {
+    SNS_REQUIRE(free_pool > 0.0, "free-sharing jobs but no unpartitioned ways left");
+    int free_procs = 0;
+    for (const auto& s : shares)
+      if (s.ways <= 0.0) free_procs += s.procs;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shares[i].ways <= 0.0)
+        sc.eff_ways[i] = free_pool * shares[i].procs / static_cast<double>(free_procs);
+    }
+    constexpr int kIters = 4;
+    constexpr double kMinWays = 0.25;  // a thrashing job still occupies some lines
+    for (int it = 0; it < kIters; ++it) {
+      double total_pressure = 0.0;
+      sc.pressure.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (shares[i].ways > 0.0) continue;
+        const auto d = deriveAt(*shares[i].prog, mach_, shares[i], sc.eff_ways[i], *this);
+        sc.pressure[i] = shares[i].procs * d.refs * d.miss + 1e-9;
+        total_pressure += sc.pressure[i];
+      }
+      if (total_pressure <= 0.0) break;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (shares[i].ways > 0.0) continue;
+        sc.eff_ways[i] = std::max(kMinWays, free_pool * sc.pressure[i] / total_pressure);
+      }
+    }
+    double total_free = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shares[i].ways <= 0.0) total_free += sc.eff_ways[i];
+    }
+    if (total_free > free_pool) {
+      const double scale_down = free_pool / total_free;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (shares[i].ways <= 0.0) sc.eff_ways[i] *= scale_down;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shares[i].ways > 0.0) sc.eff_ways[i] = shares[i].ways;
+  }
+
+  // Derived quantities, flattened: each element is the same deriveAt()
+  // arithmetic solve() runs, so values match bit-for-bit; splitting the
+  // derive and demand loops is safe because demand[i] depends only on
+  // element i.
+  sc.miss.resize(n);
+  sc.refs.resize(n);
+  sc.raw_rate.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto d = deriveAt(*shares[i].prog, mach_, shares[i], sc.eff_ways[i], *this);
+    sc.miss[i] = d.miss;
+    sc.refs[i] = d.refs;
+    sc.raw_rate[i] = d.raw_rate;
+  }
+  sc.demand.resize(n);
+  sc.capped.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.demand[i] = shares[i].procs * sc.raw_rate[i] * sc.refs[i] * sc.miss[i] *
+                   shares[i].prog->bytes_per_miss / 1e9;
+    double c = std::min(sc.demand[i], mach_.mem_bw.aggregate(shares[i].procs));
+    if (shares[i].bw_cap_gbps > 0.0) c = std::min(c, shares[i].bw_cap_gbps);
+    sc.capped[i] = c;
+  }
+  // In-order serial reduction — the one place vectorization could
+  // reassociate and change the sum, so it stays scalar.
+  double total_capped = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total_capped += sc.capped[i];
+  const double capacity = mach_.mem_bw.aggregate(total_procs);
+  const double scale = total_capped > capacity ? capacity / total_capped : 1.0;
+
+  out.assign(n, ShareOutcome{});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bw = sc.capped[i] * scale;
+    const double f_bw = sc.demand[i] > 1e-12 ? std::min(1.0, bw / sc.demand[i]) : 1.0;
+    ShareOutcome& o = out[i];
+    o.raw_rate_per_proc = sc.raw_rate[i];
+    o.rate_per_proc = sc.raw_rate[i] * f_bw;
+    o.bw_gbps = sc.demand[i] > 1e-12 ? sc.demand[i] * f_bw : 0.0;
+    o.demand_gbps = sc.demand[i];
+    o.ipc = o.rate_per_proc / (mach_.frequency_ghz * 1e9);
+    o.miss_ratio = sc.miss[i];
+    o.eff_ways = sc.eff_ways[i];
+  }
+}
+
 }  // namespace sns::perfmodel

@@ -21,6 +21,21 @@ struct NodeShare {
   double bw_cap_gbps = 0.0;
 };
 
+/// Reusable flat working set for NodeContentionSolver::solveInto(): one
+/// array per model quantity (structure-of-arrays), grown once and reused
+/// across calls so the hot solve path stops allocating. Caller-owned
+/// because one solver instance is shared const across parallel simulators
+/// (bench_fig20's replay grid) — a member scratch would race.
+struct SolveScratch {
+  std::vector<double> eff_ways;
+  std::vector<double> pressure;
+  std::vector<double> miss;
+  std::vector<double> refs;
+  std::vector<double> raw_rate;
+  std::vector<double> demand;
+  std::vector<double> capped;
+};
+
 /// Per-job outcome of the node-level co-run model.
 struct ShareOutcome {
   double rate_per_proc = 0.0;  ///< achieved instructions/second per process
@@ -52,6 +67,18 @@ class NodeContentionSolver {
 
   /// Solve one node. `shares` may mix CAT-partitioned and free entries.
   std::vector<ShareOutcome> solve(std::span<const NodeShare> shares) const;
+
+  /// Allocation-free, SIMD-friendly form of solve() (A/B-switched by
+  /// SimOptFlags::simd_solver): identical model arithmetic — each
+  /// per-share quantity is produced by the same expressions in the same
+  /// element order, and every cross-share reduction stays a serial
+  /// in-order sum — but staged through the caller's flat scratch arrays,
+  /// so results are bit-identical to solve() while the element-wise
+  /// demand/roofline/outcome loops compile to vector code and the ~6
+  /// per-call heap allocations disappear. `out` is resized to
+  /// shares.size().
+  void solveInto(std::span<const NodeShare> shares, SolveScratch& scratch,
+                 std::vector<ShareOutcome>& out) const;
 
   /// LLC megabytes available per process when `procs` processes share
   /// `ways` ways on this node (two-socket layout: processes spread evenly

@@ -60,7 +60,13 @@ const std::vector<ShareOutcome>& SolverCache::solve(
     last_sig_ = nullptr;
     last_ = nullptr;
   }
-  auto [ins, added] = cache_.emplace(scratch_, solver_->solve(shares));
+  std::vector<ShareOutcome> fresh;
+  if (flat_) {
+    solver_->solveInto(shares, solve_scratch_, fresh);
+  } else {
+    fresh = solver_->solve(shares);
+  }
+  auto [ins, added] = cache_.emplace(scratch_, std::move(fresh));
   (void)added;
   last_sig_ = &ins->first;
   last_ = &ins->second;

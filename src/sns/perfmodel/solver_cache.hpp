@@ -32,6 +32,13 @@ class SolverCache {
   /// before. The returned reference stays valid until clear().
   const std::vector<ShareOutcome>& solve(std::span<const NodeShare> shares);
 
+  /// A/B switch (SimOptFlags::simd_solver): fill cache misses through the
+  /// allocation-free flat path (NodeContentionSolver::solveInto) instead
+  /// of solve(). Bit-identical outcomes either way; the flag exists so the
+  /// equivalence suite can prove it.
+  void setFlatSolve(bool on) { flat_ = on; }
+  bool flatSolve() const { return flat_; }
+
   void clear();
   std::size_t size() const { return cache_.size(); }
   std::uint64_t hits() const { return hits_; }
@@ -83,6 +90,8 @@ class SolverCache {
   const NodeContentionSolver* solver_;
   std::unordered_map<Signature, std::vector<ShareOutcome>, SigHash> cache_;
   Signature scratch_;  ///< reused lookup key, no per-call allocation at steady state
+  bool flat_ = false;            ///< see setFlatSolve()
+  SolveScratch solve_scratch_;   ///< flat-path working set, reused across misses
   /// Most-recent entry, for the consecutive-identical-lookup fast path
   /// (stable across rehash: node-based map, entries only move on clear()).
   const Signature* last_sig_ = nullptr;

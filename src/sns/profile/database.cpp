@@ -14,6 +14,7 @@ std::string ProfileDatabase::key(const std::string& program, int procs) {
 void ProfileDatabase::put(ProgramProfile profile) {
   const std::string k = key(profile.program, profile.procs);
   profiles_[k] = std::move(profile);
+  ++generation_;
 }
 
 const ProgramProfile* ProfileDatabase::find(const std::string& program,
@@ -23,7 +24,9 @@ const ProgramProfile* ProfileDatabase::find(const std::string& program,
 }
 
 bool ProfileDatabase::erase(const std::string& program, int procs) {
-  return profiles_.erase(key(program, procs)) > 0;
+  const bool erased = profiles_.erase(key(program, procs)) > 0;
+  if (erased) ++generation_;
+  return erased;
 }
 
 util::Json ProfileDatabase::toJson() const {

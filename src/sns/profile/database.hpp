@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -38,9 +39,20 @@ class ProfileDatabase {
   void saveFile(const std::string& path) const;
   static ProfileDatabase loadFile(const std::string& path);
 
+  /// Monotone content-version counter, bumped by every put()/successful
+  /// erase(). Memos keyed on profile pointers (SnsPolicy's demand memo)
+  /// compare it to detect that a profile was replaced in place — find()
+  /// returns stable addresses across rehash-free std::map updates, so the
+  /// pointer alone cannot reveal a content change. Copying a database
+  /// copies the counter: the copy's profiles live at new addresses, so
+  /// holders of pointers into the source must also drop memos on copy
+  /// (ClusterSimulator::run() does, via SchedulingPolicy::beginRun()).
+  std::uint64_t generation() const { return generation_; }
+
  private:
   static std::string key(const std::string& program, int procs);
   std::map<std::string, ProgramProfile> profiles_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace sns::profile

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <unordered_map>
+
+#include "sns/profile/demand.hpp"
 #include "sns/profile/profiler.hpp"
 #include "sns/sched/policy.hpp"
 
@@ -69,9 +72,34 @@ class SnsPolicy final : public SchedulingPolicy {
                                     const profile::ProfileDatabase& db) const override;
   const Options& options() const { return opts_; }
 
+  void beginRun() override;
+  void setBatchScoring(bool on) override { batch_scoring_ = on; }
+
  private:
+  /// estimateDemand() is a pure function of (scale profile, alpha,
+  /// machine); the machine is fixed per policy lifetime, so under
+  /// batched scoring its results are memoized keyed on the profile's
+  /// identity and the exact alpha bits. The database generation guards
+  /// against a profile being replaced in place at a stable address (the
+  /// monitor re-profiles programs mid-run); beginRun() guards against the
+  /// whole database being copied to new addresses between runs.
+  struct DemandKey {
+    const profile::ScaleProfile* sp = nullptr;
+    std::uint64_t alpha_bits = 0;
+    bool operator==(const DemandKey&) const = default;
+  };
+  struct DemandKeyHash {
+    std::size_t operator()(const DemandKey& k) const;
+  };
+
   const perfmodel::Estimator* est_;
   Options opts_;
+  bool batch_scoring_ = false;
+  // Memo state is logically observational (results are bit-identical with
+  // or without it), so it is mutable behind the const tryPlace() path.
+  mutable std::unordered_map<DemandKey, profile::ResourceDemand, DemandKeyHash>
+      demand_memo_;
+  mutable std::uint64_t memo_generation_ = ~std::uint64_t{0};
 };
 
 /// Shared helper: an exclusive placement at the given scale factor. CE

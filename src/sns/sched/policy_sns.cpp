@@ -1,5 +1,7 @@
 #include "sns/sched/policies.hpp"
 
+#include <bit>
+
 #include "sns/profile/demand.hpp"
 #include "sns/profile/exploration.hpp"
 #include "sns/util/error.hpp"
@@ -25,6 +27,20 @@ std::vector<xray::ScoredNode> scoreBreakdown(
 }
 
 }  // namespace
+
+std::size_t SnsPolicy::DemandKeyHash::operator()(const DemandKey& k) const {
+  // splitmix64-style mix over the pointer and the alpha bit pattern.
+  std::uint64_t x = reinterpret_cast<std::uintptr_t>(k.sp) ^
+                    (k.alpha_bits * 0x9e3779b97f4a7c15ull);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+void SnsPolicy::beginRun() {
+  demand_memo_.clear();
+  memo_generation_ = ~std::uint64_t{0};
+}
 
 std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
                                              const actuator::ResourceLedger& ledger,
@@ -96,9 +112,22 @@ std::optional<Placement> SnsPolicy::tryPlace(const Job& job,
 
     profile::ResourceDemand demand;
     {
-      // Demand estimation walks the IPC-LLC / BW-LLC profile curves.
+      // Demand estimation walks the IPC-LLC / BW-LLC profile curves — a
+      // pure function of (sp, alpha, mach), so under batched scoring the
+      // result is memoized across the many queued jobs sharing a spec.
       xray::ScopedSpan xs(xray_, xray::SpanKind::kCurveScore, job.id);
-      demand = profile::estimateDemand(*sp, alpha, mach);
+      if (batch_scoring_) {
+        if (memo_generation_ != db.generation()) {
+          demand_memo_.clear();
+          memo_generation_ = db.generation();
+        }
+        const DemandKey key{sp, std::bit_cast<std::uint64_t>(alpha)};
+        auto [it, fresh] = demand_memo_.try_emplace(key);
+        if (fresh) it->second = profile::estimateDemand(*sp, alpha, mach);
+        demand = it->second;
+      } else {
+        demand = profile::estimateDemand(*sp, alpha, mach);
+      }
     }
     actuator::NodeAllocation request;
     request.cores = sp->procs_per_node;

@@ -1,15 +1,19 @@
 #include "sns/sim/cluster_sim.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <optional>
+#include <thread>
 
 #include "sns/app/comm.hpp"
 #include "sns/audit/audit.hpp"
 #include "sns/profile/exploration.hpp"
 #include "sns/util/error.hpp"
+#include "sns/util/thread_pool.hpp"
 
 namespace sns::sim {
 
@@ -44,12 +48,23 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
       ledger_(cfg.nodes, est.machine()),
       solve_cache_(est.solver()) {
   SNS_REQUIRE(cfg.nodes >= 1, "simulator needs at least one node");
-  ledger_.setFullScan(!cfg_.opt.indexed_ledger);
+  if (cfg_.opt.parallel_select && cfg_.search_pool == nullptr &&
+      cfg_.nodes >= cfg_.opt.parallel_min_candidates &&
+      std::thread::hardware_concurrency() > 1) {
+    // Cap the pool: candidate scans are memory-bound, workers past a few
+    // stop helping while the ordered merge cost keeps growing with shard
+    // count.
+    owned_pool_ = std::make_unique<util::ThreadPool>(
+        std::min(4u, std::thread::hardware_concurrency()));
+  }
+  applyLedgerOpts();
   if (cfg_.policy == sched::PolicyKind::kSNS) {
     policy_ = std::make_unique<sched::SnsPolicy>(est, cfg_.sns);
   } else {
     policy_ = sched::makePolicy(cfg_.policy, est);
   }
+  policy_->setBatchScoring(cfg_.opt.batched_scoring);
+  node_stamp_.assign(static_cast<std::size_t>(cfg.nodes), 0u);
   node_jobs_.resize(static_cast<std::size_t>(cfg.nodes));
   node_solution_.resize(static_cast<std::size_t>(cfg.nodes));
   node_net_demand_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
@@ -81,6 +96,9 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
     m_backfill_skips_ = &m.counter("sim.backfill_skips");
     m_sched_passes_ = &m.counter("sim.schedule_passes");
     m_ways_donated_ = &m.counter("sim.ways_donated");
+    m_spec_skips_ = &m.counter("sim.spec_skips");
+    m_select_hits_ = &m.counter("sim.select_cache_hits");
+    m_select_misses_ = &m.counter("sim.select_cache_misses");
     m_queue_depth_ = &m.gauge("sim.queue_depth");
     m_busy_nodes_ = &m.gauge("sim.busy_nodes");
     m_wait_s_ = &m.histogram("sim.wait_s", time_buckets);
@@ -89,6 +107,78 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
         "sim.decision_us",
         {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
   }
+}
+
+ClusterSimulator::~ClusterSimulator() = default;
+
+void ClusterSimulator::applyLedgerOpts() {
+  ledger_.setFullScan(!cfg_.opt.indexed_ledger);
+  ledger_.setSelectionCache(cfg_.opt.incremental_prune);
+  if (cfg_.opt.parallel_select) {
+    util::ThreadPool* pool =
+        cfg_.search_pool != nullptr ? cfg_.search_pool : owned_pool_.get();
+    ledger_.setSearchPool(pool, cfg_.opt.parallel_min_candidates);
+  }
+  solve_cache_.setFlatSolve(cfg_.opt.simd_solver);
+}
+
+std::size_t ClusterSimulator::SpecKeyHash::operator()(const SpecKey& k) const {
+  std::uint64_t x = reinterpret_cast<std::uintptr_t>(k.prog) ^
+                    (k.alpha_bits * 0x9e3779b97f4a7c15ull) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.procs))
+                     << 17);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+std::size_t ClusterSimulator::SoloKeyHash::operator()(const SoloKey& k) const {
+  std::uint64_t x = reinterpret_cast<std::uintptr_t>(k.prog) ^
+                    (k.ways_bits * 0x9e3779b97f4a7c15ull) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.procs))
+                     << 17) ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.nodes))
+                     << 41);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+bool ClusterSimulator::batchFastPath() const {
+  if (!cfg_.opt.batched_scoring || rec_.enabled()) return false;
+  return cfg_.xray == nullptr || cfg_.xray->provenance() == nullptr;
+}
+
+void ClusterSimulator::markDeferredDirty(const std::vector<int>& nodes) {
+  for (int nd : nodes) {
+    auto& stamp = node_stamp_[static_cast<std::size_t>(nd)];
+    if (stamp != node_stamp_epoch_) {
+      stamp = node_stamp_epoch_;
+      deferred_dirty_.push_back(nd);
+    }
+  }
+}
+
+const perfmodel::SoloRun& ClusterSimulator::soloMemo(
+    const app::ProgramModel& prog, int procs, int nodes, double ways) {
+  const SoloKey key{&prog, procs, nodes, std::bit_cast<std::uint64_t>(ways)};
+  auto [it, fresh] = solo_memo_.try_emplace(key);
+  if (fresh) it->second = est_->solo(prog, procs, nodes, ways);
+  return it->second;
+}
+
+void ClusterSimulator::publishSelectMetrics() {
+  if (m_select_hits_ == nullptr) return;
+  const std::uint64_t hits = ledger_.selectionCacheHits();
+  const std::uint64_t misses = ledger_.selectionCacheMisses();
+  if (hits > select_hits_seen_) {
+    m_select_hits_->inc(static_cast<double>(hits - select_hits_seen_));
+  }
+  if (misses > select_misses_seen_) {
+    m_select_misses_->inc(static_cast<double>(misses - select_misses_seen_));
+  }
+  select_hits_seen_ = hits;
+  select_misses_seen_ = misses;
 }
 
 void ClusterSimulator::activate(sched::JobId id) {
@@ -197,6 +287,12 @@ void ClusterSimulator::resolveNode(int nd) {
       if (m_solver_memo_hits_ && solve_cache_.hits() > hits_before) {
         m_solver_memo_hits_->inc();
       }
+    } else if (cfg_.opt.simd_solver) {
+      // Flat-array solve into the hoisted scratch: identical arithmetic,
+      // zero allocations at steady state.
+      est_->solver().solveInto(shares_scratch_, solve_scratch_,
+                               outcomes_scratch_);
+      outcomes = &outcomes_scratch_;
     } else {
       outcomes_scratch_ = est_->solver().solve(shares_scratch_);
       outcomes = &outcomes_scratch_;
@@ -287,14 +383,20 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
   // exclusive: alone, the job would own the whole LLC).
   const double solo_ways =
       p.ways > 0 ? p.ways : static_cast<double>(est_->machine().llc_ways);
-  const auto solo =
-      est_->solo(*job.program, job.spec.procs, p.nodeCount(), solo_ways);
+  const perfmodel::SoloRun solo =
+      cfg_.opt.batched_scoring
+          ? soloMemo(*job.program, job.spec.procs, p.nodeCount(), solo_ways)
+          : est_->solo(*job.program, job.spec.procs, p.nodeCount(), solo_ways);
   double reps = std::max(1, job.spec.repeats);
   if (job.spec.ce_time_override > 0.0) {
     // Trace-driven jobs: rescale work so the CE run matches the trace
     // duration, preserving the program's relative scaling behaviour.
-    const auto ce = est_->soloCE(*job.program, job.spec.procs,
-                                 est_->minNodes(job.spec.procs));
+    const int ce_nodes = est_->minNodes(job.spec.procs);
+    const perfmodel::SoloRun ce =
+        cfg_.opt.batched_scoring
+            ? soloMemo(*job.program, job.spec.procs, ce_nodes,
+                       static_cast<double>(est_->machine().llc_ways))
+            : est_->soloCE(*job.program, job.spec.procs, ce_nodes);
     reps *= job.spec.ce_time_override / ce.time;
   }
   r.comp_time_solo = solo.comp_time * reps;
@@ -373,6 +475,43 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
   // solves (and how many the memo served) to the placed job.
   xray::ProvenanceStore* prov =
       cfg_.xray != nullptr ? cfg_.xray->provenance() : nullptr;
+  // Failed-spec memo (batched scoring): tryPlace() is a pure function of
+  // (program, procs, alpha) given fixed ledger and database contents, and
+  // placements only shrink free capacity — so a recorded failure stays a
+  // failure until a release or a profile change could unblock it. A
+  // profile change wipes the memo; releases purge selectively: the entry
+  // records the minimum idle-core count any of the failed attempt's
+  // ledger queries asked for, and every decision-relevant ledger read in
+  // a non-tracing tryPlace() is such a query — so a release whose freed
+  // node still has fewer idle cores than that floor cannot have changed
+  // anything the attempt read, and the failure stands.
+  SpecKey spec_key;
+  const bool spec_memo = batchFastPath();
+  if (spec_memo) {
+    if (!failed_specs_valid_ ||
+        failed_specs_generation_ != local_db_.generation()) {
+      failed_specs_.clear();
+      (void)ledger_.takeReleaseIdleWatermark();
+      failed_specs_release_epoch_ = ledger_.releaseEpoch();
+      failed_specs_generation_ = local_db_.generation();
+      failed_specs_valid_ = true;
+    } else if (failed_specs_release_epoch_ != ledger_.releaseEpoch()) {
+      const int watermark = ledger_.takeReleaseIdleWatermark();
+      // Erasure is order-independent: the surviving set is determined by
+      // the watermark alone, not by visit order.
+      for (auto it = failed_specs_.begin(); it != failed_specs_.end();) {  // snslint: allow(unordered-iteration)
+        it = it->second <= watermark ? failed_specs_.erase(it) : std::next(it);
+      }
+      failed_specs_release_epoch_ = ledger_.releaseEpoch();
+    }
+    spec_key = SpecKey{job.program, job.spec.procs,
+                       std::bit_cast<std::uint64_t>(job.spec.alpha)};
+    if (failed_specs_.contains(spec_key)) {
+      if (m_spec_skips_) m_spec_skips_->inc();
+      return false;
+    }
+    ledger_.resetQueryCoreFloor();
+  }
   const std::uint64_t hits0 = prov != nullptr ? solve_cache_.hits() : 0;
   const std::uint64_t miss0 = prov != nullptr ? solve_cache_.misses() : 0;
   std::optional<sched::Placement> p;
@@ -380,14 +519,22 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
     telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kLedgerScan);
     p = policy_->tryPlace(job, ledger_, local_db_);
   }
-  if (!p.has_value()) return false;
+  if (!p.has_value()) {
+    if (spec_memo) failed_specs_.emplace(spec_key, ledger_.queryCoreFloor());
+    return false;
+  }
   telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kPlacementCommit);
   const sched::Job job_copy = job;
   {
     xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kCommit, job_copy.id);
     startJob(job_copy, *p, now);
   }
-  {
+  if (defer_refresh_) {
+    // Batched scoring: fold this placement's nodes into the end-of-pass
+    // refresh set. Nothing reads progress rates until the pass ends, so
+    // one refresh over the union matches per-placement refreshes exactly.
+    markDeferredDirty(p->nodes);
+  } else {
     xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kRateRefresh, job_copy.id);
     refreshRates(p->nodes);
   }
@@ -466,6 +613,15 @@ void ClusterSimulator::schedule(double now) {
   if (cfg_.xray != nullptr) cfg_.xray->beginPass(now);
   if (m_sched_passes_) m_sched_passes_->inc();
 
+  // Deferred end-of-pass rate refresh (batched scoring): placements made
+  // during the walk only collect their dirty nodes; one refresh over the
+  // union runs when the walk ends. Epoch-stamped dedup, reset on wrap.
+  defer_refresh_ = batchFastPath();
+  if (defer_refresh_ && ++node_stamp_epoch_ == 0) {
+    std::fill(node_stamp_.begin(), node_stamp_.end(), 0u);
+    node_stamp_epoch_ = 1;
+  }
+
   {
     telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kQueueWalk);
     if (cfg_.opt.single_pass_schedule) {
@@ -474,6 +630,16 @@ void ClusterSimulator::schedule(double now) {
       scheduleLegacy(now);
     }
   }
+
+  if (defer_refresh_) {
+    defer_refresh_ = false;
+    if (!deferred_dirty_.empty()) {
+      xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kBatchRefresh);
+      refreshRates(deferred_dirty_);
+      deferred_dirty_.clear();
+    }
+  }
+  publishSelectMetrics();
 
   if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
   if (m_busy_nodes_) {
@@ -627,9 +793,22 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   const std::size_t n = jobs.size();
   local_db_ = *db_;
   ledger_ = actuator::ResourceLedger(cfg_.nodes, est_->machine());
-  ledger_.setFullScan(!cfg_.opt.indexed_ledger);
+  applyLedgerOpts();
   queue_ = sched::JobQueue{};
   solve_cache_.clear();
+  // Batched-scoring memos: the spec memo is epoch-guarded but the ledger
+  // (and its epochs) was just rebuilt; the policy's demand memo keys
+  // profiles by address, and local_db_ was just re-copied — drop both.
+  policy_->beginRun();
+  failed_specs_.clear();
+  failed_specs_valid_ = false;
+  solo_memo_.clear();
+  deferred_dirty_.clear();
+  std::fill(node_stamp_.begin(), node_stamp_.end(), 0u);
+  node_stamp_epoch_ = 0;
+  defer_refresh_ = false;
+  select_hits_seen_ = 0;
+  select_misses_seen_ = 0;
   running_.assign(n, Running{});
   records_.assign(n, JobRecord{});
   active_.clear();

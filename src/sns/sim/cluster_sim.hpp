@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "sns/actuator/resource_ledger.hpp"
@@ -46,6 +47,40 @@ struct SimOptFlags {
   /// legacy restart-from-head walk that re-ran tryPlace over the whole
   /// skipped prefix after every placement — O(Q^2) in queue depth.
   bool single_pass_schedule = true;
+  /// Incremental candidate pruning: the ledger memoizes selection queries
+  /// and reuses the previous decision's scored node set, invalidating by
+  /// a dirty log of which idle-core range each allocate/release touched;
+  /// plus an O(cores) feasibility upper bound that fast-fails hopeless
+  /// scans. The dominant cost of the contended SNS decision path — deep
+  /// queues re-scoring an unchanged cluster — collapses to hash lookups.
+  bool incremental_prune = true;
+  /// Batched queue-head scoring: amortize per-pass work across the queued
+  /// jobs scored against the same ledger. (a) tryPlace failures are
+  /// remembered per (program, procs, alpha) spec and skipped until a
+  /// release or profile change could unblock them (failure is monotone
+  /// under allocations); (b) the SNS demand-curve evaluation and the
+  /// estimator's solo baselines are memoized as pure functions; (c) rate
+  /// refreshes for the pass's placements are coalesced into one
+  /// end-of-pass refresh over the union of dirty nodes (nothing reads
+  /// rates mid-pass, so the final solve is what counts). The spec-skip
+  /// and deferred-refresh arms disable themselves while an event sink or
+  /// provenance tracing is attached, so diagnostic streams stay complete.
+  bool batched_scoring = true;
+  /// Parallel placement search: shard large bucket scans and candidate
+  /// scoring across util::ThreadPool workers with fixed shard boundaries
+  /// and an ordered merge — results are bit-identical to the serial scan
+  /// regardless of worker timing. Engages only when the cluster has at
+  /// least `parallel_min_candidates` nodes and the host has >1 hardware
+  /// thread (or SimConfig::search_pool is injected).
+  bool parallel_select = true;
+  /// SIMD-friendly solver inner loop: cache-missed contention solves run
+  /// through NodeContentionSolver::solveInto() — flat reusable arrays the
+  /// compiler can vectorize, identical arithmetic, zero allocations.
+  bool simd_solver = true;
+  /// Minimum bucket/candidate size before parallel_select shards a scan
+  /// (below it, handing work to the pool costs more than the scan).
+  /// Tests set 1 to force the parallel path on small clusters.
+  int parallel_min_candidates = 2048;
 };
 
 /// Simulator knobs.
@@ -73,6 +108,13 @@ struct SimConfig {
   sched::SnsPolicy::Options sns;    ///< SNS-specific options
   /// Hot-path implementation switches (A/B-testable; results identical).
   SimOptFlags opt;
+  /// Worker pool for opt.parallel_select. Null (the default) lets the
+  /// simulator create its own pool when the cluster is large enough and
+  /// the host is multi-core; tests inject a pool here (with
+  /// opt.parallel_min_candidates = 1) to force the sharded path on any
+  /// host. Caller-owned, must outlive run(); ignored when
+  /// opt.parallel_select is off.
+  util::ThreadPool* search_pool = nullptr;
   /// Structured decision trace (sns::obs): every scheduling attempt,
   /// placement, way donation, backfill skip and job start/finish is
   /// recorded into this sink. Null (the default) disables tracing
@@ -185,6 +227,9 @@ class ClusterSimulator {
   ClusterSimulator(const perfmodel::Estimator& est,
                    const std::vector<app::ProgramModel>& library,
                    const profile::ProfileDatabase& db, SimConfig cfg);
+  /// Out-of-line so the header only needs util::ThreadPool's forward
+  /// declaration (owned_pool_).
+  ~ClusterSimulator();
 
   /// Simulate a job sequence (submit times taken from the specs).
   SimResult run(const std::vector<app::JobSpec>& jobs);
@@ -227,6 +272,25 @@ class ClusterSimulator {
   void scheduleSinglePass(double now);
   void scheduleLegacy(double now);
   bool tryDispatch(const sched::Job& job, double now);  ///< tryPlace + start
+  /// (Re)apply the SimOptFlags wiring to the ledger and solver cache —
+  /// run() rebuilds the ledger, so the ctor and the per-run reset share
+  /// this.
+  void applyLedgerOpts();
+  /// True while the spec-skip / deferred-refresh arms of batched scoring
+  /// may run: flag on, no event sink recording, no provenance store.
+  /// Diagnostic runs (tracing, `uberun explain`) thus always see the full
+  /// per-job walk and per-placement refresh events.
+  bool batchFastPath() const;
+  /// Collect a placement's nodes into the deferred end-of-pass refresh
+  /// set (deduplicated via node stamps).
+  void markDeferredDirty(const std::vector<int>& nodes);
+  /// Memoized solo-baseline lookup (pure function of the arguments; only
+  /// used under opt.batched_scoring).
+  const perfmodel::SoloRun& soloMemo(const app::ProgramModel& prog, int procs,
+                                     int nodes, double ways);
+  /// Fold the ledger's selection-cache hit/miss counters into the metrics
+  /// registry (delta since the last call).
+  void publishSelectMetrics();
   void startJob(const sched::Job& job, const sched::Placement& p, double now);
   void finishJob(sched::JobId id, double now);
   void resolveNode(int node);
@@ -288,6 +352,55 @@ class ClusterSimulator {
   std::uint32_t stamp_epoch_ = 0;
   std::vector<std::pair<int, double>> bw_scratch_;  ///< (node, bandwidth)
   std::vector<sched::JobId> done_scratch_;
+  perfmodel::SolveScratch solve_scratch_;  ///< flat-solver working set
+
+  // ---- batched queue-head scoring state (opt.batched_scoring) ---------------
+  /// "This spec cannot currently be placed" memo, keyed on the exact
+  /// inputs tryPlace() reads off a job: program identity, process count,
+  /// alpha bits. Each entry carries the minimum idle-core count any of the
+  /// failed attempt's ledger queries asked for (the query-core floor): a
+  /// release invalidates only entries whose floor the freed node's new
+  /// idle count reaches — no other entry's queries could see the freed
+  /// node. A profile-database change clears everything. Cleared per run.
+  struct SpecKey {
+    const app::ProgramModel* prog = nullptr;
+    int procs = 0;
+    std::uint64_t alpha_bits = 0;
+    bool operator==(const SpecKey&) const = default;
+  };
+  struct SpecKeyHash {
+    std::size_t operator()(const SpecKey& k) const;
+  };
+  std::unordered_map<SpecKey, int, SpecKeyHash> failed_specs_;
+  std::uint64_t failed_specs_release_epoch_ = 0;
+  std::uint64_t failed_specs_generation_ = 0;
+  bool failed_specs_valid_ = false;
+  /// Solo/soloCE baseline memo — Estimator::solo() is a pure function of
+  /// (program, procs, nodes, ways) for a fixed machine.
+  struct SoloKey {
+    const app::ProgramModel* prog = nullptr;
+    int procs = 0;
+    int nodes = 0;
+    std::uint64_t ways_bits = 0;
+    bool operator==(const SoloKey&) const = default;
+  };
+  struct SoloKeyHash {
+    std::size_t operator()(const SoloKey& k) const;
+  };
+  std::unordered_map<SoloKey, perfmodel::SoloRun, SoloKeyHash> solo_memo_;
+  /// Deferred end-of-pass rate refresh: union of nodes dirtied by this
+  /// pass's placements (stamp-deduplicated), refreshed once when the pass
+  /// ends. Active only while batchFastPath() holds for the whole pass.
+  std::vector<int> deferred_dirty_;
+  std::vector<std::uint32_t> node_stamp_;
+  std::uint32_t node_stamp_epoch_ = 0;
+  bool defer_refresh_ = false;
+  /// Pool owned by the simulator when cfg_.search_pool is null but
+  /// opt.parallel_select applies (large cluster, multi-core host).
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  /// Ledger selection-cache counter values already published to metrics.
+  std::uint64_t select_hits_seen_ = 0;
+  std::uint64_t select_misses_seen_ = 0;
 
   /// Decision tracing + metrics (sns::obs). The recorder's sink is wired
   /// per run(): the configured sink plus, when legacy callbacks are set,
@@ -303,6 +416,9 @@ class ClusterSimulator {
   obs::Counter* m_backfill_skips_ = nullptr;
   obs::Counter* m_sched_passes_ = nullptr;
   obs::Counter* m_ways_donated_ = nullptr;
+  obs::Counter* m_spec_skips_ = nullptr;       ///< sim.spec_skips
+  obs::Counter* m_select_hits_ = nullptr;      ///< sim.select_cache_hits
+  obs::Counter* m_select_misses_ = nullptr;    ///< sim.select_cache_misses
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_busy_nodes_ = nullptr;
   obs::Histogram* m_wait_s_ = nullptr;

@@ -25,7 +25,8 @@ std::string renderGantt(const SimResult& result, int nodes, int width) {
 
   std::string out;
   for (int nd = 0; nd < nodes; ++nd) {
-    std::string row = "N" + std::to_string(nd);
+    std::string row = "N";
+    row += std::to_string(nd);
     row.append(nd < 10 ? 2 : 1, ' ');
     for (int col = 0; col < width; ++col) {
       const double t = (col + 0.5) * dt;

@@ -14,10 +14,12 @@ constexpr int kSchedulerPid = 0;
 int nodePid(int node) { return node + 1; }
 
 std::string jobLabel(const JobRecord& j) {
-  return "J" + std::to_string(j.id) + " " + j.spec.program + "/" +
-         std::to_string(j.spec.procs) + " k=" +
-         std::to_string(j.placement.scale_factor) +
+  std::string out = "J";
+  out += std::to_string(j.id);
+  out += " " + j.spec.program + "/" + std::to_string(j.spec.procs) +
+         " k=" + std::to_string(j.placement.scale_factor) +
          (j.placement.exclusive ? " excl" : " w=" + std::to_string(j.placement.ways));
+  return out;
 }
 
 }  // namespace

@@ -129,7 +129,8 @@ std::string sparkline(const Series& s, int width, int height) {
 
   std::string line;
   for (const auto& p : pts) {
-    line += (line.empty() ? "" : " ") + xy(p.t_first, p.mean());
+    if (!line.empty()) line += ' ';
+    line += xy(p.t_first, p.mean());
   }
   svg += "<polyline points=\"" + line +
          "\" fill=\"none\" stroke=\"var(--accent)\" stroke-width=\"2\" "

@@ -15,6 +15,7 @@ const char* to_string(SpanKind k) {
     case SpanKind::kSolverCall: return "solver_call";
     case SpanKind::kCommit: return "commit";
     case SpanKind::kRateRefresh: return "rate_refresh";
+    case SpanKind::kBatchRefresh: return "batch_refresh";
     case SpanKind::kCount_: break;
   }
   return "unknown";

@@ -23,6 +23,7 @@ enum class SpanKind : std::uint8_t {
   kSolverCall,      ///< per-node co-run contention solve (or memo hit)
   kCommit,          ///< ledger allocation + solo-model derivation (startJob)
   kRateRefresh,     ///< progress-rate re-derivation after a placement
+  kBatchRefresh,    ///< deferred end-of-pass rate refresh (batched scoring)
   kCount_,          ///< sentinel
 };
 

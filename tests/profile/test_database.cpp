@@ -36,6 +36,27 @@ ProgramProfile sampleProfile(const std::string& name, int procs) {
   return p;
 }
 
+TEST(Database, GenerationTracksMutations) {
+  // The generation counter backs memo invalidation in the scheduler's
+  // batched-scoring path: every successful put/erase must bump it, a
+  // no-op erase must not, and copies must carry the counter along (so a
+  // fresh copy never aliases a stale memo).
+  ProfileDatabase db;
+  const std::uint64_t g0 = db.generation();
+  db.put(sampleProfile("A", 16));
+  EXPECT_GT(db.generation(), g0);
+  const std::uint64_t g1 = db.generation();
+  db.put(sampleProfile("A", 16));  // replacement still mutates
+  EXPECT_GT(db.generation(), g1);
+  const std::uint64_t g2 = db.generation();
+  EXPECT_FALSE(db.erase("B", 16));  // absent key: no change
+  EXPECT_EQ(db.generation(), g2);
+  EXPECT_TRUE(db.erase("A", 16));
+  EXPECT_GT(db.generation(), g2);
+  ProfileDatabase copy = db;
+  EXPECT_EQ(copy.generation(), db.generation());
+}
+
 TEST(Database, PutAndFind) {
   ProfileDatabase db;
   db.put(sampleProfile("MG", 16));

@@ -13,6 +13,7 @@
 #include "sns/app/library.hpp"
 #include "sns/profile/profiler.hpp"
 #include "sns/sim/cluster_sim.hpp"
+#include "sns/util/thread_pool.hpp"
 
 namespace sns::sim {
 namespace {
@@ -82,6 +83,10 @@ SimOptFlags allLegacy() {
   f.indexed_ledger = false;
   f.memoize_solves = false;
   f.single_pass_schedule = false;
+  f.incremental_prune = false;
+  f.batched_scoring = false;
+  f.parallel_select = false;
+  f.simd_solver = false;
   return f;
 }
 
@@ -117,11 +122,16 @@ TEST_P(OptimizedVsLegacy, EachFlagAloneBitIdentical) {
   legacy.opt = allLegacy();
   const SimResult ref = runWith(f, legacy, seq);
 
-  for (int flag = 0; flag < 3; ++flag) {
+  for (int flag = 0; flag < 7; ++flag) {
     SimConfig one = legacy;
     one.opt.indexed_ledger = flag == 0;
     one.opt.memoize_solves = flag == 1;
     one.opt.single_pass_schedule = flag == 2;
+    one.opt.incremental_prune = flag == 3;
+    one.opt.batched_scoring = flag == 4;
+    one.opt.parallel_select = flag == 5;
+    one.opt.simd_solver = flag == 6;
+    if (flag == 5) one.opt.parallel_min_candidates = 1;
     SCOPED_TRACE("flag " + std::to_string(flag));
     expectIdentical(runWith(f, one, seq), ref);
   }
@@ -162,6 +172,60 @@ TEST(SimEquivalence, TraceStyleOverrideJobsBitIdentical) {
     legacy.opt = allLegacy();
     SCOPED_TRACE(sched::to_string(policy));
     expectIdentical(runWith(f, fast, seq), runWith(f, legacy, seq));
+  }
+}
+
+// Worst case for the incremental-prune and batched-scoring caches: many
+// jobs sharing a handful of specs pile up on a small contended cluster, so
+// the queue walk repeats identical selection queries and identical
+// tryPlace failures pass after pass, with releases invalidating both
+// caches mid-run. The cached decisions must match a cache-free rerun
+// exactly.
+TEST(SimEquivalence, ContendedDuplicateSpecsBitIdentical) {
+  auto& f = fixture();
+  std::vector<app::JobSpec> seq;
+  const char* progs[] = {"MG", "LU", "EP"};
+  for (int i = 0; i < 24; ++i) {
+    app::JobSpec j;
+    j.program = progs[i % 3];
+    j.procs = 16;
+    j.alpha = 0.9;
+    // Burst arrivals: eight jobs per wave so the queue stays deep and most
+    // dispatch attempts fail (and hit the failed-spec memo).
+    j.submit_time = 500.0 * (i / 8);
+    seq.push_back(j);
+  }
+  for (sched::PolicyKind policy :
+       {sched::PolicyKind::kCE, sched::PolicyKind::kCS, sched::PolicyKind::kSNS}) {
+    SimConfig fast = baseConfig(policy, /*monitored=*/true);
+    fast.nodes = 4;  // contended: nothing close to the aggregate demand
+    SimConfig legacy = fast;
+    legacy.opt = allLegacy();
+    SCOPED_TRACE(sched::to_string(policy));
+    expectIdentical(runWith(f, fast, seq), runWith(f, legacy, seq));
+  }
+}
+
+// Force the sharded candidate scan on any host: an injected 3-worker pool
+// plus parallel_min_candidates = 1 makes every bucket scan and score fill
+// go through the pool, and the ordered merge must reproduce the serial
+// scan bit-for-bit regardless of worker timing.
+TEST(SimEquivalence, ParallelSelectPoolBitIdentical) {
+  auto& f = fixture();
+  util::Rng rng(99);
+  const auto seq = app::randomSequence(rng, f.lib, 16, 0.9);
+  util::ThreadPool pool(3);
+  for (sched::PolicyKind policy :
+       {sched::PolicyKind::kCE, sched::PolicyKind::kCS, sched::PolicyKind::kSNS}) {
+    SimConfig fast = baseConfig(policy, /*monitored=*/true);
+    fast.search_pool = &pool;
+    fast.opt.parallel_min_candidates = 1;
+    SimConfig legacy = fast;
+    legacy.opt = allLegacy();
+    SCOPED_TRACE(sched::to_string(policy));
+    const SimResult a = runWith(f, fast, seq);
+    const SimResult b = runWith(f, legacy, seq);
+    expectIdentical(a, b);
   }
 }
 

@@ -145,7 +145,11 @@ TEST(TimeSeriesStore, ReferencesSurviveGrowth) {
   TimeSeriesStore store(8);
   Series& first = store.series("a");
   first.append(0.0, 1.0);
-  for (int i = 0; i < 100; ++i) store.series("s" + std::to_string(i));
+  for (int i = 0; i < 100; ++i) {
+    std::string name = "s";
+    name += std::to_string(i);
+    store.series(name);
+  }
   EXPECT_DOUBLE_EQ(first.last(), 1.0);  // map nodes are stable
   EXPECT_EQ(&first, &store.series("a"));
 }

@@ -18,6 +18,10 @@
 //   uberun explain   [same as metrics] [--job J]
 //   uberun hotpath   [same as metrics] [--sample N] [--folded FILE]
 //
+// All telemetry subcommands take --legacy-decision: run every SimOptFlags
+// hot-path optimization through its legacy implementation, for before/after
+// decision-latency attribution (the results are bit-identical either way).
+//
 // The telemetry subcommands (metrics / report / top) run the workload with
 // the sns::telemetry stack attached — periodic cluster sampling, SLO
 // watchdogs and the scheduler phase profiler — then export the series as
@@ -531,6 +535,18 @@ std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a,
   cfg.policy = parsePolicy(a.get("policy", "SNS"));
   cfg.online_profiling = a.flag("online");
   cfg.enforce_bandwidth_caps = a.flag("mba");
+  if (a.flag("legacy-decision")) {
+    // A/B switch for the fast decision path: run every SimOptFlags
+    // optimization through its legacy implementation, so `uberun hotpath`
+    // can attribute the before/after on the same workload.
+    cfg.opt.indexed_ledger = false;
+    cfg.opt.memoize_solves = false;
+    cfg.opt.single_pass_schedule = false;
+    cfg.opt.incremental_prune = false;
+    cfg.opt.batched_scoring = false;
+    cfg.opt.parallel_select = false;
+    cfg.opt.simd_solver = false;
+  }
   if (wl.trace_scale) {
     cfg.monitor_episode_s = 0.0;  // no per-node bw sampling at 4K nodes
     cfg.age_limit_s = 14.0 * 86400.0;
@@ -749,7 +765,7 @@ int main(int argc, char** argv) {
     const Args a = Args::parse(
         argc, argv,
         {"online", "mba", "network", "enforce-slo", "audit", "keep-going",
-         "anatomy"});
+         "anatomy", "legacy-decision"});
     if (cmd == "programs") return cmdPrograms(w);
     if (cmd == "profile") return cmdProfile(w, a);
     if (cmd == "generate") return cmdGenerate(w, a);
