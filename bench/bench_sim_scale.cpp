@@ -23,8 +23,11 @@
 //                   base (indexed + memo + singlepass; the pre-fast-path
 //                         configuration, baseline for the new flags)
 //                 plus additive tokens starting from none:
-//                   indexed, memo, singlepass, prune, batch, parallel, simd
-//                 e.g. --opt base,prune measures incremental pruning alone.
+//                   indexed, memo, singlepass, prune, batch, parallel, simd,
+//                   lazy, calendar, gate, dedup, slots
+//                 e.g. --opt base,prune measures incremental pruning alone,
+//                 and --opt base,batch,lazy,calendar builds the event engine
+//                 up flag by flag (the attribution ladder in EXPERIMENTS.md).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -56,6 +59,11 @@ sns::sim::SimOptFlags parseOpt(const std::string& csv) {
   f.batched_scoring = false;
   f.parallel_select = false;
   f.simd_solver = false;
+  f.lazy_progress = false;
+  f.finish_calendar = false;
+  f.futile_pass_gate = false;
+  f.dedup_node_solves = false;
+  f.slot_rates = false;
   std::stringstream ss(csv);
   std::string tok;
   while (std::getline(ss, tok, ',')) {
@@ -80,6 +88,16 @@ sns::sim::SimOptFlags parseOpt(const std::string& csv) {
       f.parallel_select = true;
     } else if (tok == "simd") {
       f.simd_solver = true;
+    } else if (tok == "lazy") {
+      f.lazy_progress = true;
+    } else if (tok == "calendar") {
+      f.finish_calendar = true;
+    } else if (tok == "gate") {
+      f.futile_pass_gate = true;
+    } else if (tok == "dedup") {
+      f.dedup_node_solves = true;
+    } else if (tok == "slots") {
+      f.slot_rates = true;
     } else {
       std::fprintf(stderr, "unknown --opt token: %s\n", tok.c_str());
       std::exit(2);
@@ -145,8 +163,9 @@ int main(int argc, char** argv) {
                                                    sched::PolicyKind::kSNS};
 
   util::Table t({"nodes", "policy", "wall s", "events", "events/s",
-                 "decision mean us", "decision p99 us", "memo hit %",
-                 "cache hit %", "select hit %", "spec skips"});
+                 "event us", "decision mean us", "decision p99 us",
+                 "memo hit %", "cache hit %", "select hit %", "spec skips",
+                 "futile skips", "active hwm"});
   util::Json::Array results;
   for (int nodes : cluster_sizes) {
     for (sched::PolicyKind policy : policies) {
@@ -178,6 +197,13 @@ int main(int argc, char** argv) {
                             counterValue(metrics, "sim.jobs_started") +
                             counterValue(metrics, "sim.jobs_finished");
       const double events_per_s = wall_s > 0.0 ? events / wall_s : 0.0;
+      // Mean wall-clock cost per simulated event — the reciprocal view of
+      // events_per_sec that the regression gate tracks (a flat event cost
+      // across active-set sizes is the O(log n) engine's core claim).
+      const double event_us_mean = events > 0.0 ? wall_s * 1e6 / events : 0.0;
+      const obs::Gauge* hwm_gauge = metrics.findGauge("sim.active_jobs_hwm");
+      const double active_hwm = hwm_gauge != nullptr ? hwm_gauge->value() : 0.0;
+      const double futile_skips = counterValue(metrics, "sim.futile_pass_skips");
       const obs::Histogram* dec = metrics.findHistogram("sim.decision_us");
       const double dec_mean = dec != nullptr ? dec->mean() : 0.0;
       const double dec_p99 = dec != nullptr ? dec->quantile(0.99) : 0.0;
@@ -210,9 +236,11 @@ int main(int argc, char** argv) {
       const std::string policy_name = res.policy;
       t.addRow({std::to_string(nodes), policy_name, util::fmt(wall_s, 3),
                 util::fmt(events, 0), util::fmt(events_per_s, 0),
-                util::fmt(dec_mean, 1), util::fmt(dec_p99, 1),
-                util::fmt(memo_pct, 1), util::fmt(cache_hit_pct, 1),
-                util::fmt(sel_hit_pct, 1), util::fmt(spec_skips, 0)});
+                util::fmt(event_us_mean, 1), util::fmt(dec_mean, 1),
+                util::fmt(dec_p99, 1), util::fmt(memo_pct, 1),
+                util::fmt(cache_hit_pct, 1), util::fmt(sel_hit_pct, 1),
+                util::fmt(spec_skips, 0), util::fmt(futile_skips, 0),
+                util::fmt(active_hwm, 0)});
 
       util::Json row;
       row["nodes"] = nodes;
@@ -220,6 +248,9 @@ int main(int argc, char** argv) {
       row["wall_s"] = wall_s;
       row["events"] = events;
       row["events_per_sec"] = events_per_s;
+      row["event_us_mean"] = event_us_mean;
+      row["active_jobs_hwm"] = active_hwm;
+      row["futile_pass_skips"] = futile_skips;
       row["decision_us_mean"] = dec_mean;
       row["decision_us_p99"] = dec_p99;
       row["solver_calls"] = solver_calls;

@@ -13,6 +13,10 @@ to the slow path) while shrugging off runner noise. Three signals are
 checked per cell:
 
   * events_per_sec must not collapse by more than --tolerance (default 8x);
+  * event_us_mean must not grow by more than --event-tolerance (default
+    8x) — wall microseconds per simulated event, the event engine's
+    headline number (DESIGN.md section 11); it moves when a per-event
+    O(active) loop sneaks back in even if decision latency stays flat;
   * decision_us_mean must not grow by more than --mean-tolerance
     (default 8x) — the headline number of the fast decision path
     (DESIGN.md section 10); losing one of the SimOptFlags optimizations
@@ -46,6 +50,7 @@ DEFAULT_BASELINE = "bench/baselines/sim_scale.json"
 # "max" fails when it grows past baseline*tolerance (smaller is better).
 SIGNALS = [
     ("events_per_sec", "min", "events/sec"),
+    ("event_us_mean", "max", "event_us_mean"),
     ("decision_us_mean", "max", "decision_us_mean"),
     ("decision_us_p99", "max", "decision_us_p99"),
 ]
@@ -114,6 +119,7 @@ def compare_cells(base, cur, tolerances):
 def render_delta_table(rows):
     out = [f"{'nodes':>6} {'policy':<6} "
            f"{'ev/s base':>10} {'ev/s cur':>10} {'ratio':>8}  "
+           f"{'evus base':>10} {'evus cur':>10} {'ratio':>8}  "
            f"{'mean base':>10} {'mean cur':>10} {'ratio':>8}  "
            f"{'p99 base':>10} {'p99 cur':>10} {'ratio':>8}"]
 
@@ -130,6 +136,7 @@ def render_delta_table(rows):
             continue
         out.append(f"{key[0]:>6} {key[1]:<6} "
                    f"{fmt(cells['events_per_sec'])}  "
+                   f"{fmt(cells['event_us_mean'])}  "
                    f"{fmt(cells['decision_us_mean'])}  "
                    f"{fmt(cells['decision_us_p99'])}")
     out.append("('!' marks a ratio outside its tolerance)")
@@ -158,6 +165,8 @@ def main():
                     help="fresh results to validate")
     ap.add_argument("--tolerance", type=float, default=8.0,
                     help="max allowed events/sec collapse factor (default 8)")
+    ap.add_argument("--event-tolerance", type=float, default=8.0,
+                    help="max allowed event_us_mean growth factor (default 8)")
     ap.add_argument("--mean-tolerance", type=float, default=8.0,
                     help="max allowed decision_us_mean growth factor "
                          "(default 8)")
@@ -179,6 +188,7 @@ def main():
         cur = load_cells(args.current)
         tolerances = {
             "events_per_sec": args.tolerance,
+            "event_us_mean": args.event_tolerance,
             "decision_us_mean": args.mean_tolerance,
             "decision_us_p99": args.latency_tolerance,
         }
@@ -199,7 +209,8 @@ def main():
             failed = True
         if not failed:
             print(f"\nOK: {compared} cell(s) within tolerance "
-                  f"(events/sec {args.tolerance:.0f}x, mean "
+                  f"(events/sec {args.tolerance:.0f}x, event "
+                  f"{args.event_tolerance:.0f}x, mean "
                   f"{args.mean_tolerance:.0f}x, p99 "
                   f"{args.latency_tolerance:.0f}x)")
 

@@ -19,14 +19,16 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
 
 
 def make_doc(cells):
-    """cells: list of (nodes, policy, ev/s, mean, p99) -> bench JSON doc."""
+    """cells: list of (nodes, policy, ev/s, mean, p99[, event_us]) -> doc."""
     results = []
-    for nodes, policy, evs, mean, p99 in cells:
+    for nodes, policy, evs, mean, p99, *rest in cells:
         row = {"nodes": nodes, "policy": policy, "events_per_sec": evs}
         if mean is not None:
             row["decision_us_mean"] = mean
         if p99 is not None:
             row["decision_us_p99"] = p99
+        if rest and rest[0] is not None:
+            row["event_us_mean"] = rest[0]
         results.append(row)
     return {"bench": "sim_scale", "results": results}
 
@@ -95,6 +97,29 @@ class CheckPerfRegressionTest(unittest.TestCase):
         r = self.run_pair(base, cur, "--mean-tolerance", "4")
         self.assertEqual(r.returncode, 1)
         self.assertIn("decision_us_mean", r.stderr)
+
+    def test_event_us_growth_fails(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0, 40.0)]
+        cur = [(4096, "SNS", 20000.0, 55.0, 500.0, 800.0)]  # 20x per-event
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("event_us_mean", r.stderr)
+        self.assertNotIn("decision_us_mean", r.stderr)
+
+    def test_tighter_event_tolerance_flag(self):
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0, 40.0)]
+        cur = [(4096, "SNS", 20000.0, 55.0, 500.0, 200.0)]  # 5x per-event
+        self.assertEqual(self.run_pair(base, cur).returncode, 0)
+        r = self.run_pair(base, cur, "--event-tolerance", "4")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("event_us_mean", r.stderr)
+
+    def test_baseline_missing_event_us_skips_that_signal(self):
+        # Baselines predating event_us_mean gate only the other signals.
+        base = [(4096, "SNS", 20000.0, 55.0, 500.0)]
+        cur = [(4096, "SNS", 20000.0, 55.0, 500.0, 9999.0)]
+        r = self.run_pair(base, cur)
+        self.assertEqual(r.returncode, 0, r.stderr)
 
     def test_baseline_missing_mean_skips_that_signal(self):
         # Baselines predating decision_us_mean gate only ev/s and p99.

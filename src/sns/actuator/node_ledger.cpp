@@ -6,28 +6,10 @@
 
 namespace sns::actuator {
 
-bool NodeLedger::fits(const NodeAllocation& r) const {
-  if (exclusive_) return false;  // resident exclusive job blocks all
-  if (r.exclusive && !allocs_.empty()) return false;
-  if (r.cores > idleCores()) return false;
-  if (r.ways > 0 && jobCount() >= mach_->max_llc_partitions) return false;
-  if (r.ways > freeWays()) return false;
-  if (r.bw_gbps > freeBandwidth() + 1e-9) return false;
-  if (r.net_gbps > freeNetwork() + 1e-9) return false;
-  return true;
-}
-
 void NodeLedger::refreshOccupancy() {
   occ_cores_ = static_cast<double>(cores_used_) / mach_->cores;
   occ_ways_ = static_cast<double>(ways_reserved_) / mach_->llc_ways;
   occ_bw_ = bw_reserved_ / peak_bw_;
-}
-
-const NodeAllocation* NodeLedger::find(JobId job) const {
-  for (const auto& [id, alloc] : allocs_) {
-    if (id == job) return &alloc;
-  }
-  return nullptr;
 }
 
 void NodeLedger::allocate(JobId job, const NodeAllocation& alloc) {
@@ -45,6 +27,7 @@ void NodeLedger::allocate(JobId job, const NodeAllocation& alloc) {
   bw_reserved_ += alloc.bw_gbps;
   net_reserved_ += alloc.net_gbps;
   if (alloc.exclusive) exclusive_ = true;
+  if (!alloc.exclusive && alloc.ways > 0) ++partitioned_residents_;
   refreshOccupancy();
 }
 
@@ -57,29 +40,18 @@ void NodeLedger::release(JobId job) {
   bw_reserved_ -= it->second.bw_gbps;
   net_reserved_ -= it->second.net_gbps;
   if (it->second.exclusive) exclusive_ = false;
+  if (!it->second.exclusive && it->second.ways > 0) --partitioned_residents_;
   allocs_.erase(it);
-  refreshOccupancy();
-}
-
-const NodeAllocation& NodeLedger::allocation(JobId job) const {
-  const NodeAllocation* alloc = find(job);
-  SNS_REQUIRE(alloc != nullptr, "job holds nothing on this node");
-  return *alloc;
-}
-
-double NodeLedger::effectiveWays(JobId job) const {
-  return effectiveWays(allocation(job));
-}
-
-double NodeLedger::effectiveWays(const NodeAllocation& alloc) const {
-  if (alloc.exclusive || alloc.ways == 0) {
-    // Exclusive jobs own the whole cache; unpartitioned jobs compete for it
-    // (the contention model resolves the free-for-all split).
-    return alloc.ways == 0 ? 0.0 : static_cast<double>(mach_->llc_ways);
+  if (allocs_.empty()) {
+    // Summed double reservations can hold a +-1-ULP residue after the last
+    // resident leaves ((a+b)-a-b != 0 in floating point), which would make
+    // an empty node's fits()/score() depend on its allocation history. Pin
+    // the sums to exact zeros: all fully idle nodes are then bit-identical,
+    // the invariant the ledger's uniform-idle selection fast path rests on.
+    bw_reserved_ = 0.0;
+    net_reserved_ = 0.0;
   }
-  const double donated =
-      static_cast<double>(freeWays()) / static_cast<double>(jobCount());
-  return alloc.ways + donated;
+  refreshOccupancy();
 }
 
 }  // namespace sns::actuator

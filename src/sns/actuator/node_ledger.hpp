@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sns/hw/machine.hpp"
+#include "sns/util/error.hpp"
 
 namespace sns::actuator {
 
@@ -41,10 +42,25 @@ class NodeLedger {
   int jobCount() const { return static_cast<int>(allocs_.size()); }
   bool idle() const { return allocs_.empty(); }
   bool hasExclusiveJob() const { return exclusive_; }
+  /// Residents holding a CAT partition (ways > 0, not exclusive) — the
+  /// only jobs way donation applies to. Maintained by allocate()/release()
+  /// so donation observers can skip the per-resident recompute on the
+  /// (dominant) nodes where it provably totals zero.
+  int partitionedResidents() const { return partitioned_residents_; }
 
   /// True if the requested allocation fits; exclusive requests need an
-  /// idle node; nothing fits next to an exclusive resident.
-  bool fits(const NodeAllocation& request) const;
+  /// idle node; nothing fits next to an exclusive resident. Inline: the
+  /// candidate scans evaluate this for every node they touch.
+  bool fits(const NodeAllocation& r) const {
+    if (exclusive_) return false;  // resident exclusive job blocks all
+    if (r.exclusive && !allocs_.empty()) return false;
+    if (r.cores > idleCores()) return false;
+    if (r.ways > 0 && jobCount() >= mach_->max_llc_partitions) return false;
+    if (r.ways > freeWays()) return false;
+    if (r.bw_gbps > freeBandwidth() + 1e-9) return false;
+    if (r.net_gbps > freeNetwork() + 1e-9) return false;
+    return true;
+  }
 
   /// Legacy convenience overload (no network term).
   bool fits(int cores, int ways, double bw_gbps, bool exclusive) const {
@@ -72,7 +88,11 @@ class NodeLedger {
   /// Release a job's resources; throws if the job holds nothing here.
   void release(JobId job);
   bool holds(JobId job) const { return find(job) != nullptr; }
-  const NodeAllocation& allocation(JobId job) const;
+  const NodeAllocation& allocation(JobId job) const {
+    const NodeAllocation* alloc = find(job);
+    SNS_REQUIRE(alloc != nullptr, "job holds nothing on this node");
+    return *alloc;
+  }
   /// Resident allocations in ascending JobId order. Backed by a sorted
   /// vector: a node hosts at most max_llc_partitions jobs, so linear
   /// operations beat a tree, and the vector's capacity is reused across
@@ -86,15 +106,29 @@ class NodeLedger {
   /// Ways actually backing a job's data right now: its partition plus an
   /// equal share of all unallocated ways (CAT partitions can overlap, so
   /// leftover capacity is donated and reclaimed dynamically).
-  double effectiveWays(JobId job) const;
+  double effectiveWays(JobId job) const { return effectiveWays(allocation(job)); }
   /// Same, for a caller that already looked the allocation up (the hot
   /// per-node solve path does, and the lookup would otherwise repeat).
-  double effectiveWays(const NodeAllocation& alloc) const;
+  double effectiveWays(const NodeAllocation& alloc) const {
+    if (alloc.exclusive || alloc.ways == 0) {
+      // Exclusive jobs own the whole cache; unpartitioned jobs compete for
+      // it (the contention model resolves the free-for-all split).
+      return alloc.ways == 0 ? 0.0 : static_cast<double>(mach_->llc_ways);
+    }
+    const double donated =
+        static_cast<double>(freeWays()) / static_cast<double>(jobCount());
+    return alloc.ways + donated;
+  }
 
   const hw::MachineConfig& machine() const { return *mach_; }
 
  private:
-  const NodeAllocation* find(JobId job) const;
+  const NodeAllocation* find(JobId job) const {
+    for (const auto& [id, alloc] : allocs_) {
+      if (id == job) return &alloc;
+    }
+    return nullptr;
+  }
   void refreshOccupancy();
 
   const hw::MachineConfig* mach_;
@@ -108,6 +142,7 @@ class NodeLedger {
   double occ_ways_ = 0.0;
   double occ_bw_ = 0.0;
   bool exclusive_ = false;
+  int partitioned_residents_ = 0;  ///< see partitionedResidents()
 };
 
 }  // namespace sns::actuator

@@ -12,12 +12,9 @@ namespace sns::actuator {
 
 namespace {
 
-/// Bounds for the selection cache: the dirty log halves itself past this
-/// size (older entries lose node-level revalidation and just recompute),
-/// and the entry map wipes wholesale — a contended simulation cycles
-/// through a few dozen distinct queries, so neither bound is reached in
-/// practice.
-constexpr std::size_t kMaxDirtyLog = 4096;
+/// Bound for the selection cache entry map: wipes wholesale when reached —
+/// a contended simulation cycles through a few dozen distinct queries, so
+/// the bound is not reached in practice.
 constexpr std::size_t kMaxCacheEntries = 8192;
 
 std::uint64_t mix64(std::uint64_t x) {
@@ -71,16 +68,6 @@ ResourceLedger::ResourceLedger(int nodes, const hw::MachineConfig& mach)
                       static_cast<std::size_t>(mach.llc_ways + 1),
                   0);
   gridCell(mach.cores, mach.llc_ways) = nodes;
-}
-
-const NodeLedger& ResourceLedger::node(int id) const {
-  SNS_REQUIRE(id >= 0 && id < nodeCount(), "node id out of range");
-  return nodes_[static_cast<std::size_t>(id)];
-}
-
-NodeLedger& ResourceLedger::mutableNode(int id) {
-  SNS_REQUIRE(id >= 0 && id < nodeCount(), "node id out of range");
-  return nodes_[static_cast<std::size_t>(id)];
 }
 
 void ResourceLedger::reindex(int id, int old_idle) {
@@ -146,6 +133,11 @@ std::vector<int> ResourceLedger::feasibleNodes(const NodeAllocation& request) co
   for (int c = mach_->cores; c >= std::max(0, request.cores); --c) {
     const auto& bucket = buckets_[static_cast<std::size_t>(c)];
     if (bucket.empty()) continue;
+    if (c == mach_->cores) {
+      scanIdleBucket(bucket, request, std::numeric_limits<std::size_t>::max(),
+                     out);
+      continue;
+    }
     scanBucket(bucket, request, std::numeric_limits<std::size_t>::max(), out);
   }
   return out;
@@ -208,6 +200,23 @@ void ResourceLedger::scanBucket(const NodeBitset& bucket,
   }
 }
 
+void ResourceLedger::scanIdleBucket(const NodeBitset& bucket,
+                                    const NodeAllocation& request,
+                                    std::size_t cap,
+                                    std::vector<int>& dest) const {
+  int rep = -1;
+  bucket.scan([&](int id) {
+    rep = id;
+    return false;
+  });
+  if (rep < 0 || !nodes_[static_cast<std::size_t>(rep)].fits(request)) return;
+  const std::size_t begin = dest.size();
+  bucket.scan([&](int id) {
+    dest.push_back(id);
+    return dest.size() - begin < cap;
+  });
+}
+
 void ResourceLedger::collectCandidates(const NodeAllocation& request,
                                        std::size_t per_group_cap) const {
   cand_.clear();
@@ -235,7 +244,18 @@ void ResourceLedger::collectCandidates(const NodeAllocation& request,
   for (int c = from; c <= mach_->cores; ++c) {
     const auto& bucket = buckets_[static_cast<std::size_t>(c)];
     if (bucket.empty()) continue;
-    scanBucket(bucket, request, per_group_cap, cand_);
+    if (request.exclusive && c < mach_->cores) {
+      // idleCores < cores proves a resident holds >= 1 core, so an
+      // exclusive request cannot fit anywhere in this bucket; keep the
+      // (empty) group so the group structure matches the per-node scan.
+      group_end_.push_back(cand_.size());
+      continue;
+    }
+    if (c == mach_->cores) {
+      scanIdleBucket(bucket, request, per_group_cap, cand_);
+    } else {
+      scanBucket(bucket, request, per_group_cap, cand_);
+    }
     group_end_.push_back(cand_.size());
   }
 }
@@ -311,15 +331,20 @@ std::vector<int> ResourceLedger::selectNodesRanked(int count,
       uniform = rank_scratch_[i].first == rank_scratch_.front().first;
     }
     if (!(uniform && ids_ascending)) {
-      // Identical prefix either way (strict total order); heap-based
-      // partial_sort only pays off when the prefix is a small slice.
+      // Identical prefix any way it is produced (strict total order, so
+      // the sorted prefix is unique). Heap-based partial_sort pays off
+      // when the prefix is a small slice; otherwise partition the winners
+      // to the front in O(n) and sort only them — a full sort paid
+      // n log n for a prefix the callers never read past.
+      const auto mid =
+          rank_scratch_.begin() + static_cast<std::ptrdiff_t>(count);
       if (static_cast<std::size_t>(count) * 4 >= n) {
-        std::sort(rank_scratch_.begin(), rank_scratch_.end());
+        if (static_cast<std::size_t>(count) < n) {
+          std::nth_element(rank_scratch_.begin(), mid, rank_scratch_.end());
+        }
+        std::sort(rank_scratch_.begin(), mid);
       } else {
-        std::partial_sort(
-            rank_scratch_.begin(),
-            rank_scratch_.begin() + static_cast<std::ptrdiff_t>(count),
-            rank_scratch_.end());
+        std::partial_sort(rank_scratch_.begin(), mid, rank_scratch_.end());
       }
     }
     std::vector<int> out(static_cast<std::size_t>(count));
@@ -337,17 +362,54 @@ std::vector<int> ResourceLedger::selectNodesRanked(int count,
   // single placement stays sub-linear on 32K-node clusters.
   const std::size_t scan_cap =
       std::max<std::size_t>(64, 2 * static_cast<std::size_t>(count) + 8);
-  collectCandidates(request, scan_cap);
-  std::size_t begin = 0;
-  for (std::size_t end : group_end_) {
-    if (end - begin >= static_cast<std::size_t>(count)) {
-      return best(cand_.data() + begin, end - begin, /*ids_ascending=*/true);
+  if (full_scan_) {
+    collectCandidates(request, scan_cap);
+    std::size_t begin = 0;
+    for (std::size_t end : group_end_) {
+      if (end - begin >= static_cast<std::size_t>(count)) {
+        return best(cand_.data() + begin, end - begin, /*ids_ascending=*/true);
+      }
+      begin = end;
     }
-    begin = end;
+    // No single group suffices: fall back to all feasible candidates, which
+    // is exactly the flattened group concatenation (ascending only within
+    // each group, so the shortcut does not apply).
+    if (cand_.size() < static_cast<std::size_t>(count)) return {};
+    return best(cand_.data(), cand_.size(), /*ids_ascending=*/false);
   }
-  // No single group suffices: fall back to all feasible candidates, which
-  // is exactly the flattened group concatenation (ascending only within
-  // each group, so the shortcut does not apply).
+  // Indexed arm: walk buckets lazily, best-fit first, and stop at the
+  // first group that satisfies the whole request on its own — identical
+  // to collecting every group up front and then walking (the winning
+  // group's candidates don't depend on groups after it), but a typical
+  // placement ends after one bucket instead of scanning all of them.
+  cand_.clear();
+  group_end_.clear();
+  for (int c = std::max(0, request.cores); c <= mach_->cores; ++c) {
+    const auto& bucket = buckets_[static_cast<std::size_t>(c)];
+    if (bucket.empty()) continue;
+    const std::size_t begin = cand_.size();
+    if (c == mach_->cores) {
+      scanIdleBucket(bucket, request, scan_cap, cand_);
+    } else {
+      scanBucket(bucket, request, scan_cap, cand_);
+    }
+    group_end_.push_back(cand_.size());
+    if (cand_.size() - begin >= static_cast<std::size_t>(count)) {
+      if (c == mach_->cores) {
+        // Every fully idle node scores exactly 0.0 (pinned zero
+        // reservations), so the uniform + ids_ascending shortcut in
+        // best() applies analytically: the answer is the first `count`
+        // ids, no score fill needed.
+        return {cand_.begin() + static_cast<std::ptrdiff_t>(begin),
+                cand_.begin() + static_cast<std::ptrdiff_t>(
+                                    begin + static_cast<std::size_t>(count))};
+      }
+      return best(cand_.data() + begin, cand_.size() - begin,
+                  /*ids_ascending=*/true);
+    }
+  }
+  // No single group sufficed; every bucket has been scanned above, so the
+  // flattened concatenation is complete.
   if (cand_.size() < static_cast<std::size_t>(count)) return {};
   return best(cand_.data(), cand_.size(), /*ids_ascending=*/false);
 }
@@ -428,8 +490,9 @@ int ResourceLedger::idleNodeCount() const {
 void ResourceLedger::setSelectionCache(bool on) {
   cache_on_ = on;
   sel_cache_.clear();
-  dirty_log_.clear();
-  dirty_floor_ = change_version_;
+  // With no live entries the suffix stacks protect nothing; restart them.
+  mut_suffix_.clear();
+  rel_suffix_.clear();
   cache_hits_ = 0;
   cache_misses_ = 0;
 }
@@ -469,16 +532,32 @@ std::size_t ResourceLedger::SelectQueryHash::operator()(
 void ResourceLedger::noteMutation(int old_idle, int new_idle, bool released) {
   ++change_version_;
   if (released) last_release_version_ = change_version_;
-  if (dirty_log_.size() >= kMaxDirtyLog) {
-    // Drop the older half; entries filled before the new floor lose
-    // node-level revalidation and simply recompute on their next lookup.
-    const std::size_t half = dirty_log_.size() / 2;
-    dirty_floor_ = dirty_log_[half - 1].version;
-    dirty_log_.erase(dirty_log_.begin(),
-                     dirty_log_.begin() + static_cast<std::ptrdiff_t>(half));
-  }
-  dirty_log_.push_back({change_version_, std::max(old_idle, new_idle), released});
+  const std::int32_t max_idle =
+      static_cast<std::int32_t>(std::max(old_idle, new_idle));
+  const auto push = [this, max_idle](SuffixStack& st) {
+    // A newer mutation with an equal-or-greater max_idle dominates every
+    // suffix an older entry could answer for; drop the dominated tail.
+    while (!st.empty() && st.back().second <= max_idle) st.pop_back();
+    st.push_back({change_version_, max_idle});
+  };
+  push(mut_suffix_);
+  if (released) push(rel_suffix_);
 }
+
+namespace {
+/// Max of max_idle over all stack entries with version > after, or -1 when
+/// there are none. Entries are strictly decreasing in value as versions
+/// increase (see mut_suffix_), so the answer is the first entry past
+/// `after`.
+std::int32_t suffixMaxIdle(
+    const std::vector<std::pair<std::uint64_t, std::int32_t>>& st,
+    std::uint64_t after) {
+  const auto it = std::upper_bound(
+      st.begin(), st.end(), after,
+      [](std::uint64_t v, const auto& e) { return v < e.first; });
+  return it == st.end() ? -1 : it->second;
+}
+}  // namespace
 
 bool ResourceLedger::entryStillValid(const CacheEntry& e) const {
   if (e.version == change_version_) return true;
@@ -491,24 +570,14 @@ bool ResourceLedger::entryStillValid(const CacheEntry& e) const {
     // can add a node the query would now see (a release's max_idle IS its
     // post-release idle count, since releasing only raises it).
     if (last_release_version_ <= e.version) return true;
-    if (e.version < dirty_floor_) return false;
-    for (auto ev = dirty_log_.rbegin();
-         ev != dirty_log_.rend() && ev->version > e.version; ++ev) {
-      if (ev->released && ev->max_idle >= from) return false;
-    }
-    return true;
+    return suffixMaxIdle(rel_suffix_, e.version) < from;
   }
   // Node-level revalidation: the query read exactly the nodes whose
   // idle-core count lies in [request.cores, cores]. A mutation whose
   // touched node stayed below that range (before and after) cannot have
-  // changed any input the query read; if every event since the fill is
+  // changed any input the query read; if every mutation since the fill is
   // such a mutation, the result is unchanged.
-  if (e.version < dirty_floor_) return false;
-  for (auto ev = dirty_log_.rbegin();
-       ev != dirty_log_.rend() && ev->version > e.version; ++ev) {
-    if (ev->max_idle >= from) return false;
-  }
-  return true;
+  return suffixMaxIdle(mut_suffix_, e.version) < from;
 }
 
 const std::vector<int>* ResourceLedger::cacheLookup(const SelectQuery& q) const {
@@ -530,9 +599,9 @@ void ResourceLedger::cacheStore(const SelectQuery& q,
                                 int kind) const {
   if (sel_cache_.size() >= kMaxCacheEntries) {
     sel_cache_.clear();
-    // With no live entries the history protects nothing; restart the log.
-    dirty_log_.clear();
-    dirty_floor_ = change_version_;
+    // With no live entries the history protects nothing; restart it.
+    mut_suffix_.clear();
+    rel_suffix_.clear();
   }
   CacheEntry e;
   e.nodes = result;

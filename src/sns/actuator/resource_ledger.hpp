@@ -10,6 +10,7 @@
 
 #include "sns/actuator/node_ledger.hpp"
 #include "sns/hw/machine.hpp"
+#include "sns/util/error.hpp"
 
 namespace sns::util {
 class ThreadPool;
@@ -117,7 +118,12 @@ class ResourceLedger {
   ResourceLedger(int nodes, const hw::MachineConfig& mach);
 
   int nodeCount() const { return static_cast<int>(nodes_.size()); }
-  const NodeLedger& node(int id) const;
+  // Inline: this is the single hottest call in the simulator (every
+  // selection scan, commit and rate refresh reads node state through it).
+  const NodeLedger& node(int id) const {
+    SNS_REQUIRE(id >= 0 && id < nodeCount(), "node id out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+  }
 
   /// A/B switch: when true, every query recomputes the idle-core grouping
   /// from a full scan of all nodes (the legacy O(N) path) instead of using
@@ -129,11 +135,12 @@ class ResourceLedger {
 
   /// A/B switch (SimOptFlags::incremental_prune): memoize selection
   /// queries and reuse the previous decision's result while the ledger
-  /// state it read is provably unchanged. Invalidation is node-level: a
-  /// bounded dirty log records, per allocate/release, the maximum of the
-  /// touched node's idle-core count before and after the mutation; a
-  /// cached query is reusable iff no logged event since its fill reaches
-  /// into the idle-core range [request.cores, cores] the query scanned.
+  /// state it read is provably unchanged. Invalidation is node-level:
+  /// every allocate/release records the maximum of the touched node's
+  /// idle-core count before and after the mutation (as a suffix-max
+  /// stack, see mut_suffix_); a cached query is reusable iff no mutation
+  /// since its fill reaches into the idle-core range
+  /// [request.cores, cores] the query scanned.
   /// Cached empty results additionally survive any run of pure
   /// allocations (failure is monotone: capacity only shrinks until a
   /// release). Results must be bit-identical to the uncached path; the
@@ -165,6 +172,13 @@ class ResourceLedger {
   /// out with c or more idle cores — no freed node can newly enter any
   /// query the failed attempt made, so the attempt still fails.
   int takeReleaseIdleWatermark() { return std::exchange(release_idle_watermark_, -1); }
+
+  /// Non-consuming read of what takeReleaseIdleWatermark() would return.
+  /// The simulator's futile-pass gate peeks to prove a batch of releases
+  /// cannot purge any failed-spec memo entry (watermark below every
+  /// recorded query floor) without resetting the accumulator — the next
+  /// pass that actually runs still consumes the full batch.
+  int peekReleaseIdleWatermark() const { return release_idle_watermark_; }
 
   /// Minimum request.cores across every selection/feasibility query since
   /// the last reset. The scheduler brackets a placement attempt with
@@ -263,7 +277,10 @@ class ResourceLedger {
   }
 
  private:
-  NodeLedger& mutableNode(int id);
+  NodeLedger& mutableNode(int id) {
+    SNS_REQUIRE(id >= 0 && id < nodeCount(), "node id out of range");
+    return nodes_[static_cast<std::size_t>(id)];
+  }
   void reindex(int id, int old_idle);
   /// Collect feasible candidates grouped by idle-core count into the
   /// cand_ / group_end_ scratch: ascending from request.cores (best-fit
@@ -280,6 +297,14 @@ class ResourceLedger {
   /// either way.
   void scanBucket(const NodeBitset& bucket, const NodeAllocation& request,
                   std::size_t cap, std::vector<int>& dest) const;
+  /// The fully-idle bucket (idleCores == mach_->cores) special case of
+  /// scanBucket: allocate() requires >= 1 core and release() pins the
+  /// double reservation sums to exact zeros on the last departure, so
+  /// every member node is bit-identical — one representative fits()
+  /// answers for the whole bucket, and accepted ids come straight off the
+  /// bitset without touching a node ledger. Same output as scanBucket.
+  void scanIdleBucket(const NodeBitset& bucket, const NodeAllocation& request,
+                      std::size_t cap, std::vector<int>& dest) const;
   /// The ranked (score / group-preference) selection — the former
   /// selectNodes() body; selectNodes() wraps it with the exclusive
   /// shortcut and the selection cache.
@@ -311,16 +336,6 @@ class ResourceLedger {
     std::int32_t count = 0;
     std::int32_t kind = 0;
     double beta = 0.0;
-  };
-  /// One ledger mutation: the touched node's max(idle before, idle after).
-  /// A query that scanned idle range [from, cores] is unaffected by every
-  /// event whose max_idle < from — the node was outside the scanned range
-  /// both before and after. Empty (failure) entries only care about
-  /// releases, so the event also records which kind it was.
-  struct DirtyEvent {
-    std::uint64_t version = 0;
-    std::int32_t max_idle = 0;
-    bool released = false;
   };
   static SelectQuery makeQuery(int kind, int count,
                                const NodeAllocation& request, double beta);
@@ -368,10 +383,21 @@ class ResourceLedger {
   bool cache_on_ = false;
   mutable std::unordered_map<SelectQuery, CacheEntry, SelectQueryHash>
       sel_cache_;
-  mutable std::vector<DirtyEvent> dirty_log_;
-  /// Events at or below this version were discarded; entries filled before
-  /// it cannot be node-level revalidated.
-  mutable std::uint64_t dirty_floor_ = 0;
+  /// Suffix-maxima of the mutation history, for O(log) revalidation. Each
+  /// mutation contributes the touched node's max(idle before, idle after);
+  /// a query that scanned idle range [from, cores] is unaffected by every
+  /// mutation whose max_idle < from — the node was outside the scanned
+  /// range both before and after. A monotone stack of (version, max_idle)
+  /// answers "max over all mutations after version V" exactly: pushing a
+  /// value pops every older entry it dominates, leaving values strictly
+  /// decreasing in version — so the suffix max is the first entry past V.
+  /// Bounded by the machine's core count + 1 regardless of history length
+  /// (one entry per distinct value), unlike the event log it replaced.
+  /// rel_suffix_ tracks releases only: cached failures survive pure
+  /// allocations (capacity is monotone), so they revalidate against it.
+  using SuffixStack = std::vector<std::pair<std::uint64_t, std::int32_t>>;
+  mutable SuffixStack mut_suffix_;
+  mutable SuffixStack rel_suffix_;
   std::uint64_t change_version_ = 0;       ///< bumped per allocate/release
   std::uint64_t last_release_version_ = 0;
   std::uint64_t release_epoch_ = 0;        ///< maintained regardless of flags

@@ -198,6 +198,55 @@ std::size_t Auditor::auditTimeSeries(const telemetry::TimeSeriesStore& store) {
   return static_cast<std::size_t>(total_violations_ - before);
 }
 
+std::size_t Auditor::auditFinishCalendar(
+    const sched::FinishCalendar& cal,
+    const std::vector<std::pair<sched::JobId, double>>& expected) {
+  if (!cfg_.check_calendar) return 0;
+  const std::uint64_t before = total_violations_;
+
+  // Structural self-check: heap order on every edge, position/key table
+  // consistency. The calendar reports each violated invariant in prose;
+  // a broken structure makes the key/top checks below meaningless.
+  const std::vector<std::string> structural = cal.auditInvariants();
+  check(structural.empty(), "calendar.structure",
+        static_cast<double>(structural.size()), 0.0,
+        structural.empty() ? std::string("heap structure consistent")
+                           : structural.front());
+  if (!structural.empty()) {
+    return static_cast<std::size_t>(total_violations_ - before);
+  }
+
+  // Membership and keys: exactly the expected jobs, each keyed by the
+  // recomputed finish projection bit-for-bit (the calendar key is set
+  // from the same double at the same rate boundary — any drift means a
+  // missed or spurious re-key).
+  check(cal.size() == expected.size(), "calendar.size",
+        static_cast<double>(cal.size()), static_cast<double>(expected.size()),
+        "calendar population disagrees with the active-job count");
+  sched::JobId min_id = -1;
+  double min_key = std::numeric_limits<double>::infinity();
+  for (const auto& [id, key] : expected) {
+    if (!cal.contains(id)) {
+      check(false, "calendar.membership", 0.0, static_cast<double>(id),
+            "active job " + std::to_string(id) + " missing from the calendar");
+      continue;
+    }
+    check(cal.key(id) == key, "calendar.key", cal.key(id), key,
+          "job " + std::to_string(id) +
+              ": calendar key disagrees with the recomputed finish projection");
+    if (key < min_key || (key == min_key && id < min_id)) {
+      min_key = key;
+      min_id = id;
+    }
+  }
+  if (!expected.empty() && cal.size() == expected.size()) {
+    check(cal.topId() == min_id && cal.topKey() == min_key, "calendar.top",
+          static_cast<double>(cal.topId()), static_cast<double>(min_id),
+          "calendar top entry is not the (key, id) minimum of the expected set");
+  }
+  return static_cast<std::size_t>(total_violations_ - before);
+}
+
 std::size_t Auditor::auditSchedulerState(
     const actuator::ResourceLedger& ledger, const sched::JobQueue& queue,
     const perfmodel::SolverCache& cache) {

@@ -9,6 +9,7 @@
 #include "sns/actuator/resource_ledger.hpp"
 #include "sns/obs/recorder.hpp"
 #include "sns/perfmodel/solver_cache.hpp"
+#include "sns/sched/finish_calendar.hpp"
 #include "sns/sched/queue.hpp"
 #include "sns/telemetry/timeseries.hpp"
 
@@ -48,6 +49,9 @@ struct AuditorConfig {
   bool check_ledger = true;
   bool check_queue = true;
   bool check_solver_cache = true;
+  /// Finish-time calendar (simulator event engine): heap structure plus
+  /// key-by-key agreement with an independently recomputed expected set.
+  bool check_calendar = true;
   /// Relative tolerance for the cluster-wide bandwidth total: it is the
   /// one cached value that legitimately accumulates floating-point drift
   /// (at most one ulp per allocate/release; integers are exact).
@@ -93,6 +97,15 @@ class Auditor {
   std::size_t auditQueue(const sched::JobQueue& queue);
   std::size_t auditSolverCache(const perfmodel::SolverCache& cache);
   std::size_t auditTimeSeries(const telemetry::TimeSeriesStore& store);
+  /// Cross-validate the simulator's finish-time calendar against
+  /// `expected`: exactly those jobs present, every key bit-identical to
+  /// the recomputed projection, heap invariants intact, and the top entry
+  /// the true (key, id) minimum. `expected` is the caller's full
+  /// recomputation (the simulator rebuilds it from the active-job list on
+  /// every audited scheduling point).
+  std::size_t auditFinishCalendar(
+      const sched::FinishCalendar& cal,
+      const std::vector<std::pair<sched::JobId, double>>& expected);
 
   /// The per-scheduling-point bundle ClusterSimulator drives: ledger +
   /// queue + solver cache, honoring the per-family config toggles.

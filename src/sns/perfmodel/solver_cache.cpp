@@ -53,7 +53,7 @@ const std::vector<ShareOutcome>& SolverCache::solve(
   }
   ++misses_;
   if (m_misses_) m_misses_->inc();
-  if (cache_.size() >= kMaxEntries) {
+  if (cache_.size() >= capacity_) {
     evictions_ += cache_.size();
     if (m_evictions_) m_evictions_->inc(static_cast<double>(cache_.size()));
     cache_.clear();

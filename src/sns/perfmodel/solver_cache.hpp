@@ -41,6 +41,18 @@ class SolverCache {
 
   void clear();
   std::size_t size() const { return cache_.size(); }
+  /// Entry bound for the capacity safety valve (default kMaxEntries). A
+  /// miss that finds the cache at or past the bound wipes it wholesale
+  /// before inserting, counting every discarded entry as an eviction.
+  /// Applied lazily on the next miss; shrinking below the current size
+  /// does not wipe by itself. Exists so tests (and memory-capped runs)
+  /// can exercise the eviction path the production bound almost never
+  /// reaches — no benchmark trace produces a million distinct co-run
+  /// signatures.
+  void setCapacity(std::size_t max_entries) {
+    capacity_ = max_entries > 0 ? max_entries : 1;
+  }
+  std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   /// Entries discarded by the capacity safety valve (whole-cache wipes).
@@ -88,6 +100,7 @@ class SolverCache {
   static constexpr std::size_t kMaxEntries = 1 << 20;
 
   const NodeContentionSolver* solver_;
+  std::size_t capacity_ = kMaxEntries;  ///< see setCapacity()
   std::unordered_map<Signature, std::vector<ShareOutcome>, SigHash> cache_;
   Signature scratch_;  ///< reused lookup key, no per-call allocation at steady state
   bool flat_ = false;            ///< see setFlatSolve()

@@ -1,0 +1,114 @@
+#include "sns/sched/finish_calendar.hpp"
+
+#include "sns/util/error.hpp"
+
+namespace sns::sched {
+
+void FinishCalendar::reset(std::size_t n_jobs) {
+  heap_.clear();
+  key_.assign(n_jobs, 0.0);
+  pos_.assign(n_jobs, -1);
+}
+
+void FinishCalendar::insert(JobId id, double key) {
+  SNS_REQUIRE(static_cast<std::size_t>(id) < pos_.size(),
+              "calendar job id out of range");
+  SNS_REQUIRE(!contains(id), "job already in the finish calendar");
+  key_[static_cast<std::size_t>(id)] = key;
+  heap_.push_back(id);
+  place(heap_.size() - 1, id);
+  siftUp(heap_.size() - 1);
+}
+
+void FinishCalendar::update(JobId id, double key) {
+  SNS_REQUIRE(contains(id), "job not in the finish calendar");
+  key_[static_cast<std::size_t>(id)] = key;
+  // One of these is a no-op; the other restores heap order from the
+  // entry's (possibly moved) position.
+  siftUp(static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]));
+  siftDown(static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]));
+}
+
+void FinishCalendar::erase(JobId id) {
+  SNS_REQUIRE(contains(id), "job not in the finish calendar");
+  const std::size_t i = static_cast<std::size_t>(pos_[static_cast<std::size_t>(id)]);
+  pos_[static_cast<std::size_t>(id)] = -1;
+  const JobId last = heap_.back();
+  heap_.pop_back();
+  if (i < heap_.size()) {
+    place(i, last);
+    siftUp(i);
+    siftDown(static_cast<std::size_t>(pos_[static_cast<std::size_t>(last)]));
+  }
+}
+
+JobId FinishCalendar::pop() {
+  SNS_REQUIRE(!heap_.empty(), "pop on an empty finish calendar");
+  const JobId top = heap_.front();
+  erase(top);
+  return top;
+}
+
+void FinishCalendar::siftUp(std::size_t i) {
+  const JobId id = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(id, heap_[parent])) break;
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, id);
+}
+
+void FinishCalendar::siftDown(std::size_t i) {
+  const JobId id = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+    if (!before(heap_[child], id)) break;
+    place(i, heap_[child]);
+    i = child;
+  }
+  place(i, id);
+}
+
+std::vector<std::string> FinishCalendar::auditInvariants() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const JobId id = heap_[i];
+    if (static_cast<std::size_t>(id) >= pos_.size()) {
+      out.push_back("heap slot " + std::to_string(i) +
+                    " holds out-of-range job " + std::to_string(id));
+      continue;
+    }
+    if (pos_[static_cast<std::size_t>(id)] != static_cast<std::int32_t>(i)) {
+      out.push_back("job " + std::to_string(id) + " at heap slot " +
+                    std::to_string(i) + " but position table says " +
+                    std::to_string(pos_[static_cast<std::size_t>(id)]));
+    }
+    if (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (before(id, heap_[parent])) {
+        out.push_back("heap order violated: slot " + std::to_string(i) +
+                      " (job " + std::to_string(id) +
+                      ") sorts before its parent slot " +
+                      std::to_string(parent) + " (job " +
+                      std::to_string(heap_[parent]) + ")");
+      }
+    }
+  }
+  std::size_t present = 0;
+  for (std::int32_t p : pos_) {
+    if (p >= 0) ++present;
+  }
+  if (present != heap_.size()) {
+    out.push_back("position table marks " + std::to_string(present) +
+                  " jobs present but the heap holds " +
+                  std::to_string(heap_.size()));
+  }
+  return out;
+}
+
+}  // namespace sns::sched

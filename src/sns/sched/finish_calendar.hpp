@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sns/sched/job.hpp"
+
+namespace sns::sched {
+
+/// Deterministic finish-time calendar: an indexed binary min-heap over
+/// (projected finish time, JobId). The simulator's event engine keys every
+/// running job by the finish time projected at its last rate boundary;
+/// the calendar answers "when is the next completion" in O(1) and
+/// re-keys / erases / pops in O(log n), replacing the per-event
+/// O(active) min-scan and done-sweep (DESIGN.md "O(log n) event
+/// engine").
+///
+/// Ordering is lexicographic on (key, id): simultaneous finishes pop in
+/// ascending JobId order, exactly the order the legacy done-sweep
+/// produced after its sort — ties never depend on heap internals.
+///
+/// Job ids are dense (the simulator assigns 0..n-1 per run), so the
+/// id -> heap-position and id -> key tables are flat vectors; nothing on
+/// this path allocates at steady state and nothing hashes (the snslint
+/// `unordered-decision-path` rule keeps unordered containers out of this
+/// file — their iteration order and rehash timing are
+/// implementation-defined, and the calendar must be bit-deterministic).
+class FinishCalendar {
+ public:
+  /// Drop every entry and size the id tables for jobs 0..n_jobs-1.
+  void reset(std::size_t n_jobs);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(JobId id) const {
+    return static_cast<std::size_t>(id) < pos_.size() &&
+           pos_[static_cast<std::size_t>(id)] >= 0;
+  }
+  double key(JobId id) const { return key_[static_cast<std::size_t>(id)]; }
+
+  /// Smallest (key, id) entry. Callers must check empty() first.
+  JobId topId() const { return heap_.front(); }
+  double topKey() const { return key_[static_cast<std::size_t>(heap_.front())]; }
+
+  /// Insert a new job (must not be present).
+  void insert(JobId id, double key);
+  /// Re-key a present job (up or down).
+  void update(JobId id, double key);
+  /// Insert-or-re-key, the rate-refresh entry point.
+  void upsert(JobId id, double key) {
+    if (contains(id)) {
+      update(id, key);
+    } else {
+      insert(id, key);
+    }
+  }
+  /// Remove a present job from anywhere in the heap.
+  void erase(JobId id);
+  /// Remove and return the top entry.
+  JobId pop();
+
+  /// Structural self-check for sns::audit: heap order on every edge,
+  /// position-table consistency, key-table agreement. Returns
+  /// human-readable descriptions of every violated invariant (empty =
+  /// consistent). O(entries).
+  std::vector<std::string> auditInvariants() const;
+
+ private:
+  bool before(JobId a, JobId b) const {
+    const double ka = key_[static_cast<std::size_t>(a)];
+    const double kb = key_[static_cast<std::size_t>(b)];
+    if (ka != kb) return ka < kb;
+    return a < b;
+  }
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  void place(std::size_t i, JobId id) {
+    heap_[i] = id;
+    pos_[static_cast<std::size_t>(id)] = static_cast<std::int32_t>(i);
+  }
+
+  std::vector<JobId> heap_;          ///< heap of job ids, min at front
+  std::vector<double> key_;          ///< id -> projected finish time
+  std::vector<std::int32_t> pos_;    ///< id -> index in heap_, -1 if absent
+};
+
+}  // namespace sns::sched

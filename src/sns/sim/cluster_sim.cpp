@@ -19,7 +19,6 @@ namespace sns::sim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr double kDoneEps = 1e-9;
 
 /// Implements the legacy SimConfig::on_start / on_finish hooks on top of
 /// the structured event stream: job_started / job_finished events are
@@ -66,6 +65,7 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
   policy_->setBatchScoring(cfg_.opt.batched_scoring);
   node_stamp_.assign(static_cast<std::size_t>(cfg.nodes), 0u);
   node_jobs_.resize(static_cast<std::size_t>(cfg.nodes));
+  node_job_slots_.resize(static_cast<std::size_t>(cfg.nodes));
   node_solution_.resize(static_cast<std::size_t>(cfg.nodes));
   node_net_demand_.assign(static_cast<std::size_t>(cfg.nodes), 0.0);
   busy_pos_.assign(static_cast<std::size_t>(cfg.nodes), -1);
@@ -99,6 +99,8 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
     m_spec_skips_ = &m.counter("sim.spec_skips");
     m_select_hits_ = &m.counter("sim.select_cache_hits");
     m_select_misses_ = &m.counter("sim.select_cache_misses");
+    m_futile_skips_ = &m.counter("sim.futile_pass_skips");
+    m_active_hwm_ = &m.gauge("sim.active_jobs_hwm");
     m_queue_depth_ = &m.gauge("sim.queue_depth");
     m_busy_nodes_ = &m.gauge("sim.busy_nodes");
     m_wait_s_ = &m.histogram("sim.wait_s", time_buckets);
@@ -186,6 +188,10 @@ void ClusterSimulator::activate(sched::JobId id) {
   SNS_REQUIRE(pos < 0, "job already active");
   pos = static_cast<std::int32_t>(active_.size());
   active_.push_back(id);
+  if (active_.size() > active_hwm_) {
+    active_hwm_ = active_.size();
+    if (m_active_hwm_) m_active_hwm_->set(static_cast<double>(active_hwm_));
+  }
 }
 
 void ClusterSimulator::deactivate(sched::JobId id) {
@@ -198,7 +204,7 @@ void ClusterSimulator::deactivate(sched::JobId id) {
   pos = -1;
 }
 
-void ClusterSimulator::addResident(int nd, sched::JobId id) {
+void ClusterSimulator::addResident(int nd, sched::JobId id, std::uint32_t slot) {
   auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
   if (jobs.empty()) {
     busy_pos_[static_cast<std::size_t>(nd)] =
@@ -206,11 +212,17 @@ void ClusterSimulator::addResident(int nd, sched::JobId id) {
     busy_nodes_.push_back(nd);
   }
   jobs.push_back(id);
+  node_job_slots_[static_cast<std::size_t>(nd)].push_back(slot);
 }
 
 void ClusterSimulator::removeResident(int nd, sched::JobId id) {
   auto& jobs = node_jobs_[static_cast<std::size_t>(nd)];
-  jobs.erase(std::remove(jobs.begin(), jobs.end(), id), jobs.end());
+  auto& slots = node_job_slots_[static_cast<std::size_t>(nd)];
+  std::size_t k = 0;
+  while (k < jobs.size() && jobs[k] != id) ++k;
+  SNS_REQUIRE(k < jobs.size(), "job not resident on node");
+  jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(k));
+  slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(k));
   if (jobs.empty()) {
     auto& pos = busy_pos_[static_cast<std::size_t>(nd)];
     const int last = busy_nodes_.back();
@@ -225,28 +237,40 @@ void ClusterSimulator::noteDonations(int nd) {
   if (!cfg_.donate_unused_ways) return;
   if (!rec_.enabled() && m_ways_donated_ == nullptr) return;
   const auto& node = ledger_.node(nd);
+  double& prev_donated = node_donated_[static_cast<std::size_t>(nd)];
+  // O(1) fast-out: only partitioned, non-exclusive residents receive
+  // donated ways. With none on the node and nothing previously observed,
+  // the total below is 0.0 and nothing changes — and wide spread
+  // placements make this the dominant case (every node of an exclusive or
+  // unpartitioned placement takes it on start and finish).
+  const int partitioned = node.partitionedResidents();
+  if (partitioned == 0 && prev_donated == 0.0) return;
+  // Each partitioned resident receives the same donated share
+  // freeWays / jobCount (effectiveWays(alloc) - alloc.ways cancels the
+  // partition term exactly), so the node total is just count x share —
+  // no walk over the resident allocations. This runs on every node of
+  // every placement at start and finish, so the closed form is what keeps
+  // wide spread placements from paying O(residents) here.
   double total = 0.0;
-  for (sched::JobId id : node_jobs_[static_cast<std::size_t>(nd)]) {
-    const auto& alloc = node.allocation(id);
-    // Donation is only meaningful for partitioned co-runners: exclusive
-    // and unpartitioned jobs already see the whole cache.
-    if (alloc.exclusive || alloc.ways == 0) continue;
-    total += node.effectiveWays(alloc) - alloc.ways;
+  if (partitioned > 0) {
+    total = static_cast<double>(partitioned) *
+            (static_cast<double>(node.freeWays()) /
+             static_cast<double>(node.jobCount()));
   }
-  double& prev = node_donated_[static_cast<std::size_t>(nd)];
-  const double delta = total - prev;
+  const double delta = total - prev_donated;
   if (delta > 1e-9) {
     rec_.waysDonated(nd, delta, total);
     if (m_ways_donated_) m_ways_donated_->inc(delta);
   } else if (delta < -1e-9) {
     rec_.waysReclaimed(nd, -delta, total);
   }
-  prev = total;
+  prev_donated = total;
 }
 
 void ClusterSimulator::admit(sched::Job job) {
   rec_.jobSubmitted(job.id, job.spec.program, job.spec.procs);
   if (m_submitted_) m_submitted_->inc();
+  futile_ready_ = false;  // a fresh arrival may well place
   queue_.push(std::move(job));
   if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
 }
@@ -306,7 +330,8 @@ void ClusterSimulator::resolveNode(int nd) {
   }
 }
 
-void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
+void ClusterSimulator::refreshRates(double now,
+                                    const std::vector<int>& dirty_nodes) {
   telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kRateRefresh);
   // Jobs touching a dirty node need their progress rate re-derived.
   // Deduplicate with epoch stamps (collected in the same pass that
@@ -317,9 +342,57 @@ void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
     stamp_epoch_ = 1;
   }
   affected_scratch_.clear();
+  const bool dedup = cfg_.opt.dedup_node_solves;
+  const bool slots_on = cfg_.opt.slot_rates;
+  // With slot-indexed derivation on and episode monitoring off, nothing
+  // ever reads a non-representative node's stored solution (derivation
+  // reads the slot arrays, accumulate() reads solutions only when
+  // monitoring) — so group members can read the rep's solution in place
+  // instead of materializing a copy per node.
+  const bool keep_solutions = !slots_on || cfg_.monitor_episode_s > 0.0;
+  if (dedup) solve_group_reps_.clear();
   for (int nd : dirty_nodes) {
-    resolveNode(nd);
-    for (sched::JobId id : node_jobs_[static_cast<std::size_t>(nd)]) {
+    const auto& resident = node_jobs_[static_cast<std::size_t>(nd)];
+    // Solve dedup: every node of a spread placement hosts the same
+    // ordered resident list, and a job's allocation is uniform across its
+    // nodes — so equal resident id lists imply identical co-run
+    // signatures and identical outcomes. One representative solve per
+    // group, shared with (or copied to) the rest. The rep list stays tiny
+    // (one entry per distinct co-run set among the dirty nodes), so a
+    // linear scan beats any hashing — and keeps unordered containers off
+    // the decision path.
+    int src_node = nd;
+    bool copied = false;
+    if (dedup) {
+      for (int rep : solve_group_reps_) {
+        if (node_jobs_[static_cast<std::size_t>(rep)] == resident) {
+          src_node = rep;
+          copied = true;
+          break;
+        }
+      }
+      if (!copied) solve_group_reps_.push_back(nd);
+    }
+    if (!copied) {
+      resolveNode(nd);
+    } else if (keep_solutions) {
+      auto& dst = node_solution_[static_cast<std::size_t>(nd)];
+      const auto& src = node_solution_[static_cast<std::size_t>(src_node)];
+      dst.rate.assign(src.rate.begin(), src.rate.end());
+      dst.bw.assign(src.bw.begin(), src.bw.end());
+    }
+    if (slots_on) {
+      // Write the fresh solution through to each resident's flat slot
+      // arrays, so the per-job derivation below reads contiguous memory.
+      const auto& sol = node_solution_[static_cast<std::size_t>(src_node)];
+      const auto& slot_of = node_job_slots_[static_cast<std::size_t>(nd)];
+      for (std::size_t i = 0; i < resident.size(); ++i) {
+        Running& r = running(resident[i]);
+        r.rate_slots[slot_of[i]] = sol.rate[i];
+        r.bw_slots[slot_of[i]] = sol.bw[i];
+      }
+    }
+    for (sched::JobId id : resident) {
       auto& stamp = job_stamp_[static_cast<std::size_t>(id)];
       if (stamp != stamp_epoch_) {
         stamp = stamp_epoch_;
@@ -332,20 +405,41 @@ void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
   const double nic_cap = est_->machine().net_bw_gbps;
   for (sched::JobId id : affected_scratch_) {
     Running& r = running(id);
+    // Settle the job at this rate boundary under its outgoing rate. This
+    // is the canonical progress arithmetic (DESIGN.md section 11): the
+    // anchor moves only here, and the settlement is exactly zero when the
+    // job was already settled at `now` — so the deferred end-of-pass
+    // refresh, which revisits the pass's placements at the same instant,
+    // changes nothing.
+    r.anchor_remaining -= (now - r.anchor_time) * r.rate;
+    r.anchor_time = now;
     double corun_rate = kInf;
     double bw_sum = 0.0;
     double net_over = 1.0;
-    for (int nd : r.placement.nodes) {
-      const auto& resident = node_jobs_[static_cast<std::size_t>(nd)];
-      const auto& sol = node_solution_[static_cast<std::size_t>(nd)];
-      std::size_t k = 0;
-      while (k < resident.size() && resident[k] != id) ++k;
-      SNS_REQUIRE(k < resident.size(), "job missing from node solution");
-      corun_rate = std::min(corun_rate, sol.rate[k]);
-      bw_sum += sol.bw[k];
-      // NIC oversubscription on this node stretches everyone's comm.
-      net_over = std::max(
-          net_over, node_net_demand_[static_cast<std::size_t>(nd)] / nic_cap);
+    if (slots_on) {
+      // Same nodes in the same order, same min/sum/max sequence as the
+      // search loop below — bit-identical, just contiguous reads.
+      const auto& nodes = r.placement.nodes;
+      for (std::size_t s = 0; s < nodes.size(); ++s) {
+        corun_rate = std::min(corun_rate, r.rate_slots[s]);
+        bw_sum += r.bw_slots[s];
+        net_over = std::max(
+            net_over,
+            node_net_demand_[static_cast<std::size_t>(nodes[s])] / nic_cap);
+      }
+    } else {
+      for (int nd : r.placement.nodes) {
+        const auto& resident = node_jobs_[static_cast<std::size_t>(nd)];
+        const auto& sol = node_solution_[static_cast<std::size_t>(nd)];
+        std::size_t k = 0;
+        while (k < resident.size() && resident[k] != id) ++k;
+        SNS_REQUIRE(k < resident.size(), "job missing from node solution");
+        corun_rate = std::min(corun_rate, sol.rate[k]);
+        bw_sum += sol.bw[k];
+        // NIC oversubscription on this node stretches everyone's comm.
+        net_over = std::max(
+            net_over, node_net_demand_[static_cast<std::size_t>(nd)] / nic_cap);
+      }
     }
     SNS_REQUIRE(corun_rate > 0.0, "co-run rate must be positive");
     const double stretch = r.solo_rate / corun_rate;
@@ -354,6 +448,11 @@ void ClusterSimulator::refreshRates(const std::vector<int>& dirty_nodes) {
                           r.comm_data_time * net_over + r.wait_time;
     SNS_REQUIRE(t_inst > 0.0, "instantaneous job time must be positive");
     r.rate = 1.0 / t_inst;
+    // Project the completion off the fresh settlement; the projection is
+    // the calendar key and the done criterion (finish_time <= now,
+    // exactly) in every configuration.
+    r.finish_time = r.anchor_time + r.anchor_remaining / r.rate;
+    if (cfg_.opt.finish_calendar) calendar_.upsert(id, r.finish_time);
     r.bw_per_node = bw_sum / r.placement.nodeCount();
     if (cfg_.enforce_bandwidth_caps && rec_.enabled()) {
       // Report each transition into the MBA-capped regime exactly once.
@@ -404,6 +503,17 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
   r.wait_time = solo.wait_time * reps;
   r.solo_rate = solo.ipc * est_->machine().frequency_ghz * 1e9;
   r.remaining = 1.0;
+  // Anchor at the start instant with zero rate: the mandatory rate
+  // refresh that follows every placement (possibly deferred to the end of
+  // the pass, still at the same virtual time) performs the first real
+  // settlement — a no-op — and computes the first finish projection.
+  r.anchor_time = now;
+  r.anchor_remaining = 1.0;
+  r.finish_time = kInf;
+  if (cfg_.opt.slot_rates) {
+    r.rate_slots.assign(p.nodes.size(), 0.0);
+    r.bw_slots.assign(p.nodes.size(), 0.0);
+  }
   // Ground-truth NIC usage: remote traffic volume over the solo run time
   // (repeats and trace rescaling multiply volume and time alike).
   r.nic_demand = solo.time > 0.0
@@ -413,9 +523,10 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
 
   activate(job.id);
   const actuator::NodeAllocation alloc = p.nodeAllocation();
-  for (int nd : p.nodes) {
+  for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+    const int nd = p.nodes[i];
     ledger_.allocate(nd, job.id, alloc);
-    addResident(nd, job.id);
+    addResident(nd, job.id, static_cast<std::uint32_t>(i));
     node_net_demand_[static_cast<std::size_t>(nd)] += r.nic_demand;
   }
 
@@ -433,6 +544,10 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
 
 void ClusterSimulator::finishJob(sched::JobId id, double now) {
   const Running& r = running(id);
+  // Normally the main loop already popped the finisher; the contains()
+  // guard covers a co-finisher at the same instant whose settlement
+  // re-inserted it (its projected finish collapses onto `now`).
+  if (cfg_.opt.finish_calendar && calendar_.contains(id)) calendar_.erase(id);
   JobRecord& record = records_[static_cast<std::size_t>(id)];
   record.finish = now;
   rec_.jobFinished(id, record.spec.program, record.runTime());
@@ -467,7 +582,7 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
   deactivate(id);
   // The Running slot (and its placement node list) stays valid after
   // deactivation — no copy of the dirty-node list is needed.
-  refreshRates(r.placement.nodes);
+  refreshRates(now, r.placement.nodes);
 }
 
 bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
@@ -491,6 +606,7 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
     if (!failed_specs_valid_ ||
         failed_specs_generation_ != local_db_.generation()) {
       failed_specs_.clear();
+      failed_specs_min_floor_ = std::numeric_limits<int>::max();
       (void)ledger_.takeReleaseIdleWatermark();
       failed_specs_release_epoch_ = ledger_.releaseEpoch();
       failed_specs_generation_ = local_db_.generation();
@@ -520,11 +636,20 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
     p = policy_->tryPlace(job, ledger_, local_db_);
   }
   if (!p.has_value()) {
-    if (spec_memo) failed_specs_.emplace(spec_key, ledger_.queryCoreFloor());
+    if (spec_memo) {
+      const int floor = ledger_.queryCoreFloor();
+      failed_specs_.emplace(spec_key, floor);
+      // Running minimum over live entries, for the futile-pass gate. Only
+      // lowered — purges never raise it back, which is conservative: a
+      // stale-low floor makes the gate run a pass it could have skipped,
+      // never skip one it must run.
+      failed_specs_min_floor_ = std::min(failed_specs_min_floor_, floor);
+    }
     return false;
   }
   telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kPlacementCommit);
   const sched::Job job_copy = job;
+  ++pass_placements_;
   {
     xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kCommit, job_copy.id);
     startJob(job_copy, *p, now);
@@ -536,7 +661,7 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
     markDeferredDirty(p->nodes);
   } else {
     xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kRateRefresh, job_copy.id);
-    refreshRates(p->nodes);
+    refreshRates(now, p->nodes);
   }
   if (prov != nullptr) {
     const std::uint64_t hits = solve_cache_.hits() - hits0;
@@ -603,7 +728,37 @@ void ClusterSimulator::scheduleLegacy(double now) {
   }
 }
 
+bool ClusterSimulator::passProvablyFutile() const {
+  if (queue_.empty()) return true;
+  // Memo arm: the last executed pass placed nothing with every visited
+  // failure memoized (futile_ready_; admissions clear it), so the walk is
+  // a pure replay unless something since could unblock a memo entry. The
+  // profile database is checked by generation; releases by the idle-core
+  // watermark against the smallest query floor any live entry recorded —
+  // peeked, not consumed, so the pass that eventually runs still purges
+  // over the full release batch. The head-age cutoff can only stop a
+  // replayed walk *earlier* (age grows with the clock), which cannot
+  // create a placement.
+  if (!futile_ready_ || !failed_specs_valid_) return false;
+  if (failed_specs_generation_ != local_db_.generation()) return false;
+  if (ledger_.releaseEpoch() == failed_specs_release_epoch_) return true;
+  return ledger_.peekReleaseIdleWatermark() < failed_specs_min_floor_;
+}
+
 void ClusterSimulator::schedule(double now) {
+  if (cfg_.opt.futile_pass_gate && cfg_.xray == nullptr &&
+      passProvablyFutile()) {
+    // A skipped pass is provably a no-op on simulation state: no clock
+    // reads, no queue walk, no events. Gauges still track reality; the
+    // pass counter stays put (no pass ran).
+    if (m_futile_skips_) m_futile_skips_->inc();
+    if (m_queue_depth_) m_queue_depth_->set(static_cast<double>(queue_.size()));
+    if (m_busy_nodes_) {
+      m_busy_nodes_->set(static_cast<double>(ledger_.busyNodeCount()));
+    }
+    return;
+  }
+  pass_placements_ = 0;
   // Decision-latency metric only — never feeds a scheduling decision.
   using Clock = std::chrono::steady_clock;  // snslint: allow(wall-clock)
   const auto wall_begin = m_decision_us_ ? Clock::now() : Clock::time_point{};
@@ -635,7 +790,7 @@ void ClusterSimulator::schedule(double now) {
     defer_refresh_ = false;
     if (!deferred_dirty_.empty()) {
       xray::ScopedSpan xs(cfg_.xray, xray::SpanKind::kBatchRefresh);
-      refreshRates(deferred_dirty_);
+      refreshRates(now, deferred_dirty_);
       deferred_dirty_.clear();
     }
   }
@@ -651,6 +806,10 @@ void ClusterSimulator::schedule(double now) {
         std::chrono::duration<double, std::micro>(Clock::now() - wall_begin)
             .count());
   }
+  // Arm the futile-pass gate: an empty-handed pass whose every failure
+  // went through the spec memo (batchFastPath) will replay identically
+  // until an admission, a profile change or a big-enough release.
+  futile_ready_ = pass_placements_ == 0 && batchFastPath();
 }
 
 void ClusterSimulator::auditTick() {
@@ -660,6 +819,17 @@ void ClusterSimulator::auditTick() {
   // a single predictable branch; Release builds compile the call out.
   if (cfg_.auditor != nullptr) {
     cfg_.auditor->auditSchedulerState(ledger_, queue_, solve_cache_);
+    if (cfg_.opt.finish_calendar) {
+      // Cross-check every calendar key against a full recomputation of
+      // the expected membership: exactly the active jobs, each keyed by
+      // its boundary-settled finish projection, bit-for-bit.
+      std::vector<std::pair<sched::JobId, double>> expected;
+      expected.reserve(active_.size());
+      for (sched::JobId id : active_) {
+        expected.emplace_back(id, running(id).finish_time);
+      }
+      cfg_.auditor->auditFinishCalendar(calendar_, expected);
+    }
   }
 #endif
 }
@@ -802,6 +972,9 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   policy_->beginRun();
   failed_specs_.clear();
   failed_specs_valid_ = false;
+  failed_specs_min_floor_ = std::numeric_limits<int>::max();
+  futile_ready_ = false;
+  pass_placements_ = 0;
   solo_memo_.clear();
   deferred_dirty_.clear();
   std::fill(node_stamp_.begin(), node_stamp_.end(), 0u);
@@ -813,9 +986,13 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   records_.assign(n, JobRecord{});
   active_.clear();
   active_pos_.assign(n, -1);
+  active_hwm_ = 0;
+  if (m_active_hwm_) m_active_hwm_->set(0.0);
+  calendar_.reset(n);
   job_stamp_.assign(n, 0u);
   stamp_epoch_ = 0;
   for (auto& v : node_jobs_) v.clear();
+  for (auto& v : node_job_slots_) v.clear();
   for (auto& s : node_solution_) {
     s.rate.clear();
     s.bw.clear();
@@ -863,11 +1040,17 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   if (cfg_.sampler != nullptr && cfg_.sampler->due(now)) sampleTelemetry(now);
 
   while (!active_.empty() || !queue_.empty() || next_submit < submits.size()) {
-    // Next completion.
+    // Next completion: the calendar's top key IS the minimum projected
+    // finish time; the legacy arm scans the active list reading the same
+    // boundary-settled projections (identical doubles, O(active) instead
+    // of O(log active)).
     double t_finish = kInf;
-    for (sched::JobId id : active_) {
-      const Running& r = running(id);
-      t_finish = std::min(t_finish, now + r.remaining / r.rate);
+    if (cfg_.opt.finish_calendar) {
+      if (!calendar_.empty()) t_finish = calendar_.topKey();
+    } else {
+      for (sched::JobId id : active_) {
+        t_finish = std::min(t_finish, running(id).finish_time);
+      }
     }
     // Next submission.
     const double t_submit =
@@ -878,9 +1061,15 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     const double t_next = std::min(t_finish, t_submit);
 
     accumulate(now, t_next);
-    for (sched::JobId id : active_) {
-      Running& r = running(id);
-      r.remaining -= (t_next - now) * r.rate;
+    if (!cfg_.opt.lazy_progress) {
+      // Legacy-arm structural cost: the old per-event decrement over every
+      // active job. Nothing reads `remaining` for decisions anymore — the
+      // canonical progress state is the boundary-settled anchor — so the
+      // lazy arm simply skips the loop.
+      for (sched::JobId id : active_) {
+        Running& r = running(id);
+        r.remaining -= (t_next - now) * r.rate;
+      }
     }
     now = t_next;
     rec_.setTime(now);
@@ -890,15 +1079,22 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
       admit(std::move(submits[next_submit++]));
     }
 
-    // Finish all jobs that completed at this instant, in ascending id
-    // order (the active list is unordered; sorting keeps the finish
-    // sequence — and hence events and profile merges — deterministic and
-    // identical to the old map iteration).
+    // Finish everything projected to complete at this instant, in
+    // ascending id order. Every such job carries finish_time == now
+    // exactly (t_next is the minimum of the keys), so the calendar's
+    // (key, id) pop order IS ascending id order — identical to the legacy
+    // sweep-and-sort over the unordered active list.
     done_scratch_.clear();
-    for (sched::JobId id : active_) {
-      if (running(id).remaining <= kDoneEps) done_scratch_.push_back(id);
+    if (cfg_.opt.finish_calendar) {
+      while (!calendar_.empty() && calendar_.topKey() <= now) {
+        done_scratch_.push_back(calendar_.pop());
+      }
+    } else {
+      for (sched::JobId id : active_) {
+        if (running(id).finish_time <= now) done_scratch_.push_back(id);
+      }
+      std::sort(done_scratch_.begin(), done_scratch_.end());
     }
-    std::sort(done_scratch_.begin(), done_scratch_.end());
     for (sched::JobId id : done_scratch_) finishJob(id, now);
 
     schedule(now);

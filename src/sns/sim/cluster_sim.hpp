@@ -14,6 +14,7 @@
 #include "sns/perfmodel/solver_cache.hpp"
 #include "sns/profile/database.hpp"
 #include "sns/profile/profiler.hpp"
+#include "sns/sched/finish_calendar.hpp"
 #include "sns/sched/policies.hpp"
 #include "sns/sched/queue.hpp"
 #include "sns/telemetry/phase_profiler.hpp"
@@ -81,6 +82,46 @@ struct SimOptFlags {
   /// (below it, handing work to the pool costs more than the scan).
   /// Tests set 1 to force the parallel path on small clusters.
   int parallel_min_candidates = 2048;
+  // ---- O(log n) event engine (DESIGN.md section 11) -------------------------
+  // Progress accounting is settled-at-rate-boundary in EVERY configuration
+  // (the canonical arithmetic; see the numeric re-baseline note in
+  // DESIGN.md section 11). These flags switch the *structures* around that
+  // arithmetic, so each legacy arm stays bit-identical to its optimized
+  // arm and the equivalence suite can prove it.
+  /// Lazy progress accounting: with the flag on, a running job's state is
+  /// touched only at its rate boundaries (start, a co-runner change on one
+  /// of its nodes, finish). The legacy arm additionally performs the old
+  /// per-event `remaining -= dt * rate` write over every active job — the
+  /// O(active)-per-event cost the re-baseline made redundant (decisions
+  /// read only the boundary-settled anchors in both arms).
+  bool lazy_progress = true;
+  /// Deterministic finish-time calendar: an indexed min-heap keyed on
+  /// (projected finish time, JobId) replaces both the per-event
+  /// next-completion min-scan and the done-job sweep; jobs are re-keyed
+  /// only when a rate refresh actually touches them. The legacy arm scans
+  /// the active set reading the same cached projections.
+  bool finish_calendar = true;
+  /// Skip scheduling passes that provably cannot place anything: the
+  /// queue is empty, or the previous pass placed nothing with every
+  /// failure memoized and nothing since could unblock one (no admission,
+  /// no profile change, and every release stayed below the failed-spec
+  /// memo's query-core floor — peeked, not consumed). Skipped passes do
+  /// no work at all (no clock reads, no walk); sim.futile_pass_skips
+  /// counts them. Engages the memo arm only under batchFastPath() and
+  /// skips entirely only when no xray tracer wants per-pass spans.
+  bool futile_pass_gate = true;
+  /// Deduplicate contention solves across dirty nodes with identical
+  /// resident sets: every node of a spread placement hosts the same
+  /// ordered job list (a job's allocation is uniform across its nodes),
+  /// so one representative solve per group is broadcast instead of
+  /// rebuilding and re-solving the same signature per node.
+  bool dedup_node_solves = true;
+  /// Slot-indexed rate derivation: each running job carries flat per-node
+  /// rate/bandwidth slots (parallel to its placement's node list) that
+  /// dirty-node solves write through, so re-deriving a job's progress
+  /// rate reads two contiguous arrays instead of searching each node's
+  /// resident list. Summation order equals the legacy per-node walk.
+  bool slot_rates = true;
 };
 
 /// Simulator knobs.
@@ -252,11 +293,27 @@ class ClusterSimulator {
     double nic_demand = 0.0;       ///< per-node NIC bandwidth demand, GB/s
     double remote_frac = 0.0;      ///< placement-fixed remote-traffic fraction
     double solo_rate = 0.0;        ///< per-proc instr rate when alone
-    double remaining = 1.0;        ///< fraction of the job left
+    /// Legacy-arm diagnostic only (opt.lazy_progress off): the old
+    /// per-event-decremented work fraction. Decisions never read it — the
+    /// canonical progress state is the boundary-settled anchor below.
+    double remaining = 1.0;
     double rate = 0.0;             ///< d(remaining)/dt under current co-run
+    // ---- settled-at-rate-boundary progress (canonical, DESIGN.md §11) ------
+    double anchor_time = 0.0;      ///< virtual time of the last settlement
+    double anchor_remaining = 1.0; ///< work fraction left at anchor_time
+    /// Projected completion, anchor_time + anchor_remaining / rate,
+    /// computed once per rate boundary. The calendar key; "done" means
+    /// finish_time <= now, exactly.
+    double finish_time = 0.0;
     double net_stretch = 1.0;      ///< NIC-contention stretch on comm time
     double bw_per_node = 0.0;      ///< current achieved per-node bandwidth
     bool throttled = false;        ///< MBA cap currently binding (for events)
+    /// Per-placement-node achieved rate / bandwidth from the owning
+    /// node's latest solve (opt.slot_rates): slot i belongs to
+    /// placement.nodes[i]. Dirty-node solves write through
+    /// node_job_slots_; rate derivation then reads contiguous arrays.
+    std::vector<double> rate_slots;
+    std::vector<double> bw_slots;
   };
 
   /// Per-node co-run solution, parallel to node_jobs_[nd]: rate[i] / bw[i]
@@ -294,7 +351,15 @@ class ClusterSimulator {
   void startJob(const sched::Job& job, const sched::Placement& p, double now);
   void finishJob(sched::JobId id, double now);
   void resolveNode(int node);
-  void refreshRates(const std::vector<int>& dirty_nodes);
+  /// Re-solve `dirty_nodes` and re-derive the progress rate of every job
+  /// resident on one of them, settling each at `now` (the rate boundary)
+  /// and re-keying the finish calendar. `now` is the current virtual
+  /// time of the simulation — every caller refreshes at the instant the
+  /// co-run actually changed.
+  void refreshRates(double now, const std::vector<int>& dirty_nodes);
+  /// True when schedule(now) provably cannot place anything (see
+  /// SimOptFlags::futile_pass_gate); only called with the flag on.
+  bool passProvablyFutile() const;
   void accumulate(double t0, double t1);
   void admit(sched::Job job);
   /// Re-derive how many LLC ways node `nd` currently donates to its
@@ -308,7 +373,10 @@ class ClusterSimulator {
   }
   void activate(sched::JobId id);
   void deactivate(sched::JobId id);
-  void addResident(int nd, sched::JobId id);
+  /// `slot` is the node's index within the job's placement node list
+  /// (Running::rate_slots index) — recorded so dirty-node solves can
+  /// write straight into the owning job's slot arrays.
+  void addResident(int nd, sched::JobId id, std::uint32_t slot);
   void removeResident(int nd, sched::JobId id);
 
   const perfmodel::Estimator* est_;
@@ -331,6 +399,9 @@ class ClusterSimulator {
 
   /// jobs resident on each node
   std::vector<std::vector<sched::JobId>> node_jobs_;
+  /// Parallel to node_jobs_[nd]: the node's index within that job's
+  /// placement node list (its Running slot index; see opt.slot_rates).
+  std::vector<std::vector<std::uint32_t>> node_job_slots_;
   /// per-node, per-job achieved compute rate / bandwidth from the last solve
   std::vector<NodeSolution> node_solution_;
   /// total NIC bandwidth demand per node (ground-truth network contention)
@@ -353,6 +424,28 @@ class ClusterSimulator {
   std::vector<std::pair<int, double>> bw_scratch_;  ///< (node, bandwidth)
   std::vector<sched::JobId> done_scratch_;
   perfmodel::SolveScratch solve_scratch_;  ///< flat-solver working set
+
+  // ---- O(log n) event engine state (DESIGN.md section 11) -------------------
+  /// Finish-time calendar (opt.finish_calendar): contains exactly the
+  /// active jobs between scheduling points, keyed by Running::finish_time.
+  sched::FinishCalendar calendar_;
+  /// Representative nodes of this refresh's identical-resident-set groups
+  /// (opt.dedup_node_solves); hoisted scratch, small (one entry per
+  /// distinct co-run set among the dirty nodes).
+  std::vector<int> solve_group_reps_;
+  /// Futile-pass gate state (opt.futile_pass_gate): true when the last
+  /// executed pass placed nothing while the batched fast path memoized
+  /// every failure — the precondition for skipping a provably identical
+  /// pass. Cleared by admissions and at run start.
+  bool futile_ready_ = false;
+  /// Placements committed by the pass currently executing.
+  int pass_placements_ = 0;
+  /// Minimum query-core floor across live failed-spec memo entries
+  /// (monotone under purges: stale-low is conservative — the gate runs a
+  /// pass it could have skipped, never skips one it must run).
+  int failed_specs_min_floor_ = 0;
+  /// High-water mark of the active-job count this run (sim.active_jobs_hwm).
+  std::size_t active_hwm_ = 0;
 
   // ---- batched queue-head scoring state (opt.batched_scoring) ---------------
   /// "This spec cannot currently be placed" memo, keyed on the exact
@@ -419,6 +512,8 @@ class ClusterSimulator {
   obs::Counter* m_spec_skips_ = nullptr;       ///< sim.spec_skips
   obs::Counter* m_select_hits_ = nullptr;      ///< sim.select_cache_hits
   obs::Counter* m_select_misses_ = nullptr;    ///< sim.select_cache_misses
+  obs::Counter* m_futile_skips_ = nullptr;     ///< sim.futile_pass_skips
+  obs::Gauge* m_active_hwm_ = nullptr;         ///< sim.active_jobs_hwm
   obs::Gauge* m_queue_depth_ = nullptr;
   obs::Gauge* m_busy_nodes_ = nullptr;
   obs::Histogram* m_wait_s_ = nullptr;

@@ -166,6 +166,65 @@ TEST_F(AuditorTest, ViolationRecordingIsCappedButCountingIsNot) {
   EXPECT_GE(auditor.totalViolations(), 5u);
 }
 
+TEST_F(AuditorTest, ConsistentFinishCalendarAuditsClean) {
+  sched::FinishCalendar cal;
+  cal.reset(8);
+  cal.insert(1, 120.0);
+  cal.insert(4, 80.0);
+  cal.insert(6, 80.0);  // tie with job 4: top must be the smaller id
+
+  Auditor auditor;
+  EXPECT_EQ(auditor.auditFinishCalendar(
+                cal, {{1, 120.0}, {4, 80.0}, {6, 80.0}}),
+            0u);
+  EXPECT_TRUE(auditor.ok()) << auditor.report();
+}
+
+TEST_F(AuditorTest, CalendarDisagreementsAreCaught) {
+  sched::FinishCalendar cal;
+  cal.reset(8);
+  cal.insert(1, 120.0);
+  cal.insert(4, 80.0);
+
+  // Missing member: job 6 is active but never inserted.
+  Auditor a1;
+  EXPECT_GT(a1.auditFinishCalendar(cal, {{1, 120.0}, {4, 80.0}, {6, 50.0}}),
+            0u);
+  bool missing = false;
+  for (const Violation& v : a1.violations()) {
+    if (v.check == "calendar.membership") missing = true;
+  }
+  EXPECT_TRUE(missing) << a1.report();
+
+  // Stale key: the recomputed projection moved but the calendar was not
+  // re-keyed (one-ULP drift counts — the check is bit-exact).
+  Auditor a2;
+  EXPECT_GT(a2.auditFinishCalendar(cal, {{1, 120.0}, {4, 80.00000000000001}}),
+            0u);
+  bool stale = false;
+  for (const Violation& v : a2.violations()) {
+    if (v.check == "calendar.key") stale = true;
+  }
+  EXPECT_TRUE(stale) << a2.report();
+
+  // Spurious entry: a finished job still on the calendar shows up as a
+  // size disagreement.
+  Auditor a3;
+  EXPECT_GT(a3.auditFinishCalendar(cal, {{1, 120.0}}), 0u);
+  bool spurious = false;
+  for (const Violation& v : a3.violations()) {
+    if (v.check == "calendar.size") spurious = true;
+  }
+  EXPECT_TRUE(spurious) << a3.report();
+
+  // check_calendar = false disables the whole family.
+  AuditorConfig cfg;
+  cfg.check_calendar = false;
+  Auditor off(cfg);
+  EXPECT_EQ(off.auditFinishCalendar(cal, {{1, 0.0}}), 0u);
+  EXPECT_TRUE(off.ok());
+}
+
 #if SNS_AUDIT_ENABLED
 // End-to-end: a real simulator run with per-pass auditing stays clean and
 // produces the same schedule as an unaudited run.

@@ -1,0 +1,195 @@
+// FinishCalendar is the event engine's ordering authority: the simulator
+// pops completions from it instead of min-scanning the active set, so its
+// (key, id) order, re-key behavior, and erase-from-the-middle paths must be
+// exactly right — a single misplaced entry reorders job finishes and breaks
+// bit-identity with the legacy sweep. Tie-breaking on ascending JobId is
+// load-bearing (simultaneous finishes must pop in the legacy sweep's order),
+// so it gets its own tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sns/sched/finish_calendar.hpp"
+#include "sns/util/error.hpp"
+#include "sns/util/rng.hpp"
+
+namespace sns::sched {
+namespace {
+
+std::vector<JobId> drain(FinishCalendar& cal) {
+  std::vector<JobId> out;
+  while (!cal.empty()) out.push_back(cal.pop());
+  return out;
+}
+
+TEST(FinishCalendar, PopsInAscendingKeyOrder) {
+  FinishCalendar cal;
+  cal.reset(8);
+  cal.insert(0, 50.0);
+  cal.insert(1, 10.0);
+  cal.insert(2, 90.0);
+  cal.insert(3, 30.0);
+  EXPECT_EQ(cal.topId(), 1);
+  EXPECT_EQ(cal.topKey(), 10.0);
+  EXPECT_EQ(drain(cal), (std::vector<JobId>{1, 3, 0, 2}));
+}
+
+TEST(FinishCalendar, EqualKeysPopInAscendingIdOrder) {
+  // Simultaneous finishes: the legacy done-sweep collected done jobs in
+  // ascending id order, and the calendar must reproduce that exactly
+  // regardless of insertion order.
+  FinishCalendar cal;
+  cal.reset(8);
+  for (JobId id : {5, 1, 7, 2, 4}) cal.insert(id, 100.0);
+  EXPECT_EQ(cal.topId(), 1);
+  EXPECT_EQ(drain(cal), (std::vector<JobId>{1, 2, 4, 5, 7}));
+}
+
+TEST(FinishCalendar, TieBreakBeatsHeapShape) {
+  // Interleave ties with non-ties so sift paths move tied entries through
+  // several heap shapes before the ties surface.
+  FinishCalendar cal;
+  cal.reset(16);
+  cal.insert(9, 20.0);
+  cal.insert(3, 20.0);
+  cal.insert(12, 5.0);
+  cal.insert(6, 20.0);
+  cal.insert(0, 40.0);
+  cal.insert(1, 20.0);
+  EXPECT_EQ(drain(cal), (std::vector<JobId>{12, 1, 3, 6, 9, 0}));
+}
+
+TEST(FinishCalendar, UpdateReKeysUpAndDown) {
+  FinishCalendar cal;
+  cal.reset(4);
+  cal.insert(0, 10.0);
+  cal.insert(1, 20.0);
+  cal.insert(2, 30.0);
+
+  // Rate drop pushes job 0's projected finish past everyone: sifts down.
+  cal.update(0, 99.0);
+  EXPECT_EQ(cal.topId(), 1);
+  EXPECT_EQ(cal.key(0), 99.0);
+
+  // Rate rise pulls job 2 to the front: sifts up.
+  cal.update(2, 1.0);
+  EXPECT_EQ(cal.topId(), 2);
+  EXPECT_EQ(drain(cal), (std::vector<JobId>{2, 1, 0}));
+}
+
+TEST(FinishCalendar, UpdateToTieJoinsIdOrder) {
+  // A re-key landing exactly on an existing key must slot into id order,
+  // not "after whoever was already there".
+  FinishCalendar cal;
+  cal.reset(8);
+  cal.insert(4, 10.0);
+  cal.insert(2, 50.0);
+  cal.insert(6, 30.0);
+  cal.update(6, 10.0);
+  EXPECT_EQ(drain(cal), (std::vector<JobId>{4, 6, 2}));
+}
+
+TEST(FinishCalendar, EraseFromTheMiddleKeepsOrder) {
+  FinishCalendar cal;
+  cal.reset(8);
+  for (JobId id = 0; id < 8; ++id) {
+    cal.insert(id, 10.0 * static_cast<double>(8 - id));  // reverse key order
+  }
+  cal.erase(3);
+  cal.erase(7);  // current minimum
+  cal.erase(0);  // current maximum
+  EXPECT_FALSE(cal.contains(3));
+  EXPECT_TRUE(cal.contains(5));
+  EXPECT_EQ(cal.size(), 5u);
+  EXPECT_TRUE(cal.auditInvariants().empty());
+  EXPECT_EQ(drain(cal), (std::vector<JobId>{6, 5, 4, 2, 1}));
+}
+
+TEST(FinishCalendar, UpsertInsertsThenReKeys) {
+  FinishCalendar cal;
+  cal.reset(4);
+  cal.upsert(1, 20.0);
+  EXPECT_TRUE(cal.contains(1));
+  EXPECT_EQ(cal.key(1), 20.0);
+  cal.upsert(1, 5.0);  // present: re-key, not a duplicate insert
+  EXPECT_EQ(cal.size(), 1u);
+  EXPECT_EQ(cal.key(1), 5.0);
+}
+
+TEST(FinishCalendar, ResetClearsAndResizes) {
+  FinishCalendar cal;
+  cal.reset(4);
+  cal.insert(0, 1.0);
+  cal.insert(3, 2.0);
+  cal.reset(2);
+  EXPECT_TRUE(cal.empty());
+  EXPECT_FALSE(cal.contains(0));
+  cal.insert(1, 7.0);  // ids 0..1 valid after the resize
+  EXPECT_EQ(cal.topId(), 1);
+}
+
+TEST(FinishCalendar, PreconditionsThrow) {
+  FinishCalendar cal;
+  cal.reset(2);
+  EXPECT_THROW(cal.pop(), util::PreconditionError);
+  EXPECT_THROW(cal.update(0, 1.0), util::PreconditionError);
+  EXPECT_THROW(cal.erase(0), util::PreconditionError);
+  EXPECT_THROW(cal.insert(2, 1.0), util::PreconditionError);  // out of range
+  cal.insert(0, 1.0);
+  EXPECT_THROW(cal.insert(0, 2.0), util::PreconditionError);  // duplicate
+}
+
+TEST(FinishCalendar, AuditCleanThroughRandomChurn) {
+  // Randomized insert/update/erase/pop churn: the structural audit must
+  // stay clean at every step, and a final drain must equal a sort of the
+  // surviving (key, id) pairs.
+  util::Rng rng(42);
+  constexpr std::size_t kJobs = 64;
+  FinishCalendar cal;
+  cal.reset(kJobs);
+  std::vector<bool> present(kJobs, false);
+  for (int step = 0; step < 2000; ++step) {
+    const JobId id = rng.uniformInt(0, kJobs - 1);
+    const double key = static_cast<double>(rng.uniformInt(0, 19));  // many ties
+    switch (rng.uniformInt(0, 3)) {
+      case 0:
+        if (!present[static_cast<std::size_t>(id)]) {
+          cal.insert(id, key);
+          present[static_cast<std::size_t>(id)] = true;
+        }
+        break;
+      case 1:
+        if (present[static_cast<std::size_t>(id)]) cal.update(id, key);
+        break;
+      case 2:
+        if (present[static_cast<std::size_t>(id)]) {
+          cal.erase(id);
+          present[static_cast<std::size_t>(id)] = false;
+        }
+        break;
+      default:
+        if (!cal.empty()) {
+          present[static_cast<std::size_t>(cal.pop())] = false;
+        }
+        break;
+    }
+    ASSERT_TRUE(cal.auditInvariants().empty()) << "step " << step;
+  }
+
+  std::vector<std::pair<double, JobId>> expect;
+  for (std::size_t id = 0; id < kJobs; ++id) {
+    if (present[id]) expect.push_back({cal.key(static_cast<JobId>(id)),
+                                       static_cast<JobId>(id)});
+  }
+  std::sort(expect.begin(), expect.end());
+  std::vector<std::pair<double, JobId>> got;
+  while (!cal.empty()) {
+    got.push_back({cal.topKey(), cal.topId()});
+    cal.pop();
+  }
+  EXPECT_EQ(got, expect);
+}
+
+}  // namespace
+}  // namespace sns::sched

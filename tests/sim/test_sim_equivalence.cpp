@@ -87,6 +87,11 @@ SimOptFlags allLegacy() {
   f.batched_scoring = false;
   f.parallel_select = false;
   f.simd_solver = false;
+  f.lazy_progress = false;
+  f.finish_calendar = false;
+  f.futile_pass_gate = false;
+  f.dedup_node_solves = false;
+  f.slot_rates = false;
   return f;
 }
 
@@ -122,7 +127,7 @@ TEST_P(OptimizedVsLegacy, EachFlagAloneBitIdentical) {
   legacy.opt = allLegacy();
   const SimResult ref = runWith(f, legacy, seq);
 
-  for (int flag = 0; flag < 7; ++flag) {
+  for (int flag = 0; flag < 12; ++flag) {
     SimConfig one = legacy;
     one.opt.indexed_ledger = flag == 0;
     one.opt.memoize_solves = flag == 1;
@@ -131,6 +136,11 @@ TEST_P(OptimizedVsLegacy, EachFlagAloneBitIdentical) {
     one.opt.batched_scoring = flag == 4;
     one.opt.parallel_select = flag == 5;
     one.opt.simd_solver = flag == 6;
+    one.opt.lazy_progress = flag == 7;
+    one.opt.finish_calendar = flag == 8;
+    one.opt.futile_pass_gate = flag == 9;
+    one.opt.dedup_node_solves = flag == 10;
+    one.opt.slot_rates = flag == 11;
     if (flag == 5) one.opt.parallel_min_candidates = 1;
     SCOPED_TRACE("flag " + std::to_string(flag));
     expectIdentical(runWith(f, one, seq), ref);

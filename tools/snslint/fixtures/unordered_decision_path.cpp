@@ -1,0 +1,28 @@
+// Fixture for the unordered-decision-path rule. The test scans this file
+// under a display path matching DECISION_PATH_GLOBS (sns/sched/
+// finish_calendar*), where ANY std::unordered_* mention fires — a member
+// declaration, a local, or a parameter type, not just iteration. Under an
+// ordinary display path the same contents raise nothing from this rule.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct BadCalendar {
+  std::unordered_map<long, double> key_by_id_;             // fires
+  std::unordered_set<long> members_;                       // fires
+  std::unordered_map<long, int> tolerated_;  // snslint: allow(unordered-decision-path)
+};
+
+inline int lookups(const std::unordered_map<long, double>& m,  // fires
+                   long id) {
+  return static_cast<int>(m.count(id));
+}
+
+// Ordered and flat structures are the idiom; none of these may fire,
+// and prose mentions of std::unordered_map in comments stay clean too.
+struct GoodCalendar {
+  std::vector<long> heap_;
+  std::vector<double> key_;
+  std::map<long, double> ordered_;
+};

@@ -15,6 +15,17 @@ Rules
                         so anything order-sensitive derived from the walk
                         (output order, tie-breaks, accumulation) diverges
                         across builds.
+  unordered-decision-path
+                        ANY std::unordered_* mention (not just iteration)
+                        in the event engine's ordering core — the files
+                        matching DECISION_PATH_GLOBS (the finish-time
+                        calendar, DESIGN.md section 11). The calendar is
+                        the completion-ordering authority: it must be
+                        bit-deterministic and allocation-free at steady
+                        state, and hash containers break both (iteration
+                        order aside, rehash timing and bucket growth are
+                        implementation-defined). Flat vectors indexed by
+                        dense JobId are the idiom there.
   float-accumulation    compound float accumulation (`+=`/`-=` on a
                         float/double) inside a loop over an unordered
                         container: the sum depends on iteration order.
@@ -59,6 +70,7 @@ import sys
 
 RULES = (
     "unordered-iteration",
+    "unordered-decision-path",
     "float-accumulation",
     "wall-clock",
     "span-wall-clock",
@@ -66,8 +78,17 @@ RULES = (
     "uninit-member",
 )
 
+# Files held to the stricter unordered-decision-path rule (matched against
+# the display path with / separators). The finish-time calendar orders
+# every completion in the simulator; see the rule's docstring entry.
+DECISION_PATH_GLOBS = (
+    "*/sns/sched/finish_calendar*",
+    "sns/sched/finish_calendar*",
+)
+
 ALLOW_RE = re.compile(r"//\s*snslint:\s*allow\(([a-z0-9_,\- ]+)\)")
 
+UNORDERED_ANY_RE = re.compile(r"std::unordered_\w+")
 UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*"
     r"[&*]?\s*(\w+)\s*[;={,)]"
@@ -241,8 +262,17 @@ def scan_file(path, display_path):
                 continue
 
     is_header = path.endswith((".h", ".hpp", ".hh", ".hxx"))
+    norm_disp = display_path.replace(os.sep, "/")
+    on_decision_path = any(
+        fnmatch.fnmatch(norm_disp, g) for g in DECISION_PATH_GLOBS)
 
     for idx, ln in enumerate(code):
+        if on_decision_path and UNORDERED_ANY_RE.search(ln):
+            add(idx, "unordered-decision-path",
+                f"'{UNORDERED_ANY_RE.search(ln).group(0)}' on the "
+                "calendar/decision path; use flat vectors indexed by "
+                "dense JobId (hash order and rehash timing are "
+                "implementation-defined)")
         # unordered-iteration: range-for over a known unordered name (or an
         # inline construction), or explicit .begin()/.end() on one.
         for m in RANGE_FOR_RE.finditer(ln):

@@ -44,6 +44,40 @@ class UnorderedIteration(unittest.TestCase):
             self.assertLess(f.line, 33, f)  # fine() never flagged
 
 
+class UnorderedDecisionPath(unittest.TestCase):
+    FIXTURE = os.path.join(FIXTURES, "unordered_decision_path.cpp")
+
+    def test_fires_on_any_mention_under_calendar_path(self):
+        findings = snslint.scan_file(
+            self.FIXTURE, "src/sns/sched/finish_calendar.cpp")
+        hits = lines_for(findings, "unordered-decision-path")
+        # Two member declarations plus the parameter type; the allowed
+        # member, the comment prose, and GoodCalendar stay clean.
+        self.assertEqual(len(hits), 3, findings)
+
+    def test_inline_allow_suppresses(self):
+        findings = snslint.scan_file(
+            self.FIXTURE, "src/sns/sched/finish_calendar.cpp")
+        for f in findings:
+            if f.rule == "unordered-decision-path":
+                self.assertNotEqual(f.line, 14, f)  # tolerated_ is allowed
+
+    def test_silent_off_the_decision_path(self):
+        findings = snslint.scan_file(self.FIXTURE,
+                                     "unordered_decision_path.cpp")
+        self.assertEqual(lines_for(findings, "unordered-decision-path"), [],
+                         findings)
+
+    def test_real_calendar_files_are_clean(self):
+        repo = os.path.dirname(os.path.dirname(HERE))
+        for name in ("finish_calendar.hpp", "finish_calendar.cpp"):
+            path = os.path.join(repo, "src", "sns", "sched", name)
+            disp = os.path.join("src", "sns", "sched", name)
+            findings = snslint.scan_file(path, disp)
+            self.assertEqual(
+                lines_for(findings, "unordered-decision-path"), [], findings)
+
+
 class FloatAccumulation(unittest.TestCase):
     def test_fires_inside_unordered_loop_only(self):
         findings = scan("float_accumulation.cpp")
