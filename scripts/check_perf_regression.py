@@ -35,6 +35,11 @@ sns::xray sampled-mode overhead (BENCH_xray_overhead.json written by
 bench_xray_overhead) against --xray-budget (default 0.10 — the documented
 quiet-machine budget is 3%, widened for shared-runner noise).
 
+With --flight-overhead FILE it likewise gates the interference flight
+recorder's overhead (BENCH_flight_overhead.json written by
+bench_flight_overhead) against --flight-budget (default 0.10 — typical
+quiet-machine overhead is 5-7%, with headroom for shared-runner noise).
+
 Exit status: 0 when every comparable cell is within tolerance, 1 on
 regression, 2 on bad input.
 """
@@ -143,17 +148,27 @@ def render_delta_table(rows):
     return "\n".join(out)
 
 
-def check_xray(path, budget):
+def check_overhead(path, budget, field, label):
     doc = load_json(path)
-    over = doc.get("sampled_overhead")
+    over = doc.get(field)
     if over is None:
-        print(f"error: {path} has no sampled_overhead", file=sys.stderr)
+        print(f"error: {path} has no {field}", file=sys.stderr)
         sys.exit(2)
     ok = over <= budget
-    print(f"\nxray sampled-mode overhead: {over * 100:.2f}% "
+    print(f"\n{label}: {over * 100:.2f}% "
           f"(budget {budget * 100:.0f}%)"
           f"{'' if ok else '  << REGRESSION'}")
     return ok
+
+
+def check_xray(path, budget):
+    return check_overhead(path, budget, "sampled_overhead",
+                          "xray sampled-mode overhead")
+
+
+def check_flight(path, budget):
+    return check_overhead(path, budget, "recorder_overhead",
+                          "flight recorder overhead")
 
 
 def main():
@@ -178,9 +193,16 @@ def main():
     ap.add_argument("--xray-budget", type=float, default=0.10,
                     help="max sns::xray sampled-mode overhead fraction "
                          "(default 0.10)")
+    ap.add_argument("--flight-overhead", metavar="FILE",
+                    help="BENCH_flight_overhead.json to gate")
+    ap.add_argument("--flight-budget", type=float, default=0.10,
+                    help="max interference-flight-recorder overhead fraction "
+                         "(default 0.10)")
     args = ap.parse_args()
-    if args.current is None and args.xray_overhead is None:
-        ap.error("nothing to check: pass --current and/or --xray-overhead")
+    if (args.current is None and args.xray_overhead is None
+            and args.flight_overhead is None):
+        ap.error("nothing to check: pass --current, --xray-overhead "
+                 "and/or --flight-overhead")
 
     failed = False
     if args.current is not None:
@@ -218,6 +240,12 @@ def main():
         if not check_xray(args.xray_overhead, args.xray_budget):
             print(f"\nFAIL: xray sampled-mode overhead exceeds the "
                   f"{args.xray_budget * 100:.0f}% budget", file=sys.stderr)
+            failed = True
+
+    if args.flight_overhead is not None:
+        if not check_flight(args.flight_overhead, args.flight_budget):
+            print(f"\nFAIL: flight recorder overhead exceeds the "
+                  f"{args.flight_budget * 100:.0f}% budget", file=sys.stderr)
             failed = True
 
     return 1 if failed else 0

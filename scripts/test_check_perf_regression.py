@@ -169,6 +169,22 @@ class CheckPerfRegressionTest(unittest.TestCase):
         r = self.run_script("--xray-overhead", xray)
         self.assertEqual(r.returncode, 0, r.stderr)
 
+    def test_flight_over_budget_fails(self):
+        flight = self.write("flight.json", {"recorder_overhead": 0.5})
+        r = self.run_script("--flight-overhead", flight)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("budget", r.stderr)
+
+    def test_flight_within_budget_passes(self):
+        flight = self.write("flight.json", {"recorder_overhead": 0.01})
+        r = self.run_script("--flight-overhead", flight)
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_flight_missing_field_is_bad_input(self):
+        flight = self.write("flight.json", {"something_else": 1.0})
+        r = self.run_script("--flight-overhead", flight)
+        self.assertEqual(r.returncode, 2)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -247,6 +247,86 @@ std::size_t Auditor::auditFinishCalendar(
   return static_cast<std::size_t>(total_violations_ - before);
 }
 
+std::size_t Auditor::auditFlightLedger(const flight::FlightRecorder& fr) {
+  if (!cfg_.check_flight) return 0;
+  const std::uint64_t before = total_violations_;
+
+  for (const flight::JobRollup& jr : fr.jobs()) {
+    if (jr.start < 0.0) continue;  // never started: nothing to account
+    const auto tag = [&jr](const char* what) {
+      return "job " + std::to_string(jr.id) + ": " + what;
+    };
+    check(jr.finished, "flight.finished", jr.finished ? 1.0 : 0.0, 1.0,
+          tag("run completed but the rollup was never finalized"));
+    if (!jr.finished) continue;
+
+    // Dust tolerance scales with the job's own time magnitudes: the
+    // accumulators sum one term per interval close, each O(runtime).
+    const double scale =
+        std::max({1.0, jr.actual, jr.t_solo, std::abs(jr.attributed)});
+    const double tol = cfg_.flight_rel_eps * scale;
+
+    // Coverage chain, bit-exact: the first interval opens at the start
+    // instant and (when any interval closed at all) the last closes at the
+    // finish instant — both are the same doubles the simulator stamped
+    // into the JobRecord.
+    check(jr.first_open == jr.start, "flight.first_open", jr.first_open,
+          jr.start, tag("first interval does not open at the start instant"));
+    if (jr.raw_intervals > 0) {
+      check(jr.last_close == jr.finish, "flight.last_close", jr.last_close,
+            jr.finish, tag("last interval does not close at the finish instant"));
+    }
+
+    // The reconciliation invariant. Exact arm: replay the recorder's
+    // closure expression verbatim — same fields, same operation order —
+    // so any post-hoc tampering with attributed/target/closure breaks
+    // bit-equality. Bounded arm: |closure| itself is FP dust; a dropped
+    // or double-counted interval shows up as O(interval length), many
+    // orders of magnitude above the tolerance.
+    const double replay = (jr.actual - jr.t_solo) - jr.attributed;
+    check(jr.closure == replay, "flight.closure_replay", jr.closure, replay,
+          tag("stored closure is not the replayed (actual - solo) - attributed"));
+    check(std::abs(jr.closure) <= tol, "flight.reconciliation",
+          jr.attributed, jr.actual - jr.t_solo,
+          tag("attributed slowdown-seconds do not sum to actual - solo runtime"));
+
+    // Work conservation: interval work fractions telescope to exactly the
+    // job's one unit of work.
+    check(std::abs(jr.work - 1.0) <= cfg_.flight_rel_eps, "flight.work",
+          jr.work, 1.0, tag("interval work fractions do not sum to 1"));
+
+    // Axis decompositions: both the resource split and the co-runner
+    // split carry their own residual buckets, so each must re-sum to the
+    // attributed total.
+    const double res_sum = jr.llc_s + jr.membw_s + jr.net_s + jr.other_s;
+    check(std::abs(res_sum - jr.attributed) <= tol, "flight.resource_axis",
+          res_sum, jr.attributed,
+          tag("resource shares do not sum to the attributed total"));
+    double cor_sum = jr.self_s;
+    for (const flight::CorunnerShare& c : jr.corunners) cor_sum += c.seconds;
+    check(std::abs(cor_sum - jr.attributed) <= tol, "flight.corunner_axis",
+          cor_sum, jr.attributed,
+          tag("co-runner shares do not sum to the attributed total"));
+
+    // Interval-store conservation: compaction merges spans, never drops
+    // them, and the retained deficits must re-sum to the attributed total.
+    std::uint32_t raws = 0;
+    double iv_deficit = 0.0;
+    for (const flight::Interval& iv : jr.intervals) {
+      raws += iv.raws;
+      iv_deficit += iv.deficit;
+    }
+    check(raws == jr.raw_intervals, "flight.interval_raws",
+          static_cast<double>(raws), static_cast<double>(jr.raw_intervals),
+          tag("compacted interval store lost or invented raw intervals"));
+    check(std::abs(iv_deficit - jr.attributed) <= tol, "flight.interval_sum",
+          iv_deficit, jr.attributed,
+          tag("retained interval deficits do not sum to the attributed total"));
+  }
+
+  return static_cast<std::size_t>(total_violations_ - before);
+}
+
 std::size_t Auditor::auditSchedulerState(
     const actuator::ResourceLedger& ledger, const sched::JobQueue& queue,
     const perfmodel::SolverCache& cache) {

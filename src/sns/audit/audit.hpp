@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sns/actuator/resource_ledger.hpp"
+#include "sns/flight/flight.hpp"
 #include "sns/obs/recorder.hpp"
 #include "sns/perfmodel/solver_cache.hpp"
 #include "sns/sched/finish_calendar.hpp"
@@ -52,6 +53,17 @@ struct AuditorConfig {
   /// Finish-time calendar (simulator event engine): heap structure plus
   /// key-by-key agreement with an independently recomputed expected set.
   bool check_calendar = true;
+  /// Flight-recorder reconciliation: every job's attributed
+  /// slowdown-seconds ledger must account for its actual − solo runtime
+  /// (bit-exact replay of the recorder's closure arithmetic, bounded FP
+  /// dust on the accumulated sums). Runs once per simulation, post-run.
+  bool check_flight = true;
+  /// Relative tolerance for the flight ledger's accumulated sums (closure
+  /// residual, work conservation, axis totals): thousands of interval
+  /// closes accumulate FP dust proportional to the job's runtime scale. A
+  /// dropped or double-counted interval exceeds this by many orders of
+  /// magnitude.
+  double flight_rel_eps = 1e-6;
   /// Relative tolerance for the cluster-wide bandwidth total: it is the
   /// one cached value that legitimately accumulates floating-point drift
   /// (at most one ulp per allocate/release; integers are exact).
@@ -106,6 +118,15 @@ class Auditor {
   std::size_t auditFinishCalendar(
       const sched::FinishCalendar& cal,
       const std::vector<std::pair<sched::JobId, double>>& expected);
+  /// Reconcile the interference flight recorder's per-job slowdown
+  /// ledgers (sns::flight, DESIGN.md section 12). Bit-exact checks —
+  /// coverage chain (first interval opens at `start`, last closes at
+  /// `finish`) and a verbatim replay of the recorder's closure expression
+  /// `((finish − start) − t_solo) − attributed` — plus dust-bounded
+  /// checks (|closure|, |work − 1|, resource/co-runner axis sums vs the
+  /// attributed total) that catch any dropped or double-counted interval.
+  /// The simulator calls this once per run, after endRun().
+  std::size_t auditFlightLedger(const flight::FlightRecorder& fr);
 
   /// The per-scheduling-point bundle ClusterSimulator drives: ledger +
   /// queue + solver cache, honoring the per-family config toggles.

@@ -1,0 +1,192 @@
+#include "sns/flight/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "sns/util/table.hpp"
+
+namespace sns::flight {
+
+namespace {
+
+/// Jobs ordered most-degraded first (attributed slowdown-seconds
+/// descending, ties broken by ascending id so every render is
+/// deterministic).
+std::vector<const JobRollup*> byDegradation(const FlightRecorder& fr) {
+  std::vector<const JobRollup*> v;
+  v.reserve(fr.jobs().size());
+  for (const JobRollup& jr : fr.jobs())
+    if (jr.start >= 0.0) v.push_back(&jr);
+  std::sort(v.begin(), v.end(), [](const JobRollup* a, const JobRollup* b) {
+    if (a->attributed != b->attributed) return a->attributed > b->attributed;
+    return a->id < b->id;
+  });
+  return v;
+}
+
+std::string pctOf(double part, double whole) {
+  if (whole == 0.0) return "-";
+  return util::fmtPct(part / whole);
+}
+
+std::string programOf(const FlightRecorder& fr, JobId id) {
+  const JobRollup* jr = fr.find(id);
+  return jr != nullptr && !jr->program.empty() ? jr->program : "?";
+}
+
+}  // namespace
+
+std::string renderWhySlow(const FlightRecorder& fr, JobId id) {
+  const JobRollup* jr = fr.find(id);
+  if (jr == nullptr || jr->start < 0.0)
+    return "why-slow: job " + std::to_string(id) +
+           " was not observed by the flight recorder\n";
+  const JobRollup& j = *jr;
+
+  std::string out;
+  out += "job " + std::to_string(j.id) + " (" + j.program + "): stretch " +
+         util::fmt(j.stretch) + "x vs solo (degradation bound " +
+         util::fmt(j.bound) + "x)" +
+         (j.bound_violated ? "  ** DEGRADATION BOUND VIOLATED **" : "") + "\n";
+  out += "  lifetime: submit " + util::fmt(j.submit) + " s  start " +
+         util::fmt(j.start) + " s  finish " + util::fmt(j.finish) + " s\n";
+  const double end_to_end = j.finish - j.submit;
+  out += "  end-to-end " + util::fmt(end_to_end) + " s = queue wait " +
+         util::fmt(j.queue_wait) + " s + solo runtime " + util::fmt(j.t_solo) +
+         " s + interference " + util::fmt(j.attributed) + " s\n";
+  out += "  reconciliation: actual - solo = " + util::fmt(j.target) +
+         " s, attributed = " + util::fmt(j.attributed) +
+         " s, closure residual = " + util::fmt(j.closure, 9) + " s\n";
+
+  util::Table res({"resource", "slowdown_s", "share"});
+  res.addRow({"llc_ways", util::fmt(j.llc_s), pctOf(j.llc_s, j.attributed)});
+  res.addRow({"mem_bw", util::fmt(j.membw_s), pctOf(j.membw_s, j.attributed)});
+  res.addRow({"network", util::fmt(j.net_s), pctOf(j.net_s, j.attributed)});
+  res.addRow({"other", util::fmt(j.other_s), pctOf(j.other_s, j.attributed)});
+  out += "  resource attribution:\n" + res.render();
+
+  if (!j.corunners.empty()) {
+    // Heaviest offenders first; ascending id on ties.
+    std::vector<CorunnerShare> cr = j.corunners;
+    std::sort(cr.begin(), cr.end(),
+              [](const CorunnerShare& a, const CorunnerShare& b) {
+                if (a.seconds != b.seconds) return a.seconds > b.seconds;
+                return a.other < b.other;
+              });
+    util::Table ct({"co-runner", "program", "slowdown_s", "share"});
+    std::size_t shown = 0;
+    for (const CorunnerShare& c : cr) {
+      if (shown++ >= 8) break;
+      ct.addRow({std::to_string(c.other), programOf(fr, c.other),
+                 util::fmt(c.seconds), pctOf(c.seconds, j.attributed)});
+    }
+    ct.addRow({"(self/unattributed)", "-", util::fmt(j.self_s),
+               pctOf(j.self_s, j.attributed)});
+    out += "  co-runner attribution:\n" + ct.render();
+  } else {
+    out += "  co-runner attribution: ran alone (self/unattributed " +
+           util::fmt(j.self_s) + " s)\n";
+  }
+
+  out += "  co-residency intervals: " + std::to_string(j.intervals.size()) +
+         " retained of " + std::to_string(j.raw_intervals) +
+         " raw (compaction level " + std::to_string(j.compaction_level) +
+         ")\n";
+  return out;
+}
+
+std::string renderWhySlowIndex(const FlightRecorder& fr, std::size_t limit) {
+  const Census& c = fr.census();
+  std::string out;
+  out += "degradation census: " + std::to_string(c.finished) + "/" +
+         std::to_string(c.jobs) + " jobs accounted, " +
+         std::to_string(c.violations) + " bound violations, worst stretch " +
+         util::fmt(c.worst_stretch) + "x (job " +
+         std::to_string(c.worst_job) + ")\n";
+  out += "most degraded jobs (attributed slowdown-seconds):\n";
+  util::Table t({"job", "program", "stretch", "bound", "violated",
+                 "slowdown_s", "llc", "mem_bw", "network", "queue_wait_s"});
+  std::size_t shown = 0;
+  for (const JobRollup* j : byDegradation(fr)) {
+    if (shown++ >= limit) break;
+    t.addRow({std::to_string(j->id), j->program, util::fmt(j->stretch),
+              util::fmt(j->bound), j->bound_violated ? "YES" : "no",
+              util::fmt(j->attributed), pctOf(j->llc_s, j->attributed),
+              pctOf(j->membw_s, j->attributed),
+              pctOf(j->net_s, j->attributed), util::fmt(j->queue_wait)});
+  }
+  out += t.render();
+  out += "use `uberun why-slow --workload W --job J` for a single job's "
+         "full account\n";
+  return out;
+}
+
+std::string renderDegradationReport(const FlightRecorder& fr,
+                                    std::size_t top_n) {
+  const Census& c = fr.census();
+  std::string out;
+  out += "jobs accounted: " + std::to_string(c.finished) + "/" +
+         std::to_string(c.jobs) + "   makespan: " + util::fmt(c.makespan) +
+         " s\n";
+  out += "bound violations (stretch > 1/alpha): " +
+         std::to_string(c.violations) + "   worst stretch: " +
+         util::fmt(c.worst_stretch) + "x (job " + std::to_string(c.worst_job) +
+         ")\n";
+  out += "total queue wait: " + util::fmt(c.total_queue_wait) +
+         " s   total attributed interference: " +
+         util::fmt(c.total_attributed) + " s\n";
+  out += "reconciliation: max |closure residual| " +
+         util::fmt(c.max_abs_closure, 9) + " s across all jobs\n";
+
+  util::Table res({"resource", "slowdown_s", "share"});
+  res.addRow({"llc_ways", util::fmt(c.total_llc),
+              pctOf(c.total_llc, c.total_attributed)});
+  res.addRow({"mem_bw", util::fmt(c.total_membw),
+              pctOf(c.total_membw, c.total_attributed)});
+  res.addRow({"network", util::fmt(c.total_net),
+              pctOf(c.total_net, c.total_attributed)});
+  res.addRow({"other", util::fmt(c.total_other),
+              pctOf(c.total_other, c.total_attributed)});
+  out += "cluster resource attribution:\n" + res.render();
+
+  out += "most degraded jobs:\n";
+  util::Table jt({"job", "program", "stretch", "bound", "violated",
+                  "slowdown_s"});
+  std::size_t shown = 0;
+  for (const JobRollup* j : byDegradation(fr)) {
+    if (shown++ >= top_n) break;
+    jt.addRow({std::to_string(j->id), j->program, util::fmt(j->stretch),
+               util::fmt(j->bound), j->bound_violated ? "YES" : "no",
+               util::fmt(j->attributed)});
+  }
+  out += jt.render();
+
+  // Contention heatmap: hottest nodes by attributed slowdown-seconds
+  // (bottleneck-node attribution), ascending node id on ties.
+  std::span<const double> nodes = fr.nodeSlowdown();
+  std::vector<int> hot;
+  for (std::size_t nd = 0; nd < nodes.size(); ++nd)
+    if (nodes[nd] != 0.0) hot.push_back(static_cast<int>(nd));
+  std::sort(hot.begin(), hot.end(), [&](int a, int b) {
+    if (nodes[a] != nodes[b]) return nodes[a] > nodes[b];
+    return a < b;
+  });
+  if (!hot.empty()) {
+    out += "hottest nodes (attributed slowdown-seconds):\n";
+    util::Table nt({"node", "slowdown_s", "share"});
+    std::size_t rows = 0;
+    for (int nd : hot) {
+      if (rows++ >= top_n) break;
+      nt.addRow({std::to_string(nd), util::fmt(nodes[nd]),
+                 pctOf(nodes[nd], c.total_attributed)});
+    }
+    out += nt.render();
+  } else {
+    out += "no node accumulated attributed slowdown (uncontended run)\n";
+  }
+  return out;
+}
+
+}  // namespace sns::flight

@@ -1,0 +1,7 @@
+#pragma once
+
+// Text renderers over FlightRecorder results; declared in flight.hpp so
+// callers only include one header. This header exists for symmetry with
+// the other sns modules (impl lives in report.cpp).
+
+#include "sns/flight/flight.hpp"

@@ -41,6 +41,25 @@ void RingBufferLog::clear() {
 void JsonlSink::record(const Event& e) {
   (*os_) << toJson(e).dump() << '\n';
   ++count_;
+  if (!os_->good()) {
+    ++write_errors_;
+    os_->clear();
+  }
+}
+
+bool JsonlSink::finish() {
+  util::Json o;
+  o["jsonl_digest"] = util::Json(true);
+  o["events"] = util::Json(static_cast<std::int64_t>(count_));
+  o["write_errors"] = util::Json(static_cast<std::int64_t>(write_errors_));
+  (*os_) << o.dump() << '\n';
+  os_->flush();
+  if (!os_->good()) {
+    ++write_errors_;
+    os_->clear();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace sns::obs

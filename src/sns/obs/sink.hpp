@@ -72,10 +72,22 @@ class JsonlSink final : public EventSink {
   explicit JsonlSink(std::ostream& os) : os_(&os) {}
   void record(const Event& e) override;
   std::uint64_t count() const { return count_; }
+  /// Events whose write left the stream in a failed state (full disk,
+  /// broken pipe, ...). Counted per event — the stream error flags are
+  /// cleared after each failure so later events still get a chance and the
+  /// count stays exact — mirroring RingBufferLog's dropped-event
+  /// accounting rather than silently losing the tail of the log.
+  std::uint64_t writeErrors() const { return write_errors_; }
+  /// Appends a final digest line (`{"jsonl_digest":...}` with the event
+  /// and write-error counts) so downstream consumers can verify the file
+  /// is complete and detect truncation without an out-of-band channel.
+  /// Returns false when the digest itself failed to write.
+  bool finish();
 
  private:
   std::ostream* os_;
   std::uint64_t count_ = 0;
+  std::uint64_t write_errors_ = 0;
 };
 
 /// Fans one stream out to several sinks (e.g. a ring buffer for the

@@ -11,12 +11,12 @@
 
 #include "sns/app/comm.hpp"
 #include "sns/audit/audit.hpp"
+#include "sns/flight/flight.hpp"
 #include "sns/profile/exploration.hpp"
 #include "sns/util/error.hpp"
 #include "sns/util/thread_pool.hpp"
 
 namespace sns::sim {
-
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -108,6 +108,8 @@ ClusterSimulator::ClusterSimulator(const perfmodel::Estimator& est,
     m_decision_us_ = &m.histogram(
         "sim.decision_us",
         {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
+    m_stretch_ = &m.histogram(
+        "sim.stretch", {1.0, 1.02, 1.05, 1.1, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0});
   }
 }
 
@@ -144,6 +146,27 @@ std::size_t ClusterSimulator::SoloKeyHash::operator()(const SoloKey& k) const {
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
   return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+std::size_t ClusterSimulator::FlightSigHash::operator()(
+    const FlightSig& sig) const {
+  // FNV-1a over the key fields, finished with a splitmix-style mixer —
+  // the same recipe as the solver cache's signature hash.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const FlightSigKey& k : sig) {
+    mix(reinterpret_cast<std::uintptr_t>(k.prog));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.procs)));
+    mix(k.ways_bits);
+    mix(k.remote_bits);
+    mix(k.cap_bits);
+  }
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return static_cast<std::size_t>(h ^ (h >> 31));
 }
 
 bool ClusterSimulator::batchFastPath() const {
@@ -213,6 +236,8 @@ void ClusterSimulator::addResident(int nd, sched::JobId id, std::uint32_t slot) 
   }
   jobs.push_back(id);
   node_job_slots_[static_cast<std::size_t>(nd)].push_back(slot);
+  if (!flight_node_version_.empty())
+    ++flight_node_version_[static_cast<std::size_t>(nd)];
 }
 
 void ClusterSimulator::removeResident(int nd, sched::JobId id) {
@@ -223,6 +248,8 @@ void ClusterSimulator::removeResident(int nd, sched::JobId id) {
   SNS_REQUIRE(k < jobs.size(), "job not resident on node");
   jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(k));
   slots.erase(slots.begin() + static_cast<std::ptrdiff_t>(k));
+  if (!flight_node_version_.empty())
+    ++flight_node_version_[static_cast<std::size_t>(nd)];
   if (jobs.empty()) {
     auto& pos = busy_pos_[static_cast<std::size_t>(nd)];
     const int last = busy_nodes_.back();
@@ -403,6 +430,7 @@ void ClusterSimulator::refreshRates(double now,
   std::sort(affected_scratch_.begin(), affected_scratch_.end());
 
   const double nic_cap = est_->machine().net_bw_gbps;
+  const bool flight_on = cfg_.flight != nullptr;
   for (sched::JobId id : affected_scratch_) {
     Running& r = running(id);
     // Settle the job at this rate boundary under its outgoing rate. This
@@ -410,22 +438,48 @@ void ClusterSimulator::refreshRates(double now,
     // anchor moves only here, and the settlement is exactly zero when the
     // job was already settled at `now` — so the deferred end-of-pass
     // refresh, which revisits the pass's placements at the same instant,
-    // changes nothing.
+    // changes nothing. (The flight settle happens below, once the fresh
+    // values show the open interval actually ends here: the recorder
+    // carries its own copy of the outgoing rate.)
     r.anchor_remaining -= (now - r.anchor_time) * r.rate;
     r.anchor_time = now;
     double corun_rate = kInf;
     double bw_sum = 0.0;
     double net_over = 1.0;
+    int bottleneck = -1;   // argmin-rate node (first-wins, placement order)
+    int net_node = -1;     // argmax-NIC-demand node (first-wins)
+    double max_net = -kInf;
     if (slots_on) {
       // Same nodes in the same order, same min/sum/max sequence as the
-      // search loop below — bit-identical, just contiguous reads.
+      // search loop below — bit-identical, just contiguous reads. The
+      // flight arm additionally tracks the argmin/argmax nodes the
+      // attribution needs; `rate < corun_rate ? rate : corun_rate` is
+      // exactly std::min, so the min sequence is unchanged.
       const auto& nodes = r.placement.nodes;
-      for (std::size_t s = 0; s < nodes.size(); ++s) {
-        corun_rate = std::min(corun_rate, r.rate_slots[s]);
-        bw_sum += r.bw_slots[s];
-        net_over = std::max(
-            net_over,
-            node_net_demand_[static_cast<std::size_t>(nodes[s])] / nic_cap);
+      if (!flight_on) {
+        for (std::size_t s = 0; s < nodes.size(); ++s) {
+          corun_rate = std::min(corun_rate, r.rate_slots[s]);
+          bw_sum += r.bw_slots[s];
+          net_over = std::max(
+              net_over,
+              node_net_demand_[static_cast<std::size_t>(nodes[s])] / nic_cap);
+        }
+      } else {
+        for (std::size_t s = 0; s < nodes.size(); ++s) {
+          const double rate_here = r.rate_slots[s];
+          if (rate_here < corun_rate) {
+            corun_rate = rate_here;
+            bottleneck = nodes[s];
+          }
+          bw_sum += r.bw_slots[s];
+          const double demand =
+              node_net_demand_[static_cast<std::size_t>(nodes[s])];
+          if (demand > max_net) {
+            max_net = demand;
+            net_node = nodes[s];
+          }
+          net_over = std::max(net_over, demand / nic_cap);
+        }
       }
     } else {
       for (int nd : r.placement.nodes) {
@@ -434,6 +488,14 @@ void ClusterSimulator::refreshRates(double now,
         std::size_t k = 0;
         while (k < resident.size() && resident[k] != id) ++k;
         SNS_REQUIRE(k < resident.size(), "job missing from node solution");
+        if (flight_on) {
+          if (sol.rate[k] < corun_rate) bottleneck = nd;
+          const double demand = node_net_demand_[static_cast<std::size_t>(nd)];
+          if (demand > max_net) {
+            max_net = demand;
+            net_node = nd;
+          }
+        }
         corun_rate = std::min(corun_rate, sol.rate[k]);
         bw_sum += sol.bw[k];
         // NIC oversubscription on this node stretches everyone's comm.
@@ -464,7 +526,202 @@ void ClusterSimulator::refreshRates(double now,
       }
       r.throttled = capped;
     }
+    if (flight_on) {
+      // Close-and-reopen only when the reopened state would differ: every
+      // input the attribution depends on is either compared bit-for-bit
+      // here or covered by a residency version stamp, so on equality the
+      // open interval simply extends — the common case for wide spread
+      // placements, whose residents get refreshed whenever any of their
+      // many nodes goes dirty.
+      FlightOpenKey& key = flight_open_key_[static_cast<std::size_t>(id)];
+      const std::uint64_t bv =
+          bottleneck >= 0
+              ? flight_node_version_[static_cast<std::size_t>(bottleneck)]
+              : 0;
+      const std::uint64_t nv =
+          net_node >= 0
+              ? flight_node_version_[static_cast<std::size_t>(net_node)]
+              : 0;
+      const bool unchanged =
+          key.valid && key.rate == r.rate && key.t_inst == t_inst &&
+          key.stretch == stretch && key.net_over == net_over &&
+          key.bottleneck == bottleneck && key.bneck_version == bv &&
+          (!(net_over > 1.0) ||
+           (key.net_node == net_node && key.net_version == nv));
+      if (!unchanged) {
+        cfg_.flight->settle(id, now);
+        flightReopen(id, r, now, t_inst, stretch, net_over, bottleneck,
+                     net_node);
+        key.rate = r.rate;
+        key.t_inst = t_inst;
+        key.stretch = stretch;
+        key.net_over = net_over;
+        key.bottleneck = bottleneck;
+        key.net_node = net_node;
+        key.bneck_version = bv;
+        key.net_version = nv;
+        key.valid = true;
+      }
+    }
   }
+}
+
+void ClusterSimulator::flightReopen(sched::JobId id, const Running& r,
+                                    double now, double t_inst, double stretch,
+                                    double net_over, int bottleneck,
+                                    int net_node) {
+  flight::OpenContext ctx;
+  ctx.now = now;
+  ctx.rate = r.rate;
+  ctx.t_inst = t_inst;
+  ctx.stretch = stretch;
+  ctx.net_over = net_over;
+  // The bottleneck (argmin achieved rate) and argmax-NIC-demand nodes
+  // arrive from refreshRates' fused derivation loop — same order, same
+  // values, first-wins picks, no second walk over the placement.
+  ctx.bottleneck_node = bottleneck;
+
+  // Replay the bottleneck node's co-run signature through the two-level
+  // attribution memo. L1 (per node, version-stamped) serves repeat
+  // reopens with no hashing; on a residency change, L2 resolves the
+  // node's signature content-addressed — co-run signatures recur across
+  // nodes and scheduling points (the SolverCache premise), so the full
+  // solve and the leave-one-out rows are computed once per distinct
+  // signature per run, not once per residency change. Solver outputs are
+  // a pure function of the ordered share list, so the memoized values
+  // are bit-identical to solving on every reopen.
+  const auto& resident = node_jobs_[static_cast<std::size_t>(bottleneck)];
+  const std::size_t nres = resident.size();
+  std::size_t self_idx = 0;
+  for (std::size_t i = 0; i < nres; ++i)
+    if (resident[i] == id) self_idx = i;
+  FlightNodeMemo& memo = flight_node_memo_[static_cast<std::size_t>(bottleneck)];
+  const std::uint64_t ver = flight_node_version_[static_cast<std::size_t>(bottleneck)];
+  if (memo.version != ver) {
+    const auto& node = ledger_.node(bottleneck);
+    flight_shares_.clear();
+    flight_shares_.reserve(nres);
+    flight_sig_scratch_.clear();
+    flight_sig_scratch_.reserve(nres);
+    for (std::size_t i = 0; i < nres; ++i) {
+      const Running& rr = running(resident[i]);
+      const auto& alloc = node.allocation(resident[i]);
+      const double ways = cfg_.donate_unused_ways
+                              ? node.effectiveWays(alloc)
+                              : static_cast<double>(alloc.ways);
+      const double cap = cfg_.enforce_bandwidth_caps && !alloc.exclusive
+                             ? alloc.bw_gbps
+                             : 0.0;
+      flight_shares_.push_back({rr.prog, rr.placement.procs_per_node, ways,
+                                rr.remote_frac, 1.0, cap});
+      flight_sig_scratch_.push_back({rr.prog, rr.placement.procs_per_node,
+                                     std::bit_cast<std::uint64_t>(ways),
+                                     std::bit_cast<std::uint64_t>(rr.remote_frac),
+                                     std::bit_cast<std::uint64_t>(cap)});
+    }
+    auto [it, fresh] = flight_sig_memo_.try_emplace(flight_sig_scratch_);
+    if (fresh) {
+      FlightAttrMatrix& mat = it->second;
+      mat.rate_pp.resize(nres);
+      mat.raw_rate_pp.resize(nres);
+      flight_demand_.resize(nres);
+      bool all_partitioned = true;
+      {
+        // The full signature was just solved by this refresh, so this is
+        // a cache hit. Outcome references go stale on the next solve —
+        // copy out first.
+        const auto& out = solve_cache_.solve(flight_shares_);
+        for (std::size_t i = 0; i < nres; ++i) {
+          mat.rate_pp[i] = out[i].rate_per_proc;
+          mat.raw_rate_pp[i] = out[i].raw_rate_per_proc;
+          flight_demand_[i] = out[i].demand_gbps;
+          if (flight_shares_[i].ways <= 0.0) all_partitioned = false;
+        }
+      }
+      mat.loo.assign(nres * nres, 0.0);
+      if (nres > 1 && all_partitioned) {
+        // All-CAT fast path: with no free-sharing entries the solver's
+        // per-share quantities (eff_ways, miss, refs, raw_rate, demand,
+        // capped) depend only on that share, and the shares couple solely
+        // through the in-order total_capped sum and total_procs. A
+        // leave-one-out solve therefore reproduces the full solve's
+        // per-share values verbatim and only re-derives the roofline
+        // scale — so every LOO self-rate falls out of the full outcome
+        // with the exact expressions (and the exact in-order summation
+        // skipping k) solveInto() would run on the subset: bit-identical
+        // to solving each (r-1)-signature, with zero new solver calls.
+        const hw::MachineConfig& mach = est_->machine();
+        flight_capped_.resize(nres);
+        for (std::size_t i = 0; i < nres; ++i) {
+          double c = std::min(flight_demand_[i],
+                              mach.mem_bw.aggregate(flight_shares_[i].procs));
+          if (flight_shares_[i].bw_cap_gbps > 0.0)
+            c = std::min(c, flight_shares_[i].bw_cap_gbps);
+          flight_capped_[i] = c;
+        }
+        for (std::size_t k = 0; k < nres; ++k) {
+          double total_capped = 0.0;
+          int total_procs = 0;
+          for (std::size_t i = 0; i < nres; ++i) {
+            if (i == k) continue;
+            total_capped += flight_capped_[i];
+            total_procs += flight_shares_[i].procs;
+          }
+          const double capacity = mach.mem_bw.aggregate(total_procs);
+          const double scale =
+              total_capped > capacity ? capacity / total_capped : 1.0;
+          for (std::size_t i = 0; i < nres; ++i) {
+            if (i == k) continue;
+            const double bw = flight_capped_[i] * scale;
+            const double f_bw = flight_demand_[i] > 1e-12
+                                    ? std::min(1.0, bw / flight_demand_[i])
+                                    : 1.0;
+            mat.loo[k * nres + i] = mat.raw_rate_pp[i] * f_bw;
+          }
+        }
+      } else if (nres > 1) {
+        // Free-sharing entries couple through the ways fixed point, so
+        // each leave-one-out signature genuinely re-solves.
+        for (std::size_t k = 0; k < nres; ++k) {
+          flight_loo_shares_.clear();
+          flight_loo_shares_.reserve(nres - 1);
+          for (std::size_t i = 0; i < nres; ++i) {
+            if (i != k) flight_loo_shares_.push_back(flight_shares_[i]);
+          }
+          const auto& out = solve_cache_.solve(flight_loo_shares_);
+          for (std::size_t i = 0; i < nres; ++i) {
+            if (i != k)
+              mat.loo[k * nres + i] = out[i - (i > k ? 1 : 0)].rate_per_proc;
+          }
+        }
+      }
+    }
+    memo.mat = &it->second;  // node-based map: address stable until clear
+    memo.version = ver;
+  }
+  const FlightAttrMatrix& mat = *memo.mat;
+  ctx.rate_pp = mat.rate_pp[self_idx];
+  ctx.raw_rate_pp = mat.raw_rate_pp[self_idx];
+  flight_comp_deltas_.clear();
+  if (nres > 1) {
+    for (std::size_t k = 0; k < nres; ++k) {
+      if (k == self_idx) continue;
+      flight_comp_deltas_.emplace_back(resident[k],
+                                       mat.loo[k * nres + self_idx] - ctx.rate_pp);
+    }
+  }
+  // Network attribution needs no solver: co-residents of the most
+  // oversubscribed node are weighted by their ground-truth NIC demand.
+  flight_net_shares_.clear();
+  if (net_over > 1.0 && net_node >= 0) {
+    for (sched::JobId other : node_jobs_[static_cast<std::size_t>(net_node)]) {
+      if (other != id)
+        flight_net_shares_.emplace_back(other, running(other).nic_demand);
+    }
+  }
+  ctx.comp_deltas = flight_comp_deltas_;
+  ctx.net_shares = flight_net_shares_;
+  cfg_.flight->reopen(id, ctx);
 }
 
 void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p,
@@ -533,6 +790,15 @@ void ClusterSimulator::startJob(const sched::Job& job, const sched::Placement& p
   JobRecord& rec = records_[static_cast<std::size_t>(job.id)];
   rec.start = now;
   rec.placement = p;
+  // The flight recorder anchors the job's lifetime account on the solo
+  // baseline frozen here; the placement's mandatory rate refresh (same
+  // virtual time, possibly deferred to the end of the pass) opens the
+  // first real co-residency interval.
+  if (cfg_.flight != nullptr) {
+    cfg_.flight->onStart(job.id, job.spec.program, rec.submit, now,
+                         r.comp_time_solo, r.comm_data_time, r.wait_time,
+                         r.solo_rate, job.spec.alpha);
+  }
   // job_started drives the legacy on_start hook through the adapter sink,
   // so the record must be complete before emission.
   rec_.jobStarted(job.id, job.spec.program,
@@ -550,10 +816,21 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
   if (cfg_.opt.finish_calendar && calendar_.contains(id)) calendar_.erase(id);
   JobRecord& record = records_[static_cast<std::size_t>(id)];
   record.finish = now;
+  // Final settle of the job's open co-residency interval + rollup
+  // finalization. The finisher is already off every node's resident list,
+  // so the trailing refreshRates below never re-touches it.
+  if (cfg_.flight != nullptr) cfg_.flight->onFinish(id, now);
   rec_.jobFinished(id, record.spec.program, record.runTime());
   if (m_finished_) m_finished_->inc();
   if (m_wait_s_) m_wait_s_->observe(record.waitTime());
   if (m_run_s_) m_run_s_->observe(record.runTime());
+  if (m_stretch_) {
+    // Stretch vs the solo baseline at the allocated ways; near-zero solo
+    // runtimes (degenerate zero-duration jobs) pin to 1.0 instead of
+    // amplifying rounding noise into inf.
+    const double t_solo = r.comp_time_solo + r.comm_data_time + r.wait_time;
+    m_stretch_->observe(t_solo > 1e-12 ? record.runTime() / t_solo : 1.0);
+  }
   // Piggybacked profiling: an exclusive run doubles as a profiling trial at
   // its scale factor (§4.1/§4.4); the monitor's measurements accumulate in
   // the run-local database so later submissions schedule smarter.
@@ -989,6 +1266,20 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
   active_hwm_ = 0;
   if (m_active_hwm_) m_active_hwm_->set(0.0);
   calendar_.reset(n);
+  if (cfg_.flight != nullptr) {
+    cfg_.flight->beginRun(n, cfg_.nodes);
+    // Stamps start at 1 so a fresh memo (version 0) always recomputes.
+    flight_node_version_.assign(static_cast<std::size_t>(cfg_.nodes), 1);
+    flight_node_memo_.assign(static_cast<std::size_t>(cfg_.nodes),
+                             FlightNodeMemo{});
+    flight_open_key_.assign(n, FlightOpenKey{});
+    flight_sig_memo_.clear();  // matrices hold pointers into the old map
+  } else {
+    flight_node_version_.clear();
+    flight_node_memo_.clear();
+    flight_open_key_.clear();
+    flight_sig_memo_.clear();
+  }
   job_stamp_.assign(n, 0u);
   stamp_epoch_ = 0;
   for (auto& v : node_jobs_) v.clear();
@@ -1104,6 +1395,14 @@ SimResult ClusterSimulator::run(const std::vector<app::JobSpec>& jobs) {
     // Post-schedule state is what lands in the series — the scheduler's
     // committed view at this instant.
     if (cfg_.sampler != nullptr && cfg_.sampler->due(now)) sampleTelemetry(now);
+  }
+
+  if (cfg_.flight != nullptr) {
+    cfg_.flight->endRun(now);
+    // Reconcile every job's attributed slowdown ledger against its actual
+    // vs solo runtime. Post-run and O(jobs) — cheap enough to run whenever
+    // an auditor is attached, independent of the SNS_AUDIT hot-path gate.
+    if (cfg_.auditor != nullptr) cfg_.auditor->auditFlightLedger(*cfg_.flight);
   }
 
   SimResult res;

@@ -25,6 +25,10 @@ namespace sns::audit {
 class Auditor;
 }
 
+namespace sns::flight {
+class FlightRecorder;
+}
+
 namespace sns::sim {
 
 struct JobRecord;
@@ -200,6 +204,19 @@ struct SimConfig {
   /// A fail-fast auditor makes run() throw audit::AuditError on the first
   /// violated invariant (`uberun audit` maps that to a nonzero exit).
   audit::Auditor* auditor = nullptr;
+  /// Interference flight recorder (sns::flight): every rate boundary of
+  /// every job becomes a closed co-residency interval with per-resource
+  /// and per-co-runner slowdown attribution, rolled up into lifetime
+  /// degradation accounts (`uberun why-slow`, the report's "Degradation
+  /// accounting" section). Null (the default) is zero-cost — one
+  /// predictable branch per settle site, no solver work. Recording reuses
+  /// the memoized SolverCache for its leave-one-out attribution solves
+  /// and reads simulator state read-only, so simulated results are
+  /// bit-identical with the recorder on or off
+  /// (tests/sim/test_flight_equivalence.cpp). Caller-owned, must outlive
+  /// run(); run() calls beginRun() itself, so reuse needs no manual
+  /// reset.
+  flight::FlightRecorder* flight = nullptr;
   /// Legacy observation hooks for orchestration layers (launch planning,
   /// drift monitors). They are implemented *on top of* the event stream:
   /// an internal adapter sink turns job_started / job_finished events back
@@ -357,6 +374,17 @@ class ClusterSimulator {
   /// time of the simulation — every caller refreshes at the instant the
   /// co-run actually changed.
   void refreshRates(double now, const std::vector<int>& dirty_nodes);
+  /// Open job `id`'s next flight-recorder co-residency interval under the
+  /// rate context refreshRates just derived — including the bottleneck
+  /// (min-rate) and max-NIC-demand nodes its fused loop picked: replays
+  /// the bottleneck node's co-run signature through the per-node
+  /// attribution memo for the LLC-vs-bandwidth split and the
+  /// leave-one-out co-runner deltas, and hands the result to
+  /// cfg_.flight. Only called with a recorder attached; pure reader of
+  /// simulator state.
+  void flightReopen(sched::JobId id, const Running& r, double now,
+                    double t_inst, double stretch, double net_over,
+                    int bottleneck, int net_node);
   /// True when schedule(now) provably cannot place anything (see
   /// SimOptFlags::futile_pass_gate); only called with the flag on.
   bool passProvablyFutile() const;
@@ -424,6 +452,82 @@ class ClusterSimulator {
   std::vector<std::pair<int, double>> bw_scratch_;  ///< (node, bandwidth)
   std::vector<sched::JobId> done_scratch_;
   perfmodel::SolveScratch solve_scratch_;  ///< flat-solver working set
+
+  // ---- flight-recorder attribution scratch (cfg_.flight only) ---------------
+  std::vector<perfmodel::NodeShare> flight_shares_;      ///< full signature
+  std::vector<perfmodel::NodeShare> flight_loo_shares_;  ///< leave-one-out
+  std::vector<std::pair<sched::JobId, double>> flight_comp_deltas_;
+  std::vector<std::pair<sched::JobId, double>> flight_net_shares_;
+  std::vector<double> flight_demand_;  ///< per-share demand_gbps (LOO fast path)
+  std::vector<double> flight_capped_;  ///< per-share roofline-capped bandwidth
+  /// Attribution matrix for one co-run signature: the full solve plus
+  /// every leave-one-out row. A pure function of the ordered share list,
+  /// so it is content-addressed (flight_sig_memo_) and never invalidated:
+  /// co-run signatures recur heavily across nodes and scheduling points
+  /// (the SolverCache premise). When every share is CAT-partitioned the
+  /// leave-one-out rows are recovered from the full outcome with exact
+  /// roofline re-scaling (zero extra solver calls); free-sharing
+  /// signatures fall back to r real solves, paid once per signature.
+  struct FlightAttrMatrix {
+    std::vector<double> rate_pp;       ///< full-signature rate, per resident
+    std::vector<double> raw_rate_pp;   ///< bandwidth-unconstrained rate
+    std::vector<double> loo;           ///< r x r: [k*r+i] = i's rate with k removed
+  };
+  /// One share's slice of a co-run signature key (mem_intensity is always
+  /// 1.0 on this path and carries no information). Doubles are keyed on
+  /// exact bit patterns; programs by pointer identity — both as in
+  /// SolverCache.
+  struct FlightSigKey {
+    const app::ProgramModel* prog;
+    int procs;
+    std::uint64_t ways_bits;
+    std::uint64_t remote_bits;
+    std::uint64_t cap_bits;
+    bool operator==(const FlightSigKey&) const = default;
+  };
+  using FlightSig = std::vector<FlightSigKey>;
+  struct FlightSigHash {
+    std::size_t operator()(const FlightSig& sig) const;
+  };
+  /// Per-node front of the memo: a version-stamped pointer into
+  /// flight_sig_memo_ (node-based map, addresses stable). A node's share
+  /// tuples are a pure function of its resident set (prog/procs/
+  /// remote_frac are job-fixed; ways/caps follow the allocations, which
+  /// change only with residency), so the pointer stays valid until
+  /// addResident/removeResident bumps the node's version — the common
+  /// case costs no hashing at all, and a version miss costs one hashed
+  /// map probe instead of r+1 solver-cache probes.
+  struct FlightNodeMemo {
+    std::uint64_t version = 0;  ///< 0 = never resolved (stamps start at 1)
+    const FlightAttrMatrix* mat = nullptr;
+  };
+  std::unordered_map<FlightSig, FlightAttrMatrix, FlightSigHash>
+      flight_sig_memo_;
+  FlightSig flight_sig_scratch_;  ///< reused lookup key, no per-probe allocation
+  std::vector<FlightNodeMemo> flight_node_memo_;
+  /// Residency version per node; sized only while a recorder is attached
+  /// (the empty() check gates the bump in addResident/removeResident).
+  std::vector<std::uint64_t> flight_node_version_;
+  /// Key of each job's currently open interval. When a refresh re-derives
+  /// bit-identical values and the attribution inputs' residency versions
+  /// are unchanged, reopen() would rebuild a byte-identical OpenState —
+  /// so the settle/reopen pair is skipped outright and the open interval
+  /// extends. Every field the reopened state depends on is either here or
+  /// version-stamped; the comparison is pure FP/integer equality, so the
+  /// skip decision is identical across opt flags and the interval stores
+  /// stay byte-comparable.
+  struct FlightOpenKey {
+    double rate = 0.0;
+    double t_inst = 0.0;
+    double stretch = 0.0;
+    double net_over = 0.0;
+    int bottleneck = -1;
+    int net_node = -1;
+    std::uint64_t bneck_version = 0;
+    std::uint64_t net_version = 0;
+    bool valid = false;
+  };
+  std::vector<FlightOpenKey> flight_open_key_;
 
   // ---- O(log n) event engine state (DESIGN.md section 11) -------------------
   /// Finish-time calendar (opt.finish_calendar): contains exactly the
@@ -519,6 +623,7 @@ class ClusterSimulator {
   obs::Histogram* m_wait_s_ = nullptr;
   obs::Histogram* m_run_s_ = nullptr;
   obs::Histogram* m_decision_us_ = nullptr;
+  obs::Histogram* m_stretch_ = nullptr;        ///< sim.stretch (vs solo)
 };
 
 }  // namespace sns::sim

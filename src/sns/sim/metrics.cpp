@@ -42,7 +42,11 @@ std::vector<double> runTimeRatios(const SimResult& test, const SimResult& base) 
   out.reserve(test.jobs.size());
   for (std::size_t i = 0; i < test.jobs.size(); ++i) {
     SNS_REQUIRE(test.jobs[i].id == base.jobs[i].id, "job id mismatch");
-    out.push_back(test.jobs[i].runTime() / base.jobs[i].runTime());
+    // A zero / near-zero base runtime (zero-work job, trace glitch) would
+    // turn one ratio into inf and poison every geomean built on top;
+    // degenerate pairs count as "no slowdown" instead.
+    const double b = base.jobs[i].runTime();
+    out.push_back(b > 1e-12 ? test.jobs[i].runTime() / b : 1.0);
   }
   return out;
 }

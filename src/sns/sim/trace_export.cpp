@@ -1,6 +1,9 @@
 #include "sns/sim/trace_export.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 #include "sns/obs/perfetto.hpp"
 #include "sns/util/error.hpp"
@@ -48,6 +51,40 @@ util::Json exportPerfetto(const SimResult& res, std::span<const obs::Event> even
       }
       b.addCounter(nodePid(nd), "bandwidth (GB/s)",
                    static_cast<double>(eps.size()) * opts.episode_s, 0.0);
+    }
+  }
+
+  // Per-node contention lanes: the flight recorder's retained co-residency
+  // intervals, converted to a stepped counter of the instantaneous
+  // attributed-deficit rate (slowdown seconds per second) of every job
+  // bottlenecked on the node. Jobs iterate in ascending id and intervals
+  // in time order, and the per-node sweep is a stable sort + same-instant
+  // coalesce — the lane is deterministic for a deterministic recorder.
+  if (opts.flight != nullptr) {
+    std::vector<std::vector<std::pair<double, double>>> deltas(
+        static_cast<std::size_t>(n_nodes));
+    for (const flight::JobRollup& j : opts.flight->jobs()) {
+      for (const flight::Interval& iv : j.intervals) {
+        if (iv.node < 0 || iv.node >= n_nodes || iv.t1 <= iv.t0) continue;
+        const double rate = iv.deficit / (iv.t1 - iv.t0);
+        if (rate == 0.0) continue;
+        auto& d = deltas[static_cast<std::size_t>(iv.node)];
+        d.emplace_back(iv.t0, rate);
+        d.emplace_back(iv.t1, -rate);
+      }
+    }
+    for (int nd = 0; nd < n_nodes; ++nd) {
+      auto& d = deltas[static_cast<std::size_t>(nd)];
+      if (d.empty()) continue;
+      std::stable_sort(d.begin(), d.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      double level = 0.0;
+      for (std::size_t i = 0; i < d.size();) {
+        const double t = d[i].first;
+        for (; i < d.size() && d[i].first == t; ++i) level += d[i].second;
+        b.addCounter(nodePid(nd), "interference (slowdown s/s)", t,
+                     std::max(level, 0.0));
+      }
     }
   }
 

@@ -3,6 +3,7 @@
 #include <span>
 #include <string>
 
+#include "sns/flight/flight.hpp"
 #include "sns/obs/event.hpp"
 #include "sns/sim/cluster_sim.hpp"
 #include "sns/util/json.hpp"
@@ -23,6 +24,12 @@ struct TraceExportOptions {
   /// process, anchored at each pass's virtual time with real nanoseconds
   /// mapped 1:1 onto the virtual axis. Null skips the lanes.
   const xray::Tracer* xray = nullptr;
+  /// Interference flight recorder whose retained co-residency intervals
+  /// render as a per-node "interference (slowdown s/s)" counter lane: the
+  /// instantaneous attributed-deficit rate of everything bottlenecked on
+  /// the node, stepped at the recorder's interval boundaries. Null skips
+  /// the lanes.
+  const flight::FlightRecorder* flight = nullptr;
 };
 
 /// Render one simulation as a Perfetto / Chrome trace-event JSON document

@@ -44,6 +44,16 @@ struct ReportContext {
   /// audit_text — sns_telemetry must not depend on sns_xray. Empty text
   /// omits the section.
   std::string xray_text;
+  /// sns::flight outcome when an interference flight recorder rode along
+  /// the workload (`uberun report`): the rendered degradation-accounting
+  /// report (bound-violation census, resource attribution, contention
+  /// heatmap), shown as a "Degradation accounting" section. Plain data for
+  /// the same reason as audit_text — sns_telemetry must not depend on
+  /// sns_flight. Empty text omits the section.
+  std::string flight_text;
+  /// Degradation-bound violations counted by the recorder's census;
+  /// flagged in the section header when > 0.
+  std::uint64_t flight_violations = 0;
 };
 
 /// Self-contained single-file HTML dashboard: stat tiles, one inline-SVG

@@ -250,6 +250,15 @@ std::string renderHtmlReport(const ReportContext& ctx) {
     html += "<h2>Decision anatomy</h2><pre>" + esc(ctx.xray_text) + "</pre>";
   }
 
+  if (!ctx.flight_text.empty()) {
+    const bool bad = ctx.flight_violations > 0;
+    html += "<h2>Degradation accounting <span class=\"badge " +
+            std::string(bad ? "bad" : "ok") + "\">" +
+            (bad ? std::to_string(ctx.flight_violations) + " bound violations"
+                 : "bounds held") +
+            "</span></h2><pre>" + esc(ctx.flight_text) + "</pre>";
+  }
+
   if (ctx.metrics != nullptr) {
     html += "<details><summary>metrics registry</summary><pre>" +
             esc(ctx.metrics->renderTable()) + "</pre></details>";

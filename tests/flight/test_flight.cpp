@@ -1,0 +1,234 @@
+// Unit tests of the interference flight recorder driven by hand-built
+// settle/reopen sequences (no simulator): the reconciliation arithmetic,
+// the residual constructions that make both attribution axes sum exactly,
+// the fixed-budget interval compaction, the census, and renderer
+// determinism.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sns/flight/flight.hpp"
+#include "sns/flight/report.hpp"
+
+namespace sns::flight {
+namespace {
+
+OpenContext makeCtx(double now, double t_inst, double stretch, double net_over,
+                    int node, double solo_rate, double raw_rate_pp,
+                    std::span<const std::pair<JobId, double>> deltas = {},
+                    std::span<const std::pair<JobId, double>> nets = {}) {
+  OpenContext ctx;
+  ctx.now = now;
+  ctx.t_inst = t_inst;
+  ctx.rate = 1.0 / t_inst;
+  ctx.stretch = stretch;
+  ctx.net_over = net_over;
+  ctx.bottleneck_node = node;
+  ctx.rate_pp = stretch > 0.0 ? solo_rate / stretch : solo_rate;
+  ctx.raw_rate_pp = raw_rate_pp;
+  ctx.comp_deltas = deltas;
+  ctx.net_shares = nets;
+  return ctx;
+}
+
+TEST(FlightRecorder, UncontendedJobAttributesNothing) {
+  FlightRecorder fr;
+  fr.beginRun(1, 2);
+  fr.onStart(0, "EP", /*submit=*/0.0, /*now=*/5.0, /*solo_comp=*/10.0,
+             /*solo_comm=*/2.0, /*solo_wait=*/0.0, /*solo_rate=*/1.0,
+             /*alpha=*/0.9);
+  fr.settle(0, 5.0);  // the zero-length placeholder settle at start
+  // Uncontended: t_inst == t_solo exactly, stretch == net_over == 1.
+  fr.reopen(0, makeCtx(5.0, 12.0, 1.0, 1.0, 0, 1.0, 1.0));
+  fr.onFinish(0, 17.0);
+  fr.endRun(17.0);
+
+  const JobRollup* j = fr.find(0);
+  ASSERT_NE(j, nullptr);
+  EXPECT_TRUE(j->finished);
+  EXPECT_EQ(j->queue_wait, 5.0);
+  EXPECT_EQ(j->actual, 12.0);
+  EXPECT_EQ(j->t_solo, 12.0);
+  EXPECT_EQ(j->attributed, 0.0);
+  EXPECT_EQ(j->closure, 0.0);
+  EXPECT_EQ(j->stretch, 1.0);
+  EXPECT_FALSE(j->bound_violated);
+  EXPECT_DOUBLE_EQ(j->work, 1.0);
+  // Coverage chain: bit-exact endpoints.
+  EXPECT_EQ(j->first_open, j->start);
+  EXPECT_EQ(j->last_close, j->finish);
+  EXPECT_EQ(fr.census().violations, 0u);
+  EXPECT_EQ(fr.census().finished, 1u);
+}
+
+// One contended lifetime at a single frozen rate: every decomposition has
+// a closed form. solo = 10 comp + 5 comm; stretch 2 with stretch_llc 1.25
+// (raw rate 0.8), net_over 1.5 => t_inst = 10*2 + 5*1.5 = 27.5 and the
+// deficit D = 12.5 splits f_llc = 0.2, f_membw = 0.6, f_net = 0.2.
+TEST(FlightRecorder, ResourceAndCorunnerDecomposition) {
+  const std::vector<std::pair<JobId, double>> deltas = {{1, 0.1}, {2, 0.3}};
+  const std::vector<std::pair<JobId, double>> nets = {{1, 2.0}};
+
+  FlightRecorder fr;
+  fr.beginRun(3, 2);
+  fr.onStart(0, "NW", 0.0, 0.0, 10.0, 5.0, 0.0, 1.0, 0.9);
+  fr.settle(0, 0.0);
+  fr.reopen(0, makeCtx(0.0, 27.5, 2.0, 1.5, 1, 1.0, 0.8, deltas, nets));
+  fr.onFinish(0, 27.5);
+  fr.endRun(27.5);
+
+  const JobRollup& j = *fr.find(0);
+  EXPECT_DOUBLE_EQ(j.attributed, 12.5);
+  EXPECT_EQ(j.closure, (j.actual - j.t_solo) - j.attributed);  // replay, exact
+  EXPECT_NEAR(j.closure, 0.0, 1e-9);
+  EXPECT_NEAR(j.llc_s, 2.5, 1e-9);    // f_llc  = 10*(1.25-1)/12.5 = 0.2
+  EXPECT_NEAR(j.membw_s, 7.5, 1e-9);  // f_membw = 10*(2-1.25)/12.5 = 0.6
+  EXPECT_NEAR(j.net_s, 2.5, 1e-9);    // f_net  = 5*(1.5-1)/12.5 = 0.2
+  // Residual constructions: both axes sum to `attributed` exactly.
+  EXPECT_EQ(j.llc_s + j.membw_s + j.net_s + j.other_s, j.attributed);
+  double corunner_sum = 0.0;
+  for (const CorunnerShare& c : j.corunners) corunner_sum += c.seconds;
+  EXPECT_EQ(j.self_s + corunner_sum, j.attributed);
+  // Co-runner split: comp 0.8 weighted 1:3 across jobs 1 and 2, net 0.2
+  // all to job 1 => job 1 gets 0.2 + 0.2 = 0.4, job 2 gets 0.6.
+  ASSERT_EQ(j.corunners.size(), 2u);
+  EXPECT_EQ(j.corunners[0].other, 1);
+  EXPECT_NEAR(j.corunners[0].seconds, 5.0, 1e-9);
+  EXPECT_EQ(j.corunners[1].other, 2);
+  EXPECT_NEAR(j.corunners[1].seconds, 7.5, 1e-9);
+  EXPECT_NEAR(j.self_s, 0.0, 1e-9);
+  // Stretch 1.833 > 1/0.9: the degradation bound is violated.
+  EXPECT_NEAR(j.stretch, 27.5 / 15.0, 1e-12);
+  EXPECT_TRUE(j.bound_violated);
+  EXPECT_EQ(fr.census().violations, 1u);
+  EXPECT_EQ(fr.census().worst_job, 0);
+  // Bottleneck-node heatmap: the whole deficit landed on node 1.
+  ASSERT_EQ(fr.nodeSlowdown().size(), 2u);
+  EXPECT_EQ(fr.nodeSlowdown()[0], 0.0);
+  EXPECT_DOUBLE_EQ(fr.nodeSlowdown()[1], 12.5);
+}
+
+TEST(FlightRecorder, ZeroLengthSettleAppendsNothing) {
+  FlightRecorder fr;
+  fr.beginRun(1, 1);
+  fr.onStart(0, "MG", 0.0, 0.0, 10.0, 0.0, 0.0, 1.0, 0.9);
+  fr.settle(0, 0.0);  // placeholder, dt == 0
+  fr.reopen(0, makeCtx(0.0, 10.0, 1.0, 1.0, 0, 1.0, 1.0));
+  fr.settle(0, 0.0);  // same-instant re-settle (batched refresh duplicate)
+  fr.reopen(0, makeCtx(0.0, 10.0, 1.0, 1.0, 0, 1.0, 1.0));
+  fr.onFinish(0, 10.0);
+
+  const JobRollup& j = *fr.find(0);
+  EXPECT_EQ(j.raw_intervals, 1u);
+  ASSERT_EQ(j.intervals.size(), 1u);
+  EXPECT_EQ(j.intervals[0].t0, 0.0);
+  EXPECT_EQ(j.intervals[0].t1, 10.0);
+}
+
+// Fixed-budget compaction: 100 raw settles through a budget-4 store must
+// keep <= 4 retained intervals while conserving every additive quantity
+// and the [start, finish) coverage.
+TEST(FlightRecorder, CompactionConservesSumsWithinBudget) {
+  FlightConfig cfg;
+  cfg.interval_budget = 4;
+  FlightRecorder fr(cfg);
+  fr.beginRun(1, 1);
+  fr.onStart(0, "HC", 0.0, 0.0, 100.0, 0.0, 0.0, 1.0, 0.9);
+  fr.settle(0, 0.0);
+  const int kRaw = 100;
+  for (int i = 0; i < kRaw; ++i) {
+    // Alternating contention: odd spans run at half speed.
+    const double t_inst = (i % 2 != 0) ? 200.0 : 100.0;
+    const double stretch = (i % 2 != 0) ? 2.0 : 1.0;
+    fr.reopen(0, makeCtx(static_cast<double>(i), t_inst, stretch, 1.0, 0, 1.0,
+                         1.0 / stretch));
+    fr.settle(0, static_cast<double>(i + 1));
+  }
+  fr.reopen(0, makeCtx(static_cast<double>(kRaw), 100.0, 1.0, 1.0, 0, 1.0, 1.0));
+  fr.onFinish(0, static_cast<double>(kRaw));  // zero-length tail: no append
+  fr.endRun(static_cast<double>(kRaw));
+
+  const JobRollup& j = *fr.find(0);
+  EXPECT_EQ(j.raw_intervals, static_cast<std::uint32_t>(kRaw));
+  ASSERT_LE(j.intervals.size(), 4u);
+  ASSERT_GE(j.compaction_level, 1u);
+  std::uint32_t raws = 0;
+  double deficit = 0.0, work = 0.0;
+  for (const Interval& iv : j.intervals) {
+    raws += iv.raws;
+    deficit += iv.deficit;
+    work += iv.work;
+  }
+  EXPECT_EQ(raws, j.raw_intervals);
+  EXPECT_NEAR(deficit, j.attributed, 1e-9);
+  EXPECT_NEAR(work, j.work, 1e-9);
+  EXPECT_EQ(j.intervals.front().t0, 0.0);
+  EXPECT_EQ(j.intervals.back().t1, static_cast<double>(kRaw));
+  // Retained spans tile the lifetime: each ends where the next begins.
+  for (std::size_t i = 0; i + 1 < j.intervals.size(); ++i) {
+    EXPECT_EQ(j.intervals[i].t1, j.intervals[i + 1].t0);
+  }
+}
+
+TEST(FlightRecorder, FindRejectsOutOfRangeIds) {
+  FlightRecorder fr;
+  fr.beginRun(2, 1);
+  EXPECT_NE(fr.find(0), nullptr);
+  EXPECT_NE(fr.find(1), nullptr);
+  EXPECT_EQ(fr.find(2), nullptr);
+  EXPECT_EQ(fr.find(-1), nullptr);
+}
+
+// Identical drive sequences must produce byte-identical dumps and
+// renderings — the renderer-level determinism contract behind
+// `uberun why-slow` and the degradation census.
+TEST(FlightRecorder, DumpAndRenderersDeterministic) {
+  const std::vector<std::pair<JobId, double>> deltas = {{1, 0.2}};
+  auto drive = [&](FlightRecorder& fr) {
+    fr.beginRun(2, 2);
+    fr.onStart(0, "NW", 0.0, 1.0, 10.0, 5.0, 0.0, 1.0, 0.9);
+    fr.settle(0, 1.0);
+    fr.reopen(0, makeCtx(1.0, 27.5, 2.0, 1.5, 1, 1.0, 0.8, deltas));
+    fr.onStart(1, "EP", 0.0, 2.0, 8.0, 0.0, 0.0, 1.0, 0.9);
+    fr.settle(1, 2.0);
+    fr.reopen(1, makeCtx(2.0, 8.0, 1.0, 1.0, 0, 1.0, 1.0));
+    fr.onFinish(1, 10.0);
+    fr.settle(0, 10.0);
+    fr.reopen(0, makeCtx(10.0, 15.0, 1.0, 1.0, 1, 1.0, 1.0));
+    fr.onFinish(0, 20.0);
+    fr.endRun(20.0);
+  };
+  FlightRecorder a, b;
+  drive(a);
+  drive(b);
+  EXPECT_EQ(a.toJson().dump(), b.toJson().dump());
+  EXPECT_EQ(renderWhySlow(a, 0), renderWhySlow(b, 0));
+  EXPECT_EQ(renderWhySlowIndex(a, 10), renderWhySlowIndex(b, 10));
+  EXPECT_EQ(renderDegradationReport(a), renderDegradationReport(b));
+  // beginRun resets: re-driving the same instance reproduces the dump.
+  const std::string first = a.toJson().dump();
+  drive(a);
+  EXPECT_EQ(a.toJson().dump(), first);
+}
+
+TEST(FlightRecorder, RenderWhySlowMentionsViolationAndCorunners) {
+  const std::vector<std::pair<JobId, double>> deltas = {{2, 0.5}};
+  FlightRecorder fr;
+  fr.beginRun(3, 1);
+  fr.onStart(1, "WC", 0.0, 0.0, 10.0, 0.0, 0.0, 1.0, 0.9);
+  fr.settle(1, 0.0);
+  fr.reopen(1, makeCtx(0.0, 20.0, 2.0, 1.0, 0, 1.0, 0.5, deltas));
+  fr.onFinish(1, 20.0);
+  fr.endRun(20.0);
+
+  const std::string text = renderWhySlow(fr, 1);
+  EXPECT_NE(text.find("DEGRADATION BOUND VIOLATED"), std::string::npos);
+  EXPECT_NE(text.find("\n2"), std::string::npos);  // the charged co-runner row
+  const std::string index = renderWhySlowIndex(fr, 5);
+  EXPECT_NE(index.find("1 bound violation"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sns::flight

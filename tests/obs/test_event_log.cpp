@@ -146,6 +146,58 @@ TEST(JsonlSink, EachLineParsesBack) {
   EXPECT_EQ(parsed[1].get("type").asString(), "job_finished");
 }
 
+TEST(JsonlSink, FinishAppendsDigestLine) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.record(makeEvent(EventType::kJobStarted, 1));
+  sink.record(makeEvent(EventType::kJobFinished, 1));
+  EXPECT_TRUE(sink.finish());
+  EXPECT_EQ(sink.writeErrors(), 0u);
+
+  std::istringstream is(os.str());
+  std::string line, last;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    last = line;
+    ++lines;
+  }
+  ASSERT_EQ(lines, 3u);
+  const util::Json digest = util::Json::parse(last);
+  EXPECT_TRUE(digest.get("jsonl_digest").asBool());
+  EXPECT_EQ(digest.get("events").asNumber(), 2.0);
+  EXPECT_EQ(digest.get("write_errors").asNumber(), 0.0);
+}
+
+TEST(JsonlSink, CountsWriteFailuresPerEvent) {
+  // A stream wedged at failbit models a full disk / broken pipe: every
+  // write must be counted as an error instead of silently dropped, and
+  // the error flags must be cleared so later events still get a chance.
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.record(makeEvent(EventType::kJobStarted, 1));
+  ASSERT_EQ(sink.writeErrors(), 0u);
+
+  os.setstate(std::ios::failbit);
+  sink.record(makeEvent(EventType::kJobStarted, 2));
+  // clear() in record() re-arms the stream; wedge it again for the next.
+  os.setstate(std::ios::failbit);
+  sink.record(makeEvent(EventType::kJobStarted, 3));
+  EXPECT_EQ(sink.count(), 3u);
+  EXPECT_EQ(sink.writeErrors(), 2u);
+
+  // The digest surfaces the losses; a healthy stream writes it cleanly.
+  EXPECT_TRUE(sink.finish());
+  std::istringstream is(os.str());
+  std::string line, last;
+  while (std::getline(is, line)) last = line;
+  EXPECT_EQ(util::Json::parse(last).get("write_errors").asNumber(), 2.0);
+
+  // And a digest that itself fails to write reports failure.
+  os.setstate(std::ios::badbit);
+  EXPECT_FALSE(sink.finish());
+  EXPECT_EQ(sink.writeErrors(), 3u);
+}
+
 TEST(TeeSink, FansOutToAllSinks) {
   NullSink a, b;
   TeeSink tee;

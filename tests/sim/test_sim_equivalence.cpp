@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "sns/app/library.hpp"
+#include "sns/flight/flight.hpp"
 #include "sns/profile/profiler.hpp"
 #include "sns/sim/cluster_sim.hpp"
 #include "sns/util/thread_pool.hpp"
@@ -144,6 +145,12 @@ TEST_P(OptimizedVsLegacy, EachFlagAloneBitIdentical) {
     if (flag == 5) one.opt.parallel_min_candidates = 1;
     SCOPED_TRACE("flag " + std::to_string(flag));
     expectIdentical(runWith(f, one, seq), ref);
+    // Recorder-on row: the interference flight recorder rides the settle
+    // points this flag rewires; it must stay a pure observer under each.
+    flight::FlightRecorder fr;
+    SimConfig instrumented = one;
+    instrumented.flight = &fr;
+    expectIdentical(runWith(f, instrumented, seq), ref);
   }
 }
 

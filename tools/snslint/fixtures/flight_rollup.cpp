@@ -1,0 +1,29 @@
+// Fixture for the flight-rollup-determinism rule. The test scans this
+// file under a display path matching FLIGHT_ROLLUP_GLOBS (sns/flight/*),
+// where ANY std::unordered_* mention or wall-clock call fires — the
+// recorder's rollups are byte-compared across runs and opt flags. Under
+// an ordinary display path the same contents raise nothing from this
+// rule (the broad wall-clock rule still applies everywhere).
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct BadRollup {
+  std::unordered_map<long, double> slowdown_by_job_;       // fires
+  std::unordered_map<long, int> tolerated_;  // snslint: allow(flight-rollup-determinism)
+};
+
+inline double stampNow() {
+  return std::chrono::duration<double>(                    // fires (clock)
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Ascending-id vectors and simulated time are the idiom; none of these
+// may fire, and prose mentions of std::unordered_map stay clean too.
+struct GoodRollup {
+  std::vector<double> attributed_by_id_;
+  std::map<long, double> ordered_;
+  double now_sim_ = 0.0;
+};

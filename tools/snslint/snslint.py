@@ -32,6 +32,16 @@ Rules
   wall-clock            std::chrono::{system,steady,high_resolution}_clock,
                         time(), gettimeofday, clock_gettime — wall time in
                         scheduler logic makes replays non-reproducible.
+  flight-rollup-determinism
+                        ANY std::unordered_* mention or wall-clock call in
+                        the interference flight recorder (files matching
+                        FLIGHT_ROLLUP_GLOBS — sns/flight, DESIGN.md
+                        section 12). The recorder's rollups and renderers
+                        are byte-compared across runs and SimOptFlags
+                        settings, so hash-order iteration or real time
+                        anywhere in the module breaks the equivalence
+                        suite; ascending-id vectors and simulated time are
+                        the idiom there.
   span-wall-clock       std::chrono::{system,high_resolution}_clock in
                         span/phase timing code (sns/xray, sns/telemetry):
                         cost attribution must use the monotonic
@@ -71,6 +81,7 @@ import sys
 RULES = (
     "unordered-iteration",
     "unordered-decision-path",
+    "flight-rollup-determinism",
     "float-accumulation",
     "wall-clock",
     "span-wall-clock",
@@ -84,6 +95,14 @@ RULES = (
 DECISION_PATH_GLOBS = (
     "*/sns/sched/finish_calendar*",
     "sns/sched/finish_calendar*",
+)
+
+# Files held to the flight-rollup-determinism rule: the interference
+# flight recorder's rollup/render code, whose output is byte-compared by
+# the equivalence suite.
+FLIGHT_ROLLUP_GLOBS = (
+    "*/sns/flight/*",
+    "sns/flight/*",
 )
 
 ALLOW_RE = re.compile(r"//\s*snslint:\s*allow\(([a-z0-9_,\- ]+)\)")
@@ -265,6 +284,8 @@ def scan_file(path, display_path):
     norm_disp = display_path.replace(os.sep, "/")
     on_decision_path = any(
         fnmatch.fnmatch(norm_disp, g) for g in DECISION_PATH_GLOBS)
+    on_flight_rollup = any(
+        fnmatch.fnmatch(norm_disp, g) for g in FLIGHT_ROLLUP_GLOBS)
 
     for idx, ln in enumerate(code):
         if on_decision_path and UNORDERED_ANY_RE.search(ln):
@@ -273,6 +294,13 @@ def scan_file(path, display_path):
                 "calendar/decision path; use flat vectors indexed by "
                 "dense JobId (hash order and rehash timing are "
                 "implementation-defined)")
+        if on_flight_rollup:
+            m = UNORDERED_ANY_RE.search(ln) or WALL_CLOCK_RE.search(ln)
+            if m:
+                add(idx, "flight-rollup-determinism",
+                    f"'{m.group(0).strip()}' in flight-recorder rollup "
+                    "code; rollups are byte-compared across runs and opt "
+                    "flags — use ascending-id vectors and simulated time")
         # unordered-iteration: range-for over a known unordered name (or an
         # inline construction), or explicit .begin()/.end() on one.
         for m in RANGE_FOR_RE.finditer(ln):

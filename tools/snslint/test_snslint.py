@@ -78,6 +78,42 @@ class UnorderedDecisionPath(unittest.TestCase):
                 lines_for(findings, "unordered-decision-path"), [], findings)
 
 
+class FlightRollupDeterminism(unittest.TestCase):
+    FIXTURE = os.path.join(FIXTURES, "flight_rollup.cpp")
+
+    def test_fires_on_unordered_and_wall_clock_under_flight_path(self):
+        findings = snslint.scan_file(self.FIXTURE,
+                                     "src/sns/flight/flight.cpp")
+        hits = lines_for(findings, "flight-rollup-determinism")
+        # The unordered member declaration plus the steady_clock call; the
+        # allowed member, the comment prose, and GoodRollup stay clean.
+        self.assertEqual(len(hits), 2, findings)
+
+    def test_inline_allow_suppresses(self):
+        findings = snslint.scan_file(self.FIXTURE,
+                                     "src/sns/flight/flight.cpp")
+        for f in findings:
+            if f.rule == "flight-rollup-determinism":
+                self.assertNotEqual(f.line, 14, f)  # tolerated_ is allowed
+
+    def test_silent_off_the_flight_path(self):
+        findings = snslint.scan_file(self.FIXTURE, "flight_rollup.cpp")
+        self.assertEqual(lines_for(findings, "flight-rollup-determinism"),
+                         [], findings)
+        # The broad wall-clock rule still covers the clock call there.
+        self.assertTrue(lines_for(findings, "wall-clock"), findings)
+
+    def test_real_flight_files_are_clean(self):
+        repo = os.path.dirname(os.path.dirname(HERE))
+        for name in ("flight.hpp", "flight.cpp", "report.hpp", "report.cpp"):
+            path = os.path.join(repo, "src", "sns", "flight", name)
+            disp = os.path.join("src", "sns", "flight", name)
+            findings = snslint.scan_file(path, disp)
+            self.assertEqual(
+                lines_for(findings, "flight-rollup-determinism"), [],
+                findings)
+
+
 class FloatAccumulation(unittest.TestCase):
     def test_fires_inside_unordered_loop_only(self):
         findings = scan("float_accumulation.cpp")

@@ -17,6 +17,7 @@
 //   uberun audit     [same as metrics] [--keep-going]
 //   uberun explain   [same as metrics] [--job J]
 //   uberun hotpath   [same as metrics] [--sample N] [--folded FILE]
+//   uberun why-slow  [same as metrics] [--job J] [--limit N]
 //
 // All telemetry subcommands take --legacy-decision: run every SimOptFlags
 // hot-path optimization through its legacy implementation, for before/after
@@ -41,6 +42,14 @@
 // folded stacks (--folded FILE writes them for flamegraph.pl), and a
 // reconciliation line against the simulator's own decision-latency metric.
 //
+// `uberun why-slow` replays a workload with the sns::flight interference
+// flight recorder attached and answers "why did job J finish slower than
+// solo": stretch vs the 1/alpha degradation bound, the queue-wait / solo /
+// interference split of end-to-end latency, per-resource attribution
+// (LLC ways / memory bandwidth / network) and the co-runners that caused
+// it. Without --job it prints the degradation-bound census plus the most
+// degraded jobs.
+//
 // `uberun audit` replays a workload with the sns::audit invariant auditor
 // attached: at every scheduling point the ledger's cached occupancy totals
 // and idle-core buckets, the queue's tombstone accounting, and the solver
@@ -63,6 +72,7 @@
 #include "sns/app/jobspec_io.hpp"
 #include "sns/app/library.hpp"
 #include "sns/audit/audit.hpp"
+#include "sns/flight/report.hpp"
 #include "sns/obs/metrics.hpp"
 #include "sns/obs/sink.hpp"
 #include "sns/profile/demand.hpp"
@@ -337,6 +347,12 @@ int cmdTraceWorkload(const World& w, const Args& a) {
   xray::Tracer tracer(xcfg);
   if (a.flag("anatomy")) cfg.xray = &tracer;
 
+  // The flight recorder rides every exported trace: its retained
+  // co-residency intervals become per-node "interference (slowdown s/s)"
+  // counter lanes (results stay bit-identical with it attached).
+  flight::FlightRecorder recorder;
+  cfg.flight = &recorder;
+
   obs::RingBufferLog log;
   obs::Registry metrics;
   cfg.sink = &log;
@@ -348,6 +364,7 @@ int cmdTraceWorkload(const World& w, const Args& a) {
   const std::string out = a.get("out", "trace.perfetto.json");
   sim::TraceExportOptions topts;
   if (a.flag("anatomy")) topts.xray = &tracer;
+  topts.flight = &recorder;
   sim::writePerfettoFile(out, res, events, topts);
 
   std::map<std::string, std::size_t> by_type;
@@ -481,6 +498,10 @@ struct TelemetryRun {
   /// (explain / hotpath / report). Null on plain metrics/top runs so the
   /// scheduler hot path stays untouched.
   std::unique_ptr<xray::Tracer> xray;
+  /// Interference flight recorder, when the subcommand asked for one
+  /// (why-slow / report). Null otherwise — attaching it is bit-identical
+  /// for the schedule but costs extra solver lookups per settle point.
+  std::unique_ptr<flight::FlightRecorder> flight;
   sim::SimResult result;
   int nodes = 0;
   std::string workload;
@@ -505,7 +526,8 @@ struct TelemetryRun {
 
 std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a,
                                            audit::Auditor* auditor = nullptr,
-                                           const xray::TracerConfig* xcfg = nullptr) {
+                                           const xray::TracerConfig* xcfg = nullptr,
+                                           bool with_flight = false) {
   auto wl = buildTelemetryWorkload(w, a);
 
   auto rules = telemetry::SloWatchdog::defaultRules();
@@ -561,6 +583,11 @@ std::unique_ptr<TelemetryRun> runTelemetry(const World& w, const Args& a,
     run->xray = std::make_unique<xray::Tracer>(*xcfg);
     cfg.xray = run->xray.get();
   }
+  if (with_flight) {
+    run->flight = std::make_unique<flight::FlightRecorder>();
+    run->flight->attachMetrics(&run->metrics);
+    cfg.flight = run->flight.get();
+  }
   run->nodes = cfg.nodes;
 
   sim::ClusterSimulator sim(w.est, w.lib, wl.db, cfg);
@@ -592,7 +619,9 @@ void writeOrPrint(const std::string& path, const std::string& text) {
 }
 
 int cmdMetrics(const World& w, const Args& a) {
-  auto run = runTelemetry(w, a);
+  // The flight recorder rides along so the sns_degradation_* gauges land in
+  // the Prometheus exposition (schedule stays bit-identical with it on).
+  auto run = runTelemetry(w, a, nullptr, nullptr, /*with_flight=*/true);
   writeOrPrint(a.get("out", ""),
                telemetry::renderPrometheus(&run->store, &run->metrics));
   return finishTelemetry(*run, a);
@@ -609,7 +638,8 @@ int cmdReport(const World& w, const Args& a) {
   xray::TracerConfig xcfg;
   xcfg.sample_period = static_cast<int>(a.num("sample", 32));
   xcfg.provenance = false;
-  auto run = runTelemetry(w, a, with_audit ? &auditor : nullptr, &xcfg);
+  auto run = runTelemetry(w, a, with_audit ? &auditor : nullptr, &xcfg,
+                          /*with_flight=*/true);
   telemetry::ReportContext ctx;
   ctx.title = "uberun — " + run->result.policy + " on " +
               std::to_string(run->nodes) + " nodes (" + run->workload + ")";
@@ -623,6 +653,12 @@ int cmdReport(const World& w, const Args& a) {
     const obs::Histogram* dh = run->metrics.findHistogram("sim.decision_us");
     ctx.xray_text =
         xray::renderHotpath(*run->xray, dh != nullptr ? dh->mean() : 0.0);
+  }
+  if (run->flight != nullptr && run->flight->runComplete()) {
+    ctx.flight_text = flight::renderDegradationReport(*run->flight);
+    ctx.flight_violations = run->flight->census().violations;
+    ctx.summary.emplace_back("bound violations",
+                             std::to_string(run->flight->census().violations));
   }
   if (with_audit) {
     auditor.auditTimeSeries(run->store);
@@ -662,7 +698,10 @@ int cmdAudit(const World& w, const Args& a) {
                "time-series audit will run\n");
 #endif
   try {
-    auto run = runTelemetry(w, a, &auditor);
+    // The flight recorder rides along so the run also exercises the
+    // reconciliation audit (auditFlightLedger replays every finished
+    // job's slowdown ledger post-run, even in SNS_AUDIT=OFF builds).
+    auto run = runTelemetry(w, a, &auditor, nullptr, /*with_flight=*/true);
     auditor.auditTimeSeries(run->store);
     std::printf("%s policy on %d nodes (%s): %zu jobs, makespan %.1f s\n\n",
                 run->result.policy.c_str(), run->nodes, run->workload.c_str(),
@@ -747,10 +786,36 @@ int cmdHotpath(const World& w, const Args& a) {
   return 0;
 }
 
+// `uberun why-slow`: replay the workload with the interference flight
+// recorder attached and answer "why did job J finish slower than solo":
+// stretch vs the 1/alpha degradation bound, the queue-wait / interference
+// split, per-resource attribution and the co-runner shares. Without --job
+// it prints the degradation census plus the most degraded jobs.
+int cmdWhySlow(const World& w, const Args& a) {
+  auto run = runTelemetry(w, a, nullptr, nullptr, /*with_flight=*/true);
+  std::printf("%s policy on %d nodes (%s): %zu jobs, makespan %.1f s\n\n",
+              run->result.policy.c_str(), run->nodes, run->workload.c_str(),
+              run->result.jobs.size(), run->result.makespan);
+  if (a.options.count("job") != 0) {
+    const auto job = static_cast<std::int64_t>(a.num("job", 0));
+    const flight::JobRollup* jr = run->flight->find(job);
+    if (jr == nullptr || jr->start < 0.0) {
+      std::fprintf(stderr, "uberun why-slow: no lifetime recorded for job %lld\n",
+                   static_cast<long long>(job));
+      return 2;
+    }
+    std::printf("%s", flight::renderWhySlow(*run->flight, job).c_str());
+  } else {
+    const auto limit = static_cast<std::size_t>(a.num("limit", 15));
+    std::printf("%s", flight::renderWhySlowIndex(*run->flight, limit).c_str());
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: uberun <programs|profile|generate|simulate|plan|trace|"
-               "metrics|report|top|audit|explain|hotpath> "
+               "metrics|report|top|audit|explain|hotpath|why-slow> "
                "[options]\n(see the header of tools/uberun_cli.cpp)\n");
   return 1;
 }
@@ -778,6 +843,7 @@ int main(int argc, char** argv) {
     if (cmd == "audit") return cmdAudit(w, a);
     if (cmd == "explain") return cmdExplain(w, a);
     if (cmd == "hotpath") return cmdHotpath(w, a);
+    if (cmd == "why-slow") return cmdWhySlow(w, a);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "uberun: %s\n", e.what());
