@@ -11,6 +11,7 @@
 #include "sns/actuator/node_ledger.hpp"
 #include "sns/hw/machine.hpp"
 #include "sns/util/error.hpp"
+#include "sns/util/thread_annotations.hpp"
 
 namespace sns::util {
 class ThreadPool;
@@ -113,7 +114,16 @@ class NodeBitset {
 /// every node on each query — is kept behind setFullScan(true) as the
 /// equivalence baseline: both paths must return bit-identical selections
 /// (tests/sim/test_sim_equivalence.cpp, tests/actuator).
-class ResourceLedger {
+///
+/// Thread contract: SNS_THREAD_HOSTILE — even const selection queries
+/// mutate the mutable scratch buffers and the selection cache below, so
+/// two threads may not query one ledger concurrently under any
+/// qualification. The sharded parallel search (setSearchPool) is the one
+/// sanctioned multi-thread entry: fillScores() hands pool workers fixed
+/// disjoint index ranges of one scratch array and joins every future
+/// before any shard result is read, so no two threads ever touch the
+/// same element and no scratch outlives the query that owns it.
+class SNS_THREAD_HOSTILE ResourceLedger {
  public:
   ResourceLedger(int nodes, const hw::MachineConfig& mach);
 

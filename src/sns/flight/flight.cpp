@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sns/util/error.hpp"
+#include "sns/util/hot_path.hpp"
 
 namespace sns::flight {
 
@@ -14,6 +15,13 @@ namespace {
 /// dividing by a zero/near-zero baseline would report inf/garbage stretch
 /// for degenerate zero-duration jobs instead of "no meaningful slowdown".
 constexpr double kMinSoloRuntime = 1e-12;
+
+/// Per-job co-runner capacity reserved at onStart so steady-state settles
+/// and reopens stay heap-silent: a job meeting its 65th *distinct*
+/// co-runner would re-grow, which the alloc contract test would flag —
+/// acceptable, since such a job's rollup is dominated by merge noise
+/// anyway and the growth is one doubling, not a leak.
+constexpr std::size_t kCorunnerReserve = 64;
 
 Interval mergePair(const Interval& a, const Interval& b) {
   Interval m = a;  // keeps a.node (first raw's bottleneck)
@@ -79,9 +87,17 @@ void FlightRecorder::onStart(JobId id, const std::string& program,
   st.corunners = 0;
   st.f_llc = st.f_membw = st.f_net = 0.0;
   st.weights.clear();
+  // Job start is a rate boundary: pre-size everything the per-boundary
+  // paths (settle/reopen) append to, so they never grow a vector mid-run.
+  // The interval store's size is hard-capped at the budget (compaction
+  // halves it in place), so this reserve is exact, not a guess.
+  jr.intervals.reserve(cfg_.interval_budget);
+  jr.corunners.reserve(kCorunnerReserve);
+  st.weights.reserve(kCorunnerReserve);
 }
 
 void FlightRecorder::settle(JobId id, double now) {
+  SNS_HOT_PATH("flight.settle");
   JobRollup& jr = rollup(id);
   OpenState& st = open_[static_cast<std::size_t>(id)];
   if (!st.open) return;
@@ -138,6 +154,7 @@ void FlightRecorder::settle(JobId id, double now) {
 }
 
 void FlightRecorder::reopen(JobId id, const OpenContext& ctx) {
+  SNS_HOT_PATH("flight.reopen");
   JobRollup& jr = rollup(id);
   OpenState& st = open_[static_cast<std::size_t>(id)];
   SNS_REQUIRE(!st.open, "flight: reopen() without a preceding settle()");

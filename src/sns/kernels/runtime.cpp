@@ -16,15 +16,15 @@ Barrier::Barrier(int parties) : parties_(parties) {
 }
 
 void Barrier::arriveAndWait() {
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const std::uint64_t gen = generation_;
   if (++waiting_ == parties_) {
     waiting_ = 0;
     ++generation_;
-    cv_.notify_all();
+    cv_.notifyAll();
     return;
   }
-  cv_.wait(lock, [&] { return generation_ != gen; });
+  while (generation_ == gen) cv_.wait(mu_);
 }
 
 std::pair<std::size_t, std::size_t> TeamContext::chunk(std::size_t n) const {

@@ -1,27 +1,31 @@
 #pragma once
 
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "sns/util/mutex.hpp"
+#include "sns/util/thread_annotations.hpp"
+
 namespace sns::kernels {
 
-/// Reusable cyclic barrier for SPMD teams.
+/// Reusable cyclic barrier for SPMD teams. The arrival count and the
+/// generation (which wave of arrivals a sleeping party belongs to) are
+/// guarded by mu_; clang -Wthread-safety checks the discipline.
 class Barrier {
  public:
   explicit Barrier(int parties);
 
   /// Block until all parties arrive; reusable across phases.
-  void arriveAndWait();
+  void arriveAndWait() SNS_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int parties_;
-  int waiting_ = 0;
-  std::uint64_t generation_ = 0;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  const int parties_;
+  int waiting_ SNS_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ SNS_GUARDED_BY(mu_) = 0;
 };
 
 /// Per-thread context handed to SPMD bodies.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sns/util/json.hpp"
+#include "sns/util/thread_annotations.hpp"
 
 namespace sns::obs {
 
@@ -76,7 +77,13 @@ class Histogram {
 /// returned by counter()/gauge()/histogram() stay valid for the registry's
 /// lifetime (std::map nodes are stable), so hot paths fetch the pointer
 /// once and increment without lookups.
-class Registry {
+///
+/// Thread contract: SNS_THREAD_COMPATIBLE — the registry and its
+/// instruments are single-writer (one simulation, one thread; the
+/// parallel replay harness builds one registry per worker). A registry
+/// shared across daemon threads must be guarded by a util::Mutex held
+/// over both the name lookup and the instrument update.
+class SNS_THREAD_COMPATIBLE Registry {
  public:
   Counter& counter(const std::string& name) { return counters_[name]; }
   Gauge& gauge(const std::string& name) { return gauges_[name]; }

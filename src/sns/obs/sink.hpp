@@ -5,13 +5,21 @@
 #include <vector>
 
 #include "sns/obs/event.hpp"
+#include "sns/util/thread_annotations.hpp"
 
 namespace sns::obs {
 
 /// Destination of the structured event stream. Implementations must
 /// tolerate high event rates; record() is called from the simulator's
 /// event loop (never concurrently — one simulation, one thread).
-class EventSink {
+///
+/// Thread contract: every sink in this header is SNS_THREAD_COMPATIBLE —
+/// safe to read concurrently, but writes (record(), clear(), finish())
+/// need external synchronization. The parallel replay harness honors
+/// this by giving each worker its own sink chain; a future multi-tenant
+/// daemon sharing one sink across submission threads must wrap it in a
+/// util::Mutex (and will then show up in the -Wthread-safety CI gate).
+class SNS_THREAD_COMPATIBLE EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void record(const Event& e) = 0;
@@ -19,7 +27,7 @@ class EventSink {
 
 /// Swallows everything. Useful to measure the overhead of event
 /// *construction* alone (a null sink pointer skips even that).
-class NullSink final : public EventSink {
+class SNS_THREAD_COMPATIBLE NullSink final : public EventSink {
  public:
   void record(const Event&) override { ++count_; }
   std::uint64_t count() const { return count_; }
@@ -31,7 +39,7 @@ class NullSink final : public EventSink {
 /// Bounded in-memory log: keeps the most recent `capacity` events,
 /// overwriting the oldest once full (flight-recorder semantics — at a
 /// crash or at run end the tail of the decision history is intact).
-class RingBufferLog final : public EventSink {
+class SNS_THREAD_COMPATIBLE RingBufferLog final : public EventSink {
  public:
   explicit RingBufferLog(std::size_t capacity = 1 << 16);
 
@@ -67,7 +75,7 @@ class RingBufferLog final : public EventSink {
 /// Streams each event as one compact JSON object per line (JSONL) —
 /// grep-able, `jq`-able, and loadable by the analysis notebooks the
 /// evaluation recipes in EXPERIMENTS.md describe.
-class JsonlSink final : public EventSink {
+class SNS_THREAD_COMPATIBLE JsonlSink final : public EventSink {
  public:
   explicit JsonlSink(std::ostream& os) : os_(&os) {}
   void record(const Event& e) override;
@@ -92,7 +100,7 @@ class JsonlSink final : public EventSink {
 
 /// Fans one stream out to several sinks (e.g. a ring buffer for the
 /// Perfetto export plus a JSONL file for offline analysis).
-class TeeSink final : public EventSink {
+class SNS_THREAD_COMPATIBLE TeeSink final : public EventSink {
  public:
   TeeSink() = default;
   explicit TeeSink(std::vector<EventSink*> sinks) : sinks_(std::move(sinks)) {}

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "sns/util/hot_path.hpp"
+
 namespace sns::perfmodel {
 
 namespace {
@@ -53,6 +55,12 @@ const std::vector<ShareOutcome>& SolverCache::solve(
   }
   ++misses_;
   if (m_misses_) m_misses_->inc();
+  // Memo warm-up: a never-seen co-run signature enters the cache, which
+  // allocates (key copy, outcome vector, table node). Declare the
+  // enclosing hot-path activation a boundary — replays of known
+  // signatures, the steady state the allocation contract gates, take the
+  // hit-paths above and stay heap-silent.
+  util::hotpath::markInnermostBoundary();
   if (cache_.size() >= capacity_) {
     evictions_ += cache_.size();
     if (m_evictions_) m_evictions_->inc(static_cast<double>(cache_.size()));

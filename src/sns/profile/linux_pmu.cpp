@@ -40,12 +40,16 @@ LinuxPmu::LinuxPmu() {
 #if defined(__linux__)
   instr_fd_ = openCounter(PERF_COUNT_HW_INSTRUCTIONS);
   if (instr_fd_ < 0) {
-    error_ = std::string("perf_event_open(instructions): ") + std::strerror(errno);
+    // NOLINT-reason(concurrency-mt-unsafe): probe construction happens once,
+    // on one thread, before any workers exist; the message is copied out.
+    error_ = std::string("perf_event_open(instructions): ") +
+             std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
     return;
   }
   cycles_fd_ = openCounter(PERF_COUNT_HW_CPU_CYCLES);
   if (cycles_fd_ < 0) {
-    error_ = std::string("perf_event_open(cycles): ") + std::strerror(errno);
+    error_ = std::string("perf_event_open(cycles): ") +
+             std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
   }
 #else
   error_ = "perf_event_open is Linux-only";

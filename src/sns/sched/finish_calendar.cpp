@@ -1,6 +1,7 @@
 #include "sns/sched/finish_calendar.hpp"
 
 #include "sns/util/error.hpp"
+#include "sns/util/hot_path.hpp"
 
 namespace sns::sched {
 
@@ -21,6 +22,10 @@ void FinishCalendar::insert(JobId id, double key) {
 }
 
 void FinishCalendar::update(JobId id, double key) {
+  // Re-key is the calendar's per-rate-boundary hot operation: two sifts
+  // over preallocated arrays, never a heap touch (insert/erase run at job
+  // boundaries and may grow the backing vectors; update must not).
+  SNS_HOT_PATH("engine.calendar_rekey");
   SNS_REQUIRE(contains(id), "job not in the finish calendar");
   key_[static_cast<std::size_t>(id)] = key;
   // One of these is a no-op; the other restores heap order from the

@@ -50,11 +50,15 @@ class JobQueue {
   /// Visit live jobs in priority order without copying. The visitor may
   /// remove the job it is currently shown (via kRemove / kRemoveAndStop);
   /// the walk then continues with the next live job. Structural cleanup
-  /// (popping dead head slots, compaction) happens between walks, so
-  /// visiting is safe against the tombstone bookkeeping.
+  /// (popping dead head slots, compaction) happens between walks — after
+  /// the visits, not before, so the compaction a walk's own removals
+  /// trigger runs inside the same scheduling pass that made them: that
+  /// pass committed placements and is a rate boundary, which keeps the
+  /// pos_-rebuild allocations out of the heap-silent replay passes
+  /// (the steady-state allocation contract, DESIGN.md "Static
+  /// contracts"). An empty-handed walk buries nothing and never compacts.
   template <typename Fn>
   void walk(Fn&& fn) {
-    maintain();
     for (std::size_t i = first_live_; i < slots_.size(); ++i) {
       Slot& s = slots_[i];
       if (!s.live) continue;
@@ -62,7 +66,7 @@ class JobQueue {
       if (w == Walk::kRemove || w == Walk::kRemoveAndStop) bury(i);
       if (w == Walk::kStop || w == Walk::kRemoveAndStop) break;
     }
-    popDeadPrefix();
+    maintain();
   }
 
   /// True if the queue's head job has waited past `age_limit` at time

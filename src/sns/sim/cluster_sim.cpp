@@ -14,6 +14,7 @@
 #include "sns/flight/flight.hpp"
 #include "sns/profile/exploration.hpp"
 #include "sns/util/error.hpp"
+#include "sns/util/hot_path.hpp"
 #include "sns/util/thread_pool.hpp"
 
 namespace sns::sim {
@@ -359,6 +360,7 @@ void ClusterSimulator::resolveNode(int nd) {
 
 void ClusterSimulator::refreshRates(double now,
                                     const std::vector<int>& dirty_nodes) {
+  SNS_HOT_PATH("engine.refresh");
   telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kRateRefresh);
   // Jobs touching a dirty node need their progress rate re-derived.
   // Deduplicate with epoch stamps (collected in the same pass that
@@ -621,6 +623,11 @@ void ClusterSimulator::flightReopen(sched::JobId id, const Running& r,
     }
     auto [it, fresh] = flight_sig_memo_.try_emplace(flight_sig_scratch_);
     if (fresh) {
+      // Attribution-matrix memo warm-up: a never-seen co-run signature
+      // builds its matrix (map node + key copy + per-resident vectors) —
+      // a boundary, like a solver-cache miss. Replayed signatures take
+      // the memo hit below and stay heap-silent.
+      util::hotpath::markInnermostBoundary();
       FlightAttrMatrix& mat = it->second;
       mat.rate_pp.resize(nres);
       mat.raw_rate_pp.resize(nres);
@@ -863,6 +870,11 @@ void ClusterSimulator::finishJob(sched::JobId id, double now) {
 }
 
 bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
+  // Steady-state allocation contract: the failure path (memo checks,
+  // selection scoring with warm caches) must not touch the heap; a
+  // successful dispatch is a rate boundary — committing a Placement and a
+  // Running record allocates by design, so it is marked exempt below.
+  SNS_HOT_PATH("sched.decision");
   // Solver-cache provenance: attribute the deciding dispatch's contention
   // solves (and how many the memo served) to the placed job.
   xray::ProvenanceStore* prov =
@@ -914,6 +926,11 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
   }
   if (!p.has_value()) {
     if (spec_memo) {
+      // First failure of this spec: recording it grows the memo (a node
+      // allocation) — memo warm-up, a state-changing event like a commit,
+      // hence boundary-exempt. Replayed failures hit the memo above and
+      // must stay heap-silent; that is what the alloc contract test gates.
+      SNS_HOT_PATH_BOUNDARY();
       const int floor = ledger_.queryCoreFloor();
       failed_specs_.emplace(spec_key, floor);
       // Running minimum over live entries, for the futile-pass gate. Only
@@ -924,6 +941,7 @@ bool ClusterSimulator::tryDispatch(const sched::Job& job, double now) {
     }
     return false;
   }
+  SNS_HOT_PATH_BOUNDARY();
   telemetry::ScopedPhase sp(cfg_.phases, telemetry::Phase::kPlacementCommit);
   const sched::Job job_copy = job;
   ++pass_placements_;
@@ -967,8 +985,11 @@ void ClusterSimulator::scheduleSinglePass(double now) {
       return W::kRemove;
     }
     // Anti-starvation: once the head job has aged past the limit, no
-    // younger job may be backfilled ahead of it.
+    // younger job may be backfilled ahead of it. The event-log append
+    // below allocates (append-only history, not per-decision scratch), so
+    // the pass declares itself a boundary activation.
     if (scanned == 1 && job.age(now) > cfg_.age_limit_s) {
+      util::hotpath::markInnermostBoundary();
       rec_.backfillSkipped(job.id, job.age(now),
                            "head job aged past the backfill age limit");
       if (m_backfill_skips_) m_backfill_skips_->inc();
@@ -995,6 +1016,8 @@ void ClusterSimulator::scheduleLegacy(double now) {
         return W::kRemoveAndStop;  // queue changed; restart the walk
       }
       if (scanned == 1 && job.age(now) > cfg_.age_limit_s) {
+        // Event-log append allocates: boundary, as in scheduleSinglePass.
+        util::hotpath::markInnermostBoundary();
         rec_.backfillSkipped(job.id, job.age(now),
                              "head job aged past the backfill age limit");
         if (m_backfill_skips_) m_backfill_skips_->inc();
@@ -1035,6 +1058,11 @@ void ClusterSimulator::schedule(double now) {
     }
     return;
   }
+  // Pass-level allocation contract: a pass that commits placements is a
+  // rate boundary (exempt); an empty-handed pass over warm caches must be
+  // heap-silent. Nested markers (sched.decision, engine.refresh) claim
+  // their own allocations — this scope covers only the glue between them.
+  SNS_HOT_PATH("sched.pass");
   pass_placements_ = 0;
   // Decision-latency metric only — never feeds a scheduling decision.
   using Clock = std::chrono::steady_clock;  // snslint: allow(wall-clock)
@@ -1087,6 +1115,7 @@ void ClusterSimulator::schedule(double now) {
   // went through the spec memo (batchFastPath) will replay identically
   // until an admission, a profile change or a big-enough release.
   futile_ready_ = pass_placements_ == 0 && batchFastPath();
+  if (pass_placements_ > 0) SNS_HOT_PATH_BOUNDARY();
 }
 
 void ClusterSimulator::auditTick() {

@@ -7,6 +7,7 @@
 #include "sns/telemetry/sample.hpp"
 #include "sns/telemetry/slo.hpp"
 #include "sns/telemetry/timeseries.hpp"
+#include "sns/util/thread_annotations.hpp"
 
 namespace sns::telemetry {
 
@@ -32,7 +33,13 @@ struct SamplerConfig {
 /// tick. Between discrete-event-simulator events the state is piecewise
 /// constant, so stamping every boundary in the gap with the offered sample
 /// is exact, not an approximation.
-class Sampler {
+///
+/// Thread contract: SNS_THREAD_COMPATIBLE — one producer thread drives
+/// advanceTo()/recordScalar(); the cached series pointers below make
+/// concurrent producers a data race by construction. Cross-thread use
+/// (the daemon's wall-clock sampler) needs one Sampler per producer or an
+/// external util::Mutex.
+class SNS_THREAD_COMPATIBLE Sampler {
  public:
   Sampler(TimeSeriesStore& store, SamplerConfig cfg = {});
 

@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "sns/util/thread_annotations.hpp"
+
 namespace sns::telemetry {
 
 /// One retained point of a series. At downsampling level L a point
@@ -97,7 +99,11 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 /// Prometheus instrument. Series references stay valid for the store's
 /// lifetime (map nodes are stable), so samplers resolve each series once
 /// and append without lookups.
-class TimeSeriesStore {
+///
+/// Thread contract: SNS_THREAD_COMPATIBLE — single-writer like its
+/// Sampler; a store shared across daemon threads needs an external
+/// util::Mutex over series()/append and export walks.
+class SNS_THREAD_COMPATIBLE TimeSeriesStore {
  public:
   explicit TimeSeriesStore(std::size_t budget_per_series = 512);
 

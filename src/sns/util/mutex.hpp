@@ -1,0 +1,81 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sns/util/thread_annotations.hpp"
+
+namespace sns::util {
+
+/// Capability-annotated mutex: a thin std::mutex wrapper that clang's
+/// -Wthread-safety analysis can reason about (libstdc++'s std::mutex
+/// carries no capability attributes, so SNS_GUARDED_BY(raw_std_mutex)
+/// is rejected by the compiler). All cross-thread state in the sns stack
+/// is guarded by one of these; snslint's unannotated-shared-state rule
+/// flags raw std::mutex members so the invariant holds by construction.
+///
+/// Zero-cost: every member is a forwarded call the compiler flattens to
+/// the underlying pthread op; the attributes exist only at compile time.
+class SNS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SNS_ACQUIRE() { mu_.lock(); }
+  void unlock() SNS_RELEASE() { mu_.unlock(); }
+  bool try_lock() SNS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  // The one sanctioned raw std::mutex: it IS the capability's backing store.
+  // snslint: allow(unannotated-shared-state)
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex, visible to the analysis as a scoped capability
+/// (std::lock_guard<Mutex> would compile but the analysis would not know
+/// the guard releases at scope end).
+class SNS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SNS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SNS_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over util::Mutex. Built on condition_variable_any,
+/// which waits on any BasicLockable — Mutex qualifies — so waiters keep
+/// their capability annotations: wait() requires the caller to hold `mu`,
+/// and the analysis treats the capability as held across the predicate
+/// (the wait re-acquires before returning, exactly like the runtime).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, re-acquire before returning. The
+  /// analysis cannot see the release/re-acquire pair inside
+  /// condition_variable_any, which is fine: the capability is held at
+  /// every point the caller can observe. Callers loop on their condition
+  /// (`while (!ready()) cv.wait(mu);`) — the loop body is plain annotated
+  /// code, so guarded reads in the condition stay machine-checked, which
+  /// a predicate-lambda overload would hide from the analysis.
+  void wait(Mutex& mu) SNS_REQUIRES(mu) SNS_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  // Backing primitive of the wrapper itself, like Mutex::mu_ above.
+  // snslint: allow(unannotated-shared-state)
+  std::condition_variable_any cv_;
+};
+
+}  // namespace sns::util

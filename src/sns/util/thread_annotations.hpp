@@ -1,0 +1,87 @@
+#pragma once
+
+/// Clang thread-safety-analysis attribute macros for the sns stack
+/// (DESIGN.md "Static contracts"). Under clang with -Wthread-safety the
+/// annotated lock relationships — which mutex guards which member, which
+/// capability a function requires, acquires, releases or must not hold —
+/// become compile-time contracts; the CI `thread-safety` job promotes the
+/// analysis to an error. Under gcc (and clang without the attribute)
+/// every macro expands to nothing, so annotated headers stay portable.
+///
+/// The macros follow the capability vocabulary of the upstream analysis
+/// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+///
+///   SNS_CAPABILITY(name)     the class is a capability (a lock); its
+///                            acquire/release members carry SNS_ACQUIRE /
+///                            SNS_RELEASE. `sns::util::Mutex` is the
+///                            canonical instance — raw std::mutex members
+///                            are rejected by snslint's
+///                            unannotated-shared-state rule because the
+///                            analysis cannot see through them (libstdc++
+///                            ships no capability attributes).
+///   SNS_GUARDED_BY(mu)       reads and writes of the member require `mu`.
+///   SNS_PT_GUARDED_BY(mu)    dereferencing the pointer member requires `mu`.
+///   SNS_REQUIRES(...)        caller must already hold the capabilities.
+///   SNS_REQUIRES_SHARED(...) caller must hold them at least shared.
+///   SNS_ACQUIRE(...)         function acquires them and does not release.
+///   SNS_RELEASE(...)         function releases them.
+///   SNS_EXCLUDES(...)        caller must NOT hold them (deadlock guard).
+///   SNS_ACQUIRED_BEFORE/AFTER(...)  declared lock ordering.
+///   SNS_SCOPED_CAPABILITY    RAII type that acquires in its constructor
+///                            and releases in its destructor.
+///   SNS_RETURN_CAPABILITY(x) function returns a reference to capability x.
+///   SNS_ASSERT_CAPABILITY(x) runtime assertion that x is held (tells the
+///                            analysis to trust it from here on).
+///   SNS_NO_THREAD_SAFETY_ANALYSIS  opt a function out (constructors of
+///                            the capability types themselves, fork/join
+///                            patterns the analysis cannot express).
+///
+/// Classes with no capability at all fall into two documented buckets:
+///
+///   SNS_THREAD_COMPATIBLE    const access is concurrency-safe, any write
+///                            needs external synchronization (the obs
+///                            sinks, the metrics registry, the telemetry
+///                            sampler/store: one simulation, one thread —
+///                            the parallel replay harness gives every
+///                            worker its own instances and the future
+///                            daemon must wrap shared ones in a Mutex).
+///   SNS_THREAD_HOSTILE       not safe to touch from two threads even
+///                            const (internal caches mutate on reads).
+///
+/// Both expand to nothing everywhere; they exist so the contract is
+/// greppable and so new cross-thread sharing of a marked class is a
+/// reviewable event, not an accident.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SNS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SNS_THREAD_ANNOTATION
+#define SNS_THREAD_ANNOTATION(x)  // not clang, or no thread-safety attributes
+#endif
+
+#define SNS_CAPABILITY(name) SNS_THREAD_ANNOTATION(capability(name))
+#define SNS_SCOPED_CAPABILITY SNS_THREAD_ANNOTATION(scoped_lockable)
+#define SNS_GUARDED_BY(x) SNS_THREAD_ANNOTATION(guarded_by(x))
+#define SNS_PT_GUARDED_BY(x) SNS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SNS_ACQUIRED_BEFORE(...) SNS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SNS_ACQUIRED_AFTER(...) SNS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define SNS_REQUIRES(...) SNS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SNS_REQUIRES_SHARED(...) \
+  SNS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define SNS_ACQUIRE(...) SNS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SNS_ACQUIRE_SHARED(...) \
+  SNS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define SNS_RELEASE(...) SNS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SNS_RELEASE_SHARED(...) \
+  SNS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define SNS_TRY_ACQUIRE(...) SNS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SNS_EXCLUDES(...) SNS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SNS_ASSERT_CAPABILITY(x) SNS_THREAD_ANNOTATION(assert_capability(x))
+#define SNS_RETURN_CAPABILITY(x) SNS_THREAD_ANNOTATION(lock_returned(x))
+#define SNS_NO_THREAD_SAFETY_ANALYSIS SNS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Documentation-only thread-role markers (see the header comment).
+#define SNS_THREAD_COMPATIBLE
+#define SNS_THREAD_HOSTILE

@@ -1,25 +1,35 @@
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "sns/util/mutex.hpp"
+#include "sns/util/thread_annotations.hpp"
 
 namespace sns::util {
 
 /// Fixed-size worker pool for embarrassingly parallel harness work — e.g.
 /// replaying the (cluster-size x ratio x policy) grid of bench_fig20, where
 /// every ClusterSimulator instance is self-contained and only shares
-/// immutable inputs (estimator, program library, profile database).
+/// immutable inputs (estimator, program library, profile database) — and
+/// for the simulator's sharded placement search (SimOptFlags::
+/// parallel_select), where workers write disjoint index ranges of a
+/// caller-owned scratch array and the caller joins on the futures before
+/// reading any of it.
 ///
 /// Tasks run in submission order when workers are free; submit() returns a
 /// future for the task's result. Exceptions propagate through the future.
 /// The destructor drains the queue (all submitted tasks run) and joins.
+///
+/// Concurrency contract (machine-checked by clang -Wthread-safety): the
+/// task queue and the stop flag are guarded by mu_; workers block on cv_.
+/// workers_ is written only before any worker can observe the pool
+/// (constructor) and joined in the destructor, so it needs no capability.
 class ThreadPool {
  public:
   /// `threads` == 0 picks the hardware concurrency (at least 1).
@@ -37,21 +47,21 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    cv_.notifyOne();
     return result;
   }
 
  private:
-  void workerLoop();
+  void workerLoop() SNS_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::vector<std::thread> workers_;  ///< construction/join only, see above
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ SNS_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stopping_ SNS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sns::util

@@ -1,0 +1,47 @@
+#include "tests/support/alloc_guard.hpp"
+
+namespace sns::testing {
+
+namespace detail {
+
+// Set by the interposer TU's static initializer when it is linked in.
+bool g_interposer_linked = false;
+
+namespace {
+thread_local AllocTotals tls_totals;
+}  // namespace
+
+void onAlloc(std::size_t bytes) {
+  ++tls_totals.allocations;
+  tls_totals.bytes += bytes;
+}
+
+void onFree() { ++tls_totals.frees; }
+
+}  // namespace detail
+
+AllocTotals threadAllocTotals() { return detail::tls_totals; }
+
+AllocGuard::AllocGuard() { reset(); }
+AllocGuard::~AllocGuard() = default;
+
+void AllocGuard::reset() {
+  const AllocTotals t = threadAllocTotals();
+  base_allocs_ = t.allocations;
+  base_bytes_ = t.bytes;
+  base_frees_ = t.frees;
+}
+
+std::uint64_t AllocGuard::allocations() const {
+  return threadAllocTotals().allocations - base_allocs_;
+}
+std::uint64_t AllocGuard::bytes() const {
+  return threadAllocTotals().bytes - base_bytes_;
+}
+std::uint64_t AllocGuard::frees() const {
+  return threadAllocTotals().frees - base_frees_;
+}
+
+bool AllocGuard::interposerLinked() { return detail::g_interposer_linked; }
+
+}  // namespace sns::testing

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// AllocGuard: scoped heap-allocation counting for contract tests.
+///
+/// The counters are fed by a global operator new/delete interposer
+/// (tests/support/alloc_interposer.cpp) that is linked ONLY into the
+/// sns_alloc_tests binary — production binaries and the main sns_tests
+/// suite never pay for it. AllocGuard itself is inert without the
+/// interposer: interposerLinked() reports whether one is present, which
+/// the self-tests use to cover both configurations.
+namespace sns::testing {
+
+class AllocGuard {
+ public:
+  /// Starts counting from zero for this scope (scopes nest: each guard
+  /// snapshots the thread's running totals and reports deltas).
+  AllocGuard();
+  ~AllocGuard();
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Allocations/bytes/frees observed on this thread since construction
+  /// (or the last reset()).
+  std::uint64_t allocations() const;
+  std::uint64_t bytes() const;
+  std::uint64_t frees() const;
+
+  /// Restart this guard's window at the current totals.
+  void reset();
+
+  /// True when a global interposer is linked into this binary; counters
+  /// stay zero without one.
+  static bool interposerLinked();
+
+ private:
+  std::uint64_t base_allocs_;
+  std::uint64_t base_bytes_;
+  std::uint64_t base_frees_;
+};
+
+/// Raw thread-local totals since thread start (what AllocGuard diffs).
+struct AllocTotals {
+  std::uint64_t allocations = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t frees = 0;
+};
+AllocTotals threadAllocTotals();
+
+/// Interposer hooks (defined in alloc_interposer.cpp when linked; weak
+/// no-op stubs otherwise).
+namespace detail {
+void onAlloc(std::size_t bytes);
+void onFree();
+}  // namespace detail
+
+}  // namespace sns::testing

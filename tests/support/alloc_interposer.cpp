@@ -1,0 +1,148 @@
+// Global operator new/delete interposer. Linked ONLY into sns_alloc_tests:
+// every heap allocation in that binary flows through here, feeding the
+// AllocGuard thread-local counters and the hot-path marker attribution
+// (sns::util::hotpath::noteAllocation). Nothing in here may allocate.
+//
+// All replaceable forms funnel into the two sized entry points below;
+// alignment overloads forward to std::aligned_alloc. Counting happens
+// before the allocation so a throwing new is still observed.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+#include "sns/util/hot_path.hpp"
+#include "tests/support/alloc_guard.hpp"
+
+namespace sns::testing::detail {
+extern bool g_interposer_linked;
+
+namespace {
+struct LinkFlagSetter {
+  LinkFlagSetter() { g_interposer_linked = true; }
+} link_flag_setter;
+
+/// Debug hook: SNS_ALLOC_TRACE_MIN_ENTRY=<n> prints a backtrace (to
+/// stderr, addresses resolvable with addr2line) for each non-exempt
+/// allocation whose innermost hot-path scope is on activation >= n —
+/// i.e. exactly the allocations that would fail the steady-state
+/// contract. Capped so a hot leak cannot flood the log. backtrace()
+/// itself may allocate on first use; the thread-local guard keeps that
+/// recursion out of the hook (the marker counters in a traced run are
+/// diagnostic, not the contract run).
+thread_local bool g_in_trace = false;
+
+void maybeTraceHotAllocation(std::size_t size) {
+#if defined(__GLIBC__)
+  static const char* env = std::getenv("SNS_ALLOC_TRACE_MIN_ENTRY");
+  if (env == nullptr || g_in_trace) return;
+  static const unsigned long min_entry = std::strtoul(env, nullptr, 10);
+  // Optional second filter: trace only one contract site. Pre-boundary
+  // allocations inside an activation that later declares itself a
+  // boundary still trace (exemption is only known at scope exit), so
+  // narrowing by marker keeps the log readable.
+  static const char* only = std::getenv("SNS_ALLOC_TRACE_MARKER");
+  sns::util::hotpath::ActiveScopeInfo info;
+  if (!sns::util::hotpath::innermostScopeInfo(info)) return;
+  if (info.exempt || info.entry < min_entry) return;
+  if (only != nullptr && std::strcmp(only, info.name) != 0) return;
+  static std::atomic<int> budget{64};
+  if (budget.fetch_sub(1, std::memory_order_relaxed) <= 0) return;
+  g_in_trace = true;
+  std::fprintf(stderr, "[alloc-trace] %zu bytes in %s entry %llu\n", size,
+               info.name, static_cast<unsigned long long>(info.entry));
+  void* frames[24];
+  int n = backtrace(frames, 24);
+  backtrace_symbols_fd(frames, n, 2);
+  g_in_trace = false;
+#else
+  (void)size;
+#endif
+}
+
+void* allocate(std::size_t size) {
+  onAlloc(size);
+  sns::util::hotpath::noteAllocation(size);
+  maybeTraceHotAllocation(size);
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* allocateAligned(std::size_t size, std::size_t align) {
+  onAlloc(size);
+  sns::util::hotpath::noteAllocation(size);
+  // aligned_alloc requires size to be a multiple of alignment.
+  std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+}  // namespace sns::testing::detail
+
+void* operator new(std::size_t size) {
+  return sns::testing::detail::allocate(size);
+}
+void* operator new[](std::size_t size) {
+  return sns::testing::detail::allocate(size);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  sns::testing::detail::onAlloc(size);
+  sns::util::hotpath::noteAllocation(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  sns::testing::detail::onAlloc(size);
+  sns::util::hotpath::noteAllocation(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return sns::testing::detail::allocateAligned(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return sns::testing::detail::allocateAligned(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, std::size_t) noexcept { operator delete[](p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  if (p != nullptr) sns::testing::detail::onFree();
+  std::free(p);
+}

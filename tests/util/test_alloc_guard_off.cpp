@@ -1,0 +1,47 @@
+// AllocGuard without the interposer: sns_tests deliberately does NOT link
+// tests/support/alloc_interposer.cpp, so the guard must report itself
+// inert and its counters must stay zero no matter how much the code under
+// it allocates. The interposer-on half of this contract lives in
+// sns_alloc_tests (tests/alloc/test_alloc_guard.cpp).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sns/util/hot_path.hpp"
+#include "tests/support/alloc_guard.hpp"
+
+namespace sns::testing {
+namespace {
+
+TEST(AllocGuardOff, ReportsInterposerAbsent) {
+  EXPECT_FALSE(AllocGuard::interposerLinked());
+}
+
+TEST(AllocGuardOff, CountersStayZeroWithoutInterposer) {
+  AllocGuard g;
+  auto p = std::make_unique<int>(42);
+  p.reset();
+  EXPECT_EQ(g.allocations(), 0u);
+  EXPECT_EQ(g.bytes(), 0u);
+  EXPECT_EQ(g.frees(), 0u);
+}
+
+TEST(AllocGuardOff, HotPathScopesStillTrackEntries) {
+  // Marker bookkeeping (entries, scope stack) works without an
+  // interposer; only allocation attribution needs one. The production
+  // library pays the same two TLS writes either way.
+  util::hotpath::resetCounters();
+  {
+    SNS_HOT_PATH("test.off_binary");
+    EXPECT_TRUE(util::hotpath::inHotScope());
+    auto p = std::make_unique<int>(1);
+  }
+  EXPECT_FALSE(util::hotpath::inHotScope());
+  util::hotpath::Marker* m = util::hotpath::findMarker("test.off_binary");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->entries.load(), 1u);
+  EXPECT_EQ(m->allocs.load(), 0u);  // nothing feeds noteAllocation
+}
+
+}  // namespace
+}  // namespace sns::testing

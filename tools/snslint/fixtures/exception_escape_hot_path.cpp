@@ -1,0 +1,17 @@
+// Fixture: exception-escape-hot-path. A `throw` inside an SNS_HOT_PATH
+// body fires; the same throw in an unmarked function, an allowed line,
+// and the word in comments/strings stay clean.
+#include <stdexcept>
+
+int hotThrow(int x) {
+  SNS_HOT_PATH("fixture.throw");
+  if (x < 0) throw std::runtime_error("negative");
+  // snslint: allow(exception-escape-hot-path)
+  if (x == 0) throw std::runtime_error("zero");
+  return x;  // "throw" in this string never fires: throw is lexed out
+}
+
+int coldThrow(int x) {
+  if (x < 0) throw std::runtime_error("cold paths may throw");
+  return x;
+}

@@ -1,0 +1,31 @@
+// Fixture: hot-path-allocation. Definite per-activation allocations
+// inside an SNS_HOT_PATH body fire; growth calls on warm scratch, the
+// same constructs in unmarked functions, and allowed lines stay clean.
+#include <memory>
+#include <string>
+#include <vector>
+
+void hotBody(std::vector<int>& scratch) {
+  SNS_HOT_PATH("fixture.hot");
+  int* raw = new int[4];
+  auto owned = std::make_unique<int>(1);
+  std::string label = std::to_string(7);
+  std::vector<int> fresh;
+  // snslint: allow(hot-path-allocation)
+  auto excused = std::make_shared<int>(2);
+  scratch.push_back(raw[0]);  // growth on warm scratch: the runtime gate's job
+  fresh.clear();
+  (void)owned;
+  (void)label;
+  (void)excused;
+  delete[] raw;
+}
+
+void coldBody() {
+  int* p = new int(3);  // unmarked function: not this rule's business
+  delete p;
+}
+
+// Prose about operator new in a comment, and the string "new Foo()"
+// below, never fire: literals are lexed out before rules run.
+inline const char* doc() { return "new Foo()"; }

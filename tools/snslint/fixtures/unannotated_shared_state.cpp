@@ -1,0 +1,21 @@
+// Fixture: unannotated-shared-state. Raw standard sync-primitive
+// declarations fire anywhere (clang's -Wthread-safety cannot see through
+// them); the allowed wrapper-internal use and mentions in comments or
+// strings stay clean.
+#include <condition_variable>
+#include <mutex>
+
+class Racy {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_mutex rw_;
+  int value_ = 0;
+};
+
+class Tolerated {
+  // snslint: allow(unannotated-shared-state)
+  std::mutex mu_;
+};
+
+// A comment discussing std::mutex does not fire, nor does the string.
+inline const char* doc() { return "std::condition_variable"; }

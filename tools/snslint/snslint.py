@@ -1,12 +1,19 @@
 #!/usr/bin/env python3
-"""snslint — determinism lint for the Spread-n-Share scheduler stack.
+"""snslint — determinism + static-contract lint for the Spread-n-Share stack.
 
 The repo's central claim (PR 3) is that a scheduling run is a pure function
 of its inputs: same workload + same seed => bit-identical schedule. This
-checker flags the C++ constructs that quietly break that property. It is a
-regex + heuristic source scanner, not a compiler plugin: it needs no clang
-on the box, runs in milliseconds under ctest, and is tuned for this
-codebase's idiom (members end in `_`, one declaration per line).
+checker flags the C++ constructs that quietly break that property, plus
+(PR 10) the static contracts around the engine's hot paths: no heap
+allocation, no escaping exceptions, no unannotated shared state. It needs
+no clang on the box and runs in milliseconds under ctest.
+
+Since v2 the core is a real single-pass C++ tokenizer (comments, string /
+char literals and raw strings are lexed, not regex-guessed), and function
+scopes are tracked by brace matching — the rule layer then runs over
+literal-free source text, so prose in comments and log strings can never
+trip a rule, including raw strings and multi-line literals the old
+line-regex scanner mishandled.
 
 Rules
 -----
@@ -54,16 +61,41 @@ Rules
   uninit-member         scalar data member declared without an initializer
                         (`int x_;`) — reads of indeterminate values are UB
                         and differ run to run.
+  hot-path-allocation   a definite heap allocation (`new`, make_unique/
+                        make_shared, std::to_string, a fresh std::
+                        container/string/function local) lexically inside
+                        a function body marked SNS_HOT_PATH(...). The
+                        runtime contract (tests/alloc) catches container
+                        *growth*; this rule catches the constructs that
+                        allocate on every activation, before they ever run.
+  unannotated-shared-state
+                        a raw std::mutex / condition_variable / shared_
+                        mutex declaration: cross-thread state must use
+                        sns::util::Mutex (the Clang-capability-annotated
+                        wrapper, src/sns/util/mutex.hpp) so
+                        -Wthread-safety can machine-check lock discipline.
+  exception-escape-hot-path
+                        a `throw` lexically inside an SNS_HOT_PATH(...)
+                        body: the engine's per-event paths are on the
+                        decision latency budget and unwind across cached
+                        scratch state; contract failures go through
+                        SNS_REQUIRE at the boundary, not ad-hoc throws
+                        mid-path.
 
 Suppression
 -----------
   * inline, same or preceding line:   // snslint: allow(rule)
   * allowlist file, one entry per line:   <rule> <path-glob>  [# comment]
 
+With --check-stale-allowlist, an allowlist entry whose rule is active but
+which suppressed nothing fails the run with the entry's file:line — dead
+suppressions otherwise hide future regressions at the same path.
+
 Usage
 -----
   snslint.py [--compile-commands build/compile_commands.json]
-             [--root REPO_ROOT] [--allowlist FILE] PATH_OR_MODULE...
+             [--root REPO_ROOT] [--allowlist FILE]
+             [--check-stale-allowlist] PATH_OR_MODULE...
 
 Positional args are files, directories, or (with --compile-commands)
 module prefixes like `sns/sched` resolved against the compilation database
@@ -72,6 +104,7 @@ survives suppression, 0 otherwise.
 """
 
 import argparse
+import bisect
 import fnmatch
 import json
 import os
@@ -87,6 +120,9 @@ RULES = (
     "span-wall-clock",
     "raw-rand",
     "uninit-member",
+    "hot-path-allocation",
+    "unannotated-shared-state",
+    "exception-escape-hot-path",
 )
 
 # Files held to the stricter unordered-decision-path rule (matched against
@@ -141,6 +177,30 @@ UNINIT_MEMBER_RE = re.compile(
     r"(\w+_)\s*;\s*(?://.*)?$"
 )
 
+# ---- static-contract rules (PR 10) -----------------------------------------
+
+HOT_MARKER_RE = re.compile(r"\bSNS_HOT_PATH\s*\(")
+# Definite per-activation allocations. Container *growth* calls
+# (push_back into reserved capacity etc.) are deliberately not here —
+# whether they allocate depends on warm state, which is the runtime
+# contract's job (tests/alloc/test_steady_state.cpp).
+HOT_ALLOC_RE = re.compile(
+    r"(?<![\w.:])new\b"
+    r"|std::make_unique\b|std::make_shared\b|std::to_string\b"
+    r"|\bstd::string\s*\("
+)
+# A fresh standard container/string/function local: constructed (and on
+# any content, heap-backed) every activation.
+HOT_LOCAL_CONTAINER_RE = re.compile(
+    r"^\s*(?:const\s+)?std::(?:vector|deque|list|map|set|multimap|multiset|"
+    r"unordered_\w+|string|function)\s*(?:<[^;&]*>)?\s+\w+\s*[;={(]"
+)
+THROW_RE = re.compile(r"\bthrow\b")
+RAW_SYNC_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+)
+
 
 class Finding:
     def __init__(self, path, line, rule, message):
@@ -153,58 +213,180 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def strip_code(lines):
-    """Per-line code with comments and string/char literals blanked out
-    (same length, so column positions survive). Keeps rule regexes from
-    matching prose or log strings."""
-    out = []
-    in_block = False
-    for raw in lines:
-        buf = []
-        i, n = 0, len(raw)
-        in_str = in_chr = False
-        while i < n:
-            c = raw[i]
-            nxt = raw[i + 1] if i + 1 < n else ""
-            if in_block:
-                if c == "*" and nxt == "/":
-                    in_block = False
-                    buf.append("  ")
-                    i += 2
-                    continue
-                buf.append(" ")
-                i += 1
-            elif in_str or in_chr:
-                if c == "\\":
-                    buf.append("  ")
-                    i += 2
-                    continue
-                if (in_str and c == '"') or (in_chr and c == "'"):
-                    in_str = in_chr = False
-                    buf.append(c)
-                else:
-                    buf.append(" ")
-                i += 1
-            elif c == "/" and nxt == "/":
-                buf.append(" " * (n - i))
-                break
-            elif c == "/" and nxt == "*":
-                in_block = True
-                buf.append("  ")
-                i += 2
-            elif c == '"':
-                in_str = True
-                buf.append(c)
-                i += 1
-            elif c == "'":
-                in_chr = True
-                buf.append(c)
-                i += 1
+# ---- tokenizer -------------------------------------------------------------
+
+RAW_PREFIX_RE = re.compile(r"(?:u8|[uUL])?R$")
+
+
+def _scan_quoted(text, i, quote):
+    """End offset (exclusive) of the literal opened at text[i] == quote.
+    Stops at an unescaped newline: like the compiler, an unterminated
+    literal does not leak into the next line."""
+    j = i + 1
+    n = len(text)
+    while j < n:
+        c = text[j]
+        if c == "\\":
+            j += 2
+            continue
+        if c == quote:
+            return j + 1
+        if c == "\n":
+            return j
+        j += 1
+    return n
+
+
+def _scan_raw_string(text, i):
+    """End offset of the raw string whose opening quote is at text[i].
+    R"delim( ... )delim" — no escapes, may span lines."""
+    n = len(text)
+    paren = text.find("(", i + 1)
+    if paren == -1 or paren - i - 1 > 16 or "\n" in text[i + 1:paren]:
+        return _scan_quoted(text, i, '"')  # malformed: fall back
+    closer = ")" + text[i + 1:paren] + '"'
+    end = text.find(closer, paren + 1)
+    return n if end == -1 else end + len(closer)
+
+
+def tokenize(text):
+    """Single-pass C++ lexer: list of (kind, start, end) offset triples,
+    kind in {id, num, punct, str, chr, raw_str, comment}. Whitespace is
+    skipped. Raw strings, escapes, digit separators and block comments are
+    lexed for real — the rule layer never guesses about literal bounds."""
+    toks = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c in " \t\r\n\v\f":
+            i += 1
+            continue
+        two = text[i:i + 2]
+        if two == "//":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            toks.append(("comment", i, j))
+            i = j
+        elif two == "/*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            toks.append(("comment", i, j))
+            i = j
+        elif c == '"':
+            prev = toks[-1] if toks else None
+            if (prev is not None and prev[0] == "id" and prev[2] == i
+                    and RAW_PREFIX_RE.search(text[prev[1]:prev[2]])):
+                j = _scan_raw_string(text, i)
+                toks.append(("raw_str", i, j))
             else:
-                buf.append(c)
-                i += 1
-        out.append("".join(buf))
-    return out
+                j = _scan_quoted(text, i, '"')
+                toks.append(("str", i, j))
+            i = j
+        elif c == "'":
+            prev = toks[-1] if toks else None
+            if (prev is not None and prev[0] == "num" and prev[2] == i
+                    and i + 1 < n and text[i + 1].isalnum()):
+                # Digit separator (1'000'000): extend the number token.
+                j = i + 1
+                while j < n and (text[j].isalnum() or text[j] in "._"
+                                 or (text[j] == "'" and j + 1 < n
+                                     and text[j + 1].isalnum())):
+                    j += 1
+                toks[-1] = ("num", prev[1], j)
+                i = j
+            else:
+                j = _scan_quoted(text, i, "'")
+                toks.append(("chr", i, j))
+                i = j
+        elif c.isalpha() or c == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            toks.append(("id", i, j))
+            i = j
+        elif c.isdigit() or (c == "." and text[i + 1:i + 2].isdigit()):
+            j = i + 1
+            while j < n:
+                ch = text[j]
+                if ch.isalnum() or ch in "._":
+                    j += 1
+                elif ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                elif ch == "'" and j + 1 < n and text[j + 1].isalnum():
+                    j += 2
+                else:
+                    break
+            toks.append(("num", i, j))
+            i = j
+        else:
+            toks.append(("punct", i, i + 1))
+            i += 1
+    return toks
+
+
+def strip_code(lines):
+    """Per-line code with comments and string/char literal payloads blanked
+    out (same length, so column positions survive — rule regexes then run
+    over literal-free text). Built on the tokenizer: raw strings and
+    multi-line literals blank correctly, which the old per-line scanner
+    could not do."""
+    text = "\n".join(lines)
+    out = list(text)
+    for kind, s, e in tokenize(text):
+        if kind == "comment":
+            for k in range(s, e):
+                if out[k] != "\n":
+                    out[k] = " "
+        elif kind in ("str", "chr", "raw_str"):
+            # Keep the delimiters (so `"` still reads as a literal bound),
+            # blank everything between them.
+            for k in range(s + 1, e):
+                if out[k] != "\n":
+                    out[k] = " "
+            if e - 1 > s and text[e - 1] == text[s]:
+                out[e - 1] = text[e - 1]
+    return "".join(out).split("\n")
+
+
+def hot_path_ranges(code):
+    """[lo, hi) line-index ranges of the innermost brace blocks containing
+    an SNS_HOT_PATH(...) marker — i.e. the marked function bodies. Runs on
+    blanked code, so markers in comments/strings don't count; markers on
+    preprocessor lines (the macro's own #define) don't either."""
+    text = "\n".join(code)
+    line_starts = [0]
+    for k, ch in enumerate(text):
+        if ch == "\n":
+            line_starts.append(k + 1)
+
+    def line_of(pos):
+        return bisect.bisect_right(line_starts, pos) - 1
+
+    markers = []
+    for m in HOT_MARKER_RE.finditer(text):
+        if not code[line_of(m.start())].lstrip().startswith("#"):
+            markers.append(m.start())
+    if not markers:
+        return []
+
+    unassigned = set(markers)
+    ranges = []
+    stack = []
+    for pos, ch in enumerate(text):
+        if ch == "{":
+            stack.append(pos)
+        elif ch == "}" and stack:
+            open_pos = stack.pop()
+            inside = {m for m in unassigned if open_pos < m < pos}
+            if inside:
+                ranges.append((line_of(open_pos), line_of(pos) + 1))
+                unassigned -= inside
+    if unassigned:
+        # Marker outside any closed block (truncated file): cover the rest.
+        lo = min(line_of(m) for m in unassigned)
+        ranges.append((lo, len(code)))
+    return sorted(ranges)
 
 
 def inline_allowed(lines, idx, rule):
@@ -287,6 +469,10 @@ def scan_file(path, display_path):
     on_flight_rollup = any(
         fnmatch.fnmatch(norm_disp, g) for g in FLIGHT_ROLLUP_GLOBS)
 
+    hot_lines = set()
+    for lo, hi in hot_path_ranges(code):
+        hot_lines.update(range(lo, hi))
+
     for idx, ln in enumerate(code):
         if on_decision_path and UNORDERED_ANY_RE.search(ln):
             add(idx, "unordered-decision-path",
@@ -346,7 +532,46 @@ def scan_file(path, display_path):
                     f"scalar member '{m.group(1)}' has no initializer; "
                     "reads before assignment are indeterminate")
 
+        if RAW_SYNC_RE.search(ln):
+            add(idx, "unannotated-shared-state",
+                f"raw '{RAW_SYNC_RE.search(ln).group(0)}' declaration; use "
+                "sns::util::Mutex / util::CondVar (thread-annotations "
+                "wrappers) so clang -Wthread-safety can check the lock "
+                "discipline around the state it guards")
+
+        if idx in hot_lines:
+            m = HOT_ALLOC_RE.search(ln) or HOT_LOCAL_CONTAINER_RE.match(ln)
+            if m:
+                add(idx, "hot-path-allocation",
+                    f"'{m.group(0).strip()[:40]}' allocates on every "
+                    "activation of an SNS_HOT_PATH body; hoist it to setup "
+                    "or a warm scratch member (the runtime gate in "
+                    "tests/alloc enforces heap silence at steady state)")
+            if THROW_RE.search(ln):
+                add(idx, "exception-escape-hot-path",
+                    "'throw' inside an SNS_HOT_PATH body unwinds across "
+                    "warm scratch state on the decision latency budget; "
+                    "use SNS_REQUIRE at the boundary or return a status")
+
     return findings
+
+
+class AllowEntry:
+    """One `<rule> <glob>` allowlist line, with provenance for staleness
+    reporting. Indexable like the bare (rule, glob) tuples tests pass."""
+
+    def __init__(self, rule, glob, source=None, lineno=0):
+        self.rule = rule
+        self.glob = glob
+        self.source = source
+        self.lineno = lineno
+        self.used = False
+
+    def __getitem__(self, i):
+        return (self.rule, self.glob)[i]
+
+    def __repr__(self):
+        return f"AllowEntry({self.rule!r}, {self.glob!r})"
 
 
 def load_allowlist(path):
@@ -361,17 +586,27 @@ def load_allowlist(path):
                 raise SystemExit(
                     f"{path}:{lineno}: bad allowlist entry {raw.strip()!r} "
                     "(want: <rule> <path-glob>)")
-            entries.append((parts[0], parts[1]))
+            entries.append(AllowEntry(parts[0], parts[1], path, lineno))
     return entries
 
 
 def allowlisted(entries, finding):
     norm = finding.path.replace(os.sep, "/")
-    for rule, glob in entries:
+    for entry in entries:
+        rule, glob = entry[0], entry[1]
         if rule == finding.rule and (
                 fnmatch.fnmatch(norm, glob) or fnmatch.fnmatch(norm, "*/" + glob)):
+            if isinstance(entry, AllowEntry):
+                entry.used = True
             return True
     return False
+
+
+def stale_entries(entries, active):
+    """Allowlist entries whose rule ran but which suppressed nothing —
+    dead weight that would silently excuse a future regression."""
+    return [e for e in entries
+            if isinstance(e, AllowEntry) and e.rule in active and not e.used]
 
 
 def collect_files(args):
@@ -431,6 +666,9 @@ def main(argv=None):
     ap.add_argument("--root", default=".", help="repo root for module prefixes")
     ap.add_argument("--allowlist", help="allowlist file (<rule> <glob> lines)")
     ap.add_argument("--rules", help="comma-separated subset of rules to run")
+    ap.add_argument("--check-stale-allowlist", action="store_true",
+                    help="fail if an active-rule allowlist entry suppressed "
+                         "nothing (reported with the entry's file:line)")
     ap.add_argument("paths", nargs="+", metavar="PATH_OR_MODULE")
     args = ap.parse_args(argv)
 
@@ -452,9 +690,17 @@ def main(argv=None):
 
     for f in findings:
         print(f)
-    print(f"snslint: {len(files)} file(s), {len(findings)} finding(s)",
+    stale = stale_entries(entries, active) if args.check_stale_allowlist else []
+    for e in stale:
+        print(f"{e.source}:{e.lineno}: stale allowlist entry "
+              f"'{e.rule} {e.glob}' suppressed nothing — remove it, or fix "
+              "the glob if it was meant to match")
+    print(f"snslint: {len(files)} file(s), {len(findings)} finding(s), "
+          f"{len(stale)} stale allowlist entr(y/ies)"
+          if args.check_stale_allowlist else
+          f"snslint: {len(files)} file(s), {len(findings)} finding(s)",
           file=sys.stderr)
-    return 1 if findings else 0
+    return 1 if findings or stale else 0
 
 
 if __name__ == "__main__":

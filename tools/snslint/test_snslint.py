@@ -171,6 +171,168 @@ class UninitMember(unittest.TestCase):
             self.assertLess(f.line, 17, f)
 
 
+class Tokenizer(unittest.TestCase):
+    def kinds(self, text):
+        return [(k, text[s:e]) for k, s, e in snslint.tokenize(text)]
+
+    def test_comments_strings_and_ids(self):
+        toks = self.kinds('int x = f("a\\"b"); // tail\n/* block */ y')
+        self.assertIn(("str", '"a\\"b"'), toks)
+        self.assertIn(("comment", "// tail"), toks)
+        self.assertIn(("comment", "/* block */"), toks)
+        self.assertIn(("id", "x"), toks)
+        self.assertIn(("id", "y"), toks)
+
+    def test_raw_string_spans_lines_and_keeps_parens(self):
+        text = 'auto s = R"delim(no "end" here\n)wrong" still)delim"; next'
+        toks = self.kinds(text)
+        raw = [t for k, t in toks if k == "raw_str"]
+        self.assertEqual(len(raw), 1, toks)
+        self.assertTrue(raw[0].endswith(')delim"'), raw)
+        self.assertIn(("id", "next"), toks)
+
+    def test_digit_separators_stay_one_number(self):
+        toks = self.kinds("x = 1'000'000;")
+        nums = [t for k, t in toks if k == "num"]
+        self.assertEqual(nums, ["1'000'000"], toks)
+        self.assertEqual([t for k, t in toks if k == "chr"], [], toks)
+
+    def test_char_literals_and_escapes(self):
+        toks = self.kinds("char c = '\\''; char d = 'x';")
+        chars = [t for k, t in toks if k == "chr"]
+        self.assertEqual(chars, ["'\\''", "'x'"], toks)
+
+    def test_nested_templates_are_plain_puncts(self):
+        toks = self.kinds("std::map<int, std::vector<std::pair<a, b>>> m;")
+        self.assertIn(("id", "vector"), toks)
+        self.assertIn(("id", "m"), toks)
+        self.assertEqual([t for k, t in toks if k == "str"], [], toks)
+
+
+class StripCode(unittest.TestCase):
+    def test_preserves_line_count_and_length(self):
+        lines = ['int a = 1; // c', 'auto s = "li\\"t";',
+                 '/* multi', 'line */ int b;']
+        out = snslint.strip_code(lines)
+        self.assertEqual(len(out), len(lines))
+        for raw, stripped in zip(lines, out):
+            self.assertEqual(len(raw), len(stripped), (raw, stripped))
+
+    def test_blanks_literal_payloads_keeps_delimiters(self):
+        out = snslint.strip_code(['f("std::mutex");'])
+        self.assertNotIn("mutex", out[0])
+        self.assertIn('"', out[0])
+        self.assertTrue(out[0].startswith("f("))
+
+    def test_blanks_raw_string_payload(self):
+        out = snslint.strip_code(['auto j = R"({"rand()": 1})";'])
+        self.assertNotIn("rand", out[0])
+
+    def test_code_outside_literals_survives_verbatim(self):
+        src = 'for (auto& kv : m_) { sum_ += kv.second; }'
+        self.assertEqual(snslint.strip_code([src])[0], src)
+
+
+class HotPathRanges(unittest.TestCase):
+    def test_marked_body_found_unmarked_skipped(self):
+        code = snslint.strip_code([
+            'void hot() {',
+            '  SNS_HOT_PATH("x");',
+            '  if (a) { b(); }',
+            '}',
+            'void cold() {',
+            '  c();',
+            '}',
+        ])
+        ranges = snslint.hot_path_ranges(code)
+        self.assertEqual(ranges, [(0, 4)], ranges)
+
+    def test_macro_definition_line_is_not_a_marker(self):
+        code = snslint.strip_code([
+            '#define SNS_HOT_PATH(name) ::sns::util::hotpath::Scope s{name}',
+            'void f() { int* p = new int; delete p; }',
+        ])
+        self.assertEqual(snslint.hot_path_ranges(code), [])
+
+
+class HotPathAllocation(unittest.TestCase):
+    def test_fires_on_definite_allocations_only(self):
+        findings = scan("hot_path_allocation.cpp")
+        hits = lines_for(findings, "hot-path-allocation")
+        # new[], make_unique, to_string + fresh string local (one line),
+        # fresh vector local. The allowed make_shared, the warm-scratch
+        # push_back, coldBody's new, and the comment/string stay clean.
+        self.assertEqual(hits, [10, 11, 12, 13], findings)
+
+
+class ExceptionEscapeHotPath(unittest.TestCase):
+    def test_fires_inside_marked_body_only(self):
+        findings = scan("exception_escape_hot_path.cpp")
+        hits = lines_for(findings, "exception-escape-hot-path")
+        self.assertEqual(hits, [8], findings)
+
+
+class UnannotatedSharedState(unittest.TestCase):
+    def test_fires_on_raw_primitives_only(self):
+        findings = scan("unannotated_shared_state.cpp")
+        hits = lines_for(findings, "unannotated-shared-state")
+        # mutex, condition_variable, shared_mutex members; the allowed
+        # member, the comment, and the string literal stay clean.
+        self.assertEqual(hits, [9, 10, 11], findings)
+
+    def test_real_mutex_wrapper_is_clean(self):
+        repo = os.path.dirname(os.path.dirname(HERE))
+        path = os.path.join(repo, "src", "sns", "util", "mutex.hpp")
+        findings = snslint.scan_file(path, "src/sns/util/mutex.hpp")
+        self.assertEqual(
+            lines_for(findings, "unannotated-shared-state"), [], findings)
+
+
+class StaleAllowlist(unittest.TestCase):
+    def _entry_file(self, content):
+        f = tempfile.NamedTemporaryFile("w", suffix=".txt", delete=False)
+        f.write(content)
+        f.close()
+        return f.name
+
+    def test_stale_entry_fails_with_provenance(self):
+        target = os.path.join(FIXTURES, "wall_clock.cpp")
+        path = self._entry_file("raw-rand *never_matches_anything.cpp\n")
+        try:
+            self.assertEqual(
+                snslint.main(["--allowlist", path,
+                              "--check-stale-allowlist", target]), 1)
+            entries = snslint.load_allowlist(path)
+            self.assertEqual(entries[0].lineno, 1)
+            self.assertEqual(entries[0].source, path)
+        finally:
+            os.unlink(path)
+
+    def test_used_entry_passes(self):
+        target = os.path.join(FIXTURES, "raw_rand.cpp")
+        path = self._entry_file("raw-rand *raw_rand.cpp\n")
+        try:
+            self.assertEqual(
+                snslint.main(["--allowlist", path,
+                              "--check-stale-allowlist", target]), 0)
+        finally:
+            os.unlink(path)
+
+    def test_inactive_rule_entry_is_not_stale(self):
+        # --rules excludes the entry's rule: the entry never had a chance
+        # to match, so a subset run must not call it stale.
+        target = os.path.join(FIXTURES, "wall_clock.cpp")
+        path = self._entry_file(
+            "raw-rand *never_matches.cpp\n"
+            "wall-clock *wall_clock.cpp\n")
+        try:
+            self.assertEqual(
+                snslint.main(["--allowlist", path, "--rules", "wall-clock",
+                              "--check-stale-allowlist", target]), 0)
+        finally:
+            os.unlink(path)
+
+
 class AllowlistFile(unittest.TestCase):
     def test_allowlist_suppresses_by_rule_and_glob(self):
         entries = [("wall-clock", "fixtures/wall_clock.cpp")]
